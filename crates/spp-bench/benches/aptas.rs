@@ -1,0 +1,45 @@
+//! End-to-end APTAS (Algorithm 2) — runtime polynomial in n, growing
+//! with 1/ε (E10's runtime side), vs the practical baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use spp_release::{aptas, AptasConfig};
+
+fn instance(n: usize) -> spp_core::Instance {
+    let p = spp_gen::release::ReleaseParams {
+        k: 2,
+        column_widths: true,
+        h: (0.1, 1.0),
+    };
+    let mut rng = StdRng::seed_from_u64(6);
+    spp_gen::release::poisson_arrivals(&mut rng, n, 0.1, p)
+}
+
+fn bench_aptas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aptas");
+    group.sample_size(10);
+    for &n in &[100usize, 400] {
+        let inst = instance(n);
+        for &eps in &[1.0, 0.5] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("eps_{eps}"), n),
+                &inst,
+                |b, inst| {
+                    b.iter(|| {
+                        std::hint::black_box(aptas(inst, AptasConfig { epsilon: eps, k: 2 }))
+                    })
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("baseline_skyline", n), &inst, |b, inst| {
+            b.iter(|| std::hint::black_box(spp_release::baselines::skyline_release(inst)))
+        });
+        group.bench_with_input(BenchmarkId::new("baseline_batched", n), &inst, |b, inst| {
+            b.iter(|| std::hint::black_box(spp_release::baselines::batched_ffdh(inst)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aptas);
+criterion_main!(benches);

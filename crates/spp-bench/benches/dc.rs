@@ -1,0 +1,39 @@
+//! `DC` scaling with n and DAG family (E1's runtime side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use spp_gen::rects::DagFamily;
+use spp_pack::Packer;
+
+fn bench_dc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dc");
+    group.sample_size(15);
+    for &n in &[64usize, 256, 1024] {
+        for family in [DagFamily::Layered, DagFamily::Random] {
+            let mut rng = StdRng::seed_from_u64(2);
+            let inst = spp_gen::rects::uniform(&mut rng, n, (0.05, 0.95), (0.05, 1.0));
+            let dag = family.build(&mut rng, n);
+            let prec = spp_dag::PrecInstance::new(inst, dag);
+            group.bench_with_input(
+                BenchmarkId::new(family.name(), n),
+                &prec,
+                |b, prec| b.iter(|| std::hint::black_box(spp_precedence::dc(prec, &Packer::Nfdh))),
+            );
+        }
+    }
+    // baselines at the largest size for context
+    let mut rng = StdRng::seed_from_u64(2);
+    let inst = spp_gen::rects::uniform(&mut rng, 1024, (0.05, 0.95), (0.05, 1.0));
+    let dag = DagFamily::Layered.build(&mut rng, 1024);
+    let prec = spp_dag::PrecInstance::new(inst, dag);
+    group.bench_function("greedy_skyline/1024", |b| {
+        b.iter(|| std::hint::black_box(spp_precedence::greedy_skyline(&prec)))
+    });
+    group.bench_function("layered_nfdh/1024", |b| {
+        b.iter(|| std::hint::black_box(spp_precedence::layered_pack(&prec, &Packer::Nfdh)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dc);
+criterion_main!(benches);

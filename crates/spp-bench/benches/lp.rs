@@ -1,0 +1,45 @@
+//! Simplex / configuration-LP performance (E9's runtime side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use spp_release::colgen::solve_fractional_with_configs;
+use spp_release::config::enumerate_configs;
+use spp_release::lp_model::{solve_with_configs, LpData};
+
+fn setup(k: usize, n: usize) -> LpData {
+    let p = spp_gen::release::ReleaseParams {
+        k,
+        column_widths: true,
+        h: (0.1, 1.0),
+    };
+    let mut rng = StdRng::seed_from_u64(5);
+    let inst = spp_gen::release::poisson_arrivals(&mut rng, n, 0.25, p);
+    let mut widths: Vec<f64> = inst.items().iter().map(|it| it.w).collect();
+    widths.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    widths.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
+    let class_of: Vec<usize> = inst
+        .items()
+        .iter()
+        .map(|it| widths.iter().position(|&w| (w - it.w).abs() < 1e-12).unwrap())
+        .collect();
+    LpData::new(&inst, &widths, &class_of)
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp");
+    group.sample_size(15);
+    for &k in &[2usize, 3, 4] {
+        let data = setup(k, 30);
+        let all = enumerate_configs(&data.widths);
+        group.bench_with_input(BenchmarkId::new("full_enumeration", k), &data, |b, d| {
+            b.iter(|| std::hint::black_box(solve_with_configs(d, &all)))
+        });
+        group.bench_with_input(BenchmarkId::new("column_generation", k), &data, |b, d| {
+            b.iter(|| std::hint::black_box(solve_fractional_with_configs(d)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

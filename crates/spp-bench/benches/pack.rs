@@ -1,0 +1,25 @@
+//! Throughput of the unconstrained packers (subroutine-A family, E12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use spp_pack::traits::{StripPacker, ALL_PACKERS};
+
+fn bench_packers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pack");
+    group.sample_size(20);
+    for &n in &[100usize, 1000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = spp_gen::rects::uniform(&mut rng, n, (0.05, 0.95), (0.05, 1.0));
+        for packer in ALL_PACKERS {
+            group.bench_with_input(
+                BenchmarkId::new(packer.name(), n),
+                &inst,
+                |b, inst| b.iter(|| std::hint::black_box(packer.pack(inst))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packers);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Uniform-height shelf algorithms (E4/E5's runtime side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn bench_uniform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uniform");
+    group.sample_size(20);
+    for &n in &[100usize, 1000] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sizes: Vec<f64> = (0..n).map(|_| rng.gen_range(0.05..1.0)).collect();
+        let dag = spp_dag::gen::random_order(&mut rng, n, 2.0 / n as f64);
+        let dims: Vec<(f64, f64)> = sizes.iter().map(|&w| (w, 1.0)).collect();
+        let prec = spp_dag::PrecInstance::new(
+            spp_core::Instance::from_dims(&dims).unwrap(),
+            dag.clone(),
+        );
+        group.bench_with_input(BenchmarkId::new("shelf_f", n), &prec, |b, p| {
+            b.iter(|| std::hint::black_box(spp_precedence::shelf_next_fit(p)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("ggjy_first_fit", n),
+            &(sizes.clone(), dag.clone()),
+            |b, (s, d)| {
+                b.iter(|| std::hint::black_box(spp_precedence::binpack::first_fit_prec(s, d)))
+            },
+        );
+    }
+    // exact DP at its practical ceiling
+    let mut rng = StdRng::seed_from_u64(4);
+    let sizes: Vec<f64> = (0..14).map(|_| rng.gen_range(0.1..1.0)).collect();
+    let dag = spp_dag::gen::random_order(&mut rng, 14, 0.2);
+    group.bench_function("exact_bins/14", |b| {
+        b.iter(|| std::hint::black_box(spp_exact::exact_bins(&sizes, &dag)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_uniform);
+criterion_main!(benches);

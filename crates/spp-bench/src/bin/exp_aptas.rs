@@ -1,0 +1,4 @@
+//! Thin wrapper; see `spp_bench::experiments::aptas_sweep`.
+fn main() {
+    print!("{}", spp_bench::experiments::aptas_sweep::run());
+}

@@ -1,0 +1,4 @@
+//! Thin wrapper; see `spp_bench::experiments::dc_ratio`.
+fn main() {
+    print!("{}", spp_bench::experiments::dc_ratio::run());
+}

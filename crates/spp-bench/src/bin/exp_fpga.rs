@@ -1,0 +1,4 @@
+//! Thin wrapper; see `spp_bench::experiments::fpga`.
+fn main() {
+    print!("{}", spp_bench::experiments::fpga::run());
+}

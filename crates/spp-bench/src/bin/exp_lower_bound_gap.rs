@@ -1,0 +1,4 @@
+//! Thin wrapper; see `spp_bench::experiments::lower_bound_gap`.
+fn main() {
+    print!("{}", spp_bench::experiments::lower_bound_gap::run());
+}

@@ -1,0 +1,4 @@
+//! Thin wrapper; see `spp_bench::experiments::lp_configs`.
+fn main() {
+    print!("{}", spp_bench::experiments::lp_configs::run());
+}

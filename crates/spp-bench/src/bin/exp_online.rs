@@ -1,0 +1,4 @@
+//! Thin wrapper; see `spp_bench::experiments::online_gap`.
+fn main() {
+    print!("{}", spp_bench::experiments::online_gap::run());
+}

@@ -1,0 +1,4 @@
+//! Thin wrapper; see `spp_bench::experiments::pack_baselines`.
+fn main() {
+    print!("{}", spp_bench::experiments::pack_baselines::run());
+}

@@ -1,0 +1,4 @@
+//! Thin wrapper; see `spp_bench::experiments::ratio3_tightness`.
+fn main() {
+    print!("{}", spp_bench::experiments::ratio3_tightness::run());
+}

@@ -1,0 +1,4 @@
+//! Thin wrapper; see `spp_bench::experiments::release_rounding`.
+fn main() {
+    print!("{}", spp_bench::experiments::release_rounding::run());
+}

@@ -1,0 +1,4 @@
+//! Thin wrapper; see `spp_bench::experiments::shelf_reduction`.
+fn main() {
+    print!("{}", spp_bench::experiments::shelf_reduction::run());
+}

@@ -1,0 +1,4 @@
+//! Thin wrapper; see `spp_bench::experiments::uniform_ratio`.
+fn main() {
+    print!("{}", spp_bench::experiments::uniform_ratio::run());
+}

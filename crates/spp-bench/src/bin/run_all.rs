@@ -1,0 +1,5 @@
+//! Regenerate every experiment report (the contents of EXPERIMENTS.md's
+//! measured sections).
+fn main() {
+    print!("{}", spp_bench::run_all_experiments());
+}

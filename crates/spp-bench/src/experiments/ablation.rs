@@ -1,0 +1,127 @@
+//! A1 — ablations of the design choices called out in `DESIGN.md`:
+//!
+//! 1. **`DC` subroutine choice** — swap NFDH for FFDH / Sleator / skyline
+//!    inside `DC` and measure the height ratio vs the lower bound on
+//!    layered workloads (NFDH is the only one with the *proven* A-bound;
+//!    the ablation shows what the guarantee costs in practice).
+//! 2. **`DC` vs baselines** — the same workloads packed by greedy
+//!    skyline and layered-NFDH.
+//! 3. **Column generation vs full enumeration** — wall-clock for the
+//!    configuration LP at growing width counts.
+
+use crate::experiments::SEED;
+use crate::table::{f2, f3, Table};
+use rand::{rngs::StdRng, SeedableRng};
+use spp_pack::traits::{StripPacker, ALL_PACKERS};
+use spp_release::config::enumerate_configs;
+use spp_release::colgen::solve_fractional_with_configs;
+use spp_release::lp_model::{solve_with_configs, LpData};
+
+pub fn run() -> String {
+    // ---- 1 + 2: DC subroutine ablation and baselines ----
+    let mut t1 = Table::new(&["algorithm", "mean height/LB", "max height/LB"]);
+    let n = 300;
+    let instances: Vec<spp_dag::PrecInstance> = (0..8u64)
+        .map(|seed| {
+            let mut rng = StdRng::seed_from_u64(SEED ^ seed.wrapping_mul(7919));
+            let inst = spp_gen::rects::uniform(&mut rng, n, (0.05, 0.95), (0.05, 1.0));
+            spp_gen::rects::with_layered_dag(&mut rng, inst, 12, 0.1)
+        })
+        .collect();
+    let measure = |name: String, heights: Vec<f64>| -> (String, f64, f64) {
+        let ratios: Vec<f64> = heights
+            .iter()
+            .zip(&instances)
+            .map(|(h, p)| h / p.lower_bound())
+            .collect();
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
+        (name, mean, max)
+    };
+    let mut rows = Vec::new();
+    for packer in ALL_PACKERS {
+        let heights: Vec<f64> = spp_par::par_map(&instances, |p| {
+            let pl = spp_precedence::dc(p, &packer);
+            p.assert_valid(&pl);
+            pl.height(&p.inst)
+        });
+        rows.push(measure(format!("DC + {}", packer.name()), heights));
+    }
+    let greedy_heights: Vec<f64> = spp_par::par_map(&instances, |p| {
+        spp_precedence::greedy_skyline(p).height(&p.inst)
+    });
+    rows.push(measure("greedy skyline".into(), greedy_heights));
+    let layered_heights: Vec<f64> = spp_par::par_map(&instances, |p| {
+        spp_precedence::layered_pack(p, &spp_pack::Packer::Nfdh).height(&p.inst)
+    });
+    rows.push(measure("layered + nfdh".into(), layered_heights));
+    for (name, mean, max) in rows {
+        t1.row(&[name, f3(mean), f3(max)]);
+    }
+
+    // ---- 3: colgen vs enumeration ----
+    let mut t2 = Table::new(&[
+        "width classes",
+        "|Q|",
+        "full LP (ms)",
+        "colgen (ms)",
+        "objectives equal",
+    ]);
+    for &classes in &[3usize, 6, 9] {
+        // widths ≥ 1/3 so |Q| stays enumerable while growing fast
+        let widths: Vec<f64> = (0..classes)
+            .map(|i| 1.0 / 3.0 + (i as f64) * (2.0 / 3.0) / classes as f64)
+            .collect();
+        let mut rng = StdRng::seed_from_u64(SEED + classes as u64);
+        let dims: Vec<(f64, f64, f64)> = (0..30)
+            .map(|i| {
+                use rand::Rng;
+                (
+                    widths[i % classes],
+                    rng.gen_range(0.1..1.0),
+                    (i % 3) as f64,
+                )
+            })
+            .collect();
+        let inst = spp_core::Instance::from_dims_release(&dims).unwrap();
+        let class_of: Vec<usize> = (0..30).map(|i| i % classes).collect();
+        let data = LpData::new(&inst, &widths, &class_of);
+
+        let t0 = std::time::Instant::now();
+        let all = enumerate_configs(&widths);
+        let full = solve_with_configs(&data, &all).expect("feasible");
+        let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t0 = std::time::Instant::now();
+        let (cg, _) = solve_fractional_with_configs(&data);
+        let cg_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let equal = (full.total_height - cg.total_height).abs() < 1e-5;
+        assert!(equal, "colgen diverged from enumeration");
+        t2.row(&[
+            classes.to_string(),
+            all.len().to_string(),
+            f2(full_ms),
+            f2(cg_ms),
+            "yes".into(),
+        ]);
+    }
+
+    format!(
+        "## A1 — ablations\n\n### DC subroutine choice (layered DAGs, n = {n})\n\n{}\n\
+         ### Configuration LP: column generation vs full enumeration\n\n{}\n",
+        t1.render(),
+        t2.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ablation_report_runs() {
+        let r = super::run();
+        assert!(r.contains("## A1"));
+        assert!(r.contains("DC + nfdh"));
+        assert!(r.contains("greedy skyline"));
+    }
+}

@@ -1,0 +1,70 @@
+//! E11 — §1 motivation: scheduling image pipelines on a K-column FPGA.
+//!
+//! JPEG-like stripe pipelines are scheduled with `DC`, the greedy
+//! skyline, and the layered baseline; makespans are compared against the
+//! device lower bound `max(work/K, critical path)`. Demonstrates the
+//! end-to-end task-graph → strip-packing → reconfiguration-schedule
+//! pipeline with full schedule validation.
+
+use crate::table::{f2, f3, Table};
+use spp_fpga::{schedule_from_placement, to_prec_instance, Device};
+use spp_pack::Packer;
+
+const STRIPES: [usize; 3] = [2, 4, 8];
+const K: usize = 16;
+
+pub fn run() -> String {
+    let mut t = Table::new(&[
+        "stripes",
+        "tasks",
+        "LB makespan",
+        "DC",
+        "greedy",
+        "layered",
+        "DC util %",
+    ]);
+    for &stripes in &STRIPES {
+        let graph = spp_fpga::pipelines::jpeg_pipeline(Device::new(K), stripes);
+        let prec = to_prec_instance(&graph);
+        let lb = graph.makespan_lower_bound();
+
+        let mut makespans = Vec::new();
+        let dc_pl = spp_precedence::dc(&prec, &Packer::Nfdh);
+        for pl in [
+            dc_pl.clone(),
+            spp_precedence::greedy_skyline(&prec),
+            spp_precedence::layered_pack(&prec, &Packer::Ffdh),
+        ] {
+            let sched = schedule_from_placement(&graph, &pl).expect("column aligned");
+            sched.validate(&graph).expect("valid schedule");
+            makespans.push(sched.makespan(&graph));
+        }
+        let dc_sched = schedule_from_placement(&graph, &dc_pl).unwrap();
+        t.row(&[
+            stripes.to_string(),
+            graph.len().to_string(),
+            f3(lb),
+            f3(makespans[0]),
+            f3(makespans[1]),
+            f3(makespans[2]),
+            f2(100.0 * dc_sched.utilization(&graph)),
+        ]);
+    }
+    format!(
+        "## E11 — FPGA pipeline scheduling (JPEG-like stripes, K = {K})\n\n{}\n\
+         All schedules validate on the device model (contiguous columns, no\n\
+         conflicts, precedence). Greedy backfilling tends to win on these\n\
+         narrow pipelines; DC's strength is its worst-case guarantee (E2).\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fpga_report_runs() {
+        let r = super::run();
+        assert!(r.contains("## E11"));
+        assert!(r.contains("DC util"));
+    }
+}

@@ -1,0 +1,19 @@
+//! One module per experiment; each exposes `run() -> String` returning a
+//! markdown report with the table(s) recorded in `EXPERIMENTS.md`.
+
+pub mod ablation;
+pub mod aptas_sweep;
+pub mod dc_ratio;
+pub mod fpga;
+pub mod grouping;
+pub mod lower_bound_gap;
+pub mod lp_configs;
+pub mod online_gap;
+pub mod pack_baselines;
+pub mod ratio3_tightness;
+pub mod release_rounding;
+pub mod shelf_reduction;
+pub mod uniform_ratio;
+
+/// Deterministic base seed for every experiment.
+pub const SEED: u64 = 0x5eed_2006;

@@ -1,0 +1,75 @@
+//! E13 — extension: online vs offline scheduling with release times.
+//!
+//! The paper's §1 motivation cites FPGA operating systems that schedule
+//! arriving tasks online; its APTAS is offline (clairvoyant). This
+//! experiment measures the price of not knowing the future: online
+//! skyline / online shelves vs the offline APTAS and the exact
+//! fractional optimum, across arrival intensities (load = mean work per
+//! unit time).
+
+use crate::experiments::SEED;
+use crate::table::{f2, f3, Table};
+use rand::{rngs::StdRng, SeedableRng};
+use spp_release::online::{simulate, OnlinePolicy};
+use spp_release::rounding::round_releases;
+use spp_release::{aptas, AptasConfig};
+
+const K: usize = 3;
+
+pub fn run() -> String {
+    let mut t = Table::new(&[
+        "mean gap",
+        "n",
+        "OPT_f ref",
+        "online skyline",
+        "online shelf",
+        "offline APTAS(1)",
+        "skyline mean wait",
+    ]);
+    for &(gap, n) in &[(0.6f64, 60usize), (0.25, 60), (0.1, 120)] {
+        let p = spp_gen::release::ReleaseParams {
+            k: K,
+            column_widths: true,
+            h: (0.1, 1.0),
+        };
+        let mut rng = StdRng::seed_from_u64(SEED ^ (n as u64) ^ gap.to_bits());
+        let inst = spp_gen::release::poisson_arrivals(&mut rng, n, gap, p);
+
+        let reference = spp_release::colgen::opt_f(&round_releases(&inst, 0.02).inst);
+        let sky = simulate(&inst, OnlinePolicy::Skyline);
+        spp_core::validate::assert_valid(&inst, &sky.placement);
+        let shelf = simulate(&inst, OnlinePolicy::Shelf { r: 0.622 });
+        spp_core::validate::assert_valid(&inst, &shelf.placement);
+        let offline = aptas(&inst, AptasConfig { epsilon: 1.0, k: K });
+        spp_core::validate::assert_valid(&inst, &offline.placement);
+
+        t.row(&[
+            format!("{gap}"),
+            n.to_string(),
+            f3(reference),
+            format!("{} ({:.2}x)", f3(sky.makespan), sky.makespan / reference),
+            format!("{} ({:.2}x)", f3(shelf.makespan), shelf.makespan / reference),
+            format!("{} ({:.2}x)", f3(offline.height), offline.height / reference),
+            f2(sky.mean_wait),
+        ]);
+    }
+    format!(
+        "## E13 — extension: online vs offline under release times (K = {K})\n\n{}\n\
+         Online skyline stays close to the clairvoyant reference at low load\n\
+         (sparse arrivals leave backfilling room) and degrades as load rises;\n\
+         online shelves pay the bucketing waste; the offline APTAS carries\n\
+         its additive constant but knows the future. Waiting times are the\n\
+         OS-facing metric (Steiger–Walder–Platzner setting).\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn online_report_runs() {
+        let r = super::run();
+        assert!(r.contains("## E13"));
+        assert!(r.contains("online skyline"));
+    }
+}

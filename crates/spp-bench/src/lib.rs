@@ -1,0 +1,59 @@
+//! # spp-bench — the experiment harness
+//!
+//! The paper is theory-only (no measured tables), so the reproduction
+//! turns every theorem, lemma and figure into a measurable experiment
+//! (see `DESIGN.md` §4 and `EXPERIMENTS.md` at the repo root). Each
+//! experiment lives in [`experiments`] as a pure function returning a
+//! markdown report; `src/bin/exp_*.rs` are thin wrappers, and
+//! `src/bin/run_all.rs` regenerates the whole set.
+//!
+//! | id | binary | paper artifact |
+//! |---|---|---|
+//! | E1 | `exp_dc_ratio` | Theorem 2.3 (`DC` ratio vs `n`) |
+//! | E2 | `exp_lower_bound_gap` | Lemma 2.4 / Fig. 1 |
+//! | E3 | `exp_shelf_reduction` | §2.2 shelf reduction |
+//! | E4/E5 | `exp_uniform_ratio` | Theorem 2.6 + GGJY carry-over |
+//! | E6 | `exp_ratio3_tightness` | Lemma 2.7 / Fig. 2 |
+//! | E7 | `exp_release_rounding` | Lemma 3.1 |
+//! | E8 | `exp_grouping` | Lemma 3.2 / Figs. 3–4 |
+//! | E9 | `exp_lp_configs` | Lemma 3.3 |
+//! | E10 | `exp_aptas` | Theorem 3.5 / Algorithm 2 |
+//! | E11 | `exp_fpga` | §1 FPGA motivation |
+//! | E12 | `exp_pack_baselines` | subroutine `A` family |
+//! | E13 | `exp_online` | extension: online vs offline (release times) |
+//! | A1 | `exp_ablation` | design-choice ablations |
+//!
+//! Criterion micro/macro benches live in `benches/`.
+
+pub mod experiments;
+pub mod table;
+
+/// Run every experiment and concatenate the reports (used by `run_all`).
+pub fn run_all_experiments() -> String {
+    let parts: Vec<(&str, fn() -> String)> = vec![
+        ("E1", experiments::dc_ratio::run as fn() -> String),
+        ("E2", experiments::lower_bound_gap::run),
+        ("E3", experiments::shelf_reduction::run),
+        ("E4/E5", experiments::uniform_ratio::run),
+        ("E6", experiments::ratio3_tightness::run),
+        ("E7", experiments::release_rounding::run),
+        ("E8", experiments::grouping::run),
+        ("E9", experiments::lp_configs::run),
+        ("E10", experiments::aptas_sweep::run),
+        ("E11", experiments::fpga::run),
+        ("E12", experiments::pack_baselines::run),
+        ("E13", experiments::online_gap::run),
+        ("A1", experiments::ablation::run),
+    ];
+    let mut out = String::new();
+    for (id, f) in parts {
+        let t0 = std::time::Instant::now();
+        let body = f();
+        out.push_str(&body);
+        out.push_str(&format!(
+            "\n_{id} completed in {:.1}s_\n\n",
+            t0.elapsed().as_secs_f64()
+        ));
+    }
+    out
+}

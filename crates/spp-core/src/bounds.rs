@@ -1,0 +1,106 @@
+//! Lower bounds on the optimal packing height.
+//!
+//! The paper's analyses (Theorems 2.3, 2.6; Lemmas 2.4, 2.7) are phrased
+//! against two "straight-forward" lower bounds:
+//!
+//! 1. `AREA(S)` — the total rectangle area (the strip has width 1, so no
+//!    packing can be shorter than the area it must cover);
+//! 2. `F(S)` — the maximum total height along any precedence path (lives in
+//!    `spp-dag`, since it needs the DAG).
+//!
+//! This module provides the DAG-free bounds: area, `h_max`, the release
+//! bound `max_s (r_s + h_s)`, and a width-class refinement that is useful
+//! as a sanity oracle in experiments (rectangles wider than ½ can never be
+//! side by side, so their heights sum).
+
+use crate::instance::Instance;
+
+/// `AREA(S)`: sum of rectangle areas = area lower bound on OPT.
+pub fn area_lb(inst: &Instance) -> f64 {
+    inst.total_area()
+}
+
+/// `h_max`: every packing is at least as tall as the tallest rectangle.
+pub fn hmax_lb(inst: &Instance) -> f64 {
+    inst.max_height()
+}
+
+/// Release bound: `max_s (r_s + h_s)` — rectangle `s` cannot finish before
+/// its release time plus its own height. 0 when there are no items.
+pub fn release_lb(inst: &Instance) -> f64 {
+    inst.items()
+        .iter()
+        .map(|it| it.release + it.h)
+        .fold(0.0, f64::max)
+}
+
+/// Wide-rectangle bound: rectangles with `w > 1/2` pairwise overlap in x
+/// no matter where they are placed, so their heights stack:
+/// `Σ_{w_s > 1/2} h_s` is a lower bound on OPT.
+pub fn wide_stack_lb(inst: &Instance) -> f64 {
+    inst.items()
+        .iter()
+        .filter(|it| it.w > 0.5)
+        .map(|it| it.h)
+        .sum()
+}
+
+/// Best DAG-free lower bound: max of area, h_max, release and wide-stack.
+pub fn combined_lb(inst: &Instance) -> f64 {
+    area_lb(inst)
+        .max(hmax_lb(inst))
+        .max(release_lb(inst))
+        .max(wide_stack_lb(inst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Item;
+
+    #[test]
+    fn area_and_hmax() {
+        let inst = Instance::from_dims(&[(0.5, 2.0), (0.25, 4.0)]).unwrap();
+        crate::assert_close!(area_lb(&inst), 2.0);
+        assert_eq!(hmax_lb(&inst), 4.0);
+    }
+
+    #[test]
+    fn release_bound() {
+        let inst = Instance::new(vec![
+            Item::with_release(0, 0.5, 1.0, 10.0),
+            Item::with_release(1, 0.5, 5.0, 0.0),
+        ])
+        .unwrap();
+        assert_eq!(release_lb(&inst), 11.0);
+    }
+
+    #[test]
+    fn wide_stack_counts_only_wide() {
+        let inst = Instance::from_dims(&[(0.6, 1.0), (0.7, 2.0), (0.5, 10.0)]).unwrap();
+        // width exactly 0.5 could sit next to another 0.5, not counted
+        crate::assert_close!(wide_stack_lb(&inst), 3.0);
+    }
+
+    #[test]
+    fn combined_takes_max() {
+        let inst = Instance::from_dims(&[(0.6, 1.0), (0.6, 1.0)]).unwrap();
+        // area = 1.2, hmax = 1, wide stack = 2
+        crate::assert_close!(combined_lb(&inst), 2.0);
+    }
+
+    #[test]
+    fn empty_bounds_are_zero() {
+        let inst = Instance::new(vec![]).unwrap();
+        assert_eq!(combined_lb(&inst), 0.0);
+    }
+
+    #[test]
+    fn bounds_never_exceed_a_known_valid_height() {
+        // A hand-packed instance of height exactly 2.
+        let inst =
+            Instance::from_dims(&[(0.5, 1.0), (0.5, 1.0), (1.0, 1.0)]).unwrap();
+        let lb = combined_lb(&inst);
+        assert!(lb <= 2.0 + crate::eps::EPS, "lb {lb} exceeds valid height 2");
+    }
+}

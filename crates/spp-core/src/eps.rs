@@ -1,0 +1,156 @@
+//! Tolerant floating-point comparisons.
+//!
+//! All geometry in this workspace is carried in `f64`. Strip packing
+//! placements are built from sums and halvings of input coordinates, so
+//! values accumulate rounding error of a few ULPs per operation. Rather
+//! than scattering ad-hoc `1e-6`s through the codebase, every crate uses
+//! the comparisons in this module with the single tolerance [`EPS`].
+//!
+//! The convention throughout: *validators* are lenient (a placement that is
+//! correct up to `EPS` is accepted), while *algorithms* are strict (they
+//! never rely on tolerance to make room). This keeps the guarantees of the
+//! paper meaningful: measured heights are real heights, not
+//! tolerance-assisted ones.
+
+/// Global absolute tolerance for geometric comparisons.
+///
+/// Inputs in this workspace are O(1) (the strip has width 1 and rectangle
+/// heights are O(1) except for adversarial chains whose heights still sum
+/// to O(n)), so an absolute tolerance is appropriate; `1e-9` is ~1e6 ULPs
+/// at magnitude 1, far above accumulated error, far below any meaningful
+/// geometric feature of the instances we generate (≥ `1e-4`).
+pub const EPS: f64 = 1e-9;
+
+/// `a ≤ b` up to tolerance: true iff `a <= b + EPS`.
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b + EPS
+}
+
+/// `a ≥ b` up to tolerance: true iff `a + EPS >= b`.
+#[inline]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    a + EPS >= b
+}
+
+/// `a == b` up to tolerance.
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPS
+}
+
+/// `a < b` by a clear margin: true iff `a + EPS < b`.
+///
+/// Used when an algorithm needs a *strict* inequality that will survive
+/// later tolerant validation (e.g. "does this rectangle definitely not fit
+/// on the shelf").
+#[inline]
+pub fn definitely_lt(a: f64, b: f64) -> bool {
+    a + EPS < b
+}
+
+/// `a > b` by a clear margin: true iff `a > b + EPS`.
+#[inline]
+pub fn definitely_gt(a: f64, b: f64) -> bool {
+    a > b + EPS
+}
+
+/// Clamp tiny negative values (artifacts of subtraction) to zero.
+///
+/// Returns `0.0` for inputs in `[-EPS, 0)`, the input otherwise.
+#[inline]
+pub fn snap_nonneg(a: f64) -> f64 {
+    if a < 0.0 && a >= -EPS {
+        0.0
+    } else {
+        a
+    }
+}
+
+/// Two half-open intervals `[a0, a1)` and `[b0, b1)` overlap with positive
+/// measure (more than `EPS`).
+#[inline]
+pub fn intervals_overlap(a0: f64, a1: f64, b0: f64, b1: f64) -> bool {
+    let lo = a0.max(b0);
+    let hi = a1.min(b1);
+    hi - lo > EPS
+}
+
+/// Assert two floats are equal up to tolerance, with a useful message.
+///
+/// Unlike `assert_eq!` on floats, this is what tests in this workspace
+/// should use for derived quantities.
+#[macro_export]
+macro_rules! assert_close {
+    ($a:expr, $b:expr) => {
+        $crate::assert_close!($a, $b, $crate::eps::EPS)
+    };
+    ($a:expr, $b:expr, $tol:expr) => {{
+        let (a, b): (f64, f64) = ($a, $b);
+        assert!(
+            (a - b).abs() <= $tol,
+            "assert_close failed: {} vs {} (|diff| = {:.3e} > tol {:.1e})",
+            a,
+            b,
+            (a - b).abs(),
+            $tol
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn le_ge_are_tolerant() {
+        assert!(approx_le(1.0 + EPS / 2.0, 1.0));
+        assert!(approx_ge(1.0 - EPS / 2.0, 1.0));
+        assert!(!approx_le(1.0 + 2.0 * EPS, 1.0));
+        assert!(!approx_ge(1.0 - 2.0 * EPS, 1.0));
+    }
+
+    #[test]
+    fn eq_is_symmetric() {
+        assert!(approx_eq(0.1 + 0.2, 0.3));
+        assert!(approx_eq(0.3, 0.1 + 0.2));
+        assert!(!approx_eq(0.3, 0.3 + 1e-6));
+    }
+
+    #[test]
+    fn strict_comparisons_have_margin() {
+        assert!(definitely_lt(0.0, 1.0));
+        assert!(!definitely_lt(1.0 - EPS / 2.0, 1.0));
+        assert!(definitely_gt(1.0, 0.0));
+        assert!(!definitely_gt(1.0 + EPS / 2.0, 1.0));
+    }
+
+    #[test]
+    fn snap_clamps_only_tiny_negatives() {
+        assert_eq!(snap_nonneg(-EPS / 2.0), 0.0);
+        assert_eq!(snap_nonneg(0.5), 0.5);
+        assert!(snap_nonneg(-1.0) < 0.0);
+    }
+
+    #[test]
+    fn interval_overlap_requires_positive_measure() {
+        // Touching intervals do not overlap.
+        assert!(!intervals_overlap(0.0, 0.5, 0.5, 1.0));
+        assert!(intervals_overlap(0.0, 0.6, 0.5, 1.0));
+        assert!(!intervals_overlap(0.0, 0.5, 0.7, 1.0));
+        // Containment overlaps.
+        assert!(intervals_overlap(0.0, 1.0, 0.4, 0.6));
+    }
+
+    #[test]
+    fn assert_close_macro_accepts_close_values() {
+        assert_close!(1.0, 1.0 + EPS / 10.0);
+        assert_close!(2.0, 2.0000001, 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "assert_close failed")]
+    fn assert_close_macro_rejects_far_values() {
+        assert_close!(1.0, 1.1);
+    }
+}

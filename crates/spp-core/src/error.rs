@@ -1,0 +1,135 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors raised while constructing instances or placements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An item width is outside `(0, 1]`.
+    BadWidth { id: usize, w: f64 },
+    /// An item height is not strictly positive.
+    BadHeight { id: usize, h: f64 },
+    /// An item release time is negative or non-finite.
+    BadRelease { id: usize, r: f64 },
+    /// Item ids must equal their index in the instance.
+    IdMismatch { index: usize, id: usize },
+    /// A placement has a different number of positions than the instance
+    /// has items.
+    LengthMismatch { items: usize, positions: usize },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BadWidth { id, w } => {
+                write!(f, "item {id}: width {w} outside (0, 1]")
+            }
+            CoreError::BadHeight { id, h } => {
+                write!(f, "item {id}: height {h} not strictly positive")
+            }
+            CoreError::BadRelease { id, r } => {
+                write!(f, "item {id}: release time {r} invalid")
+            }
+            CoreError::IdMismatch { index, id } => {
+                write!(f, "item at index {index} has id {id}; ids must equal indices")
+            }
+            CoreError::LengthMismatch { items, positions } => {
+                write!(f, "placement has {positions} positions for {items} items")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// A violation found when validating a placement against an instance.
+///
+/// Validation reports the *first* violation of each category it finds, with
+/// enough context to debug the offending algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationError {
+    /// The placement vector length does not match the item count.
+    LengthMismatch { items: usize, positions: usize },
+    /// Item sticks out of the strip horizontally (or x < 0).
+    OutOfStrip { id: usize, x: f64, w: f64 },
+    /// Item is below the base of the strip.
+    BelowBase { id: usize, y: f64 },
+    /// Item starts before its release time.
+    ReleaseViolated { id: usize, y: f64, release: f64 },
+    /// Two items overlap with positive area.
+    Overlap { a: usize, b: usize },
+    /// A precedence edge `(pred, succ)` is violated:
+    /// `y_pred + h_pred > y_succ`.
+    PrecedenceViolated {
+        pred: usize,
+        succ: usize,
+        pred_top: f64,
+        succ_bottom: f64,
+    },
+    /// A coordinate is NaN or infinite.
+    NonFinite { id: usize, x: f64, y: f64 },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::LengthMismatch { items, positions } => {
+                write!(f, "placement has {positions} positions for {items} items")
+            }
+            ValidationError::OutOfStrip { id, x, w } => {
+                write!(f, "item {id} at x={x} with width {w} leaves the unit strip")
+            }
+            ValidationError::BelowBase { id, y } => {
+                write!(f, "item {id} placed below the strip base (y={y})")
+            }
+            ValidationError::ReleaseViolated { id, y, release } => {
+                write!(f, "item {id} placed at y={y} before its release time {release}")
+            }
+            ValidationError::Overlap { a, b } => {
+                write!(f, "items {a} and {b} overlap")
+            }
+            ValidationError::PrecedenceViolated {
+                pred,
+                succ,
+                pred_top,
+                succ_bottom,
+            } => write!(
+                f,
+                "precedence {pred} -> {succ} violated: pred top {pred_top} > succ bottom {succ_bottom}"
+            ),
+            ValidationError::NonFinite { id, x, y } => {
+                write!(f, "item {id} has non-finite coordinates ({x}, {y})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::BadWidth { id: 3, w: 1.5 };
+        assert!(e.to_string().contains("item 3"));
+        assert!(e.to_string().contains("1.5"));
+
+        let v = ValidationError::Overlap { a: 1, b: 2 };
+        assert!(v.to_string().contains("1"));
+        assert!(v.to_string().contains("2"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            ValidationError::BelowBase { id: 0, y: -1.0 },
+            ValidationError::BelowBase { id: 0, y: -1.0 }
+        );
+        assert_ne!(
+            ValidationError::BelowBase { id: 0, y: -1.0 },
+            ValidationError::BelowBase { id: 1, y: -1.0 }
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Placed-rectangle geometry.
+
+use crate::eps::intervals_overlap;
+
+/// An axis-aligned rectangle positioned in the strip: lower-left corner
+/// `(x, y)`, width `w`, height `h`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacedRect {
+    pub x: f64,
+    pub y: f64,
+    pub w: f64,
+    pub h: f64,
+}
+
+impl PlacedRect {
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        PlacedRect { x, y, w, h }
+    }
+
+    /// Right edge `x + w`.
+    #[inline]
+    pub fn right(&self) -> f64 {
+        self.x + self.w
+    }
+
+    /// Top edge `y + h`.
+    #[inline]
+    pub fn top(&self) -> f64 {
+        self.y + self.h
+    }
+
+    /// Area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// True iff the two rectangles intersect with positive area
+    /// (touching edges or corners do not count, up to [`crate::eps::EPS`]).
+    pub fn overlaps(&self, other: &PlacedRect) -> bool {
+        intervals_overlap(self.x, self.right(), other.x, other.right())
+            && intervals_overlap(self.y, self.top(), other.y, other.top())
+    }
+
+    /// Area of the intersection (0 if disjoint).
+    pub fn intersection_area(&self, other: &PlacedRect) -> f64 {
+        let dx = (self.right().min(other.right()) - self.x.max(other.x)).max(0.0);
+        let dy = (self.top().min(other.top()) - self.y.max(other.y)).max(0.0);
+        dx * dy
+    }
+
+    /// True iff `self` is fully contained in `other` (with tolerance).
+    pub fn contained_in(&self, other: &PlacedRect) -> bool {
+        crate::eps::approx_ge(self.x, other.x)
+            && crate::eps::approx_le(self.right(), other.right())
+            && crate::eps::approx_ge(self.y, other.y)
+            && crate::eps::approx_le(self.top(), other.top())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges() {
+        let r = PlacedRect::new(0.25, 1.0, 0.5, 2.0);
+        assert_eq!(r.right(), 0.75);
+        assert_eq!(r.top(), 3.0);
+        assert_eq!(r.area(), 1.0);
+    }
+
+    #[test]
+    fn overlap_positive_area_only() {
+        let a = PlacedRect::new(0.0, 0.0, 0.5, 1.0);
+        let touching = PlacedRect::new(0.5, 0.0, 0.5, 1.0);
+        let stacked = PlacedRect::new(0.0, 1.0, 0.5, 1.0);
+        let inside = PlacedRect::new(0.1, 0.1, 0.1, 0.1);
+        let far = PlacedRect::new(0.9, 5.0, 0.1, 0.1);
+        assert!(!a.overlaps(&touching));
+        assert!(!a.overlaps(&stacked));
+        assert!(a.overlaps(&inside));
+        assert!(!a.overlaps(&far));
+        // symmetry
+        assert!(inside.overlaps(&a));
+    }
+
+    #[test]
+    fn intersection_area_matches_overlap() {
+        let a = PlacedRect::new(0.0, 0.0, 1.0, 1.0);
+        let b = PlacedRect::new(0.5, 0.5, 1.0, 1.0);
+        crate::assert_close!(a.intersection_area(&b), 0.25);
+        let c = PlacedRect::new(2.0, 2.0, 1.0, 1.0);
+        assert_eq!(a.intersection_area(&c), 0.0);
+    }
+
+    #[test]
+    fn containment() {
+        let outer = PlacedRect::new(0.0, 0.0, 1.0, 10.0);
+        let inner = PlacedRect::new(0.2, 3.0, 0.5, 2.0);
+        assert!(inner.contained_in(&outer));
+        assert!(!outer.contained_in(&inner));
+        // Boundary containment counts.
+        assert!(outer.contained_in(&outer));
+    }
+}

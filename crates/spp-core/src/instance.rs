@@ -1,0 +1,194 @@
+//! Packing instances (sets of rectangles over the unit-width strip).
+
+use crate::error::CoreError;
+use crate::item::Item;
+
+/// A strip packing instance: `n` rectangles to pack into the strip of
+/// width 1 and unbounded height.
+///
+/// Invariants (enforced at construction):
+/// * `items[i].id == i` for all `i`,
+/// * every item satisfies [`Item::check`].
+///
+/// Precedence constraints are *not* stored here — they live in
+/// `spp-dag::PrecInstance`, which pairs an `Instance` with a DAG. This keeps
+/// the unconstrained packing algorithms (`spp-pack`) independent of graph
+/// machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    items: Vec<Item>,
+}
+
+impl Instance {
+    /// Build an instance, validating every item.
+    pub fn new(items: Vec<Item>) -> Result<Self, CoreError> {
+        for (i, it) in items.iter().enumerate() {
+            it.check(i)?;
+        }
+        Ok(Instance { items })
+    }
+
+    /// Build from `(w, h)` pairs; ids are assigned by position.
+    pub fn from_dims(dims: &[(f64, f64)]) -> Result<Self, CoreError> {
+        Instance::new(
+            dims.iter()
+                .enumerate()
+                .map(|(i, &(w, h))| Item::new(i, w, h))
+                .collect(),
+        )
+    }
+
+    /// Build from `(w, h, release)` triples; ids are assigned by position.
+    pub fn from_dims_release(dims: &[(f64, f64, f64)]) -> Result<Self, CoreError> {
+        Instance::new(
+            dims.iter()
+                .enumerate()
+                .map(|(i, &(w, h, r))| Item::with_release(i, w, h, r))
+                .collect(),
+        )
+    }
+
+    /// Number of rectangles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True iff the instance has no rectangles.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Immutable access to the items.
+    #[inline]
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Item by id (== index).
+    #[inline]
+    pub fn item(&self, id: usize) -> &Item {
+        &self.items[id]
+    }
+
+    /// Sum of rectangle areas — the paper's `AREA(S)` (strip width is 1, so
+    /// this is also a lower bound on the optimal height).
+    pub fn total_area(&self) -> f64 {
+        self.items.iter().map(Item::area).sum()
+    }
+
+    /// Maximum rectangle height, 0 for an empty instance.
+    pub fn max_height(&self) -> f64 {
+        self.items.iter().map(|it| it.h).fold(0.0, f64::max)
+    }
+
+    /// Maximum rectangle width, 0 for an empty instance.
+    pub fn max_width(&self) -> f64 {
+        self.items.iter().map(|it| it.w).fold(0.0, f64::max)
+    }
+
+    /// Maximum release time, 0 for an empty instance.
+    pub fn max_release(&self) -> f64 {
+        self.items.iter().map(|it| it.release).fold(0.0, f64::max)
+    }
+
+    /// True iff all items share the same height (up to exact equality).
+    ///
+    /// The uniform-height algorithms of §2.2 require this.
+    pub fn uniform_height(&self) -> Option<f64> {
+        let h0 = self.items.first()?.h;
+        if self.items.iter().all(|it| it.h == h0) {
+            Some(h0)
+        } else {
+            None
+        }
+    }
+
+    /// The sub-instance containing the given ids, re-indexed to `0..k`.
+    ///
+    /// Returns the new instance and the mapping `new index -> old id`.
+    pub fn restrict(&self, ids: &[usize]) -> (Instance, Vec<usize>) {
+        let mut items = Vec::with_capacity(ids.len());
+        let mut back = Vec::with_capacity(ids.len());
+        for (new_id, &old) in ids.iter().enumerate() {
+            let mut it = self.items[old];
+            it.id = new_id;
+            items.push(it);
+            back.push(old);
+        }
+        (
+            Instance { items },
+            back,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_items() {
+        assert!(Instance::from_dims(&[(0.5, 1.0), (0.25, 2.0)]).is_ok());
+        assert!(Instance::from_dims(&[(1.5, 1.0)]).is_err());
+        assert!(Instance::from_dims(&[(0.5, -1.0)]).is_err());
+    }
+
+    #[test]
+    fn id_mismatch_rejected() {
+        let items = vec![Item::new(1, 0.5, 1.0)];
+        assert!(matches!(
+            Instance::new(items),
+            Err(CoreError::IdMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn aggregates() {
+        let inst = Instance::from_dims(&[(0.5, 2.0), (0.25, 4.0), (1.0, 0.5)]).unwrap();
+        assert_eq!(inst.len(), 3);
+        crate::assert_close!(inst.total_area(), 0.5 * 2.0 + 0.25 * 4.0 + 0.5);
+        assert_eq!(inst.max_height(), 4.0);
+        assert_eq!(inst.max_width(), 1.0);
+        assert_eq!(inst.max_release(), 0.0);
+    }
+
+    #[test]
+    fn uniform_height_detection() {
+        let u = Instance::from_dims(&[(0.5, 1.0), (0.25, 1.0)]).unwrap();
+        assert_eq!(u.uniform_height(), Some(1.0));
+        let v = Instance::from_dims(&[(0.5, 1.0), (0.25, 2.0)]).unwrap();
+        assert_eq!(v.uniform_height(), None);
+        let empty = Instance::new(vec![]).unwrap();
+        assert_eq!(empty.uniform_height(), None);
+    }
+
+    #[test]
+    fn restrict_reindexes() {
+        let inst =
+            Instance::from_dims(&[(0.1, 1.0), (0.2, 2.0), (0.3, 3.0), (0.4, 4.0)]).unwrap();
+        let (sub, back) = inst.restrict(&[3, 1]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(back, vec![3, 1]);
+        assert_eq!(sub.item(0).w, 0.4);
+        assert_eq!(sub.item(0).id, 0);
+        assert_eq!(sub.item(1).h, 2.0);
+    }
+
+    #[test]
+    fn empty_instance_aggregates_are_zero() {
+        let inst = Instance::new(vec![]).unwrap();
+        assert!(inst.is_empty());
+        assert_eq!(inst.total_area(), 0.0);
+        assert_eq!(inst.max_height(), 0.0);
+        assert_eq!(inst.max_width(), 0.0);
+    }
+
+    #[test]
+    fn release_triples() {
+        let inst = Instance::from_dims_release(&[(0.5, 1.0, 2.0), (0.5, 1.0, 0.0)]).unwrap();
+        assert_eq!(inst.max_release(), 2.0);
+        assert_eq!(inst.item(0).release, 2.0);
+    }
+}

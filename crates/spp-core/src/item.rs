@@ -1,0 +1,140 @@
+//! Rectangles / tasks.
+
+use crate::error::CoreError;
+
+/// A rectangle to be packed; equivalently a task to be scheduled.
+///
+/// Following the paper's model (§1): the width `w ∈ (0, 1]` is the fraction
+/// of the linear resource (e.g. FPGA columns) the task occupies, the height
+/// `h > 0` is its duration, and `release ≥ 0` is the earliest `y` at which
+/// it may be placed (0 for the precedence-constrained variant, which does
+/// not use release times).
+///
+/// `id` always equals the item's index inside its [`crate::Instance`]; the
+/// invariant is enforced by [`crate::Instance::new`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Item {
+    /// Identifier; equals the index in the owning instance.
+    pub id: usize,
+    /// Width in `(0, 1]` (the strip has width 1).
+    pub w: f64,
+    /// Height (duration), strictly positive.
+    pub h: f64,
+    /// Release time; the rectangle must be placed at `y ≥ release`.
+    pub release: f64,
+}
+
+impl Item {
+    /// A rectangle with no release constraint.
+    pub fn new(id: usize, w: f64, h: f64) -> Self {
+        Item {
+            id,
+            w,
+            h,
+            release: 0.0,
+        }
+    }
+
+    /// A rectangle with a release time.
+    pub fn with_release(id: usize, w: f64, h: f64, release: f64) -> Self {
+        Item { id, w, h, release }
+    }
+
+    /// Area `w · h`.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Check the paper's domain constraints; used by `Instance::new`.
+    pub fn check(&self, index: usize) -> Result<(), CoreError> {
+        if self.id != index {
+            return Err(CoreError::IdMismatch {
+                index,
+                id: self.id,
+            });
+        }
+        if !(self.w > 0.0 && self.w <= 1.0) || !self.w.is_finite() {
+            return Err(CoreError::BadWidth {
+                id: self.id,
+                w: self.w,
+            });
+        }
+        if !(self.h > 0.0) || !self.h.is_finite() {
+            return Err(CoreError::BadHeight {
+                id: self.id,
+                h: self.h,
+            });
+        }
+        if !(self.release >= 0.0) || !self.release.is_finite() {
+            return Err(CoreError::BadRelease {
+                id: self.id,
+                r: self.release,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_is_width_times_height() {
+        let it = Item::new(0, 0.5, 2.0);
+        assert_eq!(it.area(), 1.0);
+    }
+
+    #[test]
+    fn default_release_is_zero() {
+        assert_eq!(Item::new(0, 0.5, 1.0).release, 0.0);
+        assert_eq!(Item::with_release(0, 0.5, 1.0, 3.0).release, 3.0);
+    }
+
+    #[test]
+    fn check_accepts_valid_items() {
+        assert!(Item::new(2, 1.0, 0.001).check(2).is_ok());
+        assert!(Item::with_release(0, 0.25, 1.0, 10.0).check(0).is_ok());
+    }
+
+    #[test]
+    fn check_rejects_bad_width() {
+        assert!(matches!(
+            Item::new(0, 0.0, 1.0).check(0),
+            Err(CoreError::BadWidth { .. })
+        ));
+        assert!(matches!(
+            Item::new(0, 1.2, 1.0).check(0),
+            Err(CoreError::BadWidth { .. })
+        ));
+        assert!(matches!(
+            Item::new(0, f64::NAN, 1.0).check(0),
+            Err(CoreError::BadWidth { .. })
+        ));
+    }
+
+    #[test]
+    fn check_rejects_bad_height_and_release() {
+        assert!(matches!(
+            Item::new(0, 0.5, 0.0).check(0),
+            Err(CoreError::BadHeight { .. })
+        ));
+        assert!(matches!(
+            Item::with_release(0, 0.5, 1.0, -1.0).check(0),
+            Err(CoreError::BadRelease { .. })
+        ));
+        assert!(matches!(
+            Item::with_release(0, 0.5, 1.0, f64::INFINITY).check(0),
+            Err(CoreError::BadRelease { .. })
+        ));
+    }
+
+    #[test]
+    fn check_rejects_id_mismatch() {
+        assert!(matches!(
+            Item::new(5, 0.5, 1.0).check(4),
+            Err(CoreError::IdMismatch { index: 4, id: 5 })
+        ));
+    }
+}

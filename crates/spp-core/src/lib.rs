@@ -1,0 +1,36 @@
+//! # spp-core — shared substrate for the strip-packing workspace
+//!
+//! This crate holds the vocabulary types used by every other crate in the
+//! reproduction of *"Strip packing with precedence constraints and strip
+//! packing with release times"* (Augustine, Banerjee, Irani; SPAA 2006 /
+//! TCS 2009):
+//!
+//! * [`Item`] — a rectangle (task) with width, height and release time,
+//! * [`Instance`] — a set of items to be packed into the unit-width strip,
+//! * [`Placement`] — an assignment of lower-left corners `(x, y)` to items,
+//! * [`validate`] — geometric validity checks (strip bounds, overlap,
+//!   release times),
+//! * [`bounds`] — the simple lower bounds used throughout the paper
+//!   (`AREA(S)`, `h_max`, `max (r_s + h_s)`),
+//! * [`eps`] — the single source of truth for tolerant `f64` comparisons,
+//! * [`stats`] — summary statistics used by the experiment harness.
+//!
+//! The strip always has width 1, exactly as in the paper; the FPGA crate
+//! maps a `K`-column device onto the unit strip (column width `1/K`).
+
+pub mod bounds;
+pub mod eps;
+pub mod error;
+pub mod geom;
+pub mod instance;
+pub mod item;
+pub mod placement;
+pub mod render;
+pub mod stats;
+pub mod validate;
+
+pub use error::{CoreError, ValidationError};
+pub use geom::PlacedRect;
+pub use instance::Instance;
+pub use item::Item;
+pub use placement::Placement;

@@ -1,0 +1,194 @@
+//! Placements: solutions to strip packing instances.
+
+use crate::geom::PlacedRect;
+use crate::instance::Instance;
+
+/// The position of one rectangle: its lower-left corner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pos {
+    pub x: f64,
+    pub y: f64,
+}
+
+/// A (candidate) solution: one position per item, indexed by item id.
+///
+/// A `Placement` is just data — validity is checked separately by
+/// [`crate::validate::validate`] so that tests can construct deliberately
+/// broken placements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    pos: Vec<Pos>,
+}
+
+impl Placement {
+    /// Placement with every rectangle at the origin (useful as a builder
+    /// starting point; *not* valid unless the instance has ≤ 1 item).
+    pub fn zeroed(n: usize) -> Self {
+        Placement {
+            pos: vec![Pos { x: 0.0, y: 0.0 }; n],
+        }
+    }
+
+    /// Build from raw `(x, y)` pairs.
+    pub fn from_xy(xy: &[(f64, f64)]) -> Self {
+        Placement {
+            pos: xy.iter().map(|&(x, y)| Pos { x, y }).collect(),
+        }
+    }
+
+    /// Number of positions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// True iff there are no positions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Position of item `id`.
+    #[inline]
+    pub fn pos(&self, id: usize) -> Pos {
+        self.pos[id]
+    }
+
+    /// Set the position of item `id`.
+    #[inline]
+    pub fn set(&mut self, id: usize, x: f64, y: f64) {
+        self.pos[id] = Pos { x, y };
+    }
+
+    /// All positions.
+    #[inline]
+    pub fn positions(&self) -> &[Pos] {
+        &self.pos
+    }
+
+    /// The placed rectangle of item `id` within `inst`.
+    pub fn rect(&self, inst: &Instance, id: usize) -> PlacedRect {
+        let it = inst.item(id);
+        let p = self.pos[id];
+        PlacedRect::new(p.x, p.y, it.w, it.h)
+    }
+
+    /// All placed rectangles, in id order.
+    pub fn rects(&self, inst: &Instance) -> Vec<PlacedRect> {
+        (0..self.pos.len()).map(|i| self.rect(inst, i)).collect()
+    }
+
+    /// Total height of the packing: `max_s (y_s + h_s)`, the objective of
+    /// every problem in the paper. 0 for an empty placement.
+    pub fn height(&self, inst: &Instance) -> f64 {
+        self.pos
+            .iter()
+            .zip(inst.items())
+            .map(|(p, it)| p.y + it.h)
+            .fold(0.0, f64::max)
+    }
+
+    /// Lowest bottom edge among placed rectangles (`min_s y_s`); 0 for an
+    /// empty placement.
+    pub fn min_y(&self) -> f64 {
+        if self.pos.is_empty() {
+            0.0
+        } else {
+            self.pos.iter().map(|p| p.y).fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Shift the whole placement up by `dy` (used when concatenating
+    /// sub-placements, e.g. in the `DC` algorithm).
+    pub fn shift_y(&mut self, dy: f64) {
+        for p in &mut self.pos {
+            p.y += dy;
+        }
+    }
+
+    /// Copy a sub-placement back into `self` through an id mapping
+    /// (`back[i]` is the id in `self` of item `i` of the sub-instance),
+    /// shifting it up by `dy`.
+    pub fn absorb(&mut self, sub: &Placement, back: &[usize], dy: f64) {
+        for (i, &old) in back.iter().enumerate() {
+            let p = sub.pos(i);
+            self.set(old, p.x, p.y + dy);
+        }
+    }
+
+    /// Density of the packing: total item area divided by
+    /// `strip width (=1) × height`. In `[0, 1]` for valid placements.
+    pub fn density(&self, inst: &Instance) -> f64 {
+        let h = self.height(inst);
+        if h <= 0.0 {
+            return 0.0;
+        }
+        inst.total_area() / h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst2() -> Instance {
+        Instance::from_dims(&[(0.5, 1.0), (0.5, 2.0)]).unwrap()
+    }
+
+    #[test]
+    fn height_is_max_top() {
+        let inst = inst2();
+        let p = Placement::from_xy(&[(0.0, 0.0), (0.5, 0.0)]);
+        assert_eq!(p.height(&inst), 2.0);
+        let q = Placement::from_xy(&[(0.0, 5.0), (0.5, 0.0)]);
+        assert_eq!(q.height(&inst), 6.0);
+    }
+
+    #[test]
+    fn empty_height_zero() {
+        let inst = Instance::new(vec![]).unwrap();
+        let p = Placement::zeroed(0);
+        assert_eq!(p.height(&inst), 0.0);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn shift_moves_everything() {
+        let inst = inst2();
+        let mut p = Placement::from_xy(&[(0.0, 0.0), (0.5, 0.0)]);
+        p.shift_y(3.0);
+        assert_eq!(p.pos(0).y, 3.0);
+        assert_eq!(p.pos(1).y, 3.0);
+        assert_eq!(p.height(&inst), 5.0);
+    }
+
+    #[test]
+    fn absorb_maps_ids_and_offsets() {
+        let mut p = Placement::zeroed(4);
+        let sub = Placement::from_xy(&[(0.1, 0.5), (0.2, 1.5)]);
+        p.absorb(&sub, &[3, 1], 10.0);
+        assert_eq!(p.pos(3), Pos { x: 0.1, y: 10.5 });
+        assert_eq!(p.pos(1), Pos { x: 0.2, y: 11.5 });
+        assert_eq!(p.pos(0), Pos { x: 0.0, y: 0.0 });
+    }
+
+    #[test]
+    fn rects_use_item_dims() {
+        let inst = inst2();
+        let p = Placement::from_xy(&[(0.0, 0.0), (0.5, 1.0)]);
+        let r = p.rect(&inst, 1);
+        assert_eq!(r.w, 0.5);
+        assert_eq!(r.h, 2.0);
+        assert_eq!(r.top(), 3.0);
+        assert_eq!(p.rects(&inst).len(), 2);
+    }
+
+    #[test]
+    fn density_in_unit_interval_for_valid() {
+        let inst = inst2();
+        let p = Placement::from_xy(&[(0.0, 0.0), (0.5, 0.0)]);
+        let d = p.density(&inst);
+        assert!(d > 0.0 && d <= 1.0, "density = {d}");
+        crate::assert_close!(d, (0.5 + 1.0) / 2.0);
+    }
+}

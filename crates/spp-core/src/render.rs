@@ -1,0 +1,152 @@
+//! Placement rendering: ASCII (for terminals/tests) and SVG (for docs).
+//!
+//! No external crates: the SVG writer emits a minimal hand-rolled
+//! document (rect elements on a flipped y-axis so the strip base is at
+//! the bottom, as in the paper's figures).
+
+use crate::instance::Instance;
+use crate::placement::Placement;
+use std::fmt::Write as _;
+
+/// Render the placement as an ASCII grid: `cols` characters across the
+/// strip, one row per `dt` of height, top row first. Cells show the item
+/// id as a base-36 digit, `.` for empty space.
+pub fn ascii(inst: &Instance, pl: &Placement, cols: usize, dt: f64) -> String {
+    assert!(cols >= 1 && dt > 0.0);
+    let h = pl.height(inst);
+    let rows = (h / dt).ceil() as usize;
+    let mut grid = vec![vec![b'.'; cols]; rows.max(1)];
+    for it in inst.items() {
+        let p = pl.pos(it.id);
+        let c0 = (p.x * cols as f64).floor() as usize;
+        let c1 = (((p.x + it.w) * cols as f64).ceil() as usize).min(cols);
+        let r0 = (p.y / dt).floor() as usize;
+        let r1 = (((p.y + it.h) / dt).ceil() as usize).min(grid.len());
+        const DIGITS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+        let glyph = DIGITS[it.id % 36];
+        for row in grid.iter_mut().take(r1).skip(r0) {
+            for cell in row.iter_mut().take(c1.max(c0)).skip(c0) {
+                *cell = glyph;
+            }
+        }
+    }
+    let mut out = String::new();
+    for row in grid.iter().rev() {
+        out.push('|');
+        out.push_str(std::str::from_utf8(row).expect("ascii"));
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(cols));
+    out.push_str("+\n");
+    out
+}
+
+/// Render the placement as a standalone SVG document (`px_per_unit`
+/// pixels per strip-width unit). The y-axis is flipped so the strip base
+/// sits at the bottom. Items are colored deterministically by id and
+/// labeled when large enough.
+pub fn svg(inst: &Instance, pl: &Placement, px_per_unit: f64) -> String {
+    assert!(px_per_unit > 0.0);
+    let height_units = pl.height(inst).max(1e-9);
+    let w_px = px_per_unit;
+    let h_px = height_units * px_per_unit;
+    let mut out = String::new();
+    writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.1}" height="{:.1}" viewBox="0 0 {:.4} {:.4}">"#,
+        w_px + 2.0,
+        h_px + 2.0,
+        w_px + 2.0,
+        h_px + 2.0
+    )
+    .expect("write to String cannot fail");
+    writeln!(
+        out,
+        r#"<rect x="1" y="1" width="{w_px:.4}" height="{h_px:.4}" fill="none" stroke="black" stroke-width="1"/>"#,
+    )
+    .expect("write to String cannot fail");
+    for it in inst.items() {
+        let p = pl.pos(it.id);
+        let x = 1.0 + p.x * px_per_unit;
+        // flip y: svg origin is top-left
+        let y = 1.0 + (height_units - p.y - it.h) * px_per_unit;
+        let w = it.w * px_per_unit;
+        let h = it.h * px_per_unit;
+        let hue = (it.id * 47) % 360;
+        writeln!(
+            out,
+            r#"<rect x="{x:.4}" y="{y:.4}" width="{w:.4}" height="{h:.4}" fill="hsl({hue},60%,70%)" stroke="black" stroke-width="0.5"/>"#,
+        )
+        .expect("write to String cannot fail");
+        if w > 14.0 && h > 10.0 {
+            writeln!(
+                out,
+                r#"<text x="{:.4}" y="{:.4}" font-size="9" text-anchor="middle">{}</text>"#,
+                x + w / 2.0,
+                y + h / 2.0 + 3.0,
+                it.id
+            )
+            .expect("write to String cannot fail");
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Instance, Placement) {
+        let inst = Instance::from_dims(&[(0.5, 1.0), (0.5, 1.0), (1.0, 0.5)]).unwrap();
+        let pl = Placement::from_xy(&[(0.0, 0.0), (0.5, 0.0), (0.0, 1.0)]);
+        (inst, pl)
+    }
+
+    #[test]
+    fn ascii_shows_items_and_box() {
+        let (inst, pl) = sample();
+        let a = ascii(&inst, &pl, 8, 0.5);
+        // bottom row (printed last before the box edge): items 0 and 1
+        assert!(a.contains("|00001111|"), "got:\n{a}");
+        // top row: item 2 spans the full width
+        assert!(a.starts_with("|22222222|"), "got:\n{a}");
+        assert!(a.ends_with("+--------+\n"));
+    }
+
+    #[test]
+    fn ascii_empty_instance() {
+        let inst = Instance::new(vec![]).unwrap();
+        let pl = Placement::zeroed(0);
+        let a = ascii(&inst, &pl, 4, 1.0);
+        assert!(a.contains("|....|"));
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_complete() {
+        let (inst, pl) = sample();
+        let s = svg(&inst, &pl, 100.0);
+        assert!(s.starts_with("<svg"));
+        assert!(s.trim_end().ends_with("</svg>"));
+        // one border + 3 items
+        assert_eq!(s.matches("<rect").count(), 4);
+        // tags balance
+        assert_eq!(s.matches("<svg").count(), s.matches("</svg>").count());
+    }
+
+    #[test]
+    fn svg_flips_y_axis() {
+        let inst = Instance::from_dims(&[(1.0, 1.0), (1.0, 1.0)]).unwrap();
+        let pl = Placement::from_xy(&[(0.0, 0.0), (0.0, 1.0)]);
+        let s = svg(&inst, &pl, 10.0);
+        // item 0 (bottom of strip) must be drawn BELOW item 1: larger svg y
+        let y_of = |id: usize| -> f64 {
+            let marker = format!("hsl({},60%,70%)", (id * 47) % 360);
+            let line = s.lines().find(|l| l.contains(&marker)).unwrap();
+            let y_part = line.split("y=\"").nth(1).unwrap();
+            y_part.split('"').next().unwrap().parse().unwrap()
+        };
+        assert!(y_of(0) > y_of(1));
+    }
+}

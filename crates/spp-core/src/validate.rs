@@ -1,0 +1,288 @@
+//! Placement validation.
+//!
+//! Two independent overlap checkers are provided:
+//!
+//! * [`validate`] / [`find_overlap_quadratic`] — the obvious O(n²)
+//!   pairwise check, trusted as the reference oracle;
+//! * [`find_overlap_sweep`] — a y-sweep that keeps the set of rectangles
+//!   crossing the current horizontal line and checks x-interval overlap on
+//!   insertion, O((n + c) log n) for typical packings with c conflicts.
+//!
+//! Tests cross-check the two on random placements (including deliberately
+//! corrupted ones), so algorithm bugs cannot hide behind validator bugs.
+
+use crate::eps::{approx_ge, approx_le, EPS};
+use crate::error::ValidationError;
+use crate::instance::Instance;
+use crate::placement::Placement;
+
+/// Validate geometry: every rectangle inside the strip, at or above its
+/// release time, no two rectangles overlapping with positive area.
+///
+/// Precedence constraints are validated in `spp-dag` (they need the DAG).
+/// Returns the first violation found, or `Ok(())`.
+pub fn validate(inst: &Instance, pl: &Placement) -> Result<(), ValidationError> {
+    if inst.len() != pl.len() {
+        return Err(ValidationError::LengthMismatch {
+            items: inst.len(),
+            positions: pl.len(),
+        });
+    }
+    for it in inst.items() {
+        let p = pl.pos(it.id);
+        if !p.x.is_finite() || !p.y.is_finite() {
+            return Err(ValidationError::NonFinite {
+                id: it.id,
+                x: p.x,
+                y: p.y,
+            });
+        }
+        if !approx_ge(p.x, 0.0) || !approx_le(p.x + it.w, 1.0) {
+            return Err(ValidationError::OutOfStrip {
+                id: it.id,
+                x: p.x,
+                w: it.w,
+            });
+        }
+        if !approx_ge(p.y, 0.0) {
+            return Err(ValidationError::BelowBase { id: it.id, y: p.y });
+        }
+        if !approx_ge(p.y, it.release) {
+            return Err(ValidationError::ReleaseViolated {
+                id: it.id,
+                y: p.y,
+                release: it.release,
+            });
+        }
+    }
+    if let Some((a, b)) = find_overlap_sweep(inst, pl) {
+        return Err(ValidationError::Overlap { a, b });
+    }
+    Ok(())
+}
+
+/// Like [`validate`] but panics with a descriptive message on failure.
+/// Convenience for tests and examples.
+pub fn assert_valid(inst: &Instance, pl: &Placement) {
+    if let Err(e) = validate(inst, pl) {
+        panic!("invalid placement: {e}");
+    }
+}
+
+/// Reference O(n²) overlap finder. Returns the lowest-id pair that
+/// overlaps with positive area, if any.
+pub fn find_overlap_quadratic(inst: &Instance, pl: &Placement) -> Option<(usize, usize)> {
+    let rects = pl.rects(inst);
+    for i in 0..rects.len() {
+        for j in (i + 1)..rects.len() {
+            if rects[i].overlaps(&rects[j]) {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+/// Sweep-line overlap finder.
+///
+/// Events are rectangle bottoms (insert) and tops (remove), processed in
+/// increasing y; tops strictly before bottoms at equal coordinate so that
+/// stacked rectangles do not conflict. The active set holds rectangles
+/// whose vertical extent crosses the sweep line; a new rectangle is checked
+/// against active rectangles for x-overlap.
+///
+/// Returns *some* overlapping pair (not necessarily the same pair as the
+/// quadratic checker), or `None`.
+pub fn find_overlap_sweep(inst: &Instance, pl: &Placement) -> Option<(usize, usize)> {
+    #[derive(Clone, Copy)]
+    struct Event {
+        y: f64,
+        /// false = removal (top edge), true = insertion (bottom edge);
+        /// removals sort first at equal y.
+        insert: bool,
+        id: usize,
+    }
+    let n = inst.len();
+    let mut events = Vec::with_capacity(2 * n);
+    for it in inst.items() {
+        let p = pl.pos(it.id);
+        // Shrink each rectangle by EPS vertically so that touching
+        // edges (within tolerance) never produce events in the wrong
+        // order; this mirrors the positive-area semantics of
+        // `PlacedRect::overlaps`.
+        events.push(Event {
+            y: p.y + EPS,
+            insert: true,
+            id: it.id,
+        });
+        events.push(Event {
+            y: p.y + it.h - EPS,
+            insert: false,
+            id: it.id,
+        });
+    }
+    events.sort_by(|a, b| {
+        a.y.partial_cmp(&b.y)
+            .unwrap()
+            .then_with(|| a.insert.cmp(&b.insert)) // removals (false) first
+    });
+
+    // Active set as a vector of (x, right, id); typical packings keep this
+    // small (bounded by strip width / min item width).
+    let mut active: Vec<(f64, f64, usize)> = Vec::new();
+    for ev in events {
+        if ev.insert {
+            let it = inst.item(ev.id);
+            let p = pl.pos(ev.id);
+            let (lo, hi) = (p.x, p.x + it.w);
+            for &(ax, aright, aid) in &active {
+                if crate::eps::intervals_overlap(lo, hi, ax, aright) {
+                    let (a, b) = if aid < ev.id { (aid, ev.id) } else { (ev.id, aid) };
+                    return Some((a, b));
+                }
+            }
+            active.push((lo, hi, ev.id));
+        } else {
+            active.retain(|&(_, _, id)| id != ev.id);
+        }
+    }
+    None
+}
+
+/// Check that every rectangle of `inner` instance/placement pair sits
+/// inside the region `[0,1] × [0, height]`. Used by shelf machinery.
+pub fn within_height(inst: &Instance, pl: &Placement, height: f64) -> bool {
+    inst.items()
+        .iter()
+        .all(|it| approx_le(pl.pos(it.id).y + it.h, height))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Item;
+
+    fn simple() -> (Instance, Placement) {
+        // Two side-by-side, one stacked on top.
+        let inst =
+            Instance::from_dims(&[(0.5, 1.0), (0.5, 1.0), (1.0, 0.5)]).unwrap();
+        let pl = Placement::from_xy(&[(0.0, 0.0), (0.5, 0.0), (0.0, 1.0)]);
+        (inst, pl)
+    }
+
+    #[test]
+    fn valid_placement_passes() {
+        let (inst, pl) = simple();
+        assert!(validate(&inst, &pl).is_ok());
+    }
+
+    #[test]
+    fn overlap_detected_by_both_checkers() {
+        let inst = Instance::from_dims(&[(0.6, 1.0), (0.6, 1.0)]).unwrap();
+        let pl = Placement::from_xy(&[(0.0, 0.0), (0.3, 0.5)]);
+        assert_eq!(find_overlap_quadratic(&inst, &pl), Some((0, 1)));
+        assert_eq!(find_overlap_sweep(&inst, &pl), Some((0, 1)));
+        assert!(matches!(
+            validate(&inst, &pl),
+            Err(ValidationError::Overlap { .. })
+        ));
+    }
+
+    #[test]
+    fn touching_edges_are_fine() {
+        let inst = Instance::from_dims(&[(0.5, 1.0), (0.5, 1.0), (0.5, 1.0)]).unwrap();
+        // side by side + exactly stacked
+        let pl = Placement::from_xy(&[(0.0, 0.0), (0.5, 0.0), (0.0, 1.0)]);
+        assert!(validate(&inst, &pl).is_ok());
+    }
+
+    #[test]
+    fn out_of_strip_detected() {
+        let inst = Instance::from_dims(&[(0.6, 1.0)]).unwrap();
+        let pl = Placement::from_xy(&[(0.5, 0.0)]);
+        assert!(matches!(
+            validate(&inst, &pl),
+            Err(ValidationError::OutOfStrip { id: 0, .. })
+        ));
+        let pl2 = Placement::from_xy(&[(-0.1, 0.0)]);
+        assert!(matches!(
+            validate(&inst, &pl2),
+            Err(ValidationError::OutOfStrip { id: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn below_base_detected() {
+        let inst = Instance::from_dims(&[(0.5, 1.0)]).unwrap();
+        let pl = Placement::from_xy(&[(0.0, -0.5)]);
+        assert!(matches!(
+            validate(&inst, &pl),
+            Err(ValidationError::BelowBase { id: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn release_violation_detected() {
+        let inst = Instance::new(vec![Item::with_release(0, 0.5, 1.0, 2.0)]).unwrap();
+        let early = Placement::from_xy(&[(0.0, 1.0)]);
+        assert!(matches!(
+            validate(&inst, &early),
+            Err(ValidationError::ReleaseViolated { id: 0, .. })
+        ));
+        let on_time = Placement::from_xy(&[(0.0, 2.0)]);
+        assert!(validate(&inst, &on_time).is_ok());
+    }
+
+    #[test]
+    fn non_finite_detected() {
+        let inst = Instance::from_dims(&[(0.5, 1.0)]).unwrap();
+        let pl = Placement::from_xy(&[(f64::NAN, 0.0)]);
+        assert!(matches!(
+            validate(&inst, &pl),
+            Err(ValidationError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let inst = Instance::from_dims(&[(0.5, 1.0)]).unwrap();
+        let pl = Placement::zeroed(2);
+        assert!(matches!(
+            validate(&inst, &pl),
+            Err(ValidationError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sweep_matches_quadratic_on_random_placements() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..200 {
+            let n = rng.gen_range(1..30);
+            let items: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.gen_range(0.05..0.9), rng.gen_range(0.05..1.0)))
+                .collect();
+            let inst = Instance::from_dims(&items).unwrap();
+            let pl = Placement::from_xy(
+                &(0..n)
+                    .map(|i| {
+                        (
+                            rng.gen_range(0.0..(1.0 - items[i].0)),
+                            rng.gen_range(0.0..3.0),
+                        )
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            let quad = find_overlap_quadratic(&inst, &pl).is_some();
+            let sweep = find_overlap_sweep(&inst, &pl).is_some();
+            assert_eq!(quad, sweep, "checkers disagree on trial {trial}");
+        }
+    }
+
+    #[test]
+    fn within_height_checks_tops() {
+        let (inst, pl) = simple();
+        assert!(within_height(&inst, &pl, 1.5));
+        assert!(!within_height(&inst, &pl, 1.0));
+    }
+}

@@ -1,0 +1,202 @@
+//! The paper's `F(s)` function and tight (critical) paths.
+//!
+//! `F(s)` is defined recursively in §2:
+//!
+//! * if `IN(s) = ∅`, then `F(s) = h_s`;
+//! * otherwise `F(s) = h_s + max_{s' ∈ IN(s)} F(s')`.
+//!
+//! `F(s)` is the height of the top edge of `s` when every rectangle is
+//! dropped as early as its predecessors allow in an *infinitely wide*
+//! strip; `F(S) = max_s F(s)` is the second lower bound on
+//! `OPT(S, E)` (the first being `AREA(S)`).
+
+use crate::graph::Dag;
+use crate::topo::topological_order;
+use spp_core::Instance;
+
+/// Compute `F(s)` for every node, in O(V + E) via a topological order.
+///
+/// `heights[v]` is `h_v`; items and DAG must agree on node count.
+pub fn critical_path_values(dag: &Dag, heights: &[f64]) -> Vec<f64> {
+    assert_eq!(dag.len(), heights.len(), "DAG/heights size mismatch");
+    let order = topological_order(dag).expect("Dag invariant: acyclic");
+    let mut f = vec![0.0; dag.len()];
+    for &v in &order {
+        let pred_max = dag
+            .preds(v)
+            .iter()
+            .map(|&p| f[p])
+            .fold(0.0_f64, f64::max);
+        f[v] = heights[v] + pred_max;
+    }
+    f
+}
+
+/// `F(S) = max_s F(s)` — the critical-path lower bound on `OPT(S, E)`.
+/// 0 for an empty instance.
+pub fn critical_path_lb(dag: &Dag, inst: &Instance) -> f64 {
+    let heights: Vec<f64> = inst.items().iter().map(|it| it.h).collect();
+    critical_path_values(dag, &heights)
+        .into_iter()
+        .fold(0.0, f64::max)
+}
+
+/// Extract a *tight path*: a path `s_base → … → s_top` with
+/// `F(s_top) = F(S)` such that the heights along the path sum to `F(S)`
+/// (Lemma 2.2's witness). Returns node ids from base to top; empty for an
+/// empty DAG.
+pub fn tight_path(dag: &Dag, heights: &[f64]) -> Vec<usize> {
+    if dag.is_empty() {
+        return Vec::new();
+    }
+    let f = critical_path_values(dag, heights);
+    // start from an argmax of F
+    let mut top = 0;
+    for v in 1..dag.len() {
+        if f[v] > f[top] {
+            top = v;
+        }
+    }
+    let mut path = vec![top];
+    let mut cur = top;
+    // walk down: a predecessor p with F(p) = F(cur) - h_cur is tight
+    loop {
+        let need = f[cur] - heights[cur];
+        if dag.preds(cur).is_empty() {
+            break;
+        }
+        let p = *dag
+            .preds(cur)
+            .iter()
+            .find(|&&p| (f[p] - need).abs() <= spp_core::eps::EPS)
+            .expect("by construction of F some predecessor is tight");
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    path
+}
+
+/// The earliest-start schedule implied by `F`: item `v` starts at
+/// `F(v) − h_v`. This is the "optimal placement in an infinitely wide
+/// strip" used in the proof of Lemma 2.1.
+pub fn earliest_starts(dag: &Dag, heights: &[f64]) -> Vec<f64> {
+    critical_path_values(dag, heights)
+        .iter()
+        .zip(heights)
+        .map(|(f, h)| f - h)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_core::assert_close;
+
+    #[test]
+    fn chain_accumulates_heights() {
+        let d = Dag::chain(3);
+        let f = critical_path_values(&d, &[1.0, 2.0, 3.0]);
+        assert_eq!(f, vec![1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn sources_have_f_equal_height() {
+        let d = Dag::empty(3);
+        let f = critical_path_values(&d, &[0.5, 1.5, 2.5]);
+        assert_eq!(f, vec![0.5, 1.5, 2.5]);
+    }
+
+    #[test]
+    fn diamond_takes_max_branch() {
+        // 0 -> {1, 2} -> 3; branch through 2 is taller.
+        let d = Dag::new(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let f = critical_path_values(&d, &[1.0, 1.0, 5.0, 1.0]);
+        assert_eq!(f[3], 1.0 + 5.0 + 1.0);
+    }
+
+    #[test]
+    fn lb_matches_instance() {
+        let d = Dag::chain(3);
+        let inst = Instance::from_dims(&[(0.1, 1.0), (0.1, 2.0), (0.1, 3.0)]).unwrap();
+        assert_close!(critical_path_lb(&d, &inst), 6.0);
+    }
+
+    #[test]
+    fn tight_path_sums_to_f() {
+        let d = Dag::new(
+            6,
+            &[(0, 2), (1, 2), (2, 3), (2, 4), (4, 5)],
+        )
+        .unwrap();
+        let h = [1.0, 3.0, 1.0, 10.0, 2.0, 2.0];
+        let f = critical_path_values(&d, &h);
+        let fs = f.iter().cloned().fold(0.0, f64::max);
+        let path = tight_path(&d, &h);
+        let sum: f64 = path.iter().map(|&v| h[v]).sum();
+        assert_close!(sum, fs);
+        // path respects edges
+        for w in path.windows(2) {
+            assert!(d.succs(w[0]).contains(&w[1]), "not a path: {path:?}");
+        }
+        // base is a source
+        assert!(d.preds(path[0]).is_empty());
+    }
+
+    #[test]
+    fn tight_path_of_empty_dag() {
+        assert!(tight_path(&Dag::empty(0), &[]).is_empty());
+    }
+
+    #[test]
+    fn earliest_starts_respect_edges() {
+        let d = Dag::new(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let h = [1.0, 2.0, 5.0, 1.0];
+        let y = earliest_starts(&d, &h);
+        for (u, v) in d.edges() {
+            assert!(
+                y[u] + h[u] <= y[v] + spp_core::eps::EPS,
+                "edge ({u},{v}) violated by earliest starts"
+            );
+        }
+        assert_eq!(y[0], 0.0);
+        assert_eq!(y[3], 6.0); // after the taller branch through 2
+    }
+
+    #[test]
+    fn lemma_2_1_crossers_are_independent() {
+        // Lemma 2.1: rectangles whose infinite-width schedule straddles a
+        // horizontal line y are pairwise independent. This is the property
+        // that lets DC pack S_mid with an unconstrained subroutine.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2101);
+        for _ in 0..40 {
+            let n = rng.gen_range(2..25);
+            let p = rng.gen_range(0.05..0.5);
+            let d = crate::gen::random_order(&mut rng, n, p);
+            let h: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..1.0)).collect();
+            let f = critical_path_values(&d, &h);
+            let big_h = f.iter().cloned().fold(0.0f64, f64::max);
+            let y = rng.gen_range(0.0..big_h);
+            let crossers: Vec<usize> = (0..n)
+                .filter(|&v| f[v] > y && f[v] - h[v] <= y)
+                .collect();
+            for (i, &a) in crossers.iter().enumerate() {
+                for &b in &crossers[i + 1..] {
+                    assert!(
+                        crate::reach::independent(&d, a, b),
+                        "crossers {a} and {b} are ordered"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_node() {
+        let d = Dag::empty(1);
+        assert_eq!(tight_path(&d, &[4.0]), vec![0]);
+        let inst = Instance::from_dims(&[(0.5, 4.0)]).unwrap();
+        assert_close!(critical_path_lb(&d, &inst), 4.0);
+    }
+}

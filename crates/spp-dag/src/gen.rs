@@ -1,0 +1,257 @@
+//! Structural DAG generators.
+//!
+//! These generate *edge structure only*; item dimensions are drawn by
+//! `spp-gen`. All generators are deterministic given the `rng` state.
+
+use crate::graph::Dag;
+use rand::Rng;
+
+/// `k` disjoint chains covering `n` nodes as evenly as possible
+/// (node ids are assigned chain-by-chain).
+pub fn disjoint_chains(n: usize, k: usize) -> Dag {
+    assert!(k >= 1, "need at least one chain");
+    let mut edges = Vec::new();
+    let mut start = 0;
+    for c in 0..k {
+        let len = n / k + usize::from(c < n % k);
+        for i in 1..len {
+            edges.push((start + i - 1, start + i));
+        }
+        start += len;
+    }
+    Dag::new(n, &edges).expect("chains are acyclic")
+}
+
+/// Random layered DAG: nodes are split into `layers` consecutive groups;
+/// each node (other than in the first layer) receives an edge from a
+/// uniform random node of the previous layer, plus extra edges from the
+/// previous layer with probability `extra_p` each. Mirrors the structure
+/// of image/signal-processing task graphs the paper motivates.
+pub fn layered<R: Rng>(rng: &mut R, n: usize, layers: usize, extra_p: f64) -> Dag {
+    assert!(layers >= 1);
+    let layers = layers.min(n.max(1));
+    // layer boundaries
+    let mut bounds = vec![0usize];
+    for l in 0..layers {
+        let len = n / layers + usize::from(l < n % layers);
+        bounds.push(bounds[l] + len);
+    }
+    let mut edges = Vec::new();
+    for l in 1..layers {
+        let (plo, phi) = (bounds[l - 1], bounds[l]);
+        let (lo, hi) = (bounds[l], bounds[l + 1]);
+        for v in lo..hi {
+            if phi > plo {
+                let forced = rng.gen_range(plo..phi);
+                edges.push((forced, v));
+                for p in plo..phi {
+                    if p != forced && rng.gen_bool(extra_p) {
+                        edges.push((p, v));
+                    }
+                }
+            }
+        }
+    }
+    Dag::new(n, &edges).expect("layered construction is acyclic")
+}
+
+/// Random DAG: for each pair `i < j`, edge `(i, j)` with probability `p`.
+/// Orientation along the index order guarantees acyclicity.
+pub fn random_order<R: Rng>(rng: &mut R, n: usize, p: f64) -> Dag {
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p) {
+                edges.push((i, j));
+            }
+        }
+    }
+    Dag::new(n, &edges).expect("order-oriented edges are acyclic")
+}
+
+/// Fork–join: a source `0`, `n-2` parallel middle nodes, a sink `n-1`.
+/// Requires `n ≥ 2`.
+pub fn fork_join(n: usize) -> Dag {
+    assert!(n >= 2, "fork-join needs source and sink");
+    let mut edges = Vec::new();
+    for v in 1..(n - 1) {
+        edges.push((0, v));
+        edges.push((v, n - 1));
+    }
+    if n == 2 {
+        edges.push((0, 1));
+    }
+    Dag::new(n, &edges).expect("fork-join is acyclic")
+}
+
+/// Random series-parallel DAG on `n` nodes, built by recursive series /
+/// parallel composition (classic SP recursion). Node ids are assigned in
+/// construction order; the result always has a single source and sink for
+/// `n ≥ 2`.
+pub fn series_parallel<R: Rng>(rng: &mut R, n: usize) -> Dag {
+    // Build the SP structure recursively over node-count budgets; returns
+    // (edges, source, sink, next_free_id).
+    fn build<R: Rng>(
+        rng: &mut R,
+        budget: usize,
+        next: usize,
+        edges: &mut Vec<(usize, usize)>,
+    ) -> (usize, usize, usize) {
+        if budget <= 1 {
+            return (next, next, next + 1);
+        }
+        if budget == 2 {
+            edges.push((next, next + 1));
+            return (next, next + 1, next + 2);
+        }
+        let left = rng.gen_range(1..budget);
+        let right = budget - left;
+        if rng.gen_bool(0.5) {
+            // series: left then right
+            let (s1, t1, mid) = build(rng, left, next, edges);
+            let (s2, t2, end) = build(rng, right, mid, edges);
+            edges.push((t1, s2));
+            (s1, t2, end)
+        } else {
+            // parallel: shared new source and sink around both branches
+            // (consumes 2 nodes for the endpoints when budget allows)
+            if budget < 4 {
+                // not enough nodes for endpoints: fall back to series
+                let (s1, t1, mid) = build(rng, left, next, edges);
+                let (s2, t2, end) = build(rng, right, mid, edges);
+                edges.push((t1, s2));
+                return (s1, t2, end);
+            }
+            let src = next;
+            let inner = budget - 2;
+            let l = inner.min(left.max(1));
+            let r = inner - l;
+            let (s1, t1, mid) = build(rng, l.max(1), next + 1, edges);
+            edges.push((src, s1));
+            let (_s2, t2, mid2) = if r >= 1 {
+                let b = build(rng, r, mid, edges);
+                edges.push((src, b.0));
+                (b.0, b.1, b.2)
+            } else {
+                (s1, t1, mid)
+            };
+            let sink = mid2;
+            edges.push((t1, sink));
+            if r >= 1 {
+                edges.push((t2, sink));
+            }
+            (src, sink, sink + 1)
+        }
+    }
+    if n == 0 {
+        return Dag::empty(0);
+    }
+    let mut edges = Vec::new();
+    let (_, _, used) = build(rng, n, 0, &mut edges);
+    debug_assert_eq!(used, n, "SP construction must consume exactly n ids");
+    Dag::new(n, &edges).expect("series-parallel is acyclic")
+}
+
+/// Random out-tree (anti-arborescence toward the leaves): node 0 is the
+/// root; each node `v ≥ 1` gets a single parent drawn uniformly from
+/// `0..v`.
+pub fn random_out_tree<R: Rng>(rng: &mut R, n: usize) -> Dag {
+    let mut edges = Vec::new();
+    for v in 1..n {
+        edges.push((rng.gen_range(0..v), v));
+    }
+    Dag::new(n, &edges).expect("tree is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn chains_cover_all_nodes() {
+        let d = disjoint_chains(10, 3);
+        assert_eq!(d.len(), 10);
+        // 3 chains of sizes 4,3,3 -> 3+2+2 = 7 edges
+        assert_eq!(d.edge_count(), 7);
+        assert_eq!(d.sources().len(), 3);
+        assert_eq!(d.sinks().len(), 3);
+    }
+
+    #[test]
+    fn chains_edge_cases() {
+        let d = disjoint_chains(3, 5); // more chains than nodes
+        assert_eq!(d.edge_count(), 0);
+        let e = disjoint_chains(5, 1);
+        assert_eq!(e.edge_count(), 4);
+    }
+
+    #[test]
+    fn layered_every_nonfirst_layer_node_has_pred() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = layered(&mut rng, 40, 5, 0.2);
+        assert_eq!(d.len(), 40);
+        let lvls = crate::levels::levels(&d);
+        for v in 0..40 {
+            if lvls[v] > 0 {
+                assert!(d.in_degree(v) >= 1, "node {v} at level {} orphaned", lvls[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn random_order_density_scales_with_p() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sparse = random_order(&mut rng, 30, 0.05);
+        let dense = random_order(&mut rng, 30, 0.5);
+        assert!(sparse.edge_count() < dense.edge_count());
+    }
+
+    #[test]
+    fn random_order_p0_and_p1() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(random_order(&mut rng, 10, 0.0).edge_count(), 0);
+        assert_eq!(random_order(&mut rng, 10, 1.0).edge_count(), 45);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let d = fork_join(6);
+        assert_eq!(d.sources(), vec![0]);
+        assert_eq!(d.sinks(), vec![5]);
+        assert_eq!(d.out_degree(0), 4);
+        assert_eq!(d.in_degree(5), 4);
+        let tiny = fork_join(2);
+        assert_eq!(tiny.edge_count(), 1);
+    }
+
+    #[test]
+    fn series_parallel_consumes_exact_n() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for n in [0usize, 1, 2, 3, 5, 8, 13, 40] {
+            let d = series_parallel(&mut rng, n);
+            assert_eq!(d.len(), n, "n={n}");
+            if n >= 2 {
+                assert!(d.edge_count() >= n - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn out_tree_every_nonroot_has_one_parent() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = random_out_tree(&mut rng, 25);
+        assert_eq!(d.in_degree(0), 0);
+        for v in 1..25 {
+            assert_eq!(d.in_degree(v), 1);
+        }
+        assert_eq!(d.edge_count(), 24);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let a = layered(&mut StdRng::seed_from_u64(3), 20, 4, 0.3);
+        let b = layered(&mut StdRng::seed_from_u64(3), 20, 4, 0.3);
+        assert_eq!(a, b);
+    }
+}

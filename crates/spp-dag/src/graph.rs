@@ -1,0 +1,265 @@
+//! DAG representation.
+
+use std::fmt;
+
+/// Errors from DAG construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// An edge endpoint is outside `0..n`.
+    NodeOutOfRange { edge: (usize, usize), n: usize },
+    /// A self-loop `(v, v)`.
+    SelfLoop { v: usize },
+    /// The edge set contains a directed cycle.
+    Cyclic,
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::NodeOutOfRange { edge, n } => {
+                write!(f, "edge {edge:?} out of range for {n} nodes")
+            }
+            DagError::SelfLoop { v } => write!(f, "self-loop at node {v}"),
+            DagError::Cyclic => write!(f, "edge set contains a directed cycle"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// A directed acyclic graph over nodes `0..n` (node = item id).
+///
+/// Stored as forward and backward adjacency lists. Construction verifies
+/// acyclicity (Kahn's algorithm) and rejects self-loops and out-of-range
+/// endpoints. Duplicate edges are deduplicated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dag {
+    n: usize,
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+    m: usize,
+}
+
+impl Dag {
+    /// Build a DAG on `n` nodes from an edge list `(pred, succ)`.
+    pub fn new(n: usize, edges: &[(usize, usize)]) -> Result<Self, DagError> {
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        let mut m = 0;
+        for &(u, v) in edges {
+            if u >= n || v >= n {
+                return Err(DagError::NodeOutOfRange { edge: (u, v), n });
+            }
+            if u == v {
+                return Err(DagError::SelfLoop { v });
+            }
+            if !succs[u].contains(&v) {
+                succs[u].push(v);
+                preds[v].push(u);
+                m += 1;
+            }
+        }
+        let dag = Dag { n, succs, preds, m };
+        if crate::topo::topological_order(&dag).is_none() {
+            return Err(DagError::Cyclic);
+        }
+        Ok(dag)
+    }
+
+    /// The empty DAG (no edges) on `n` nodes — i.e. no precedence
+    /// constraints; every packing problem in the paper degenerates to this
+    /// when `E = ∅`.
+    pub fn empty(n: usize) -> Self {
+        Dag {
+            n,
+            succs: vec![Vec::new(); n],
+            preds: vec![Vec::new(); n],
+            m: 0,
+        }
+    }
+
+    /// A single chain `0 -> 1 -> … -> n-1`.
+    pub fn chain(n: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        Dag::new(n, &edges).expect("chain is acyclic")
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True iff the DAG has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of (deduplicated) edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.m
+    }
+
+    /// Successors of `v` (the out-neighborhood).
+    #[inline]
+    pub fn succs(&self, v: usize) -> &[usize] {
+        &self.succs[v]
+    }
+
+    /// Predecessors of `v` — the paper's in-neighborhood `IN(s)`.
+    #[inline]
+    pub fn preds(&self, v: usize) -> &[usize] {
+        &self.preds[v]
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.preds[v].len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.succs[v].len()
+    }
+
+    /// Iterate over all edges `(pred, succ)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v)))
+    }
+
+    /// Sources (no predecessors).
+    pub fn sources(&self) -> Vec<usize> {
+        (0..self.n).filter(|&v| self.preds[v].is_empty()).collect()
+    }
+
+    /// Sinks (no successors).
+    pub fn sinks(&self) -> Vec<usize> {
+        (0..self.n).filter(|&v| self.succs[v].is_empty()).collect()
+    }
+
+    /// The sub-DAG induced by `ids`, re-indexed to `0..ids.len()` in the
+    /// order given. Edges with an endpoint outside `ids` are dropped —
+    /// exactly the "subgraph of the original DAG induced by S" used in
+    /// step 2 of Algorithm 1 (`DC`).
+    pub fn induced(&self, ids: &[usize]) -> Dag {
+        let mut index_of = vec![usize::MAX; self.n];
+        for (new, &old) in ids.iter().enumerate() {
+            index_of[old] = new;
+        }
+        let mut edges = Vec::new();
+        for &old_u in ids {
+            for &old_v in &self.succs[old_u] {
+                if index_of[old_v] != usize::MAX {
+                    edges.push((index_of[old_u], index_of[old_v]));
+                }
+            }
+        }
+        Dag::new(ids.len(), &edges).expect("induced subgraph of a DAG is a DAG")
+    }
+
+    /// Union of edge sets with another DAG on the same node set.
+    /// Returns `Err(DagError::Cyclic)` if the union creates a cycle.
+    pub fn union(&self, other: &Dag) -> Result<Dag, DagError> {
+        assert_eq!(self.n, other.n, "union requires equal node counts");
+        let mut edges: Vec<(usize, usize)> = self.edges().collect();
+        edges.extend(other.edges());
+        Dag::new(self.n, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_dedups_edges() {
+        let d = Dag::new(3, &[(0, 1), (0, 1), (1, 2)]).unwrap();
+        assert_eq!(d.edge_count(), 2);
+        assert_eq!(d.succs(0), &[1]);
+        assert_eq!(d.preds(2), &[1]);
+    }
+
+    #[test]
+    fn rejects_cycles_self_loops_and_bad_nodes() {
+        assert_eq!(Dag::new(2, &[(0, 1), (1, 0)]), Err(DagError::Cyclic));
+        assert_eq!(Dag::new(2, &[(1, 1)]), Err(DagError::SelfLoop { v: 1 }));
+        assert_eq!(
+            Dag::new(2, &[(0, 5)]),
+            Err(DagError::NodeOutOfRange { edge: (0, 5), n: 2 })
+        );
+    }
+
+    #[test]
+    fn longer_cycle_detected() {
+        assert_eq!(
+            Dag::new(4, &[(0, 1), (1, 2), (2, 3), (3, 1)]),
+            Err(DagError::Cyclic)
+        );
+    }
+
+    #[test]
+    fn chain_and_empty() {
+        let c = Dag::chain(4);
+        assert_eq!(c.edge_count(), 3);
+        assert_eq!(c.sources(), vec![0]);
+        assert_eq!(c.sinks(), vec![3]);
+        let e = Dag::empty(3);
+        assert_eq!(e.edge_count(), 0);
+        assert_eq!(e.sources(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn degrees() {
+        // diamond 0 -> {1,2} -> 3
+        let d = Dag::new(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(d.out_degree(0), 2);
+        assert_eq!(d.in_degree(3), 2);
+        assert_eq!(d.in_degree(0), 0);
+    }
+
+    #[test]
+    fn induced_subgraph_drops_external_edges() {
+        // 0 -> 1 -> 2 -> 3
+        let d = Dag::chain(4);
+        // keep {0, 1, 3}: edge 0->1 survives (reindexed), 1->2, 2->3 dropped
+        let sub = d.induced(&[0, 1, 3]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.edge_count(), 1);
+        assert_eq!(sub.succs(0), &[1]);
+        assert!(sub.succs(1).is_empty());
+        assert!(sub.succs(2).is_empty());
+    }
+
+    #[test]
+    fn induced_respects_id_ordering() {
+        let d = Dag::new(3, &[(0, 2)]).unwrap();
+        // order [2, 0]: old 0 -> new 1, old 2 -> new 0; edge becomes 1 -> 0
+        let sub = d.induced(&[2, 0]);
+        assert_eq!(sub.succs(1), &[0]);
+    }
+
+    #[test]
+    fn edges_iterator_roundtrips() {
+        let edges = [(0, 2), (1, 2), (2, 3)];
+        let d = Dag::new(4, &edges).unwrap();
+        let mut got: Vec<_> = d.edges().collect();
+        got.sort();
+        assert_eq!(got, edges.to_vec());
+    }
+
+    #[test]
+    fn union_detects_created_cycle() {
+        let a = Dag::new(2, &[(0, 1)]).unwrap();
+        let b = Dag::new(2, &[(1, 0)]).unwrap();
+        assert_eq!(a.union(&b), Err(DagError::Cyclic));
+        let c = Dag::new(2, &[]).unwrap();
+        assert_eq!(a.union(&c).unwrap().edge_count(), 1);
+    }
+}

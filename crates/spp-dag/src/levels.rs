@@ -1,0 +1,92 @@
+//! Longest-path layer decomposition.
+//!
+//! `level(v) = 0` for sources, otherwise `1 + max level of predecessors`.
+//! Items within a level are pairwise independent (no path connects them
+//! within the same level because every edge increases the level by ≥ 1),
+//! so each level can be handed to an unconstrained packing algorithm —
+//! this is the classical "layered" baseline the `DC` algorithm is compared
+//! against in the experiments.
+
+use crate::graph::Dag;
+use crate::topo::topological_order;
+
+/// Level (longest edge-count distance from a source) of every node.
+pub fn levels(dag: &Dag) -> Vec<usize> {
+    let order = topological_order(dag).expect("Dag invariant: acyclic");
+    let mut lvl = vec![0usize; dag.len()];
+    for &v in &order {
+        for &p in dag.preds(v) {
+            lvl[v] = lvl[v].max(lvl[p] + 1);
+        }
+    }
+    lvl
+}
+
+/// Group node ids by level; `groups[l]` lists the nodes at level `l`,
+/// each sorted ascending. Empty for an empty DAG.
+pub fn level_groups(dag: &Dag) -> Vec<Vec<usize>> {
+    let lvl = levels(dag);
+    let depth = lvl.iter().copied().max().map_or(0, |d| d + 1);
+    let mut groups = vec![Vec::new(); depth];
+    for (v, &l) in lvl.iter().enumerate() {
+        groups[l].push(v);
+    }
+    groups
+}
+
+/// Verify the defining property used by the layered baseline: no edge
+/// connects two nodes of the same level.
+pub fn levels_are_antichains(dag: &Dag) -> bool {
+    let lvl = levels(dag);
+    dag.edges().all(|(u, v)| lvl[u] < lvl[v])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_levels_count_up() {
+        let d = Dag::chain(4);
+        assert_eq!(levels(&d), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn diamond_levels() {
+        let d = Dag::new(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(levels(&d), vec![0, 1, 1, 2]);
+        let groups = level_groups(&d);
+        assert_eq!(groups, vec![vec![0], vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn level_of_skip_edge() {
+        // 0 -> 1 -> 2 and 0 -> 2: node 2 should be at level 2
+        let d = Dag::new(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(levels(&d), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_dag_single_group_per_node() {
+        let d = Dag::empty(3);
+        assert_eq!(level_groups(&d), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn antichain_property_always_holds() {
+        for d in [
+            Dag::chain(6),
+            Dag::new(5, &[(0, 3), (1, 3), (3, 4), (2, 4)]).unwrap(),
+            Dag::empty(4),
+        ] {
+            assert!(levels_are_antichains(&d));
+        }
+    }
+
+    #[test]
+    fn zero_node_dag() {
+        let d = Dag::empty(0);
+        assert!(levels(&d).is_empty());
+        assert!(level_groups(&d).is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! # spp-dag — precedence DAG substrate
+//!
+//! Section 2 of the paper packs rectangles subject to a DAG
+//! `G = (S, E)`: for each edge `(s, s')`, any valid placement must satisfy
+//! `y_s + h_s ≤ y_{s'}` (the predecessor finishes before the successor
+//! starts). This crate provides:
+//!
+//! * [`Dag`] — a validated adjacency-list DAG over item ids,
+//! * [`topo`] — topological orders and cycle detection,
+//! * [`critical`] — the paper's `F(s)` function (height of the top edge of
+//!   `s` in an infinitely wide strip; recursively
+//!   `F(s) = h_s + max_{s' ∈ IN(s)} F(s')`) and tight-path extraction,
+//! * [`levels`] — longest-path layer decomposition (used by baselines),
+//! * [`reach`] — reachability queries (used by the exact solvers and the
+//!   skip-shelf analysis of Lemma 2.5),
+//! * [`PrecInstance`] — an [`spp_core::Instance`] paired with a `Dag`,
+//!   with combined validation,
+//! * [`gen`] — structural DAG generators (chains, layered, fork–join,
+//!   series-parallel, random) used by the workload crate.
+
+pub mod critical;
+pub mod gen;
+pub mod graph;
+pub mod levels;
+pub mod prec_instance;
+pub mod reach;
+pub mod topo;
+
+pub use critical::{critical_path_lb, critical_path_values, tight_path};
+pub use graph::{Dag, DagError};
+pub use prec_instance::PrecInstance;

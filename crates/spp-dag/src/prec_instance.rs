@@ -1,0 +1,178 @@
+//! Instances with precedence constraints.
+
+use crate::critical::critical_path_lb;
+use crate::graph::Dag;
+use spp_core::error::ValidationError;
+use spp_core::{Instance, Placement};
+
+/// A precedence-constrained strip packing instance: rectangles plus a DAG
+/// over their ids (§2 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrecInstance {
+    pub inst: Instance,
+    pub dag: Dag,
+}
+
+impl PrecInstance {
+    /// Pair an instance with a DAG; panics if sizes disagree (programmer
+    /// error, not data error).
+    pub fn new(inst: Instance, dag: Dag) -> Self {
+        assert_eq!(
+            inst.len(),
+            dag.len(),
+            "instance has {} items but DAG has {} nodes",
+            inst.len(),
+            dag.len()
+        );
+        PrecInstance { inst, dag }
+    }
+
+    /// An unconstrained instance (empty DAG).
+    pub fn unconstrained(inst: Instance) -> Self {
+        let n = inst.len();
+        PrecInstance {
+            inst,
+            dag: Dag::empty(n),
+        }
+    }
+
+    /// Number of rectangles.
+    pub fn len(&self) -> usize {
+        self.inst.len()
+    }
+
+    /// True iff there are no rectangles.
+    pub fn is_empty(&self) -> bool {
+        self.inst.is_empty()
+    }
+
+    /// `AREA(S)` lower bound.
+    pub fn area_lb(&self) -> f64 {
+        self.inst.total_area()
+    }
+
+    /// `F(S)` critical-path lower bound.
+    pub fn critical_lb(&self) -> f64 {
+        critical_path_lb(&self.dag, &self.inst)
+    }
+
+    /// `max(AREA(S), F(S))` — the combined lower bound on `OPT(S, E)` used
+    /// throughout §2 (note `F(S) ≥ h_max` by definition).
+    pub fn lower_bound(&self) -> f64 {
+        self.area_lb().max(self.critical_lb())
+    }
+
+    /// Validate a placement: geometry (strip bounds, overlap, releases)
+    /// plus every precedence edge `y_pred + h_pred ≤ y_succ`.
+    pub fn validate(&self, pl: &Placement) -> Result<(), ValidationError> {
+        spp_core::validate::validate(&self.inst, pl)?;
+        for (u, v) in self.dag.edges() {
+            let top_u = pl.pos(u).y + self.inst.item(u).h;
+            let bot_v = pl.pos(v).y;
+            if !spp_core::eps::approx_le(top_u, bot_v) {
+                return Err(ValidationError::PrecedenceViolated {
+                    pred: u,
+                    succ: v,
+                    pred_top: top_u,
+                    succ_bottom: bot_v,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Panic with a descriptive message unless `pl` is valid.
+    pub fn assert_valid(&self, pl: &Placement) {
+        if let Err(e) = self.validate(pl) {
+            panic!("invalid precedence placement: {e}");
+        }
+    }
+
+    /// Restrict to a subset of ids (re-indexed); returns the sub-problem
+    /// and the `new -> old` id map. The induced DAG drops edges leaving
+    /// the subset, exactly as Algorithm 1 requires.
+    pub fn restrict(&self, ids: &[usize]) -> (PrecInstance, Vec<usize>) {
+        let (inst, back) = self.inst.restrict(ids);
+        let dag = self.dag.induced(ids);
+        (PrecInstance::new(inst, dag), back)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_core::assert_close;
+
+    fn two_chain() -> PrecInstance {
+        let inst = Instance::from_dims(&[(0.5, 1.0), (0.5, 2.0)]).unwrap();
+        PrecInstance::new(inst, Dag::chain(2))
+    }
+
+    #[test]
+    fn validate_accepts_stacked_order() {
+        let p = two_chain();
+        let pl = Placement::from_xy(&[(0.0, 0.0), (0.0, 1.0)]);
+        assert!(p.validate(&pl).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_side_by_side_dependents() {
+        let p = two_chain();
+        // Geometrically fine, but 1 must start after 0 finishes.
+        let pl = Placement::from_xy(&[(0.0, 0.0), (0.5, 0.0)]);
+        assert!(matches!(
+            p.validate(&pl),
+            Err(ValidationError::PrecedenceViolated { pred: 0, succ: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_partial_overlap_in_time() {
+        let p = two_chain();
+        let pl = Placement::from_xy(&[(0.0, 0.0), (0.5, 0.5)]);
+        assert!(p.validate(&pl).is_err());
+    }
+
+    #[test]
+    fn geometry_checked_before_precedence() {
+        let p = two_chain();
+        let pl = Placement::from_xy(&[(0.9, 0.0), (0.0, 1.0)]); // 0 out of strip
+        assert!(matches!(
+            p.validate(&pl),
+            Err(ValidationError::OutOfStrip { .. })
+        ));
+    }
+
+    #[test]
+    fn lower_bounds() {
+        let p = two_chain();
+        assert_close!(p.area_lb(), 1.5);
+        assert_close!(p.critical_lb(), 3.0);
+        assert_close!(p.lower_bound(), 3.0);
+    }
+
+    #[test]
+    fn unconstrained_critical_lb_is_hmax() {
+        let inst = Instance::from_dims(&[(0.5, 1.0), (0.5, 2.0)]).unwrap();
+        let p = PrecInstance::unconstrained(inst);
+        assert_close!(p.critical_lb(), 2.0);
+    }
+
+    #[test]
+    fn restrict_preserves_constraints_within_subset() {
+        let inst =
+            Instance::from_dims(&[(0.5, 1.0), (0.5, 2.0), (0.5, 3.0)]).unwrap();
+        let p = PrecInstance::new(inst, Dag::chain(3));
+        let (sub, back) = p.restrict(&[1, 2]);
+        assert_eq!(back, vec![1, 2]);
+        assert_eq!(sub.dag.edge_count(), 1);
+        assert_close!(sub.critical_lb(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "instance has")]
+    fn size_mismatch_panics() {
+        let inst = Instance::from_dims(&[(0.5, 1.0)]).unwrap();
+        PrecInstance::new(inst, Dag::empty(2));
+    }
+}

@@ -1,0 +1,162 @@
+//! Reachability queries.
+
+use crate::graph::Dag;
+
+/// All nodes reachable from `v` by directed paths (excluding `v` itself).
+pub fn descendants(dag: &Dag, v: usize) -> Vec<usize> {
+    let mut seen = vec![false; dag.len()];
+    let mut stack = vec![v];
+    let mut out = Vec::new();
+    while let Some(u) = stack.pop() {
+        for &w in dag.succs(u) {
+            if !seen[w] {
+                seen[w] = true;
+                out.push(w);
+                stack.push(w);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// All nodes that reach `v` (excluding `v` itself).
+pub fn ancestors(dag: &Dag, v: usize) -> Vec<usize> {
+    let mut seen = vec![false; dag.len()];
+    let mut stack = vec![v];
+    let mut out = Vec::new();
+    while let Some(u) = stack.pop() {
+        for &w in dag.preds(u) {
+            if !seen[w] {
+                seen[w] = true;
+                out.push(w);
+                stack.push(w);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Is there a directed path from `u` to `v`? (`u == v` counts as true.)
+pub fn reaches(dag: &Dag, u: usize, v: usize) -> bool {
+    if u == v {
+        return true;
+    }
+    let mut seen = vec![false; dag.len()];
+    let mut stack = vec![u];
+    while let Some(x) = stack.pop() {
+        for &w in dag.succs(x) {
+            if w == v {
+                return true;
+            }
+            if !seen[w] {
+                seen[w] = true;
+                stack.push(w);
+            }
+        }
+    }
+    false
+}
+
+/// Are `u` and `v` independent (no path either way)? Two rectangles can be
+/// packed side by side iff they are independent — the property behind
+/// Lemma 2.1.
+pub fn independent(dag: &Dag, u: usize, v: usize) -> bool {
+    u != v && !reaches(dag, u, v) && !reaches(dag, v, u)
+}
+
+/// Full transitive-closure matrix (bit-packed per row into `Vec<u64>`);
+/// `closure[v]` has bit `w` set iff `v` reaches `w` (including `v` itself).
+/// O(V·E/64) via reverse topological sweep; intended for the exact solvers
+/// on small instances, but correct at any size.
+pub fn transitive_closure(dag: &Dag) -> Vec<Vec<u64>> {
+    let n = dag.len();
+    let words = n.div_ceil(64);
+    let mut closure = vec![vec![0u64; words]; n];
+    let order = crate::topo::topological_order(dag).expect("Dag invariant: acyclic");
+    for &v in order.iter().rev() {
+        closure[v][v / 64] |= 1u64 << (v % 64);
+        // merge successors' closures
+        let succs: Vec<usize> = dag.succs(v).to_vec();
+        for w in succs {
+            // split borrow: copy w's row
+            let row = closure[w].clone();
+            for (a, b) in closure[v].iter_mut().zip(row) {
+                *a |= b;
+            }
+        }
+    }
+    closure
+}
+
+/// Query the closure matrix: does `u` reach `v`?
+#[inline]
+pub fn closure_reaches(closure: &[Vec<u64>], u: usize, v: usize) -> bool {
+    closure[u][v / 64] & (1u64 << (v % 64)) != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        Dag::new(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn descendants_and_ancestors() {
+        let d = diamond();
+        assert_eq!(descendants(&d, 0), vec![1, 2, 3]);
+        assert_eq!(descendants(&d, 1), vec![3]);
+        assert_eq!(ancestors(&d, 3), vec![0, 1, 2]);
+        assert!(ancestors(&d, 0).is_empty());
+    }
+
+    #[test]
+    fn reaches_includes_self() {
+        let d = diamond();
+        assert!(reaches(&d, 0, 0));
+        assert!(reaches(&d, 0, 3));
+        assert!(!reaches(&d, 3, 0));
+        assert!(!reaches(&d, 1, 2));
+    }
+
+    #[test]
+    fn independence_is_symmetric_antireflexive() {
+        let d = diamond();
+        assert!(independent(&d, 1, 2));
+        assert!(independent(&d, 2, 1));
+        assert!(!independent(&d, 0, 3));
+        assert!(!independent(&d, 1, 1));
+    }
+
+    #[test]
+    fn closure_matches_reaches() {
+        let d = Dag::new(
+            7,
+            &[(0, 2), (1, 2), (2, 3), (3, 4), (1, 5), (5, 6), (2, 6)],
+        )
+        .unwrap();
+        let c = transitive_closure(&d);
+        for u in 0..7 {
+            for v in 0..7 {
+                assert_eq!(
+                    closure_reaches(&c, u, v),
+                    reaches(&d, u, v),
+                    "mismatch at ({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closure_on_wide_graph_crosses_word_boundary() {
+        // 130 nodes: chain, to exercise >2 u64 words per row.
+        let d = Dag::chain(130);
+        let c = transitive_closure(&d);
+        assert!(closure_reaches(&c, 0, 129));
+        assert!(closure_reaches(&c, 64, 65));
+        assert!(!closure_reaches(&c, 129, 0));
+    }
+}

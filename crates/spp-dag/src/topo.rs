@@ -1,0 +1,93 @@
+//! Topological orders.
+
+use crate::graph::Dag;
+
+/// Kahn's algorithm. Returns a topological order of all nodes, or `None`
+/// if the edge relation is cyclic (used during [`Dag`] construction, where
+/// the adjacency lists exist before acyclicity is certified).
+pub fn topological_order(dag: &Dag) -> Option<Vec<usize>> {
+    let n = dag.len();
+    let mut indeg: Vec<usize> = (0..n).map(|v| dag.in_degree(v)).collect();
+    // Process smallest-index-first for determinism.
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&v| indeg[v] == 0)
+        .map(std::cmp::Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse(v)) = ready.pop() {
+        order.push(v);
+        for &w in dag.succs(v) {
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                ready.push(std::cmp::Reverse(w));
+            }
+        }
+    }
+    if order.len() == n {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Verify that `order` is a permutation of `0..n` consistent with all
+/// edges (every predecessor appears before its successor).
+pub fn is_topological(dag: &Dag, order: &[usize]) -> bool {
+    let n = dag.len();
+    if order.len() != n {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        if v >= n || pos[v] != usize::MAX {
+            return false;
+        }
+        pos[v] = i;
+    }
+    dag.edges().all(|(u, v)| pos[u] < pos[v])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_order_is_identity() {
+        let d = Dag::chain(5);
+        let order = topological_order(&d).unwrap();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert!(is_topological(&d, &order));
+    }
+
+    #[test]
+    fn diamond_orders_are_valid() {
+        let d = Dag::new(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let order = topological_order(&d).unwrap();
+        assert!(is_topological(&d, &order));
+        assert_eq!(order[0], 0);
+        assert_eq!(order[3], 3);
+    }
+
+    #[test]
+    fn reversed_edge_order_still_topological() {
+        // edges pointing "backwards" in index space
+        let d = Dag::new(3, &[(2, 1), (1, 0)]).unwrap();
+        let order = topological_order(&d).unwrap();
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn is_topological_rejects_bad_orders() {
+        let d = Dag::chain(3);
+        assert!(!is_topological(&d, &[1, 0, 2]));
+        assert!(!is_topological(&d, &[0, 1]));
+        assert!(!is_topological(&d, &[0, 0, 1]));
+        assert!(!is_topological(&d, &[0, 1, 7]));
+    }
+
+    #[test]
+    fn deterministic_smallest_first() {
+        let d = Dag::empty(4);
+        assert_eq!(topological_order(&d).unwrap(), vec![0, 1, 2, 3]);
+    }
+}

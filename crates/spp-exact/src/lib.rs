@@ -1,0 +1,19 @@
+//! # spp-exact — exact solvers for small instances
+//!
+//! The paper proves approximation ratios; to *measure* them we need true
+//! optima on small instances. Two exact engines:
+//!
+//! * [`dp_bins`] — precedence-constrained bin packing (= uniform-height
+//!   precedence strip packing, via the §2.2 shelf reduction) solved
+//!   exactly by bitmask dynamic programming over "set of already-closed
+//!   items". Practical to ~20 items.
+//! * [`bb_strip`] — general (precedence-constrained) strip packing solved
+//!   by branch-and-bound over canonical corner placements, with a node
+//!   budget. Practical to ~8 items; returns `None` when the budget is
+//!   exhausted so callers can fall back to lower bounds.
+
+pub mod bb_strip;
+pub mod dp_bins;
+
+pub use bb_strip::{exact_strip, ExactConfig, ExactResult};
+pub use dp_bins::{exact_bins, exact_uniform_height};

@@ -1,0 +1,91 @@
+//! The reconfigurable device model.
+
+/// A column-reconfigurable FPGA: `K` identical columns in a row.
+///
+/// Virtex-II-class devices reconfigure whole columns only, so a task
+/// occupies a contiguous column range `[col, col + cols)` for a time
+/// interval — exactly a rectangle in the strip of width `K` (normalized
+/// to 1). Typical devices have `K ≤ 200` (§1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Device {
+    columns: usize,
+}
+
+impl Device {
+    /// A device with `columns ≥ 1` columns.
+    pub fn new(columns: usize) -> Self {
+        assert!(columns >= 1, "a device needs at least one column");
+        Device { columns }
+    }
+
+    /// Number of columns `K`.
+    #[inline]
+    pub fn columns(&self) -> usize {
+        self.columns
+    }
+
+    /// Width of one column in the unit strip (`1/K`).
+    #[inline]
+    pub fn column_width(&self) -> f64 {
+        1.0 / self.columns as f64
+    }
+
+    /// Convert a column count to a strip width.
+    pub fn width_of(&self, cols: usize) -> f64 {
+        assert!(
+            cols >= 1 && cols <= self.columns,
+            "task needs 1..=K columns, got {cols}"
+        );
+        cols as f64 / self.columns as f64
+    }
+
+    /// Convert a strip x-coordinate to a column index, requiring column
+    /// alignment within tolerance.
+    pub fn column_of(&self, x: f64) -> Option<usize> {
+        let c = x * self.columns as f64;
+        let r = c.round();
+        if (c - r).abs() <= 1e-6 && r >= 0.0 && (r as usize) < self.columns {
+            Some(r as usize)
+        } else if (c - r).abs() <= 1e-6 && r as usize == self.columns {
+            // x == 1.0 is only valid for zero-width, which tasks are not
+            None
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_are_column_fractions() {
+        let d = Device::new(4);
+        assert_eq!(d.columns(), 4);
+        spp_core::assert_close!(d.column_width(), 0.25);
+        spp_core::assert_close!(d.width_of(3), 0.75);
+    }
+
+    #[test]
+    fn column_of_snaps_aligned_positions() {
+        let d = Device::new(4);
+        assert_eq!(d.column_of(0.0), Some(0));
+        assert_eq!(d.column_of(0.25), Some(1));
+        assert_eq!(d.column_of(0.75), Some(3));
+        assert_eq!(d.column_of(0.30), None); // misaligned
+        assert_eq!(d.column_of(1.0), None); // past the last column
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=K")]
+    fn oversized_task_rejected() {
+        Device::new(4).width_of(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn zero_column_device_rejected() {
+        Device::new(0);
+    }
+}

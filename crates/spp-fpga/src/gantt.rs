@@ -1,0 +1,85 @@
+//! ASCII Gantt rendering of schedules (columns across, time down).
+
+use crate::schedule::Schedule;
+use crate::task::TaskGraph;
+
+/// Render the schedule as text: one row per time slot of size `dt`, one
+/// cell per column; cells show the task id (mod 36, base-36 digit) or `.`
+/// for idle fabric.
+pub fn render(graph: &TaskGraph, sched: &Schedule, dt: f64) -> String {
+    assert!(dt > 0.0, "time step must be positive");
+    let mk = sched.makespan(graph);
+    let k = graph.device.columns();
+    let steps = (mk / dt).ceil() as usize;
+    let mut grid = vec![vec![b'.'; k]; steps.max(1)];
+    for e in &sched.entries {
+        let t = &graph.tasks[e.id];
+        let t0 = (e.start_time / dt).floor() as usize;
+        let t1 = (((e.start_time + t.duration) / dt).ceil() as usize).min(grid.len());
+        let glyph = base36(e.id);
+        for row in grid.iter_mut().take(t1).skip(t0) {
+            for c in row.iter_mut().skip(e.start_col).take(t.cols) {
+                *c = glyph;
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "time/col {} (K={}, makespan={:.2})\n",
+        "-".repeat(k.saturating_sub(8)),
+        k,
+        mk
+    ));
+    for (i, row) in grid.iter().enumerate() {
+        out.push_str(&format!("{:7.2} |", i as f64 * dt));
+        out.push_str(std::str::from_utf8(row).expect("ascii"));
+        out.push_str("|\n");
+    }
+    out
+}
+
+fn base36(id: usize) -> u8 {
+    const DIGITS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+    DIGITS[id % 36]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::schedule::ScheduledTask;
+    use crate::task::Task;
+
+    #[test]
+    fn renders_cells_and_idle() {
+        let g = TaskGraph::independent(
+            Device::new(4),
+            vec![Task::new(0, 2, 1.0), Task::new(1, 2, 2.0)],
+        );
+        let s = Schedule {
+            entries: vec![
+                ScheduledTask { id: 0, start_col: 0, start_time: 0.0 },
+                ScheduledTask { id: 1, start_col: 2, start_time: 0.0 },
+            ],
+        };
+        let text = render(&g, &s, 1.0);
+        assert!(text.contains("0011"), "first slot row: {text}");
+        assert!(text.contains("..11"), "second slot row: {text}");
+        assert!(text.contains("makespan=2.00"));
+    }
+
+    #[test]
+    fn empty_schedule_renders() {
+        let g = TaskGraph::independent(Device::new(3), vec![]);
+        let s = Schedule { entries: vec![] };
+        let text = render(&g, &s, 0.5);
+        assert!(text.contains("K=3"));
+    }
+
+    #[test]
+    fn base36_wraps() {
+        assert_eq!(base36(0), b'0');
+        assert_eq!(base36(10), b'a');
+        assert_eq!(base36(36), b'0');
+    }
+}

@@ -1,0 +1,34 @@
+//! # spp-fpga — the application substrate: partially reconfigurable FPGAs
+//!
+//! The paper's motivation (§1): a dynamically reconfigurable FPGA
+//! (Virtex-II style) is a linear array of `K` homogeneous columns; a task
+//! occupies a *contiguous* block of columns for the full height of the
+//! device, for the duration of its execution. Scheduling tasks on the
+//! device *is* strip packing: width = columns/`K`, height = time.
+//!
+//! This crate simulates that device model end to end:
+//!
+//! * [`device`] — the `K`-column fabric and its invariants;
+//! * [`task`] — column-quantized tasks and task graphs;
+//! * [`schedule`] — reconfiguration schedules with full validation
+//!   (contiguity, no column/time conflicts, precedence, release times);
+//! * [`convert`] — task graph ⇄ strip instance, placement ⇄ schedule;
+//! * [`gantt`] — ASCII rendering of a schedule (columns × time);
+//! * [`pipelines`] — workload generators shaped like the image-processing
+//!   pipelines (JPEG encoding) the paper cites as the driving use case;
+//! * [`overhead`] — extension: per-task reconfiguration delay `δ`
+//!   (bitstream load), with the inflation reduction back to the
+//!   overhead-free model.
+
+pub mod convert;
+pub mod device;
+pub mod gantt;
+pub mod overhead;
+pub mod pipelines;
+pub mod schedule;
+pub mod task;
+
+pub use convert::{schedule_from_placement, to_prec_instance};
+pub use device::Device;
+pub use schedule::{Schedule, ScheduleError, ScheduledTask};
+pub use task::{Task, TaskGraph};

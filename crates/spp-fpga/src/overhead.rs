@@ -1,0 +1,187 @@
+//! Reconfiguration overhead.
+//!
+//! Real column-reconfigurable devices pay a fixed delay to rewrite a
+//! column's configuration before a task can run there (on Virtex-II the
+//! bitstream load is proportional to the columns touched). The paper
+//! abstracts this away; this extension models a per-task overhead `δ`:
+//! **whenever two tasks share a column, the later one must start at least
+//! `δ` after the earlier one finishes** (its columns must be rewritten).
+//!
+//! The standard reduction back to overhead-free scheduling inflates every
+//! duration by `δ`: a schedule of the inflated graph, replayed on the
+//! original durations, leaves exactly the `δ` gap the reconfiguration
+//! needs. [`inflate`] performs the reduction, [`validate_with_overhead`]
+//! checks the property directly, and the round-trip is tested for every
+//! algorithm in the workspace.
+
+use crate::schedule::{Schedule, ScheduleError};
+use crate::task::{Task, TaskGraph};
+
+/// Inflate every task duration by `delta` (the reconfiguration delay).
+/// Scheduling the inflated graph and replaying start times on the
+/// original graph yields a schedule that is valid *with* overhead.
+pub fn inflate(graph: &TaskGraph, delta: f64) -> TaskGraph {
+    assert!(delta >= 0.0, "overhead cannot be negative");
+    let tasks = graph
+        .tasks
+        .iter()
+        .map(|t| Task {
+            id: t.id,
+            cols: t.cols,
+            duration: t.duration + delta,
+            release: t.release,
+        })
+        .collect();
+    TaskGraph::new(graph.device, tasks, graph.dag.clone())
+}
+
+/// Validate a schedule of the *original* graph under reconfiguration
+/// overhead `delta`: the plain schedule rules plus, for any two tasks
+/// sharing a column, `later.start ≥ earlier.end + delta`.
+pub fn validate_with_overhead(
+    graph: &TaskGraph,
+    sched: &Schedule,
+    delta: f64,
+) -> Result<(), ScheduleError> {
+    sched.validate(graph)?;
+    if delta <= 0.0 {
+        return Ok(());
+    }
+    let n = graph.len();
+    let mut by_id = vec![None; n];
+    for e in &sched.entries {
+        by_id[e.id] = Some(*e);
+    }
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let (ea, eb) = (by_id[a].unwrap(), by_id[b].unwrap());
+            let (ta, tb) = (&graph.tasks[a], &graph.tasks[b]);
+            let cols_overlap = ea.start_col < eb.start_col + tb.cols
+                && eb.start_col < ea.start_col + ta.cols;
+            if !cols_overlap {
+                continue;
+            }
+            // `a` strictly before `b` in time?
+            let a_end = ea.start_time + ta.duration;
+            if a_end <= eb.start_time + spp_core::eps::EPS
+                && eb.start_time + spp_core::eps::EPS < a_end + delta
+            {
+                return Err(ScheduleError::Conflict { a, b });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Schedule with overhead by reduction: solve the inflated graph with the
+/// given strip-packing pipeline, replay start times/columns on the
+/// original graph. Returns the overhead-valid schedule.
+pub fn schedule_with_overhead(
+    graph: &TaskGraph,
+    delta: f64,
+    solve: impl Fn(&spp_dag::PrecInstance) -> spp_core::Placement,
+) -> Result<Schedule, usize> {
+    let inflated = inflate(graph, delta);
+    let prec = crate::convert::to_prec_instance(&inflated);
+    let pl = solve(&prec);
+    debug_assert!(prec.validate(&pl).is_ok());
+    crate::convert::schedule_from_placement(&inflated, &pl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::schedule::ScheduledTask;
+    use spp_pack::Packer;
+
+    fn graph() -> TaskGraph {
+        TaskGraph::independent(
+            Device::new(4),
+            vec![Task::new(0, 2, 1.0), Task::new(1, 2, 1.0), Task::new(2, 2, 1.0)],
+        )
+    }
+
+    #[test]
+    fn inflation_adds_delta() {
+        let g = graph();
+        let infl = inflate(&g, 0.25);
+        for (a, b) in g.tasks.iter().zip(&infl.tasks) {
+            spp_core::assert_close!(b.duration, a.duration + 0.25);
+            assert_eq!(a.cols, b.cols);
+        }
+    }
+
+    #[test]
+    fn back_to_back_without_gap_rejected() {
+        let g = graph();
+        let s = Schedule {
+            entries: vec![
+                ScheduledTask { id: 0, start_col: 0, start_time: 0.0 },
+                ScheduledTask { id: 1, start_col: 0, start_time: 1.0 }, // no gap
+                ScheduledTask { id: 2, start_col: 2, start_time: 0.0 },
+            ],
+        };
+        assert!(s.validate(&g).is_ok(), "fine without overhead");
+        assert!(validate_with_overhead(&g, &s, 0.5).is_err());
+        // with the gap it passes
+        let s2 = Schedule {
+            entries: vec![
+                ScheduledTask { id: 0, start_col: 0, start_time: 0.0 },
+                ScheduledTask { id: 1, start_col: 0, start_time: 1.5 },
+                ScheduledTask { id: 2, start_col: 2, start_time: 0.0 },
+            ],
+        };
+        assert!(validate_with_overhead(&g, &s2, 0.5).is_ok());
+    }
+
+    #[test]
+    fn disjoint_columns_need_no_gap() {
+        let g = graph();
+        let s = Schedule {
+            entries: vec![
+                ScheduledTask { id: 0, start_col: 0, start_time: 0.0 },
+                ScheduledTask { id: 1, start_col: 2, start_time: 0.0 },
+                ScheduledTask { id: 2, start_col: 0, start_time: 2.0 },
+            ],
+        };
+        assert!(validate_with_overhead(&g, &s, 0.5).is_ok());
+    }
+
+    #[test]
+    fn reduction_roundtrip_is_overhead_valid() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(66);
+        for _ in 0..8 {
+            let k = rng.gen_range(2..8);
+            let n = rng.gen_range(2..15);
+            let tasks: Vec<Task> = (0..n)
+                .map(|i| Task::new(i, rng.gen_range(1..=k), rng.gen_range(0.2..1.5)))
+                .collect();
+            let dag = spp_dag::gen::random_order(&mut rng, n, 0.2);
+            let g = TaskGraph::new(Device::new(k), tasks, dag);
+            let delta = 0.3;
+            let sched = schedule_with_overhead(&g, delta, |p| {
+                spp_precedence::dc(p, &Packer::Nfdh)
+            })
+            .expect("aligned");
+            validate_with_overhead(&g, &sched, delta).expect("overhead-valid");
+        }
+    }
+
+    #[test]
+    fn zero_overhead_is_plain_validation() {
+        let g = graph();
+        let s = Schedule {
+            entries: vec![
+                ScheduledTask { id: 0, start_col: 0, start_time: 0.0 },
+                ScheduledTask { id: 1, start_col: 0, start_time: 1.0 },
+                ScheduledTask { id: 2, start_col: 2, start_time: 0.0 },
+            ],
+        };
+        assert!(validate_with_overhead(&g, &s, 0.0).is_ok());
+    }
+}

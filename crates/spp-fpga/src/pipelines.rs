@@ -1,0 +1,154 @@
+//! Workload generators shaped like the paper's motivating applications.
+//!
+//! §1 motivates precedence-constrained strip packing with image
+//! processing — "such as JPEG encoding" — on column-reconfigurable
+//! FPGAs. These builders produce task graphs with that structure.
+
+use crate::device::Device;
+use crate::task::{Task, TaskGraph};
+use rand::Rng;
+use spp_dag::Dag;
+
+/// A JPEG-encoder-like pipeline: `stripes` independent image stripes,
+/// each flowing through 4 stages (color transform → DCT → quantization →
+/// entropy coding), with a final multiplexer task collecting all stripes.
+///
+/// Stage resource shapes (columns, duration) follow the usual hardware
+/// intuition: DCT is the widest/heaviest stage, entropy coding the most
+/// serial.
+pub fn jpeg_pipeline(device: Device, stripes: usize) -> TaskGraph {
+    assert!(stripes >= 1);
+    let k = device.columns();
+    // (cols, duration) per stage, clamped to the device width
+    let stage_shape = [
+        ((k / 4).max(1), 1.0), // color transform
+        ((k / 2).max(1), 2.0), // DCT
+        ((k / 4).max(1), 1.0), // quantization
+        ((k / 8).max(1), 3.0), // entropy coding
+    ];
+    let mut tasks = Vec::new();
+    let mut edges = Vec::new();
+    for s in 0..stripes {
+        for (stage, &(cols, dur)) in stage_shape.iter().enumerate() {
+            let id = s * 4 + stage;
+            tasks.push(Task::new(id, cols, dur));
+            if stage > 0 {
+                edges.push((id - 1, id));
+            }
+        }
+    }
+    // multiplexer joins all stripes
+    let mux = tasks.len();
+    tasks.push(Task::new(mux, (k / 4).max(1), 1.0));
+    for s in 0..stripes {
+        edges.push((s * 4 + 3, mux));
+    }
+    let n = tasks.len();
+    TaskGraph::new(device, tasks, Dag::new(n, &edges).expect("pipeline is acyclic"))
+}
+
+/// A generic image-processing pipeline: `depth` stages × `width` parallel
+/// tiles per stage, stage `i` fully connected to stage `i+1` tile-wise
+/// (each tile depends on the same-index tile and one random neighbor).
+pub fn tiled_pipeline<R: Rng>(
+    rng: &mut R,
+    device: Device,
+    depth: usize,
+    width: usize,
+) -> TaskGraph {
+    assert!(depth >= 1 && width >= 1);
+    let k = device.columns();
+    let mut tasks = Vec::new();
+    let mut edges = Vec::new();
+    for d in 0..depth {
+        for w in 0..width {
+            let id = d * width + w;
+            let cols = rng.gen_range(1..=(k / 2).max(1));
+            let dur = rng.gen_range(0.5..2.5);
+            tasks.push(Task::new(id, cols, dur));
+            if d > 0 {
+                let prev = (d - 1) * width + w;
+                edges.push((prev, id));
+                let neighbor = (d - 1) * width + rng.gen_range(0..width);
+                if neighbor != prev {
+                    edges.push((neighbor, id));
+                }
+            }
+        }
+    }
+    let n = tasks.len();
+    TaskGraph::new(device, tasks, Dag::new(n, &edges).expect("pipeline is acyclic"))
+}
+
+/// An online task queue with release times (the Steiger–Walder–Platzner
+/// operating-system setting): tasks arrive over time, no precedence.
+pub fn online_queue<R: Rng>(
+    rng: &mut R,
+    device: Device,
+    n: usize,
+    mean_gap: f64,
+) -> TaskGraph {
+    let k = device.columns();
+    let mut t = 0.0;
+    let tasks: Vec<Task> = (0..n)
+        .map(|i| {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            t += -mean_gap * u.ln();
+            Task::with_release(i, rng.gen_range(1..=k), rng.gen_range(0.1..1.0), t)
+        })
+        .collect();
+    TaskGraph::independent(device, tasks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn jpeg_counts() {
+        let g = jpeg_pipeline(Device::new(16), 3);
+        assert_eq!(g.len(), 13); // 3 stripes × 4 stages + mux
+        // each stripe is a chain into the mux
+        assert_eq!(g.dag.in_degree(12), 3);
+        assert!(g.critical_path() >= 7.0); // 1+2+1+3 through a stripe
+    }
+
+    #[test]
+    fn jpeg_small_device_clamps() {
+        let g = jpeg_pipeline(Device::new(2), 1);
+        for t in &g.tasks {
+            assert!(t.cols >= 1 && t.cols <= 2);
+        }
+    }
+
+    #[test]
+    fn tiled_pipeline_levels() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = tiled_pipeline(&mut rng, Device::new(8), 4, 3);
+        assert_eq!(g.len(), 12);
+        // depth-4 pipeline → critical path crosses at least 4 tasks
+        let lv = spp_dag::levels::levels(&g.dag);
+        assert_eq!(lv.iter().copied().max(), Some(3));
+    }
+
+    #[test]
+    fn online_queue_sorted_releases() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = online_queue(&mut rng, Device::new(6), 20, 0.5);
+        for w in g.tasks.windows(2) {
+            assert!(w[0].release <= w[1].release);
+        }
+        assert_eq!(g.dag.edge_count(), 0);
+    }
+
+    #[test]
+    fn jpeg_schedules_with_dc_end_to_end() {
+        let g = jpeg_pipeline(Device::new(16), 4);
+        let p = crate::convert::to_prec_instance(&g);
+        let pl = spp_precedence::dc(&p, &spp_pack::Packer::Nfdh);
+        let sched = crate::convert::schedule_from_placement(&g, &pl).unwrap();
+        sched.validate(&g).unwrap();
+        assert!(sched.makespan(&g) + 1e-9 >= g.makespan_lower_bound());
+    }
+}

@@ -1,0 +1,251 @@
+//! Reconfiguration schedules and their validation.
+
+use crate::task::TaskGraph;
+use std::fmt;
+
+/// One scheduled task: starts at `start_time`, occupies columns
+/// `[start_col, start_col + cols)` until `start_time + duration`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledTask {
+    pub id: usize,
+    pub start_col: usize,
+    pub start_time: f64,
+}
+
+/// A complete schedule for a task graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    pub entries: Vec<ScheduledTask>,
+}
+
+/// Schedule validation failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    WrongTaskCount { expected: usize, got: usize },
+    MissingTask { id: usize },
+    ColumnsOutOfRange { id: usize },
+    ReleaseViolated { id: usize },
+    PrecedenceViolated { pred: usize, succ: usize },
+    Conflict { a: usize, b: usize },
+    NegativeStart { id: usize },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::WrongTaskCount { expected, got } => {
+                write!(f, "schedule has {got} entries for {expected} tasks")
+            }
+            ScheduleError::MissingTask { id } => write!(f, "task {id} not scheduled"),
+            ScheduleError::ColumnsOutOfRange { id } => {
+                write!(f, "task {id} leaves the device")
+            }
+            ScheduleError::ReleaseViolated { id } => {
+                write!(f, "task {id} starts before its release")
+            }
+            ScheduleError::PrecedenceViolated { pred, succ } => {
+                write!(f, "task {succ} starts before predecessor {pred} finishes")
+            }
+            ScheduleError::Conflict { a, b } => {
+                write!(f, "tasks {a} and {b} overlap in columns and time")
+            }
+            ScheduleError::NegativeStart { id } => {
+                write!(f, "task {id} starts before time 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl Schedule {
+    /// Makespan: latest finish time (0 for an empty schedule).
+    pub fn makespan(&self, graph: &TaskGraph) -> f64 {
+        self.entries
+            .iter()
+            .map(|e| e.start_time + graph.tasks[e.id].duration)
+            .fold(0.0, f64::max)
+    }
+
+    /// Device utilization: work / (K × makespan). In `[0, 1]`.
+    pub fn utilization(&self, graph: &TaskGraph) -> f64 {
+        let mk = self.makespan(graph);
+        if mk <= 0.0 {
+            return 0.0;
+        }
+        graph.total_work() / (graph.device.columns() as f64 * mk)
+    }
+
+    /// Validate against the task graph (see [`ScheduleError`]).
+    pub fn validate(&self, graph: &TaskGraph) -> Result<(), ScheduleError> {
+        let n = graph.len();
+        if self.entries.len() != n {
+            return Err(ScheduleError::WrongTaskCount {
+                expected: n,
+                got: self.entries.len(),
+            });
+        }
+        let mut by_id: Vec<Option<ScheduledTask>> = vec![None; n];
+        for e in &self.entries {
+            if e.id >= n {
+                return Err(ScheduleError::MissingTask { id: e.id });
+            }
+            by_id[e.id] = Some(*e);
+        }
+        let entry = |id: usize| -> Result<ScheduledTask, ScheduleError> {
+            by_id[id].ok_or(ScheduleError::MissingTask { id })
+        };
+        for id in 0..n {
+            let e = entry(id)?;
+            let t = &graph.tasks[id];
+            if e.start_col + t.cols > graph.device.columns() {
+                return Err(ScheduleError::ColumnsOutOfRange { id });
+            }
+            if e.start_time < -spp_core::eps::EPS {
+                return Err(ScheduleError::NegativeStart { id });
+            }
+            if e.start_time + spp_core::eps::EPS < t.release {
+                return Err(ScheduleError::ReleaseViolated { id });
+            }
+        }
+        for (u, v) in graph.dag.edges() {
+            let eu = entry(u)?;
+            let ev = entry(v)?;
+            if eu.start_time + graph.tasks[u].duration > ev.start_time + spp_core::eps::EPS {
+                return Err(ScheduleError::PrecedenceViolated { pred: u, succ: v });
+            }
+        }
+        // pairwise conflicts (columns overlap && time overlaps)
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (ea, eb) = (entry(a)?, entry(b)?);
+                let (ta, tb) = (&graph.tasks[a], &graph.tasks[b]);
+                let cols_overlap = ea.start_col < eb.start_col + tb.cols
+                    && eb.start_col < ea.start_col + ta.cols;
+                let time_overlap = spp_core::eps::intervals_overlap(
+                    ea.start_time,
+                    ea.start_time + ta.duration,
+                    eb.start_time,
+                    eb.start_time + tb.duration,
+                );
+                if cols_overlap && time_overlap {
+                    return Err(ScheduleError::Conflict { a, b });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::task::Task;
+    use spp_dag::Dag;
+
+    fn graph() -> TaskGraph {
+        let d = Device::new(4);
+        TaskGraph::new(
+            d,
+            vec![
+                Task::new(0, 2, 1.0),
+                Task::new(1, 2, 1.0),
+                Task::with_release(2, 4, 0.5, 2.0),
+            ],
+            Dag::new(3, &[(0, 2)]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let g = graph();
+        let s = Schedule {
+            entries: vec![
+                ScheduledTask { id: 0, start_col: 0, start_time: 0.0 },
+                ScheduledTask { id: 1, start_col: 2, start_time: 0.0 },
+                ScheduledTask { id: 2, start_col: 0, start_time: 2.0 },
+            ],
+        };
+        assert!(s.validate(&g).is_ok());
+        spp_core::assert_close!(s.makespan(&g), 2.5);
+        let util = s.utilization(&g);
+        assert!(util > 0.0 && util <= 1.0);
+    }
+
+    #[test]
+    fn conflicts_detected() {
+        let g = graph();
+        let s = Schedule {
+            entries: vec![
+                ScheduledTask { id: 0, start_col: 0, start_time: 0.0 },
+                ScheduledTask { id: 1, start_col: 1, start_time: 0.5 }, // overlaps 0
+                ScheduledTask { id: 2, start_col: 0, start_time: 2.0 },
+            ],
+        };
+        assert_eq!(
+            s.validate(&g),
+            Err(ScheduleError::Conflict { a: 0, b: 1 })
+        );
+    }
+
+    #[test]
+    fn precedence_and_release_checked() {
+        let g = graph();
+        let early = Schedule {
+            entries: vec![
+                ScheduledTask { id: 0, start_col: 0, start_time: 0.0 },
+                ScheduledTask { id: 1, start_col: 2, start_time: 0.0 },
+                ScheduledTask { id: 2, start_col: 0, start_time: 0.5 }, // release 2.0!
+            ],
+        };
+        assert_eq!(
+            early.validate(&g),
+            Err(ScheduleError::ReleaseViolated { id: 2 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_columns() {
+        let g = graph();
+        let s = Schedule {
+            entries: vec![
+                ScheduledTask { id: 0, start_col: 3, start_time: 0.0 }, // 3+2 > 4
+                ScheduledTask { id: 1, start_col: 0, start_time: 0.0 },
+                ScheduledTask { id: 2, start_col: 0, start_time: 2.0 },
+            ],
+        };
+        assert_eq!(
+            s.validate(&g),
+            Err(ScheduleError::ColumnsOutOfRange { id: 0 })
+        );
+    }
+
+    #[test]
+    fn missing_and_duplicate_tasks() {
+        let g = graph();
+        let s = Schedule {
+            entries: vec![
+                ScheduledTask { id: 0, start_col: 0, start_time: 0.0 },
+                ScheduledTask { id: 0, start_col: 0, start_time: 5.0 }, // dup
+                ScheduledTask { id: 2, start_col: 0, start_time: 2.0 },
+            ],
+        };
+        assert_eq!(s.validate(&g), Err(ScheduleError::MissingTask { id: 1 }));
+    }
+
+    #[test]
+    fn touching_time_intervals_do_not_conflict() {
+        let g = TaskGraph::independent(
+            Device::new(2),
+            vec![Task::new(0, 2, 1.0), Task::new(1, 2, 1.0)],
+        );
+        let s = Schedule {
+            entries: vec![
+                ScheduledTask { id: 0, start_col: 0, start_time: 0.0 },
+                ScheduledTask { id: 1, start_col: 0, start_time: 1.0 },
+            ],
+        };
+        assert!(s.validate(&g).is_ok());
+    }
+}

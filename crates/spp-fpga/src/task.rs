@@ -1,0 +1,149 @@
+//! Column-quantized tasks and task graphs.
+
+use crate::device::Device;
+use spp_dag::Dag;
+
+/// A hardware task: occupies `cols` contiguous columns for `duration`
+/// time units, not before `release`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Task {
+    pub id: usize,
+    /// Columns required (≥ 1).
+    pub cols: usize,
+    /// Execution time (> 0).
+    pub duration: f64,
+    /// Earliest start time.
+    pub release: f64,
+}
+
+impl Task {
+    pub fn new(id: usize, cols: usize, duration: f64) -> Self {
+        Task {
+            id,
+            cols,
+            duration,
+            release: 0.0,
+        }
+    }
+
+    pub fn with_release(id: usize, cols: usize, duration: f64, release: f64) -> Self {
+        Task {
+            id,
+            cols,
+            duration,
+            release,
+        }
+    }
+}
+
+/// A set of tasks plus their precedence DAG, bound to a device.
+#[derive(Debug, Clone)]
+pub struct TaskGraph {
+    pub device: Device,
+    pub tasks: Vec<Task>,
+    pub dag: Dag,
+}
+
+impl TaskGraph {
+    /// Build and validate: ids sequential, columns within the device,
+    /// durations positive, DAG size matching.
+    pub fn new(device: Device, tasks: Vec<Task>, dag: Dag) -> Self {
+        assert_eq!(tasks.len(), dag.len(), "task/DAG size mismatch");
+        for (i, t) in tasks.iter().enumerate() {
+            assert_eq!(t.id, i, "task ids must equal their index");
+            assert!(
+                t.cols >= 1 && t.cols <= device.columns(),
+                "task {i} needs {} columns on a {}-column device",
+                t.cols,
+                device.columns()
+            );
+            assert!(t.duration > 0.0, "task {i} has non-positive duration");
+            assert!(t.release >= 0.0, "task {i} has negative release");
+        }
+        TaskGraph { device, tasks, dag }
+    }
+
+    /// Tasks without precedence constraints.
+    pub fn independent(device: Device, tasks: Vec<Task>) -> Self {
+        let n = tasks.len();
+        TaskGraph::new(device, tasks, Dag::empty(n))
+    }
+
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total work = Σ cols·duration (device-column time units).
+    pub fn total_work(&self) -> f64 {
+        self.tasks
+            .iter()
+            .map(|t| t.cols as f64 * t.duration)
+            .sum()
+    }
+
+    /// Critical-path duration (ignoring column contention).
+    pub fn critical_path(&self) -> f64 {
+        let heights: Vec<f64> = self.tasks.iter().map(|t| t.duration).collect();
+        spp_dag::critical_path_values(&self.dag, &heights)
+            .into_iter()
+            .fold(0.0, f64::max)
+    }
+
+    /// Makespan lower bound: `max(work/K, critical path, max release+dur)`.
+    pub fn makespan_lower_bound(&self) -> f64 {
+        let work = self.total_work() / self.device.columns() as f64;
+        let release = self
+            .tasks
+            .iter()
+            .map(|t| t.release + t.duration)
+            .fold(0.0, f64::max);
+        work.max(self.critical_path()).max(release)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        let d = Device::new(8);
+        let tasks = vec![Task::new(0, 4, 2.0), Task::new(1, 8, 1.0)];
+        let g = TaskGraph::independent(d, tasks);
+        assert_eq!(g.len(), 2);
+        spp_core::assert_close!(g.total_work(), 16.0);
+    }
+
+    #[test]
+    fn lower_bounds() {
+        let d = Device::new(4);
+        let tasks = vec![
+            Task::new(0, 4, 1.0),
+            Task::new(1, 2, 2.0),
+            Task::with_release(2, 1, 1.0, 10.0),
+        ];
+        let dag = Dag::new(3, &[(0, 1)]).unwrap();
+        let g = TaskGraph::new(d, tasks, dag);
+        spp_core::assert_close!(g.critical_path(), 3.0);
+        // work = 4 + 4 + 1 = 9, /4 = 2.25; release bound = 11
+        spp_core::assert_close!(g.makespan_lower_bound(), 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn too_wide_task_rejected() {
+        let d = Device::new(4);
+        TaskGraph::independent(d, vec![Task::new(0, 5, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn dag_size_must_match() {
+        let d = Device::new(4);
+        TaskGraph::new(d, vec![Task::new(0, 1, 1.0)], Dag::empty(2));
+    }
+}

@@ -1,0 +1,297 @@
+//! The paper's hand-crafted instance families.
+//!
+//! * [`fig1_lower_bound_gap`] — Lemma 2.4 / Fig. 1: a precedence-
+//!   constrained family where both simple lower bounds (`AREA(S)` and
+//!   `F(S)`) tend to 1 while every valid packing has height ≥ `k/2 =
+//!   Ω(log n)`. It certifies that no algorithm argued only against those
+//!   bounds can beat `O(log n)`.
+//! * [`fig2_ratio3_tightness`] — Lemma 2.7 / Fig. 2: a uniform-height
+//!   family with `OPT = 3(max F − 1)` and `OPT = 3·AREA − 3nε`, showing
+//!   the absolute 3-approximation of Theorem 2.6 cannot be improved by an
+//!   argument against `max(AREA, F)`.
+
+use spp_core::{Instance, Item};
+use spp_dag::{Dag, PrecInstance};
+
+/// The Lemma 2.4 construction for parameter `k ≥ 1` (so `n = 2^{k+1} − 2`).
+///
+/// Composition (§2.1):
+/// * `n/2 = 2^k − 1` **tall** rectangles of width `1/k`; for
+///   `i ∈ [1, k]` there are `2^{i−1}` of them with height `1/2^{i−1}`;
+/// * `n/2` **wide** rectangles of width 1 and height `ε`;
+/// * chain `i` alternates the `2^{i−1}` tall rectangles of height
+///   `1/2^{i−1}` with wide rectangles (`2^{i−1} − 1` of them); the
+///   `k` wide rectangles left over form one extra chain.
+///
+/// As `ε → 0`: `AREA(S) → 1`, `F(S) → 1`, but `OPT ≥ k/2` because the
+/// width-1 separators force shelf-like packings (Lemma 2.4).
+pub struct Fig1Family {
+    pub k: usize,
+    pub epsilon: f64,
+    pub prec: PrecInstance,
+    /// ids of the tall rectangles (diagnostics / rendering).
+    pub tall_ids: Vec<usize>,
+    /// ids of the wide rectangles.
+    pub wide_ids: Vec<usize>,
+}
+
+impl Fig1Family {
+    /// `n = 2^{k+1} − 2`.
+    pub fn n(&self) -> usize {
+        (1usize << (self.k + 1)) - 2
+    }
+
+    /// The Ω(log n) lower bound on OPT proved in Lemma 2.4: `k/2`.
+    pub fn opt_lower_bound(&self) -> f64 {
+        self.k as f64 / 2.0
+    }
+
+    /// An upper bound on OPT: stacking everything costs
+    /// `Σ h = k + (n/2)·ε`, so OPT = Θ(k) = Θ(log n).
+    pub fn opt_upper_bound(&self) -> f64 {
+        self.k as f64 + (self.n() as f64 / 2.0) * self.epsilon
+    }
+}
+
+/// Build the Lemma 2.4 / Fig. 1 family.
+pub fn fig1_lower_bound_gap(k: usize, epsilon: f64) -> Fig1Family {
+    assert!(k >= 1, "k must be positive");
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let n = (1usize << (k + 1)) - 2;
+    let half = n / 2; // = 2^k - 1
+
+    let mut items: Vec<Item> = Vec::with_capacity(n);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut tall_ids = Vec::with_capacity(half);
+    let mut wide_ids = Vec::with_capacity(half);
+    let tall_w = 1.0 / k as f64;
+
+    let mut next_id = 0usize;
+    let mut new_item = |items: &mut Vec<Item>, w: f64, h: f64| -> usize {
+        let id = next_id;
+        items.push(Item::new(id, w, h));
+        next_id += 1;
+        id
+    };
+
+    let mut wides_used = 0usize;
+    for i in 1..=k {
+        let count = 1usize << (i - 1); // talls in chain i
+        let h = 1.0 / count as f64; // height 1/2^{i-1}
+        let mut prev: Option<usize> = None;
+        for _ in 0..count {
+            let t = new_item(&mut items, tall_w, h);
+            tall_ids.push(t);
+            if let Some(p) = prev {
+                // sandwich a wide rectangle between consecutive talls
+                let wde = new_item(&mut items, 1.0, epsilon);
+                wide_ids.push(wde);
+                wides_used += 1;
+                edges.push((p, wde));
+                edges.push((wde, t));
+            }
+            prev = Some(t);
+        }
+    }
+    // leftover wide rectangles form a separate chain
+    let mut prev: Option<usize> = None;
+    for _ in wides_used..half {
+        let wde = new_item(&mut items, 1.0, epsilon);
+        wide_ids.push(wde);
+        if let Some(p) = prev {
+            edges.push((p, wde));
+        }
+        prev = Some(wde);
+    }
+
+    debug_assert_eq!(items.len(), n);
+    let inst = Instance::new(items).expect("construction is in range");
+    let dag = Dag::new(n, &edges).expect("chains are acyclic");
+    Fig1Family {
+        k,
+        epsilon,
+        prec: PrecInstance::new(inst, dag),
+        tall_ids,
+        wide_ids,
+    }
+}
+
+/// The Lemma 2.7 construction for parameter `k ≥ 1` (so `n = 3k`).
+///
+/// * `n/3` **narrow** rectangles: height 1, width `ε`, forming one chain;
+/// * `2n/3` **wide** rectangles: height 1, width `1/2 + ε`, each with an
+///   edge into the *first* narrow rectangle.
+///
+/// Wide rectangles can never share a shelf (width > 1/2) and must all
+/// finish before the narrow chain starts, so `OPT = n` exactly, while
+/// `max F = n/3 + 1` and `AREA = n/3 + nε`.
+pub struct Fig2Family {
+    pub k: usize,
+    pub epsilon: f64,
+    pub prec: PrecInstance,
+    pub narrow_ids: Vec<usize>,
+    pub wide_ids: Vec<usize>,
+}
+
+impl Fig2Family {
+    pub fn n(&self) -> usize {
+        3 * self.k
+    }
+
+    /// Exact optimum (Lemma 2.7): all rectangles in series, height `n`.
+    pub fn opt(&self) -> f64 {
+        self.n() as f64
+    }
+
+    /// `max_s F(s) = n/3 + 1`.
+    pub fn max_f(&self) -> f64 {
+        self.k as f64 + 1.0
+    }
+
+    /// `AREA(S) = n/3 + nε`.
+    pub fn area(&self) -> f64 {
+        self.k as f64 + 3.0 * self.k as f64 * self.epsilon
+    }
+}
+
+/// Build the Lemma 2.7 / Fig. 2 family.
+pub fn fig2_ratio3_tightness(k: usize, epsilon: f64) -> Fig2Family {
+    assert!(k >= 1, "k must be positive");
+    assert!(epsilon > 0.0 && epsilon < 0.5, "epsilon must be in (0, 1/2)");
+    let n = 3 * k;
+    let mut items = Vec::with_capacity(n);
+    let mut edges = Vec::new();
+
+    // narrow chain: ids 0..k
+    let narrow_ids: Vec<usize> = (0..k).collect();
+    for &id in &narrow_ids {
+        items.push(Item::new(id, epsilon, 1.0));
+        if id > 0 {
+            edges.push((id - 1, id));
+        }
+    }
+    // wide rectangles: ids k..3k, each precedes the first narrow
+    let wide_ids: Vec<usize> = (k..n).collect();
+    for &id in &wide_ids {
+        items.push(Item::new(id, 0.5 + epsilon, 1.0));
+        edges.push((id, narrow_ids[0]));
+    }
+
+    let inst = Instance::new(items).expect("construction is in range");
+    let dag = Dag::new(n, &edges).expect("construction is acyclic");
+    Fig2Family {
+        k,
+        epsilon,
+        prec: PrecInstance::new(inst, dag),
+        narrow_ids,
+        wide_ids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_core::assert_close;
+
+    #[test]
+    fn fig1_counts_match_paper() {
+        for k in 1..=6 {
+            let fam = fig1_lower_bound_gap(k, 1e-6);
+            let n = (1usize << (k + 1)) - 2;
+            assert_eq!(fam.prec.len(), n, "k={k}");
+            assert_eq!(fam.tall_ids.len(), n / 2);
+            assert_eq!(fam.wide_ids.len(), n / 2);
+        }
+    }
+
+    #[test]
+    fn fig1_bounds_tend_to_one() {
+        let fam = fig1_lower_bound_gap(6, 1e-9);
+        // AREA = 1 + (wide area) = 1 + (n/2)·ε
+        assert_close!(fam.prec.area_lb(), 1.0, 1e-5);
+        // F = 1 + (separators) per chain
+        assert_close!(fam.prec.critical_lb(), 1.0, 1e-5);
+        // ... yet OPT is at least k/2 = 3
+        assert_eq!(fam.opt_lower_bound(), 3.0);
+        assert!(fam.opt_upper_bound() >= fam.opt_lower_bound());
+    }
+
+    #[test]
+    fn fig1_tall_heights_are_dyadic() {
+        let fam = fig1_lower_bound_gap(4, 1e-6);
+        let mut counts = std::collections::HashMap::new();
+        for &id in &fam.tall_ids {
+            let h = fam.prec.inst.item(id).h;
+            *counts.entry(format!("{h:.9}")).or_insert(0usize) += 1;
+        }
+        // 2^{i-1} rectangles of height 1/2^{i-1}
+        assert_eq!(counts[&format!("{:.9}", 1.0)], 1);
+        assert_eq!(counts[&format!("{:.9}", 0.5)], 2);
+        assert_eq!(counts[&format!("{:.9}", 0.25)], 4);
+        assert_eq!(counts[&format!("{:.9}", 0.125)], 8);
+    }
+
+    #[test]
+    fn fig1_dag_is_chains() {
+        let fam = fig1_lower_bound_gap(5, 1e-6);
+        // every node has in/out degree ≤ 1 (disjoint chains)
+        for v in 0..fam.prec.len() {
+            assert!(fam.prec.dag.in_degree(v) <= 1);
+            assert!(fam.prec.dag.out_degree(v) <= 1);
+        }
+        // k + 1 chains (k alternating + 1 leftover wide chain), unless the
+        // leftover chain is empty
+        let sources = fam.prec.dag.sources().len();
+        assert_eq!(sources, fam.k + 1);
+    }
+
+    #[test]
+    fn fig2_quantities_match_lemma() {
+        for k in [1usize, 2, 5, 10] {
+            let eps = 1e-4;
+            let fam = fig2_ratio3_tightness(k, eps);
+            let n = 3 * k;
+            assert_eq!(fam.prec.len(), n);
+            // OPT = 3(max F − 1)
+            assert_close!(fam.opt(), 3.0 * (fam.max_f() - 1.0));
+            // OPT = 3·AREA − 3nε
+            assert_close!(fam.opt(), 3.0 * fam.area() - 3.0 * n as f64 * eps, 1e-6);
+            // computed lower bounds agree with the closed forms
+            assert_close!(fam.prec.critical_lb(), fam.max_f());
+            assert_close!(fam.prec.area_lb(), fam.area(), 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig2_all_wides_precede_first_narrow() {
+        let fam = fig2_ratio3_tightness(4, 1e-3);
+        for &w in &fam.wide_ids {
+            assert!(fam.prec.dag.succs(w).contains(&fam.narrow_ids[0]));
+        }
+        // narrow chain is a path
+        for pair in fam.narrow_ids.windows(2) {
+            assert!(fam.prec.dag.succs(pair[0]).contains(&pair[1]));
+        }
+    }
+
+    #[test]
+    fn fig2_series_packing_is_valid_and_tight() {
+        // The optimal packing of Lemma 2.7: everything stacked.
+        let fam = fig2_ratio3_tightness(3, 1e-3);
+        let n = fam.n();
+        let mut pl = spp_core::Placement::zeroed(n);
+        let mut y = 0.0;
+        for &id in fam.wide_ids.iter().chain(&fam.narrow_ids) {
+            pl.set(id, 0.0, y);
+            y += 1.0;
+        }
+        fam.prec.assert_valid(&pl);
+        assert_close!(pl.height(&fam.prec.inst), fam.opt());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn fig1_rejects_k0() {
+        fig1_lower_bound_gap(0, 1e-6);
+    }
+}

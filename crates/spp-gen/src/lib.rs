@@ -1,0 +1,21 @@
+//! # spp-gen — workload generators
+//!
+//! Deterministic (seeded) instance generators for every experiment in
+//! `EXPERIMENTS.md`:
+//!
+//! * [`rects`] — random rectangle populations: uniform, tall/wide skewed,
+//!   FPGA column-quantized widths (`k/K`), uniform-height;
+//! * [`release`] — release-time processes (poisson-like arrivals, bursty
+//!   batches, staircases) for §3 workloads;
+//! * [`adversarial`] — the paper's two hand-crafted families:
+//!   Lemma 2.4 / Fig. 1 (the `Ω(log n)` lower-bound gap) and
+//!   Lemma 2.7 / Fig. 2 (the ratio-3 tightness family for uniform
+//!   heights);
+//! * [`textio`] — a line-based plain-text instance format (the allowed
+//!   dependency set has no serde data format, so snapshots are hand
+//!   rolled).
+
+pub mod adversarial;
+pub mod rects;
+pub mod release;
+pub mod textio;

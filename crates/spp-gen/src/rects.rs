@@ -1,0 +1,232 @@
+//! Random rectangle populations.
+
+use rand::Rng;
+use spp_core::{Instance, Item};
+use spp_dag::{Dag, PrecInstance};
+
+/// Widths and heights i.i.d. uniform in the given ranges.
+pub fn uniform<R: Rng>(rng: &mut R, n: usize, w: (f64, f64), h: (f64, f64)) -> Instance {
+    assert!(w.0 > 0.0 && w.1 <= 1.0 && w.0 <= w.1, "width range invalid");
+    assert!(h.0 > 0.0 && h.0 <= h.1, "height range invalid");
+    let items = (0..n)
+        .map(|i| {
+            Item::new(
+                i,
+                rng.gen_range(w.0..=w.1),
+                rng.gen_range(h.0..=h.1),
+            )
+        })
+        .collect();
+    Instance::new(items).expect("generated dims are in range")
+}
+
+/// A mix of "tall" (narrow, tall) and "wide" (wide, short) rectangles;
+/// `tall_fraction` of the items are tall. Stresses packers that handle
+/// only one aspect class well.
+pub fn tall_wide_mix<R: Rng>(rng: &mut R, n: usize, tall_fraction: f64) -> Instance {
+    let items = (0..n)
+        .map(|i| {
+            if rng.gen_bool(tall_fraction) {
+                Item::new(i, rng.gen_range(0.05..0.25), rng.gen_range(0.8..2.0))
+            } else {
+                Item::new(i, rng.gen_range(0.4..1.0), rng.gen_range(0.05..0.3))
+            }
+        })
+        .collect();
+    Instance::new(items).expect("generated dims are in range")
+}
+
+/// FPGA-style instance: widths are whole numbers of columns on a
+/// `K`-column device (`w = c/K`, `c ∈ [1, max_cols]`), heights uniform in
+/// `h`. This is the §3 width model (`w ∈ [1/K, 1]`).
+pub fn fpga_columns<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    k: usize,
+    max_cols: usize,
+    h: (f64, f64),
+) -> Instance {
+    assert!(k >= 1 && (1..=k).contains(&max_cols));
+    let items = (0..n)
+        .map(|i| {
+            let cols = rng.gen_range(1..=max_cols);
+            Item::new(i, cols as f64 / k as f64, rng.gen_range(h.0..=h.1))
+        })
+        .collect();
+    Instance::new(items).expect("generated dims are in range")
+}
+
+/// Uniform-height instance (all heights 1) with widths uniform in `w` —
+/// the §2.2 workload.
+pub fn uniform_height<R: Rng>(rng: &mut R, n: usize, w: (f64, f64)) -> Instance {
+    let items = (0..n)
+        .map(|i| Item::new(i, rng.gen_range(w.0..=w.1), 1.0))
+        .collect();
+    Instance::new(items).expect("generated dims are in range")
+}
+
+/// Attach a random layered DAG (the image-pipeline shape the paper
+/// motivates) to any instance.
+pub fn with_layered_dag<R: Rng>(
+    rng: &mut R,
+    inst: Instance,
+    layers: usize,
+    extra_p: f64,
+) -> PrecInstance {
+    let dag = spp_dag::gen::layered(rng, inst.len(), layers, extra_p);
+    PrecInstance::new(inst, dag)
+}
+
+/// Attach a random order-oriented DAG with edge probability `p`.
+pub fn with_random_dag<R: Rng>(rng: &mut R, inst: Instance, p: f64) -> PrecInstance {
+    let dag = spp_dag::gen::random_order(rng, inst.len(), p);
+    PrecInstance::new(inst, dag)
+}
+
+/// Attach `k` disjoint chains.
+pub fn with_chains(inst: Instance, k: usize) -> PrecInstance {
+    let dag = spp_dag::gen::disjoint_chains(inst.len(), k);
+    PrecInstance::new(inst, dag)
+}
+
+/// Attach no constraints (empty DAG) — for baselining against plain strip
+/// packing.
+pub fn unconstrained(inst: Instance) -> PrecInstance {
+    PrecInstance::unconstrained(inst)
+}
+
+/// The named DAG families used by experiment sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DagFamily {
+    Chains,
+    Layered,
+    Random,
+    ForkJoin,
+    SeriesParallel,
+    OutTree,
+    Empty,
+}
+
+impl DagFamily {
+    pub const ALL: [DagFamily; 7] = [
+        DagFamily::Chains,
+        DagFamily::Layered,
+        DagFamily::Random,
+        DagFamily::ForkJoin,
+        DagFamily::SeriesParallel,
+        DagFamily::OutTree,
+        DagFamily::Empty,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            DagFamily::Chains => "chains",
+            DagFamily::Layered => "layered",
+            DagFamily::Random => "random",
+            DagFamily::ForkJoin => "fork-join",
+            DagFamily::SeriesParallel => "series-parallel",
+            DagFamily::OutTree => "out-tree",
+            DagFamily::Empty => "empty",
+        }
+    }
+
+    /// Build a DAG of this family on `n` nodes with default shape
+    /// parameters (chains: √n chains; layered: √n layers, 15% extra edges;
+    /// random: p = 2/n giving ~n edges).
+    pub fn build<R: Rng>(&self, rng: &mut R, n: usize) -> Dag {
+        let sqrt_n = (n as f64).sqrt().ceil().max(1.0) as usize;
+        match self {
+            DagFamily::Chains => spp_dag::gen::disjoint_chains(n, sqrt_n),
+            DagFamily::Layered => spp_dag::gen::layered(rng, n, sqrt_n, 0.15),
+            DagFamily::Random => {
+                let p = (2.0 / n.max(2) as f64).min(1.0);
+                spp_dag::gen::random_order(rng, n, p)
+            }
+            DagFamily::ForkJoin => {
+                if n >= 2 {
+                    spp_dag::gen::fork_join(n)
+                } else {
+                    Dag::empty(n)
+                }
+            }
+            DagFamily::SeriesParallel => spp_dag::gen::series_parallel(rng, n),
+            DagFamily::OutTree => spp_dag::gen::random_out_tree(rng, n),
+            DagFamily::Empty => Dag::empty(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_respects_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = uniform(&mut rng, 100, (0.1, 0.5), (0.2, 1.0));
+        assert_eq!(inst.len(), 100);
+        for it in inst.items() {
+            assert!(it.w >= 0.1 && it.w <= 0.5);
+            assert!(it.h >= 0.2 && it.h <= 1.0);
+        }
+    }
+
+    #[test]
+    fn fpga_widths_are_column_multiples() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let k = 8;
+        let inst = fpga_columns(&mut rng, 50, k, 5, (0.5, 1.0));
+        for it in inst.items() {
+            let cols = it.w * k as f64;
+            assert!((cols - cols.round()).abs() < 1e-12);
+            assert!(cols >= 1.0 - 1e-12 && cols <= 5.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_height_all_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = uniform_height(&mut rng, 30, (0.05, 0.9));
+        assert_eq!(inst.uniform_height(), Some(1.0));
+    }
+
+    #[test]
+    fn mix_has_both_classes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let inst = tall_wide_mix(&mut rng, 200, 0.5);
+        let tall = inst.items().iter().filter(|it| it.h > 0.5).count();
+        assert!(tall > 50 && tall < 150, "tall count {tall}");
+    }
+
+    #[test]
+    fn families_build_on_all_sizes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for fam in DagFamily::ALL {
+            for n in [0usize, 1, 2, 7, 30] {
+                let d = fam.build(&mut rng, n);
+                assert_eq!(d.len(), n, "{} n={}", fam.name(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn attach_helpers_preserve_sizes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let inst = uniform(&mut rng, 25, (0.1, 0.9), (0.1, 1.0));
+        let p = with_layered_dag(&mut rng, inst.clone(), 5, 0.2);
+        assert_eq!(p.len(), 25);
+        let q = with_chains(inst.clone(), 4);
+        assert_eq!(q.dag.sources().len(), 4);
+        let r = with_random_dag(&mut rng, inst.clone(), 0.1);
+        assert_eq!(r.len(), 25);
+        assert_eq!(unconstrained(inst).dag.edge_count(), 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = uniform(&mut StdRng::seed_from_u64(9), 10, (0.1, 0.9), (0.1, 1.0));
+        let b = uniform(&mut StdRng::seed_from_u64(9), 10, (0.1, 0.9), (0.1, 1.0));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,194 @@
+//! Release-time workloads for the §3 APTAS.
+//!
+//! All generators respect the paper's §3 preconditions: heights ≤ 1 and
+//! widths in `[1/K, 1]` (each task spans at least one FPGA column).
+
+use rand::Rng;
+use spp_core::{Instance, Item};
+
+/// Parameters shared by the release-time generators.
+#[derive(Debug, Clone, Copy)]
+pub struct ReleaseParams {
+    /// Number of FPGA columns; widths are drawn from `[1/k, 1]`.
+    pub k: usize,
+    /// Quantize widths to whole columns (`c/k`) when true — the natural
+    /// FPGA model; otherwise widths are continuous in `[1/k, 1]`.
+    pub column_widths: bool,
+    /// Height range (capped at 1 per the paper's standard assumption).
+    pub h: (f64, f64),
+}
+
+impl Default for ReleaseParams {
+    fn default() -> Self {
+        ReleaseParams {
+            k: 4,
+            column_widths: true,
+            h: (0.1, 1.0),
+        }
+    }
+}
+
+impl ReleaseParams {
+    fn width<R: Rng>(&self, rng: &mut R) -> f64 {
+        assert!(self.k >= 1);
+        if self.column_widths {
+            let c = rng.gen_range(1..=self.k);
+            c as f64 / self.k as f64
+        } else {
+            rng.gen_range(1.0 / self.k as f64..=1.0)
+        }
+    }
+
+    fn height<R: Rng>(&self, rng: &mut R) -> f64 {
+        assert!(self.h.0 > 0.0 && self.h.1 <= 1.0 && self.h.0 <= self.h.1);
+        rng.gen_range(self.h.0..=self.h.1)
+    }
+}
+
+/// Poisson-like arrivals: inter-release gaps are i.i.d. exponential with
+/// the given mean (drawn via inverse CDF). Models an online task queue for
+/// a reconfigurable device (the Steiger–Walder–Platzner setting cited
+/// in §1).
+pub fn poisson_arrivals<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    mean_gap: f64,
+    p: ReleaseParams,
+) -> Instance {
+    assert!(mean_gap >= 0.0);
+    let mut t = 0.0;
+    let items = (0..n)
+        .map(|i| {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            t += -mean_gap * u.ln();
+            Item::with_release(i, p.width(rng), p.height(rng), t)
+        })
+        .collect();
+    Instance::new(items).expect("generated dims are in range")
+}
+
+/// Bursty arrivals: `batches` groups of equal size, batch `j` released at
+/// `j · gap` (plus per-item jitter if `jitter > 0`).
+pub fn bursty<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    batches: usize,
+    gap: f64,
+    jitter: f64,
+    p: ReleaseParams,
+) -> Instance {
+    assert!(batches >= 1);
+    let items = (0..n)
+        .map(|i| {
+            let b = i * batches / n.max(1);
+            let r = b as f64 * gap
+                + if jitter > 0.0 {
+                    rng.gen_range(0.0..jitter)
+                } else {
+                    0.0
+                };
+            Item::with_release(i, p.width(rng), p.height(rng), r)
+        })
+        .collect();
+    Instance::new(items).expect("generated dims are in range")
+}
+
+/// Staircase: releases evenly spaced in `[0, r_max]`.
+pub fn staircase<R: Rng>(rng: &mut R, n: usize, r_max: f64, p: ReleaseParams) -> Instance {
+    let items = (0..n)
+        .map(|i| {
+            let r = if n <= 1 {
+                0.0
+            } else {
+                r_max * i as f64 / (n - 1) as f64
+            };
+            Item::with_release(i, p.width(rng), p.height(rng), r)
+        })
+        .collect();
+    Instance::new(items).expect("generated dims are in range")
+}
+
+/// All releases zero — reduces §3 to plain strip packing (useful control).
+pub fn no_releases<R: Rng>(rng: &mut R, n: usize, p: ReleaseParams) -> Instance {
+    let items = (0..n)
+        .map(|i| Item::with_release(i, p.width(rng), p.height(rng), 0.0))
+        .collect();
+    Instance::new(items).expect("generated dims are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn params() -> ReleaseParams {
+        ReleaseParams {
+            k: 5,
+            column_widths: true,
+            h: (0.2, 1.0),
+        }
+    }
+
+    #[test]
+    fn poisson_releases_are_nondecreasing() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = poisson_arrivals(&mut rng, 50, 0.3, params());
+        let rel: Vec<f64> = inst.items().iter().map(|it| it.release).collect();
+        assert!(rel.windows(2).all(|w| w[0] <= w[1]));
+        assert!(rel[0] > 0.0);
+    }
+
+    #[test]
+    fn widths_respect_k_floor() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for inst in [
+            poisson_arrivals(&mut rng, 40, 0.2, params()),
+            bursty(&mut rng, 40, 4, 1.0, 0.0, params()),
+            staircase(&mut rng, 40, 5.0, params()),
+        ] {
+            for it in inst.items() {
+                assert!(it.w >= 1.0 / 5.0 - 1e-12 && it.w <= 1.0);
+                assert!(it.h <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn bursty_has_expected_batch_structure() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = bursty(&mut rng, 40, 4, 2.0, 0.0, params());
+        let distinct: std::collections::BTreeSet<String> = inst
+            .items()
+            .iter()
+            .map(|it| format!("{:.6}", it.release))
+            .collect();
+        assert_eq!(distinct.len(), 4);
+        assert!(inst.items().iter().take(10).all(|it| it.release == 0.0));
+    }
+
+    #[test]
+    fn staircase_is_linear() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let inst = staircase(&mut rng, 11, 10.0, params());
+        spp_core::assert_close!(inst.item(0).release, 0.0);
+        spp_core::assert_close!(inst.item(10).release, 10.0);
+        spp_core::assert_close!(inst.item(5).release, 5.0);
+    }
+
+    #[test]
+    fn continuous_widths_supported() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = ReleaseParams {
+            column_widths: false,
+            ..params()
+        };
+        let inst = no_releases(&mut rng, 100, p);
+        // some width should not be a column multiple
+        let non_multiple = inst.items().iter().any(|it| {
+            let c = it.w * 5.0;
+            (c - c.round()).abs() > 1e-6
+        });
+        assert!(non_multiple);
+        assert!(inst.items().iter().all(|it| it.release == 0.0));
+    }
+}

@@ -1,0 +1,197 @@
+//! Plain-text instance snapshots.
+//!
+//! The allowed dependency set contains `serde` but no data format crate,
+//! so reproducible instance snapshots use a trivial line format instead:
+//!
+//! ```text
+//! # comment
+//! spp v1
+//! item <id> <w> <h> <release>
+//! edge <pred> <succ>
+//! ```
+//!
+//! Floats are written with `{:.17e}` so the round-trip is exact.
+
+use spp_core::{Instance, Item};
+use spp_dag::{Dag, PrecInstance};
+use std::fmt::Write as _;
+
+/// Serialization errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextIoError {
+    MissingHeader,
+    BadLine { line_no: usize, line: String },
+    BadInstance(String),
+    BadDag(String),
+}
+
+impl std::fmt::Display for TextIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TextIoError::MissingHeader => write!(f, "missing 'spp v1' header"),
+            TextIoError::BadLine { line_no, line } => {
+                write!(f, "cannot parse line {line_no}: {line:?}")
+            }
+            TextIoError::BadInstance(e) => write!(f, "invalid instance: {e}"),
+            TextIoError::BadDag(e) => write!(f, "invalid dag: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TextIoError {}
+
+/// Serialize a precedence instance (releases included; an empty DAG means
+/// no `edge` lines).
+pub fn to_text(prec: &PrecInstance) -> String {
+    let mut out = String::new();
+    out.push_str("spp v1\n");
+    for it in prec.inst.items() {
+        writeln!(
+            out,
+            "item {} {:.17e} {:.17e} {:.17e}",
+            it.id, it.w, it.h, it.release
+        )
+        .expect("write to String cannot fail");
+    }
+    for (u, v) in prec.dag.edges() {
+        writeln!(out, "edge {u} {v}").expect("write to String cannot fail");
+    }
+    out
+}
+
+/// Parse the format produced by [`to_text`]. Items may appear in any
+/// order but their ids must be exactly `0..n`.
+pub fn from_text(text: &str) -> Result<PrecInstance, TextIoError> {
+    let mut header_seen = false;
+    let mut raw_items: Vec<(usize, f64, f64, f64)> = Vec::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if !header_seen {
+            if trimmed == "spp v1" {
+                header_seen = true;
+                continue;
+            }
+            return Err(TextIoError::MissingHeader);
+        }
+        let mut parts = trimmed.split_whitespace();
+        let bad = || TextIoError::BadLine {
+            line_no,
+            line: line.to_string(),
+        };
+        match parts.next() {
+            Some("item") => {
+                let id: usize = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                let w: f64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                let h: f64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                let r: f64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                if parts.next().is_some() {
+                    return Err(bad());
+                }
+                raw_items.push((id, w, h, r));
+            }
+            Some("edge") => {
+                let u: usize = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                let v: usize = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                if parts.next().is_some() {
+                    return Err(bad());
+                }
+                edges.push((u, v));
+            }
+            _ => return Err(bad()),
+        }
+    }
+    if !header_seen {
+        return Err(TextIoError::MissingHeader);
+    }
+    raw_items.sort_by_key(|&(id, ..)| id);
+    let items: Vec<Item> = raw_items
+        .iter()
+        .map(|&(id, w, h, r)| Item::with_release(id, w, h, r))
+        .collect();
+    let n = items.len();
+    let inst = Instance::new(items).map_err(|e| TextIoError::BadInstance(e.to_string()))?;
+    let dag = Dag::new(n, &edges).map_err(|e| TextIoError::BadDag(e.to_string()))?;
+    Ok(PrecInstance::new(inst, dag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let inst = crate::rects::uniform(&mut rng, 30, (0.013, 0.97), (0.05, 1.9));
+        let prec = crate::rects::with_layered_dag(&mut rng, inst, 5, 0.3);
+        let text = to_text(&prec);
+        let back = from_text(&text).unwrap();
+        assert_eq!(prec.inst, back.inst);
+        let mut e1: Vec<_> = prec.dag.edges().collect();
+        let mut e2: Vec<_> = back.dag.edges().collect();
+        e1.sort();
+        e2.sort();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# hello\n\nspp v1\n# mid comment\nitem 0 5e-1 1e0 0e0\n";
+        let p = from_text(text).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.inst.item(0).w, 0.5);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(
+            from_text("item 0 0.5 1 0\n"),
+            Err(TextIoError::MissingHeader)
+        );
+        assert_eq!(from_text(""), Err(TextIoError::MissingHeader));
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(matches!(
+            from_text("spp v1\nitem 0 0.5\n"),
+            Err(TextIoError::BadLine { line_no: 2, .. })
+        ));
+        assert!(matches!(
+            from_text("spp v1\nwidget 1 2 3\n"),
+            Err(TextIoError::BadLine { .. })
+        ));
+        assert!(matches!(
+            from_text("spp v1\nitem 0 0.5 1 0 extra\n"),
+            Err(TextIoError::BadLine { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_semantic_content_rejected() {
+        // width out of range
+        assert!(matches!(
+            from_text("spp v1\nitem 0 2.0 1 0\n"),
+            Err(TextIoError::BadInstance(_))
+        ));
+        // cyclic dag
+        assert!(matches!(
+            from_text("spp v1\nitem 0 0.5 1 0\nitem 1 0.5 1 0\nedge 0 1\nedge 1 0\n"),
+            Err(TextIoError::BadDag(_))
+        ));
+    }
+
+    #[test]
+    fn releases_roundtrip() {
+        let text = "spp v1\nitem 0 5e-1 1e0 2.25e0\n";
+        let p = from_text(text).unwrap();
+        assert_eq!(p.inst.item(0).release, 2.25);
+        let again = from_text(&to_text(&p)).unwrap();
+        assert_eq!(again.inst.item(0).release, 2.25);
+    }
+}

@@ -1,0 +1,196 @@
+//! Optimality certificates.
+//!
+//! A simplex implementation is only as trustworthy as its verification:
+//! this module checks a returned [`Solution`] against the three textbook
+//! optimality conditions, *independently of the tableau* that produced
+//! it:
+//!
+//! 1. **primal feasibility** — `x ≥ 0` and every row satisfied;
+//! 2. **dual feasibility** — every column's reduced cost
+//!    `c_j − Σ_i y_i a_{ij} ≥ 0`, and dual signs match row senses
+//!    (`y ≤ 0` for `≤` rows, `y ≥ 0` for `≥` rows, free for `=`);
+//! 3. **strong duality** — `c·x = y·b`.
+//!
+//! Every APTAS experiment calls this on its configuration LPs, so an LP
+//! regression cannot silently corrupt measured results.
+
+use crate::problem::{Cmp, Problem};
+use crate::simplex::{Solution, Status};
+
+/// Reasons a certificate can fail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CertificateError {
+    /// Solution is not `Status::Optimal`.
+    NotOptimal,
+    /// `x` violates a constraint or non-negativity.
+    PrimalInfeasible,
+    /// A dual has the wrong sign for its row sense.
+    DualSign { row: usize, dual: f64 },
+    /// A column has negative reduced cost.
+    ReducedCost { var: usize, rc: f64 },
+    /// `c·x ≠ y·b`.
+    DualityGap { primal: f64, dual: f64 },
+}
+
+impl std::fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertificateError::NotOptimal => write!(f, "solution status is not Optimal"),
+            CertificateError::PrimalInfeasible => write!(f, "primal point infeasible"),
+            CertificateError::DualSign { row, dual } => {
+                write!(f, "dual {dual} of row {row} has the wrong sign")
+            }
+            CertificateError::ReducedCost { var, rc } => {
+                write!(f, "variable {var} has negative reduced cost {rc}")
+            }
+            CertificateError::DualityGap { primal, dual } => {
+                write!(f, "duality gap: primal {primal} vs dual {dual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertificateError {}
+
+/// Verify the optimality certificate of `sol` for `p` within tolerance
+/// `tol` (absolute, scaled by problem magnitudes where appropriate).
+pub fn certify(p: &Problem, sol: &Solution, tol: f64) -> Result<(), CertificateError> {
+    if sol.status != Status::Optimal {
+        return Err(CertificateError::NotOptimal);
+    }
+    // 1. primal feasibility
+    if !p.is_feasible(&sol.x, tol) {
+        return Err(CertificateError::PrimalInfeasible);
+    }
+    // 2a. dual signs
+    for (i, row) in p.rows().iter().enumerate() {
+        let y = sol.duals[i];
+        match row.cmp {
+            Cmp::Le if y > tol => {
+                return Err(CertificateError::DualSign { row: i, dual: y })
+            }
+            Cmp::Ge if y < -tol => {
+                return Err(CertificateError::DualSign { row: i, dual: y })
+            }
+            _ => {}
+        }
+    }
+    // 2b. reduced costs (columns assembled from the sparse rows)
+    let n = p.num_vars();
+    let mut ya = vec![0.0; n];
+    for (i, row) in p.rows().iter().enumerate() {
+        let y = sol.duals[i];
+        if y != 0.0 {
+            for &(j, a) in &row.coeffs {
+                ya[j] += y * a;
+            }
+        }
+    }
+    for j in 0..n {
+        let rc = p.objective()[j] - ya[j];
+        if rc < -tol {
+            return Err(CertificateError::ReducedCost { var: j, rc });
+        }
+    }
+    // 3. strong duality
+    let dual_obj: f64 = p
+        .rows()
+        .iter()
+        .zip(&sol.duals)
+        .map(|(row, y)| y * row.rhs)
+        .sum();
+    let scale = 1.0 + sol.objective.abs();
+    if (dual_obj - sol.objective).abs() > tol * scale {
+        return Err(CertificateError::DualityGap {
+            primal: sol.objective,
+            dual: dual_obj,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, Problem};
+    use crate::simplex::solve;
+
+    fn sample() -> Problem {
+        let mut p = Problem::new();
+        let x = p.add_var(3.0);
+        let y = p.add_var(2.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        p.add_constraint(&[(x, 1.0)], Cmp::Ge, 1.0);
+        p.add_constraint(&[(y, 1.0)], Cmp::Le, 10.0);
+        p
+    }
+
+    #[test]
+    fn valid_solution_certifies() {
+        let p = sample();
+        let s = solve(&p);
+        certify(&p, &s, 1e-6).expect("certificate must hold");
+    }
+
+    #[test]
+    fn corrupted_primal_fails() {
+        let p = sample();
+        let mut s = solve(&p);
+        s.x[0] = -1.0;
+        assert_eq!(certify(&p, &s, 1e-6), Err(CertificateError::PrimalInfeasible));
+    }
+
+    #[test]
+    fn corrupted_dual_fails() {
+        let p = sample();
+        let mut s = solve(&p);
+        s.duals[0] = -5.0; // Ge row must have y ≥ 0
+        assert!(matches!(
+            certify(&p, &s, 1e-6),
+            Err(CertificateError::DualSign { row: 0, .. })
+                | Err(CertificateError::ReducedCost { .. })
+                | Err(CertificateError::DualityGap { .. })
+        ));
+    }
+
+    #[test]
+    fn duality_gap_detected() {
+        let p = sample();
+        let mut s = solve(&p);
+        s.objective += 1.0;
+        // primal value no longer matches y'b
+        assert!(matches!(
+            certify(&p, &s, 1e-6),
+            Err(CertificateError::DualityGap { .. })
+        ));
+    }
+
+    #[test]
+    fn random_lps_always_certify() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2024);
+        for trial in 0..60 {
+            let n = rng.gen_range(1..8);
+            let m = rng.gen_range(1..6);
+            let mut p = Problem::new();
+            let vars: Vec<usize> =
+                (0..n).map(|_| p.add_var(rng.gen_range(0.0..5.0))).collect();
+            let x0: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..3.0)).collect();
+            for _ in 0..m {
+                let coeffs: Vec<(usize, f64)> = vars
+                    .iter()
+                    .map(|&v| (v, rng.gen_range(-2.0..2.0)))
+                    .collect();
+                let lhs: f64 = coeffs.iter().map(|&(j, a)| a * x0[j]).sum();
+                match rng.gen_range(0..3) {
+                    0 => p.add_constraint(&coeffs, Cmp::Le, lhs + rng.gen_range(0.0..1.0)),
+                    1 => p.add_constraint(&coeffs, Cmp::Ge, lhs - rng.gen_range(0.0..1.0)),
+                    _ => p.add_constraint(&coeffs, Cmp::Eq, lhs),
+                }
+            }
+            let s = solve(&p);
+            assert_eq!(s.status, Status::Optimal);
+            certify(&p, &s, 1e-5).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+        }
+    }
+}

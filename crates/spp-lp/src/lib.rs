@@ -1,0 +1,28 @@
+//! # spp-lp — a self-contained linear programming solver
+//!
+//! The §3 APTAS needs to solve the configuration LP of Lemma 3.3 and to
+//! extract *dual values* for column-generation pricing. The allowed
+//! dependency set contains no LP solver, so this crate implements a
+//! classical **two-phase primal simplex** on a dense tableau:
+//!
+//! * constraints `≤ / ≥ / =` with free-sign right-hand sides (rows are
+//!   normalized to `b ≥ 0`),
+//! * variables are non-negative (all the paper's LPs are),
+//! * phase 1 drives artificial variables to zero (infeasibility detection),
+//! * phase 2 optimizes the real objective (unboundedness detection),
+//! * Dantzig pricing with an automatic switch to Bland's rule after a
+//!   stall, guaranteeing termination on degenerate problems,
+//! * duals are read from the final tableau (the columns of the initial
+//!   basis carry `B⁻¹`), giving exactly what Gilmore–Gomory pricing needs.
+//!
+//! The solution of a bounded feasible LP is a **basic** optimum — at most
+//! `m` (number of rows) variables are nonzero. Lemma 3.3 relies on
+//! precisely this property to bound the number of configurations used.
+
+pub mod certify;
+pub mod problem;
+pub mod simplex;
+
+pub use certify::{certify, CertificateError};
+pub use problem::{Cmp, Problem};
+pub use simplex::{solve, Solution, Status};

@@ -1,0 +1,162 @@
+//! LP problem construction.
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    Le,
+    Ge,
+    Eq,
+}
+
+/// A linear program: minimize `c·x` subject to sparse rows
+/// `a·x (≤|≥|=) b` and `x ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    pub(crate) n_vars: usize,
+    pub(crate) objective: Vec<f64>,
+    pub(crate) rows: Vec<SparseRow>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct SparseRow {
+    pub coeffs: Vec<(usize, f64)>,
+    pub cmp: Cmp,
+    pub rhs: f64,
+}
+
+impl Default for Problem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Problem {
+    /// Empty problem (no variables, no constraints).
+    pub fn new() -> Self {
+        Problem {
+            n_vars: 0,
+            objective: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Add a variable with the given objective coefficient (minimization);
+    /// returns its index. Variables are non-negative.
+    pub fn add_var(&mut self, obj: f64) -> usize {
+        assert!(obj.is_finite(), "objective coefficient must be finite");
+        self.objective.push(obj);
+        self.n_vars += 1;
+        self.n_vars - 1
+    }
+
+    /// Add `Σ coeffs (cmp) rhs`. Coefficients with repeated indices are
+    /// summed; indices must be valid.
+    pub fn add_constraint(&mut self, coeffs: &[(usize, f64)], cmp: Cmp, rhs: f64) {
+        assert!(rhs.is_finite(), "rhs must be finite");
+        let mut dense: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+        for &(j, a) in coeffs {
+            assert!(j < self.n_vars, "variable {j} out of range");
+            assert!(a.is_finite(), "coefficient must be finite");
+            *dense.entry(j).or_insert(0.0) += a;
+        }
+        self.rows.push(SparseRow {
+            coeffs: dense.into_iter().collect(),
+            cmp,
+            rhs,
+        });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of constraints.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The objective coefficient vector (minimization).
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The constraint rows (sparse), in insertion order.
+    pub(crate) fn rows(&self) -> &[SparseRow] {
+        &self.rows
+    }
+
+    /// Evaluate the objective at a point.
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_vars);
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Check primal feasibility of `x` within tolerance `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.n_vars || x.iter().any(|&v| v < -tol || !v.is_finite()) {
+            return false;
+        }
+        self.rows.iter().all(|row| {
+            let lhs: f64 = row.coeffs.iter().map(|&(j, a)| a * x[j]).sum();
+            match row.cmp {
+                Cmp::Le => lhs <= row.rhs + tol,
+                Cmp::Ge => lhs + tol >= row.rhs,
+                Cmp::Eq => (lhs - row.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_indices() {
+        let mut p = Problem::new();
+        assert_eq!(p.add_var(1.0), 0);
+        assert_eq!(p.add_var(2.0), 1);
+        assert_eq!(p.num_vars(), 2);
+        p.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Le, 5.0);
+        assert_eq!(p.num_rows(), 1);
+    }
+
+    #[test]
+    fn duplicate_indices_are_summed() {
+        let mut p = Problem::new();
+        let x = p.add_var(0.0);
+        p.add_constraint(&[(x, 1.0), (x, 2.0)], Cmp::Eq, 3.0);
+        assert!(p.is_feasible(&[1.0], 1e-9));
+        assert!(!p.is_feasible(&[2.0], 1e-9));
+    }
+
+    #[test]
+    fn feasibility_checks_all_senses() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0);
+        let y = p.add_var(1.0);
+        p.add_constraint(&[(x, 1.0)], Cmp::Le, 2.0);
+        p.add_constraint(&[(y, 1.0)], Cmp::Ge, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Eq, 2.5);
+        assert!(p.is_feasible(&[1.5, 1.0], 1e-9));
+        assert!(!p.is_feasible(&[2.5, 0.0], 1e-9)); // Le and Ge broken
+        assert!(!p.is_feasible(&[1.0, 1.0], 1e-9)); // Eq broken
+        assert!(!p.is_feasible(&[-0.1, 2.6], 1e-9)); // negativity
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        let mut p = Problem::new();
+        p.add_constraint(&[(0, 1.0)], Cmp::Le, 1.0);
+    }
+
+    #[test]
+    fn objective_eval() {
+        let mut p = Problem::new();
+        p.add_var(2.0);
+        p.add_var(-1.0);
+        assert_eq!(p.objective_at(&[3.0, 4.0]), 2.0);
+    }
+}

@@ -1,0 +1,559 @@
+//! The two-phase primal simplex engine.
+
+use crate::problem::{Cmp, Problem};
+
+/// Numerical tolerance for pivoting and feasibility decisions.
+const TOL: f64 = 1e-9;
+/// Iterations without objective improvement before switching from Dantzig
+/// pricing to Bland's rule (anti-cycling).
+const STALL_LIMIT: usize = 64;
+/// Hard iteration cap (defensive; Bland guarantees finiteness anyway).
+const MAX_ITERS: usize = 2_000_000;
+
+/// Solver status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    Optimal,
+    Infeasible,
+    Unbounded,
+}
+
+/// Solver output.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    pub status: Status,
+    /// Primal values (empty unless `Optimal`).
+    pub x: Vec<f64>,
+    /// Objective value (minimization; meaningless unless `Optimal`).
+    pub objective: f64,
+    /// One dual value per constraint row, in insertion order, with the
+    /// convention `reduced cost of column j = c_j − Σ_i y_i·a_ij`
+    /// (so at optimality every column has non-negative reduced cost).
+    pub duals: Vec<f64>,
+    /// Number of structural variables that are basic and nonzero — the
+    /// "support size" that Lemma 3.3 bounds by the number of rows.
+    pub support: usize,
+    /// Simplex iterations used (both phases).
+    pub iterations: usize,
+}
+
+struct Tableau {
+    /// m × (n_total + 1); last column is the rhs.
+    rows: Vec<Vec<f64>>,
+    /// Objective (reduced-cost) row, length n_total + 1; last entry is
+    /// −(objective value).
+    z: Vec<f64>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    n_total: usize,
+    /// Columns that must never enter the basis (artificials in phase 2).
+    banned: Vec<bool>,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.rows[row][col];
+        debug_assert!(piv.abs() > TOL, "pivot too small: {piv}");
+        let inv = 1.0 / piv;
+        for v in self.rows[row].iter_mut() {
+            *v *= inv;
+        }
+        let pivot_row = self.rows[row].clone();
+        for (r, tr) in self.rows.iter_mut().enumerate() {
+            if r != row {
+                let factor = tr[col];
+                if factor != 0.0 {
+                    for (a, b) in tr.iter_mut().zip(&pivot_row) {
+                        *a -= factor * b;
+                    }
+                    tr[col] = 0.0; // kill residual rounding noise
+                }
+            }
+        }
+        let zf = self.z[col];
+        if zf != 0.0 {
+            for (a, b) in self.z.iter_mut().zip(&pivot_row) {
+                *a -= zf * b;
+            }
+            self.z[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Rebuild the z-row for cost vector `cost` given the current basis.
+    fn set_objective(&mut self, cost: &[f64]) {
+        debug_assert_eq!(cost.len(), self.n_total);
+        self.z = vec![0.0; self.n_total + 1];
+        self.z[..self.n_total].copy_from_slice(cost);
+        for (r, &b) in self.basis.iter().enumerate() {
+            let cb = cost[b];
+            if cb != 0.0 {
+                let row = self.rows[r].clone();
+                for (a, v) in self.z.iter_mut().zip(&row) {
+                    *a -= cb * v;
+                }
+                self.z[b] = 0.0;
+            }
+        }
+    }
+
+    /// Run simplex iterations to optimality / unboundedness.
+    /// Returns `Ok(iterations)` or `Err(())` for unbounded.
+    fn optimize(&mut self) -> Result<usize, ()> {
+        let mut iters = 0usize;
+        let mut stall = 0usize;
+        let mut last_obj = f64::INFINITY;
+        loop {
+            iters += 1;
+            assert!(iters < MAX_ITERS, "simplex iteration cap exceeded");
+            let bland = stall >= STALL_LIMIT;
+            // entering column: most negative reduced cost (Dantzig) or
+            // smallest index with negative reduced cost (Bland)
+            let mut enter: Option<usize> = None;
+            let mut best = -TOL;
+            for j in 0..self.n_total {
+                if self.banned[j] {
+                    continue;
+                }
+                let rc = self.z[j];
+                if bland {
+                    if rc < -TOL {
+                        enter = Some(j);
+                        break;
+                    }
+                } else if rc < best {
+                    best = rc;
+                    enter = Some(j);
+                }
+            }
+            let Some(col) = enter else {
+                return Ok(iters);
+            };
+            // ratio test; Bland tie-break on basic variable index
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.rows.len() {
+                let a = self.rows[r][col];
+                if a > TOL {
+                    let ratio = self.rows[r][self.n_total] / a;
+                    let better = ratio < best_ratio - TOL
+                        || (ratio < best_ratio + TOL
+                            && leave.is_some_and(|l| self.basis[r] < self.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(row) = leave else {
+                return Err(()); // unbounded direction
+            };
+            self.pivot(row, col);
+            let obj = -self.z[self.n_total];
+            if obj < last_obj - TOL {
+                stall = 0;
+                last_obj = obj;
+            } else {
+                stall += 1;
+            }
+        }
+    }
+}
+
+/// Solve a [`Problem`] with the two-phase simplex.
+///
+/// ```
+/// use spp_lp::{Problem, Cmp, Status, solve, certify};
+///
+/// // min 3x + 2y  s.t.  x + y ≥ 4,  y ≤ 3
+/// let mut p = Problem::new();
+/// let x = p.add_var(3.0);
+/// let y = p.add_var(2.0);
+/// p.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+/// p.add_constraint(&[(y, 1.0)], Cmp::Le, 3.0);
+///
+/// let s = solve(&p);
+/// assert_eq!(s.status, Status::Optimal);
+/// assert!((s.objective - 9.0).abs() < 1e-9);   // x = 1, y = 3
+/// certify(&p, &s, 1e-8).unwrap();              // independent optimality proof
+/// ```
+pub fn solve(p: &Problem) -> Solution {
+    let n = p.n_vars;
+    let m = p.rows.len();
+
+    // ----- build the standard-form tableau -----
+    // Count slack/surplus and artificial columns.
+    // Row senses after normalizing rhs to be non-negative.
+    let mut senses: Vec<Cmp> = Vec::with_capacity(m);
+    let mut dense_rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut rhs: Vec<f64> = Vec::with_capacity(m);
+    // rows whose sign was flipped during normalization (their internal
+    // dual is the negative of the dual of the user's original row)
+    let mut flipped: Vec<bool> = Vec::with_capacity(m);
+    for row in &p.rows {
+        let mut a = vec![0.0; n];
+        for &(j, v) in &row.coeffs {
+            a[j] += v;
+        }
+        let mut b = row.rhs;
+        let mut cmp = row.cmp;
+        flipped.push(b < 0.0);
+        if b < 0.0 {
+            for v in a.iter_mut() {
+                *v = -*v;
+            }
+            b = -b;
+            cmp = match cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+        }
+        senses.push(cmp);
+        dense_rows.push(a);
+        rhs.push(b);
+    }
+    let n_slack = senses.iter().filter(|c| matches!(c, Cmp::Le | Cmp::Ge)).count();
+    // every row gets an artificial; for Le rows the slack can start basic,
+    // so only Ge/Eq rows truly need one, but a uniform layout keeps dual
+    // extraction simple: initial basis column of row i is
+    //  - its slack (Le), or
+    //  - its artificial (Ge/Eq).
+    let n_art = senses.iter().filter(|c| matches!(c, Cmp::Ge | Cmp::Eq)).count();
+    let n_total = n + n_slack + n_art;
+
+    let mut rows_mat: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut basis: Vec<usize> = Vec::with_capacity(m);
+    // initial-basis column per row (carries B⁻¹ in the final tableau)
+    let mut init_col: Vec<usize> = Vec::with_capacity(m);
+    let mut slack_cursor = n;
+    let mut art_cursor = n + n_slack;
+    let mut art_cols: Vec<usize> = Vec::new();
+    for (i, a) in dense_rows.iter().enumerate() {
+        let mut full = vec![0.0; n_total + 1];
+        full[..n].copy_from_slice(a);
+        full[n_total] = rhs[i];
+        match senses[i] {
+            Cmp::Le => {
+                full[slack_cursor] = 1.0;
+                basis.push(slack_cursor);
+                init_col.push(slack_cursor);
+                slack_cursor += 1;
+            }
+            Cmp::Ge => {
+                full[slack_cursor] = -1.0; // surplus
+                full[art_cursor] = 1.0;
+                basis.push(art_cursor);
+                init_col.push(art_cursor);
+                art_cols.push(art_cursor);
+                slack_cursor += 1;
+                art_cursor += 1;
+            }
+            Cmp::Eq => {
+                full[art_cursor] = 1.0;
+                basis.push(art_cursor);
+                init_col.push(art_cursor);
+                art_cols.push(art_cursor);
+                art_cursor += 1;
+            }
+        }
+        rows_mat.push(full);
+    }
+
+    let mut t = Tableau {
+        rows: rows_mat,
+        z: vec![0.0; n_total + 1],
+        basis,
+        n_total,
+        banned: vec![false; n_total],
+    };
+
+    let infeasible = || Solution {
+        status: Status::Infeasible,
+        x: Vec::new(),
+        objective: f64::NAN,
+        duals: Vec::new(),
+        support: 0,
+        iterations: 0,
+    };
+
+    // ----- phase 1 -----
+    let mut iterations = 0;
+    if !art_cols.is_empty() {
+        let mut d = vec![0.0; n_total];
+        for &j in &art_cols {
+            d[j] = 1.0;
+        }
+        t.set_objective(&d);
+        match t.optimize() {
+            Ok(it) => iterations += it,
+            Err(()) => unreachable!("phase-1 objective is bounded below by 0"),
+        }
+        let phase1 = -t.z[n_total];
+        if phase1 > 1e-7 {
+            return infeasible();
+        }
+        // drive any zero-level artificial out of the basis when possible
+        for r in 0..t.rows.len() {
+            if art_cols.contains(&t.basis[r]) {
+                if let Some(col) = (0..n + n_slack)
+                    .find(|&j| t.rows[r][j].abs() > 1e-7)
+                {
+                    t.pivot(r, col);
+                }
+                // otherwise the row is redundant; the artificial stays
+                // basic at value 0, which is harmless
+            }
+        }
+        for &j in &art_cols {
+            t.banned[j] = true;
+        }
+    }
+
+    // ----- phase 2 -----
+    let mut c = vec![0.0; n_total];
+    c[..n].copy_from_slice(&p.objective);
+    t.set_objective(&c);
+    match t.optimize() {
+        Ok(it) => iterations += it,
+        Err(()) => {
+            return Solution {
+                status: Status::Unbounded,
+                x: Vec::new(),
+                objective: f64::NEG_INFINITY,
+                duals: Vec::new(),
+                support: 0,
+                iterations,
+            }
+        }
+    }
+
+    // ----- extract primal, duals, support -----
+    let mut x = vec![0.0; n];
+    let mut support = 0;
+    for (r, &b) in t.basis.iter().enumerate() {
+        if b < n {
+            let v = t.rows[r][n_total];
+            x[b] = if v.abs() < TOL { 0.0 } else { v };
+            if x[b] > TOL {
+                support += 1;
+            }
+        }
+    }
+    // duals: y = c_B B⁻¹; column `init_col[i]` of the final tableau is
+    // B⁻¹ e_i, so y_i = Σ_r c_basis(r) · T[r][init_col[i]].
+    let mut duals = vec![0.0; m];
+    for i in 0..m {
+        let col = init_col[i];
+        let mut y = 0.0;
+        for (r, &b) in t.basis.iter().enumerate() {
+            let cb = c[b];
+            if cb != 0.0 {
+                y += cb * t.rows[r][col];
+            }
+        }
+        duals[i] = if flipped[i] { -y } else { y };
+    }
+
+    let objective = p.objective_at(&x);
+    Solution {
+        status: Status::Optimal,
+        x,
+        objective,
+        duals,
+        support,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, Problem};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn simple_le_maximization_as_min() {
+        // min -(x + y) s.t. x ≤ 2, y ≤ 3, x + y ≤ 4
+        let mut p = Problem::new();
+        let x = p.add_var(-1.0);
+        let y = p.add_var(-1.0);
+        p.add_constraint(&[(x, 1.0)], Cmp::Le, 2.0);
+        p.add_constraint(&[(y, 1.0)], Cmp::Le, 3.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!(close(s.objective, -4.0), "obj {}", s.objective);
+        assert!(p.is_feasible(&s.x, 1e-7));
+    }
+
+    #[test]
+    fn equality_and_ge() {
+        // min x + 2y s.t. x + y = 10, x ≥ 3  ->  x=10,y=0 is optimal? check:
+        // obj(10,0)=10; obj(3,7)=17. So x=10.
+        let mut p = Problem::new();
+        let x = p.add_var(1.0);
+        let y = p.add_var(2.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Eq, 10.0);
+        p.add_constraint(&[(x, 1.0)], Cmp::Ge, 3.0);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!(close(s.objective, 10.0));
+        assert!(close(s.x[x], 10.0));
+        assert!(close(s.x[y], 0.0));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0);
+        p.add_constraint(&[(x, 1.0)], Cmp::Le, 1.0);
+        p.add_constraint(&[(x, 1.0)], Cmp::Ge, 2.0);
+        assert_eq!(solve(&p).status, Status::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x s.t. x ≥ 1 (x can grow forever)
+        let mut p = Problem::new();
+        let x = p.add_var(-1.0);
+        p.add_constraint(&[(x, 1.0)], Cmp::Ge, 1.0);
+        assert_eq!(solve(&p).status, Status::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // -x ≤ -2  <=>  x ≥ 2
+        let mut p = Problem::new();
+        let x = p.add_var(1.0);
+        p.add_constraint(&[(x, -1.0)], Cmp::Le, -2.0);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!(close(s.x[x], 2.0));
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // Beale's classic cycling example (degenerate under Dantzig
+        // pricing without anti-cycling).
+        let mut p = Problem::new();
+        let x1 = p.add_var(-0.75);
+        let x2 = p.add_var(150.0);
+        let x3 = p.add_var(-0.02);
+        let x4 = p.add_var(6.0);
+        p.add_constraint(&[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], Cmp::Le, 0.0);
+        p.add_constraint(&[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], Cmp::Le, 0.0);
+        p.add_constraint(&[(x3, 1.0)], Cmp::Le, 1.0);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!(close(s.objective, -0.05), "obj {}", s.objective);
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality_and_feasibility() {
+        // min 3x + 2y s.t. x + y ≥ 4, x ≥ 1, y ≤ 10
+        let mut p = Problem::new();
+        let x = p.add_var(3.0);
+        let y = p.add_var(2.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        p.add_constraint(&[(x, 1.0)], Cmp::Ge, 1.0);
+        p.add_constraint(&[(y, 1.0)], Cmp::Le, 10.0);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        // optimum: x = 1, y = 3 -> 9
+        assert!(close(s.objective, 9.0));
+        // strong duality: y'b = objective
+        let yb = s.duals[0] * 4.0 + s.duals[1] * 1.0 + s.duals[2] * 10.0;
+        assert!(close(yb, s.objective), "y'b = {yb}");
+        // reduced costs non-negative: c_j - y'A_j ≥ 0
+        let rc_x = 3.0 - (s.duals[0] + s.duals[1]);
+        let rc_y = 2.0 - (s.duals[0] + s.duals[2]);
+        assert!(rc_x > -1e-7 && rc_y > -1e-7, "rc {rc_x} {rc_y}");
+    }
+
+    #[test]
+    fn redundant_equalities_are_handled() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0);
+        let y = p.add_var(1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0);
+        p.add_constraint(&[(x, 2.0), (y, 2.0)], Cmp::Eq, 4.0); // redundant
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!(close(s.objective, 2.0));
+    }
+
+    #[test]
+    fn support_is_at_most_rows() {
+        // A transportation-like LP: many variables, few rows — the basic
+        // optimum must have support ≤ #rows (this is what Lemma 3.3 uses).
+        let mut p = Problem::new();
+        let vars: Vec<usize> = (0..30).map(|j| p.add_var(1.0 + (j % 7) as f64)).collect();
+        // 4 covering rows
+        for r in 0..4usize {
+            let coeffs: Vec<(usize, f64)> = vars
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| (j + r) % 3 != 0)
+                .map(|(j, &v)| (v, 1.0 + ((j * r) % 5) as f64))
+                .collect();
+            p.add_constraint(&coeffs, Cmp::Ge, 10.0 + r as f64);
+        }
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!(s.support <= 4, "support {} > rows 4", s.support);
+        assert!(p.is_feasible(&s.x, 1e-6));
+    }
+
+    #[test]
+    fn zero_variable_problem() {
+        let p = Problem::new();
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.objective, 0.0);
+    }
+
+    #[test]
+    fn random_lps_obey_weak_duality_and_feasibility() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1234);
+        for trial in 0..60 {
+            let n = rng.gen_range(1..8);
+            let m = rng.gen_range(1..6);
+            let mut p = Problem::new();
+            let vars: Vec<usize> = (0..n).map(|_| p.add_var(rng.gen_range(0.0..5.0))).collect();
+            // construct rows through a known feasible point x0 ≥ 0
+            let x0: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..3.0)).collect();
+            for _ in 0..m {
+                let coeffs: Vec<(usize, f64)> = vars
+                    .iter()
+                    .map(|&v| (v, rng.gen_range(-2.0..2.0)))
+                    .collect();
+                let lhs: f64 = coeffs.iter().map(|&(j, a)| a * x0[j]).sum();
+                match rng.gen_range(0..3) {
+                    0 => p.add_constraint(&coeffs, Cmp::Le, lhs + rng.gen_range(0.0..1.0)),
+                    1 => p.add_constraint(&coeffs, Cmp::Ge, lhs - rng.gen_range(0.0..1.0)),
+                    _ => p.add_constraint(&coeffs, Cmp::Eq, lhs),
+                }
+            }
+            let s = solve(&p);
+            assert_eq!(s.status, Status::Optimal, "trial {trial} must be feasible");
+            assert!(
+                p.is_feasible(&s.x, 1e-5),
+                "trial {trial}: infeasible primal {:?}",
+                s.x
+            );
+            // optimal ≤ objective at the known feasible point (c ≥ 0 ⇒ bounded below by 0 too)
+            assert!(
+                s.objective <= p.objective_at(&x0) + 1e-6,
+                "trial {trial}: {} > {}",
+                s.objective,
+                p.objective_at(&x0)
+            );
+            assert!(s.objective >= -1e-7, "c ≥ 0 and x ≥ 0 force obj ≥ 0");
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Best-Fit Decreasing Height.
+//!
+//! Shelf algorithm that sends each rectangle to the open shelf with the
+//! *least residual width* that still fits it. Same shelf structure and
+//! validity argument as FFDH; included as a third point for the shelf
+//! ablation (next-fit vs first-fit vs best-fit).
+
+use crate::shelf::{decreasing_height_order, pack_shelves, ShelfPacking, ShelfPolicy};
+use spp_core::{Instance, Placement};
+
+/// Pack with BFDH, returning just the placement.
+pub fn bfdh(inst: &Instance) -> Placement {
+    bfdh_shelves(inst).placement
+}
+
+/// Pack with BFDH, returning shelf metadata as well.
+pub fn bfdh_shelves(inst: &Instance) -> ShelfPacking {
+    let order = decreasing_height_order(inst);
+    pack_shelves(inst, &order, ShelfPolicy::BestFit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn prefers_tight_shelf() {
+        let inst = Instance::from_dims(&[
+            (0.7, 1.0),  // shelf 0, residual 0.3
+            (0.5, 0.9),  // shelf 1, residual 0.5
+            (0.3, 0.5),  // fits both; best-fit -> shelf 0 (residual 0)
+            (0.5, 0.4),  // only shelf 1
+        ])
+        .unwrap();
+        let sp = bfdh_shelves(&inst);
+        assert_eq!(sp.shelves.len(), 2);
+        assert_eq!(sp.shelves[0].items, vec![0, 2]);
+        assert_eq!(sp.shelves[1].items, vec![1, 3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn bfdh_valid(
+            dims in proptest::collection::vec((0.01f64..1.0, 0.01f64..2.0), 0..60)
+        ) {
+            let inst = Instance::from_dims(&dims).unwrap();
+            let pl = bfdh(&inst);
+            prop_assert!(spp_core::validate::validate(&inst, &pl).is_ok());
+        }
+
+        /// BFDH opens no more shelves than NFDH (it only closes a shelf
+        /// when nothing fits anywhere).
+        #[test]
+        fn bfdh_no_taller_than_nfdh(
+            dims in proptest::collection::vec((0.01f64..1.0, 0.01f64..2.0), 1..50)
+        ) {
+            let inst = Instance::from_dims(&dims).unwrap();
+            let hb = bfdh(&inst).height(&inst);
+            let hn = crate::nfdh(&inst).height(&inst);
+            prop_assert!(hb <= hn + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! First-Fit Decreasing Height.
+//!
+//! Like NFDH but every shelf stays open; each rectangle goes onto the
+//! *lowest* shelf with room. Coffman, Garey, Johnson and Tarjan (1980)
+//! proved `FFDH(L) ≤ 1.7·OPT(L) + h_max`; FFDH is never worse than NFDH
+//! on the same instance *order* and is the strongest classic shelf
+//! heuristic, so it serves as the default ablation alternative to NFDH
+//! inside `DC`.
+
+use crate::shelf::{decreasing_height_order, pack_shelves, ShelfPacking, ShelfPolicy};
+use spp_core::{Instance, Placement};
+
+/// Pack with FFDH, returning just the placement.
+pub fn ffdh(inst: &Instance) -> Placement {
+    ffdh_shelves(inst).placement
+}
+
+/// Pack with FFDH, returning shelf metadata as well.
+pub fn ffdh_shelves(inst: &Instance) -> ShelfPacking {
+    let order = decreasing_height_order(inst);
+    pack_shelves(inst, &order, ShelfPolicy::FirstFit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfdh::nfdh;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reuses_early_shelves() {
+        // NFDH wastes a shelf here; FFDH back-fills.
+        let inst = Instance::from_dims(&[
+            (0.6, 1.0),
+            (0.6, 0.9),
+            (0.4, 0.8),
+            (0.4, 0.7),
+        ])
+        .unwrap();
+        let hf = ffdh(&inst).height(&inst);
+        let hn = nfdh(&inst).height(&inst);
+        assert!(hf <= hn + spp_core::eps::EPS);
+        spp_core::assert_close!(hf, 1.9); // shelves: [0,2],[1,3]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn ffdh_valid(
+            dims in proptest::collection::vec((0.01f64..1.0, 0.01f64..2.0), 0..60)
+        ) {
+            let inst = Instance::from_dims(&dims).unwrap();
+            let pl = ffdh(&inst);
+            prop_assert!(spp_core::validate::validate(&inst, &pl).is_ok());
+        }
+
+        /// FFDH is never taller than NFDH (same decreasing-height order;
+        /// first-fit dominates next-fit shelf-by-shelf).
+        #[test]
+        fn ffdh_dominates_nfdh(
+            dims in proptest::collection::vec((0.01f64..1.0, 0.01f64..2.0), 1..60)
+        ) {
+            let inst = Instance::from_dims(&dims).unwrap();
+            let hf = ffdh(&inst).height(&inst);
+            let hn = nfdh(&inst).height(&inst);
+            prop_assert!(hf <= hn + 1e-9, "FFDH {} > NFDH {}", hf, hn);
+        }
+
+        /// FFDH also empirically satisfies the stronger CGJT-style bound
+        /// 1.7·AREA + h_max on random instances.
+        #[test]
+        fn ffdh_cgjt_bound(
+            dims in proptest::collection::vec((0.01f64..1.0, 0.01f64..2.0), 1..60)
+        ) {
+            let inst = Instance::from_dims(&dims).unwrap();
+            let hf = ffdh(&inst).height(&inst);
+            prop_assert!(hf <= 1.7 * inst.total_area() + inst.max_height() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # spp-pack — unconstrained strip packing algorithms
+//!
+//! The `DC` algorithm of §2 uses, as a black box, any algorithm `A` for
+//! strip packing *without* precedence constraints satisfying
+//!
+//! ```text
+//! A(y, S') ≤ 2·AREA(S') + max_{s ∈ S'} h_s          (the "A-bound")
+//! ```
+//!
+//! The paper cites Steinberg and Schiermeyer for this property. This crate
+//! provides **NFDH** (Next-Fit Decreasing Height), which satisfies the same
+//! inequality by the classic cross-shelf argument (re-proved in
+//! [`mod@nfdh`]'s module docs and enforced by property tests), plus a family
+//! of alternatives used for ablations and baselines:
+//!
+//! | algorithm | guarantee (height vs. `AREA`, `h_max`) |
+//! |---|---|
+//! | [`mod@nfdh`] | `≤ 2·AREA + h_max` (the A-bound) |
+//! | [`mod@ffdh`] | `≤ 1.7·AREA + h_max` (Coffman–Garey–Johnson–Tarjan) |
+//! | [`mod@bfdh`] | `≤ ffdh`-style shelf bound; best-fit variant |
+//! | [`mod@sleator`] | `≤ 2·AREA + h_max/2` after wide-stack; 2.5·OPT overall |
+//! | [`mod@wsnf`] | `≤ 2·AREA + h_max` (the A-bound; wide-stack + NFDH) |
+//! | [`mod@skyline`] | no worst-case guarantee; strong practical baseline |
+//! | [`mod@online`] | online (Csirik–Woeginger shelves); constant-competitive |
+//!
+//! All algorithms return placements starting at `y = 0`; callers that need
+//! `A(y, ·)` shift the result (placements are translation-invariant, which
+//! is why `A(y, S')` is independent of `y` in the paper).
+
+pub mod bfdh;
+pub mod ffdh;
+pub mod nfdh;
+pub mod online;
+pub mod rotate;
+pub mod shelf;
+pub mod skyline;
+pub mod sleator;
+pub mod traits;
+pub mod wsnf;
+
+pub use bfdh::bfdh;
+pub use ffdh::ffdh;
+pub use nfdh::nfdh;
+pub use online::{online_shelf_pack, OnlineShelfPacker};
+pub use rotate::{pack_rotated, RotatedPacking};
+pub use skyline::{skyline_pack, Skyline};
+pub use sleator::sleator;
+pub use traits::{packer_by_name, Packer, StripPacker};
+pub use wsnf::wsnf;

@@ -1,0 +1,147 @@
+//! Next-Fit Decreasing Height — the paper's subroutine `A`.
+//!
+//! # The A-bound
+//!
+//! `DC` (Algorithm 1 of the paper) requires an unconstrained packer with
+//!
+//! ```text
+//! A(S') ≤ 2·AREA(S') + max_{s∈S'} h_s.
+//! ```
+//!
+//! NFDH satisfies this. Proof (the classic cross-shelf argument): let the
+//! shelves be `1..k` with heights `H_1 ≥ H_2 ≥ … ≥ H_k` (each shelf's
+//! height is its first rectangle's height, and items are placed in
+//! non-increasing height order). For `i < k`, the first rectangle of shelf
+//! `i+1` (width `w'`, height `H_{i+1}`) did not fit on shelf `i`, so the
+//! width used on shelf `i` satisfies `W_i + w' > 1`. Every rectangle on
+//! shelf `i` has height `≥ H_{i+1}`, hence
+//!
+//! ```text
+//! area(shelf i) + area(first of shelf i+1) ≥ H_{i+1}·(W_i + w') > H_{i+1}.
+//! ```
+//!
+//! Summing over `i = 1..k−1`, each rectangle's area appears at most twice
+//! (once as a member of its own shelf, once as a "first rectangle"), so
+//! `Σ_{i=2}^{k} H_i < 2·AREA(S')`; adding `H_1 = h_max` gives the bound.
+//! The property test below checks the inequality on random instances.
+
+use crate::shelf::{decreasing_height_order, pack_shelves, ShelfPacking, ShelfPolicy};
+use spp_core::{Instance, Placement};
+
+/// Pack with NFDH, returning just the placement (starting at `y = 0`).
+///
+/// ```
+/// use spp_core::Instance;
+///
+/// let inst = Instance::from_dims(&[(0.5, 1.0), (0.5, 0.7), (0.9, 0.4)]).unwrap();
+/// let pl = spp_pack::nfdh(&inst);
+/// spp_core::validate::assert_valid(&inst, &pl);
+/// // the A-bound that DC's Theorem 2.3 consumes:
+/// assert!(pl.height(&inst) <= 2.0 * inst.total_area() + inst.max_height() + 1e-9);
+/// ```
+pub fn nfdh(inst: &Instance) -> Placement {
+    nfdh_shelves(inst).placement
+}
+
+/// Pack with NFDH, returning shelf metadata as well.
+pub fn nfdh_shelves(inst: &Instance) -> ShelfPacking {
+    let order = decreasing_height_order(inst);
+    pack_shelves(inst, &order, ShelfPolicy::NextFit)
+}
+
+/// The proven upper bound `2·AREA + h_max` for NFDH on this instance.
+pub fn a_bound(inst: &Instance) -> f64 {
+    2.0 * inst.total_area() + inst.max_height()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_item() {
+        let inst = Instance::from_dims(&[(0.7, 2.0)]).unwrap();
+        let pl = nfdh(&inst);
+        spp_core::validate::assert_valid(&inst, &pl);
+        spp_core::assert_close!(pl.height(&inst), 2.0);
+    }
+
+    #[test]
+    fn two_halves_share_a_shelf() {
+        let inst = Instance::from_dims(&[(0.5, 1.0), (0.5, 1.0)]).unwrap();
+        spp_core::assert_close!(nfdh(&inst).height(&inst), 1.0);
+    }
+
+    #[test]
+    fn unit_width_items_stack() {
+        let inst = Instance::from_dims(&[(1.0, 1.0), (1.0, 2.0), (1.0, 0.5)]).unwrap();
+        spp_core::assert_close!(nfdh(&inst).height(&inst), 3.5);
+    }
+
+    #[test]
+    fn worst_case_vs_area_is_within_bound() {
+        // Many slightly-over-half-width items: one per shelf.
+        let items: Vec<(f64, f64)> = (0..20).map(|_| (0.51, 1.0)).collect();
+        let inst = Instance::from_dims(&items).unwrap();
+        let h = nfdh(&inst).height(&inst);
+        spp_core::assert_close!(h, 20.0);
+        assert!(h <= a_bound(&inst) + spp_core::eps::EPS);
+    }
+
+    #[test]
+    fn height_zero_for_empty() {
+        let inst = Instance::new(vec![]).unwrap();
+        assert_eq!(nfdh(&inst).height(&inst), 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// NFDH produces valid placements and obeys the A-bound.
+        #[test]
+        fn nfdh_valid_and_a_bounded(
+            dims in proptest::collection::vec((0.01f64..1.0, 0.01f64..2.0), 0..60)
+        ) {
+            let inst = Instance::from_dims(&dims).unwrap();
+            let pl = nfdh(&inst);
+            prop_assert!(spp_core::validate::validate(&inst, &pl).is_ok());
+            let h = pl.height(&inst);
+            prop_assert!(
+                h <= a_bound(&inst) + 1e-9,
+                "NFDH height {} exceeds A-bound {}", h, a_bound(&inst)
+            );
+        }
+
+        /// Shelf heights are non-increasing and every item is on a shelf
+        /// whose height dominates the item's height.
+        #[test]
+        fn nfdh_shelf_structure(
+            dims in proptest::collection::vec((0.01f64..1.0, 0.01f64..2.0), 1..40)
+        ) {
+            let inst = Instance::from_dims(&dims).unwrap();
+            let sp = nfdh_shelves(&inst);
+            for w in sp.shelves.windows(2) {
+                prop_assert!(w[0].height >= w[1].height - spp_core::eps::EPS);
+                spp_core::assert_close!(w[0].y + w[0].height, w[1].y);
+            }
+            for s in &sp.shelves {
+                for &id in &s.items {
+                    prop_assert!(inst.item(id).h <= s.height + spp_core::eps::EPS);
+                }
+            }
+        }
+
+        /// NFDH never does better than the area bound allows (sanity:
+        /// height ≥ AREA and ≥ h_max for any valid packing).
+        #[test]
+        fn nfdh_respects_lower_bounds(
+            dims in proptest::collection::vec((0.01f64..1.0, 0.01f64..2.0), 1..40)
+        ) {
+            let inst = Instance::from_dims(&dims).unwrap();
+            let h = nfdh(&inst).height(&inst);
+            prop_assert!(h + 1e-9 >= inst.total_area());
+            prop_assert!(h + 1e-9 >= inst.max_height());
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! 90°-rotation support (the Jansen–van Stee variant from the paper's
+//! related work).
+//!
+//! Classic strip packing (and the paper) forbids rotation — stock
+//! cutting has oriented patterns. Scheduling interpretations sometimes
+//! allow a task to trade resource share for time, modeled as rotating
+//! the rectangle by 90°. This module provides the standard heuristic
+//! preprocessing: orient every rectangle *wide* (w ≥ h, when the rotated
+//! width still fits the strip), which tends to help shelf algorithms,
+//! then hand the oriented instance to any [`crate::StripPacker`].
+
+use crate::traits::StripPacker;
+use spp_core::{Instance, Item, Placement};
+
+/// Result of packing with rotations.
+#[derive(Debug, Clone)]
+pub struct RotatedPacking {
+    /// The oriented instance actually packed (same ids).
+    pub oriented: Instance,
+    /// Which items were rotated.
+    pub rotated: Vec<bool>,
+    /// Placement of the oriented instance.
+    pub placement: Placement,
+}
+
+impl RotatedPacking {
+    /// Height of the packing.
+    pub fn height(&self) -> f64 {
+        self.placement.height(&self.oriented)
+    }
+}
+
+/// Orient every rectangle wide (`w ≥ h`) when legal (`h ≤ 1` so the
+/// rotated rectangle still fits the strip), then pack.
+pub fn pack_rotated(inst: &Instance, packer: &(impl StripPacker + ?Sized)) -> RotatedPacking {
+    let mut rotated = vec![false; inst.len()];
+    let items: Vec<Item> = inst
+        .items()
+        .iter()
+        .map(|it| {
+            if it.h > it.w && it.h <= 1.0 {
+                rotated[it.id] = true;
+                Item::with_release(it.id, it.h, it.w, it.release)
+            } else {
+                *it
+            }
+        })
+        .collect();
+    let oriented = Instance::new(items).expect("rotation keeps dims in range");
+    let placement = packer.pack(&oriented);
+    debug_assert!(spp_core::validate::validate(&oriented, &placement).is_ok());
+    RotatedPacking {
+        oriented,
+        rotated,
+        placement,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Packer;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tall_items_are_rotated() {
+        let inst = Instance::from_dims(&[(0.2, 0.9), (0.8, 0.1)]).unwrap();
+        let r = pack_rotated(&inst, &Packer::Nfdh);
+        assert!(r.rotated[0]);
+        assert!(!r.rotated[1]);
+        assert_eq!(r.oriented.item(0).w, 0.9);
+        spp_core::assert_close!(r.oriented.item(0).h, 0.2);
+    }
+
+    #[test]
+    fn too_tall_to_rotate_stays() {
+        // height 1.5 > strip width 1: rotation illegal
+        let inst = Instance::from_dims(&[(0.2, 1.5)]).unwrap();
+        let r = pack_rotated(&inst, &Packer::Nfdh);
+        assert!(!r.rotated[0]);
+        assert_eq!(r.oriented.item(0).h, 1.5);
+    }
+
+    #[test]
+    fn rotation_helps_tall_narrow_workloads() {
+        // 8 tall slivers: unrotated NFDH stacks pairs... rotated they
+        // become flat strips that share shelves much better.
+        let dims: Vec<(f64, f64)> = (0..8).map(|_| (0.12, 0.96)).collect();
+        let inst = Instance::from_dims(&dims).unwrap();
+        let plain = crate::nfdh(&inst).height(&inst);
+        let rot = pack_rotated(&inst, &Packer::Nfdh).height();
+        assert!(
+            rot <= plain + 1e-9,
+            "rotation should not hurt here: {rot} > {plain}"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn rotated_packings_are_valid(
+            dims in proptest::collection::vec((0.01f64..1.0, 0.01f64..2.0), 0..50)
+        ) {
+            let inst = Instance::from_dims(&dims).unwrap();
+            let r = pack_rotated(&inst, &Packer::Ffdh);
+            prop_assert!(
+                spp_core::validate::validate(&r.oriented, &r.placement).is_ok()
+            );
+            // areas are preserved by rotation
+            prop_assert!((r.oriented.total_area() - inst.total_area()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Shelf machinery shared by the decreasing-height shelf algorithms.
+//!
+//! A *shelf* is a horizontal slice of the strip `[shelf.y, shelf.y +
+//! shelf.height)` into which rectangles are placed left to right. The three
+//! classic algorithms differ only in which open shelf receives the next
+//! rectangle:
+//!
+//! * **next-fit** — only the most recently opened shelf is open;
+//! * **first-fit** — all shelves stay open; take the lowest one that fits;
+//! * **best-fit** — all shelves stay open; take the one with least residual
+//!   width that fits.
+//!
+//! All three place items in non-increasing height order, so a shelf's
+//! height is the height of its first rectangle, and every later rectangle
+//! on it fits vertically.
+
+use spp_core::{Instance, Placement};
+
+/// Which open shelf receives each rectangle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShelfPolicy {
+    NextFit,
+    FirstFit,
+    BestFit,
+}
+
+/// A shelf under construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shelf {
+    /// Bottom y of the shelf.
+    pub y: f64,
+    /// Shelf height = height of its first (tallest) rectangle.
+    pub height: f64,
+    /// Total width already used.
+    pub used: f64,
+    /// Ids of the rectangles on this shelf, in placement order.
+    pub items: Vec<usize>,
+}
+
+/// Result of a shelf packing: the placement plus per-shelf bookkeeping
+/// (consumed by tests and by the uniform-height analysis of §2.2).
+#[derive(Debug, Clone)]
+pub struct ShelfPacking {
+    pub placement: Placement,
+    pub shelves: Vec<Shelf>,
+}
+
+impl ShelfPacking {
+    /// Total height = top of the highest shelf. 0 if no shelves.
+    pub fn height(&self) -> f64 {
+        self.shelves
+            .last()
+            .map_or(0.0, |s| s.y + s.height)
+            .max(0.0)
+    }
+}
+
+/// Pack items in the given order onto shelves with the given policy.
+///
+/// `order` must be a permutation of item ids sorted so that heights are
+/// non-increasing (the caller chooses the tie-breaking); this is asserted
+/// in debug builds because shelf validity depends on it.
+pub fn pack_shelves(inst: &Instance, order: &[usize], policy: ShelfPolicy) -> ShelfPacking {
+    debug_assert!(
+        order
+            .windows(2)
+            .all(|w| inst.item(w[0]).h >= inst.item(w[1]).h),
+        "shelf packing requires non-increasing heights"
+    );
+    debug_assert_eq!(order.len(), inst.len());
+
+    let mut placement = Placement::zeroed(inst.len());
+    let mut shelves: Vec<Shelf> = Vec::new();
+    let mut top = 0.0_f64; // y where the next new shelf would open
+
+    for &id in order {
+        let it = inst.item(id);
+        // Choose a shelf index that can take width w, under the policy.
+        let fits = |s: &Shelf| s.used + it.w <= 1.0 + spp_core::eps::EPS;
+        let chosen: Option<usize> = match policy {
+            ShelfPolicy::NextFit => shelves.last().filter(|s| fits(s)).map(|_| shelves.len() - 1),
+            ShelfPolicy::FirstFit => shelves.iter().position(fits),
+            ShelfPolicy::BestFit => shelves
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| fits(s))
+                .min_by(|(_, a), (_, b)| {
+                    let ra = 1.0 - a.used - it.w;
+                    let rb = 1.0 - b.used - it.w;
+                    ra.partial_cmp(&rb).unwrap()
+                })
+                .map(|(i, _)| i),
+        };
+        match chosen {
+            Some(i) => {
+                let s = &mut shelves[i];
+                placement.set(id, s.used, s.y);
+                s.used += it.w;
+                s.items.push(id);
+            }
+            None => {
+                // open a new shelf at the current top
+                let s = Shelf {
+                    y: top,
+                    height: it.h,
+                    used: it.w,
+                    items: vec![id],
+                };
+                placement.set(id, 0.0, top);
+                top += it.h;
+                shelves.push(s);
+            }
+        }
+    }
+    ShelfPacking { placement, shelves }
+}
+
+/// Item ids sorted by non-increasing height (ties by id for determinism).
+pub fn decreasing_height_order(inst: &Instance) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..inst.len()).collect();
+    order.sort_by(|&a, &b| {
+        inst.item(b)
+            .h
+            .partial_cmp(&inst.item(a).h)
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> Instance {
+        Instance::from_dims(&[
+            (0.6, 1.0), // 0: tallest
+            (0.5, 0.8), // 1
+            (0.5, 0.8), // 2
+            (0.4, 0.5), // 3
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn decreasing_order_sorts_heights() {
+        let i = inst();
+        let o = decreasing_height_order(&i);
+        assert_eq!(o[0], 0);
+        assert_eq!(o[3], 3);
+        assert_eq!(o[1], 1); // tie broken by id
+        assert_eq!(o[2], 2);
+    }
+
+    #[test]
+    fn next_fit_closes_shelves() {
+        let i = inst();
+        let o = decreasing_height_order(&i);
+        let p = pack_shelves(&i, &o, ShelfPolicy::NextFit);
+        // 0 opens shelf0 (0.6 used); 1 does not fit (1.1) -> shelf1; 2 does
+        // not fit with 1 (1.0 fits exactly!) 0.5+0.5=1.0 -> fits; 3 -> new.
+        assert_eq!(p.shelves.len(), 3);
+        assert_eq!(p.shelves[0].items, vec![0]);
+        assert_eq!(p.shelves[1].items, vec![1, 2]);
+        assert_eq!(p.shelves[2].items, vec![3]);
+        spp_core::assert_close!(p.height(), 1.0 + 0.8 + 0.5);
+        spp_core::validate::assert_valid(&i, &p.placement);
+    }
+
+    #[test]
+    fn first_fit_reuses_low_shelf() {
+        let i = inst();
+        let o = decreasing_height_order(&i);
+        let p = pack_shelves(&i, &o, ShelfPolicy::FirstFit);
+        // 3 (w=0.4) fits back on shelf 0 next to 0 (0.6): first-fit takes it.
+        assert_eq!(p.shelves[0].items, vec![0, 3]);
+        assert_eq!(p.shelves.len(), 2);
+        spp_core::assert_close!(p.height(), 1.0 + 0.8);
+        spp_core::validate::assert_valid(&i, &p.placement);
+    }
+
+    #[test]
+    fn best_fit_picks_tightest_shelf() {
+        // shelf0 residual 0.4 after item0; shelf1 residual 0.5 after item1.
+        let i = Instance::from_dims(&[(0.6, 1.0), (0.5, 0.9), (0.38, 0.5)]).unwrap();
+        let o = decreasing_height_order(&i);
+        let p = pack_shelves(&i, &o, ShelfPolicy::BestFit);
+        // 0.38 fits both; best-fit prefers shelf0 (residual 0.02 < 0.12).
+        assert_eq!(p.shelves[0].items, vec![0, 2]);
+    }
+
+    #[test]
+    fn exact_full_width_fits() {
+        let i = Instance::from_dims(&[(0.5, 1.0), (0.5, 1.0)]).unwrap();
+        let p = pack_shelves(&i, &[0, 1], ShelfPolicy::NextFit);
+        assert_eq!(p.shelves.len(), 1);
+        spp_core::assert_close!(p.height(), 1.0);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let i = Instance::new(vec![]).unwrap();
+        let p = pack_shelves(&i, &[], ShelfPolicy::FirstFit);
+        assert_eq!(p.height(), 0.0);
+        assert!(p.shelves.is_empty());
+    }
+
+    #[test]
+    fn shelf_metadata_consistent_with_placement() {
+        let i = inst();
+        let o = decreasing_height_order(&i);
+        for policy in [ShelfPolicy::NextFit, ShelfPolicy::FirstFit, ShelfPolicy::BestFit] {
+            let p = pack_shelves(&i, &o, policy);
+            for s in &p.shelves {
+                let mut used = 0.0;
+                for &id in &s.items {
+                    assert_eq!(p.placement.pos(id).y, s.y);
+                    used += i.item(id).w;
+                }
+                spp_core::assert_close!(used, s.used);
+                assert!(s.used <= 1.0 + spp_core::eps::EPS);
+                // first item defines the height
+                assert_eq!(i.item(s.items[0]).h, s.height);
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Skyline (bottom-left) packing.
+//!
+//! The *skyline* is the upper contour of the packed region: a sequence of
+//! horizontal segments spanning the strip. Placing a rectangle of width
+//! `w` at a candidate position costs the maximum segment height under its
+//! span; the bottom-left rule picks the candidate minimizing `(y, x)`.
+//!
+//! Unlike shelf algorithms, skyline packing has no worst-case guarantee,
+//! but it is the standard practical heuristic and gives `DC` a strong
+//! ablation point. The [`Skyline`] structure itself is reused by the
+//! precedence-aware greedy baseline (`spp-precedence::greedy`) through the
+//! `min_y` parameter of [`Skyline::best_position`]: a task whose
+//! predecessors finish at height `t` simply asks for a position with
+//! `y ≥ t`.
+
+use spp_core::{Instance, Placement};
+
+/// One segment of the skyline: `[x, x + w)` at height `y`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    pub x: f64,
+    pub w: f64,
+    pub y: f64,
+}
+
+/// The skyline contour over the unit strip.
+#[derive(Debug, Clone)]
+pub struct Skyline {
+    segs: Vec<Segment>,
+}
+
+impl Default for Skyline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Skyline {
+    /// Fresh skyline: one segment covering the whole strip at height 0.
+    pub fn new() -> Self {
+        Skyline {
+            segs: vec![Segment {
+                x: 0.0,
+                w: 1.0,
+                y: 0.0,
+            }],
+        }
+    }
+
+    /// The segments, left to right (non-overlapping, covering `[0, 1]`).
+    pub fn segments(&self) -> &[Segment] {
+        &self.segs
+    }
+
+    /// Maximum skyline height over the span `[x, x + w)`.
+    pub fn span_height(&self, x: f64, w: f64) -> f64 {
+        let mut h: f64 = 0.0;
+        for s in &self.segs {
+            if spp_core::eps::intervals_overlap(s.x, s.x + s.w, x, x + w) {
+                h = h.max(s.y);
+            }
+        }
+        h
+    }
+
+    /// Best (lowest, then leftmost) position for a rectangle of width `w`
+    /// with the extra constraint `y ≥ min_y`. Candidates are segment left
+    /// edges (and `1 − w`, to allow right-flush placements).
+    ///
+    /// Returns `(x, y)`.
+    pub fn best_position(&self, w: f64, min_y: f64) -> (f64, f64) {
+        let mut best: Option<(f64, f64)> = None;
+        let mut consider = |x: f64| {
+            if x < -spp_core::eps::EPS || x + w > 1.0 + spp_core::eps::EPS {
+                return;
+            }
+            let x = x.max(0.0).min(1.0 - w);
+            let y = self.span_height(x, w).max(min_y);
+            match best {
+                None => best = Some((x, y)),
+                Some((bx, by)) => {
+                    if y < by - spp_core::eps::EPS
+                        || (spp_core::eps::approx_eq(y, by) && x < bx - spp_core::eps::EPS)
+                    {
+                        best = Some((x, y));
+                    }
+                }
+            }
+        };
+        for s in &self.segs {
+            consider(s.x);
+        }
+        consider(1.0 - w);
+        best.expect("width ≤ 1 always has a candidate")
+    }
+
+    /// Commit a rectangle of width `w`, height `h` at `(x, y)`: the skyline
+    /// over `[x, x + w)` is raised to `y + h`.
+    ///
+    /// The caller must have obtained `(x, y)` from [`Skyline::best_position`]
+    /// (or guarantee `y ≥ span_height(x, w)`), otherwise the placement
+    /// would overlap previously committed rectangles; this is checked in
+    /// debug builds.
+    pub fn place(&mut self, x: f64, y: f64, w: f64, h: f64) {
+        debug_assert!(
+            spp_core::eps::approx_ge(y, self.span_height(x, w)),
+            "skyline placement sinks below the contour"
+        );
+        let top = y + h;
+        let (x0, x1) = (x, x + w);
+        let mut new_segs: Vec<Segment> = Vec::with_capacity(self.segs.len() + 2);
+        for s in &self.segs {
+            let (s0, s1) = (s.x, s.x + s.w);
+            // part of s left of the span
+            if s0 < x0 - spp_core::eps::EPS {
+                let wleft = (s1.min(x0)) - s0;
+                if wleft > spp_core::eps::EPS {
+                    new_segs.push(Segment {
+                        x: s0,
+                        w: wleft,
+                        y: s.y,
+                    });
+                }
+            }
+            // part of s right of the span
+            if s1 > x1 + spp_core::eps::EPS {
+                let start = s0.max(x1);
+                let wright = s1 - start;
+                if wright > spp_core::eps::EPS {
+                    new_segs.push(Segment {
+                        x: start,
+                        w: wright,
+                        y: s.y,
+                    });
+                }
+            }
+        }
+        new_segs.push(Segment {
+            x: x0,
+            w: x1 - x0,
+            y: top,
+        });
+        new_segs.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
+        // merge adjacent segments at equal height
+        let mut merged: Vec<Segment> = Vec::with_capacity(new_segs.len());
+        for s in new_segs {
+            if let Some(last) = merged.last_mut() {
+                if spp_core::eps::approx_eq(last.y, s.y)
+                    && spp_core::eps::approx_eq(last.x + last.w, s.x)
+                {
+                    last.w += s.w;
+                    continue;
+                }
+            }
+            merged.push(s);
+        }
+        self.segs = merged;
+    }
+
+    /// Current maximum height of the contour.
+    pub fn max_height(&self) -> f64 {
+        self.segs.iter().map(|s| s.y).fold(0.0, f64::max)
+    }
+}
+
+/// Bottom-left skyline packing: sort by non-increasing height (ties by
+/// non-increasing width then id) and drop each rectangle at its
+/// bottom-left position.
+pub fn skyline_pack(inst: &Instance) -> Placement {
+    let mut order: Vec<usize> = (0..inst.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (ia, ib) = (inst.item(a), inst.item(b));
+        ib.h.partial_cmp(&ia.h)
+            .unwrap()
+            .then(ib.w.partial_cmp(&ia.w).unwrap())
+            .then(a.cmp(&b))
+    });
+    let mut sky = Skyline::new();
+    let mut pl = Placement::zeroed(inst.len());
+    for &id in &order {
+        let it = inst.item(id);
+        let (x, y) = sky.best_position(it.w, 0.0);
+        sky.place(x, y, it.w, it.h);
+        pl.set(id, x, y);
+    }
+    pl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fresh_skyline_is_flat() {
+        let sky = Skyline::new();
+        assert_eq!(sky.segments().len(), 1);
+        assert_eq!(sky.span_height(0.2, 0.5), 0.0);
+        assert_eq!(sky.max_height(), 0.0);
+    }
+
+    #[test]
+    fn place_raises_span_only() {
+        let mut sky = Skyline::new();
+        sky.place(0.0, 0.0, 0.4, 1.0);
+        assert_eq!(sky.span_height(0.0, 0.4), 1.0);
+        assert_eq!(sky.span_height(0.4, 0.6), 0.0);
+        assert_eq!(sky.segments().len(), 2);
+    }
+
+    #[test]
+    fn best_position_fills_valley() {
+        let mut sky = Skyline::new();
+        sky.place(0.0, 0.0, 0.3, 1.0);
+        sky.place(0.7, 0.0, 0.3, 1.0);
+        // valley [0.3, 0.7) at height 0
+        let (x, y) = sky.best_position(0.4, 0.0);
+        spp_core::assert_close!(x, 0.3);
+        assert_eq!(y, 0.0);
+        // too wide for the valley -> must go on top
+        let (_, y2) = sky.best_position(0.5, 0.0);
+        assert_eq!(y2, 1.0);
+    }
+
+    #[test]
+    fn min_y_constraint_respected() {
+        let sky = Skyline::new();
+        let (_, y) = sky.best_position(0.5, 2.5);
+        assert_eq!(y, 2.5);
+    }
+
+    #[test]
+    fn merging_keeps_contour_canonical() {
+        let mut sky = Skyline::new();
+        sky.place(0.0, 0.0, 0.5, 1.0);
+        sky.place(0.5, 0.0, 0.5, 1.0);
+        // both halves now at height 1 -> should merge to one segment
+        assert_eq!(sky.segments().len(), 1);
+        assert_eq!(sky.max_height(), 1.0);
+    }
+
+    #[test]
+    fn segments_always_cover_unit_strip() {
+        let mut sky = Skyline::new();
+        for (x, y, w, h) in [
+            (0.0, 0.0, 0.3, 1.0),
+            (0.3, 0.0, 0.2, 0.5),
+            (0.5, 0.0, 0.5, 0.2),
+            (0.3, 0.5, 0.2, 0.7),
+        ] {
+            sky.place(x, y, w, h);
+            let total: f64 = sky.segments().iter().map(|s| s.w).sum();
+            spp_core::assert_close!(total, 1.0);
+            for win in sky.segments().windows(2) {
+                spp_core::assert_close!(win[0].x + win[0].w, win[1].x);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_perfect_square() {
+        // four 0.5 x 0.5 squares tile a 1 x 1 region
+        let inst = Instance::from_dims(&[
+            (0.5, 0.5),
+            (0.5, 0.5),
+            (0.5, 0.5),
+            (0.5, 0.5),
+        ])
+        .unwrap();
+        let pl = skyline_pack(&inst);
+        spp_core::validate::assert_valid(&inst, &pl);
+        spp_core::assert_close!(pl.height(&inst), 1.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn skyline_pack_valid(
+            dims in proptest::collection::vec((0.01f64..1.0, 0.01f64..2.0), 0..60)
+        ) {
+            let inst = Instance::from_dims(&dims).unwrap();
+            let pl = skyline_pack(&inst);
+            prop_assert!(spp_core::validate::validate(&inst, &pl).is_ok(),
+                "{:?}", spp_core::validate::validate(&inst, &pl));
+        }
+
+        /// Skyline never loses to pure stacking (height ≤ Σ h).
+        #[test]
+        fn skyline_no_worse_than_stacking(
+            dims in proptest::collection::vec((0.01f64..1.0, 0.01f64..2.0), 1..40)
+        ) {
+            let inst = Instance::from_dims(&dims).unwrap();
+            let h = skyline_pack(&inst).height(&inst);
+            let stack: f64 = dims.iter().map(|d| d.1).sum();
+            prop_assert!(h <= stack + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Sleator's strip packing algorithm (1980), absolute ratio 2.5.
+//!
+//! Structure (following the standard description in the strip packing
+//! heuristics literature):
+//!
+//! 1. every rectangle wider than ½ is stacked at the bottom of the strip,
+//!    giving a stack of height `h0` (these can never sit side by side, so
+//!    this wastes less than half the area: `h0 < 2·area(wide)`);
+//! 2. the remaining rectangles are sorted by non-increasing height and a
+//!    *first level* is packed left-to-right at `y = h0` until the next
+//!    rectangle would not fit in the strip width;
+//! 3. the region above is split into two half-width columns; repeatedly,
+//!    a new level is opened (in sorted order, NFDH-style within the
+//!    half-column width) on whichever column currently has the lower top.
+//!
+//! Every remaining rectangle has width ≤ ½ and so fits in a half-column.
+//! Sleator proved `height ≤ 2.5·OPT`; on random workloads it beats NFDH
+//! when wide rectangles dominate. It is included as an ablation subroutine
+//! for `DC` (it satisfies the A-bound empirically — see the property test —
+//! but we only *claim* the bound for NFDH, whose proof is in this repo).
+
+use spp_core::{Instance, Placement};
+
+/// Pack with Sleator's algorithm (starting at `y = 0`).
+pub fn sleator(inst: &Instance) -> Placement {
+    let mut pl = Placement::zeroed(inst.len());
+
+    // 1. Stack wide rectangles at the bottom.
+    let mut h0 = 0.0;
+    let mut narrow: Vec<usize> = Vec::new();
+    for it in inst.items() {
+        if it.w > 0.5 {
+            pl.set(it.id, 0.0, h0);
+            h0 += it.h;
+        } else {
+            narrow.push(it.id);
+        }
+    }
+    // Sort narrow by non-increasing height (ties by id).
+    narrow.sort_by(|&a, &b| {
+        inst.item(b)
+            .h
+            .partial_cmp(&inst.item(a).h)
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+
+    // 2. First level across the full width.
+    let mut i = 0;
+    let mut x = 0.0;
+    let mut first_level_h = 0.0;
+    while i < narrow.len() {
+        let it = inst.item(narrow[i]);
+        if x + it.w <= 1.0 + spp_core::eps::EPS {
+            pl.set(it.id, x, h0);
+            x += it.w;
+            if first_level_h == 0.0 {
+                first_level_h = it.h;
+            }
+            i += 1;
+        } else {
+            break;
+        }
+    }
+
+    // 3. Two half-columns above the first level.
+    let mut top = [h0 + first_level_h, h0 + first_level_h];
+    const HALF: [f64; 2] = [0.0, 0.5];
+    while i < narrow.len() {
+        // open a level on the lower column
+        let c = if top[0] <= top[1] { 0 } else { 1 };
+        let level_y = top[c];
+        let level_h = inst.item(narrow[i]).h; // tallest remaining
+        let mut cx = HALF[c];
+        while i < narrow.len() {
+            let it = inst.item(narrow[i]);
+            if cx + it.w <= HALF[c] + 0.5 + spp_core::eps::EPS {
+                pl.set(it.id, cx, level_y);
+                cx += it.w;
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        top[c] = level_y + level_h;
+    }
+    pl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wide_items_stack_at_bottom() {
+        let inst = Instance::from_dims(&[(0.8, 1.0), (0.6, 2.0), (0.3, 0.5)]).unwrap();
+        let pl = sleator(&inst);
+        spp_core::validate::assert_valid(&inst, &pl);
+        // The two wide ones occupy [0,3); the narrow one sits at y = 3.
+        assert_eq!(pl.pos(0).y, 0.0);
+        spp_core::assert_close!(pl.pos(1).y, 1.0);
+        spp_core::assert_close!(pl.pos(2).y, 3.0);
+    }
+
+    #[test]
+    fn all_narrow_uses_levels() {
+        let inst = Instance::from_dims(&[
+            (0.5, 1.0),
+            (0.5, 1.0),
+            (0.4, 0.9),
+            (0.4, 0.8),
+            (0.4, 0.7),
+        ])
+        .unwrap();
+        let pl = sleator(&inst);
+        spp_core::validate::assert_valid(&inst, &pl);
+        // first level: items 0,1 side by side at y=0
+        assert_eq!(pl.pos(0).y, 0.0);
+        assert_eq!(pl.pos(1).y, 0.0);
+        // remaining go into half-columns starting at y=1
+        assert!(pl.pos(2).y >= 1.0 - spp_core::eps::EPS);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let e = Instance::new(vec![]).unwrap();
+        assert_eq!(sleator(&e).height(&e), 0.0);
+        let s = Instance::from_dims(&[(0.2, 3.0)]).unwrap();
+        spp_core::assert_close!(sleator(&s).height(&s), 3.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn sleator_valid(
+            dims in proptest::collection::vec((0.01f64..1.0, 0.01f64..2.0), 0..60)
+        ) {
+            let inst = Instance::from_dims(&dims).unwrap();
+            let pl = sleator(&inst);
+            prop_assert!(spp_core::validate::validate(&inst, &pl).is_ok(),
+                "{:?}", spp_core::validate::validate(&inst, &pl));
+        }
+
+        /// Empirical A-bound check (documented, not claimed): Sleator stays
+        /// within 2·AREA + h_max on random instances.
+        #[test]
+        fn sleator_empirical_a_bound(
+            dims in proptest::collection::vec((0.01f64..1.0, 0.01f64..2.0), 1..60)
+        ) {
+            let inst = Instance::from_dims(&dims).unwrap();
+            let h = sleator(&inst).height(&inst);
+            prop_assert!(h <= 2.0 * inst.total_area() + inst.max_height() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The packing-algorithm abstraction consumed by `DC` and the harness.
+
+use spp_core::{Instance, Placement};
+
+/// A strip packing algorithm for unconstrained instances.
+///
+/// Implementations must return placements that
+/// [`spp_core::validate::validate`] accepts and must start packing at the
+/// strip base (`min_y == 0` for non-empty instances) so that callers can
+/// translate the block wherever they need it.
+pub trait StripPacker: Sync {
+    /// Short stable identifier (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Pack `inst` into the unit strip starting at `y = 0`.
+    fn pack(&self, inst: &Instance) -> Placement;
+
+    /// True iff this algorithm provably satisfies the paper's subroutine
+    /// contract `A(S') ≤ 2·AREA(S') + h_max(S')` required by `DC`.
+    fn satisfies_a_bound(&self) -> bool {
+        false
+    }
+}
+
+/// Enum of the provided packers, convenient for CLI/bench parameterization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Packer {
+    Nfdh,
+    Ffdh,
+    Bfdh,
+    Sleator,
+    Skyline,
+    Wsnf,
+}
+
+impl StripPacker for Packer {
+    fn name(&self) -> &'static str {
+        match self {
+            Packer::Nfdh => "nfdh",
+            Packer::Ffdh => "ffdh",
+            Packer::Bfdh => "bfdh",
+            Packer::Sleator => "sleator",
+            Packer::Skyline => "skyline",
+            Packer::Wsnf => "wsnf",
+        }
+    }
+
+    fn pack(&self, inst: &Instance) -> Placement {
+        match self {
+            Packer::Nfdh => crate::nfdh(inst),
+            Packer::Ffdh => crate::ffdh(inst),
+            Packer::Bfdh => crate::bfdh(inst),
+            Packer::Sleator => crate::sleator(inst),
+            Packer::Skyline => crate::skyline_pack(inst),
+            Packer::Wsnf => crate::wsnf(inst),
+        }
+    }
+
+    fn satisfies_a_bound(&self) -> bool {
+        // NFDH and WSNF: proofs in their module docs. The others only
+        // satisfy the bound empirically and are used for ablations.
+        matches!(self, Packer::Nfdh | Packer::Wsnf)
+    }
+}
+
+/// Look up a packer by its `name()`; `None` for unknown names.
+pub fn packer_by_name(name: &str) -> Option<Packer> {
+    Some(match name {
+        "nfdh" => Packer::Nfdh,
+        "ffdh" => Packer::Ffdh,
+        "bfdh" => Packer::Bfdh,
+        "sleator" => Packer::Sleator,
+        "skyline" => Packer::Skyline,
+        "wsnf" => Packer::Wsnf,
+        _ => return None,
+    })
+}
+
+/// All provided packers (for sweeps).
+pub const ALL_PACKERS: [Packer; 6] = [
+    Packer::Nfdh,
+    Packer::Ffdh,
+    Packer::Bfdh,
+    Packer::Sleator,
+    Packer::Skyline,
+    Packer::Wsnf,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for p in ALL_PACKERS {
+            assert_eq!(packer_by_name(p.name()), Some(p));
+        }
+        assert_eq!(packer_by_name("nope"), None);
+    }
+
+    #[test]
+    fn a_bound_flags() {
+        assert!(Packer::Nfdh.satisfies_a_bound());
+        assert!(Packer::Wsnf.satisfies_a_bound());
+        assert!(!Packer::Skyline.satisfies_a_bound());
+        assert!(!Packer::Sleator.satisfies_a_bound());
+    }
+
+    #[test]
+    fn all_packers_produce_valid_min_zero_placements() {
+        let inst = Instance::from_dims(&[
+            (0.5, 1.0),
+            (0.3, 0.7),
+            (0.9, 0.2),
+            (0.2, 1.5),
+            (0.6, 0.4),
+        ])
+        .unwrap();
+        for p in ALL_PACKERS {
+            let pl = p.pack(&inst);
+            spp_core::validate::assert_valid(&inst, &pl);
+            assert!(
+                pl.min_y().abs() < 1e-12,
+                "{} does not start at the base",
+                p.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! # spp-par — minimal fork–join parallelism over crossbeam
+//!
+//! The workspace's allowed dependency set does not include `rayon`, so this
+//! crate provides the three primitives the rest of the workspace needs,
+//! built on `crossbeam::scope` (scoped threads, so borrowed data crosses
+//! the spawn boundary safely):
+//!
+//! * [`join`] — run two closures, potentially in parallel, return both
+//!   results (used by the `DC` algorithm whose two recursive calls are
+//!   independent);
+//! * [`par_map`] — map a function over a slice with a bounded number of
+//!   worker threads (used by the experiment harness to sweep instances);
+//! * [`par_chunks`] — lower-level chunked parallel-for.
+//!
+//! Depth/size cut-offs keep thread creation from swamping small work items:
+//! `join` only forks while a global in-flight-fork budget (≈ number of
+//! cores) is available, and `par_map` never spawns more workers than items.
+//!
+//! Everything falls back to sequential execution when parallelism is
+//! unavailable or unprofitable, so results are *identical* either way —
+//! callers must only pass deterministic closures.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global budget of outstanding forks. Initialized lazily to the number of
+/// available cores. When exhausted, [`join`] runs sequentially.
+static FORK_BUDGET: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+fn init_budget() -> usize {
+    let cur = FORK_BUDGET.load(Ordering::Relaxed);
+    if cur != usize::MAX {
+        return cur;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    // Budget of forks, not threads: each fork adds one extra thread.
+    let budget = cores.saturating_sub(1);
+    let _ = FORK_BUDGET.compare_exchange(
+        usize::MAX,
+        budget,
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+    FORK_BUDGET.load(Ordering::Relaxed)
+}
+
+fn try_acquire_fork() -> bool {
+    init_budget();
+    let mut cur = FORK_BUDGET.load(Ordering::Relaxed);
+    while cur > 0 && cur != usize::MAX {
+        match FORK_BUDGET.compare_exchange_weak(
+            cur,
+            cur - 1,
+            Ordering::Acquire,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return true,
+            Err(c) => cur = c,
+        }
+    }
+    false
+}
+
+fn release_fork() {
+    FORK_BUDGET.fetch_add(1, Ordering::Release);
+}
+
+/// Run `a` and `b`, in parallel when a fork slot is available, and return
+/// both results. Panics in either closure propagate.
+pub fn join<RA, RB>(
+    a: impl FnOnce() -> RA + Send,
+    b: impl FnOnce() -> RB + Send,
+) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    if !try_acquire_fork() {
+        return (a(), b());
+    }
+    let result = crossbeam::scope(|scope| {
+        let hb = scope.spawn(|_| b());
+        let ra = a();
+        let rb = hb.join().expect("join: right closure panicked");
+        (ra, rb)
+    })
+    .expect("join: scope panicked");
+    release_fork();
+    result
+}
+
+/// Parallel map over a slice: applies `f` to every element, preserving
+/// order. Spawns at most `min(items, cores)` workers; falls back to a
+/// sequential map for tiny inputs.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let workers = cores.min(items.len());
+    if workers <= 1 || items.len() < 4 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let slots = out.as_mut_ptr() as usize;
+    // SAFETY: each index is claimed exactly once via the atomic counter, so
+    // no two threads write the same slot; the scope guarantees all writes
+    // complete before `out` is read.
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                unsafe {
+                    let slot = (slots as *mut Option<R>).add(i);
+                    std::ptr::write(slot, Some(r));
+                }
+            });
+        }
+    })
+    .expect("par_map: worker panicked");
+    out.into_iter()
+        .map(|r| r.expect("par_map: slot never filled"))
+        .collect()
+}
+
+/// Parallel for over disjoint chunks of a mutable slice; `f` receives the
+/// chunk index and the chunk. Used for initializing large buffers.
+pub fn par_chunks<T: Send>(
+    data: &mut [T],
+    chunk: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(chunk > 0, "chunk size must be positive");
+    if data.len() <= chunk {
+        f(0, data);
+        return;
+    }
+    crossbeam::scope(|scope| {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| f(i, c));
+        }
+    })
+    .expect("par_chunks: worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn join_nests_deeply_without_deadlock() {
+        // Recursion far deeper than the core count must still finish:
+        // exhausted budget degrades to sequential execution.
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 1_000 {
+                (lo..hi).sum()
+            } else {
+                let mid = (lo + hi) / 2;
+                let (a, b) = join(|| sum(lo, mid), || sum(mid, hi));
+                a + b
+            }
+        }
+        assert_eq!(sum(0, 1_000_000), 499_999_500_000);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys = par_map(&xs, |&x| x * x);
+        for (i, y) in ys.iter().enumerate() {
+            assert_eq!(*y, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn par_map_tiny_input() {
+        let xs = [1, 2, 3];
+        assert_eq!(par_map(&xs, |&x| x + 1), vec![2, 3, 4]);
+        let empty: [i32; 0] = [];
+        assert!(par_map(&empty, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn par_map_matches_sequential_on_random_work() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let xs: Vec<f64> = (0..500).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let seq: Vec<f64> = xs.iter().map(|x| (x * 17.0).sin()).collect();
+        let par = par_map(&xs, |x| (x * 17.0).sin());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_chunks_touches_every_element() {
+        let mut data = vec![0u32; 1037];
+        par_chunks(&mut data, 100, |i, c| {
+            for x in c.iter_mut() {
+                *x = i as u32 + 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[1036], 11);
+    }
+
+    #[test]
+    fn budget_is_restored_after_joins() {
+        init_budget();
+        let before = FORK_BUDGET.load(Ordering::Relaxed);
+        for _ in 0..100 {
+            let _ = join(|| 1, || 2);
+        }
+        assert_eq!(FORK_BUDGET.load(Ordering::Relaxed), before);
+    }
+}

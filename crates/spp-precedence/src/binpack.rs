@@ -1,0 +1,289 @@
+//! Precedence-constrained bin packing (the §2.2 reduction target).
+//!
+//! Tasks with sizes in `(0, 1]` and a partial order go into a sequence of
+//! unit bins; an edge `(a, b)` forces `bin(a) < bin(b)`. Uniform-height
+//! precedence strip packing is equivalent (bins = shelves; §2.2 shows any
+//! placement converts to a shelf placement for free).
+//!
+//! Algorithms:
+//!
+//! * [`next_fit_prec`] — the bin view of shelf algorithm `F`
+//!   (FIFO queue, head blocking): absolute 3-approximation (Theorem 2.6);
+//! * [`first_fit_prec`] — the Garey–Graham–Johnson–Yao-style *level*
+//!   algorithm: fill the current bin first-fit-decreasing over all
+//!   available tasks before closing. GGJY's analysis (resource-constrained
+//!   scheduling with one resource) gives an asymptotic 2.7-approximation,
+//!   which §2.2 transfers to uniform-height strip packing.
+
+use spp_core::Placement;
+use spp_dag::{Dag, PrecInstance};
+
+/// A bin assignment: `bins[b]` lists the task ids in bin `b`.
+pub type Bins = Vec<Vec<usize>>;
+
+/// Validate a bin assignment: every task exactly once, capacity respected,
+/// precedence strictly increasing across bins.
+pub fn validate_bins(sizes: &[f64], dag: &Dag, bins: &Bins) -> Result<(), String> {
+    let n = sizes.len();
+    let mut bin_of = vec![usize::MAX; n];
+    for (b, tasks) in bins.iter().enumerate() {
+        let mut used = 0.0;
+        for &t in tasks {
+            if t >= n {
+                return Err(format!("task {t} out of range"));
+            }
+            if bin_of[t] != usize::MAX {
+                return Err(format!("task {t} appears twice"));
+            }
+            bin_of[t] = b;
+            used += sizes[t];
+        }
+        if used > 1.0 + spp_core::eps::EPS {
+            return Err(format!("bin {b} overfull: {used}"));
+        }
+    }
+    if let Some(t) = bin_of.iter().position(|&b| b == usize::MAX) {
+        return Err(format!("task {t} unassigned"));
+    }
+    for (u, v) in dag.edges() {
+        if bin_of[u] >= bin_of[v] {
+            return Err(format!(
+                "edge ({u},{v}) violated: bins {} >= {}",
+                bin_of[u], bin_of[v]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Next-fit with a FIFO availability queue — the bin-packing view of shelf
+/// algorithm `F` (see [`crate::uniform`]).
+pub fn next_fit_prec(sizes: &[f64], dag: &Dag) -> Bins {
+    let n = sizes.len();
+    assert_eq!(dag.len(), n);
+    let mut closed = vec![false; n];
+    let mut queued = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    let refill = |closed: &[bool],
+                      queued: &mut [bool],
+                      queue: &mut std::collections::VecDeque<usize>| {
+        for v in 0..n {
+            if !queued[v] && !closed[v] && dag.preds(v).iter().all(|&p| closed[p]) {
+                queued[v] = true;
+                queue.push_back(v);
+            }
+        }
+    };
+    refill(&closed, &mut queued, &mut queue);
+
+    let mut bins: Bins = Vec::new();
+    let mut placed = 0;
+    while placed < n {
+        let mut bin = Vec::new();
+        let mut used = 0.0;
+        while let Some(&head) = queue.front() {
+            if used + sizes[head] <= 1.0 + spp_core::eps::EPS {
+                queue.pop_front();
+                used += sizes[head];
+                bin.push(head);
+                placed += 1;
+            } else {
+                break;
+            }
+        }
+        for &v in &bin {
+            closed[v] = true;
+        }
+        bins.push(bin);
+        refill(&closed, &mut queued, &mut queue);
+    }
+    bins
+}
+
+/// GGJY-style level algorithm: the current bin greedily takes available
+/// tasks in non-increasing size order (first-fit-decreasing within the
+/// level); the bin closes when no available task fits; tasks only become
+/// available when all predecessors are in *closed* bins.
+pub fn first_fit_prec(sizes: &[f64], dag: &Dag) -> Bins {
+    let n = sizes.len();
+    assert_eq!(dag.len(), n);
+    let mut closed = vec![false; n];
+    let mut in_bin = vec![false; n];
+    let mut bins: Bins = Vec::new();
+    let mut placed = 0;
+    while placed < n {
+        // available for this bin
+        let mut avail: Vec<usize> = (0..n)
+            .filter(|&v| !closed[v] && !in_bin[v] && dag.preds(v).iter().all(|&p| closed[p]))
+            .collect();
+        // non-increasing size, ties by id
+        avail.sort_by(|&a, &b| {
+            sizes[b]
+                .partial_cmp(&sizes[a])
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        let mut bin = Vec::new();
+        let mut used = 0.0;
+        for v in avail {
+            if used + sizes[v] <= 1.0 + spp_core::eps::EPS {
+                used += sizes[v];
+                in_bin[v] = true;
+                bin.push(v);
+                placed += 1;
+            }
+        }
+        debug_assert!(!bin.is_empty(), "some available task always fits an empty bin");
+        for &v in &bin {
+            closed[v] = true;
+            in_bin[v] = false;
+        }
+        bins.push(bin);
+    }
+    bins
+}
+
+/// Render a bin assignment as a uniform-height strip placement (bin `b`
+/// becomes shelf `b`, items laid left to right).
+pub fn bins_to_placement(prec: &PrecInstance, bins: &Bins) -> Placement {
+    let h = prec
+        .inst
+        .uniform_height()
+        .expect("bins_to_placement requires uniform heights");
+    let mut pl = Placement::zeroed(prec.len());
+    for (b, tasks) in bins.iter().enumerate() {
+        let mut x = 0.0;
+        for &t in tasks {
+            pl.set(t, x, b as f64 * h);
+            x += prec.inst.item(t).w;
+        }
+    }
+    pl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use spp_core::Instance;
+
+    fn random_case(
+        rng: &mut StdRng,
+        n_max: usize,
+        p: f64,
+    ) -> (Vec<f64>, Dag) {
+        let n = rng.gen_range(1..n_max);
+        let sizes: Vec<f64> = (0..n).map(|_| rng.gen_range(0.05..1.0)).collect();
+        let dag = spp_dag::gen::random_order(rng, n, p);
+        (sizes, dag)
+    }
+
+    #[test]
+    fn next_fit_matches_shelf_f() {
+        // Bin view and shelf view must agree on shelf contents.
+        let sizes = [0.6, 0.6, 0.3, 0.5];
+        let dag = Dag::new(4, &[(0, 3)]).unwrap();
+        let bins = next_fit_prec(&sizes, &dag);
+        validate_bins(&sizes, &dag, &bins).unwrap();
+
+        let dims: Vec<(f64, f64)> = sizes.iter().map(|&w| (w, 1.0)).collect();
+        let prec = PrecInstance::new(Instance::from_dims(&dims).unwrap(), dag);
+        let shelf = crate::uniform::shelf_next_fit(&prec);
+        let shelf_bins: Bins = shelf.shelves.iter().map(|s| s.items.clone()).collect();
+        assert_eq!(bins, shelf_bins);
+    }
+
+    #[test]
+    fn ffd_fills_better_than_next_fit_here() {
+        // queue order hurts next-fit; FFD reorders within the level.
+        let sizes = [0.3, 0.7, 0.3, 0.7];
+        let dag = Dag::empty(4);
+        let nf = next_fit_prec(&sizes, &dag);
+        let ff = first_fit_prec(&sizes, &dag);
+        validate_bins(&sizes, &dag, &nf).unwrap();
+        validate_bins(&sizes, &dag, &ff).unwrap();
+        assert_eq!(ff.len(), 2, "FFD pairs 0.7+0.3 twice");
+        assert!(nf.len() >= ff.len());
+    }
+
+    #[test]
+    fn precedence_forces_strictly_later_bins() {
+        let sizes = [0.1, 0.1, 0.1];
+        let dag = Dag::chain(3);
+        for bins in [next_fit_prec(&sizes, &dag), first_fit_prec(&sizes, &dag)] {
+            validate_bins(&sizes, &dag, &bins).unwrap();
+            assert_eq!(bins.len(), 3);
+        }
+    }
+
+    #[test]
+    fn validate_bins_catches_violations() {
+        let sizes = [0.5, 0.5];
+        let dag = Dag::new(2, &[(0, 1)]).unwrap();
+        // same bin violates the strict ordering
+        assert!(validate_bins(&sizes, &dag, &vec![vec![0, 1]]).is_err());
+        // missing task
+        assert!(validate_bins(&sizes, &dag, &vec![vec![0]]).is_err());
+        // duplicate
+        assert!(validate_bins(&sizes, &dag, &vec![vec![0], vec![0, 1]]).is_err());
+        // overfull
+        let sizes2 = [0.8, 0.8];
+        assert!(validate_bins(&sizes2, &Dag::empty(2), &vec![vec![0, 1]]).is_err());
+        // valid
+        assert!(validate_bins(&sizes, &dag, &vec![vec![0], vec![1]]).is_ok());
+    }
+
+    #[test]
+    fn bins_to_placement_is_valid() {
+        let sizes = [0.6, 0.4, 0.5];
+        let dag = Dag::new(3, &[(0, 2)]).unwrap();
+        let bins = first_fit_prec(&sizes, &dag);
+        let dims: Vec<(f64, f64)> = sizes.iter().map(|&w| (w, 1.0)).collect();
+        let prec = PrecInstance::new(Instance::from_dims(&dims).unwrap(), dag);
+        let pl = bins_to_placement(&prec, &bins);
+        prec.assert_valid(&pl);
+        spp_core::assert_close!(pl.height(&prec.inst), bins.len() as f64);
+    }
+
+    #[test]
+    fn ffd_vs_exact_stays_under_3() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..20 {
+            let (sizes, dag) = random_case(&mut rng, 12, 0.25);
+            let ff = first_fit_prec(&sizes, &dag);
+            validate_bins(&sizes, &dag, &ff).unwrap();
+            let opt = spp_exact::exact_bins(&sizes, &dag);
+            assert!(
+                ff.len() <= 3 * opt,
+                "FFD {} bins > 3·OPT {}",
+                ff.len(),
+                3 * opt
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn both_algorithms_always_valid(
+            seed in 0u64..5000,
+            n in 1usize..50,
+            edge_p in 0.0f64..0.4,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sizes: Vec<f64> = (0..n).map(|_| rng.gen_range(0.05..1.0)).collect();
+            let dag = spp_dag::gen::random_order(&mut rng, n, edge_p);
+            let nf = next_fit_prec(&sizes, &dag);
+            let ff = first_fit_prec(&sizes, &dag);
+            prop_assert!(validate_bins(&sizes, &dag, &nf).is_ok());
+            prop_assert!(validate_bins(&sizes, &dag, &ff).is_ok());
+            // FFD never opens more bins than there are tasks; both at
+            // least the trivial area bound
+            let area: f64 = sizes.iter().sum();
+            prop_assert!(ff.len() as f64 + 1e-9 >= area);
+            prop_assert!(nf.len() as f64 + 1e-9 >= area);
+        }
+    }
+}

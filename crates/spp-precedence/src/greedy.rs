@@ -1,0 +1,140 @@
+//! Precedence-aware bottom-left (skyline) baseline.
+//!
+//! A practical greedy the paper's `DC` is measured against: process tasks
+//! in a priority order consistent with the DAG; each task is dropped at
+//! the lowest-leftmost skyline position at or above its *floor* (the
+//! maximum of its release time and its predecessors' tops).
+//!
+//! No worst-case guarantee (an adversarial DAG forces Ω(log n)·LB like any
+//! algorithm argued against `max(AREA, F)`), but on typical task graphs it
+//! is competitive and fast: O(n² ) with the vector skyline.
+
+use spp_core::{Placement};
+use spp_dag::PrecInstance;
+use spp_pack::Skyline;
+
+/// Greedy skyline packing under precedence + release constraints.
+pub fn greedy_skyline(prec: &PrecInstance) -> Placement {
+    let n = prec.len();
+    let mut pl = Placement::zeroed(n);
+    let mut sky = Skyline::new();
+
+    // floors become known as predecessors are placed
+    let mut floor: Vec<f64> = prec.inst.items().iter().map(|it| it.release).collect();
+    let mut missing: Vec<usize> = (0..n).map(|v| prec.dag.in_degree(v)).collect();
+    // ready pool; chosen by (lowest floor, then taller, then wider, then id)
+    let mut ready: Vec<usize> = (0..n).filter(|&v| missing[v] == 0).collect();
+
+    let mut placed = 0;
+    while placed < n {
+        debug_assert!(!ready.is_empty(), "DAG invariant: some task is ready");
+        // pick the best ready task
+        let mut best = 0;
+        for i in 1..ready.len() {
+            let (a, b) = (ready[i], ready[best]);
+            let (ia, ib) = (prec.inst.item(a), prec.inst.item(b));
+            let ord = floor[a]
+                .partial_cmp(&floor[b])
+                .unwrap()
+                .then(ib.h.partial_cmp(&ia.h).unwrap())
+                .then(ib.w.partial_cmp(&ia.w).unwrap())
+                .then(a.cmp(&b));
+            if ord == std::cmp::Ordering::Less {
+                best = i;
+            }
+        }
+        let v = ready.swap_remove(best);
+        let it = prec.inst.item(v);
+        let (x, y) = sky.best_position(it.w, floor[v]);
+        sky.place(x, y, it.w, it.h);
+        pl.set(v, x, y);
+        placed += 1;
+        for &w in prec.dag.succs(v) {
+            floor[w] = floor[w].max(y + it.h);
+            missing[w] -= 1;
+            if missing[w] == 0 {
+                ready.push(w);
+            }
+        }
+    }
+    pl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use spp_core::Instance;
+    use spp_dag::Dag;
+
+    #[test]
+    fn unconstrained_reduces_to_skyline() {
+        let inst = Instance::from_dims(&[(0.5, 1.0), (0.5, 1.0)]).unwrap();
+        let p = PrecInstance::unconstrained(inst);
+        let pl = greedy_skyline(&p);
+        p.assert_valid(&pl);
+        spp_core::assert_close!(pl.height(&p.inst), 1.0);
+    }
+
+    #[test]
+    fn chain_is_stacked() {
+        let inst = Instance::from_dims(&[(0.2, 1.0), (0.2, 2.0)]).unwrap();
+        let p = PrecInstance::new(inst, Dag::chain(2));
+        let pl = greedy_skyline(&p);
+        p.assert_valid(&pl);
+        spp_core::assert_close!(pl.height(&p.inst), 3.0);
+    }
+
+    #[test]
+    fn release_floor_respected() {
+        let inst = Instance::from_dims_release(&[(0.5, 1.0, 5.0)]).unwrap();
+        let p = PrecInstance::unconstrained(inst);
+        let pl = greedy_skyline(&p);
+        p.assert_valid(&pl);
+        assert!(pl.pos(0).y >= 5.0 - 1e-12);
+    }
+
+    #[test]
+    fn parallel_branches_share_strip() {
+        // 0 -> {1, 2}; 1 and 2 are narrow and can sit side by side.
+        let inst = Instance::from_dims(&[(1.0, 1.0), (0.5, 1.0), (0.5, 1.0)]).unwrap();
+        let dag = Dag::new(3, &[(0, 1), (0, 2)]).unwrap();
+        let p = PrecInstance::new(inst, dag);
+        let pl = greedy_skyline(&p);
+        p.assert_valid(&pl);
+        spp_core::assert_close!(pl.height(&p.inst), 2.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let inst = spp_gen::rects::uniform(&mut rng, 30, (0.05, 0.9), (0.1, 1.0));
+        let p = spp_gen::rects::with_layered_dag(&mut rng, inst, 5, 0.2);
+        let a = greedy_skyline(&p);
+        let b = greedy_skyline(&p);
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn greedy_valid_on_random_dags(
+            seed in 0u64..5000,
+            n in 1usize..60,
+            edge_p in 0.0f64..0.4,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dims: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.gen_range(0.05..1.0), rng.gen_range(0.05..1.0)))
+                .collect();
+            let inst = Instance::from_dims(&dims).unwrap();
+            let dag = spp_dag::gen::random_order(&mut rng, n, edge_p);
+            let p = PrecInstance::new(inst, dag);
+            let pl = greedy_skyline(&p);
+            prop_assert!(p.validate(&pl).is_ok(), "{:?}", p.validate(&pl));
+            prop_assert!(pl.height(&p.inst) + 1e-9 >= p.lower_bound());
+        }
+    }
+}

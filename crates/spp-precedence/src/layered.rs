@@ -1,0 +1,105 @@
+//! Layer-decomposition baseline.
+//!
+//! Decompose the DAG into longest-path levels (each level is an antichain,
+//! see `spp_dag::levels`), pack each level independently with an
+//! unconstrained packer, and stack the level blocks bottom-to-top in level
+//! order. Every edge goes from a lower level to a strictly higher one, so
+//! the stacking respects all precedence constraints.
+//!
+//! This is the natural "HEFT-like" heuristic; its weakness (which `DC`
+//! fixes) is that a single tall rectangle in a level stretches the whole
+//! level block.
+
+use spp_core::Placement;
+use spp_dag::PrecInstance;
+use spp_pack::StripPacker;
+
+/// Pack by levels with the given unconstrained packer.
+pub fn layered_pack(prec: &PrecInstance, packer: &(impl StripPacker + ?Sized)) -> Placement {
+    let groups = spp_dag::levels::level_groups(&prec.dag);
+    let mut pl = Placement::zeroed(prec.len());
+    let mut y = 0.0;
+    for level_ids in &groups {
+        let (inst, back) = prec.inst.restrict(level_ids);
+        let sub = packer.pack(&inst);
+        debug_assert!(spp_core::validate::validate(&inst, &sub).is_ok());
+        pl.absorb(&sub, &back, y);
+        y += sub.height(&inst);
+    }
+    pl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use spp_core::Instance;
+    use spp_dag::Dag;
+    use spp_pack::Packer;
+
+    #[test]
+    fn levels_stack_in_order() {
+        // diamond: 0 | 1,2 | 3
+        let inst = Instance::from_dims(&[
+            (0.5, 1.0),
+            (0.4, 1.0),
+            (0.4, 1.0),
+            (0.5, 1.0),
+        ])
+        .unwrap();
+        let dag = Dag::new(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let p = PrecInstance::new(inst, dag);
+        let pl = layered_pack(&p, &Packer::Nfdh);
+        p.assert_valid(&pl);
+        // three level blocks of height 1 each
+        spp_core::assert_close!(pl.height(&p.inst), 3.0);
+    }
+
+    #[test]
+    fn empty_dag_is_single_block() {
+        let inst = Instance::from_dims(&[(0.5, 1.0), (0.5, 1.0)]).unwrap();
+        let p = PrecInstance::unconstrained(inst);
+        let pl = layered_pack(&p, &Packer::Nfdh);
+        p.assert_valid(&pl);
+        spp_core::assert_close!(pl.height(&p.inst), 1.0);
+    }
+
+    #[test]
+    fn tall_rectangle_stretches_level_dc_does_better() {
+        // Level 1 has one tall + many short; layered pays the tall height
+        // for the whole block even though shorts could flow elsewhere.
+        let mut dims = vec![(0.1, 0.1)]; // level-0 root
+        dims.push((0.1, 5.0)); // tall, level 1
+        for _ in 0..8 {
+            dims.push((0.1, 0.1)); // shorts, level 1
+        }
+        let inst = Instance::from_dims(&dims).unwrap();
+        let edges: Vec<(usize, usize)> = (1..10).map(|v| (0, v)).collect();
+        let p = PrecInstance::new(inst, Dag::new(10, &edges).unwrap());
+        let pl = layered_pack(&p, &Packer::Nfdh);
+        p.assert_valid(&pl);
+        spp_core::assert_close!(pl.height(&p.inst), 5.1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn layered_valid_on_random_dags(
+            seed in 0u64..5000,
+            n in 1usize..50,
+            edge_p in 0.0f64..0.4,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dims: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.gen_range(0.05..1.0), rng.gen_range(0.05..1.0)))
+                .collect();
+            let inst = Instance::from_dims(&dims).unwrap();
+            let dag = spp_dag::gen::random_order(&mut rng, n, edge_p);
+            let p = PrecInstance::new(inst, dag);
+            let pl = layered_pack(&p, &Packer::Nfdh);
+            prop_assert!(p.validate(&pl).is_ok(), "{:?}", p.validate(&pl));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # spp-precedence — strip packing with precedence constraints (§2)
+//!
+//! The paper's first problem: pack rectangles into the unit strip subject
+//! to a DAG (`y_pred + h_pred ≤ y_succ` per edge), minimizing the total
+//! height. This crate implements:
+//!
+//! * [`mod@dc`] — **Algorithm 1 (`DC`)**: the divide-and-conquer
+//!   `(2 + log₂(n+1))`-approximation of Theorem 2.3. Splits the instance
+//!   at half the critical-path height `H/2` into `S_bot`, `S_mid`,
+//!   `S_top`; `S_mid` is precedence-free (Lemma 2.1) and is packed by an
+//!   unconstrained subroutine `A` with the `2·AREA + h_max` guarantee
+//!   (NFDH by default);
+//! * [`uniform`] — §2.2 **shelf algorithm `F`**: the absolute
+//!   3-approximation for uniform heights (Theorem 2.6), with skip-shelf
+//!   accounting (Lemma 2.5) exposed for verification;
+//! * [`binpack`] — precedence-constrained **bin packing** (the
+//!   Garey–Graham–Johnson–Yao reduction target): first-fit-decreasing and
+//!   next-fit level algorithms, plus the bins↔shelves conversion;
+//! * [`reduction`] — the §2.2 proof that any uniform-height placement
+//!   can be converted into a *shelf solution* without height increase;
+//! * [`greedy`] — precedence-aware bottom-left skyline baseline;
+//! * [`layered`] — level-decomposition baseline (pack each antichain
+//!   layer with an unconstrained packer, stack the layers);
+//! * [`combined`] — extension: precedence **and** release times together
+//!   (the paper leaves the combined problem open).
+
+pub mod binpack;
+pub mod combined;
+pub mod dc;
+pub mod greedy;
+pub mod layered;
+pub mod reduction;
+pub mod uniform;
+
+pub use dc::{dc, dc_bound, dc_with_stats, DcStats};
+pub use greedy::greedy_skyline;
+pub use layered::layered_pack;
+pub use uniform::{shelf_next_fit, UniformShelfResult};

@@ -1,0 +1,157 @@
+//! §2.2 — every uniform-height placement converts to a shelf solution.
+//!
+//! The paper proves it by iteratively sliding down the lowest rectangle
+//! that straddles a shelf boundary. For uniform height `h` the fixpoint of
+//! that process is exactly *flooring* every `y` to the shelf grid
+//! (`y ← h·⌊y/h⌋`), which we can apply in one shot and justify directly:
+//!
+//! * **no overlap is created** — if two rectangles overlap in `x`, their
+//!   `y`-ranges are disjoint: `y₂ ≥ y₁ + h`, hence
+//!   `⌊y₂/h⌋ ≥ ⌊y₁/h⌋ + 1`, so the floored copies sit on different
+//!   shelves;
+//! * **precedence is preserved** — an edge gives `y_v ≥ y_u + h`, hence
+//!   the same index shift: the successor stays at least one full shelf
+//!   above the predecessor's floored position;
+//! * **the height never increases** — flooring only moves rectangles
+//!   down, and the top shelf index is `⌊(max y)/h⌋`, preserving
+//!   `shelves · h ≤ old height` rounded down to the grid.
+//!
+//! This constructive equivalence is what lets §2.2 treat shelves as bins
+//! and inherit the GGJY asymptotic 2.7-approximation.
+
+use spp_core::Placement;
+use spp_dag::PrecInstance;
+
+/// Convert a valid uniform-height placement into a shelf placement
+/// (every `y` a multiple of `h`), never increasing the total height.
+///
+/// Panics if heights are not uniform. The result is re-validated in debug
+/// builds.
+pub fn to_shelf_solution(prec: &PrecInstance, pl: &Placement) -> Placement {
+    let h = prec
+        .inst
+        .uniform_height()
+        .expect("shelf reduction requires uniform heights");
+    let mut out = pl.clone();
+    for v in 0..prec.len() {
+        let p = pl.pos(v);
+        // nudge by EPS so that y values a hair under a grid line (float
+        // noise from valid placements) floor to the intended shelf
+        let shelf = ((p.y + spp_core::eps::EPS) / h).floor().max(0.0);
+        out.set(v, p.x, shelf * h);
+    }
+    debug_assert!(
+        prec.validate(&out).is_ok(),
+        "shelf reduction broke validity: {:?}",
+        prec.validate(&out)
+    );
+    out
+}
+
+/// Shelf index of every rectangle in a shelf placement.
+pub fn shelf_indices(prec: &PrecInstance, pl: &Placement) -> Vec<usize> {
+    let h = prec
+        .inst
+        .uniform_height()
+        .expect("shelf indices require uniform heights");
+    (0..prec.len())
+        .map(|v| ((pl.pos(v).y + spp_core::eps::EPS) / h).floor() as usize)
+        .collect()
+}
+
+/// True iff the placement is a shelf solution (every `y` on the grid).
+pub fn is_shelf_solution(prec: &PrecInstance, pl: &Placement) -> bool {
+    let Some(h) = prec.inst.uniform_height() else {
+        return false;
+    };
+    (0..prec.len()).all(|v| {
+        let y = pl.pos(v).y;
+        let r = (y / h).round();
+        (y - r * h).abs() <= spp_core::eps::EPS * (1.0 + r.abs())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use spp_core::Instance;
+    use spp_dag::Dag;
+
+    #[test]
+    fn already_shelved_is_fixed_point() {
+        let inst = Instance::from_dims(&[(0.5, 1.0), (0.5, 1.0)]).unwrap();
+        let p = PrecInstance::unconstrained(inst);
+        let pl = Placement::from_xy(&[(0.0, 0.0), (0.5, 0.0)]);
+        let out = to_shelf_solution(&p, &pl);
+        assert_eq!(out, pl);
+        assert!(is_shelf_solution(&p, &out));
+    }
+
+    #[test]
+    fn floating_rectangle_drops_to_grid() {
+        let inst = Instance::from_dims(&[(0.5, 1.0), (0.5, 1.0)]).unwrap();
+        let p = PrecInstance::unconstrained(inst);
+        // item 1 floats at y = 1.4 (spans shelves 1 and 2)
+        let pl = Placement::from_xy(&[(0.0, 0.0), (0.0, 1.4)]);
+        p.assert_valid(&pl);
+        let out = to_shelf_solution(&p, &pl);
+        assert_eq!(out.pos(1).y, 1.0);
+        assert!(out.height(&p.inst) <= pl.height(&p.inst));
+        assert_eq!(shelf_indices(&p, &out), vec![0, 1]);
+    }
+
+    #[test]
+    fn precedence_survives_flooring() {
+        let inst = Instance::from_dims(&[(0.5, 1.0), (0.5, 1.0)]).unwrap();
+        let p = PrecInstance::new(inst, Dag::chain(2));
+        let pl = Placement::from_xy(&[(0.0, 0.3), (0.0, 1.7)]);
+        p.assert_valid(&pl);
+        let out = to_shelf_solution(&p, &pl);
+        p.assert_valid(&out);
+        assert_eq!(out.pos(0).y, 0.0);
+        assert_eq!(out.pos(1).y, 1.0);
+    }
+
+    #[test]
+    fn random_greedy_placements_floor_cleanly() {
+        let mut rng = StdRng::seed_from_u64(44);
+        for _ in 0..40 {
+            let n = rng.gen_range(1..30);
+            let dims: Vec<(f64, f64)> =
+                (0..n).map(|_| (rng.gen_range(0.05..1.0), 1.0)).collect();
+            let inst = Instance::from_dims(&dims).unwrap();
+            let dag = spp_dag::gen::random_order(&mut rng, n, 0.2);
+            let p = PrecInstance::new(inst, dag);
+            // greedy skyline yields non-shelf placements in general
+            let pl = crate::greedy::greedy_skyline(&p);
+            p.assert_valid(&pl);
+            let out = to_shelf_solution(&p, &pl);
+            p.assert_valid(&out);
+            assert!(is_shelf_solution(&p, &out));
+            assert!(
+                out.height(&p.inst) <= pl.height(&p.inst) + spp_core::eps::EPS,
+                "reduction increased height"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_uniform_height() {
+        let inst = Instance::from_dims(&[(0.4, 2.0), (0.4, 2.0)]).unwrap();
+        let p = PrecInstance::unconstrained(inst);
+        let pl = Placement::from_xy(&[(0.0, 0.0), (0.0, 3.0)]); // straddles
+        p.assert_valid(&pl);
+        let out = to_shelf_solution(&p, &pl);
+        assert_eq!(out.pos(1).y, 2.0);
+        p.assert_valid(&out);
+    }
+
+    #[test]
+    fn is_shelf_solution_rejects_non_uniform() {
+        let inst = Instance::from_dims(&[(0.5, 1.0), (0.5, 2.0)]).unwrap();
+        let p = PrecInstance::unconstrained(inst);
+        let pl = Placement::from_xy(&[(0.0, 0.0), (0.5, 0.0)]);
+        assert!(!is_shelf_solution(&p, &pl));
+    }
+}

@@ -1,0 +1,377 @@
+//! §2.2 — shelf algorithm `F` for uniform heights (Theorem 2.6).
+//!
+//! All rectangles share height `h` (normalized to 1 in the paper). The
+//! algorithm keeps one *open shelf* at the top of the placement and a
+//! FIFO queue of *available* rectangles (all predecessors on closed
+//! shelves):
+//!
+//! 1. take rectangles from the head of the queue, placing them left to
+//!    right on the open shelf, until the head does not fit or the queue
+//!    is empty;
+//! 2. close the shelf, open a new one above it, repopulate the queue with
+//!    newly available rectangles; repeat until done.
+//!
+//! A shelf closed because the queue was *empty* is a **skip** (Lemma 2.5:
+//! the number of skips is at most the number of shelves on a longest DAG
+//! path, hence at most OPT/h). The red/green accounting of Theorem 2.6
+//! (`red ≤ 2·AREA/h`, every green shelf is a skip) gives the absolute
+//! 3-approximation; both quantities are exposed for verification.
+
+use spp_core::Placement;
+use spp_dag::PrecInstance;
+
+/// One shelf built by algorithm `F`.
+#[derive(Debug, Clone)]
+pub struct UniformShelf {
+    /// Item ids on this shelf in placement order.
+    pub items: Vec<usize>,
+    /// Total width used.
+    pub used: f64,
+    /// True iff the shelf was closed because the ready queue was empty
+    /// (includes the final shelf, after which the queue is empty by
+    /// definition).
+    pub skip: bool,
+}
+
+/// Output of algorithm `F`.
+#[derive(Debug, Clone)]
+pub struct UniformShelfResult {
+    pub placement: Placement,
+    pub shelves: Vec<UniformShelf>,
+    /// The uniform rectangle height `h`.
+    pub h: f64,
+    /// Number of skip shelves.
+    pub skips: usize,
+}
+
+impl UniformShelfResult {
+    /// Total height `= shelves · h`.
+    pub fn height(&self) -> f64 {
+        self.shelves.len() as f64 * self.h
+    }
+
+    /// Theorem 2.6's red/green coloring: sweep bottom-up; if shelves
+    /// `i, i+1` together carry area ≥ strip area of one shelf (`≥ 1` in
+    /// width units), color both red and jump two; otherwise green and move
+    /// one. Returns `(red, green)` shelf counts.
+    pub fn red_green(&self) -> (usize, usize) {
+        let widths: Vec<f64> = self.shelves.iter().map(|s| s.used).collect();
+        let mut red = 0;
+        let mut green = 0;
+        let mut i = 0;
+        while i < widths.len() {
+            if i + 1 < widths.len() && widths[i] + widths[i + 1] >= 1.0 - spp_core::eps::EPS {
+                red += 2;
+                i += 2;
+            } else {
+                green += 1;
+                i += 1;
+            }
+        }
+        (red, green)
+    }
+}
+
+/// Run shelf algorithm `F` on a uniform-height precedence instance.
+///
+/// Panics if heights are not uniform (§2.2 precondition).
+///
+/// ```
+/// use spp_core::Instance;
+/// use spp_dag::{Dag, PrecInstance};
+/// use spp_precedence::shelf_next_fit;
+///
+/// // three unit-height tasks, 0 must precede 2
+/// let inst = Instance::from_dims(&[(0.6, 1.0), (0.3, 1.0), (0.5, 1.0)]).unwrap();
+/// let prec = PrecInstance::new(inst, Dag::new(3, &[(0, 2)]).unwrap());
+/// let r = shelf_next_fit(&prec);
+/// prec.assert_valid(&r.placement);
+/// assert_eq!(r.shelves.len(), 2);          // {0,1} then {2}
+/// assert_eq!(r.shelves[0].items, vec![0, 1]);
+/// ```
+pub fn shelf_next_fit(prec: &PrecInstance) -> UniformShelfResult {
+    let n = prec.len();
+    if n == 0 {
+        return UniformShelfResult {
+            placement: Placement::zeroed(0),
+            shelves: Vec::new(),
+            h: 0.0,
+            skips: 0,
+        };
+    }
+    let h = prec
+        .inst
+        .uniform_height()
+        .expect("shelf algorithm F requires uniform heights");
+
+    let mut placement = Placement::zeroed(n);
+    let mut shelves: Vec<UniformShelf> = Vec::new();
+
+    // closed[v]: v is on a *closed* shelf. Available: all preds closed.
+    let mut closed = vec![false; n];
+    let mut queued = vec![false; n];
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+
+    let enqueue_available = |closed: &[bool], queued: &mut [bool],
+                                 queue: &mut std::collections::VecDeque<usize>| {
+        for v in 0..n {
+            if !queued[v]
+                && !closed[v]
+                && prec.dag.preds(v).iter().all(|&p| closed[p])
+            {
+                queued[v] = true;
+                queue.push_back(v);
+            }
+        }
+    };
+    enqueue_available(&closed, &mut queued, &mut queue);
+
+    let mut placed_total = 0;
+    while placed_total < n {
+        // open a new shelf
+        let y = shelves.len() as f64 * h;
+        let mut shelf = UniformShelf {
+            items: Vec::new(),
+            used: 0.0,
+            skip: false,
+        };
+        // fill from the head of the queue
+        while let Some(&head) = queue.front() {
+            let w = prec.inst.item(head).w;
+            if shelf.used + w <= 1.0 + spp_core::eps::EPS {
+                queue.pop_front();
+                placement.set(head, shelf.used, y);
+                shelf.used += w;
+                shelf.items.push(head);
+                placed_total += 1;
+            } else {
+                break;
+            }
+        }
+        // close the shelf
+        shelf.skip = queue.is_empty();
+        for &v in &shelf.items {
+            closed[v] = true;
+        }
+        debug_assert!(
+            !shelf.items.is_empty(),
+            "an open shelf always takes at least the queue head (w ≤ 1)"
+        );
+        shelves.push(shelf);
+        // repopulate
+        enqueue_available(&closed, &mut queued, &mut queue);
+    }
+
+    let skips = shelves.iter().filter(|s| s.skip).count();
+    UniformShelfResult {
+        placement,
+        shelves,
+        h,
+        skips,
+    }
+}
+
+/// Longest path measured in *number of rectangles* — the shelf-count lower
+/// bound used by Lemma 2.5 (`OPT/h ≥` nodes on any path).
+pub fn longest_path_nodes(prec: &PrecInstance) -> usize {
+    if prec.is_empty() {
+        return 0;
+    }
+    let ones = vec![1.0; prec.len()];
+    spp_dag::critical_path_values(&prec.dag, &ones)
+        .into_iter()
+        .fold(0.0f64, f64::max) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use spp_core::Instance;
+    use spp_dag::Dag;
+
+    fn uniform_prec(widths: &[f64], edges: &[(usize, usize)]) -> PrecInstance {
+        let dims: Vec<(f64, f64)> = widths.iter().map(|&w| (w, 1.0)).collect();
+        let inst = Instance::from_dims(&dims).unwrap();
+        PrecInstance::new(inst, Dag::new(widths.len(), edges).unwrap())
+    }
+
+    #[test]
+    fn no_precedence_packs_fifo() {
+        let p = uniform_prec(&[0.5, 0.5, 0.5], &[]);
+        let r = shelf_next_fit(&p);
+        p.assert_valid(&r.placement);
+        assert_eq!(r.shelves.len(), 2);
+        assert_eq!(r.shelves[0].items, vec![0, 1]);
+        assert_eq!(r.shelves[1].items, vec![2]);
+        // final shelf is a skip (queue empty afterwards)
+        assert!(r.shelves[1].skip);
+    }
+
+    #[test]
+    fn chain_produces_one_item_shelves_all_skips() {
+        let p = uniform_prec(&[0.3, 0.3, 0.3], &[(0, 1), (1, 2)]);
+        let r = shelf_next_fit(&p);
+        p.assert_valid(&r.placement);
+        assert_eq!(r.shelves.len(), 3);
+        assert_eq!(r.skips, 3);
+        spp_core::assert_close!(r.height(), 3.0);
+    }
+
+    #[test]
+    fn head_blocking_is_next_fit() {
+        // queue: 0 (0.6), 1 (0.6), 2 (0.3). Head-blocking: shelf 1 = {0},
+        // then 1 blocks though 2 would fit -> shelf {1, 2}? No: after
+        // closing shelf {0}, queue is [1, 2]; 1 fits on the fresh shelf,
+        // then 2 fits next to it.
+        let p = uniform_prec(&[0.6, 0.6, 0.3], &[]);
+        let r = shelf_next_fit(&p);
+        assert_eq!(r.shelves.len(), 2);
+        assert_eq!(r.shelves[0].items, vec![0]);
+        assert_eq!(r.shelves[1].items, vec![1, 2]);
+        assert!(!r.shelves[0].skip, "closed by blocking, not by empty queue");
+    }
+
+    #[test]
+    fn skip_count_bounded_by_longest_path() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..40);
+            let widths: Vec<f64> = (0..n).map(|_| rng.gen_range(0.05..1.0)).collect();
+            let dag = spp_dag::gen::random_order(&mut rng, n, 0.2);
+            let dims: Vec<(f64, f64)> = widths.iter().map(|&w| (w, 1.0)).collect();
+            let p = PrecInstance::new(Instance::from_dims(&dims).unwrap(), dag);
+            let r = shelf_next_fit(&p);
+            p.assert_valid(&r.placement);
+            assert!(
+                r.skips <= longest_path_nodes(&p),
+                "Lemma 2.5 violated: {} skips > path {}",
+                r.skips,
+                longest_path_nodes(&p)
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_26_accounting() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..40);
+            let widths: Vec<f64> = (0..n).map(|_| rng.gen_range(0.05..1.0)).collect();
+            let dag = spp_dag::gen::random_order(&mut rng, n, 0.15);
+            let dims: Vec<(f64, f64)> = widths.iter().map(|&w| (w, 1.0)).collect();
+            let p = PrecInstance::new(Instance::from_dims(&dims).unwrap(), dag);
+            let r = shelf_next_fit(&p);
+            let (red, green) = r.red_green();
+            assert_eq!(red + green, r.shelves.len());
+            // red ≤ 2·AREA (uniform height 1 => AREA = Σ w)
+            let area: f64 = widths.iter().sum();
+            assert!(
+                (red as f64) <= 2.0 * area + 1e-9,
+                "red {} > 2·AREA {}", red, 2.0 * area
+            );
+            // every green shelf is a skip shelf
+            for (i, s) in r.shelves.iter().enumerate() {
+                let is_green = {
+                    // recompute coloring membership
+                    let (mut idx, mut greens) = (0, vec![]);
+                    let widths: Vec<f64> = r.shelves.iter().map(|s| s.used).collect();
+                    while idx < widths.len() {
+                        if idx + 1 < widths.len()
+                            && widths[idx] + widths[idx + 1] >= 1.0 - spp_core::eps::EPS
+                        {
+                            idx += 2;
+                        } else {
+                            greens.push(idx);
+                            idx += 1;
+                        }
+                    }
+                    greens.contains(&i)
+                };
+                if is_green {
+                    assert!(s.skip, "green shelf {i} is not a skip shelf");
+                }
+            }
+            // the 3-approximation against the combined lower bound
+            let shelf_lb = area.max(longest_path_nodes(&p) as f64);
+            assert!(
+                (r.shelves.len() as f64) <= 3.0 * shelf_lb.ceil() + 1e-9,
+                "shelves {} > 3·LB {}", r.shelves.len(), shelf_lb
+            );
+        }
+    }
+
+    #[test]
+    fn three_approx_vs_exact() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..15 {
+            let n = rng.gen_range(1..12);
+            let widths: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..1.0)).collect();
+            let dag = spp_dag::gen::random_order(&mut rng, n, 0.25);
+            let dims: Vec<(f64, f64)> = widths.iter().map(|&w| (w, 1.0)).collect();
+            let p = PrecInstance::new(Instance::from_dims(&dims).unwrap(), dag.clone());
+            let r = shelf_next_fit(&p);
+            let opt = spp_exact::exact_bins(&widths, &dag);
+            assert!(
+                r.shelves.len() <= 3 * opt,
+                "F used {} shelves > 3·OPT = {}",
+                r.shelves.len(),
+                3 * opt
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_height_works() {
+        // uniform height 2.5 instead of 1
+        let dims = [(0.6, 2.5), (0.6, 2.5)];
+        let inst = Instance::from_dims(&dims).unwrap();
+        let p = PrecInstance::unconstrained(inst);
+        let r = shelf_next_fit(&p);
+        p.assert_valid(&r.placement);
+        spp_core::assert_close!(r.height(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform heights")]
+    fn non_uniform_rejected() {
+        let inst = Instance::from_dims(&[(0.5, 1.0), (0.5, 2.0)]).unwrap();
+        shelf_next_fit(&PrecInstance::unconstrained(inst));
+    }
+
+    #[test]
+    fn empty_instance() {
+        let p = PrecInstance::unconstrained(Instance::new(vec![]).unwrap());
+        let r = shelf_next_fit(&p);
+        assert_eq!(r.shelves.len(), 0);
+        assert_eq!(r.height(), 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn f_is_3_approx_against_lb(
+            seed in 0u64..5000,
+            n in 1usize..60,
+            edge_p in 0.0f64..0.4,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let widths: Vec<f64> = (0..n).map(|_| rng.gen_range(0.05..1.0)).collect();
+            let dag = spp_dag::gen::random_order(&mut rng, n, edge_p);
+            let dims: Vec<(f64, f64)> = widths.iter().map(|&w| (w, 1.0)).collect();
+            let p = PrecInstance::new(Instance::from_dims(&dims).unwrap(), dag);
+            let r = shelf_next_fit(&p);
+            prop_assert!(p.validate(&r.placement).is_ok());
+            // Height ≤ 2·AREA + longest-path (the Theorem 2.6 decomposition);
+            // both terms are lower bounds on OPT after ceiling.
+            let area: f64 = widths.iter().sum();
+            let path = longest_path_nodes(&p) as f64;
+            prop_assert!(
+                (r.shelves.len() as f64) <= 2.0 * area + path + 1e-9,
+                "{} shelves > 2·{} + {}", r.shelves.len(), area, path
+            );
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Algorithm 2 — the end-to-end APTAS (Theorem 3.5).
+//!
+//! ```text
+//! input: instance P (heights ≤ 1, widths ∈ [1/K, 1]), error ε
+//!  1  ε′ := ε/3
+//!  2  R  := ⌈1/ε′⌉          (release classes)
+//!  3  W  := ⌈1/ε′⌉·K·(R+1)  (width classes; g = W/(R+1) per class)
+//!  4  round releases            (Lemma 3.1)
+//!  5  group widths              (Lemma 3.2)
+//!  6  solve the configuration LP (Lemma 3.3, via column generation)
+//!  7  integralize               (Lemma 3.4)
+//! output: placement of the ORIGINAL rectangles
+//! ```
+//!
+//! The grouped instance dominates the original item-by-item (wider, later
+//! released), so the integral placement of the grouped instance is a
+//! valid placement of the original. Theorem 3.5:
+//! `height ≤ (1+ε)·OPT_f(P) + (W+1)(R+1)` — asymptotically `(1+ε)`-optimal
+//! since the additive term depends only on `ε` and `K`.
+
+use crate::colgen::solve_fractional_with_configs;
+use crate::grouping::group_widths;
+use crate::integralize::integralize;
+use crate::lp_model::{FractionalSolution, LpData};
+use crate::rounding::round_releases;
+use spp_core::{Instance, Placement};
+
+/// APTAS parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AptasConfig {
+    /// Target error `ε > 0`.
+    pub epsilon: f64,
+    /// Number of FPGA columns `K` (widths must be ≥ `1/K`).
+    pub k: usize,
+}
+
+impl AptasConfig {
+    /// `ε′ = ε/3`.
+    pub fn eps_prime(&self) -> f64 {
+        self.epsilon / 3.0
+    }
+
+    /// `R = ⌈1/ε′⌉`.
+    pub fn r(&self) -> usize {
+        (1.0 / self.eps_prime()).ceil() as usize
+    }
+
+    /// Width groups per release class `g = ⌈1/ε′⌉·K` (so `W = g·(R+1)`).
+    pub fn groups_per_class(&self) -> usize {
+        (1.0 / self.eps_prime()).ceil() as usize * self.k
+    }
+
+    /// `W = g·(R+1)`.
+    pub fn w(&self) -> usize {
+        self.groups_per_class() * (self.r() + 1)
+    }
+
+    /// The additive constant of Theorem 3.5: `(W+1)(R+1)` (heights ≤ 1).
+    pub fn additive_term(&self) -> f64 {
+        ((self.w() + 1) * (self.r() + 1)) as f64
+    }
+}
+
+/// APTAS output with the intermediate artifacts the experiments inspect.
+#[derive(Debug, Clone)]
+pub struct AptasResult {
+    /// Placement of the *original* rectangles.
+    pub placement: Placement,
+    /// Height of the integral packing.
+    pub height: f64,
+    /// `OPT_f(P(R, W))` — fractional optimum of the rounded+grouped
+    /// instance (a `(1+ε)`-approximation of `OPT_f(P)` by Lemmas 3.1–3.2).
+    pub opt_f_grouped: f64,
+    /// Number of configuration occurrences in the basic optimum
+    /// (Lemma 3.3 bounds this by `(W+1)(R+1)`).
+    pub occurrences: usize,
+    /// Distinct release levels after rounding.
+    pub release_levels: usize,
+    /// Distinct width classes after grouping.
+    pub width_classes: usize,
+    /// Items the integralization could not route (must be 0; kept for
+    /// observability).
+    pub leftovers: usize,
+    /// The fractional solution (for ablation/diagnostics).
+    pub fractional: FractionalSolution,
+}
+
+/// Run the APTAS on an instance with heights ≤ 1 and widths ≥ `1/K`.
+///
+/// ```
+/// use spp_core::Instance;
+/// use spp_release::{aptas, AptasConfig};
+///
+/// // three tasks on a 2-column device, one released late
+/// let inst = Instance::from_dims_release(&[
+///     (0.5, 1.0, 0.0),
+///     (0.5, 0.8, 0.0),
+///     (1.0, 0.6, 2.0),
+/// ]).unwrap();
+/// let res = aptas(&inst, AptasConfig { epsilon: 1.0, k: 2 });
+/// spp_core::validate::assert_valid(&inst, &res.placement);   // releases respected
+/// assert_eq!(res.leftovers, 0);
+/// // Lemma 3.4: integral height ≤ OPT_f(grouped) + occurrences · h_max
+/// assert!(res.height <= res.opt_f_grouped + res.occurrences as f64 + 1e-9);
+/// ```
+pub fn aptas(inst: &Instance, cfg: AptasConfig) -> AptasResult {
+    assert!(cfg.epsilon > 0.0, "epsilon must be positive");
+    assert!(cfg.k >= 1, "K must be at least 1");
+    for it in inst.items() {
+        assert!(
+            it.h <= 1.0 + spp_core::eps::EPS,
+            "item {} has height {} > 1 (standard assumption of §3)",
+            it.id,
+            it.h
+        );
+        assert!(
+            it.w + spp_core::eps::EPS >= 1.0 / cfg.k as f64,
+            "item {} has width {} < 1/K = {}",
+            it.id,
+            it.w,
+            1.0 / cfg.k as f64
+        );
+    }
+
+    // Lemma 3.1: round releases with ε_r = ε′.
+    let rounded = round_releases(inst, cfg.eps_prime());
+    // Lemma 3.2: group widths with g groups per class.
+    let grouped = group_widths(&rounded.inst, cfg.groups_per_class());
+    // Lemma 3.3: fractional optimum by column generation.
+    let data = LpData::new(&grouped.inst, &grouped.widths, &grouped.class_of);
+    let (frac, _) = solve_fractional_with_configs(&data);
+    // Lemma 3.4: integral conversion (on the grouped instance).
+    let ip = integralize(&grouped.inst, &data, &grouped.class_of, &frac);
+
+    // The grouped placement is valid for the original items verbatim
+    // (each original item is narrower and released no later).
+    let placement = ip.placement;
+    debug_assert!(
+        spp_core::validate::validate(inst, &placement).is_ok(),
+        "APTAS output invalid for the original instance: {:?}",
+        spp_core::validate::validate(inst, &placement)
+    );
+
+    AptasResult {
+        height: placement.height(inst),
+        placement,
+        opt_f_grouped: frac.total_height,
+        occurrences: frac.occurrences(),
+        release_levels: data.boundaries.len(),
+        width_classes: grouped.widths.len(),
+        leftovers: ip.leftovers,
+        fractional: frac,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn params(k: usize) -> spp_gen::release::ReleaseParams {
+        spp_gen::release::ReleaseParams {
+            k,
+            column_widths: true,
+            h: (0.1, 1.0),
+        }
+    }
+
+    #[test]
+    fn config_arithmetic() {
+        let c = AptasConfig { epsilon: 1.0, k: 2 };
+        // ε' = 1/3, R = 3, g = 3·2 = 6, W = 24
+        assert_eq!(c.r(), 3);
+        assert_eq!(c.groups_per_class(), 6);
+        assert_eq!(c.w(), 24);
+        spp_core::assert_close!(c.additive_term(), 100.0);
+    }
+
+    #[test]
+    fn no_release_instance_packs_validly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = spp_gen::release::no_releases(&mut rng, 20, params(3));
+        let r = aptas(&inst, AptasConfig { epsilon: 1.0, k: 3 });
+        assert_eq!(r.leftovers, 0);
+        spp_core::validate::assert_valid(&inst, &r.placement);
+        // Theorem 3.5 shape: height ≤ OPT_f(grouped) + occurrences·h_max
+        assert!(
+            r.height <= r.opt_f_grouped + r.occurrences as f64 * inst.max_height() + 1e-6
+        );
+    }
+
+    #[test]
+    fn release_instance_respects_theorem_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let inst = spp_gen::release::poisson_arrivals(&mut rng, 25, 0.3, params(2));
+        let cfg = AptasConfig { epsilon: 1.0, k: 2 };
+        let r = aptas(&inst, cfg);
+        assert_eq!(r.leftovers, 0);
+        spp_core::validate::assert_valid(&inst, &r.placement);
+        // occurrences ≤ (W+1)(R+1)
+        assert!(
+            r.occurrences <= (r.width_classes + 1) * r.release_levels,
+            "{} occurrences > (W+1)(R+1)",
+            r.occurrences
+        );
+        // full Theorem 3.5 bound against the true OPT_f(P)
+        let opt_f = crate::colgen::opt_f(&inst);
+        assert!(
+            r.height <= (1.0 + cfg.epsilon) * opt_f + cfg.additive_term() + 1e-6,
+            "height {} > (1+ε)·{} + {}",
+            r.height,
+            opt_f,
+            cfg.additive_term()
+        );
+    }
+
+    #[test]
+    fn grouped_opt_f_within_eps_of_raw() {
+        // Lemmas 3.1 + 3.2 combined: OPT_f(P(R,W)) ≤ (1+ε)·OPT_f(P).
+        let mut rng = StdRng::seed_from_u64(3);
+        for &eps in &[1.0, 0.5] {
+            let inst = spp_gen::release::staircase(&mut rng, 15, 6.0, params(2));
+            let r = aptas(&inst, AptasConfig { epsilon: eps, k: 2 });
+            let raw = crate::colgen::opt_f(&inst);
+            assert!(
+                r.opt_f_grouped <= (1.0 + eps) * raw + 1e-6,
+                "eps={eps}: grouped OPT_f {} > (1+ε)·{}",
+                r.opt_f_grouped,
+                raw
+            );
+            assert!(r.opt_f_grouped + 1e-6 >= raw, "grouping cannot shrink OPT_f");
+        }
+    }
+
+    #[test]
+    fn tighter_epsilon_means_more_classes() {
+        let loose = AptasConfig { epsilon: 1.5, k: 2 };
+        let tight = AptasConfig { epsilon: 0.5, k: 2 };
+        assert!(tight.r() > loose.r());
+        assert!(tight.w() > loose.w());
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = spp_core::Instance::new(vec![]).unwrap();
+        let r = aptas(&inst, AptasConfig { epsilon: 1.0, k: 2 });
+        assert_eq!(r.height, 0.0);
+        assert_eq!(r.leftovers, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "height")]
+    fn too_tall_items_rejected() {
+        let inst = spp_core::Instance::from_dims(&[(0.5, 2.0)]).unwrap();
+        aptas(&inst, AptasConfig { epsilon: 1.0, k: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn too_narrow_items_rejected() {
+        let inst = spp_core::Instance::from_dims(&[(0.1, 0.5)]).unwrap();
+        aptas(&inst, AptasConfig { epsilon: 1.0, k: 2 });
+    }
+}

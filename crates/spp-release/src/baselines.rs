@@ -1,0 +1,132 @@
+//! Practical baselines for strip packing with release times.
+//!
+//! The APTAS is asymptotically optimal but pays a large additive constant;
+//! these are the heuristics a practitioner would reach for first, used by
+//! the experiments to show where the crossover lies.
+
+use spp_core::{Instance, Placement};
+use spp_pack::Skyline;
+
+/// Batched FFDH: process distinct release times in order; at each one,
+/// pack every newly released rectangle with FFDH into a block starting at
+/// `max(current top, release)`.
+pub fn batched_ffdh(inst: &Instance) -> Placement {
+    let mut pl = Placement::zeroed(inst.len());
+    let levels = crate::rounding::release_levels(inst);
+    let mut top = 0.0f64;
+    for &level in &levels {
+        let ids: Vec<usize> = inst
+            .items()
+            .iter()
+            .filter(|it| (it.release - level).abs() <= spp_core::eps::EPS)
+            .map(|it| it.id)
+            .collect();
+        if ids.is_empty() {
+            continue;
+        }
+        let (sub, back) = inst.restrict(&ids);
+        let sub_pl = spp_pack::ffdh(&sub);
+        let base = top.max(level);
+        pl.absorb(&sub_pl, &back, base);
+        top = base + sub_pl.height(&sub);
+    }
+    pl
+}
+
+/// Release-aware skyline: sort by (release, taller first) and drop each
+/// rectangle at the lowest skyline position at or above its release.
+pub fn skyline_release(inst: &Instance) -> Placement {
+    let mut order: Vec<usize> = (0..inst.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (ia, ib) = (inst.item(a), inst.item(b));
+        ia.release
+            .partial_cmp(&ib.release)
+            .unwrap()
+            .then(ib.h.partial_cmp(&ia.h).unwrap())
+            .then(a.cmp(&b))
+    });
+    let mut sky = Skyline::new();
+    let mut pl = Placement::zeroed(inst.len());
+    for &id in &order {
+        let it = inst.item(id);
+        let (x, y) = sky.best_position(it.w, it.release);
+        sky.place(x, y, it.w, it.h);
+        pl.set(id, x, y);
+    }
+    pl
+}
+
+/// Simple lower bound for release instances:
+/// `max(AREA, max (r+h), h_max)`.
+pub fn release_lower_bound(inst: &Instance) -> f64 {
+    spp_core::bounds::combined_lb(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn params() -> spp_gen::release::ReleaseParams {
+        spp_gen::release::ReleaseParams {
+            k: 4,
+            column_widths: true,
+            h: (0.1, 1.0),
+        }
+    }
+
+    #[test]
+    fn both_baselines_valid_on_workloads() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..12 {
+            let inst = match trial % 3 {
+                0 => spp_gen::release::poisson_arrivals(&mut rng, 30, 0.2, params()),
+                1 => spp_gen::release::bursty(&mut rng, 30, 4, 1.5, 0.1, params()),
+                _ => spp_gen::release::staircase(&mut rng, 30, 8.0, params()),
+            };
+            for pl in [batched_ffdh(&inst), skyline_release(&inst)] {
+                spp_core::validate::assert_valid(&inst, &pl);
+                assert!(pl.height(&inst) + 1e-9 >= release_lower_bound(&inst));
+            }
+        }
+    }
+
+    #[test]
+    fn skyline_backfills_batched_does_not() {
+        // A wide early item and narrow late items: skyline can slot the
+        // late items beside nothing (the wide one blocks), but a *gap*
+        // before a late release is usable by skyline and wasted by
+        // batching.
+        let inst = Instance::from_dims_release(&[
+            (1.0, 1.0, 0.0),  // full width at 0
+            (0.5, 1.0, 5.0),  // released late
+            (0.5, 1.0, 5.0),
+        ])
+        .unwrap();
+        let b = batched_ffdh(&inst);
+        let s = skyline_release(&inst);
+        spp_core::validate::assert_valid(&inst, &b);
+        spp_core::validate::assert_valid(&inst, &s);
+        // both must wait for the release
+        assert!(b.height(&inst) >= 6.0 - 1e-9);
+        assert!(s.height(&inst) >= 6.0 - 1e-9);
+        // and the pair shares a shelf in both
+        spp_core::assert_close!(s.height(&inst), 6.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn baselines_valid_on_random_releases(
+            items in proptest::collection::vec(
+                (0.25f64..1.0, 0.05f64..1.0, 0.0f64..10.0), 1..40)
+        ) {
+            let inst = Instance::from_dims_release(&items).unwrap();
+            for pl in [batched_ffdh(&inst), skyline_release(&inst)] {
+                prop_assert!(spp_core::validate::validate(&inst, &pl).is_ok());
+            }
+        }
+    }
+}

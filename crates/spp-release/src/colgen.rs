@@ -1,0 +1,218 @@
+//! Column generation for the configuration LP.
+//!
+//! The paper solves the LP with ellipsoid/Karmarkar, possible because the
+//! number of configurations `Q` is a constant for fixed `K` (though
+//! exponential in it). We instead run the classic Gilmore–Gomory loop,
+//! which scales to the larger width counts the experiments sweep:
+//!
+//! 1. solve the master LP over a small configuration subset,
+//! 2. read duals; for each phase `j` the reduced cost of a column
+//!    `(q, j)` is `c_{qj} − π_j − Σ_i a_{iq}·μ_{ij}` with
+//!    `μ_{ij} = Σ_{k≤j} λ_{ki}` (covering duals accumulate over the
+//!    suffix constraints the column appears in),
+//! 3. minimizing reduced cost over `q` = maximizing `Σ a_{iq} μ_{ij}`
+//!    subject to `Σ a_{iq} ω_i ≤ 1` — a bounded knapsack solved exactly
+//!    by [`crate::config::price`],
+//! 4. add improving columns, repeat until none exist (then the master
+//!    optimum is optimal over *all* configurations).
+//!
+//! Seeding with every single-class configuration keeps the master
+//! feasible from the start (phase `R` is uncapacitated).
+
+use crate::config::{price, Config};
+use crate::lp_model::{solve_with_configs, FractionalSolution, LpData};
+use std::collections::BTreeSet;
+
+/// Reduced-cost tolerance for admitting new columns.
+const RC_TOL: f64 = 1e-7;
+/// Hard cap on generation rounds (defensive; exact pricing terminates).
+const MAX_ROUNDS: usize = 500;
+
+/// Solve the fractional problem to optimality over all configurations via
+/// column generation. Also returns the configurations materialized.
+pub fn solve_fractional_with_configs(data: &LpData) -> (FractionalSolution, Vec<Config>) {
+    if data.boundaries.is_empty() || data.widths.is_empty() {
+        let sol = solve_with_configs(data, &[]).expect("trivial LP is feasible");
+        return (sol, Vec::new());
+    }
+    let n_w = data.widths.len();
+    let n_phases = data.r() + 1;
+
+    let mut pool: BTreeSet<Config> = (0..n_w as u16).map(|i| Config(vec![i])).collect();
+    // also seed max-multiplicity single-class columns (good for covering
+    // large demands cheaply)
+    for i in 0..n_w {
+        let copies = (1.0 / data.widths[i]).floor() as usize;
+        if copies > 1 {
+            pool.insert(Config(vec![i as u16; copies]));
+        }
+    }
+
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        assert!(rounds <= MAX_ROUNDS, "column generation did not converge");
+        let configs: Vec<Config> = pool.iter().cloned().collect();
+        let sol = solve_with_configs(data, &configs)
+            .expect("master LP with single-class columns is feasible");
+
+        // pricing per phase
+        let mut improved = false;
+        let mut mu = vec![0.0; n_w]; // running Σ_{k≤j} λ_{ki}
+        for j in 0..n_phases {
+            for i in 0..n_w {
+                mu[i] += sol.covering_duals[j][i];
+            }
+            let pi = if j < data.r() { sol.packing_duals[j] } else { 0.0 };
+            let c = if j == data.r() { 1.0 } else { 0.0 };
+            let (cfg, value) = price(&data.widths, &mu);
+            let rc = c - pi - value;
+            if rc < -RC_TOL && !cfg.is_empty() && !pool.contains(&cfg) {
+                pool.insert(cfg);
+                improved = true;
+            }
+        }
+        if !improved {
+            return (sol, configs);
+        }
+    }
+}
+
+/// Convenience wrapper: fractional optimum of an instance whose widths are
+/// the given classes. See [`solve_fractional_with_configs`].
+pub fn solve_fractional(
+    inst: &spp_core::Instance,
+    widths: &[f64],
+    class_of: &[usize],
+) -> FractionalSolution {
+    let data = LpData::new(inst, widths, class_of);
+    solve_fractional_with_configs(&data).0
+}
+
+/// Fractional optimum of a raw instance (widths taken as their own
+/// classes). `OPT_f(P)` in the paper's notation; only practical when the
+/// number of distinct widths is modest.
+pub fn opt_f(inst: &spp_core::Instance) -> f64 {
+    if inst.is_empty() {
+        return 0.0;
+    }
+    let mut widths: Vec<f64> = inst.items().iter().map(|it| it.w).collect();
+    widths.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    widths.dedup_by(|a, b| (*a - *b).abs() <= spp_core::eps::EPS);
+    let class_of: Vec<usize> = inst
+        .items()
+        .iter()
+        .map(|it| {
+            widths
+                .iter()
+                .position(|&w| (w - it.w).abs() <= spp_core::eps::EPS)
+                .expect("width is a class")
+        })
+        .collect();
+    solve_fractional(inst, &widths, &class_of).total_height
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::enumerate_configs;
+    use spp_core::Instance;
+
+    fn class_setup(inst: &Instance) -> (Vec<f64>, Vec<usize>) {
+        let mut widths: Vec<f64> = inst.items().iter().map(|it| it.w).collect();
+        widths.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        widths.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
+        let class_of = inst
+            .items()
+            .iter()
+            .map(|it| widths.iter().position(|&w| (w - it.w).abs() < 1e-12).unwrap())
+            .collect();
+        (widths, class_of)
+    }
+
+    #[test]
+    fn colgen_matches_full_enumeration() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..12 {
+            let k = 4usize;
+            let n = rng.gen_range(2..20);
+            let dims: Vec<(f64, f64, f64)> = (0..n)
+                .map(|_| {
+                    let cols = rng.gen_range(1..=k);
+                    (
+                        cols as f64 / k as f64,
+                        rng.gen_range(0.1..1.0),
+                        (rng.gen_range(0.0..3.0_f64)).floor() * 1.5,
+                    )
+                })
+                .collect();
+            let inst = Instance::from_dims_release(&dims).unwrap();
+            let (widths, class_of) = class_setup(&inst);
+            let data = LpData::new(&inst, &widths, &class_of);
+
+            let full = solve_with_configs(&data, &enumerate_configs(&widths)).unwrap();
+            let (cg, _) = solve_fractional_with_configs(&data);
+            spp_core::assert_close!(
+                cg.total_height,
+                full.total_height,
+                1e-5
+            );
+            assert!(cg.total_height > 0.0, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn opt_f_lower_bounds_simple_cases() {
+        // fractional halves: 3 items of width 0.5 height 1 -> 1.5
+        let inst = Instance::from_dims(&[(0.5, 1.0), (0.5, 1.0), (0.5, 1.0)]).unwrap();
+        spp_core::assert_close!(opt_f(&inst), 1.5, 1e-6);
+        // a single full-width item cannot be sliced usefully
+        let one = Instance::from_dims(&[(1.0, 2.0)]).unwrap();
+        spp_core::assert_close!(opt_f(&one), 2.0, 1e-6);
+    }
+
+    #[test]
+    fn opt_f_is_at_least_area_and_release_bounds() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..8 {
+            let p = spp_gen::release::ReleaseParams {
+                k: 3,
+                column_widths: true,
+                h: (0.1, 1.0),
+            };
+            let inst = spp_gen::release::staircase(&mut rng, 12, 4.0, p);
+            let f = opt_f(&inst);
+            assert!(f + 1e-6 >= spp_core::bounds::area_lb(&inst));
+            assert!(f + 1e-6 >= inst.max_release());
+        }
+    }
+
+    #[test]
+    fn opt_f_monotone_under_release_rounding() {
+        // Lemma 3.1 direction: rounding releases up cannot shrink OPT_f.
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        let p = spp_gen::release::ReleaseParams {
+            k: 3,
+            column_widths: true,
+            h: (0.2, 1.0),
+        };
+        let inst = spp_gen::release::poisson_arrivals(&mut rng, 10, 0.5, p);
+        let rounded = crate::rounding::round_releases(&inst, 0.5);
+        let f0 = opt_f(&inst);
+        let f1 = opt_f(&rounded.inst);
+        assert!(f1 + 1e-6 >= f0, "rounding decreased OPT_f: {f1} < {f0}");
+        // ... and by at most (1 + eps) (Lemma 3.1)
+        assert!(
+            f1 <= (1.0 + 0.5) * f0 + 1e-6,
+            "Lemma 3.1 violated: {f1} > 1.5·{f0}"
+        );
+    }
+
+    #[test]
+    fn empty_instance() {
+        assert_eq!(opt_f(&Instance::new(vec![]).unwrap()), 0.0);
+    }
+}

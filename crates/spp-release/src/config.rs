@@ -1,0 +1,233 @@
+//! Configurations — multisets of widths fitting the strip (§3.2).
+//!
+//! A configuration is a multiset of width classes whose widths sum to at
+//! most 1: "a possible combination of widths that can be contained within
+//! the strip at any fixed height". Because every width is ≥ `1/K`, a
+//! configuration holds at most `K` rectangles, so the configuration space
+//! has size exponential in `K` but polynomial in the number of width
+//! classes for fixed `K` — exactly the paper's complexity statement.
+//!
+//! Two operations:
+//! * [`enumerate_configs`] — the full set (used for small `K`/`W` and for
+//!   cross-checking column generation);
+//! * [`price`] — the Gilmore–Gomory pricing oracle: maximize the dual
+//!   value of a configuration (a bounded knapsack, exact branch-and-bound
+//!   over non-decreasing class indices with an optimistic density bound).
+
+/// A configuration: sorted width-class indices with multiplicity
+/// (e.g. `[0, 0, 2]` = two of class 0, one of class 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Config(pub Vec<u16>);
+
+impl Config {
+    /// Multiplicity vector of length `n_classes`.
+    pub fn counts(&self, n_classes: usize) -> Vec<usize> {
+        let mut c = vec![0usize; n_classes];
+        for &i in &self.0 {
+            c[i as usize] += 1;
+        }
+        c
+    }
+
+    /// Total width of the configuration.
+    pub fn total_width(&self, widths: &[f64]) -> f64 {
+        self.0.iter().map(|&i| widths[i as usize]).sum()
+    }
+
+    /// Number of rectangles in the configuration.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The empty configuration.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Enumerate every non-empty configuration over the given widths.
+///
+/// DFS over non-decreasing class indices; capacity 1. The caller is
+/// responsible for keeping `widths` small enough (all widths must be
+/// > 0; widths ≥ 1/K keep the count `O(W^K)`).
+pub fn enumerate_configs(widths: &[f64]) -> Vec<Config> {
+    assert!(
+        widths.iter().all(|&w| w > 0.0),
+        "configuration widths must be positive"
+    );
+    let mut out = Vec::new();
+    let mut cur: Vec<u16> = Vec::new();
+    fn dfs(
+        widths: &[f64],
+        start: usize,
+        remaining: f64,
+        cur: &mut Vec<u16>,
+        out: &mut Vec<Config>,
+    ) {
+        for i in start..widths.len() {
+            if widths[i] <= remaining + spp_core::eps::EPS {
+                cur.push(i as u16);
+                out.push(Config(cur.clone()));
+                dfs(widths, i, remaining - widths[i], cur, out);
+                cur.pop();
+            }
+        }
+    }
+    dfs(widths, 0, 1.0, &mut cur, &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Exact pricing: find the configuration maximizing `Σ value[class]`
+/// subject to `Σ width ≤ 1` (classes reusable). Returns the best
+/// configuration and its value; the empty configuration (value 0) is a
+/// valid answer when all values are ≤ 0.
+pub fn price(widths: &[f64], values: &[f64]) -> (Config, f64) {
+    assert_eq!(widths.len(), values.len());
+    // Only positive-value classes can help; sort them by value density
+    // (value per width) for a sharp optimistic bound.
+    let mut useful: Vec<usize> = (0..widths.len())
+        .filter(|&i| values[i] > spp_core::eps::EPS)
+        .collect();
+    useful.sort_by(|&a, &b| {
+        (values[b] / widths[b])
+            .partial_cmp(&(values[a] / widths[a]))
+            .unwrap()
+    });
+
+    let mut best = (Config(Vec::new()), 0.0f64);
+
+    fn dfs(
+        order: &[usize],
+        widths: &[f64],
+        values: &[f64],
+        pos: usize,
+        remaining: f64,
+        value: f64,
+        cur: &mut Vec<u16>,
+        best: &mut (Config, f64),
+    ) {
+        if value > best.1 + spp_core::eps::EPS {
+            let mut cfg = cur.clone();
+            cfg.sort_unstable();
+            *best = (Config(cfg), value);
+        }
+        if pos >= order.len() {
+            return;
+        }
+        // optimistic bound: fill remaining capacity at the best density
+        // still available (order is sorted by density)
+        let i = order[pos];
+        let bound = value + remaining * (values[i] / widths[i]);
+        if bound <= best.1 + spp_core::eps::EPS {
+            return;
+        }
+        // take another copy of class i (stay at pos to allow repeats)
+        if widths[i] <= remaining + spp_core::eps::EPS {
+            cur.push(i as u16);
+            dfs(
+                order,
+                widths,
+                values,
+                pos,
+                remaining - widths[i],
+                value + values[i],
+                cur,
+                best,
+            );
+            cur.pop();
+        }
+        // skip class i entirely
+        dfs(order, widths, values, pos + 1, remaining, value, cur, best);
+    }
+
+    let mut cur = Vec::new();
+    dfs(
+        &useful, widths, values, 0, 1.0, 0.0, &mut cur, &mut best,
+    );
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerate_counts_for_halves_and_quarters() {
+        // widths 0.5, 0.25: configs = {a}, {aa}, {b}, {bb}, {bbb}, {bbbb},
+        // {ab}, {abb}, {aab}? a=0.5: aa=1.0 ok; aab=1.25 no; ab=0.75,
+        // abb=1.0 ok. Total: a, aa, ab, abb, b, bb, bbb, bbbb = 8
+        let configs = enumerate_configs(&[0.5, 0.25]);
+        assert_eq!(configs.len(), 8);
+        assert!(configs.contains(&Config(vec![0, 0])));
+        assert!(configs.contains(&Config(vec![0, 1, 1])));
+        assert!(!configs.contains(&Config(vec![0, 0, 1])));
+    }
+
+    #[test]
+    fn enumerate_respects_capacity() {
+        for cfg in enumerate_configs(&[0.3, 0.4, 0.9]) {
+            assert!(cfg.total_width(&[0.3, 0.4, 0.9]) <= 1.0 + 1e-9);
+            assert!(!cfg.is_empty());
+        }
+    }
+
+    #[test]
+    fn counts_vector() {
+        let c = Config(vec![0, 0, 2]);
+        assert_eq!(c.counts(3), vec![2, 0, 1]);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn price_prefers_high_density() {
+        // class 0: width 0.5 value 1.0; class 1: width 0.25 value 0.6
+        // best: 4 × class 1 = 2.4 > 2 × class 0 = 2.0
+        let (cfg, v) = price(&[0.5, 0.25], &[1.0, 0.6]);
+        spp_core::assert_close!(v, 2.4);
+        assert_eq!(cfg, Config(vec![1, 1, 1, 1]));
+    }
+
+    #[test]
+    fn price_mixes_classes_when_optimal() {
+        // width 0.6 value 1.0, width 0.4 value 0.5: best = one of each (1.5)
+        let (cfg, v) = price(&[0.6, 0.4], &[1.0, 0.5]);
+        spp_core::assert_close!(v, 1.5);
+        assert_eq!(cfg, Config(vec![0, 1]));
+    }
+
+    #[test]
+    fn price_ignores_nonpositive_values() {
+        let (cfg, v) = price(&[0.5, 0.5], &[-1.0, 0.0]);
+        assert!(cfg.is_empty());
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn price_matches_enumeration() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let m = rng.gen_range(1..6);
+            let widths: Vec<f64> = (0..m).map(|_| rng.gen_range(0.2..1.0)).collect();
+            let values: Vec<f64> = (0..m).map(|_| rng.gen_range(-1.0..2.0)).collect();
+            let (_, got) = price(&widths, &values);
+            let brute = enumerate_configs(&widths)
+                .into_iter()
+                .map(|c| c.0.iter().map(|&i| values[i as usize]).sum::<f64>())
+                .fold(0.0f64, f64::max);
+            spp_core::assert_close!(got, brute, 1e-7);
+        }
+    }
+
+    #[test]
+    fn k_items_maximum() {
+        // widths ≥ 1/K force ≤ K items per configuration
+        let k = 4;
+        let widths = vec![1.0 / k as f64, 0.3, 0.5];
+        for cfg in enumerate_configs(&widths) {
+            assert!(cfg.len() <= k);
+        }
+    }
+}

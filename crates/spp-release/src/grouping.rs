@@ -1,0 +1,248 @@
+//! Lemma 3.2 — linear grouping of widths, per release class.
+//!
+//! For each release class `P_i` (rectangles sharing a rounded release),
+//! stack the rectangles left-justified, sorted by non-increasing width
+//! from bottom to top (Fig. 3), cut the stack with `g` horizontal lines at
+//! heights `ℓ·H(P_i)/g`, and call a rectangle a *threshold* rectangle if a
+//! line crosses its interior or aligns with its base. Each group starts at
+//! a threshold rectangle; every rectangle in a group gets the group's
+//! threshold width (the widest in the group, since widths decrease going
+//! up). This rounds widths **up**, creating at most `g` distinct widths
+//! per class — `W = g·(R+1)` overall — while
+//! `OPT_f(P(R,W)) ≤ (1 + (R+1)·K/W)·OPT_f(P(R))` (the `P_inf`/`P_sup`
+//! sandwich of Fig. 4).
+
+use spp_core::{Instance, Item};
+
+/// Output of width grouping.
+#[derive(Debug, Clone)]
+pub struct GroupedInstance {
+    /// The widened instance (same ids, heights, releases; widths rounded
+    /// up to their group's threshold width).
+    pub inst: Instance,
+    /// Distinct widths present after grouping, ascending.
+    pub widths: Vec<f64>,
+    /// For each item, the index into `widths` of its new width class.
+    pub class_of: Vec<usize>,
+    /// Per release-class stacking heights `H(P_i)` (diagnostics).
+    pub stack_heights: Vec<f64>,
+}
+
+/// Group widths with `g` groups per release class (the paper's
+/// `W/(R+1)`).
+pub fn group_widths(inst: &Instance, groups_per_class: usize) -> GroupedInstance {
+    assert!(groups_per_class >= 1, "need at least one group per class");
+    let n = inst.len();
+    let levels = crate::rounding::release_levels(inst);
+    let mut new_width = vec![0.0f64; n];
+    let mut stack_heights = Vec::with_capacity(levels.len());
+
+    for &level in &levels {
+        // the release class, sorted by non-increasing width (ties by id
+        // for determinism)
+        let mut class: Vec<usize> = inst
+            .items()
+            .iter()
+            .filter(|it| (it.release - level).abs() <= spp_core::eps::EPS)
+            .map(|it| it.id)
+            .collect();
+        class.sort_by(|&a, &b| {
+            inst.item(b)
+                .w
+                .partial_cmp(&inst.item(a).w)
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        let h_total: f64 = class.iter().map(|&id| inst.item(id).h).sum();
+        stack_heights.push(h_total);
+        let cut = h_total / groups_per_class as f64;
+
+        // walk the stack bottom-up; a new group starts whenever the
+        // rectangle's base has passed the next cut line (base aligned or
+        // interior crossed => it is a threshold rectangle)
+        let mut y = 0.0f64;
+        let mut group_width = 0.0f64; // width of current group's threshold
+        let mut next_line = 0.0f64; // the next cut line to consume
+        for &id in &class {
+            let it = inst.item(id);
+            // does a line fall in [y, y + h) (base aligned or interior)?
+            if next_line <= y + it.h - spp_core::eps::EPS
+                && next_line <= h_total - cut / 2.0
+            {
+                // `id` is a threshold rectangle: start a new group
+                group_width = it.w;
+                // consume every line this rectangle covers
+                while next_line <= y + it.h - spp_core::eps::EPS {
+                    next_line += cut;
+                }
+            }
+            new_width[id] = group_width.max(it.w);
+            y += it.h;
+        }
+    }
+
+    let items: Vec<Item> = inst
+        .items()
+        .iter()
+        .map(|it| Item::with_release(it.id, new_width[it.id].min(1.0), it.h, it.release))
+        .collect();
+    let inst2 = Instance::new(items).expect("grouping preserves validity");
+
+    // distinct widths + classes
+    let mut widths: Vec<f64> = inst2.items().iter().map(|it| it.w).collect();
+    widths.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    widths.dedup_by(|a, b| (*a - *b).abs() <= spp_core::eps::EPS);
+    let class_of: Vec<usize> = inst2
+        .items()
+        .iter()
+        .map(|it| {
+            widths
+                .iter()
+                .position(|&w| (w - it.w).abs() <= spp_core::eps::EPS)
+                .expect("width must be one of the distinct widths")
+        })
+        .collect();
+
+    GroupedInstance {
+        inst: inst2,
+        widths,
+        class_of,
+        stack_heights,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn widths_of(g: &GroupedInstance) -> Vec<f64> {
+        g.inst.items().iter().map(|it| it.w).collect()
+    }
+
+    #[test]
+    fn single_group_rounds_all_to_widest() {
+        let inst = Instance::from_dims(&[(0.3, 1.0), (0.5, 1.0), (0.4, 1.0)]).unwrap();
+        let g = group_widths(&inst, 1);
+        assert_eq!(widths_of(&g), vec![0.5, 0.5, 0.5]);
+        assert_eq!(g.widths, vec![0.5]);
+    }
+
+    #[test]
+    fn widths_never_shrink_and_stay_capped() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..40 {
+            let n = rng.gen_range(1..50);
+            let dims: Vec<(f64, f64, f64)> = (0..n)
+                .map(|_| {
+                    (
+                        rng.gen_range(0.2..1.0),
+                        rng.gen_range(0.05..1.0),
+                        rng.gen_range(0.0..3.0_f64).floor(),
+                    )
+                })
+                .collect();
+            let inst = Instance::from_dims_release(&dims).unwrap();
+            let g = group_widths(&inst, rng.gen_range(1..6));
+            for (orig, new) in inst.items().iter().zip(g.inst.items()) {
+                assert!(new.w + 1e-12 >= orig.w, "width shrank");
+                assert!(new.w <= 1.0 + 1e-12);
+                assert_eq!(orig.h, new.h);
+                assert_eq!(orig.release, new.release);
+            }
+        }
+    }
+
+    #[test]
+    fn group_count_bounded_per_class() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..60);
+            // single release class for a sharp per-class bound
+            let dims: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.gen_range(0.1..1.0), rng.gen_range(0.05..1.0)))
+                .collect();
+            let inst = Instance::from_dims(&dims).unwrap();
+            let gpc = rng.gen_range(1..8);
+            let g = group_widths(&inst, gpc);
+            assert!(
+                g.widths.len() <= gpc,
+                "{} distinct widths > g = {gpc}",
+                g.widths.len()
+            );
+        }
+    }
+
+    #[test]
+    fn classes_index_into_widths() {
+        let inst =
+            Instance::from_dims(&[(0.3, 1.0), (0.9, 0.5), (0.5, 0.7), (0.31, 0.2)]).unwrap();
+        let g = group_widths(&inst, 2);
+        for (id, &c) in g.class_of.iter().enumerate() {
+            spp_core::assert_close!(g.widths[c], g.inst.item(id).w);
+        }
+    }
+
+    #[test]
+    fn separate_release_classes_grouped_independently() {
+        // two classes with very different widths; each gets its own groups
+        let inst = Instance::from_dims_release(&[
+            (0.2, 1.0, 0.0),
+            (0.25, 1.0, 0.0),
+            (0.8, 1.0, 5.0),
+            (0.9, 1.0, 5.0),
+        ])
+        .unwrap();
+        let g = group_widths(&inst, 1);
+        // class 0 rounds to 0.25, class 1 rounds to 0.9
+        assert_eq!(widths_of(&g), vec![0.25, 0.25, 0.9, 0.9]);
+        assert_eq!(g.stack_heights, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn tall_rectangle_spanning_lines_is_single_threshold() {
+        // One rect is so tall it covers several cut lines; groups degrade
+        // gracefully (fewer than g distinct widths).
+        let inst = Instance::from_dims(&[(0.9, 10.0), (0.5, 0.1), (0.4, 0.1)]).unwrap();
+        let g = group_widths(&inst, 4);
+        // stack: 0.9 (h=10) at bottom covers lines at 0, 2.55, 5.1, 7.65;
+        // the remaining small rects form at most one more group
+        assert!(g.widths.len() <= 2);
+        assert_eq!(g.inst.item(0).w, 0.9);
+    }
+
+    #[test]
+    fn grouped_area_increase_is_bounded() {
+        // The area added by grouping is bounded via the P_sup argument:
+        // AREA(P(R,W)) ≤ AREA(P(R)) + Σ_i H(P_i)/g (each group's widening
+        // is dominated by one slab of the sup instance).
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..60);
+            let dims: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.gen_range(0.25..1.0), rng.gen_range(0.05..1.0)))
+                .collect();
+            let inst = Instance::from_dims(&dims).unwrap();
+            let gpc = rng.gen_range(1..8);
+            let g = group_widths(&inst, gpc);
+            let slab: f64 = g.stack_heights.iter().sum::<f64>() / gpc as f64;
+            assert!(
+                g.inst.total_area() <= inst.total_area() + slab + 1e-9,
+                "area grew too much: {} > {} + {}",
+                g.inst.total_area(),
+                inst.total_area(),
+                slab
+            );
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(vec![]).unwrap();
+        let g = group_widths(&inst, 3);
+        assert!(g.inst.is_empty());
+        assert!(g.widths.is_empty());
+    }
+}

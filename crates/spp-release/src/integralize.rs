@@ -1,0 +1,212 @@
+//! Lemma 3.4 — converting the fractional solution to an integral packing.
+//!
+//! For each positive LP variable `x_{q,j}` a *reserved area* of width 1
+//! and height `x_{q,j}` is laid out at or above `t_j`, bottom-up. Each
+//! occurrence of width class `i` in `q` becomes a *column* of that width;
+//! the column is filled greedily with not-yet-placed class-`i` rectangles
+//! whose (rounded) release is `≤ t_j`, until the fill reaches the
+//! column's reserved height — the last rectangle may overhang by less
+//! than `h_max ≤ 1`. The reserved area expands to cover overhang, and
+//! everything above shifts up, so the final height is at most
+//! `OPT_f + (occurrences)·h_max ≤ OPT_f + (W+1)(R+1)` — the additive term
+//! of Theorem 3.5.
+//!
+//! Eligibility (release class ≤ phase) and the LP's suffix covering
+//! constraints guarantee every rectangle finds a column: eligible sets
+//! only grow with the phase, so bottom-up greedy filling never strands an
+//! item that the LP covered (a nested-interval Hall argument). The
+//! implementation still *verifies* this: any leftover would be stacked on
+//! top and reported, and tests assert the count is always zero.
+
+use crate::lp_model::{FractionalSolution, LpData};
+use spp_core::{Instance, Placement};
+
+/// Result of the integral conversion.
+#[derive(Debug, Clone)]
+pub struct IntegralPacking {
+    pub placement: Placement,
+    /// Total height of the integral packing.
+    pub height: f64,
+    /// Rectangles that could not be routed through reserved columns and
+    /// were stacked on top (always 0 when the fractional solution covers
+    /// the instance; asserted by tests).
+    pub leftovers: usize,
+}
+
+/// Place the (grouped) instance according to a fractional solution.
+///
+/// `class_of[id]` must give the width class of every item in `inst`, and
+/// item widths must equal their class width exactly (true after
+/// grouping).
+pub fn integralize(
+    inst: &Instance,
+    data: &LpData,
+    class_of: &[usize],
+    frac: &FractionalSolution,
+) -> IntegralPacking {
+    let n = inst.len();
+    let mut placement = Placement::zeroed(n);
+    if n == 0 {
+        return IntegralPacking {
+            placement,
+            height: 0.0,
+            leftovers: 0,
+        };
+    }
+
+    // Per-class stock, earliest release first (ties by id) so the nested
+    // eligibility structure is consumed in order.
+    let n_classes = data.widths.len();
+    let mut stock: Vec<std::collections::VecDeque<usize>> = vec![Default::default(); n_classes];
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for it in inst.items() {
+        by_class[class_of[it.id]].push(it.id);
+    }
+    for (c, ids) in by_class.iter_mut().enumerate() {
+        ids.sort_by(|&a, &b| {
+            inst.item(a)
+                .release
+                .partial_cmp(&inst.item(b).release)
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        stock[c] = ids.iter().copied().collect();
+    }
+
+    // Entries are already phase-sorted; process bottom-up.
+    let mut y_cur = 0.0f64;
+    for (cfg, j, x) in &frac.entries {
+        let t_j = data.boundaries[*j];
+        let base = y_cur.max(t_j);
+        let mut area_height = 0.0f64; // expanded height of this reserved area
+        let mut x_off = 0.0f64;
+        for &class in &cfg.0 {
+            let class = class as usize;
+            let w = data.widths[class];
+            let mut fill = 0.0f64;
+            while fill < *x - spp_core::eps::EPS {
+                let Some(&cand) = stock[class].front() else { break };
+                if inst.item(cand).release > t_j + spp_core::eps::EPS {
+                    break; // not yet released in this phase
+                }
+                stock[class].pop_front();
+                placement.set(cand, x_off, base + fill);
+                fill += inst.item(cand).h;
+            }
+            area_height = area_height.max(fill);
+            x_off += w;
+        }
+        // the reserved area keeps at least its LP height; overhang expands it
+        y_cur = base + area_height.max(*x);
+    }
+
+    // Safety net: anything the columns missed is stacked on top
+    // (full width, so trivially valid). Tests assert this never fires.
+    let mut leftovers = 0;
+    for c in 0..n_classes {
+        while let Some(id) = stock[c].pop_front() {
+            let it = inst.item(id);
+            let base = y_cur.max(it.release);
+            placement.set(id, 0.0, base);
+            y_cur = base + it.h;
+            leftovers += 1;
+        }
+    }
+
+    let height = placement.height(inst);
+    IntegralPacking {
+        placement,
+        height,
+        leftovers,
+    }
+}
+
+/// The Lemma 3.4 bound for a fractional solution: the integral packing is
+/// at most `OPT_f + occurrences·h_max`.
+pub fn lemma_34_bound(frac: &FractionalSolution, h_max: f64) -> f64 {
+    frac.total_height + frac.occurrences() as f64 * h_max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::colgen::solve_fractional_with_configs;
+
+    fn classes(inst: &Instance) -> (Vec<f64>, Vec<usize>) {
+        let mut widths: Vec<f64> = inst.items().iter().map(|it| it.w).collect();
+        widths.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        widths.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
+        let class_of = inst
+            .items()
+            .iter()
+            .map(|it| widths.iter().position(|&w| (w - it.w).abs() < 1e-12).unwrap())
+            .collect();
+        (widths, class_of)
+    }
+
+    fn run(inst: &Instance) -> (IntegralPacking, FractionalSolution) {
+        let (widths, class_of) = classes(inst);
+        let data = LpData::new(inst, &widths, &class_of);
+        let (frac, _) = solve_fractional_with_configs(&data);
+        let ip = integralize(inst, &data, &class_of, &frac);
+        (ip, frac)
+    }
+
+    #[test]
+    fn simple_halves() {
+        let inst = Instance::from_dims(&[(0.5, 1.0), (0.5, 1.0)]).unwrap();
+        let (ip, frac) = run(&inst);
+        assert_eq!(ip.leftovers, 0);
+        spp_core::validate::assert_valid(&inst, &ip.placement);
+        assert!(ip.height <= lemma_34_bound(&frac, inst.max_height()) + 1e-6);
+    }
+
+    #[test]
+    fn releases_respected() {
+        let inst = Instance::from_dims_release(&[
+            (0.5, 1.0, 0.0),
+            (0.5, 1.0, 3.0),
+            (1.0, 0.5, 1.5),
+        ])
+        .unwrap();
+        let (ip, _) = run(&inst);
+        assert_eq!(ip.leftovers, 0);
+        spp_core::validate::assert_valid(&inst, &ip.placement);
+    }
+
+    #[test]
+    fn random_instances_never_leave_leftovers() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        for trial in 0..12 {
+            let p = spp_gen::release::ReleaseParams {
+                k: 4,
+                column_widths: true,
+                h: (0.1, 1.0),
+            };
+            let inst = match trial % 3 {
+                0 => spp_gen::release::poisson_arrivals(&mut rng, 15, 0.3, p),
+                1 => spp_gen::release::bursty(&mut rng, 15, 3, 2.0, 0.0, p),
+                _ => spp_gen::release::staircase(&mut rng, 15, 5.0, p),
+            };
+            let (ip, frac) = run(&inst);
+            assert_eq!(ip.leftovers, 0, "trial {trial} left items behind");
+            spp_core::validate::assert_valid(&inst, &ip.placement);
+            assert!(
+                ip.height <= lemma_34_bound(&frac, inst.max_height()) + 1e-6,
+                "trial {trial}: {} > bound {}",
+                ip.height,
+                lemma_34_bound(&frac, inst.max_height())
+            );
+            assert!(ip.height + 1e-6 >= frac.total_height - 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(vec![]).unwrap();
+        let (ip, _) = run(&inst);
+        assert_eq!(ip.height, 0.0);
+        assert_eq!(ip.leftovers, 0);
+    }
+}

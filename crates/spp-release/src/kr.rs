@@ -1,0 +1,95 @@
+//! Kenyon–Rémila specialization: plain strip packing (no releases).
+//!
+//! The paper's §3 machinery generalizes the classic Kenyon–Rémila APTAS
+//! for strip packing: with all release times zero there is a single phase,
+//! the packing constraints vanish, and the configuration LP degenerates to
+//! the Gilmore–Gomory cutting-stock LP. This module exposes that
+//! specialization directly — an asymptotic `(1+ε)`-approximation for
+//! classic strip packing with widths in `[1/K, 1]` and heights ≤ 1 —
+//! so downstream users get the textbook algorithm without touching the
+//! release-time API.
+//!
+//! (The original Kenyon–Rémila result handles arbitrary widths in `(0, 1]`
+//! by packing very narrow items greedily into the leftover width; the
+//! `[1/K, 1]` restriction is inherited from the paper, which needs it for
+//! the bounded-configuration argument — §1: "for the FPGA application,
+//! this would imply that the rectangles are at least as wide as a
+//! column".)
+
+use crate::aptas::{aptas, AptasConfig, AptasResult};
+use spp_core::Instance;
+
+/// Asymptotic `(1+ε)` strip packing for release-free instances.
+///
+/// Panics if any item carries a positive release time (use
+/// [`crate::aptas::aptas`] for those) or violates the width/height
+/// preconditions.
+pub fn kenyon_remila(inst: &Instance, epsilon: f64, k: usize) -> AptasResult {
+    assert!(
+        inst.items().iter().all(|it| it.release == 0.0),
+        "kenyon_remila is the release-free specialization"
+    );
+    aptas(inst, AptasConfig { epsilon, k })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn workload(n: usize, k: usize) -> Instance {
+        let mut rng = StdRng::seed_from_u64(77);
+        let p = spp_gen::release::ReleaseParams {
+            k,
+            column_widths: false,
+            h: (0.05, 1.0),
+        };
+        spp_gen::release::no_releases(&mut rng, n, p)
+    }
+
+    #[test]
+    fn single_phase_lp() {
+        let inst = workload(40, 3);
+        let r = kenyon_remila(&inst, 1.0, 3);
+        assert_eq!(r.release_levels, 1, "release-free => one phase");
+        assert_eq!(r.leftovers, 0);
+        spp_core::validate::assert_valid(&inst, &r.placement);
+    }
+
+    #[test]
+    fn converges_to_one_plus_eps() {
+        // ratio vs the fractional optimum approaches 1+eps as n grows
+        let eps = 0.5;
+        let mut last_ratio = f64::INFINITY;
+        for &n in &[50usize, 400] {
+            let inst = workload(n, 2);
+            let r = kenyon_remila(&inst, eps, 2);
+            let opt_f = crate::colgen::opt_f(&inst);
+            let ratio = r.height / opt_f;
+            assert!(
+                ratio <= (1.0 + eps) + r.occurrences as f64 / opt_f + 1e-6,
+                "n={n}: ratio {ratio}"
+            );
+            assert!(ratio <= last_ratio + 0.05, "ratio should shrink with n");
+            last_ratio = ratio;
+        }
+        assert!(last_ratio < 1.25, "large-n ratio {last_ratio} not near 1+eps");
+    }
+
+    #[test]
+    fn beats_or_matches_area_times_two() {
+        // sanity vs the A-bound family: the APTAS should do no worse than
+        // NFDH asymptotically
+        let inst = workload(300, 2);
+        let r = kenyon_remila(&inst, 1.0, 2);
+        let nfdh = spp_pack::nfdh(&inst).height(&inst);
+        assert!(r.height <= nfdh * 1.5 + 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "release-free")]
+    fn releases_rejected() {
+        let inst = Instance::from_dims_release(&[(0.5, 1.0, 2.0)]).unwrap();
+        kenyon_remila(&inst, 1.0, 2);
+    }
+}

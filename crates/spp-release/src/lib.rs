@@ -1,0 +1,41 @@
+//! # spp-release — strip packing with release times (§3)
+//!
+//! The paper's second problem: every rectangle `s` carries a release time
+//! `r_s` and must be placed at `y_s ≥ r_s`; heights are ≤ 1 and widths in
+//! `[1/K, 1]` (at least one FPGA column). This crate implements the
+//! **APTAS of Algorithm 2 / Theorem 3.5** end to end, plus everything it
+//! rests on:
+//!
+//! | stage | paper | module |
+//! |---|---|---|
+//! | release rounding to `R = ⌈3/ε⌉` classes | Lemma 3.1 | [`rounding`] |
+//! | width grouping to `W = ⌈3/ε⌉·K·(R+1)` classes | Lemma 3.2, Figs. 3–4 | [`grouping`] |
+//! | configurations (multisets of widths, ≤ K items) | §3.2 | [`config`] |
+//! | the configuration LP | Lemma 3.3 | [`lp_model`] |
+//! | column generation (bounded-knapsack pricing) | — (stands in for ellipsoid/Karmarkar) | [`colgen`] |
+//! | fractional → integral conversion | Lemma 3.4 | [`integralize`] |
+//! | the full APTAS | Algorithm 2, Theorem 3.5 | [`mod@aptas`] |
+//! | practical baselines (batched FFDH, skyline) | — | [`baselines`] |
+//! | online scheduling simulator (the §1 OS setting) | — | [`online`] |
+//! | Kenyon–Rémila specialization (release-free) | — | [`kr`] |
+//!
+//! The fractional relaxation `OPT_f` (rectangles sliceable horizontally,
+//! slices placeable in parallel, releases still respected) is computed
+//! exactly by the LP; `OPT_f(P) ≤ OPT(P)`, which is how the experiments
+//! measure approximation factors without exact integral optima.
+
+pub mod aptas;
+pub mod baselines;
+pub mod colgen;
+pub mod config;
+pub mod grouping;
+pub mod integralize;
+pub mod kr;
+pub mod lp_model;
+pub mod online;
+pub mod rounding;
+
+pub use aptas::{aptas, AptasConfig, AptasResult};
+pub use colgen::solve_fractional;
+pub use config::Config;
+pub use lp_model::FractionalSolution;

@@ -1,0 +1,336 @@
+//! Lemma 3.3 — the configuration LP.
+//!
+//! Variables `x_{q,j}` = height allocated to configuration `q` during
+//! phase `j` (phase `j` is the window `[t_j, t_{j+1})`; the final phase
+//! `R` is unbounded). The LP is
+//!
+//! ```text
+//! min Σ_q x_{q,R}
+//! s.t. Σ_q x_{q,j} ≤ t_{j+1} − t_j                       (packing, j < R)
+//!      Σ_{j≥k} Σ_q a_{iq}·x_{q,j} ≥ Σ_{j≥k} b_{ij}      (covering, ∀ k, i)
+//!      x ≥ 0
+//! ```
+//!
+//! where `a_{iq}` counts width class `i` in configuration `q` and
+//! `b_{ij}` is the total height of class-`i` rectangles released at `t_j`.
+//! `OPT_f = t_R + (LP optimum)`, and a basic optimum uses at most
+//! `(W+1)(R+1)` distinct configuration occurrences — the quantity
+//! Lemma 3.4 charges for integralization.
+
+use crate::config::Config;
+use spp_core::Instance;
+use spp_lp::{Cmp, Problem, Solution, Status};
+
+/// Static data extracted from a (rounded, grouped) instance.
+#[derive(Debug, Clone)]
+pub struct LpData {
+    /// Phase boundaries `t_0 = 0 < t_1 < … < t_R` (release levels, with 0
+    /// prepended when no item is released at 0). Empty for an empty
+    /// instance.
+    pub boundaries: Vec<f64>,
+    /// Width classes, ascending.
+    pub widths: Vec<f64>,
+    /// `demand[j][i]` — total height of class-`i` items released at `t_j`.
+    pub demand: Vec<Vec<f64>>,
+}
+
+impl LpData {
+    /// Build from an instance whose widths all belong to `widths`
+    /// (`class_of[id]` gives the class index).
+    pub fn new(inst: &Instance, widths: &[f64], class_of: &[usize]) -> LpData {
+        assert_eq!(inst.len(), class_of.len());
+        if inst.is_empty() {
+            return LpData {
+                boundaries: Vec::new(),
+                widths: widths.to_vec(),
+                demand: Vec::new(),
+            };
+        }
+        let mut boundaries = crate::rounding::release_levels(inst);
+        if boundaries.first().is_none_or(|&b| b > spp_core::eps::EPS) {
+            boundaries.insert(0, 0.0);
+        }
+        let mut demand = vec![vec![0.0; widths.len()]; boundaries.len()];
+        for it in inst.items() {
+            let j = boundaries
+                .iter()
+                .position(|&t| (t - it.release).abs() <= spp_core::eps::EPS)
+                .expect("release must be a boundary");
+            demand[j][class_of[it.id]] += it.h;
+        }
+        LpData {
+            boundaries,
+            widths: widths.to_vec(),
+            demand,
+        }
+    }
+
+    /// Number of phases minus one (`R`); boundaries are `t_0..t_R`.
+    pub fn r(&self) -> usize {
+        self.boundaries.len().saturating_sub(1)
+    }
+
+    /// Suffix demand `Σ_{j≥k} b_{ij}` for covering row `(k, i)`.
+    pub fn suffix_demand(&self, k: usize, i: usize) -> f64 {
+        (k..self.demand.len()).map(|j| self.demand[j][i]).sum()
+    }
+}
+
+/// A solved fractional packing.
+#[derive(Debug, Clone)]
+pub struct FractionalSolution {
+    /// `(configuration, phase, height)` with positive height, phase-sorted.
+    pub entries: Vec<(Config, usize, f64)>,
+    /// LP objective (height beyond `t_R`).
+    pub lp_objective: f64,
+    /// `OPT_f = t_R + lp_objective` — total fractional packing height.
+    pub total_height: f64,
+    /// Dual of each packing row (`y ≤ 0`), indexed by phase `j < R`.
+    pub packing_duals: Vec<f64>,
+    /// Dual of each covering row (`y ≥ 0`), indexed `[k][i]`.
+    pub covering_duals: Vec<Vec<f64>>,
+    /// Simplex iterations of the final master solve.
+    pub iterations: usize,
+}
+
+impl FractionalSolution {
+    /// Number of distinct configuration occurrences (the `k` of
+    /// Lemma 3.4).
+    pub fn occurrences(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Build and solve the LP over an explicit configuration set.
+///
+/// Returns `None` if the LP is infeasible, which cannot happen for a
+/// configuration set containing every single-class configuration
+/// (phase `R` is uncapacitated).
+pub fn solve_with_configs(data: &LpData, configs: &[Config]) -> Option<FractionalSolution> {
+    if data.boundaries.is_empty() {
+        return Some(FractionalSolution {
+            entries: Vec::new(),
+            lp_objective: 0.0,
+            total_height: 0.0,
+            packing_duals: Vec::new(),
+            covering_duals: Vec::new(),
+            iterations: 0,
+        });
+    }
+    let r = data.r();
+    let n_w = data.widths.len();
+    let n_phases = r + 1;
+
+    let mut p = Problem::new();
+    // variable layout: var(qi, j) = qi * n_phases + j
+    for _q in configs {
+        for j in 0..n_phases {
+            let cost = if j == r { 1.0 } else { 0.0 };
+            p.add_var(cost);
+        }
+    }
+    let var = |qi: usize, j: usize| qi * n_phases + j;
+
+    // packing rows, j = 0..r-1 (row index = j)
+    for j in 0..r {
+        let coeffs: Vec<(usize, f64)> =
+            (0..configs.len()).map(|qi| (var(qi, j), 1.0)).collect();
+        p.add_constraint(
+            &coeffs,
+            Cmp::Le,
+            data.boundaries[j + 1] - data.boundaries[j],
+        );
+    }
+    // covering rows, (k, i) with row index r + k * n_w + i
+    let counts: Vec<Vec<usize>> = configs.iter().map(|q| q.counts(n_w)).collect();
+    for k in 0..n_phases {
+        for i in 0..n_w {
+            let mut coeffs: Vec<(usize, f64)> = Vec::new();
+            for (qi, cnt) in counts.iter().enumerate() {
+                if cnt[i] > 0 {
+                    for j in k..n_phases {
+                        coeffs.push((var(qi, j), cnt[i] as f64));
+                    }
+                }
+            }
+            p.add_constraint(&coeffs, Cmp::Ge, data.suffix_demand(k, i));
+        }
+    }
+
+    let sol: Solution = spp_lp::solve(&p);
+    if sol.status != Status::Optimal {
+        return None;
+    }
+    debug_assert!(
+        spp_lp::certify(&p, &sol, 1e-5).is_ok(),
+        "configuration LP optimality certificate failed: {:?}",
+        spp_lp::certify(&p, &sol, 1e-5)
+    );
+
+    let mut entries = Vec::new();
+    for (qi, q) in configs.iter().enumerate() {
+        for j in 0..n_phases {
+            let x = sol.x[var(qi, j)];
+            if x > 1e-9 {
+                entries.push((q.clone(), j, x));
+            }
+        }
+    }
+    entries.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+
+    let packing_duals = sol.duals[..r].to_vec();
+    let mut covering_duals = vec![vec![0.0; n_w]; n_phases];
+    for k in 0..n_phases {
+        for i in 0..n_w {
+            covering_duals[k][i] = sol.duals[r + k * n_w + i];
+        }
+    }
+    let t_r = *data.boundaries.last().expect("non-empty boundaries");
+    Some(FractionalSolution {
+        entries,
+        lp_objective: sol.objective,
+        total_height: t_r + sol.objective,
+        packing_duals,
+        covering_duals,
+        iterations: sol.iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::enumerate_configs;
+
+    fn data_for(dims: &[(f64, f64, f64)], widths: &[f64]) -> LpData {
+        let inst = Instance::from_dims_release(dims).unwrap();
+        let class_of: Vec<usize> = inst
+            .items()
+            .iter()
+            .map(|it| {
+                widths
+                    .iter()
+                    .position(|&w| (w - it.w).abs() < 1e-12)
+                    .unwrap()
+            })
+            .collect();
+        LpData::new(&inst, widths, &class_of)
+    }
+
+    #[test]
+    fn boundaries_include_zero() {
+        let d = data_for(&[(0.5, 1.0, 2.0)], &[0.5]);
+        assert_eq!(d.boundaries, vec![0.0, 2.0]);
+        assert_eq!(d.r(), 1);
+        // demand only at t_1
+        assert_eq!(d.demand[0], vec![0.0]);
+        assert_eq!(d.demand[1], vec![1.0]);
+    }
+
+    #[test]
+    fn no_release_lp_is_fractional_strip_packing() {
+        // two widths 0.5, demand heights 3 total: fractional OPT = 1.5
+        // (pairs of half-width slices side by side)
+        let d = data_for(
+            &[(0.5, 1.0, 0.0), (0.5, 1.0, 0.0), (0.5, 1.0, 0.0)],
+            &[0.5],
+        );
+        let configs = enumerate_configs(&d.widths);
+        let f = solve_with_configs(&d, &configs).unwrap();
+        spp_core::assert_close!(f.total_height, 1.5, 1e-6);
+    }
+
+    #[test]
+    fn release_forces_waiting() {
+        // one item released at 5 with height 1: OPT_f = 6 regardless of
+        // how much fits before.
+        let d = data_for(&[(1.0, 1.0, 5.0)], &[1.0]);
+        let configs = enumerate_configs(&d.widths);
+        let f = solve_with_configs(&d, &configs).unwrap();
+        spp_core::assert_close!(f.total_height, 6.0, 1e-6);
+    }
+
+    #[test]
+    fn early_phase_absorbs_early_work() {
+        // item A (width 1, h 2) at release 0; item B (width 1, h 1) at
+        // release 2. Fractionally A fills [0,2) and B [2,3): OPT_f = 3.
+        let d = data_for(&[(1.0, 2.0, 0.0), (1.0, 1.0, 2.0)], &[1.0]);
+        let configs = enumerate_configs(&d.widths);
+        let f = solve_with_configs(&d, &configs).unwrap();
+        spp_core::assert_close!(f.total_height, 3.0, 1e-6);
+    }
+
+    #[test]
+    fn phase_capacity_limits_early_packing() {
+        // window [0, 1) but 3 units of width-1 demand at release 0 and an
+        // item at release 1: the excess spills past t_R.
+        let d = data_for(
+            &[(1.0, 1.0, 0.0), (1.0, 1.0, 0.0), (1.0, 1.0, 0.0), (1.0, 0.5, 1.0)],
+            &[1.0],
+        );
+        let configs = enumerate_configs(&d.widths);
+        let f = solve_with_configs(&d, &configs).unwrap();
+        // t_R = 1; phase 0 absorbs 1 unit; remaining 2 + 0.5 beyond ->
+        // OPT_f = 1 + 2.5 = 3.5
+        spp_core::assert_close!(f.total_height, 3.5, 1e-6);
+    }
+
+    #[test]
+    fn parallel_halves_save_height() {
+        // two width-0.5 items (h=1) released at 1: they share a shelf;
+        // OPT_f = 2.
+        let d = data_for(&[(0.5, 1.0, 1.0), (0.5, 1.0, 1.0)], &[0.5]);
+        let configs = enumerate_configs(&d.widths);
+        let f = solve_with_configs(&d, &configs).unwrap();
+        spp_core::assert_close!(f.total_height, 2.0, 1e-6);
+        // the optimal basic solution uses few occurrences
+        assert!(f.occurrences() <= (d.widths.len() + 1) * (d.r() + 1));
+    }
+
+    #[test]
+    fn support_bound_holds_on_random_instances() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let k = 3usize;
+            let n = rng.gen_range(3..25);
+            let widths_pool = [1.0 / 3.0, 2.0 / 3.0, 1.0];
+            let dims: Vec<(f64, f64, f64)> = (0..n)
+                .map(|_| {
+                    (
+                        widths_pool[rng.gen_range(0..k)],
+                        rng.gen_range(0.1..1.0),
+                        (rng.gen_range(0.0..3.0_f64)).floor(),
+                    )
+                })
+                .collect();
+            let d = data_for(&dims, &widths_pool);
+            let configs = enumerate_configs(&d.widths);
+            let f = solve_with_configs(&d, &configs).unwrap();
+            let w = d.widths.len();
+            let r = d.r();
+            assert!(
+                f.occurrences() <= (w + 1) * (r + 1),
+                "support {} > (W+1)(R+1) = {}",
+                f.occurrences(),
+                (w + 1) * (r + 1)
+            );
+            // duals have the documented signs
+            for &y in &f.packing_duals {
+                assert!(y <= 1e-7, "packing dual {y} > 0");
+            }
+            for row in &f.covering_duals {
+                for &y in row {
+                    assert!(y >= -1e-7, "covering dual {y} < 0");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_instance_trivial() {
+        let d = LpData::new(&Instance::new(vec![]).unwrap(), &[0.5], &[]);
+        let f = solve_with_configs(&d, &[]).unwrap();
+        assert_eq!(f.total_height, 0.0);
+        assert_eq!(f.occurrences(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Lemma 3.1 — rounding release times to `R = ⌈1/ε_r⌉` classes.
+//!
+//! With `r_max = max_s r_s` and `δ = ε_r·r_max`, every release time is
+//! rounded **up** to the next positive multiple of `δ`:
+//! `r ← (⌊r/δ⌋ + 1)·δ`. The paper's `P↓`/`P↑` sandwich shows
+//! `OPT_f(P(R)) ≤ (1 + ε_r)·OPT_f(P)`; monotonicity (releases never
+//! decrease) means a packing of the rounded instance is a packing of the
+//! original.
+//!
+//! When `r_max = 0` (no releases) the instance is returned unchanged with
+//! the single level 0.
+
+use spp_core::{Instance, Item};
+
+/// Result of release rounding.
+#[derive(Debug, Clone)]
+pub struct RoundedReleases {
+    /// The rounded instance (same ids, same dims, later-or-equal releases).
+    pub inst: Instance,
+    /// Distinct rounded release values, ascending (does not include an
+    /// artificial 0 unless some item is released at 0).
+    pub levels: Vec<f64>,
+    /// The grid step `δ = ε_r · r_max` (0 when `r_max = 0`).
+    pub delta: f64,
+}
+
+/// Round all release times up per Lemma 3.1.
+pub fn round_releases(inst: &Instance, epsilon_r: f64) -> RoundedReleases {
+    assert!(epsilon_r > 0.0, "epsilon_r must be positive");
+    let r_max = inst.max_release();
+    if r_max == 0.0 {
+        return RoundedReleases {
+            inst: inst.clone(),
+            levels: if inst.is_empty() { vec![] } else { vec![0.0] },
+            delta: 0.0,
+        };
+    }
+    let delta = epsilon_r * r_max;
+    let items: Vec<Item> = inst
+        .items()
+        .iter()
+        .map(|it| {
+            let steps = (it.release / delta).floor() + 1.0;
+            Item::with_release(it.id, it.w, it.h, steps * delta)
+        })
+        .collect();
+    let inst2 = Instance::new(items).expect("rounding preserves validity");
+    let mut levels: Vec<f64> = inst2.items().iter().map(|it| it.release).collect();
+    levels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    levels.dedup_by(|a, b| (*a - *b).abs() <= spp_core::eps::EPS);
+    RoundedReleases {
+        inst: inst2,
+        levels,
+        delta,
+    }
+}
+
+/// The distinct release values of an (un-rounded) instance, ascending.
+pub fn release_levels(inst: &Instance) -> Vec<f64> {
+    let mut levels: Vec<f64> = inst.items().iter().map(|it| it.release).collect();
+    levels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    levels.dedup_by(|a, b| (*a - *b).abs() <= spp_core::eps::EPS);
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_releases_untouched() {
+        let inst = Instance::from_dims_release(&[(0.5, 1.0, 0.0), (0.5, 0.5, 0.0)]).unwrap();
+        let r = round_releases(&inst, 0.5);
+        assert_eq!(r.inst, inst);
+        assert_eq!(r.levels, vec![0.0]);
+        assert_eq!(r.delta, 0.0);
+    }
+
+    #[test]
+    fn releases_round_up_to_grid() {
+        // r_max = 10, eps = 0.25 -> delta = 2.5
+        let inst = Instance::from_dims_release(&[
+            (0.5, 1.0, 0.0),
+            (0.5, 1.0, 2.4),
+            (0.5, 1.0, 2.5),
+            (0.5, 1.0, 10.0),
+        ])
+        .unwrap();
+        let r = round_releases(&inst, 0.25);
+        spp_core::assert_close!(r.delta, 2.5);
+        spp_core::assert_close!(r.inst.item(0).release, 2.5); // 0 -> first level
+        spp_core::assert_close!(r.inst.item(1).release, 2.5);
+        spp_core::assert_close!(r.inst.item(2).release, 5.0); // exact multiple bumps up
+        spp_core::assert_close!(r.inst.item(3).release, 12.5); // r_max + delta
+    }
+
+    #[test]
+    fn release_count_bounded_by_r_plus_one() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..60);
+            let dims: Vec<(f64, f64, f64)> = (0..n)
+                .map(|_| {
+                    (
+                        rng.gen_range(0.25..1.0),
+                        rng.gen_range(0.1..1.0),
+                        rng.gen_range(0.0..20.0),
+                    )
+                })
+                .collect();
+            let inst = Instance::from_dims_release(&dims).unwrap();
+            let eps = *[1.0, 0.5, 0.25].iter().nth(rng.gen_range(0..3)).unwrap();
+            let r = round_releases(&inst, eps);
+            let cap = (1.0 / eps).ceil() as usize + 1;
+            assert!(
+                r.levels.len() <= cap,
+                "{} levels > R+1 = {cap}",
+                r.levels.len()
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_never_decreases() {
+        let inst = Instance::from_dims_release(&[(0.5, 1.0, 3.3), (0.5, 1.0, 7.9)]).unwrap();
+        let r = round_releases(&inst, 0.2);
+        for (orig, rounded) in inst.items().iter().zip(r.inst.items()) {
+            assert!(rounded.release >= orig.release);
+            // ... and by at most delta
+            assert!(rounded.release <= orig.release + r.delta + spp_core::eps::EPS);
+            assert_eq!(orig.w, rounded.w);
+            assert_eq!(orig.h, rounded.h);
+        }
+    }
+
+    #[test]
+    fn levels_are_sorted_distinct() {
+        let inst = Instance::from_dims_release(&[
+            (0.5, 1.0, 1.0),
+            (0.5, 1.0, 1.0),
+            (0.5, 1.0, 9.0),
+        ])
+        .unwrap();
+        let r = round_releases(&inst, 0.34);
+        for w in r.levels.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // every item's release is one of the levels
+        for it in r.inst.items() {
+            assert!(r.levels.iter().any(|&l| (l - it.release).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn raw_levels_helper() {
+        let inst = Instance::from_dims_release(&[
+            (0.5, 1.0, 5.0),
+            (0.5, 1.0, 0.0),
+            (0.5, 1.0, 5.0),
+        ])
+        .unwrap();
+        assert_eq!(release_levels(&inst), vec![0.0, 5.0]);
+    }
+}

@@ -1,0 +1,39 @@
+//! The Lemma 2.4 / Fig. 1 construction: why `O(log n)` is the best an
+//! algorithm analyzed against `max(AREA, F)` can do.
+//!
+//! ```sh
+//! cargo run --example adversarial_gap
+//! ```
+
+use strip_packing::gen::adversarial::fig1_lower_bound_gap;
+use strip_packing::pack::Packer;
+
+fn main() {
+    println!("k | n      | AREA   | F      | OPT in [k/2, k+..] | DC height | DC/LB");
+    println!("--+--------+--------+--------+--------------------+-----------+------");
+    for k in 2..=10 {
+        let fam = fig1_lower_bound_gap(k, 1e-6);
+        let prec = &fam.prec;
+        let pl = strip_packing::precedence::dc(prec, &Packer::Nfdh);
+        prec.assert_valid(&pl);
+        let h = pl.height(&prec.inst);
+        println!(
+            "{k:<2}| {n:<7}| {area:<7.3}| {f:<7.3}| [{lo:.1}, {hi:.1}]{pad}| {h:<10.3}| {r:.2}",
+            n = fam.n(),
+            area = prec.area_lb(),
+            f = prec.critical_lb(),
+            lo = fam.opt_lower_bound(),
+            hi = fam.opt_upper_bound(),
+            pad = " ".repeat(8),
+            r = h / prec.lower_bound(),
+        );
+    }
+    println!(
+        "\nBoth simple lower bounds stay ≈ 1 while the true optimum grows like\n\
+         k/2 = Θ(log n): the chains of height 1/2^i are interleaved with\n\
+         width-1 separators, forcing shelf-like packings (paper, Lemma 2.4).\n\
+         DC's measured ratio vs the simple bounds therefore *must* grow — the\n\
+         algorithm is within a constant of what any analysis against these\n\
+         bounds can certify."
+    );
+}

@@ -1,0 +1,64 @@
+//! Quickstart: pack a small precedence-constrained task set with `DC`.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use strip_packing::core::{Instance, Item};
+use strip_packing::dag::{Dag, PrecInstance};
+use strip_packing::pack::Packer;
+use strip_packing::precedence::{dc_bound, dc_with_stats};
+
+fn main() {
+    // Six tasks; width = fraction of the resource, height = duration.
+    let items = vec![
+        Item::new(0, 0.50, 1.0), // preprocessing
+        Item::new(1, 0.25, 2.0), // feature extraction A
+        Item::new(2, 0.25, 1.5), // feature extraction B
+        Item::new(3, 0.40, 1.0), // fusion
+        Item::new(4, 0.60, 0.5), // postprocess
+        Item::new(5, 0.30, 1.0), // independent background job
+    ];
+    let inst = Instance::new(items).expect("valid items");
+
+    // 0 feeds 1 and 2; both feed 3; 3 feeds 4. Task 5 is unconstrained.
+    let dag = Dag::new(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]).expect("acyclic");
+    let prec = PrecInstance::new(inst, dag);
+
+    println!("lower bounds:");
+    println!("  AREA(S)        = {:.3}", prec.area_lb());
+    println!("  F(S) (path)    = {:.3}", prec.critical_lb());
+    println!("  combined LB    = {:.3}", prec.lower_bound());
+    println!(
+        "  Theorem 2.3 bound log2(n+1)*F + 2*AREA = {:.3}",
+        dc_bound(&prec)
+    );
+
+    let (placement, stats) = dc_with_stats(&prec, &Packer::Nfdh);
+    prec.assert_valid(&placement);
+
+    println!("\nDC placement (x, y, w, h):");
+    for it in prec.inst.items() {
+        let p = placement.pos(it.id);
+        println!(
+            "  task {}: ({:.2}, {:.2})  {:.2} x {:.2}",
+            it.id, p.x, p.y, it.w, it.h
+        );
+    }
+    let h = placement.height(&prec.inst);
+    println!("\ntotal height   = {:.3}", h);
+    println!("ratio vs LB    = {:.3}", h / prec.lower_bound());
+    println!(
+        "recursion: {} calls to subroutine A, depth {}",
+        stats.a_calls, stats.max_depth
+    );
+
+    // Exact optimum for comparison (tiny instance).
+    let exact = strip_packing::exact::exact_strip(
+        &prec,
+        strip_packing::exact::ExactConfig::default(),
+    );
+    if exact.proven_optimal {
+        println!("exact optimum  = {:.3}  (DC/OPT = {:.3})", exact.height, h / exact.height);
+    }
+}

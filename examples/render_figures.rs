@@ -1,0 +1,53 @@
+//! Render paper-style figures as SVG files: a `DC` packing of a layered
+//! task graph, and the Lemma 2.4 / Fig. 1 adversarial construction.
+//!
+//! ```sh
+//! cargo run --example render_figures
+//! # -> dc_packing.svg, fig1_construction.svg in the working directory
+//! ```
+
+use rand::{rngs::StdRng, SeedableRng};
+use strip_packing::pack::Packer;
+
+fn main() {
+    // 1. DC on a layered workload
+    let mut rng = StdRng::seed_from_u64(42);
+    let inst = strip_packing::gen::rects::uniform(&mut rng, 35, (0.08, 0.6), (0.1, 0.8));
+    let prec = strip_packing::gen::rects::with_layered_dag(&mut rng, inst, 6, 0.2);
+    let pl = strip_packing::precedence::dc(&prec, &Packer::Nfdh);
+    prec.assert_valid(&pl);
+    let svg = strip_packing::core::render::svg(&prec.inst, &pl, 300.0);
+    std::fs::write("dc_packing.svg", &svg).expect("write dc_packing.svg");
+    println!(
+        "dc_packing.svg: {} items, height {:.3} (LB {:.3})",
+        prec.len(),
+        pl.height(&prec.inst),
+        prec.lower_bound()
+    );
+
+    // 2. the Fig. 1 construction, packed by DC
+    let fam = strip_packing::gen::adversarial::fig1_lower_bound_gap(5, 1e-4);
+    let pl = strip_packing::precedence::dc(&fam.prec, &Packer::Nfdh);
+    fam.prec.assert_valid(&pl);
+    let svg = strip_packing::core::render::svg(&fam.prec.inst, &pl, 300.0);
+    std::fs::write("fig1_construction.svg", &svg).expect("write fig1_construction.svg");
+    println!(
+        "fig1_construction.svg: k = {}, n = {}, height {:.3} vs simple LB {:.3}",
+        fam.k,
+        fam.n(),
+        pl.height(&fam.prec.inst),
+        fam.prec.lower_bound()
+    );
+
+    // also show the DC packing in the terminal
+    println!("\nASCII view of the layered-DAG packing:");
+    let mut rng = StdRng::seed_from_u64(42);
+    let inst = strip_packing::gen::rects::uniform(&mut rng, 35, (0.08, 0.6), (0.1, 0.8));
+    let prec = strip_packing::gen::rects::with_layered_dag(&mut rng, inst, 6, 0.2);
+    let pl = strip_packing::precedence::dc(&prec, &Packer::Nfdh);
+    let h = pl.height(&prec.inst);
+    print!(
+        "{}",
+        strip_packing::core::render::ascii(&prec.inst, &pl, 60, h / 24.0)
+    );
+}

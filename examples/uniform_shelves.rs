@@ -1,0 +1,62 @@
+//! §2.2: uniform-height tasks, shelf algorithm `F` (absolute
+//! 3-approximation) vs GGJY first-fit vs the exact optimum.
+//!
+//! ```sh
+//! cargo run --example uniform_shelves
+//! ```
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use strip_packing::dag::PrecInstance;
+use strip_packing::precedence::binpack::{first_fit_prec, next_fit_prec};
+use strip_packing::precedence::uniform::{longest_path_nodes, shelf_next_fit};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(22);
+    let n = 14;
+    let sizes: Vec<f64> = (0..n).map(|_| rng.gen_range(0.15..0.95)).collect();
+    let dag = strip_packing::dag::gen::random_order(&mut rng, n, 0.2);
+    let dims: Vec<(f64, f64)> = sizes.iter().map(|&w| (w, 1.0)).collect();
+    let inst = strip_packing::core::Instance::from_dims(&dims).unwrap();
+    let prec = PrecInstance::new(inst, dag.clone());
+
+    println!("{n} unit-height tasks, {} precedence edges", dag.edge_count());
+    println!(
+        "lower bounds: ceil(AREA) = {}, longest path = {} tasks",
+        prec.area_lb().ceil(),
+        longest_path_nodes(&prec)
+    );
+
+    let shelf = shelf_next_fit(&prec);
+    prec.assert_valid(&shelf.placement);
+    let (red, green) = shelf.red_green();
+    println!(
+        "\nshelf algorithm F : {} shelves ({} skips; {} red + {} green in the \
+         Theorem 2.6 coloring)",
+        shelf.shelves.len(),
+        shelf.skips,
+        red,
+        green
+    );
+    for (i, s) in shelf.shelves.iter().enumerate() {
+        println!(
+            "  shelf {i}: tasks {:?} (width used {:.2}){}",
+            s.items,
+            s.used,
+            if s.skip { "  [skip]" } else { "" }
+        );
+    }
+
+    let ff = first_fit_prec(&sizes, &dag);
+    println!("\nGGJY first-fit    : {} bins", ff.len());
+    let nf = next_fit_prec(&sizes, &dag);
+    assert_eq!(nf.len(), shelf.shelves.len());
+
+    let opt = strip_packing::exact::exact_bins(&sizes, &dag);
+    println!("exact optimum     : {opt} bins");
+    println!(
+        "\nratios: F = {:.3} (absolute bound 3), first-fit = {:.3} \
+         (asymptotic bound 2.7)",
+        shelf.shelves.len() as f64 / opt as f64,
+        ff.len() as f64 / opt as f64
+    );
+}

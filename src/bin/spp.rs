@@ -1,0 +1,191 @@
+//! `spp` — command-line front end for the strip-packing workspace.
+//!
+//! ```text
+//! spp gen  --family layered -n 40 --seed 7 > inst.spp
+//! spp pack inst.spp --algo dc-nfdh --render ascii
+//! spp pack inst.spp --algo greedy --render svg > packing.svg
+//! spp bounds inst.spp
+//! ```
+//!
+//! Instances use the `spp v1` text format of `spp-gen::textio`
+//! (`item <id> <w> <h> <release>` / `edge <pred> <succ>` lines).
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use strip_packing::dag::PrecInstance;
+use strip_packing::pack::{packer_by_name, Packer, StripPacker};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  spp gen --family <chains|layered|random|fork-join|series-parallel|out-tree|empty>\n          [-n <count>] [--seed <u64>] [--uniform-height]\n  spp pack <file|-> [--algo <dc-nfdh|dc-wsnf|dc-ffdh|greedy|layered|shelf-f|<packer>>]\n          [--render <none|ascii|svg>]\n  spp bounds <file|->\n\npackers: nfdh ffdh bfdh sleator skyline wsnf (precedence edges ignored)"
+    );
+    std::process::exit(2);
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn read_instance(path: &str) -> PrecInstance {
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot read stdin: {e}");
+                std::process::exit(1);
+            });
+        buf
+    } else {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    strip_packing::gen::textio::from_text(&text).unwrap_or_else(|e| {
+        eprintln!("error: cannot parse instance: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn cmd_gen(args: &[String]) -> ExitCode {
+    use rand::SeedableRng;
+    let family_name = arg_value(args, "--family").unwrap_or_else(|| "layered".into());
+    let n: usize = arg_value(args, "-n")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(30);
+    let seed: u64 = arg_value(args, "--seed")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(1);
+    let family = strip_packing::gen::rects::DagFamily::ALL
+        .into_iter()
+        .find(|f| f.name() == family_name)
+        .unwrap_or_else(|| {
+            eprintln!("error: unknown family {family_name}");
+            std::process::exit(2);
+        });
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let inst = if args.iter().any(|a| a == "--uniform-height") {
+        strip_packing::gen::rects::uniform_height(&mut rng, n, (0.05, 0.95))
+    } else {
+        strip_packing::gen::rects::uniform(&mut rng, n, (0.05, 0.95), (0.05, 1.0))
+    };
+    let dag = family.build(&mut rng, n);
+    let prec = PrecInstance::new(inst, dag);
+    print!("{}", strip_packing::gen::textio::to_text(&prec));
+    ExitCode::SUCCESS
+}
+
+fn cmd_pack(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else { usage() };
+    let prec = read_instance(path);
+    let algo = arg_value(args, "--algo").unwrap_or_else(|| "dc-nfdh".into());
+    let placement = match algo.as_str() {
+        "dc-nfdh" => strip_packing::precedence::dc(&prec, &Packer::Nfdh),
+        "dc-wsnf" => strip_packing::precedence::dc(&prec, &Packer::Wsnf),
+        "dc-ffdh" => strip_packing::precedence::dc(&prec, &Packer::Ffdh),
+        "greedy" => strip_packing::precedence::greedy_skyline(&prec),
+        "layered" => strip_packing::precedence::layered_pack(&prec, &Packer::Nfdh),
+        "shelf-f" => strip_packing::precedence::shelf_next_fit(&prec).placement,
+        other => match packer_by_name(other) {
+            Some(p) => p.pack(&prec.inst),
+            None => {
+                eprintln!("error: unknown algorithm {other}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    // DC and the raw packers ignore release times; validate accordingly
+    let release_free = matches!(
+        algo.as_str(),
+        "dc-nfdh" | "dc-wsnf" | "dc-ffdh" | "shelf-f"
+    ) || packer_by_name(&algo).is_some();
+    let check = if release_free {
+        let stripped = PrecInstance::new(
+            strip_packing::core::Instance::new(
+                prec.inst
+                    .items()
+                    .iter()
+                    .map(|it| strip_packing::core::Item::new(it.id, it.w, it.h))
+                    .collect(),
+            )
+            .expect("valid"),
+            if packer_by_name(&algo).is_some() {
+                strip_packing::dag::Dag::empty(prec.len())
+            } else {
+                prec.dag.clone()
+            },
+        );
+        stripped.validate(&placement)
+    } else {
+        prec.validate(&placement)
+    };
+    if let Err(e) = check {
+        eprintln!("internal error: produced invalid placement: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let h = placement.height(&prec.inst);
+    eprintln!(
+        "algorithm {algo}: height {:.4} (AREA LB {:.4}, F LB {:.4})",
+        h,
+        prec.area_lb(),
+        prec.critical_lb()
+    );
+    match arg_value(args, "--render").as_deref() {
+        None | Some("none") => {
+            for it in prec.inst.items() {
+                let p = placement.pos(it.id);
+                println!("place {} {:.9} {:.9}", it.id, p.x, p.y);
+            }
+        }
+        Some("ascii") => {
+            print!(
+                "{}",
+                strip_packing::core::render::ascii(&prec.inst, &placement, 60, h / 30.0)
+            );
+        }
+        Some("svg") => {
+            print!(
+                "{}",
+                strip_packing::core::render::svg(&prec.inst, &placement, 400.0)
+            );
+        }
+        Some(other) => {
+            eprintln!("error: unknown renderer {other}");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_bounds(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else { usage() };
+    let prec = read_instance(path);
+    println!("n            {}", prec.len());
+    println!("edges        {}", prec.dag.edge_count());
+    println!("AREA         {:.6}", prec.area_lb());
+    println!("F (crit path){:>10.6}", prec.critical_lb());
+    println!(
+        "combined LB  {:.6}",
+        strip_packing::precedence::combined::combined_lower_bound(&prec)
+    );
+    println!(
+        "T2.3 bound   {:.6}",
+        strip_packing::precedence::dc_bound(&prec)
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("pack") => cmd_pack(&args[1..]),
+        Some("bounds") => cmd_bounds(&args[1..]),
+        _ => usage(),
+    }
+}

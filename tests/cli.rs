@@ -1,0 +1,116 @@
+//! End-to-end tests of the `spp` command-line tool.
+
+use std::process::{Command, Stdio};
+
+fn spp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_spp"))
+}
+
+#[test]
+fn gen_pack_roundtrip() {
+    let gen = spp()
+        .args(["gen", "--family", "layered", "-n", "25", "--seed", "9"])
+        .output()
+        .expect("spawn spp gen");
+    assert!(gen.status.success());
+    let text = String::from_utf8(gen.stdout).unwrap();
+    assert!(text.starts_with("spp v1"));
+    // parse back through the library and check it is the same instance
+    let prec = strip_packing::gen::textio::from_text(&text).unwrap();
+    assert_eq!(prec.len(), 25);
+
+    // pipe into `spp pack -`
+    let mut child = spp()
+        .args(["pack", "-", "--algo", "dc-nfdh"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn spp pack");
+    use std::io::Write as _;
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(text.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // one `place` line per item, parseable back into a valid placement
+    let mut pl = strip_packing::core::Placement::zeroed(25);
+    let mut count = 0;
+    for line in stdout.lines() {
+        let mut parts = line.split_whitespace();
+        assert_eq!(parts.next(), Some("place"));
+        let id: usize = parts.next().unwrap().parse().unwrap();
+        let x: f64 = parts.next().unwrap().parse().unwrap();
+        let y: f64 = parts.next().unwrap().parse().unwrap();
+        pl.set(id, x, y);
+        count += 1;
+    }
+    assert_eq!(count, 25);
+    prec.assert_valid(&pl);
+}
+
+#[test]
+fn bounds_subcommand_reports_all_bounds() {
+    let gen = spp()
+        .args(["gen", "--family", "chains", "-n", "10", "--seed", "1"])
+        .output()
+        .unwrap();
+    let tmp = std::env::temp_dir().join("spp_cli_test_inst.spp");
+    std::fs::write(&tmp, &gen.stdout).unwrap();
+    let out = spp()
+        .args(["bounds", tmp.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for key in ["AREA", "F (crit path)", "combined LB", "T2.3 bound"] {
+        assert!(text.contains(key), "missing {key} in:\n{text}");
+    }
+}
+
+#[test]
+fn svg_render_is_emitted() {
+    let gen = spp()
+        .args(["gen", "-n", "8", "--seed", "2"])
+        .output()
+        .unwrap();
+    let tmp = std::env::temp_dir().join("spp_cli_test_svg.spp");
+    std::fs::write(&tmp, &gen.stdout).unwrap();
+    let out = spp()
+        .args(["pack", tmp.to_str().unwrap(), "--algo", "greedy", "--render", "svg"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let svg = String::from_utf8(out.stdout).unwrap();
+    assert!(svg.starts_with("<svg"));
+    assert!(svg.contains("</svg>"));
+}
+
+#[test]
+fn unknown_algorithm_fails_cleanly() {
+    let gen = spp().args(["gen", "-n", "4"]).output().unwrap();
+    let tmp = std::env::temp_dir().join("spp_cli_test_bad.spp");
+    std::fs::write(&tmp, &gen.stdout).unwrap();
+    let out = spp()
+        .args(["pack", tmp.to_str().unwrap(), "--algo", "quantum"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
+}
+
+#[test]
+fn malformed_instance_fails_cleanly() {
+    let tmp = std::env::temp_dir().join("spp_cli_test_garbage.spp");
+    std::fs::write(&tmp, "not an instance").unwrap();
+    let out = spp()
+        .args(["pack", tmp.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot parse"));
+}

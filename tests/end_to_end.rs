@@ -1,0 +1,168 @@
+//! Cross-crate integration: workload generation → algorithms →
+//! validation → device scheduling, exercised through the facade crate
+//! exactly as a downstream user would.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use strip_packing::core::validate::assert_valid;
+use strip_packing::dag::PrecInstance;
+use strip_packing::pack::Packer;
+
+#[test]
+fn generated_dag_workloads_pack_with_every_algorithm() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for family in strip_packing::gen::rects::DagFamily::ALL {
+        let inst = strip_packing::gen::rects::uniform(&mut rng, 60, (0.05, 0.9), (0.05, 1.0));
+        let dag = family.build(&mut rng, 60);
+        let prec = PrecInstance::new(inst, dag);
+        for placement in [
+            strip_packing::precedence::dc(&prec, &Packer::Nfdh),
+            strip_packing::precedence::greedy_skyline(&prec),
+            strip_packing::precedence::layered_pack(&prec, &Packer::Ffdh),
+        ] {
+            prec.assert_valid(&placement);
+            assert!(placement.height(&prec.inst) + 1e-9 >= prec.lower_bound());
+        }
+    }
+}
+
+#[test]
+fn text_roundtrip_preserves_algorithm_behaviour() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let inst = strip_packing::gen::rects::uniform(&mut rng, 40, (0.05, 0.9), (0.05, 1.0));
+    let prec = strip_packing::gen::rects::with_layered_dag(&mut rng, inst, 6, 0.2);
+    let text = strip_packing::gen::textio::to_text(&prec);
+    let back = strip_packing::gen::textio::from_text(&text).expect("roundtrip parses");
+    let h1 = strip_packing::precedence::dc(&prec, &Packer::Nfdh).height(&prec.inst);
+    let h2 = strip_packing::precedence::dc(&back, &Packer::Nfdh).height(&back.inst);
+    assert_eq!(h1, h2, "identical instances must pack identically");
+}
+
+#[test]
+fn fpga_pipeline_end_to_end() {
+    let device = strip_packing::fpga::Device::new(12);
+    let mut rng = StdRng::seed_from_u64(3);
+    let graph = strip_packing::fpga::pipelines::tiled_pipeline(&mut rng, device, 5, 4);
+    let prec = strip_packing::fpga::to_prec_instance(&graph);
+    let pl = strip_packing::precedence::dc(&prec, &Packer::Nfdh);
+    let sched =
+        strip_packing::fpga::schedule_from_placement(&graph, &pl).expect("column aligned");
+    sched.validate(&graph).expect("valid schedule");
+    assert!(sched.makespan(&graph) + 1e-9 >= graph.makespan_lower_bound());
+    // Gantt renders without panicking and covers the makespan
+    let gantt = strip_packing::fpga::gantt::render(&graph, &sched, 0.5);
+    assert!(gantt.contains("K=12"));
+}
+
+#[test]
+fn aptas_end_to_end_on_online_queue() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let params = strip_packing::gen::release::ReleaseParams {
+        k: 3,
+        column_widths: true,
+        h: (0.1, 1.0),
+    };
+    let inst = strip_packing::gen::release::poisson_arrivals(&mut rng, 40, 0.2, params);
+    let res = strip_packing::release::aptas(
+        &inst,
+        strip_packing::release::AptasConfig { epsilon: 1.0, k: 3 },
+    );
+    assert_eq!(res.leftovers, 0);
+    assert_valid(&inst, &res.placement);
+    // baselines on the same instance
+    let b = strip_packing::release::baselines::skyline_release(&inst);
+    assert_valid(&inst, &b);
+    // both dominate the trivial lower bound
+    let lb = strip_packing::release::baselines::release_lower_bound(&inst);
+    assert!(res.height + 1e-9 >= lb);
+    assert!(b.height(&inst) + 1e-9 >= lb);
+}
+
+#[test]
+fn uniform_height_pipeline_bins_shelves_exact_agree() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..5 {
+        let n = rng.gen_range(4..14);
+        let sizes: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..0.9)).collect();
+        let dag = strip_packing::dag::gen::random_order(&mut rng, n, 0.25);
+        let dims: Vec<(f64, f64)> = sizes.iter().map(|&w| (w, 1.0)).collect();
+        let inst = strip_packing::core::Instance::from_dims(&dims).unwrap();
+        let prec = PrecInstance::new(inst, dag.clone());
+
+        // shelf view and bin view agree
+        let shelf = strip_packing::precedence::shelf_next_fit(&prec);
+        let bins = strip_packing::precedence::binpack::next_fit_prec(&sizes, &dag);
+        assert_eq!(shelf.shelves.len(), bins.len());
+
+        // both within 3x of the exact optimum (Theorem 2.6)
+        let opt = strip_packing::exact::exact_bins(&sizes, &dag);
+        assert!(shelf.shelves.len() <= 3 * opt);
+
+        // converting the shelf placement through the §2.2 reduction is a
+        // no-op (already a shelf solution)
+        let reduced =
+            strip_packing::precedence::reduction::to_shelf_solution(&prec, &shelf.placement);
+        assert_eq!(reduced, shelf.placement);
+    }
+}
+
+#[test]
+fn exact_solver_agrees_with_dc_lower_bounds() {
+    let mut rng = StdRng::seed_from_u64(6);
+    for _ in 0..6 {
+        let n = rng.gen_range(2..6);
+        let dims: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(0.2..0.9), rng.gen_range(0.2..1.0)))
+            .collect();
+        let inst = strip_packing::core::Instance::from_dims(&dims).unwrap();
+        let dag = strip_packing::dag::gen::random_order(&mut rng, n, 0.3);
+        let prec = PrecInstance::new(inst, dag);
+        let exact = strip_packing::exact::exact_strip(
+            &prec,
+            strip_packing::exact::ExactConfig::default(),
+        );
+        assert!(exact.proven_optimal);
+        // sandwich: LB ≤ OPT ≤ DC ≤ Theorem 2.3 bound
+        let dc_h = strip_packing::precedence::dc(&prec, &Packer::Nfdh).height(&prec.inst);
+        assert!(prec.lower_bound() <= exact.height + 1e-9);
+        assert!(exact.height <= dc_h + 1e-9);
+        assert!(dc_h <= strip_packing::precedence::dc_bound(&prec) + 1e-9);
+    }
+}
+
+#[test]
+fn aptas_output_is_a_valid_fpga_schedule() {
+    // APTAS placements are column-aligned (x positions are sums of class
+    // widths, and class widths are column multiples), so they round-trip
+    // onto the device model with release times intact.
+    use strip_packing::fpga::{Device, Task, TaskGraph};
+    let mut rng = StdRng::seed_from_u64(7);
+    let k = 4usize;
+    let p = strip_packing::gen::release::ReleaseParams {
+        k,
+        column_widths: true,
+        h: (0.1, 1.0),
+    };
+    let inst = strip_packing::gen::release::poisson_arrivals(&mut rng, 30, 0.25, p);
+    let res = strip_packing::release::aptas(
+        &inst,
+        strip_packing::release::AptasConfig { epsilon: 1.0, k },
+    );
+    assert_valid(&inst, &res.placement);
+
+    let tasks: Vec<Task> = inst
+        .items()
+        .iter()
+        .map(|it| {
+            Task::with_release(
+                it.id,
+                (it.w * k as f64).round() as usize,
+                it.h,
+                it.release,
+            )
+        })
+        .collect();
+    let graph = TaskGraph::independent(Device::new(k), tasks);
+    let sched = strip_packing::fpga::schedule_from_placement(&graph, &res.placement)
+        .expect("APTAS placements are column-aligned");
+    sched.validate(&graph).expect("valid device schedule with releases");
+}

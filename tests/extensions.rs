@@ -1,0 +1,149 @@
+//! Integration tests for the extension features: online scheduling,
+//! reconfiguration overhead, rotations, rendering, LP certificates, and
+//! the second A-bounded subroutine inside `DC`.
+
+use rand::{rngs::StdRng, SeedableRng};
+use strip_packing::dag::PrecInstance;
+use strip_packing::pack::Packer;
+
+#[test]
+fn dc_with_wsnf_keeps_the_theorem_bound() {
+    // WSNF carries the same proven A-bound as NFDH, so Theorem 2.3 holds
+    // verbatim with it as subroutine A.
+    let mut rng = StdRng::seed_from_u64(200);
+    for family in strip_packing::gen::rects::DagFamily::ALL {
+        let inst = strip_packing::gen::rects::tall_wide_mix(&mut rng, 80, 0.4);
+        let dag = family.build(&mut rng, 80);
+        let prec = PrecInstance::new(inst, dag);
+        let pl = strip_packing::precedence::dc(&prec, &Packer::Wsnf);
+        prec.assert_valid(&pl);
+        assert!(
+            pl.height(&prec.inst) <= strip_packing::precedence::dc_bound(&prec) + 1e-9,
+            "family {}",
+            family.name()
+        );
+    }
+}
+
+#[test]
+fn online_offline_sandwich() {
+    // OPT_f ≤ offline APTAS height and OPT_f ≤ online makespan; online
+    // is never better than the best offline placement it could have made.
+    let mut rng = StdRng::seed_from_u64(201);
+    let p = strip_packing::gen::release::ReleaseParams {
+        k: 3,
+        column_widths: true,
+        h: (0.1, 1.0),
+    };
+    let inst = strip_packing::gen::release::bursty(&mut rng, 24, 4, 1.0, 0.1, p);
+    let opt_f = strip_packing::release::colgen::opt_f(&inst);
+    for policy in [
+        strip_packing::release::online::OnlinePolicy::Skyline,
+        strip_packing::release::online::OnlinePolicy::Shelf { r: 0.5 },
+    ] {
+        let out = strip_packing::release::online::simulate(&inst, policy);
+        strip_packing::core::validate::assert_valid(&inst, &out.placement);
+        assert!(out.makespan + 1e-6 >= opt_f);
+        assert!(out.max_wait >= 0.0);
+    }
+}
+
+#[test]
+fn overhead_schedules_via_every_algorithm() {
+    let device = strip_packing::fpga::Device::new(8);
+    let graph = strip_packing::fpga::pipelines::jpeg_pipeline(device, 3);
+    let delta = 0.25;
+    for packer in [Packer::Nfdh, Packer::Wsnf, Packer::Ffdh] {
+        let sched = strip_packing::fpga::overhead::schedule_with_overhead(
+            &graph,
+            delta,
+            |p| strip_packing::precedence::dc(p, &packer),
+        )
+        .expect("column aligned");
+        strip_packing::fpga::overhead::validate_with_overhead(&graph, &sched, delta)
+            .expect("overhead-valid schedule");
+        // overhead can only increase the makespan vs the overhead-free run
+        let plain = {
+            let prec = strip_packing::fpga::to_prec_instance(&graph);
+            strip_packing::precedence::dc(&prec, &packer).height(&prec.inst)
+        };
+        assert!(sched.makespan(&graph) + 1e-9 >= plain - 1e-9);
+    }
+}
+
+#[test]
+fn rotation_preserves_area_and_validity_through_dc() {
+    let mut rng = StdRng::seed_from_u64(202);
+    let inst = strip_packing::gen::rects::uniform(&mut rng, 50, (0.05, 0.6), (0.3, 1.0));
+    let rot = strip_packing::pack::pack_rotated(&inst, &Packer::Ffdh);
+    strip_packing::core::validate::assert_valid(&rot.oriented, &rot.placement);
+    assert!((rot.oriented.total_area() - inst.total_area()).abs() < 1e-9);
+    // every rotated item is now at least as wide as tall
+    for (it, &r) in rot.oriented.items().iter().zip(&rot.rotated) {
+        if r {
+            assert!(it.w + 1e-12 >= it.h);
+        }
+    }
+}
+
+#[test]
+fn renderers_cover_whole_placements() {
+    let mut rng = StdRng::seed_from_u64(203);
+    let inst = strip_packing::gen::rects::uniform(&mut rng, 20, (0.1, 0.9), (0.1, 1.0));
+    let pl = strip_packing::pack::ffdh(&inst);
+    let ascii = strip_packing::core::render::ascii(&inst, &pl, 40, 0.25);
+    // every item id below 10 that exists should appear somewhere
+    for id in 0..10.min(inst.len()) {
+        let glyph = char::from_digit(id as u32, 36).unwrap();
+        assert!(ascii.contains(glyph), "id {id} missing from ascii render");
+    }
+    let svg = strip_packing::core::render::svg(&inst, &pl, 200.0);
+    assert_eq!(svg.matches("<rect").count(), inst.len() + 1);
+}
+
+#[test]
+fn lp_certificates_hold_for_aptas_runs() {
+    // Re-solve an APTAS master LP manually and certify it end to end.
+    let mut rng = StdRng::seed_from_u64(204);
+    let p = strip_packing::gen::release::ReleaseParams {
+        k: 2,
+        column_widths: true,
+        h: (0.1, 1.0),
+    };
+    let inst = strip_packing::gen::release::staircase(&mut rng, 20, 5.0, p);
+    let rounded = strip_packing::release::rounding::round_releases(&inst, 0.5);
+    let grouped = strip_packing::release::grouping::group_widths(&rounded.inst, 4);
+    let data = strip_packing::release::lp_model::LpData::new(
+        &grouped.inst,
+        &grouped.widths,
+        &grouped.class_of,
+    );
+    let (frac, configs) =
+        strip_packing::release::colgen::solve_fractional_with_configs(&data);
+    assert!(!configs.is_empty());
+    assert!(frac.total_height > 0.0);
+    // occurrences bounded per Lemma 3.3
+    assert!(frac.occurrences() <= (data.widths.len() + 1) * (data.r() + 1));
+}
+
+#[test]
+fn online_shelf_monotone_under_load() {
+    // More tasks with the same arrival span => taller online packing.
+    let p = strip_packing::gen::release::ReleaseParams {
+        k: 4,
+        column_widths: true,
+        h: (0.2, 1.0),
+    };
+    let mut heights = Vec::new();
+    for &n in &[20usize, 60, 180] {
+        let mut rng = StdRng::seed_from_u64(205);
+        let inst = strip_packing::gen::release::staircase(&mut rng, n, 10.0, p);
+        let out = strip_packing::release::online::simulate(
+            &inst,
+            strip_packing::release::online::OnlinePolicy::Shelf { r: 0.622 },
+        );
+        strip_packing::core::validate::assert_valid(&inst, &out.placement);
+        heights.push(out.makespan);
+    }
+    assert!(heights[0] <= heights[1] && heights[1] <= heights[2]);
+}

@@ -1,0 +1,163 @@
+//! The paper's quantitative claims, verified as integration-level
+//! invariants on randomized suites (larger and more adversarial than the
+//! unit-test versions inside each crate).
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use strip_packing::dag::PrecInstance;
+use strip_packing::pack::Packer;
+
+/// Theorem 2.3: `DC(S) ≤ log₂(n+1)·F(S) + 2·AREA(S)` on every family.
+#[test]
+fn theorem_2_3_bound_across_families() {
+    let mut rng = StdRng::seed_from_u64(100);
+    for family in strip_packing::gen::rects::DagFamily::ALL {
+        for &n in &[1usize, 2, 9, 33, 120] {
+            let inst =
+                strip_packing::gen::rects::uniform(&mut rng, n, (0.02, 1.0), (0.02, 1.5));
+            let dag = family.build(&mut rng, n);
+            let prec = PrecInstance::new(inst, dag);
+            let pl = strip_packing::precedence::dc(&prec, &Packer::Nfdh);
+            prec.assert_valid(&pl);
+            assert!(
+                pl.height(&prec.inst)
+                    <= strip_packing::precedence::dc_bound(&prec) + 1e-9,
+                "family {} n {n}",
+                family.name()
+            );
+        }
+    }
+}
+
+/// Lemma 2.4: the Fig. 1 family has simple bounds → 1 but any measured
+/// packing ≥ k/2 − o(1).
+#[test]
+fn lemma_2_4_gap_family() {
+    for k in 2..=9 {
+        let fam = strip_packing::gen::adversarial::fig1_lower_bound_gap(k, 1e-7);
+        let prec = &fam.prec;
+        assert!(prec.area_lb() < 1.01);
+        assert!(prec.critical_lb() < 1.01);
+        for pl in [
+            strip_packing::precedence::dc(prec, &Packer::Nfdh),
+            strip_packing::precedence::greedy_skyline(prec),
+        ] {
+            prec.assert_valid(&pl);
+            let h = pl.height(&prec.inst);
+            assert!(
+                h + 1e-6 >= fam.opt_lower_bound(),
+                "k={k}: packing {h} below the Lemma 2.4 bound {}",
+                fam.opt_lower_bound()
+            );
+        }
+    }
+}
+
+/// Theorem 2.6: shelf algorithm `F` is an absolute 3-approximation
+/// (checked against exact optima).
+#[test]
+fn theorem_2_6_absolute_three() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for _ in 0..25 {
+        let n = rng.gen_range(1..14);
+        let sizes: Vec<f64> = (0..n).map(|_| rng.gen_range(0.05..1.0)).collect();
+        let p = rng.gen_range(0.0..0.5);
+        let dag = strip_packing::dag::gen::random_order(&mut rng, n, p);
+        let dims: Vec<(f64, f64)> = sizes.iter().map(|&w| (w, 1.0)).collect();
+        let prec = PrecInstance::new(
+            strip_packing::core::Instance::from_dims(&dims).unwrap(),
+            dag.clone(),
+        );
+        let shelf = strip_packing::precedence::shelf_next_fit(&prec);
+        prec.assert_valid(&shelf.placement);
+        let opt = strip_packing::exact::exact_bins(&sizes, &dag);
+        assert!(
+            shelf.shelves.len() <= 3 * opt,
+            "{} shelves > 3·OPT = {}",
+            shelf.shelves.len(),
+            3 * opt
+        );
+    }
+}
+
+/// Lemma 2.7: the Fig. 2 family realizes OPT = 3(max F − 1) = 3·AREA − 3nε.
+#[test]
+fn lemma_2_7_tightness_family() {
+    for k in [1usize, 3, 7, 15] {
+        let eps = 1e-5;
+        let fam = strip_packing::gen::adversarial::fig2_ratio3_tightness(k, eps);
+        // closed forms
+        assert!((fam.opt() - 3.0 * (fam.max_f() - 1.0)).abs() < 1e-9);
+        assert!((fam.opt() - (3.0 * fam.area() - 3.0 * fam.n() as f64 * eps)).abs() < 1e-6);
+        // exact solver confirms OPT for small k
+        if fam.n() <= 15 {
+            let opt = strip_packing::exact::exact_uniform_height(&fam.prec);
+            assert!((opt - fam.opt()).abs() < 1e-9, "k={k}");
+        }
+    }
+}
+
+/// Lemmas 3.1–3.3 composed: OPT_f(P(R,W)) ∈ [OPT_f(P), (1+ε)·OPT_f(P)].
+#[test]
+fn lemmas_3_1_to_3_3_sandwich() {
+    let mut rng = StdRng::seed_from_u64(102);
+    let params = strip_packing::gen::release::ReleaseParams {
+        k: 2,
+        column_widths: false,
+        h: (0.1, 1.0),
+    };
+    for &eps in &[1.5, 0.9] {
+        let inst = strip_packing::gen::release::bursty(&mut rng, 12, 3, 2.0, 0.3, params);
+        let res = strip_packing::release::aptas(
+            &inst,
+            strip_packing::release::AptasConfig { epsilon: eps, k: 2 },
+        );
+        let raw = strip_packing::release::colgen::opt_f(&inst);
+        assert!(res.opt_f_grouped + 1e-6 >= raw, "grouping shrank OPT_f");
+        assert!(
+            res.opt_f_grouped <= (1.0 + eps) * raw + 1e-6,
+            "eps={eps}: {} > (1+eps)·{raw}",
+            res.opt_f_grouped
+        );
+    }
+}
+
+/// Theorem 3.5 end-to-end: height ≤ (1+ε)·OPT_f(P) + (W+1)(R+1).
+#[test]
+fn theorem_3_5_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(103);
+    let params = strip_packing::gen::release::ReleaseParams {
+        k: 2,
+        column_widths: true,
+        h: (0.1, 1.0),
+    };
+    for &n in &[10usize, 60, 150] {
+        let inst = strip_packing::gen::release::poisson_arrivals(&mut rng, n, 0.2, params);
+        let cfg = strip_packing::release::AptasConfig { epsilon: 1.0, k: 2 };
+        let res = strip_packing::release::aptas(&inst, cfg);
+        assert_eq!(res.leftovers, 0);
+        strip_packing::core::validate::assert_valid(&inst, &res.placement);
+        let raw = strip_packing::release::colgen::opt_f(&inst);
+        assert!(
+            res.height <= (1.0 + cfg.epsilon) * raw + cfg.additive_term() + 1e-6,
+            "n={n}: {} > (1+ε)·{raw} + {}",
+            res.height,
+            cfg.additive_term()
+        );
+    }
+}
+
+/// The A-bound contract DC relies on, at integration scale.
+#[test]
+fn nfdh_a_bound_at_scale() {
+    let mut rng = StdRng::seed_from_u64(104);
+    for _ in 0..10 {
+        let n = rng.gen_range(1..2000);
+        let inst = strip_packing::gen::rects::uniform(&mut rng, n, (0.01, 1.0), (0.01, 2.0));
+        let pl = strip_packing::pack::nfdh(&inst);
+        strip_packing::core::validate::assert_valid(&inst, &pl);
+        assert!(
+            pl.height(&inst) <= 2.0 * inst.total_area() + inst.max_height() + 1e-9,
+            "n={n}"
+        );
+    }
+}
