@@ -1,0 +1,162 @@
+//! # criterion (workspace shim)
+//!
+//! Offline stand-in for the `criterion` crate (crates.io is unreachable in
+//! the build environment). Implements the builder/macro surface the
+//! workspace's benches use — `benchmark_group`, `sample_size`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`, `criterion_main!` — over a simple
+//! median-of-samples wall-clock timer that prints one line per benchmark.
+//!
+//! No statistical analysis, plots, or baselines; it exists so `cargo
+//! bench` compiles and produces stable, comparable numbers.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export mirror of `criterion::black_box` (benches may use either this
+/// or `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Passed to the measured closure; `iter` times one closure invocation.
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration, recorded by `iter`.
+    pub(crate) median_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup call, then `samples` timed calls.
+        black_box(f());
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed().as_nanos() as f64);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median_ns = times[times.len() / 2];
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&format!("{id}"), &mut f)
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.label, &mut |b: &mut Bencher| f(b, input))
+    }
+
+    fn run(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            median_ns: 0.0,
+        };
+        f(&mut b);
+        println!(
+            "{}/{:<32} median {:>12.0} ns/iter  ({} samples)",
+            self.name, label, b.median_ns, self.sample_size
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The harness entry object handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _c: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_median() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,251 @@
+//! # proptest (workspace shim)
+//!
+//! Offline stand-in for the `proptest` crate (crates.io is unreachable in
+//! the build environment). It covers exactly the subset the workspace's
+//! property tests use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` inner attribute,
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * range strategies over integers and floats, tuple strategies,
+//!   [`collection::vec`], and [`bool::ANY`].
+//!
+//! Differences from upstream: inputs are sampled from a fixed per-test
+//! seed (derived from the test's name), and failing cases are **not
+//! shrunk** — the panic message reports the case index so a failure is
+//! reproducible by rerunning the same test binary.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::{Rng as _, RngCore, SeedableRng};
+
+/// Test-case generation parameters.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG driving strategy sampling.
+pub struct TestRng(rand::rngs::StdRng);
+
+impl TestRng {
+    /// Deterministic RNG derived from the test name (FNV-1a hash), so every
+    /// run of a given property sees the same input sequence.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(rand::rngs::StdRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A source of random values of one type (upstream `Strategy`, minus
+/// shrinking).
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// A `Vec` whose length is drawn from `len` and whose elements are
+    /// drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.0.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    pub struct Any;
+
+    /// Uniform over `{true, false}`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = ::core::primitive::bool;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            rng.0.gen_bool(0.5)
+        }
+    }
+}
+
+/// Everything a property test module needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// The main entry point: wraps each property in a `#[test]`-style function
+/// that samples its arguments `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..cfg.cases {
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                let run = || -> () { $body };
+                if let Err(payload) = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(run)
+                ) {
+                    eprintln!(
+                        "proptest case {}/{} of {} failed",
+                        __case + 1, cfg.cases, stringify!($name)
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs_sample_in_bounds(
+            x in 0.1f64..0.9,
+            n in 1usize..20,
+            v in crate::collection::vec((0.0f64..1.0, 1u64..5), 0..10),
+            flag in crate::bool::ANY,
+        ) {
+            prop_assert!((0.1..0.9).contains(&x));
+            prop_assert!((1..20).contains(&n));
+            prop_assert!(v.len() < 10);
+            for (a, b) in v {
+                prop_assert!((0.0..1.0).contains(&a));
+                prop_assert!((1..5).contains(&b));
+            }
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn same_test_name_gives_same_stream() {
+        let mut a = crate::TestRng::for_test("x::y");
+        let mut b = crate::TestRng::for_test("x::y");
+        use rand::RngCore as _;
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -25,9 +25,7 @@ fn bench_aptas(c: &mut Criterion) {
                 BenchmarkId::new(format!("eps_{eps}"), n),
                 &inst,
                 |b, inst| {
-                    b.iter(|| {
-                        std::hint::black_box(aptas(inst, AptasConfig { epsilon: eps, k: 2 }))
-                    })
+                    b.iter(|| std::hint::black_box(aptas(inst, AptasConfig { epsilon: eps, k: 2 })))
                 },
             );
         }

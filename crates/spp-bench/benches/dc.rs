@@ -14,11 +14,9 @@ fn bench_dc(c: &mut Criterion) {
             let inst = spp_gen::rects::uniform(&mut rng, n, (0.05, 0.95), (0.05, 1.0));
             let dag = family.build(&mut rng, n);
             let prec = spp_dag::PrecInstance::new(inst, dag);
-            group.bench_with_input(
-                BenchmarkId::new(family.name(), n),
-                &prec,
-                |b, prec| b.iter(|| std::hint::black_box(spp_precedence::dc(prec, &Packer::Nfdh))),
-            );
+            group.bench_with_input(BenchmarkId::new(family.name(), n), &prec, |b, prec| {
+                b.iter(|| std::hint::black_box(spp_precedence::dc(prec, &Packer::Nfdh)))
+            });
         }
     }
     // baselines at the largest size for context

@@ -20,7 +20,12 @@ fn setup(k: usize, n: usize) -> LpData {
     let class_of: Vec<usize> = inst
         .items()
         .iter()
-        .map(|it| widths.iter().position(|&w| (w - it.w).abs() < 1e-12).unwrap())
+        .map(|it| {
+            widths
+                .iter()
+                .position(|&w| (w - it.w).abs() < 1e-12)
+                .unwrap()
+        })
         .collect();
     LpData::new(&inst, &widths, &class_of)
 }

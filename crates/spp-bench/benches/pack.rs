@@ -11,11 +11,9 @@ fn bench_packers(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(1);
         let inst = spp_gen::rects::uniform(&mut rng, n, (0.05, 0.95), (0.05, 1.0));
         for packer in ALL_PACKERS {
-            group.bench_with_input(
-                BenchmarkId::new(packer.name(), n),
-                &inst,
-                |b, inst| b.iter(|| std::hint::black_box(packer.pack(inst))),
-            );
+            group.bench_with_input(BenchmarkId::new(packer.name(), n), &inst, |b, inst| {
+                b.iter(|| std::hint::black_box(packer.pack(inst)))
+            });
         }
     }
     group.finish();

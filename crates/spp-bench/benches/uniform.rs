@@ -11,10 +11,8 @@ fn bench_uniform(c: &mut Criterion) {
         let sizes: Vec<f64> = (0..n).map(|_| rng.gen_range(0.05..1.0)).collect();
         let dag = spp_dag::gen::random_order(&mut rng, n, 2.0 / n as f64);
         let dims: Vec<(f64, f64)> = sizes.iter().map(|&w| (w, 1.0)).collect();
-        let prec = spp_dag::PrecInstance::new(
-            spp_core::Instance::from_dims(&dims).unwrap(),
-            dag.clone(),
-        );
+        let prec =
+            spp_dag::PrecInstance::new(spp_core::Instance::from_dims(&dims).unwrap(), dag.clone());
         group.bench_with_input(BenchmarkId::new("shelf_f", n), &prec, |b, p| {
             b.iter(|| std::hint::black_box(spp_precedence::shelf_next_fit(p)))
         });

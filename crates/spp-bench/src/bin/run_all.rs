@@ -1,5 +1,37 @@
 //! Regenerate every experiment report (the contents of EXPERIMENTS.md's
-//! measured sections).
+//! measured sections) and write a machine-readable perf baseline.
+//!
+//! ```text
+//! run_all [--json <path>]     # default path: BENCH_BASELINE.json
+//! ```
+//!
+//! Markdown goes to stdout; the JSON baseline — per-experiment wall times
+//! plus the engine-registry sweep (one record per algo/family/n with
+//! height, ratio, wall time) — goes to the `--json` path so future PRs
+//! can diff performance against a checked-in `BENCH_*.json`.
+
 fn main() {
-    print!("{}", spp_bench::run_all_experiments());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match args.iter().position(|a| a == "--json") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => path.clone(),
+            _ => {
+                eprintln!("error: --json requires a path argument");
+                std::process::exit(2);
+            }
+        },
+        None => "BENCH_BASELINE.json".to_string(),
+    };
+
+    let output = spp_bench::run_all_experiments();
+    print!("{}", output.markdown);
+
+    let mut records = output.records;
+    records.extend(spp_bench::json::baseline_sweep(5, &[32, 128, 512]));
+    let json = spp_bench::json::to_json(&records);
+    if let Err(e) = std::fs::write(&json_path, &json) {
+        eprintln!("error: cannot write {json_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {} records to {json_path}", records.len());
 }

@@ -12,13 +12,18 @@
 use crate::experiments::SEED;
 use crate::table::{f2, f3, Table};
 use rand::{rngs::StdRng, SeedableRng};
-use spp_pack::traits::{StripPacker, ALL_PACKERS};
-use spp_release::config::enumerate_configs;
+use spp_engine::{Registry, SolveRequest};
 use spp_release::colgen::solve_fractional_with_configs;
+use spp_release::config::enumerate_configs;
 use spp_release::lp_model::{solve_with_configs, LpData};
 
 pub fn run() -> String {
     // ---- 1 + 2: DC subroutine ablation and baselines ----
+    //
+    // Every precedence-capable solver in the registry competes (the dc-*
+    // family covers one entry per subroutine A; greedy and layered are the
+    // baselines). Registering a new subroutine automatically adds a row.
+    let registry = Registry::builtin();
     let mut t1 = Table::new(&["algorithm", "mean height/LB", "max height/LB"]);
     let n = 300;
     let instances: Vec<spp_dag::PrecInstance> = (0..8u64)
@@ -28,35 +33,21 @@ pub fn run() -> String {
             spp_gen::rects::with_layered_dag(&mut rng, inst, 12, 0.1)
         })
         .collect();
-    let measure = |name: String, heights: Vec<f64>| -> (String, f64, f64) {
-        let ratios: Vec<f64> = heights
-            .iter()
-            .zip(&instances)
-            .map(|(h, p)| h / p.lower_bound())
-            .collect();
+    for entry in registry.filter(|c| c.precedence && !c.release && !c.uniform_height_only) {
+        let solver = entry.build();
+        let ratios: Vec<f64> = spp_par::par_map(&instances, |p| {
+            let report = spp_engine::solve(&*solver, &SolveRequest::new(p.clone()))
+                .expect("precedence solvers accept every DAG instance");
+            assert!(
+                report.validation.passed(),
+                "{} produced an invalid placement",
+                entry.name
+            );
+            report.ratio()
+        });
         let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
         let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
-        (name, mean, max)
-    };
-    let mut rows = Vec::new();
-    for packer in ALL_PACKERS {
-        let heights: Vec<f64> = spp_par::par_map(&instances, |p| {
-            let pl = spp_precedence::dc(p, &packer);
-            p.assert_valid(&pl);
-            pl.height(&p.inst)
-        });
-        rows.push(measure(format!("DC + {}", packer.name()), heights));
-    }
-    let greedy_heights: Vec<f64> = spp_par::par_map(&instances, |p| {
-        spp_precedence::greedy_skyline(p).height(&p.inst)
-    });
-    rows.push(measure("greedy skyline".into(), greedy_heights));
-    let layered_heights: Vec<f64> = spp_par::par_map(&instances, |p| {
-        spp_precedence::layered_pack(p, &spp_pack::Packer::Nfdh).height(&p.inst)
-    });
-    rows.push(measure("layered + nfdh".into(), layered_heights));
-    for (name, mean, max) in rows {
-        t1.row(&[name, f3(mean), f3(max)]);
+        t1.row(&[entry.name.to_string(), f3(mean), f3(max)]);
     }
 
     // ---- 3: colgen vs enumeration ----
@@ -76,11 +67,7 @@ pub fn run() -> String {
         let dims: Vec<(f64, f64, f64)> = (0..30)
             .map(|i| {
                 use rand::Rng;
-                (
-                    widths[i % classes],
-                    rng.gen_range(0.1..1.0),
-                    (i % 3) as f64,
-                )
+                (widths[i % classes], rng.gen_range(0.1..1.0), (i % 3) as f64)
             })
             .collect();
         let inst = spp_core::Instance::from_dims_release(&dims).unwrap();
@@ -121,7 +108,8 @@ mod tests {
     fn ablation_report_runs() {
         let r = super::run();
         assert!(r.contains("## A1"));
-        assert!(r.contains("DC + nfdh"));
-        assert!(r.contains("greedy skyline"));
+        for algo in ["dc-nfdh", "dc-sleator", "dc-skyline", "greedy", "layered"] {
+            assert!(r.contains(algo), "missing {algo}");
+        }
     }
 }

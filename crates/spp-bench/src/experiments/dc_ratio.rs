@@ -5,13 +5,17 @@
 //! OPT) and to the certified Theorem 2.3 bound. The paper proves the
 //! worst case is `Θ(log n)`; on non-adversarial workloads the measured
 //! ratio should sit far below the guarantee and grow slowly with `n`.
+//!
+//! A second table sweeps every `dc-*` variant the engine registry knows
+//! (one per subroutine `A`), so newly registered subroutines join the
+//! comparison without touching this module.
 
 use crate::experiments::SEED;
 use crate::table::{f2, f3, Table};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use rand::{rngs::StdRng, SeedableRng};
+use spp_engine::{solve, Registry, SolveRequest};
 use spp_gen::rects::DagFamily;
-use spp_pack::Packer;
-use spp_precedence::{dc, dc_bound};
+use spp_precedence::dc_bound;
 
 const FAMILIES: [DagFamily; 4] = [
     DagFamily::Chains,
@@ -22,7 +26,17 @@ const FAMILIES: [DagFamily; 4] = [
 const SIZES: [usize; 4] = [16, 64, 256, 1024];
 const SEEDS_PER_CELL: u64 = 5;
 
+fn instance(family: DagFamily, n: usize, seed: u64) -> spp_dag::PrecInstance {
+    let mut rng = StdRng::seed_from_u64(SEED ^ seed ^ n as u64);
+    let inst = spp_gen::rects::uniform(&mut rng, n, (0.05, 0.95), (0.05, 1.0));
+    let dag = family.build(&mut rng, n);
+    spp_dag::PrecInstance::new(inst, dag)
+}
+
 pub fn run() -> String {
+    let registry = Registry::builtin();
+    let dc = registry.get("dc-nfdh").expect("dc-nfdh registered");
+
     let mut t = Table::new(&[
         "family",
         "n",
@@ -33,24 +47,15 @@ pub fn run() -> String {
     ]);
     for family in FAMILIES {
         for &n in &SIZES {
-            let cells: Vec<(f64, f64)> = spp_par::par_map(
-                &(0..SEEDS_PER_CELL).collect::<Vec<_>>(),
-                |&seed| {
-                    let mut rng = StdRng::seed_from_u64(SEED ^ seed ^ n as u64);
-                    let inst = spp_gen::rects::uniform(
-                        &mut rng,
-                        n,
-                        (0.05, 0.95),
-                        (0.05, 1.0),
-                    );
-                    let dag = family.build(&mut rng, n);
-                    let prec = spp_dag::PrecInstance::new(inst, dag);
-                    let pl = dc(&prec, &Packer::Nfdh);
-                    prec.assert_valid(&pl);
-                    let h = pl.height(&prec.inst);
-                    (h / prec.lower_bound(), h / dc_bound(&prec))
-                },
-            );
+            let cells: Vec<(f64, f64)> =
+                spp_par::par_map(&(0..SEEDS_PER_CELL).collect::<Vec<_>>(), |&seed| {
+                    let prec = instance(family, n, seed);
+                    let bound = dc_bound(&prec);
+                    let report = solve(&*dc, &SolveRequest::new(prec))
+                        .expect("dc accepts every precedence instance");
+                    assert!(report.validation.passed(), "dc-nfdh invalid placement");
+                    (report.ratio(), report.makespan / bound)
+                });
             let lb_ratios: Vec<f64> = cells.iter().map(|c| c.0).collect();
             let bound_ratios: Vec<f64> = cells.iter().map(|c| c.1).collect();
             let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -65,13 +70,34 @@ pub fn run() -> String {
             ]);
         }
     }
-    let mut rng = StdRng::seed_from_u64(SEED);
-    let _ = rng.gen::<u64>();
+
+    // Subroutine sweep: every dc-* entry in the registry on one workload.
+    let mut t2 = Table::new(&["dc variant", "ratio vs LB (mean)", "ratio vs LB (max)"]);
+    for entry in registry.filter(|c| c.precedence && !c.release && !c.uniform_height_only) {
+        if !entry.name.starts_with("dc-") {
+            continue;
+        }
+        let solver = entry.build();
+        let ratios: Vec<f64> =
+            spp_par::par_map(&(0..SEEDS_PER_CELL).collect::<Vec<_>>(), |&seed| {
+                let prec = instance(DagFamily::Layered, 256, seed);
+                let report = solve(&*solver, &SolveRequest::new(prec))
+                    .expect("dc accepts every precedence instance");
+                assert!(report.validation.passed(), "{} invalid", entry.name);
+                report.ratio()
+            });
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
+        t2.row(&[entry.name.into(), f3(mean), f3(max)]);
+    }
+
     format!(
         "## E1 — Theorem 2.3: DC approximation ratio (subroutine A = NFDH)\n\n{}\n\
          Every measured height also satisfied the certified bound\n\
-         `log2(n+1)·F + 2·AREA` (column 5 < 1 by construction).\n",
-        t.render()
+         `log2(n+1)·F + 2·AREA` (column 5 < 1 by construction).\n\n\
+         ### DC subroutine registry sweep (layered DAGs, n = 256)\n\n{}\n",
+        t.render(),
+        t2.render()
     )
 }
 
@@ -85,5 +111,8 @@ mod tests {
             assert!(r.contains(fam), "missing family {fam}");
         }
         assert!(r.contains("1024"));
+        for variant in ["dc-nfdh", "dc-wsnf", "dc-ffdh", "dc-sleator", "dc-skyline"] {
+            assert!(r.contains(variant), "missing variant {variant}");
+        }
     }
 }

@@ -9,8 +9,8 @@
 use crate::experiments::SEED;
 use crate::table::{f3, Table};
 use rand::{rngs::StdRng, SeedableRng};
-use spp_release::config::enumerate_configs;
 use spp_release::colgen::solve_fractional_with_configs;
+use spp_release::config::enumerate_configs;
 use spp_release::lp_model::{solve_with_configs, LpData};
 
 pub fn run() -> String {

@@ -1,17 +1,22 @@
 //! E12 — the subroutine-`A` family: unconstrained packers.
 //!
 //! `DC`'s guarantee rests on `A(S') ≤ 2·AREA + h_max`. This experiment
-//! measures all five packers on two workload shapes, reporting height
-//! relative to `AREA` (the dominant lower bound at this density) and
-//! checking the A-bound for NFDH explicitly.
+//! measures every unconstrained packer in the engine registry on two
+//! workload shapes, reporting height relative to `AREA` (the dominant
+//! lower bound at this density) and checking the A-bound wherever the
+//! registry claims it.
+//!
+//! The packer list is *not* hard-coded: any solver registered without
+//! precedence/release/online capability joins the sweep automatically.
 
 use crate::experiments::SEED;
 use crate::table::f3;
 use crate::table::Table;
 use rand::{rngs::StdRng, SeedableRng};
-use spp_pack::traits::{StripPacker, ALL_PACKERS};
+use spp_engine::{solve, Registry, SolveRequest};
 
 pub fn run() -> String {
+    let registry = Registry::builtin();
     let mut t = Table::new(&[
         "workload",
         "packer",
@@ -20,34 +25,38 @@ pub fn run() -> String {
         "A-bound ok",
     ]);
     for workload in ["uniform", "tall-wide mix"] {
-        for packer in ALL_PACKERS {
+        for entry in registry.filter(|c| !c.precedence && !c.release && !c.online) {
+            let solver = entry.build();
             let mut ratios = Vec::new();
             let mut a_ok = true;
             for seed in 0..10u64 {
                 let mut rng = StdRng::seed_from_u64(SEED ^ seed);
                 let inst = match workload {
-                    "uniform" => {
-                        spp_gen::rects::uniform(&mut rng, 200, (0.05, 0.95), (0.05, 1.0))
-                    }
+                    "uniform" => spp_gen::rects::uniform(&mut rng, 200, (0.05, 0.95), (0.05, 1.0)),
                     _ => spp_gen::rects::tall_wide_mix(&mut rng, 200, 0.5),
                 };
-                let pl = packer.pack(&inst);
-                spp_core::validate::assert_valid(&inst, &pl);
-                let h = pl.height(&inst);
-                let lb = spp_core::bounds::combined_lb(&inst);
-                ratios.push(h / lb);
-                if h > 2.0 * inst.total_area() + inst.max_height() + 1e-9 {
+                let area = inst.total_area();
+                let h_max = inst.max_height();
+                let report = solve(&*solver, &SolveRequest::unconstrained(inst))
+                    .expect("unconstrained packers accept every instance");
+                assert!(
+                    report.validation.passed(),
+                    "{} produced an invalid placement",
+                    entry.name
+                );
+                ratios.push(report.makespan / report.bounds.combined);
+                if report.makespan > 2.0 * area + h_max + 1e-9 {
                     a_ok = false;
                 }
             }
             let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
             let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
-            if packer.satisfies_a_bound() {
-                assert!(a_ok, "{} violated its proven A-bound", packer.name());
+            if entry.capabilities.a_bound {
+                assert!(a_ok, "{} violated its proven A-bound", entry.name);
             }
             t.row(&[
                 workload.into(),
-                packer.name().into(),
+                entry.name.into(),
                 f3(mean),
                 f3(max),
                 if a_ok { "yes".into() } else { "no".into() },

@@ -24,8 +24,14 @@ fn workloads(seed: u64) -> Vec<(&'static str, spp_core::Instance)> {
             "poisson",
             spp_gen::release::poisson_arrivals(&mut rng, 14, 0.3, p),
         ),
-        ("bursty", spp_gen::release::bursty(&mut rng, 14, 3, 1.5, 0.2, p)),
-        ("staircase", spp_gen::release::staircase(&mut rng, 14, 4.0, p)),
+        (
+            "bursty",
+            spp_gen::release::bursty(&mut rng, 14, 3, 1.5, 0.2, p),
+        ),
+        (
+            "staircase",
+            spp_gen::release::staircase(&mut rng, 14, 4.0, p),
+        ),
     ]
 }
 

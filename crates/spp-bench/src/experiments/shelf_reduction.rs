@@ -25,9 +25,7 @@ pub fn run() -> String {
     ]);
     let mut rng = StdRng::seed_from_u64(SEED + 3);
     for &(n, p) in &[(20usize, 0.1f64), (50, 0.05), (100, 0.02), (200, 0.01)] {
-        let widths: Vec<(f64, f64)> = (0..n)
-            .map(|_| (rng.gen_range(0.05..0.95), 1.0))
-            .collect();
+        let widths: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen_range(0.05..0.95), 1.0)).collect();
         let inst = spp_core::Instance::from_dims(&widths).unwrap();
         let dag = spp_dag::gen::random_order(&mut rng, n, p);
         let prec = spp_dag::PrecInstance::new(inst, dag);

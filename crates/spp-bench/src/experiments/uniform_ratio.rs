@@ -62,12 +62,7 @@ pub fn run() -> String {
     }
 
     // ---- large: lower-bound ratio ----
-    let mut lb_table = Table::new(&[
-        "n",
-        "algo",
-        "mean ratio vs LB",
-        "max ratio vs LB",
-    ]);
+    let mut lb_table = Table::new(&["n", "algo", "mean ratio vs LB", "max ratio vs LB"]);
     for &n in &[100usize, 500] {
         let mut nf_ratios = Vec::new();
         let mut ff_ratios = Vec::new();

@@ -26,11 +26,24 @@
 //! Criterion micro/macro benches live in `benches/`.
 
 pub mod experiments;
+pub mod json;
 pub mod table;
 
-/// Run every experiment and concatenate the reports (used by `run_all`).
-pub fn run_all_experiments() -> String {
-    let parts: Vec<(&str, fn() -> String)> = vec![
+/// Output of [`run_all_experiments`]: the concatenated markdown reports
+/// plus one machine-readable record per experiment (wall time).
+pub struct RunAllOutput {
+    pub markdown: String,
+    pub records: Vec<json::BenchRecord>,
+}
+
+/// An experiment: its id and its report function.
+type Experiment = (&'static str, fn() -> String);
+
+/// Run every experiment; returns the reports and per-experiment timing
+/// records (used by `run_all`, which also appends the registry sweep of
+/// [`json::baseline_sweep`] before writing `BENCH_BASELINE.json`).
+pub fn run_all_experiments() -> RunAllOutput {
+    let parts: Vec<Experiment> = vec![
         ("E1", experiments::dc_ratio::run as fn() -> String),
         ("E2", experiments::lower_bound_gap::run),
         ("E3", experiments::shelf_reduction::run),
@@ -45,15 +58,23 @@ pub fn run_all_experiments() -> String {
         ("E13", experiments::online_gap::run),
         ("A1", experiments::ablation::run),
     ];
-    let mut out = String::new();
+    let mut markdown = String::new();
+    let mut records = Vec::new();
     for (id, f) in parts {
         let t0 = std::time::Instant::now();
         let body = f();
-        out.push_str(&body);
-        out.push_str(&format!(
-            "\n_{id} completed in {:.1}s_\n\n",
-            t0.elapsed().as_secs_f64()
-        ));
+        let wall_s = t0.elapsed().as_secs_f64();
+        markdown.push_str(&body);
+        markdown.push_str(&format!("\n_{id} completed in {wall_s:.1}s_\n\n"));
+        records.push(json::BenchRecord {
+            experiment: id.to_string(),
+            algo: "-".into(),
+            family: "-".into(),
+            n: 0,
+            height: 0.0,
+            ratio: 0.0,
+            wall_s,
+        });
     }
-    out
+    RunAllOutput { markdown, records }
 }

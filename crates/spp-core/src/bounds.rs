@@ -98,9 +98,11 @@ mod tests {
     #[test]
     fn bounds_never_exceed_a_known_valid_height() {
         // A hand-packed instance of height exactly 2.
-        let inst =
-            Instance::from_dims(&[(0.5, 1.0), (0.5, 1.0), (1.0, 1.0)]).unwrap();
+        let inst = Instance::from_dims(&[(0.5, 1.0), (0.5, 1.0), (1.0, 1.0)]).unwrap();
         let lb = combined_lb(&inst);
-        assert!(lb <= 2.0 + crate::eps::EPS, "lb {lb} exceeds valid height 2");
+        assert!(
+            lb <= 2.0 + crate::eps::EPS,
+            "lb {lb} exceeds valid height 2"
+        );
     }
 }

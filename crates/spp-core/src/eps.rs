@@ -60,7 +60,7 @@ pub fn definitely_gt(a: f64, b: f64) -> bool {
 /// Returns `0.0` for inputs in `[-EPS, 0)`, the input otherwise.
 #[inline]
 pub fn snap_nonneg(a: f64) -> f64 {
-    if a < 0.0 && a >= -EPS {
+    if (-EPS..0.0).contains(&a) {
         0.0
     } else {
         a

@@ -31,7 +31,10 @@ impl fmt::Display for CoreError {
                 write!(f, "item {id}: release time {r} invalid")
             }
             CoreError::IdMismatch { index, id } => {
-                write!(f, "item at index {index} has id {id}; ids must equal indices")
+                write!(
+                    f,
+                    "item at index {index} has id {id}; ids must equal indices"
+                )
             }
             CoreError::LengthMismatch { items, positions } => {
                 write!(f, "placement has {positions} positions for {items} items")

@@ -117,10 +117,7 @@ impl Instance {
             items.push(it);
             back.push(old);
         }
-        (
-            Instance { items },
-            back,
-        )
+        (Instance { items }, back)
     }
 }
 
@@ -166,8 +163,7 @@ mod tests {
 
     #[test]
     fn restrict_reindexes() {
-        let inst =
-            Instance::from_dims(&[(0.1, 1.0), (0.2, 2.0), (0.3, 3.0), (0.4, 4.0)]).unwrap();
+        let inst = Instance::from_dims(&[(0.1, 1.0), (0.2, 2.0), (0.3, 3.0), (0.4, 4.0)]).unwrap();
         let (sub, back) = inst.restrict(&[3, 1]);
         assert_eq!(sub.len(), 2);
         assert_eq!(back, vec![3, 1]);

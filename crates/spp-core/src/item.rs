@@ -49,24 +49,23 @@ impl Item {
     /// Check the paper's domain constraints; used by `Instance::new`.
     pub fn check(&self, index: usize) -> Result<(), CoreError> {
         if self.id != index {
-            return Err(CoreError::IdMismatch {
-                index,
-                id: self.id,
-            });
+            return Err(CoreError::IdMismatch { index, id: self.id });
         }
-        if !(self.w > 0.0 && self.w <= 1.0) || !self.w.is_finite() {
+        // `is_finite` first so NaN falls through to the range checks only
+        // when the comparisons are meaningful.
+        if !self.w.is_finite() || self.w <= 0.0 || self.w > 1.0 {
             return Err(CoreError::BadWidth {
                 id: self.id,
                 w: self.w,
             });
         }
-        if !(self.h > 0.0) || !self.h.is_finite() {
+        if !self.h.is_finite() || self.h <= 0.0 {
             return Err(CoreError::BadHeight {
                 id: self.id,
                 h: self.h,
             });
         }
-        if !(self.release >= 0.0) || !self.release.is_finite() {
+        if !self.release.is_finite() || self.release < 0.0 {
             return Err(CoreError::BadRelease {
                 id: self.id,
                 r: self.release,

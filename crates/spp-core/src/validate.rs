@@ -137,7 +137,11 @@ pub fn find_overlap_sweep(inst: &Instance, pl: &Placement) -> Option<(usize, usi
             let (lo, hi) = (p.x, p.x + it.w);
             for &(ax, aright, aid) in &active {
                 if crate::eps::intervals_overlap(lo, hi, ax, aright) {
-                    let (a, b) = if aid < ev.id { (aid, ev.id) } else { (ev.id, aid) };
+                    let (a, b) = if aid < ev.id {
+                        (aid, ev.id)
+                    } else {
+                        (ev.id, aid)
+                    };
                     return Some((a, b));
                 }
             }
@@ -164,8 +168,7 @@ mod tests {
 
     fn simple() -> (Instance, Placement) {
         // Two side-by-side, one stacked on top.
-        let inst =
-            Instance::from_dims(&[(0.5, 1.0), (0.5, 1.0), (1.0, 0.5)]).unwrap();
+        let inst = Instance::from_dims(&[(0.5, 1.0), (0.5, 1.0), (1.0, 0.5)]).unwrap();
         let pl = Placement::from_xy(&[(0.0, 0.0), (0.5, 0.0), (0.0, 1.0)]);
         (inst, pl)
     }

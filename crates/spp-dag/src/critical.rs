@@ -22,11 +22,7 @@ pub fn critical_path_values(dag: &Dag, heights: &[f64]) -> Vec<f64> {
     let order = topological_order(dag).expect("Dag invariant: acyclic");
     let mut f = vec![0.0; dag.len()];
     for &v in &order {
-        let pred_max = dag
-            .preds(v)
-            .iter()
-            .map(|&p| f[p])
-            .fold(0.0_f64, f64::max);
+        let pred_max = dag.preds(v).iter().map(|&p| f[p]).fold(0.0_f64, f64::max);
         f[v] = heights[v] + pred_max;
     }
     f
@@ -124,11 +120,7 @@ mod tests {
 
     #[test]
     fn tight_path_sums_to_f() {
-        let d = Dag::new(
-            6,
-            &[(0, 2), (1, 2), (2, 3), (2, 4), (4, 5)],
-        )
-        .unwrap();
+        let d = Dag::new(6, &[(0, 2), (1, 2), (2, 3), (2, 4), (4, 5)]).unwrap();
         let h = [1.0, 3.0, 1.0, 10.0, 2.0, 2.0];
         let f = critical_path_values(&d, &h);
         let fs = f.iter().cloned().fold(0.0, f64::max);
@@ -178,9 +170,7 @@ mod tests {
             let f = critical_path_values(&d, &h);
             let big_h = f.iter().cloned().fold(0.0f64, f64::max);
             let y = rng.gen_range(0.0..big_h);
-            let crossers: Vec<usize> = (0..n)
-                .filter(|&v| f[v] > y && f[v] - h[v] <= y)
-                .collect();
+            let crossers: Vec<usize> = (0..n).filter(|&v| f[v] > y && f[v] - h[v] <= y).collect();
             for (i, &a) in crossers.iter().enumerate() {
                 for &b in &crossers[i + 1..] {
                     assert!(

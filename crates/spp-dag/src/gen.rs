@@ -192,9 +192,9 @@ mod tests {
         let d = layered(&mut rng, 40, 5, 0.2);
         assert_eq!(d.len(), 40);
         let lvls = crate::levels::levels(&d);
-        for v in 0..40 {
-            if lvls[v] > 0 {
-                assert!(d.in_degree(v) >= 1, "node {v} at level {} orphaned", lvls[v]);
+        for (v, &lvl) in lvls.iter().enumerate() {
+            if lvl > 0 {
+                assert!(d.in_degree(v) >= 1, "node {v} at level {lvl} orphaned");
             }
         }
     }

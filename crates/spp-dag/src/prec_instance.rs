@@ -122,7 +122,11 @@ mod tests {
         let pl = Placement::from_xy(&[(0.0, 0.0), (0.5, 0.0)]);
         assert!(matches!(
             p.validate(&pl),
-            Err(ValidationError::PrecedenceViolated { pred: 0, succ: 1, .. })
+            Err(ValidationError::PrecedenceViolated {
+                pred: 0,
+                succ: 1,
+                ..
+            })
         ));
     }
 
@@ -160,8 +164,7 @@ mod tests {
 
     #[test]
     fn restrict_preserves_constraints_within_subset() {
-        let inst =
-            Instance::from_dims(&[(0.5, 1.0), (0.5, 2.0), (0.5, 3.0)]).unwrap();
+        let inst = Instance::from_dims(&[(0.5, 1.0), (0.5, 2.0), (0.5, 3.0)]).unwrap();
         let p = PrecInstance::new(inst, Dag::chain(3));
         let (sub, back) = p.restrict(&[1, 2]);
         assert_eq!(back, vec![1, 2]);

@@ -133,11 +133,7 @@ mod tests {
 
     #[test]
     fn closure_matches_reaches() {
-        let d = Dag::new(
-            7,
-            &[(0, 2), (1, 2), (2, 3), (3, 4), (1, 5), (5, 6), (2, 6)],
-        )
-        .unwrap();
+        let d = Dag::new(7, &[(0, 2), (1, 2), (2, 3), (3, 4), (1, 5), (5, 6), (2, 6)]).unwrap();
         let c = transitive_closure(&d);
         for u in 0..7 {
             for v in 0..7 {

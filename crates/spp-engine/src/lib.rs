@@ -1,0 +1,49 @@
+//! # spp-engine — the unified solver engine
+//!
+//! Every algorithm in the workspace — the unconstrained packers of
+//! `spp-pack`, the §2 `DC` family and precedence heuristics of
+//! `spp-precedence`, and the §3 release-time APTAS, baselines and online
+//! policies of `spp-release` — is exposed behind one [`Solver`] trait with
+//! a typed [`SolveRequest`] / [`SolveReport`] pair, a named
+//! [`Registry`] with per-algorithm [`Capabilities`], and a parallel
+//! [`batch`] executor built on `spp_par::par_map`.
+//!
+//! Consumers (the `spp` CLI, the experiment harness, examples) look
+//! algorithms up by name instead of hand-rolling `match` arms, and iterate
+//! the registry filtered by capability instead of hard-coding algorithm
+//! lists, so a newly registered solver automatically appears in every
+//! sweep, bench and CLI listing.
+//!
+//! ```
+//! use spp_core::Instance;
+//! use spp_engine::{Registry, SolveRequest};
+//!
+//! let registry = Registry::builtin();
+//! let solver = registry.get("nfdh").unwrap();
+//! let inst = Instance::from_dims(&[(0.5, 1.0), (0.5, 2.0)]).unwrap();
+//! let report = spp_engine::solve(&*solver, &SolveRequest::unconstrained(inst)).unwrap();
+//! assert!(report.makespan <= 2.0 * report.bounds.area + 2.0 + 1e-9);
+//! assert!(report.validation.passed());
+//! ```
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`request`] | [`SolveRequest`], [`SolveConfig`] |
+//! | [`report`] | [`SolveReport`], [`LowerBounds`], [`Validation`] |
+//! | [`solver`] | the [`Solver`] trait, [`Capabilities`], [`EngineError`] |
+//! | [`solvers`] | built-in implementations wrapping the algorithm crates |
+//! | [`registry`] | name → constructor + capability flags |
+//! | [`batch`] | parallel many-jobs × many-solvers executor |
+
+pub mod batch;
+pub mod registry;
+pub mod report;
+pub mod request;
+pub mod solver;
+pub mod solvers;
+
+pub use batch::{run_batch, BatchJob, BatchResult, BatchSummary, SolverStats};
+pub use registry::{Registry, RegistryEntry};
+pub use report::{Constraint, LowerBounds, SolveReport, Validation};
+pub use request::{SolveConfig, SolveRequest};
+pub use solver::{solve, Capabilities, EngineError, Solver};

@@ -1,0 +1,389 @@
+//! The algorithm registry: name → constructor + capability flags.
+//!
+//! This subsumes the old `spp_pack::packer_by_name` (which covered only
+//! the six unconstrained packers) and the CLI's hand-rolled `--algo`
+//! match: every algorithm in the workspace is constructible by name, and
+//! consumers discover what exists — and what each entry can honor — by
+//! iterating [`Registry::entries`] instead of maintaining copy-pasted
+//! lists.
+
+use spp_pack::Packer;
+
+use crate::solver::{Capabilities, EngineError, Solver};
+use crate::solvers::{
+    AptasSolver, CombinedGreedySolver, DcReleaseSolver, DcSolver, GreedySolver, LayeredSolver,
+    OnlineSolver, PackerSolver, ReleaseBaselineSolver, ShelfFSolver,
+};
+
+/// One registered algorithm.
+pub struct RegistryEntry {
+    /// Stable lookup/CLI/report name.
+    pub name: &'static str,
+    /// What the algorithm honors (duplicated from the solver so listings
+    /// don't need to construct one).
+    pub capabilities: Capabilities,
+    /// One-line human description for listings.
+    pub summary: &'static str,
+    ctor: fn() -> Box<dyn Solver>,
+}
+
+impl RegistryEntry {
+    pub fn new(
+        name: &'static str,
+        capabilities: Capabilities,
+        summary: &'static str,
+        ctor: fn() -> Box<dyn Solver>,
+    ) -> Self {
+        RegistryEntry {
+            name,
+            capabilities,
+            summary,
+            ctor,
+        }
+    }
+
+    /// Construct the solver.
+    pub fn build(&self) -> Box<dyn Solver> {
+        (self.ctor)()
+    }
+}
+
+/// Ordered collection of registered algorithms. Order is deterministic and
+/// meaningful: listings, sweeps and batch summaries present entries in
+/// registration order.
+pub struct Registry {
+    entries: Vec<RegistryEntry>,
+}
+
+const CAP_NONE: Capabilities = Capabilities {
+    precedence: false,
+    release: false,
+    online: false,
+    a_bound: false,
+    uniform_height_only: false,
+};
+const CAP_A_BOUND: Capabilities = Capabilities {
+    a_bound: true,
+    ..CAP_NONE
+};
+const CAP_PREC: Capabilities = Capabilities {
+    precedence: true,
+    ..CAP_NONE
+};
+const CAP_PREC_UNIFORM: Capabilities = Capabilities {
+    precedence: true,
+    uniform_height_only: true,
+    ..CAP_NONE
+};
+const CAP_PREC_REL: Capabilities = Capabilities {
+    precedence: true,
+    release: true,
+    ..CAP_NONE
+};
+const CAP_REL: Capabilities = Capabilities {
+    release: true,
+    ..CAP_NONE
+};
+const CAP_REL_ONLINE: Capabilities = Capabilities {
+    release: true,
+    online: true,
+    ..CAP_NONE
+};
+
+impl Registry {
+    /// An empty registry (extension point for downstream crates).
+    pub fn empty() -> Self {
+        Registry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Every algorithm in the workspace.
+    pub fn builtin() -> Self {
+        let mut r = Registry::empty();
+        // Unconstrained packers (the subroutine-A family of §2).
+        r.register(RegistryEntry::new(
+            "nfdh",
+            CAP_A_BOUND,
+            "next-fit decreasing height; proven A-bound (2·AREA + h_max)",
+            || Box::new(PackerSolver::new(Packer::Nfdh)),
+        ));
+        r.register(RegistryEntry::new(
+            "ffdh",
+            CAP_NONE,
+            "first-fit decreasing height (Coffman–Garey–Johnson–Tarjan)",
+            || Box::new(PackerSolver::new(Packer::Ffdh)),
+        ));
+        r.register(RegistryEntry::new(
+            "bfdh",
+            CAP_NONE,
+            "best-fit decreasing height shelf variant",
+            || Box::new(PackerSolver::new(Packer::Bfdh)),
+        ));
+        r.register(RegistryEntry::new(
+            "sleator",
+            CAP_NONE,
+            "Sleator's wide-stack split; 2.5·OPT overall",
+            || Box::new(PackerSolver::new(Packer::Sleator)),
+        ));
+        r.register(RegistryEntry::new(
+            "skyline",
+            CAP_NONE,
+            "bottom-left skyline; strong practical baseline, no guarantee",
+            || Box::new(PackerSolver::new(Packer::Skyline)),
+        ));
+        r.register(RegistryEntry::new(
+            "wsnf",
+            CAP_A_BOUND,
+            "wide-stack + NFDH; proven A-bound (2·AREA + h_max)",
+            || Box::new(PackerSolver::new(Packer::Wsnf)),
+        ));
+        // §2: precedence constraints.
+        r.register(RegistryEntry::new(
+            "dc-nfdh",
+            CAP_PREC,
+            "Algorithm 1 DC with subroutine A = NFDH (Theorem 2.3)",
+            || Box::new(DcSolver::new("dc-nfdh", Packer::Nfdh)),
+        ));
+        r.register(RegistryEntry::new(
+            "dc-wsnf",
+            CAP_PREC,
+            "DC with subroutine A = WSNF",
+            || Box::new(DcSolver::new("dc-wsnf", Packer::Wsnf)),
+        ));
+        r.register(RegistryEntry::new(
+            "dc-ffdh",
+            CAP_PREC,
+            "DC with subroutine A = FFDH (empirical A-bound only)",
+            || Box::new(DcSolver::new("dc-ffdh", Packer::Ffdh)),
+        ));
+        r.register(RegistryEntry::new(
+            "dc-bfdh",
+            CAP_PREC,
+            "DC with subroutine A = BFDH (ablation)",
+            || Box::new(DcSolver::new("dc-bfdh", Packer::Bfdh)),
+        ));
+        r.register(RegistryEntry::new(
+            "dc-sleator",
+            CAP_PREC,
+            "DC with subroutine A = Sleator (ablation)",
+            || Box::new(DcSolver::new("dc-sleator", Packer::Sleator)),
+        ));
+        r.register(RegistryEntry::new(
+            "dc-skyline",
+            CAP_PREC,
+            "DC with subroutine A = skyline (ablation, no guarantee)",
+            || Box::new(DcSolver::new("dc-skyline", Packer::Skyline)),
+        ));
+        r.register(RegistryEntry::new(
+            "layered",
+            CAP_PREC,
+            "antichain level decomposition, each layer packed by NFDH",
+            || Box::new(LayeredSolver),
+        ));
+        r.register(RegistryEntry::new(
+            "greedy",
+            CAP_PREC,
+            "precedence-aware bottom-left skyline",
+            || Box::new(GreedySolver),
+        ));
+        r.register(RegistryEntry::new(
+            "shelf-f",
+            CAP_PREC_UNIFORM,
+            "§2.2 shelf algorithm F; 3-approximation for uniform heights",
+            || Box::new(ShelfFSolver),
+        ));
+        // Combined extension: precedence + release.
+        r.register(RegistryEntry::new(
+            "dc-release",
+            CAP_PREC_REL,
+            "DC per release class, classes stacked (combined extension)",
+            || Box::new(DcReleaseSolver),
+        ));
+        r.register(RegistryEntry::new(
+            "combined-greedy",
+            CAP_PREC_REL,
+            "skyline greedy honoring edges and release floors",
+            || Box::new(CombinedGreedySolver),
+        ));
+        // §3: release times.
+        r.register(RegistryEntry::new(
+            "batched-ffdh",
+            CAP_REL,
+            "FFDH per release batch (offline baseline)",
+            || Box::new(ReleaseBaselineSolver::batched_ffdh()),
+        ));
+        r.register(RegistryEntry::new(
+            "skyline-release",
+            CAP_REL,
+            "skyline bottom-left with release floors (offline baseline)",
+            || Box::new(ReleaseBaselineSolver::skyline_release()),
+        ));
+        r.register(RegistryEntry::new(
+            "online-skyline",
+            CAP_REL_ONLINE,
+            "online skyline: place at arrival, no lookahead (§1 FPGA OS)",
+            || Box::new(OnlineSolver::skyline()),
+        ));
+        r.register(RegistryEntry::new(
+            "online-shelf",
+            CAP_REL_ONLINE,
+            "online Csirik–Woeginger shelves with ratio r",
+            || Box::new(OnlineSolver::shelf()),
+        ));
+        r.register(RegistryEntry::new(
+            "aptas",
+            CAP_REL,
+            "Algorithm 2 APTAS (Theorem 3.5); needs heights ≤ 1, widths ≥ 1/K",
+            || Box::new(AptasSolver),
+        ));
+        r
+    }
+
+    /// Add an entry. Panics on duplicate names — registration happens at
+    /// startup, so this is a programmer error.
+    pub fn register(&mut self, entry: RegistryEntry) {
+        assert!(
+            self.entry(entry.name).is_none(),
+            "duplicate solver name {:?}",
+            entry.name
+        );
+        self.entries.push(entry);
+    }
+
+    /// Entry by name.
+    pub fn entry(&self, name: &str) -> Option<&RegistryEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Construct a solver by name.
+    pub fn get(&self, name: &str) -> Option<Box<dyn Solver>> {
+        self.entry(name).map(RegistryEntry::build)
+    }
+
+    /// Construct a solver by name, or a descriptive error listing what the
+    /// registry knows (CLI-friendly).
+    pub fn get_or_err(&self, name: &str) -> Result<Box<dyn Solver>, EngineError> {
+        self.get(name).ok_or_else(|| EngineError::UnknownSolver {
+            name: name.to_string(),
+            known: self.names().iter().map(|s| s.to_string()).collect(),
+        })
+    }
+
+    /// All entry names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// All entries, in registration order.
+    pub fn entries(&self) -> &[RegistryEntry] {
+        &self.entries
+    }
+
+    /// Entries whose capabilities satisfy `pred`, in registration order.
+    pub fn filter(
+        &self,
+        pred: impl Fn(&Capabilities) -> bool,
+    ) -> impl Iterator<Item = &RegistryEntry> {
+        self.entries.iter().filter(move |e| pred(&e.capabilities))
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_algorithm_family() {
+        let r = Registry::builtin();
+        for name in [
+            "nfdh",
+            "ffdh",
+            "bfdh",
+            "sleator",
+            "skyline",
+            "wsnf",
+            "dc-nfdh",
+            "dc-wsnf",
+            "dc-ffdh",
+            "layered",
+            "greedy",
+            "shelf-f",
+            "dc-release",
+            "combined-greedy",
+            "batched-ffdh",
+            "skyline-release",
+            "online-skyline",
+            "online-shelf",
+            "aptas",
+        ] {
+            assert!(r.entry(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn entry_flags_match_solver_flags() {
+        let r = Registry::builtin();
+        for e in r.entries() {
+            let solver = e.build();
+            assert_eq!(solver.name(), e.name, "name mismatch for {}", e.name);
+            assert_eq!(
+                solver.capabilities(),
+                e.capabilities,
+                "capability mismatch for {}",
+                e.name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_and_error_listing() {
+        let r = Registry::builtin();
+        assert!(r.get("nfdh").is_some());
+        assert!(r.get("nope").is_none());
+        match r.get_or_err("nope") {
+            Err(EngineError::UnknownSolver { known, .. }) => {
+                assert!(known.contains(&"aptas".to_string()));
+            }
+            Err(other) => panic!("expected UnknownSolver, got {other:?}"),
+            Ok(_) => panic!("expected UnknownSolver, got a solver"),
+        }
+    }
+
+    #[test]
+    fn capability_filters() {
+        let r = Registry::builtin();
+        let prec: Vec<_> = r.filter(|c| c.precedence).map(|e| e.name).collect();
+        assert!(prec.contains(&"dc-nfdh") && prec.contains(&"greedy"));
+        assert!(!prec.contains(&"nfdh"));
+        let a: Vec<_> = r.filter(|c| c.a_bound).map(|e| e.name).collect();
+        assert_eq!(a, vec!["nfdh", "wsnf"]);
+        let online: Vec<_> = r.filter(|c| c.online).map(|e| e.name).collect();
+        assert_eq!(online, vec!["online-skyline", "online-shelf"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_rejected() {
+        let mut r = Registry::builtin();
+        r.register(RegistryEntry::new("nfdh", CAP_NONE, "dup", || {
+            Box::new(crate::solvers::PackerSolver::new(Packer::Nfdh))
+        }));
+    }
+
+    #[test]
+    fn get_or_err_display_mentions_known_names() {
+        let r = Registry::builtin();
+        let msg = match r.get_or_err("quantum") {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("expected an error"),
+        };
+        assert!(msg.contains("quantum") && msg.contains("nfdh") && msg.contains("aptas"));
+    }
+}

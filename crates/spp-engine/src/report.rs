@@ -1,0 +1,154 @@
+//! Solve reports: placement, makespan, lower bounds, timings, validation.
+
+use std::time::Duration;
+
+use spp_core::Placement;
+
+/// A constraint family a request can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Constraint {
+    /// Precedence edges (`y_pred + h_pred ≤ y_succ`).
+    Precedence,
+    /// Release times (`y_s ≥ r_s`).
+    Release,
+}
+
+impl std::fmt::Display for Constraint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Constraint::Precedence => "precedence",
+            Constraint::Release => "release",
+        })
+    }
+}
+
+/// The paper's simple lower bounds, evaluated on the request.
+#[derive(Debug, Clone, Copy)]
+pub struct LowerBounds {
+    /// `AREA(S)` — total item area (strip width is 1).
+    pub area: f64,
+    /// `F(S)` — critical-path height over the DAG (equals `h_max` when the
+    /// DAG is empty).
+    pub critical_path: f64,
+    /// `max_s (r_s + h_s)` — the release-time bound.
+    pub release: f64,
+    /// The strongest combination the workspace knows how to certify.
+    pub combined: f64,
+}
+
+/// What validation concluded about a placement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Validation {
+    /// Geometry and every constraint family present in the request hold.
+    Passed,
+    /// Geometry holds and so do the supported constraint families, but the
+    /// listed families were present in the request and *ignored* because
+    /// the solver does not support them (non-strict mode).
+    PassedIgnoring(Vec<Constraint>),
+    /// The placement violates geometry or a supported constraint: always a
+    /// bug in the solver, never in the instance.
+    Failed(String),
+    /// Validation was disabled in the config.
+    Skipped,
+}
+
+impl Validation {
+    /// True for [`Validation::Passed`] and [`Validation::PassedIgnoring`].
+    pub fn passed(&self) -> bool {
+        matches!(self, Validation::Passed | Validation::PassedIgnoring(_))
+    }
+}
+
+/// Everything a consumer needs to rank, trust, and display one solve.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// `Solver::name()` of the producer.
+    pub solver: String,
+    /// Lower-left corners, indexed by item id.
+    pub placement: Placement,
+    /// Height of the packing — the objective of every problem in the paper.
+    pub makespan: f64,
+    /// Lower bounds evaluated on the request.
+    pub bounds: LowerBounds,
+    /// Per-phase wall-clock timings, in execution order (at minimum
+    /// `"solve"` and, unless skipped, `"validate"`; solvers may prepend
+    /// finer-grained internal phases). Phases are disjoint — `"solve"`
+    /// holds only the remainder not covered by solver-internal phases —
+    /// so [`SolveReport::total_time`] is their plain sum.
+    pub phases: Vec<(String, Duration)>,
+    /// Outcome of post-solve validation.
+    pub validation: Validation,
+}
+
+impl SolveReport {
+    /// Makespan relative to the combined lower bound (∞ when the bound is
+    /// zero, i.e. the empty instance).
+    pub fn ratio(&self) -> f64 {
+        if self.bounds.combined <= 0.0 {
+            if self.makespan <= 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.makespan / self.bounds.combined
+        }
+    }
+
+    /// Sum of all phase timings.
+    pub fn total_time(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Wall-clock of one named phase, if recorded.
+    pub fn phase(&self, name: &str) -> Option<Duration> {
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(makespan: f64, combined: f64) -> SolveReport {
+        SolveReport {
+            solver: "x".into(),
+            placement: Placement::zeroed(0),
+            makespan,
+            bounds: LowerBounds {
+                area: 0.0,
+                critical_path: 0.0,
+                release: 0.0,
+                combined,
+            },
+            phases: vec![
+                ("solve".into(), Duration::from_millis(3)),
+                ("validate".into(), Duration::from_millis(1)),
+            ],
+            validation: Validation::Passed,
+        }
+    }
+
+    #[test]
+    fn ratio_handles_empty_instances() {
+        assert_eq!(dummy(0.0, 0.0).ratio(), 1.0);
+        assert_eq!(dummy(1.0, 0.0).ratio(), f64::INFINITY);
+        assert!((dummy(3.0, 2.0).ratio() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_lookup_and_total() {
+        let r = dummy(1.0, 1.0);
+        assert_eq!(r.phase("solve"), Some(Duration::from_millis(3)));
+        assert_eq!(r.phase("nope"), None);
+        assert_eq!(r.total_time(), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn validation_predicate() {
+        assert!(Validation::Passed.passed());
+        assert!(Validation::PassedIgnoring(vec![Constraint::Release]).passed());
+        assert!(!Validation::Failed("x".into()).passed());
+        assert!(!Validation::Skipped.passed());
+    }
+}

@@ -1,0 +1,106 @@
+//! Typed solve requests: instance + optional DAG + optional release times
+//! + tuning knobs.
+
+use spp_core::Instance;
+use spp_dag::PrecInstance;
+
+/// Tuning knobs shared by every solver; each solver reads the fields it
+/// cares about and ignores the rest.
+#[derive(Debug, Clone)]
+pub struct SolveConfig {
+    /// APTAS target error `ε > 0` (Theorem 3.5).
+    pub epsilon: f64,
+    /// Number of FPGA columns `K` (the APTAS needs widths ≥ `1/K`).
+    pub k: usize,
+    /// Bucketing ratio `r ∈ (0, 1)` of the online shelf policy.
+    pub shelf_r: f64,
+    /// When true, [`crate::solve`] refuses a request carrying a constraint
+    /// family (precedence edges, release times) the solver does not
+    /// support. When false (default, matching the historical CLI), such
+    /// constraints are ignored and recorded in the report's
+    /// [`crate::Validation`].
+    pub strict: bool,
+    /// Validate the placement after solving (on by default; batch sweeps
+    /// over trusted solvers may switch it off for throughput).
+    pub validate: bool,
+}
+
+impl Default for SolveConfig {
+    fn default() -> Self {
+        SolveConfig {
+            epsilon: 1.0,
+            k: 8,
+            shelf_r: 0.622,
+            strict: false,
+            validate: true,
+        }
+    }
+}
+
+/// One problem to solve: a [`PrecInstance`] (rectangles + DAG; release
+/// times live on the items) plus a [`SolveConfig`].
+///
+/// All three problem variants of the paper are expressible: an empty DAG
+/// and zero releases give plain strip packing, edges give §2, positive
+/// releases give §3, and both together give the combined extension.
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    pub prec: PrecInstance,
+    pub config: SolveConfig,
+}
+
+impl SolveRequest {
+    /// Request over a precedence-constrained (and/or released) instance.
+    pub fn new(prec: PrecInstance) -> Self {
+        SolveRequest {
+            prec,
+            config: SolveConfig::default(),
+        }
+    }
+
+    /// Request over a plain instance (empty DAG).
+    pub fn unconstrained(inst: Instance) -> Self {
+        SolveRequest::new(PrecInstance::unconstrained(inst))
+    }
+
+    /// Replace the config (builder style).
+    pub fn with_config(mut self, config: SolveConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// True iff the request carries at least one precedence edge.
+    pub fn has_precedence(&self) -> bool {
+        self.prec.dag.edge_count() > 0
+    }
+
+    /// True iff the request carries at least one positive release time.
+    pub fn has_release(&self) -> bool {
+        self.prec.inst.items().iter().any(|it| it.release > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constraint_detection() {
+        let plain =
+            SolveRequest::unconstrained(Instance::from_dims(&[(0.5, 1.0), (0.5, 2.0)]).unwrap());
+        assert!(!plain.has_precedence());
+        assert!(!plain.has_release());
+
+        let released =
+            SolveRequest::unconstrained(Instance::from_dims_release(&[(0.5, 1.0, 3.0)]).unwrap());
+        assert!(released.has_release());
+
+        let dag = spp_dag::Dag::new(2, &[(0, 1)]).unwrap();
+        let prec = SolveRequest::new(PrecInstance::new(
+            Instance::from_dims(&[(0.5, 1.0), (0.5, 2.0)]).unwrap(),
+            dag,
+        ));
+        assert!(prec.has_precedence());
+        assert!(!prec.has_release());
+    }
+}

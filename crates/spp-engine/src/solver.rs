@@ -1,0 +1,292 @@
+//! The `Solver` trait, capability flags, and the timed/validated `solve`
+//! driver.
+
+use std::time::{Duration, Instant};
+
+use spp_core::{Instance, Item, Placement};
+use spp_dag::PrecInstance;
+
+use crate::report::{Constraint, LowerBounds, SolveReport, Validation};
+use crate::request::SolveRequest;
+
+/// What a solver can honor. Flags drive request routing, validation depth,
+/// and registry filtering — a solver is never handed work it cannot
+/// represent unless the caller opted out of strict mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Capabilities {
+    /// Honors precedence edges (`y_pred + h_pred ≤ y_succ`).
+    pub precedence: bool,
+    /// Honors release times (`y_s ≥ r_s`).
+    pub release: bool,
+    /// Processes items in arrival order with no lookahead (an online
+    /// algorithm run on an offline instance).
+    pub online: bool,
+    /// Proven `A(S) ≤ 2·AREA(S) + h_max(S)` on unconstrained instances —
+    /// the subroutine contract `DC` requires (§2).
+    pub a_bound: bool,
+    /// Only defined when every item has the same height (§2.2 shelf `F`).
+    pub uniform_height_only: bool,
+}
+
+/// Engine-level failures. Solver bugs (invalid placements) are *not*
+/// errors — they surface as [`Validation::Failed`] so a batch sweep can
+/// report them without aborting the other jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The registry has no solver of this name; `known` lists what it has.
+    UnknownSolver { name: String, known: Vec<String> },
+    /// The request carries data the solver cannot honor (strict mode), or
+    /// violates a structural precondition (e.g. APTAS width/height model).
+    Unsupported { solver: String, reason: String },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownSolver { name, known } => {
+                write!(f, "unknown solver {name:?}; known: {}", known.join(" "))
+            }
+            EngineError::Unsupported { solver, reason } => {
+                write!(f, "solver {solver} cannot handle this request: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A strip packing algorithm usable by the engine.
+///
+/// Implementations wrap one algorithm crate entry point; they must be
+/// deterministic and thread-safe (batch execution calls `run` from worker
+/// threads). `run` returns the raw placement — timing, lower bounds and
+/// validation are layered on by [`solve`].
+pub trait Solver: Send + Sync {
+    /// Stable registry/CLI/report identifier.
+    fn name(&self) -> &str;
+
+    /// What this solver honors.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Structural preconditions beyond capability flags (e.g. the APTAS
+    /// width/height model). Called by [`solve`] before `run`.
+    fn check(&self, _req: &SolveRequest) -> Result<(), EngineError> {
+        Ok(())
+    }
+
+    /// Produce a placement for the request. May record solver-internal
+    /// phase timings by pushing onto `phases`; the engine appends a
+    /// `"solve"` phase holding the *remainder* of the run (total minus the
+    /// pushed phases), so all phases stay disjoint and
+    /// [`SolveReport::total_time`](crate::SolveReport::total_time) is the
+    /// plain sum.
+    fn run(
+        &self,
+        req: &SolveRequest,
+        phases: &mut Vec<(String, Duration)>,
+    ) -> Result<Placement, EngineError>;
+}
+
+/// Copy of `inst` with all release times dropped (for validating solvers
+/// that ignore them).
+fn strip_releases(inst: &Instance) -> Instance {
+    Instance::new(
+        inst.items()
+            .iter()
+            .map(|it| Item::new(it.id, it.w, it.h))
+            .collect(),
+    )
+    .expect("stripping releases keeps items valid")
+}
+
+/// Constraint families present in the request but not honored by `caps`.
+pub(crate) fn ignored_constraints(req: &SolveRequest, caps: Capabilities) -> Vec<Constraint> {
+    let mut ignored = Vec::new();
+    if req.has_precedence() && !caps.precedence {
+        ignored.push(Constraint::Precedence);
+    }
+    if req.has_release() && !caps.release {
+        ignored.push(Constraint::Release);
+    }
+    ignored
+}
+
+/// Validate `pl` against exactly the constraint families `caps` honors:
+/// geometry always, edges iff `caps.precedence`, releases iff
+/// `caps.release`.
+fn validate_supported(
+    req: &SolveRequest,
+    caps: Capabilities,
+    pl: &Placement,
+) -> Result<(), String> {
+    let prec = &req.prec;
+    let outcome = match (caps.precedence, caps.release) {
+        (true, true) => prec.validate(pl),
+        (true, false) => {
+            PrecInstance::new(strip_releases(&prec.inst), prec.dag.clone()).validate(pl)
+        }
+        (false, true) => spp_core::validate::validate(&prec.inst, pl),
+        (false, false) => spp_core::validate::validate(&strip_releases(&prec.inst), pl),
+    };
+    outcome.map_err(|e: spp_core::ValidationError| e.to_string())
+}
+
+/// Evaluate the paper's lower bounds on the request.
+pub fn lower_bounds(prec: &PrecInstance) -> LowerBounds {
+    LowerBounds {
+        area: prec.area_lb(),
+        critical_path: prec.critical_lb(),
+        release: spp_core::bounds::release_lb(&prec.inst),
+        combined: spp_precedence::combined::combined_lower_bound(prec),
+    }
+}
+
+/// Run `solver` on `req`: capability gate → precondition check → timed
+/// solve → timed capability-aware validation → report.
+pub fn solve(solver: &dyn Solver, req: &SolveRequest) -> Result<SolveReport, EngineError> {
+    let caps = solver.capabilities();
+    let ignored = ignored_constraints(req, caps);
+    if req.config.strict && !ignored.is_empty() {
+        return Err(EngineError::Unsupported {
+            solver: solver.name().to_string(),
+            reason: format!(
+                "request carries unsupported constraints: {}",
+                ignored
+                    .iter()
+                    .map(Constraint::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        });
+    }
+    solver.check(req)?;
+
+    let mut phases = Vec::new();
+    let t0 = Instant::now();
+    let placement = solver.run(req, &mut phases)?;
+    // "solve" holds the remainder not covered by solver-internal phases,
+    // keeping the phase list disjoint (summable without double-counting).
+    let internal: Duration = phases.iter().map(|(_, d)| *d).sum();
+    phases.push(("solve".to_string(), t0.elapsed().saturating_sub(internal)));
+
+    let validation = if req.config.validate {
+        let tv = Instant::now();
+        let outcome = match validate_supported(req, caps, &placement) {
+            Ok(()) if ignored.is_empty() => Validation::Passed,
+            Ok(()) => Validation::PassedIgnoring(ignored),
+            Err(e) => Validation::Failed(e),
+        };
+        phases.push(("validate".to_string(), tv.elapsed()));
+        outcome
+    } else {
+        Validation::Skipped
+    };
+
+    let makespan = placement.height(&req.prec.inst);
+    Ok(SolveReport {
+        solver: solver.name().to_string(),
+        placement,
+        makespan,
+        bounds: lower_bounds(&req.prec),
+        phases,
+        validation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A solver that stacks everything at x = 0 in id order — honors both
+    /// constraint families the dumb way.
+    struct Stacker;
+
+    impl Solver for Stacker {
+        fn name(&self) -> &str {
+            "stacker"
+        }
+        fn capabilities(&self) -> Capabilities {
+            Capabilities {
+                precedence: true,
+                release: true,
+                ..Capabilities::default()
+            }
+        }
+        fn run(
+            &self,
+            req: &SolveRequest,
+            _phases: &mut Vec<(String, Duration)>,
+        ) -> Result<Placement, EngineError> {
+            let inst = &req.prec.inst;
+            let mut pl = Placement::zeroed(inst.len());
+            let mut y = 0.0f64;
+            for it in inst.items() {
+                y = y.max(it.release);
+                pl.set(it.id, 0.0, y);
+                y += it.h;
+            }
+            Ok(pl)
+        }
+    }
+
+    /// A solver that ignores everything and overlaps all items at origin.
+    struct Broken;
+
+    impl Solver for Broken {
+        fn name(&self) -> &str {
+            "broken"
+        }
+        fn capabilities(&self) -> Capabilities {
+            Capabilities::default()
+        }
+        fn run(
+            &self,
+            req: &SolveRequest,
+            _phases: &mut Vec<(String, Duration)>,
+        ) -> Result<Placement, EngineError> {
+            Ok(Placement::zeroed(req.prec.inst.len()))
+        }
+    }
+
+    fn released_request() -> SolveRequest {
+        SolveRequest::unconstrained(
+            spp_core::Instance::from_dims_release(&[(0.5, 1.0, 0.0), (0.6, 2.0, 3.0)]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn solve_reports_makespan_bounds_and_phases() {
+        let req = released_request();
+        let report = solve(&Stacker, &req).unwrap();
+        assert_eq!(report.solver, "stacker");
+        assert_eq!(report.makespan, 5.0);
+        assert_eq!(report.validation, Validation::Passed);
+        assert!(report.phase("solve").is_some());
+        assert!(report.phase("validate").is_some());
+        assert!((report.bounds.release - 5.0).abs() < 1e-12);
+        assert!(report.ratio() >= 1.0);
+    }
+
+    #[test]
+    fn invalid_placement_is_a_validation_failure_not_an_error() {
+        let mut req = released_request();
+        // `Broken` claims no release support, so releases are ignored in
+        // validation — but two items overlapping is still a geometry bug.
+        let report = solve(&Broken, &req).unwrap();
+        assert!(matches!(report.validation, Validation::Failed(_)));
+
+        // Strict mode refuses instead of ignoring.
+        req.config.strict = true;
+        let err = solve(&Broken, &req).unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn validation_can_be_skipped() {
+        let mut req = released_request();
+        req.config.validate = false;
+        let report = solve(&Stacker, &req).unwrap();
+        assert_eq!(report.validation, Validation::Skipped);
+        assert!(report.phase("validate").is_none());
+    }
+}

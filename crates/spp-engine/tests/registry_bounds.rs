@@ -1,0 +1,118 @@
+//! Property tests of the registry's *claims*: every entry that advertises
+//! the A-bound capability must actually satisfy `height ≤ 2·AREA + h_max`
+//! on seeded random and adversarial instances, and every report the
+//! engine returns must carry a placement that `validate::assert_valid`
+//! accepts (for the constraint families the solver claims).
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use spp_engine::{solve, Registry, SolveRequest, Validation};
+
+/// `2·AREA + h_max` — the §2 subroutine contract.
+fn a_bound(inst: &spp_core::Instance) -> f64 {
+    2.0 * inst.total_area() + inst.max_height()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every registry entry claiming the A-bound satisfies it on random
+    /// instances, and its placements validate.
+    #[test]
+    fn a_bound_claims_hold_on_random_instances(
+        dims in proptest::collection::vec((0.01f64..1.0, 0.01f64..2.0), 0..60)
+    ) {
+        let registry = Registry::builtin();
+        let inst = spp_core::Instance::from_dims(&dims).unwrap();
+        for entry in registry.filter(|c| c.a_bound) {
+            let solver = entry.build();
+            let report = solve(
+                &*solver,
+                &SolveRequest::unconstrained(inst.clone()),
+            )
+            .unwrap();
+            prop_assert!(
+                report.validation.passed(),
+                "{} produced an invalid placement", entry.name
+            );
+            spp_core::validate::assert_valid(&inst, &report.placement);
+            prop_assert!(
+                report.makespan <= a_bound(&inst) + 1e-9,
+                "{}: height {} exceeds A-bound {}",
+                entry.name, report.makespan, a_bound(&inst)
+            );
+        }
+    }
+
+    /// Every registry entry produces a valid placement on every request it
+    /// accepts (random DAG instances; capability-aware validation).
+    #[test]
+    fn all_entries_validate_on_random_dag_instances(
+        seed in 0u64..2000,
+        n in 1usize..40,
+        edge_p in 0.0f64..0.4,
+    ) {
+        let registry = Registry::builtin();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = spp_gen::rects::uniform(&mut rng, n, (0.05, 0.95), (0.05, 1.0));
+        let prec = spp_gen::rects::with_random_dag(&mut rng, inst, edge_p);
+        let request = SolveRequest::new(prec);
+        for entry in registry.entries() {
+            let solver = entry.build();
+            match solve(&*solver, &request) {
+                Ok(report) => prop_assert!(
+                    report.validation.passed(),
+                    "{}: {:?}", entry.name, report.validation
+                ),
+                // Model-restricted solvers (aptas, shelf-f) may refuse
+                // off-model instances; that must be an explicit error,
+                // never a bogus placement.
+                Err(e) => prop_assert!(
+                    matches!(e, spp_engine::EngineError::Unsupported { .. }),
+                    "{}: unexpected error {e}", entry.name
+                ),
+            }
+        }
+    }
+}
+
+/// The A-bound also holds on the paper's adversarial families — the
+/// precedence-free *item sets* of Fig. 1 and Fig. 2 are exactly the
+/// worst-case shelf workloads (many width-1 separators, geometric height
+/// mixes) that stress cross-shelf arguments.
+#[test]
+fn a_bound_claims_hold_on_adversarial_instances() {
+    let registry = Registry::builtin();
+    let mut instances = Vec::new();
+    for k in 1..=6 {
+        for eps in [0.3, 0.05, 0.01] {
+            instances.push(spp_gen::adversarial::fig1_lower_bound_gap(k, eps).prec.inst);
+            instances.push(
+                spp_gen::adversarial::fig2_ratio3_tightness(k, eps)
+                    .prec
+                    .inst,
+            );
+        }
+    }
+    // Plus deterministic tall/wide mixes, the classic NFDH stressor.
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        instances.push(spp_gen::rects::tall_wide_mix(&mut rng, 150, 0.5));
+    }
+    for inst in &instances {
+        for entry in registry.filter(|c| c.a_bound) {
+            let solver = entry.build();
+            let report = solve(&*solver, &SolveRequest::unconstrained(inst.clone())).unwrap();
+            assert_eq!(report.validation, Validation::Passed);
+            spp_core::validate::assert_valid(inst, &report.placement);
+            assert!(
+                report.makespan <= a_bound(inst) + 1e-9,
+                "{}: height {} exceeds A-bound {} on adversarial instance (n = {})",
+                entry.name,
+                report.makespan,
+                a_bound(inst),
+                inst.len()
+            );
+        }
+    }
+}

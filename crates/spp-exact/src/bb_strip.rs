@@ -23,7 +23,7 @@
 //! and counts nodes against a budget so callers get a clean "don't know"
 //! instead of an endless search.
 
-use spp_core::{Placement, PlacedRect};
+use spp_core::{PlacedRect, Placement};
 use spp_dag::PrecInstance;
 
 /// Search configuration.
@@ -108,7 +108,13 @@ pub fn exact_strip(prec: &PrecInstance, cfg: ExactConfig) -> ExactResult {
         global_lb: f64,
     }
 
-    fn dfs(ctx: &mut Ctx<'_>, placed: u32, rects: &mut Vec<(usize, PlacedRect)>, cur: &mut Placement, cur_top: f64) {
+    fn dfs(
+        ctx: &mut Ctx<'_>,
+        placed: u32,
+        rects: &mut Vec<(usize, PlacedRect)>,
+        cur: &mut Placement,
+        cur_top: f64,
+    ) {
         let n = ctx.prec.len();
         ctx.nodes += 1;
         if ctx.nodes > ctx.cfg.max_nodes {
@@ -188,13 +194,7 @@ pub fn exact_strip(prec: &PrecInstance, cfg: ExactConfig) -> ExactResult {
                     }
                     rects.push((v, cand));
                     cur.set(v, x, yv);
-                    dfs(
-                        ctx,
-                        placed | (1 << v),
-                        rects,
-                        cur,
-                        cur_top.max(cand.top()),
-                    );
+                    dfs(ctx, placed | (1 << v), rects, cur, cur_top.max(cand.top()));
                     rects.pop();
                     if ctx.budget_hit {
                         return;
@@ -267,13 +267,7 @@ mod tests {
 
     #[test]
     fn four_squares_tile() {
-        let inst = Instance::from_dims(&[
-            (0.5, 0.5),
-            (0.5, 0.5),
-            (0.5, 0.5),
-            (0.5, 0.5),
-        ])
-        .unwrap();
+        let inst = Instance::from_dims(&[(0.5, 0.5), (0.5, 0.5), (0.5, 0.5), (0.5, 0.5)]).unwrap();
         let r = solve(&PrecInstance::unconstrained(inst));
         assert!(r.proven_optimal);
         spp_core::assert_close!(r.height, 1.0);
@@ -299,13 +293,7 @@ mod tests {
     #[test]
     fn diamond_packs_middle_in_parallel() {
         // 0 -> {1, 2} -> 3, all 0.5 x 1: optimal 3 (middle pair shares)
-        let inst = Instance::from_dims(&[
-            (0.5, 1.0),
-            (0.5, 1.0),
-            (0.5, 1.0),
-            (0.5, 1.0),
-        ])
-        .unwrap();
+        let inst = Instance::from_dims(&[(0.5, 1.0), (0.5, 1.0), (0.5, 1.0), (0.5, 1.0)]).unwrap();
         let dag = Dag::new(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
         let r = solve(&PrecInstance::new(inst, dag));
         assert!(r.proven_optimal);

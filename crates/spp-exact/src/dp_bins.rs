@@ -46,10 +46,10 @@ pub fn exact_bins(sizes: &[f64], dag: &Dag) -> usize {
     let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
     let mut memo: HashMap<u32, u32> = HashMap::new();
 
-    fn avail(n: usize, done: u32, pred_mask: &[u32]) -> u32 {
+    fn avail(done: u32, pred_mask: &[u32]) -> u32 {
         let mut a = 0u32;
-        for v in 0..n {
-            if done & (1 << v) == 0 && pred_mask[v] & !done == 0 {
+        for (v, &pm) in pred_mask.iter().enumerate() {
+            if done & (1 << v) == 0 && pm & !done == 0 {
                 a |= 1 << v;
             }
         }
@@ -67,9 +67,9 @@ pub fn exact_bins(sizes: &[f64], dag: &Dag) -> usize {
     ) {
         if idx == avail_list.len() {
             // maximal if no skipped available item fits
-            let maximal = avail_list.iter().all(|&v| {
-                chosen & (1 << v) != 0 || used + sizes[v] > 1.0 + spp_core::eps::EPS
-            });
+            let maximal = avail_list
+                .iter()
+                .all(|&v| chosen & (1 << v) != 0 || used + sizes[v] > 1.0 + spp_core::eps::EPS);
             if maximal && chosen != 0 {
                 f(chosen);
             }
@@ -103,7 +103,7 @@ pub fn exact_bins(sizes: &[f64], dag: &Dag) -> usize {
         if let Some(&v) = memo.get(&done) {
             return v;
         }
-        let a = avail(n, done, pred_mask);
+        let a = avail(done, pred_mask);
         // a == 0 with done != full would mean a cycle; Dag forbids that.
         debug_assert!(a != 0, "no available tasks yet not finished");
         let avail_list: Vec<usize> = (0..n).filter(|&v| a & (1 << v) != 0).collect();
@@ -215,13 +215,7 @@ mod tests {
         // Brute force: try all assignments of items to at most n ordered
         // bins via recursive placement in bin order.
         fn brute(sizes: &[f64], dag: &Dag) -> usize {
-            fn go(
-                sizes: &[f64],
-                dag: &Dag,
-                done: u32,
-                bins_used: usize,
-                best: &mut usize,
-            ) {
+            fn go(sizes: &[f64], dag: &Dag, done: u32, bins_used: usize, best: &mut usize) {
                 let n = sizes.len();
                 if bins_used >= *best {
                     return;
@@ -234,8 +228,7 @@ mod tests {
                 // subset of available
                 let avail: Vec<usize> = (0..n)
                     .filter(|&v| {
-                        done & (1 << v) == 0
-                            && dag.preds(v).iter().all(|&p| done & (1 << p) != 0)
+                        done & (1 << v) == 0 && dag.preds(v).iter().all(|&p| done & (1 << p) != 0)
                     })
                     .collect();
                 let m = avail.len();

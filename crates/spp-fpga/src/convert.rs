@@ -33,14 +33,7 @@ pub fn to_prec_instance(graph: &TaskGraph) -> PrecInstance {
     let items: Vec<Item> = graph
         .tasks
         .iter()
-        .map(|t| {
-            Item::with_release(
-                t.id,
-                graph.device.width_of(t.cols),
-                t.duration,
-                t.release,
-            )
-        })
+        .map(|t| Item::with_release(t.id, graph.device.width_of(t.cols), t.duration, t.release))
         .collect();
     let inst = Instance::new(items).expect("task graph dims are valid");
     PrecInstance::new(inst, graph.dag.clone())
@@ -50,10 +43,7 @@ pub fn to_prec_instance(graph: &TaskGraph) -> PrecInstance {
 ///
 /// Fails with the offending task id if an x-coordinate is not aligned to
 /// a column boundary (within `1e-6` of `1/K` grid).
-pub fn schedule_from_placement(
-    graph: &TaskGraph,
-    pl: &Placement,
-) -> Result<Schedule, usize> {
+pub fn schedule_from_placement(graph: &TaskGraph, pl: &Placement) -> Result<Schedule, usize> {
     let mut entries = Vec::with_capacity(graph.len());
     for t in &graph.tasks {
         let p = pl.pos(t.id);
@@ -107,7 +97,10 @@ mod tests {
         // geometry+precedence side by zeroing the release.
         let g0 = TaskGraph::new(
             g.device,
-            g.tasks.iter().map(|t| Task::new(t.id, t.cols, t.duration)).collect(),
+            g.tasks
+                .iter()
+                .map(|t| Task::new(t.id, t.cols, t.duration))
+                .collect(),
             g.dag.clone(),
         );
         let sched = schedule_from_placement(&g0, &pl).expect("aligned placement");
@@ -149,8 +142,7 @@ mod tests {
                 spp_precedence::greedy_skyline(&p),
                 spp_precedence::layered_pack(&p, &spp_pack::Packer::Ffdh),
             ] {
-                let sched = schedule_from_placement(&g, &pl)
-                    .expect("column-aligned placement");
+                let sched = schedule_from_placement(&g, &pl).expect("column-aligned placement");
                 sched.validate(&g).expect("valid schedule");
             }
         }

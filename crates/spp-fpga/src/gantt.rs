@@ -58,8 +58,16 @@ mod tests {
         );
         let s = Schedule {
             entries: vec![
-                ScheduledTask { id: 0, start_col: 0, start_time: 0.0 },
-                ScheduledTask { id: 1, start_col: 2, start_time: 0.0 },
+                ScheduledTask {
+                    id: 0,
+                    start_col: 0,
+                    start_time: 0.0,
+                },
+                ScheduledTask {
+                    id: 1,
+                    start_col: 2,
+                    start_time: 0.0,
+                },
             ],
         };
         let text = render(&g, &s, 1.0);

@@ -59,8 +59,8 @@ pub fn validate_with_overhead(
             }
             let (ea, eb) = (by_id[a].unwrap(), by_id[b].unwrap());
             let (ta, tb) = (&graph.tasks[a], &graph.tasks[b]);
-            let cols_overlap = ea.start_col < eb.start_col + tb.cols
-                && eb.start_col < ea.start_col + ta.cols;
+            let cols_overlap =
+                ea.start_col < eb.start_col + tb.cols && eb.start_col < ea.start_col + ta.cols;
             if !cols_overlap {
                 continue;
             }
@@ -101,7 +101,11 @@ mod tests {
     fn graph() -> TaskGraph {
         TaskGraph::independent(
             Device::new(4),
-            vec![Task::new(0, 2, 1.0), Task::new(1, 2, 1.0), Task::new(2, 2, 1.0)],
+            vec![
+                Task::new(0, 2, 1.0),
+                Task::new(1, 2, 1.0),
+                Task::new(2, 2, 1.0),
+            ],
         )
     }
 
@@ -120,9 +124,21 @@ mod tests {
         let g = graph();
         let s = Schedule {
             entries: vec![
-                ScheduledTask { id: 0, start_col: 0, start_time: 0.0 },
-                ScheduledTask { id: 1, start_col: 0, start_time: 1.0 }, // no gap
-                ScheduledTask { id: 2, start_col: 2, start_time: 0.0 },
+                ScheduledTask {
+                    id: 0,
+                    start_col: 0,
+                    start_time: 0.0,
+                },
+                ScheduledTask {
+                    id: 1,
+                    start_col: 0,
+                    start_time: 1.0,
+                }, // no gap
+                ScheduledTask {
+                    id: 2,
+                    start_col: 2,
+                    start_time: 0.0,
+                },
             ],
         };
         assert!(s.validate(&g).is_ok(), "fine without overhead");
@@ -130,9 +146,21 @@ mod tests {
         // with the gap it passes
         let s2 = Schedule {
             entries: vec![
-                ScheduledTask { id: 0, start_col: 0, start_time: 0.0 },
-                ScheduledTask { id: 1, start_col: 0, start_time: 1.5 },
-                ScheduledTask { id: 2, start_col: 2, start_time: 0.0 },
+                ScheduledTask {
+                    id: 0,
+                    start_col: 0,
+                    start_time: 0.0,
+                },
+                ScheduledTask {
+                    id: 1,
+                    start_col: 0,
+                    start_time: 1.5,
+                },
+                ScheduledTask {
+                    id: 2,
+                    start_col: 2,
+                    start_time: 0.0,
+                },
             ],
         };
         assert!(validate_with_overhead(&g, &s2, 0.5).is_ok());
@@ -143,9 +171,21 @@ mod tests {
         let g = graph();
         let s = Schedule {
             entries: vec![
-                ScheduledTask { id: 0, start_col: 0, start_time: 0.0 },
-                ScheduledTask { id: 1, start_col: 2, start_time: 0.0 },
-                ScheduledTask { id: 2, start_col: 0, start_time: 2.0 },
+                ScheduledTask {
+                    id: 0,
+                    start_col: 0,
+                    start_time: 0.0,
+                },
+                ScheduledTask {
+                    id: 1,
+                    start_col: 2,
+                    start_time: 0.0,
+                },
+                ScheduledTask {
+                    id: 2,
+                    start_col: 0,
+                    start_time: 2.0,
+                },
             ],
         };
         assert!(validate_with_overhead(&g, &s, 0.5).is_ok());
@@ -164,10 +204,8 @@ mod tests {
             let dag = spp_dag::gen::random_order(&mut rng, n, 0.2);
             let g = TaskGraph::new(Device::new(k), tasks, dag);
             let delta = 0.3;
-            let sched = schedule_with_overhead(&g, delta, |p| {
-                spp_precedence::dc(p, &Packer::Nfdh)
-            })
-            .expect("aligned");
+            let sched = schedule_with_overhead(&g, delta, |p| spp_precedence::dc(p, &Packer::Nfdh))
+                .expect("aligned");
             validate_with_overhead(&g, &sched, delta).expect("overhead-valid");
         }
     }
@@ -177,9 +215,21 @@ mod tests {
         let g = graph();
         let s = Schedule {
             entries: vec![
-                ScheduledTask { id: 0, start_col: 0, start_time: 0.0 },
-                ScheduledTask { id: 1, start_col: 0, start_time: 1.0 },
-                ScheduledTask { id: 2, start_col: 2, start_time: 0.0 },
+                ScheduledTask {
+                    id: 0,
+                    start_col: 0,
+                    start_time: 0.0,
+                },
+                ScheduledTask {
+                    id: 1,
+                    start_col: 0,
+                    start_time: 1.0,
+                },
+                ScheduledTask {
+                    id: 2,
+                    start_col: 2,
+                    start_time: 0.0,
+                },
             ],
         };
         assert!(validate_with_overhead(&g, &s, 0.0).is_ok());

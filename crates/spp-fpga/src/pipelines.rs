@@ -44,7 +44,11 @@ pub fn jpeg_pipeline(device: Device, stripes: usize) -> TaskGraph {
         edges.push((s * 4 + 3, mux));
     }
     let n = tasks.len();
-    TaskGraph::new(device, tasks, Dag::new(n, &edges).expect("pipeline is acyclic"))
+    TaskGraph::new(
+        device,
+        tasks,
+        Dag::new(n, &edges).expect("pipeline is acyclic"),
+    )
 }
 
 /// A generic image-processing pipeline: `depth` stages × `width` parallel
@@ -77,17 +81,16 @@ pub fn tiled_pipeline<R: Rng>(
         }
     }
     let n = tasks.len();
-    TaskGraph::new(device, tasks, Dag::new(n, &edges).expect("pipeline is acyclic"))
+    TaskGraph::new(
+        device,
+        tasks,
+        Dag::new(n, &edges).expect("pipeline is acyclic"),
+    )
 }
 
 /// An online task queue with release times (the Steiger–Walder–Platzner
 /// operating-system setting): tasks arrive over time, no precedence.
-pub fn online_queue<R: Rng>(
-    rng: &mut R,
-    device: Device,
-    n: usize,
-    mean_gap: f64,
-) -> TaskGraph {
+pub fn online_queue<R: Rng>(rng: &mut R, device: Device, n: usize, mean_gap: f64) -> TaskGraph {
     let k = device.columns();
     let mut t = 0.0;
     let tasks: Vec<Task> = (0..n)
@@ -109,7 +112,7 @@ mod tests {
     fn jpeg_counts() {
         let g = jpeg_pipeline(Device::new(16), 3);
         assert_eq!(g.len(), 13); // 3 stripes × 4 stages + mux
-        // each stripe is a chain into the mux
+                                 // each stripe is a chain into the mux
         assert_eq!(g.dag.in_degree(12), 3);
         assert!(g.critical_path() >= 7.0); // 1+2+1+3 through a stripe
     }

@@ -120,8 +120,8 @@ impl Schedule {
             for b in (a + 1)..n {
                 let (ea, eb) = (entry(a)?, entry(b)?);
                 let (ta, tb) = (&graph.tasks[a], &graph.tasks[b]);
-                let cols_overlap = ea.start_col < eb.start_col + tb.cols
-                    && eb.start_col < ea.start_col + ta.cols;
+                let cols_overlap =
+                    ea.start_col < eb.start_col + tb.cols && eb.start_col < ea.start_col + ta.cols;
                 let time_overlap = spp_core::eps::intervals_overlap(
                     ea.start_time,
                     ea.start_time + ta.duration,
@@ -162,9 +162,21 @@ mod tests {
         let g = graph();
         let s = Schedule {
             entries: vec![
-                ScheduledTask { id: 0, start_col: 0, start_time: 0.0 },
-                ScheduledTask { id: 1, start_col: 2, start_time: 0.0 },
-                ScheduledTask { id: 2, start_col: 0, start_time: 2.0 },
+                ScheduledTask {
+                    id: 0,
+                    start_col: 0,
+                    start_time: 0.0,
+                },
+                ScheduledTask {
+                    id: 1,
+                    start_col: 2,
+                    start_time: 0.0,
+                },
+                ScheduledTask {
+                    id: 2,
+                    start_col: 0,
+                    start_time: 2.0,
+                },
             ],
         };
         assert!(s.validate(&g).is_ok());
@@ -178,15 +190,24 @@ mod tests {
         let g = graph();
         let s = Schedule {
             entries: vec![
-                ScheduledTask { id: 0, start_col: 0, start_time: 0.0 },
-                ScheduledTask { id: 1, start_col: 1, start_time: 0.5 }, // overlaps 0
-                ScheduledTask { id: 2, start_col: 0, start_time: 2.0 },
+                ScheduledTask {
+                    id: 0,
+                    start_col: 0,
+                    start_time: 0.0,
+                },
+                ScheduledTask {
+                    id: 1,
+                    start_col: 1,
+                    start_time: 0.5,
+                }, // overlaps 0
+                ScheduledTask {
+                    id: 2,
+                    start_col: 0,
+                    start_time: 2.0,
+                },
             ],
         };
-        assert_eq!(
-            s.validate(&g),
-            Err(ScheduleError::Conflict { a: 0, b: 1 })
-        );
+        assert_eq!(s.validate(&g), Err(ScheduleError::Conflict { a: 0, b: 1 }));
     }
 
     #[test]
@@ -194,9 +215,21 @@ mod tests {
         let g = graph();
         let early = Schedule {
             entries: vec![
-                ScheduledTask { id: 0, start_col: 0, start_time: 0.0 },
-                ScheduledTask { id: 1, start_col: 2, start_time: 0.0 },
-                ScheduledTask { id: 2, start_col: 0, start_time: 0.5 }, // release 2.0!
+                ScheduledTask {
+                    id: 0,
+                    start_col: 0,
+                    start_time: 0.0,
+                },
+                ScheduledTask {
+                    id: 1,
+                    start_col: 2,
+                    start_time: 0.0,
+                },
+                ScheduledTask {
+                    id: 2,
+                    start_col: 0,
+                    start_time: 0.5,
+                }, // release 2.0!
             ],
         };
         assert_eq!(
@@ -210,9 +243,21 @@ mod tests {
         let g = graph();
         let s = Schedule {
             entries: vec![
-                ScheduledTask { id: 0, start_col: 3, start_time: 0.0 }, // 3+2 > 4
-                ScheduledTask { id: 1, start_col: 0, start_time: 0.0 },
-                ScheduledTask { id: 2, start_col: 0, start_time: 2.0 },
+                ScheduledTask {
+                    id: 0,
+                    start_col: 3,
+                    start_time: 0.0,
+                }, // 3+2 > 4
+                ScheduledTask {
+                    id: 1,
+                    start_col: 0,
+                    start_time: 0.0,
+                },
+                ScheduledTask {
+                    id: 2,
+                    start_col: 0,
+                    start_time: 2.0,
+                },
             ],
         };
         assert_eq!(
@@ -226,9 +271,21 @@ mod tests {
         let g = graph();
         let s = Schedule {
             entries: vec![
-                ScheduledTask { id: 0, start_col: 0, start_time: 0.0 },
-                ScheduledTask { id: 0, start_col: 0, start_time: 5.0 }, // dup
-                ScheduledTask { id: 2, start_col: 0, start_time: 2.0 },
+                ScheduledTask {
+                    id: 0,
+                    start_col: 0,
+                    start_time: 0.0,
+                },
+                ScheduledTask {
+                    id: 0,
+                    start_col: 0,
+                    start_time: 5.0,
+                }, // dup
+                ScheduledTask {
+                    id: 2,
+                    start_col: 0,
+                    start_time: 2.0,
+                },
             ],
         };
         assert_eq!(s.validate(&g), Err(ScheduleError::MissingTask { id: 1 }));
@@ -242,8 +299,16 @@ mod tests {
         );
         let s = Schedule {
             entries: vec![
-                ScheduledTask { id: 0, start_col: 0, start_time: 0.0 },
-                ScheduledTask { id: 1, start_col: 0, start_time: 1.0 },
+                ScheduledTask {
+                    id: 0,
+                    start_col: 0,
+                    start_time: 0.0,
+                },
+                ScheduledTask {
+                    id: 1,
+                    start_col: 0,
+                    start_time: 1.0,
+                },
             ],
         };
         assert!(s.validate(&g).is_ok());

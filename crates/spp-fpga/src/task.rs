@@ -79,10 +79,7 @@ impl TaskGraph {
 
     /// Total work = Σ cols·duration (device-column time units).
     pub fn total_work(&self) -> f64 {
-        self.tasks
-            .iter()
-            .map(|t| t.cols as f64 * t.duration)
-            .sum()
+        self.tasks.iter().map(|t| t.cols as f64 * t.duration).sum()
     }
 
     /// Critical-path duration (ignoring column contention).

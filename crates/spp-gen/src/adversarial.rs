@@ -157,7 +157,10 @@ impl Fig2Family {
 /// Build the Lemma 2.7 / Fig. 2 family.
 pub fn fig2_ratio3_tightness(k: usize, epsilon: f64) -> Fig2Family {
     assert!(k >= 1, "k must be positive");
-    assert!(epsilon > 0.0 && epsilon < 0.5, "epsilon must be in (0, 1/2)");
+    assert!(
+        epsilon > 0.0 && epsilon < 0.5,
+        "epsilon must be in (0, 1/2)"
+    );
     let n = 3 * k;
     let mut items = Vec::with_capacity(n);
     let mut edges = Vec::new();

@@ -9,13 +9,7 @@ pub fn uniform<R: Rng>(rng: &mut R, n: usize, w: (f64, f64), h: (f64, f64)) -> I
     assert!(w.0 > 0.0 && w.1 <= 1.0 && w.0 <= w.1, "width range invalid");
     assert!(h.0 > 0.0 && h.0 <= h.1, "height range invalid");
     let items = (0..n)
-        .map(|i| {
-            Item::new(
-                i,
-                rng.gen_range(w.0..=w.1),
-                rng.gen_range(h.0..=h.1),
-            )
-        })
+        .map(|i| Item::new(i, rng.gen_range(w.0..=w.1), rng.gen_range(h.0..=h.1)))
         .collect();
     Instance::new(items).expect("generated dims are in range")
 }
@@ -180,7 +174,7 @@ mod tests {
         for it in inst.items() {
             let cols = it.w * k as f64;
             assert!((cols - cols.round()).abs() < 1e-12);
-            assert!(cols >= 1.0 - 1e-12 && cols <= 5.0 + 1e-12);
+            assert!((1.0 - 1e-12..=5.0 + 1e-12).contains(&cols));
         }
     }
 

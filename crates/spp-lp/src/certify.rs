@@ -66,12 +66,8 @@ pub fn certify(p: &Problem, sol: &Solution, tol: f64) -> Result<(), CertificateE
     for (i, row) in p.rows().iter().enumerate() {
         let y = sol.duals[i];
         match row.cmp {
-            Cmp::Le if y > tol => {
-                return Err(CertificateError::DualSign { row: i, dual: y })
-            }
-            Cmp::Ge if y < -tol => {
-                return Err(CertificateError::DualSign { row: i, dual: y })
-            }
+            Cmp::Le if y > tol => return Err(CertificateError::DualSign { row: i, dual: y }),
+            Cmp::Ge if y < -tol => return Err(CertificateError::DualSign { row: i, dual: y }),
             _ => {}
         }
     }
@@ -86,8 +82,8 @@ pub fn certify(p: &Problem, sol: &Solution, tol: f64) -> Result<(), CertificateE
             }
         }
     }
-    for j in 0..n {
-        let rc = p.objective()[j] - ya[j];
+    for (j, (&obj, &yaj)) in p.objective().iter().zip(&ya).enumerate().take(n) {
+        let rc = obj - yaj;
         if rc < -tol {
             return Err(CertificateError::ReducedCost { var: j, rc });
         }
@@ -137,7 +133,10 @@ mod tests {
         let p = sample();
         let mut s = solve(&p);
         s.x[0] = -1.0;
-        assert_eq!(certify(&p, &s, 1e-6), Err(CertificateError::PrimalInfeasible));
+        assert_eq!(
+            certify(&p, &s, 1e-6),
+            Err(CertificateError::PrimalInfeasible)
+        );
     }
 
     #[test]
@@ -173,8 +172,7 @@ mod tests {
             let n = rng.gen_range(1..8);
             let m = rng.gen_range(1..6);
             let mut p = Problem::new();
-            let vars: Vec<usize> =
-                (0..n).map(|_| p.add_var(rng.gen_range(0.0..5.0))).collect();
+            let vars: Vec<usize> = (0..n).map(|_| p.add_var(rng.gen_range(0.0..5.0))).collect();
             let x0: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..3.0)).collect();
             for _ in 0..m {
                 let coeffs: Vec<(usize, f64)> = vars

@@ -213,13 +213,19 @@ pub fn solve(p: &Problem) -> Solution {
         dense_rows.push(a);
         rhs.push(b);
     }
-    let n_slack = senses.iter().filter(|c| matches!(c, Cmp::Le | Cmp::Ge)).count();
+    let n_slack = senses
+        .iter()
+        .filter(|c| matches!(c, Cmp::Le | Cmp::Ge))
+        .count();
     // every row gets an artificial; for Le rows the slack can start basic,
     // so only Ge/Eq rows truly need one, but a uniform layout keeps dual
     // extraction simple: initial basis column of row i is
     //  - its slack (Le), or
     //  - its artificial (Ge/Eq).
-    let n_art = senses.iter().filter(|c| matches!(c, Cmp::Ge | Cmp::Eq)).count();
+    let n_art = senses
+        .iter()
+        .filter(|c| matches!(c, Cmp::Ge | Cmp::Eq))
+        .count();
     let n_total = n + n_slack + n_art;
 
     let mut rows_mat: Vec<Vec<f64>> = Vec::with_capacity(m);
@@ -296,9 +302,7 @@ pub fn solve(p: &Problem) -> Solution {
         // drive any zero-level artificial out of the basis when possible
         for r in 0..t.rows.len() {
             if art_cols.contains(&t.basis[r]) {
-                if let Some(col) = (0..n + n_slack)
-                    .find(|&j| t.rows[r][j].abs() > 1e-7)
-                {
+                if let Some(col) = (0..n + n_slack).find(|&j| t.rows[r][j].abs() > 1e-7) {
                     t.pivot(r, col);
                 }
                 // otherwise the row is redundant; the artificial stays
@@ -444,8 +448,16 @@ mod tests {
         let x2 = p.add_var(150.0);
         let x3 = p.add_var(-0.02);
         let x4 = p.add_var(6.0);
-        p.add_constraint(&[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], Cmp::Le, 0.0);
-        p.add_constraint(&[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], Cmp::Le, 0.0);
+        p.add_constraint(
+            &[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Cmp::Le,
+            0.0,
+        );
+        p.add_constraint(
+            &[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Cmp::Le,
+            0.0,
+        );
         p.add_constraint(&[(x3, 1.0)], Cmp::Le, 1.0);
         let s = solve(&p);
         assert_eq!(s.status, Status::Optimal);

@@ -27,10 +27,10 @@ mod tests {
     #[test]
     fn prefers_tight_shelf() {
         let inst = Instance::from_dims(&[
-            (0.7, 1.0),  // shelf 0, residual 0.3
-            (0.5, 0.9),  // shelf 1, residual 0.5
-            (0.3, 0.5),  // fits both; best-fit -> shelf 0 (residual 0)
-            (0.5, 0.4),  // only shelf 1
+            (0.7, 1.0), // shelf 0, residual 0.3
+            (0.5, 0.9), // shelf 1, residual 0.5
+            (0.3, 0.5), // fits both; best-fit -> shelf 0 (residual 0)
+            (0.5, 0.4), // only shelf 1
         ])
         .unwrap();
         let sp = bfdh_shelves(&inst);

@@ -30,13 +30,7 @@ mod tests {
     #[test]
     fn reuses_early_shelves() {
         // NFDH wastes a shelf here; FFDH back-fills.
-        let inst = Instance::from_dims(&[
-            (0.6, 1.0),
-            (0.6, 0.9),
-            (0.4, 0.8),
-            (0.4, 0.7),
-        ])
-        .unwrap();
+        let inst = Instance::from_dims(&[(0.6, 1.0), (0.6, 0.9), (0.4, 0.8), (0.4, 0.7)]).unwrap();
         let hf = ffdh(&inst).height(&inst);
         let hn = nfdh(&inst).height(&inst);
         assert!(hf <= hn + spp_core::eps::EPS);

@@ -45,5 +45,5 @@ pub use online::{online_shelf_pack, OnlineShelfPacker};
 pub use rotate::{pack_rotated, RotatedPacking};
 pub use skyline::{skyline_pack, Skyline};
 pub use sleator::sleator;
-pub use traits::{packer_by_name, Packer, StripPacker};
+pub use traits::{Packer, StripPacker, ALL_PACKERS};
 pub use wsnf::wsnf;

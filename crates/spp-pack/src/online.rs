@@ -77,11 +77,7 @@ impl OnlineShelfPacker {
         debug_assert!(h <= nominal + 1e-9, "item taller than its shelf class");
         let y = self.top;
         self.top += nominal;
-        self.shelves.push(OpenShelf {
-            class,
-            y,
-            used: w,
-        });
+        self.shelves.push(OpenShelf { class, y, used: w });
         (0.0, y)
     }
 

@@ -48,10 +48,7 @@ pub struct ShelfPacking {
 impl ShelfPacking {
     /// Total height = top of the highest shelf. 0 if no shelves.
     pub fn height(&self) -> f64 {
-        self.shelves
-            .last()
-            .map_or(0.0, |s| s.y + s.height)
-            .max(0.0)
+        self.shelves.last().map_or(0.0, |s| s.y + s.height).max(0.0)
     }
 }
 
@@ -78,7 +75,10 @@ pub fn pack_shelves(inst: &Instance, order: &[usize], policy: ShelfPolicy) -> Sh
         // Choose a shelf index that can take width w, under the policy.
         let fits = |s: &Shelf| s.used + it.w <= 1.0 + spp_core::eps::EPS;
         let chosen: Option<usize> = match policy {
-            ShelfPolicy::NextFit => shelves.last().filter(|s| fits(s)).map(|_| shelves.len() - 1),
+            ShelfPolicy::NextFit => shelves
+                .last()
+                .filter(|s| fits(s))
+                .map(|_| shelves.len() - 1),
             ShelfPolicy::FirstFit => shelves.iter().position(fits),
             ShelfPolicy::BestFit => shelves
                 .iter()
@@ -209,7 +209,11 @@ mod tests {
     fn shelf_metadata_consistent_with_placement() {
         let i = inst();
         let o = decreasing_height_order(&i);
-        for policy in [ShelfPolicy::NextFit, ShelfPolicy::FirstFit, ShelfPolicy::BestFit] {
+        for policy in [
+            ShelfPolicy::NextFit,
+            ShelfPolicy::FirstFit,
+            ShelfPolicy::BestFit,
+        ] {
             let p = pack_shelves(&i, &o, policy);
             for s in &p.shelves {
                 let mut used = 0.0;

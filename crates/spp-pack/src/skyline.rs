@@ -260,13 +260,7 @@ mod tests {
     #[test]
     fn pack_perfect_square() {
         // four 0.5 x 0.5 squares tile a 1 x 1 region
-        let inst = Instance::from_dims(&[
-            (0.5, 0.5),
-            (0.5, 0.5),
-            (0.5, 0.5),
-            (0.5, 0.5),
-        ])
-        .unwrap();
+        let inst = Instance::from_dims(&[(0.5, 0.5), (0.5, 0.5), (0.5, 0.5), (0.5, 0.5)]).unwrap();
         let pl = skyline_pack(&inst);
         spp_core::validate::assert_valid(&inst, &pl);
         spp_core::assert_close!(pl.height(&inst), 1.0);

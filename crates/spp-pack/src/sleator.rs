@@ -105,14 +105,9 @@ mod tests {
 
     #[test]
     fn all_narrow_uses_levels() {
-        let inst = Instance::from_dims(&[
-            (0.5, 1.0),
-            (0.5, 1.0),
-            (0.4, 0.9),
-            (0.4, 0.8),
-            (0.4, 0.7),
-        ])
-        .unwrap();
+        let inst =
+            Instance::from_dims(&[(0.5, 1.0), (0.5, 1.0), (0.4, 0.9), (0.4, 0.8), (0.4, 0.7)])
+                .unwrap();
         let pl = sleator(&inst);
         spp_core::validate::assert_valid(&inst, &pl);
         // first level: items 0,1 side by side at y=0

@@ -63,20 +63,12 @@ impl StripPacker for Packer {
     }
 }
 
-/// Look up a packer by its `name()`; `None` for unknown names.
-pub fn packer_by_name(name: &str) -> Option<Packer> {
-    Some(match name {
-        "nfdh" => Packer::Nfdh,
-        "ffdh" => Packer::Ffdh,
-        "bfdh" => Packer::Bfdh,
-        "sleator" => Packer::Sleator,
-        "skyline" => Packer::Skyline,
-        "wsnf" => Packer::Wsnf,
-        _ => return None,
-    })
-}
-
 /// All provided packers (for sweeps).
+///
+/// Name-based lookup lives in the engine's registry
+/// (`spp_engine::Registry`), which covers *every* workspace algorithm —
+/// the old `packer_by_name` free function (unconstrained packers only) was
+/// subsumed by it.
 pub const ALL_PACKERS: [Packer; 6] = [
     Packer::Nfdh,
     Packer::Ffdh,
@@ -91,11 +83,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn names_roundtrip() {
-        for p in ALL_PACKERS {
-            assert_eq!(packer_by_name(p.name()), Some(p));
+    fn names_are_unique() {
+        for (i, a) in ALL_PACKERS.iter().enumerate() {
+            for b in &ALL_PACKERS[i + 1..] {
+                assert_ne!(a.name(), b.name());
+            }
         }
-        assert_eq!(packer_by_name("nope"), None);
     }
 
     #[test]
@@ -108,14 +101,9 @@ mod tests {
 
     #[test]
     fn all_packers_produce_valid_min_zero_placements() {
-        let inst = Instance::from_dims(&[
-            (0.5, 1.0),
-            (0.3, 0.7),
-            (0.9, 0.2),
-            (0.2, 1.5),
-            (0.6, 0.4),
-        ])
-        .unwrap();
+        let inst =
+            Instance::from_dims(&[(0.5, 1.0), (0.3, 0.7), (0.9, 0.2), (0.2, 1.5), (0.6, 0.4)])
+                .unwrap();
         for p in ALL_PACKERS {
             let pl = p.pack(&inst);
             spp_core::validate::assert_valid(&inst, &pl);

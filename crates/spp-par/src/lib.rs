@@ -1,15 +1,16 @@
-//! # spp-par — minimal fork–join parallelism over crossbeam
+//! # spp-par — minimal fork–join parallelism over std scoped threads
 //!
 //! The workspace's allowed dependency set does not include `rayon`, so this
 //! crate provides the three primitives the rest of the workspace needs,
-//! built on `crossbeam::scope` (scoped threads, so borrowed data crosses
-//! the spawn boundary safely):
+//! built on [`std::thread::scope`] (scoped threads, so borrowed data
+//! crosses the spawn boundary safely):
 //!
 //! * [`join`] — run two closures, potentially in parallel, return both
 //!   results (used by the `DC` algorithm whose two recursive calls are
 //!   independent);
 //! * [`par_map`] — map a function over a slice with a bounded number of
-//!   worker threads (used by the experiment harness to sweep instances);
+//!   worker threads (used by the experiment harness and the engine's batch
+//!   executor to sweep instances);
 //! * [`par_chunks`] — lower-level chunked parallel-for.
 //!
 //! Depth/size cut-offs keep thread creation from swamping small work items:
@@ -18,7 +19,8 @@
 //!
 //! Everything falls back to sequential execution when parallelism is
 //! unavailable or unprofitable, so results are *identical* either way —
-//! callers must only pass deterministic closures.
+//! callers must only pass deterministic closures. `par_map` in particular
+//! returns results in input order regardless of which worker computed what.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -36,12 +38,7 @@ fn init_budget() -> usize {
         .unwrap_or(1);
     // Budget of forks, not threads: each fork adds one extra thread.
     let budget = cores.saturating_sub(1);
-    let _ = FORK_BUDGET.compare_exchange(
-        usize::MAX,
-        budget,
-        Ordering::Relaxed,
-        Ordering::Relaxed,
-    );
+    let _ = FORK_BUDGET.compare_exchange(usize::MAX, budget, Ordering::Relaxed, Ordering::Relaxed);
     FORK_BUDGET.load(Ordering::Relaxed)
 }
 
@@ -49,12 +46,8 @@ fn try_acquire_fork() -> bool {
     init_budget();
     let mut cur = FORK_BUDGET.load(Ordering::Relaxed);
     while cur > 0 && cur != usize::MAX {
-        match FORK_BUDGET.compare_exchange_weak(
-            cur,
-            cur - 1,
-            Ordering::Acquire,
-            Ordering::Relaxed,
-        ) {
+        match FORK_BUDGET.compare_exchange_weak(cur, cur - 1, Ordering::Acquire, Ordering::Relaxed)
+        {
             Ok(_) => return true,
             Err(c) => cur = c,
         }
@@ -68,10 +61,7 @@ fn release_fork() {
 
 /// Run `a` and `b`, in parallel when a fork slot is available, and return
 /// both results. Panics in either closure propagate.
-pub fn join<RA, RB>(
-    a: impl FnOnce() -> RA + Send,
-    b: impl FnOnce() -> RB + Send,
-) -> (RA, RB)
+pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
 where
     RA: Send,
     RB: Send,
@@ -79,13 +69,12 @@ where
     if !try_acquire_fork() {
         return (a(), b());
     }
-    let result = crossbeam::scope(|scope| {
-        let hb = scope.spawn(|_| b());
+    let result = std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
         let ra = a();
         let rb = hb.join().expect("join: right closure panicked");
         (ra, rb)
-    })
-    .expect("join: scope panicked");
+    });
     release_fork();
     result
 }
@@ -102,27 +91,36 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
         return items.iter().map(f).collect();
     }
     let next = AtomicUsize::new(0);
+    // Each worker claims indices from the shared counter and returns its
+    // (index, result) pairs; the pairs are then scattered back into input
+    // order, so the output is deterministic however work was distributed.
+    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut acc = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        acc.push((i, f(&items[i])));
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map: worker panicked"))
+            .collect()
+    });
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let slots = out.as_mut_ptr() as usize;
-    // SAFETY: each index is claimed exactly once via the atomic counter, so
-    // no two threads write the same slot; the scope guarantees all writes
-    // complete before `out` is read.
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                unsafe {
-                    let slot = (slots as *mut Option<R>).add(i);
-                    std::ptr::write(slot, Some(r));
-                }
-            });
+    for part in parts {
+        for (i, r) in part {
+            out[i] = Some(r);
         }
-    })
-    .expect("par_map: worker panicked");
+    }
     out.into_iter()
         .map(|r| r.expect("par_map: slot never filled"))
         .collect()
@@ -130,23 +128,18 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
 
 /// Parallel for over disjoint chunks of a mutable slice; `f` receives the
 /// chunk index and the chunk. Used for initializing large buffers.
-pub fn par_chunks<T: Send>(
-    data: &mut [T],
-    chunk: usize,
-    f: impl Fn(usize, &mut [T]) + Sync,
-) {
+pub fn par_chunks<T: Send>(data: &mut [T], chunk: usize, f: impl Fn(usize, &mut [T]) + Sync) {
     assert!(chunk > 0, "chunk size must be positive");
     if data.len() <= chunk {
         f(0, data);
         return;
     }
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (i, c) in data.chunks_mut(chunk).enumerate() {
             let f = &f;
-            scope.spawn(move |_| f(i, c));
+            scope.spawn(move || f(i, c));
         }
-    })
-    .expect("par_chunks: worker panicked");
+    });
 }
 
 #[cfg(test)]

@@ -64,16 +64,15 @@ pub fn next_fit_prec(sizes: &[f64], dag: &Dag) -> Bins {
     let mut closed = vec![false; n];
     let mut queued = vec![false; n];
     let mut queue = std::collections::VecDeque::new();
-    let refill = |closed: &[bool],
-                      queued: &mut [bool],
-                      queue: &mut std::collections::VecDeque<usize>| {
-        for v in 0..n {
-            if !queued[v] && !closed[v] && dag.preds(v).iter().all(|&p| closed[p]) {
-                queued[v] = true;
-                queue.push_back(v);
+    let refill =
+        |closed: &[bool], queued: &mut [bool], queue: &mut std::collections::VecDeque<usize>| {
+            for v in 0..n {
+                if !queued[v] && !closed[v] && dag.preds(v).iter().all(|&p| closed[p]) {
+                    queued[v] = true;
+                    queue.push_back(v);
+                }
             }
-        }
-    };
+        };
     refill(&closed, &mut queued, &mut queue);
 
     let mut bins: Bins = Vec::new();
@@ -117,12 +116,7 @@ pub fn first_fit_prec(sizes: &[f64], dag: &Dag) -> Bins {
             .filter(|&v| !closed[v] && !in_bin[v] && dag.preds(v).iter().all(|&p| closed[p]))
             .collect();
         // non-increasing size, ties by id
-        avail.sort_by(|&a, &b| {
-            sizes[b]
-                .partial_cmp(&sizes[a])
-                .unwrap()
-                .then(a.cmp(&b))
-        });
+        avail.sort_by(|&a, &b| sizes[b].partial_cmp(&sizes[a]).unwrap().then(a.cmp(&b)));
         let mut bin = Vec::new();
         let mut used = 0.0;
         for v in avail {
@@ -133,7 +127,10 @@ pub fn first_fit_prec(sizes: &[f64], dag: &Dag) -> Bins {
                 placed += 1;
             }
         }
-        debug_assert!(!bin.is_empty(), "some available task always fits an empty bin");
+        debug_assert!(
+            !bin.is_empty(),
+            "some available task always fits an empty bin"
+        );
         for &v in &bin {
             closed[v] = true;
             in_bin[v] = false;
@@ -168,11 +165,7 @@ mod tests {
     use rand::{rngs::StdRng, Rng, SeedableRng};
     use spp_core::Instance;
 
-    fn random_case(
-        rng: &mut StdRng,
-        n_max: usize,
-        p: f64,
-    ) -> (Vec<f64>, Dag) {
+    fn random_case(rng: &mut StdRng, n_max: usize, p: f64) -> (Vec<f64>, Dag) {
         let n = rng.gen_range(1..n_max);
         let sizes: Vec<f64> = (0..n).map(|_| rng.gen_range(0.05..1.0)).collect();
         let dag = spp_dag::gen::random_order(rng, n, p);

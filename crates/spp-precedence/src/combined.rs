@@ -60,10 +60,7 @@ pub fn greedy_skyline_combined(prec: &PrecInstance) -> Placement {
 /// from an earlier-or-equal release class to a later-or-equal one, which
 /// holds after [`normalize_releases`]; this function applies the
 /// normalization itself.
-pub fn dc_release_batched(
-    prec: &PrecInstance,
-    packer: &(impl StripPacker + ?Sized),
-) -> Placement {
+pub fn dc_release_batched(prec: &PrecInstance, packer: &(impl StripPacker + ?Sized)) -> Placement {
     let prec = normalize_releases(prec);
     // distinct release levels ascending
     let mut levels: Vec<f64> = prec.inst.items().iter().map(|it| it.release).collect();
@@ -159,8 +156,7 @@ mod tests {
 
     #[test]
     fn normalization_lifts_descendant_releases() {
-        let inst =
-            Instance::from_dims_release(&[(0.5, 1.0, 3.0), (0.5, 1.0, 0.0)]).unwrap();
+        let inst = Instance::from_dims_release(&[(0.5, 1.0, 3.0), (0.5, 1.0, 0.0)]).unwrap();
         let p = PrecInstance::new(inst, Dag::new(2, &[(0, 1)]).unwrap());
         let np = normalize_releases(&p);
         assert_eq!(np.inst.item(1).release, 3.0);
@@ -194,11 +190,7 @@ mod tests {
 
     #[test]
     fn no_precedence_respects_releases() {
-        let inst = Instance::from_dims_release(&[
-            (1.0, 1.0, 0.0),
-            (1.0, 1.0, 5.0),
-        ])
-        .unwrap();
+        let inst = Instance::from_dims_release(&[(1.0, 1.0, 0.0), (1.0, 1.0, 5.0)]).unwrap();
         let p = PrecInstance::unconstrained(inst);
         let d = dc_release_batched(&p, &Packer::Nfdh);
         p.assert_valid(&d);

@@ -207,9 +207,7 @@ mod tests {
         let pl = dc(&p, &nfdh());
         assert_eq!(pl.height(&p.inst), 0.0);
 
-        let p1 = PrecInstance::unconstrained(
-            Instance::from_dims(&[(0.5, 2.0)]).unwrap(),
-        );
+        let p1 = PrecInstance::unconstrained(Instance::from_dims(&[(0.5, 2.0)]).unwrap());
         let pl1 = dc(&p1, &nfdh());
         p1.assert_valid(&pl1);
         spp_core::assert_close!(pl1.height(&p1.inst), 2.0);
@@ -236,13 +234,7 @@ mod tests {
 
     #[test]
     fn diamond_respects_both_branches() {
-        let inst = Instance::from_dims(&[
-            (0.5, 1.0),
-            (0.4, 2.0),
-            (0.4, 1.0),
-            (0.5, 1.0),
-        ])
-        .unwrap();
+        let inst = Instance::from_dims(&[(0.5, 1.0), (0.4, 2.0), (0.4, 1.0), (0.5, 1.0)]).unwrap();
         let dag = Dag::new(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
         let p = PrecInstance::new(inst, dag);
         let pl = dc(&p, &nfdh());
@@ -299,10 +291,7 @@ mod tests {
             let pl = dc(&p, &nfdh());
             p.assert_valid(&pl);
             let ratio = pl.height(&p.inst) / opt.height;
-            assert!(
-                ratio + 1e-9 >= 1.0,
-                "DC beat the optimum?! ratio {ratio}"
-            );
+            assert!(ratio + 1e-9 >= 1.0, "DC beat the optimum?! ratio {ratio}");
             assert!(
                 ratio <= dc_ratio_guarantee(n) + 1e-9,
                 "ratio {ratio} exceeds guarantee for n={n}"

@@ -9,7 +9,7 @@
 //! algorithm argued against `max(AREA, F)`), but on typical task graphs it
 //! is competitive and fast: O(n² ) with the vector skyline.
 
-use spp_core::{Placement};
+use spp_core::Placement;
 use spp_dag::PrecInstance;
 use spp_pack::Skyline;
 

@@ -41,13 +41,7 @@ mod tests {
     #[test]
     fn levels_stack_in_order() {
         // diamond: 0 | 1,2 | 3
-        let inst = Instance::from_dims(&[
-            (0.5, 1.0),
-            (0.4, 1.0),
-            (0.4, 1.0),
-            (0.5, 1.0),
-        ])
-        .unwrap();
+        let inst = Instance::from_dims(&[(0.5, 1.0), (0.4, 1.0), (0.4, 1.0), (0.5, 1.0)]).unwrap();
         let dag = Dag::new(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
         let p = PrecInstance::new(inst, dag);
         let pl = layered_pack(&p, &Packer::Nfdh);

@@ -118,8 +118,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(44);
         for _ in 0..40 {
             let n = rng.gen_range(1..30);
-            let dims: Vec<(f64, f64)> =
-                (0..n).map(|_| (rng.gen_range(0.05..1.0), 1.0)).collect();
+            let dims: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen_range(0.05..1.0), 1.0)).collect();
             let inst = Instance::from_dims(&dims).unwrap();
             let dag = spp_dag::gen::random_order(&mut rng, n, 0.2);
             let p = PrecInstance::new(inst, dag);

@@ -112,18 +112,15 @@ pub fn shelf_next_fit(prec: &PrecInstance) -> UniformShelfResult {
     let mut queued = vec![false; n];
     let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
 
-    let enqueue_available = |closed: &[bool], queued: &mut [bool],
-                                 queue: &mut std::collections::VecDeque<usize>| {
-        for v in 0..n {
-            if !queued[v]
-                && !closed[v]
-                && prec.dag.preds(v).iter().all(|&p| closed[p])
-            {
-                queued[v] = true;
-                queue.push_back(v);
+    let enqueue_available =
+        |closed: &[bool], queued: &mut [bool], queue: &mut std::collections::VecDeque<usize>| {
+            for v in 0..n {
+                if !queued[v] && !closed[v] && prec.dag.preds(v).iter().all(|&p| closed[p]) {
+                    queued[v] = true;
+                    queue.push_back(v);
+                }
             }
-        }
-    };
+        };
     enqueue_available(&closed, &mut queued, &mut queue);
 
     let mut placed_total = 0;
@@ -269,7 +266,9 @@ mod tests {
             let area: f64 = widths.iter().sum();
             assert!(
                 (red as f64) <= 2.0 * area + 1e-9,
-                "red {} > 2·AREA {}", red, 2.0 * area
+                "red {} > 2·AREA {}",
+                red,
+                2.0 * area
             );
             // every green shelf is a skip shelf
             for (i, s) in r.shelves.iter().enumerate() {
@@ -297,7 +296,9 @@ mod tests {
             let shelf_lb = area.max(longest_path_nodes(&p) as f64);
             assert!(
                 (r.shelves.len() as f64) <= 3.0 * shelf_lb.ceil() + 1e-9,
-                "shelves {} > 3·LB {}", r.shelves.len(), shelf_lb
+                "shelves {} > 3·LB {}",
+                r.shelves.len(),
+                shelf_lb
             );
         }
     }

@@ -184,9 +184,7 @@ mod tests {
         assert_eq!(r.leftovers, 0);
         spp_core::validate::assert_valid(&inst, &r.placement);
         // Theorem 3.5 shape: height ≤ OPT_f(grouped) + occurrences·h_max
-        assert!(
-            r.height <= r.opt_f_grouped + r.occurrences as f64 * inst.max_height() + 1e-6
-        );
+        assert!(r.height <= r.opt_f_grouped + r.occurrences as f64 * inst.max_height() + 1e-6);
     }
 
     #[test]
@@ -228,7 +226,10 @@ mod tests {
                 r.opt_f_grouped,
                 raw
             );
-            assert!(r.opt_f_grouped + 1e-6 >= raw, "grouping cannot shrink OPT_f");
+            assert!(
+                r.opt_f_grouped + 1e-6 >= raw,
+                "grouping cannot shrink OPT_f"
+            );
         }
     }
 

@@ -99,8 +99,8 @@ mod tests {
         // before a late release is usable by skyline and wasted by
         // batching.
         let inst = Instance::from_dims_release(&[
-            (1.0, 1.0, 0.0),  // full width at 0
-            (0.5, 1.0, 5.0),  // released late
+            (1.0, 1.0, 0.0), // full width at 0
+            (0.5, 1.0, 5.0), // released late
             (0.5, 1.0, 5.0),
         ])
         .unwrap();

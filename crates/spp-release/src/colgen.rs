@@ -60,10 +60,14 @@ pub fn solve_fractional_with_configs(data: &LpData) -> (FractionalSolution, Vec<
         let mut improved = false;
         let mut mu = vec![0.0; n_w]; // running Σ_{k≤j} λ_{ki}
         for j in 0..n_phases {
-            for i in 0..n_w {
-                mu[i] += sol.covering_duals[j][i];
+            for (m, &d) in mu.iter_mut().zip(&sol.covering_duals[j]) {
+                *m += d;
             }
-            let pi = if j < data.r() { sol.packing_duals[j] } else { 0.0 };
+            let pi = if j < data.r() {
+                sol.packing_duals[j]
+            } else {
+                0.0
+            };
             let c = if j == data.r() { 1.0 } else { 0.0 };
             let (cfg, value) = price(&data.widths, &mu);
             let rc = c - pi - value;
@@ -125,7 +129,12 @@ mod tests {
         let class_of = inst
             .items()
             .iter()
-            .map(|it| widths.iter().position(|&w| (w - it.w).abs() < 1e-12).unwrap())
+            .map(|it| {
+                widths
+                    .iter()
+                    .position(|&w| (w - it.w).abs() < 1e-12)
+                    .unwrap()
+            })
             .collect();
         (widths, class_of)
     }
@@ -153,11 +162,7 @@ mod tests {
 
             let full = solve_with_configs(&data, &enumerate_configs(&widths)).unwrap();
             let (cg, _) = solve_fractional_with_configs(&data);
-            spp_core::assert_close!(
-                cg.total_height,
-                full.total_height,
-                1e-5
-            );
+            spp_core::assert_close!(cg.total_height, full.total_height, 1e-5);
             assert!(cg.total_height > 0.0, "trial {trial}");
         }
     }

@@ -98,6 +98,7 @@ pub fn price(widths: &[f64], values: &[f64]) -> (Config, f64) {
 
     let mut best = (Config(Vec::new()), 0.0f64);
 
+    #[allow(clippy::too_many_arguments)] // recursive kernel: explicit state beats a context struct here
     fn dfs(
         order: &[usize],
         widths: &[f64],
@@ -143,9 +144,7 @@ pub fn price(widths: &[f64], values: &[f64]) -> (Config, f64) {
     }
 
     let mut cur = Vec::new();
-    dfs(
-        &useful, widths, values, 0, 1.0, 0.0, &mut cur, &mut best,
-    );
+    dfs(&useful, widths, values, 0, 1.0, 0.0, &mut cur, &mut best);
     best
 }
 

@@ -66,9 +66,7 @@ pub fn group_widths(inst: &Instance, groups_per_class: usize) -> GroupedInstance
         for &id in &class {
             let it = inst.item(id);
             // does a line fall in [y, y + h) (base aligned or interior)?
-            if next_line <= y + it.h - spp_core::eps::EPS
-                && next_line <= h_total - cut / 2.0
-            {
+            if next_line <= y + it.h - spp_core::eps::EPS && next_line <= h_total - cut / 2.0 {
                 // `id` is a threshold rectangle: start a new group
                 group_width = it.w;
                 // consume every line this rectangle covers
@@ -176,8 +174,7 @@ mod tests {
 
     #[test]
     fn classes_index_into_widths() {
-        let inst =
-            Instance::from_dims(&[(0.3, 1.0), (0.9, 0.5), (0.5, 0.7), (0.31, 0.2)]).unwrap();
+        let inst = Instance::from_dims(&[(0.3, 1.0), (0.9, 0.5), (0.5, 0.7), (0.31, 0.2)]).unwrap();
         let g = group_widths(&inst, 2);
         for (id, &c) in g.class_of.iter().enumerate() {
             spp_core::assert_close!(g.widths[c], g.inst.item(id).w);

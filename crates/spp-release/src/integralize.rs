@@ -85,7 +85,9 @@ pub fn integralize(
             let w = data.widths[class];
             let mut fill = 0.0f64;
             while fill < *x - spp_core::eps::EPS {
-                let Some(&cand) = stock[class].front() else { break };
+                let Some(&cand) = stock[class].front() else {
+                    break;
+                };
                 if inst.item(cand).release > t_j + spp_core::eps::EPS {
                     break; // not yet released in this phase
                 }
@@ -103,8 +105,8 @@ pub fn integralize(
     // Safety net: anything the columns missed is stacked on top
     // (full width, so trivially valid). Tests assert this never fires.
     let mut leftovers = 0;
-    for c in 0..n_classes {
-        while let Some(id) = stock[c].pop_front() {
+    for queue in stock.iter_mut().take(n_classes) {
+        while let Some(id) = queue.pop_front() {
             let it = inst.item(id);
             let base = y_cur.max(it.release);
             placement.set(id, 0.0, base);
@@ -139,7 +141,12 @@ mod tests {
         let class_of = inst
             .items()
             .iter()
-            .map(|it| widths.iter().position(|&w| (w - it.w).abs() < 1e-12).unwrap())
+            .map(|it| {
+                widths
+                    .iter()
+                    .position(|&w| (w - it.w).abs() < 1e-12)
+                    .unwrap()
+            })
             .collect();
         (widths, class_of)
     }
@@ -163,12 +170,9 @@ mod tests {
 
     #[test]
     fn releases_respected() {
-        let inst = Instance::from_dims_release(&[
-            (0.5, 1.0, 0.0),
-            (0.5, 1.0, 3.0),
-            (1.0, 0.5, 1.5),
-        ])
-        .unwrap();
+        let inst =
+            Instance::from_dims_release(&[(0.5, 1.0, 0.0), (0.5, 1.0, 3.0), (1.0, 0.5, 1.5)])
+                .unwrap();
         let (ip, _) = run(&inst);
         assert_eq!(ip.leftovers, 0);
         spp_core::validate::assert_valid(&inst, &ip.placement);

@@ -73,7 +73,10 @@ mod tests {
             assert!(ratio <= last_ratio + 0.05, "ratio should shrink with n");
             last_ratio = ratio;
         }
-        assert!(last_ratio < 1.25, "large-n ratio {last_ratio} not near 1+eps");
+        assert!(
+            last_ratio < 1.25,
+            "large-n ratio {last_ratio} not near 1+eps"
+        );
     }
 
     #[test]

@@ -133,8 +133,7 @@ pub fn solve_with_configs(data: &LpData, configs: &[Config]) -> Option<Fractiona
 
     // packing rows, j = 0..r-1 (row index = j)
     for j in 0..r {
-        let coeffs: Vec<(usize, f64)> =
-            (0..configs.len()).map(|qi| (var(qi, j), 1.0)).collect();
+        let coeffs: Vec<(usize, f64)> = (0..configs.len()).map(|qi| (var(qi, j), 1.0)).collect();
         p.add_constraint(
             &coeffs,
             Cmp::Le,
@@ -180,9 +179,9 @@ pub fn solve_with_configs(data: &LpData, configs: &[Config]) -> Option<Fractiona
 
     let packing_duals = sol.duals[..r].to_vec();
     let mut covering_duals = vec![vec![0.0; n_w]; n_phases];
-    for k in 0..n_phases {
-        for i in 0..n_w {
-            covering_duals[k][i] = sol.duals[r + k * n_w + i];
+    for (k, row) in covering_duals.iter_mut().enumerate() {
+        for (i, cell) in row.iter_mut().enumerate() {
+            *cell = sol.duals[r + k * n_w + i];
         }
     }
     let t_r = *data.boundaries.last().expect("non-empty boundaries");
@@ -230,10 +229,7 @@ mod tests {
     fn no_release_lp_is_fractional_strip_packing() {
         // two widths 0.5, demand heights 3 total: fractional OPT = 1.5
         // (pairs of half-width slices side by side)
-        let d = data_for(
-            &[(0.5, 1.0, 0.0), (0.5, 1.0, 0.0), (0.5, 1.0, 0.0)],
-            &[0.5],
-        );
+        let d = data_for(&[(0.5, 1.0, 0.0), (0.5, 1.0, 0.0), (0.5, 1.0, 0.0)], &[0.5]);
         let configs = enumerate_configs(&d.widths);
         let f = solve_with_configs(&d, &configs).unwrap();
         spp_core::assert_close!(f.total_height, 1.5, 1e-6);
@@ -264,7 +260,12 @@ mod tests {
         // window [0, 1) but 3 units of width-1 demand at release 0 and an
         // item at release 1: the excess spills past t_R.
         let d = data_for(
-            &[(1.0, 1.0, 0.0), (1.0, 1.0, 0.0), (1.0, 1.0, 0.0), (1.0, 0.5, 1.0)],
+            &[
+                (1.0, 1.0, 0.0),
+                (1.0, 1.0, 0.0),
+                (1.0, 1.0, 0.0),
+                (1.0, 0.5, 1.0),
+            ],
             &[1.0],
         );
         let configs = enumerate_configs(&d.widths);

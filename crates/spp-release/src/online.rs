@@ -177,12 +177,9 @@ mod tests {
     fn skyline_backfills_idle_gaps() {
         // A full-width early task, then two narrow late ones that fit side
         // by side right at their release — zero waiting.
-        let inst = Instance::from_dims_release(&[
-            (1.0, 1.0, 0.0),
-            (0.5, 1.0, 5.0),
-            (0.5, 1.0, 5.0),
-        ])
-        .unwrap();
+        let inst =
+            Instance::from_dims_release(&[(1.0, 1.0, 0.0), (0.5, 1.0, 5.0), (0.5, 1.0, 5.0)])
+                .unwrap();
         let out = simulate(&inst, OnlinePolicy::Skyline);
         spp_core::assert_close!(out.makespan, 6.0);
         spp_core::assert_close!(out.max_wait, 0.0);

@@ -110,7 +110,7 @@ mod tests {
                 })
                 .collect();
             let inst = Instance::from_dims_release(&dims).unwrap();
-            let eps = *[1.0, 0.5, 0.25].iter().nth(rng.gen_range(0..3)).unwrap();
+            let eps = [1.0, 0.5, 0.25][rng.gen_range(0..3usize)];
             let r = round_releases(&inst, eps);
             let cap = (1.0 / eps).ceil() as usize + 1;
             assert!(
@@ -136,12 +136,9 @@ mod tests {
 
     #[test]
     fn levels_are_sorted_distinct() {
-        let inst = Instance::from_dims_release(&[
-            (0.5, 1.0, 1.0),
-            (0.5, 1.0, 1.0),
-            (0.5, 1.0, 9.0),
-        ])
-        .unwrap();
+        let inst =
+            Instance::from_dims_release(&[(0.5, 1.0, 1.0), (0.5, 1.0, 1.0), (0.5, 1.0, 9.0)])
+                .unwrap();
         let r = round_releases(&inst, 0.34);
         for w in r.levels.windows(2) {
             assert!(w[0] < w[1]);
@@ -154,12 +151,9 @@ mod tests {
 
     #[test]
     fn raw_levels_helper() {
-        let inst = Instance::from_dims_release(&[
-            (0.5, 1.0, 5.0),
-            (0.5, 1.0, 0.0),
-            (0.5, 1.0, 5.0),
-        ])
-        .unwrap();
+        let inst =
+            Instance::from_dims_release(&[(0.5, 1.0, 5.0), (0.5, 1.0, 0.0), (0.5, 1.0, 5.0)])
+                .unwrap();
         assert_eq!(release_levels(&inst), vec![0.0, 5.0]);
     }
 }

@@ -30,8 +30,14 @@ fn main() {
 
     let prec = to_prec_instance(&graph);
     let candidates = [
-        ("DC + NFDH", strip_packing::precedence::dc(&prec, &Packer::Nfdh)),
-        ("greedy skyline", strip_packing::precedence::greedy_skyline(&prec)),
+        (
+            "DC + NFDH",
+            strip_packing::precedence::dc(&prec, &Packer::Nfdh),
+        ),
+        (
+            "greedy skyline",
+            strip_packing::precedence::greedy_skyline(&prec),
+        ),
         (
             "layered + FFDH",
             strip_packing::precedence::layered_pack(&prec, &Packer::Ffdh),
@@ -56,5 +62,8 @@ fn main() {
 
     let (name, sched) = best.expect("at least one schedule");
     println!("\nGantt of the best schedule ({name}); digits are task ids (base 36):\n");
-    print!("{}", strip_packing::fpga::gantt::render(&graph, &sched, 0.5));
+    print!(
+        "{}",
+        strip_packing::fpga::gantt::render(&graph, &sched, 0.5)
+    );
 }

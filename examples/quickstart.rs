@@ -1,4 +1,5 @@
-//! Quickstart: pack a small precedence-constrained task set with `DC`.
+//! Quickstart: pack a small precedence-constrained task set through the
+//! unified engine.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -6,8 +7,8 @@
 
 use strip_packing::core::{Instance, Item};
 use strip_packing::dag::{Dag, PrecInstance};
-use strip_packing::pack::Packer;
-use strip_packing::precedence::{dc_bound, dc_with_stats};
+use strip_packing::engine::{solve, Registry, SolveRequest};
+use strip_packing::precedence::dc_bound;
 
 fn main() {
     // Six tasks; width = fraction of the resource, height = duration.
@@ -34,31 +35,46 @@ fn main() {
         dc_bound(&prec)
     );
 
-    let (placement, stats) = dc_with_stats(&prec, &Packer::Nfdh);
-    prec.assert_valid(&placement);
+    // Algorithms are looked up by name in the engine registry; `solve`
+    // layers timing, lower bounds and validation over the raw algorithm.
+    let registry = Registry::builtin();
+    let request = SolveRequest::new(prec.clone());
+    println!("\nevery precedence-capable solver in the registry:");
+    for entry in registry.filter(|c| c.precedence && !c.uniform_height_only) {
+        let solver = entry.build();
+        let report = solve(&*solver, &request).expect("request is in-model");
+        assert!(report.validation.passed());
+        println!(
+            "  {:<16} height {:.3}  ratio {:.3}  ({} phases, {:?})",
+            entry.name,
+            report.makespan,
+            report.ratio(),
+            report.phases.len(),
+            report.total_time(),
+        );
+    }
 
+    // Inspect the winner's placement.
+    let report = solve(&*registry.get("dc-nfdh").expect("registered"), &request).expect("in-model");
     println!("\nDC placement (x, y, w, h):");
     for it in prec.inst.items() {
-        let p = placement.pos(it.id);
+        let p = report.placement.pos(it.id);
         println!(
             "  task {}: ({:.2}, {:.2})  {:.2} x {:.2}",
             it.id, p.x, p.y, it.w, it.h
         );
     }
-    let h = placement.height(&prec.inst);
-    println!("\ntotal height   = {:.3}", h);
-    println!("ratio vs LB    = {:.3}", h / prec.lower_bound());
-    println!(
-        "recursion: {} calls to subroutine A, depth {}",
-        stats.a_calls, stats.max_depth
-    );
+    println!("\ntotal height   = {:.3}", report.makespan);
+    println!("ratio vs LB    = {:.3}", report.ratio());
 
     // Exact optimum for comparison (tiny instance).
-    let exact = strip_packing::exact::exact_strip(
-        &prec,
-        strip_packing::exact::ExactConfig::default(),
-    );
+    let exact =
+        strip_packing::exact::exact_strip(&prec, strip_packing::exact::ExactConfig::default());
     if exact.proven_optimal {
-        println!("exact optimum  = {:.3}  (DC/OPT = {:.3})", exact.height, h / exact.height);
+        println!(
+            "exact optimum  = {:.3}  (DC/OPT = {:.3})",
+            exact.height,
+            report.makespan / exact.height
+        );
     }
 }

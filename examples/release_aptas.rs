@@ -1,11 +1,12 @@
-//! Strip packing with release times (§3): the APTAS vs practical
-//! baselines on an online FPGA task queue.
+//! Strip packing with release times (§3): every release-capable solver in
+//! the engine registry vs the APTAS on an online FPGA task queue.
 //!
 //! ```sh
 //! cargo run --example release_aptas
 //! ```
 
 use rand::{rngs::StdRng, SeedableRng};
+use strip_packing::engine::{solve, Registry, SolveRequest};
 use strip_packing::release::{aptas, AptasConfig};
 
 fn main() {
@@ -25,27 +26,39 @@ fn main() {
     let lb = strip_packing::release::baselines::release_lower_bound(&inst);
     println!("lower bound max(AREA, r+h): {lb:.3}\n");
 
-    // Practical baselines.
-    let b1 = strip_packing::release::baselines::batched_ffdh(&inst);
-    strip_packing::core::validate::assert_valid(&inst, &b1);
-    println!("batched FFDH       : height {:.3}", b1.height(&inst));
-    let b2 = strip_packing::release::baselines::skyline_release(&inst);
-    strip_packing::core::validate::assert_valid(&inst, &b2);
-    println!("release skyline    : height {:.3}", b2.height(&inst));
+    // Every solver that honors release times, straight from the registry —
+    // offline baselines, online policies, and the APTAS compete on the
+    // same request.
+    let registry = Registry::builtin();
+    let mut request = SolveRequest::unconstrained(inst.clone());
+    request.config.k = k;
+    println!("release-capable registry entries:");
+    for entry in registry.filter(|c| c.release && !c.precedence) {
+        let solver = entry.build();
+        let report = solve(&*solver, &request).expect("queue is in the §3 model");
+        assert!(report.validation.passed());
+        println!(
+            "  {:<16} height {:.3}  ratio vs LB {:.3}{}",
+            entry.name,
+            report.makespan,
+            report.makespan / lb,
+            if entry.capabilities.online {
+                "  (online: no lookahead)"
+            } else {
+                ""
+            }
+        );
+    }
 
-    // The APTAS at two accuracies.
+    // The APTAS at higher accuracy, with its §3 artifacts exposed.
     for eps in [1.0, 0.5] {
         let cfg = AptasConfig { epsilon: eps, k };
         let res = aptas(&inst, cfg);
         strip_packing::core::validate::assert_valid(&inst, &res.placement);
         println!(
-            "APTAS (eps = {eps:<4}): height {:.3}  [OPT_f(P(R,W)) = {:.3}, \
+            "\nAPTAS (eps = {eps:<4}): height {:.3}  [OPT_f(P(R,W)) = {:.3}, \
              {} release levels, {} width classes, {} LP occurrences]",
-            res.height,
-            res.opt_f_grouped,
-            res.release_levels,
-            res.width_classes,
-            res.occurrences,
+            res.height, res.opt_f_grouped, res.release_levels, res.width_classes, res.occurrences,
         );
     }
 

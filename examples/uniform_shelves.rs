@@ -19,7 +19,10 @@ fn main() {
     let inst = strip_packing::core::Instance::from_dims(&dims).unwrap();
     let prec = PrecInstance::new(inst, dag.clone());
 
-    println!("{n} unit-height tasks, {} precedence edges", dag.edge_count());
+    println!(
+        "{n} unit-height tasks, {} precedence edges",
+        dag.edge_count()
+    );
     println!(
         "lower bounds: ceil(AREA) = {}, longest path = {} tasks",
         prec.area_lb().ceil(),

@@ -1,24 +1,31 @@
 //! `spp` — command-line front end for the strip-packing workspace.
 //!
 //! ```text
-//! spp gen  --family layered -n 40 --seed 7 > inst.spp
-//! spp pack inst.spp --algo dc-nfdh --render ascii
-//! spp pack inst.spp --algo greedy --render svg > packing.svg
+//! spp gen   --family layered -n 40 --seed 7 > inst.spp
+//! spp pack  inst.spp --algo dc-nfdh --render ascii
+//! spp pack  inst.spp --algo greedy --render svg > packing.svg
 //! spp bounds inst.spp
+//! spp batch --families layered,random --count 50 -n 30 --algos dc-nfdh,greedy,layered
+//! spp algos
 //! ```
 //!
-//! Instances use the `spp v1` text format of `spp-gen::textio`
-//! (`item <id> <w> <h> <release>` / `edge <pred> <succ>` lines).
+//! Algorithms are resolved through the engine registry
+//! (`strip_packing::engine::Registry`), so `spp algos` and every error
+//! message list exactly the solvers that exist — nothing is hard-coded in
+//! this binary. Instances use the `spp v1` text format of
+//! `spp-gen::textio` (`item <id> <w> <h> <release>` / `edge <pred> <succ>`
+//! lines).
 
 use std::io::Read as _;
 use std::process::ExitCode;
 
 use strip_packing::dag::PrecInstance;
-use strip_packing::pack::{packer_by_name, Packer, StripPacker};
+use strip_packing::engine::{run_batch, BatchJob, Registry, SolveConfig, SolveRequest, Validation};
+use strip_packing::gen::rects::DagFamily;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  spp gen --family <chains|layered|random|fork-join|series-parallel|out-tree|empty>\n          [-n <count>] [--seed <u64>] [--uniform-height]\n  spp pack <file|-> [--algo <dc-nfdh|dc-wsnf|dc-ffdh|greedy|layered|shelf-f|<packer>>]\n          [--render <none|ascii|svg>]\n  spp bounds <file|->\n\npackers: nfdh ffdh bfdh sleator skyline wsnf (precedence edges ignored)"
+        "usage:\n  spp gen --family <name> [-n <count>] [--seed <u64>] [--uniform-height]\n  spp pack <file|-> [--algo <name>] [--render <none|ascii|svg>]\n          [--epsilon <f64>] [-k <usize>] [--shelf-r <f64>] [--strict]\n  spp bounds <file|->\n  spp batch [--families <f1,f2,..>] [--count <per-family>] [-n <size>]\n          [--seed <u64>] [--algos <a1,a2,..>]\n  spp algos\n\nrun `spp algos` for the algorithm registry with capability flags"
     );
     std::process::exit(2);
 }
@@ -27,6 +34,39 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_or_usage<T: std::str::FromStr>(v: String) -> T {
+    v.parse().unwrap_or_else(|_| usage())
+}
+
+fn family_by_name(name: &str) -> DagFamily {
+    DagFamily::ALL
+        .into_iter()
+        .find(|f| f.name() == name)
+        .unwrap_or_else(|| {
+            let known: Vec<&str> = DagFamily::ALL.iter().map(|f| f.name()).collect();
+            eprintln!(
+                "error: unknown family {name:?}; known families: {}",
+                known.join(" ")
+            );
+            std::process::exit(2);
+        })
+}
+
+fn config_from_args(args: &[String]) -> SolveConfig {
+    let mut config = SolveConfig::default();
+    if let Some(e) = arg_value(args, "--epsilon") {
+        config.epsilon = parse_or_usage(e);
+    }
+    if let Some(k) = arg_value(args, "-k") {
+        config.k = parse_or_usage(k);
+    }
+    if let Some(r) = arg_value(args, "--shelf-r") {
+        config.shelf_r = parse_or_usage(r);
+    }
+    config.strict = args.iter().any(|a| a == "--strict");
+    config
 }
 
 fn read_instance(path: &str) -> PrecInstance {
@@ -54,19 +94,9 @@ fn read_instance(path: &str) -> PrecInstance {
 fn cmd_gen(args: &[String]) -> ExitCode {
     use rand::SeedableRng;
     let family_name = arg_value(args, "--family").unwrap_or_else(|| "layered".into());
-    let n: usize = arg_value(args, "-n")
-        .map(|v| v.parse().unwrap_or_else(|_| usage()))
-        .unwrap_or(30);
-    let seed: u64 = arg_value(args, "--seed")
-        .map(|v| v.parse().unwrap_or_else(|_| usage()))
-        .unwrap_or(1);
-    let family = strip_packing::gen::rects::DagFamily::ALL
-        .into_iter()
-        .find(|f| f.name() == family_name)
-        .unwrap_or_else(|| {
-            eprintln!("error: unknown family {family_name}");
-            std::process::exit(2);
-        });
+    let n: usize = arg_value(args, "-n").map(parse_or_usage).unwrap_or(30);
+    let seed: u64 = arg_value(args, "--seed").map(parse_or_usage).unwrap_or(1);
+    let family = family_by_name(&family_name);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let inst = if args.iter().any(|a| a == "--uniform-height") {
         strip_packing::gen::rects::uniform_height(&mut rng, n, (0.05, 0.95))
@@ -83,75 +113,69 @@ fn cmd_pack(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else { usage() };
     let prec = read_instance(path);
     let algo = arg_value(args, "--algo").unwrap_or_else(|| "dc-nfdh".into());
-    let placement = match algo.as_str() {
-        "dc-nfdh" => strip_packing::precedence::dc(&prec, &Packer::Nfdh),
-        "dc-wsnf" => strip_packing::precedence::dc(&prec, &Packer::Wsnf),
-        "dc-ffdh" => strip_packing::precedence::dc(&prec, &Packer::Ffdh),
-        "greedy" => strip_packing::precedence::greedy_skyline(&prec),
-        "layered" => strip_packing::precedence::layered_pack(&prec, &Packer::Nfdh),
-        "shelf-f" => strip_packing::precedence::shelf_next_fit(&prec).placement,
-        other => match packer_by_name(other) {
-            Some(p) => p.pack(&prec.inst),
-            None => {
-                eprintln!("error: unknown algorithm {other}");
-                return ExitCode::from(2);
-            }
-        },
+
+    let registry = Registry::builtin();
+    let solver = match registry.get_or_err(&algo) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
     };
-    // DC and the raw packers ignore release times; validate accordingly
-    let release_free = matches!(
-        algo.as_str(),
-        "dc-nfdh" | "dc-wsnf" | "dc-ffdh" | "shelf-f"
-    ) || packer_by_name(&algo).is_some();
-    let check = if release_free {
-        let stripped = PrecInstance::new(
-            strip_packing::core::Instance::new(
-                prec.inst
-                    .items()
-                    .iter()
-                    .map(|it| strip_packing::core::Item::new(it.id, it.w, it.h))
-                    .collect(),
-            )
-            .expect("valid"),
-            if packer_by_name(&algo).is_some() {
-                strip_packing::dag::Dag::empty(prec.len())
-            } else {
-                prec.dag.clone()
-            },
-        );
-        stripped.validate(&placement)
-    } else {
-        prec.validate(&placement)
+    let request = SolveRequest::new(prec).with_config(config_from_args(args));
+    let report = match strip_packing::engine::solve(solver.as_ref(), &request) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
     };
-    if let Err(e) = check {
-        eprintln!("internal error: produced invalid placement: {e}");
-        return ExitCode::FAILURE;
+    match &report.validation {
+        Validation::Passed | Validation::Skipped => {}
+        Validation::PassedIgnoring(ignored) => {
+            let kinds: Vec<String> = ignored.iter().map(|c| c.to_string()).collect();
+            eprintln!(
+                "note: {algo} does not honor {} constraints; they were ignored \
+                 (pass --strict to refuse instead)",
+                kinds.join("+")
+            );
+        }
+        Validation::Failed(e) => {
+            eprintln!("internal error: produced invalid placement: {e}");
+            return ExitCode::FAILURE;
+        }
     }
 
-    let h = placement.height(&prec.inst);
+    let prec = &request.prec;
     eprintln!(
-        "algorithm {algo}: height {:.4} (AREA LB {:.4}, F LB {:.4})",
-        h,
-        prec.area_lb(),
-        prec.critical_lb()
+        "algorithm {algo}: height {:.4} (AREA LB {:.4}, F LB {:.4}, ratio {:.3})",
+        report.makespan,
+        report.bounds.area,
+        report.bounds.critical_path,
+        report.ratio()
     );
     match arg_value(args, "--render").as_deref() {
         None | Some("none") => {
             for it in prec.inst.items() {
-                let p = placement.pos(it.id);
+                let p = report.placement.pos(it.id);
                 println!("place {} {:.9} {:.9}", it.id, p.x, p.y);
             }
         }
         Some("ascii") => {
             print!(
                 "{}",
-                strip_packing::core::render::ascii(&prec.inst, &placement, 60, h / 30.0)
+                strip_packing::core::render::ascii(
+                    &prec.inst,
+                    &report.placement,
+                    60,
+                    report.makespan / 30.0
+                )
             );
         }
         Some("svg") => {
             print!(
                 "{}",
-                strip_packing::core::render::svg(&prec.inst, &placement, 400.0)
+                strip_packing::core::render::svg(&prec.inst, &report.placement, 400.0)
             );
         }
         Some(other) => {
@@ -180,12 +204,138 @@ fn cmd_bounds(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// List the registry: one line per solver with capability flags.
+fn cmd_algos() -> ExitCode {
+    let registry = Registry::builtin();
+    println!("{:<16} {:<12} description", "name", "honors");
+    for e in registry.entries() {
+        let mut honors = Vec::new();
+        if e.capabilities.precedence {
+            honors.push("prec");
+        }
+        if e.capabilities.release {
+            honors.push("release");
+        }
+        if e.capabilities.online {
+            honors.push("online");
+        }
+        if e.capabilities.a_bound {
+            honors.push("A-bound");
+        }
+        if e.capabilities.uniform_height_only {
+            honors.push("uniform-h");
+        }
+        let honors = if honors.is_empty() {
+            "-".to_string()
+        } else {
+            honors.join(",")
+        };
+        println!("{:<16} {:<12} {}", e.name, honors, e.summary);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Generate `count` instances per family and run every requested solver on
+/// all of them, in parallel, via the engine's batch executor.
+fn cmd_batch(args: &[String]) -> ExitCode {
+    use rand::SeedableRng;
+
+    let families: Vec<DagFamily> = arg_value(args, "--families")
+        .unwrap_or_else(|| "layered,random".into())
+        .split(',')
+        .map(family_by_name)
+        .collect();
+    let count: usize = arg_value(args, "--count").map(parse_or_usage).unwrap_or(50);
+    let n: usize = arg_value(args, "-n").map(parse_or_usage).unwrap_or(30);
+    let seed: u64 = arg_value(args, "--seed").map(parse_or_usage).unwrap_or(1);
+    let algos: Vec<String> = arg_value(args, "--algos")
+        .unwrap_or_else(|| "dc-nfdh,greedy,layered".into())
+        .split(',')
+        .map(str::to_string)
+        .collect();
+
+    let registry = Registry::builtin();
+    let mut solvers = Vec::new();
+    for name in &algos {
+        match registry.get_or_err(name) {
+            Ok(s) => solvers.push(s),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let config = config_from_args(args);
+    let mut jobs = Vec::with_capacity(families.len() * count);
+    for family in &families {
+        for i in 0..count {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(
+                seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let inst = strip_packing::gen::rects::uniform(&mut rng, n, (0.05, 0.95), (0.05, 1.0));
+            let dag = family.build(&mut rng, n);
+            let request =
+                SolveRequest::new(PrecInstance::new(inst, dag)).with_config(config.clone());
+            jobs.push(BatchJob::new(format!("{}/{}", family.name(), i), request));
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    let (results, summary) = run_batch(&jobs, &solvers);
+    let wall = t0.elapsed();
+
+    // Deterministic summary table on stdout; timing (machine-dependent) on
+    // stderr so output can be diffed across runs.
+    println!(
+        "| {:<16} | {:>6} | {:>11} | {:>7} | {:>10} | {:>9} | {:>13} |",
+        "solver", "solved", "unsupported", "invalid", "mean ratio", "max ratio", "sum makespan"
+    );
+    println!(
+        "|{}|{}|{}|{}|{}|{}|{}|",
+        "-".repeat(18),
+        "-".repeat(8),
+        "-".repeat(13),
+        "-".repeat(9),
+        "-".repeat(12),
+        "-".repeat(11),
+        "-".repeat(15)
+    );
+    for s in &summary.per_solver {
+        println!(
+            "| {:<16} | {:>6} | {:>11} | {:>7} | {:>10.3} | {:>9.3} | {:>13.3} |",
+            s.solver,
+            s.solved,
+            s.unsupported,
+            s.invalid,
+            s.mean_ratio,
+            s.max_ratio,
+            s.total_makespan
+        );
+    }
+    let failures: usize = summary.per_solver.iter().map(|s| s.invalid).sum();
+    eprintln!(
+        "batch: {} jobs x {} solvers = {} cells in {:.2}s wall",
+        jobs.len(),
+        solvers.len(),
+        results.len(),
+        wall.as_secs_f64()
+    );
+    if failures > 0 {
+        eprintln!("error: {failures} cells produced invalid placements");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("gen") => cmd_gen(&args[1..]),
         Some("pack") => cmd_pack(&args[1..]),
         Some("bounds") => cmd_bounds(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
+        Some("algos") => cmd_algos(),
         _ => usage(),
     }
 }

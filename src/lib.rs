@@ -19,6 +19,7 @@
 //! |---|---|
 //! | [`core`] | items, instances, placements, validation, lower bounds |
 //! | [`dag`] | precedence DAG substrate, critical path `F(s)` |
+//! | [`engine`] | unified solver engine: `Solver` trait, registry, batch executor |
 //! | [`pack`] | unconstrained strip packing (NFDH/FFDH/BFDH/Sleator/skyline) |
 //! | [`precedence`] | §2: the `DC` algorithm, uniform-height shelf `F`, GGJY bin packing |
 //! | [`lp`] | two-phase simplex LP solver |
@@ -26,10 +27,23 @@
 //! | [`exact`] | exact solvers for small instances |
 //! | [`fpga`] | K-column reconfigurable-device model |
 //! | [`gen`] | workload generators incl. the paper's adversarial families |
-//! | [`par`] | minimal fork-join parallel runtime over crossbeam |
+//! | [`par`] | minimal fork-join parallel runtime over std scoped threads |
+//!
+//! Algorithm lookup goes through the engine's registry:
+//!
+//! ```
+//! use strip_packing::engine::{Registry, SolveRequest};
+//!
+//! let registry = Registry::builtin();
+//! let solver = registry.get("dc-nfdh").unwrap();
+//! let inst = strip_packing::core::Instance::from_dims(&[(0.5, 1.0)]).unwrap();
+//! let report = strip_packing::engine::solve(&*solver, &SolveRequest::unconstrained(inst)).unwrap();
+//! assert!(report.validation.passed());
+//! ```
 
 pub use spp_core as core;
 pub use spp_dag as dag;
+pub use spp_engine as engine;
 pub use spp_exact as exact;
 pub use spp_fpga as fpga;
 pub use spp_gen as gen;

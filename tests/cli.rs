@@ -35,7 +35,11 @@ fn gen_pack_roundtrip() {
         .write_all(text.as_bytes())
         .unwrap();
     let out = child.wait_with_output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     // one `place` line per item, parseable back into a valid placement
     let mut pl = strip_packing::core::Placement::zeroed(25);
@@ -81,7 +85,14 @@ fn svg_render_is_emitted() {
     let tmp = std::env::temp_dir().join("spp_cli_test_svg.spp");
     std::fs::write(&tmp, &gen.stdout).unwrap();
     let out = spp()
-        .args(["pack", tmp.to_str().unwrap(), "--algo", "greedy", "--render", "svg"])
+        .args([
+            "pack",
+            tmp.to_str().unwrap(),
+            "--algo",
+            "greedy",
+            "--render",
+            "svg",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -91,7 +102,7 @@ fn svg_render_is_emitted() {
 }
 
 #[test]
-fn unknown_algorithm_fails_cleanly() {
+fn unknown_algorithm_lists_the_registry() {
     let gen = spp().args(["gen", "-n", "4"]).output().unwrap();
     let tmp = std::env::temp_dir().join("spp_cli_test_bad.spp");
     std::fs::write(&tmp, &gen.stdout).unwrap();
@@ -100,7 +111,95 @@ fn unknown_algorithm_fails_cleanly() {
         .output()
         .unwrap();
     assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown solver"), "{stderr}");
+    // The message must come from the live registry, not a hard-coded list.
+    for name in strip_packing::engine::Registry::builtin().names() {
+        assert!(
+            stderr.contains(name),
+            "registry entry {name} missing:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn unknown_family_lists_known_families() {
+    let out = spp()
+        .args(["gen", "--family", "moebius", "-n", "4"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown family"), "{stderr}");
+    for f in strip_packing::gen::rects::DagFamily::ALL {
+        assert!(
+            stderr.contains(f.name()),
+            "family {} missing:\n{stderr}",
+            f.name()
+        );
+    }
+}
+
+#[test]
+fn algos_subcommand_lists_every_registry_entry() {
+    let out = spp().args(["algos"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in strip_packing::engine::Registry::builtin().names() {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn batch_runs_hundreds_of_cells_deterministically() {
+    let run = || {
+        spp()
+            .args([
+                "batch",
+                "--families",
+                "layered,random",
+                "--count",
+                "50",
+                "-n",
+                "12",
+                "--seed",
+                "3",
+                "--algos",
+                "dc-nfdh,greedy,layered",
+            ])
+            .output()
+            .unwrap()
+    };
+    let out = run();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let table = String::from_utf8(out.stdout).unwrap();
+    for algo in ["dc-nfdh", "greedy", "layered"] {
+        assert!(table.contains(algo), "missing {algo} in:\n{table}");
+    }
+    // 2 families x 50 instances x 3 solvers = 300 cells.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("100 jobs x 3 solvers = 300 cells"),
+        "{stderr}"
+    );
+    // Deterministic: stdout (counts/ratios table) is identical across runs.
+    let again = run();
+    assert_eq!(table, String::from_utf8(again.stdout).unwrap());
+}
+
+#[test]
+fn batch_rejects_unknown_solver_with_listing() {
+    let out = spp()
+        .args(["batch", "--count", "2", "--algos", "nfdh,warp-drive"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown solver") && stderr.contains("warp-drive"));
 }
 
 #[test]

@@ -44,8 +44,7 @@ fn fpga_pipeline_end_to_end() {
     let graph = strip_packing::fpga::pipelines::tiled_pipeline(&mut rng, device, 5, 4);
     let prec = strip_packing::fpga::to_prec_instance(&graph);
     let pl = strip_packing::precedence::dc(&prec, &Packer::Nfdh);
-    let sched =
-        strip_packing::fpga::schedule_from_placement(&graph, &pl).expect("column aligned");
+    let sched = strip_packing::fpga::schedule_from_placement(&graph, &pl).expect("column aligned");
     sched.validate(&graph).expect("valid schedule");
     assert!(sched.makespan(&graph) + 1e-9 >= graph.makespan_lower_bound());
     // Gantt renders without panicking and covers the makespan
@@ -116,10 +115,8 @@ fn exact_solver_agrees_with_dc_lower_bounds() {
         let inst = strip_packing::core::Instance::from_dims(&dims).unwrap();
         let dag = strip_packing::dag::gen::random_order(&mut rng, n, 0.3);
         let prec = PrecInstance::new(inst, dag);
-        let exact = strip_packing::exact::exact_strip(
-            &prec,
-            strip_packing::exact::ExactConfig::default(),
-        );
+        let exact =
+            strip_packing::exact::exact_strip(&prec, strip_packing::exact::ExactConfig::default());
         assert!(exact.proven_optimal);
         // sandwich: LB ≤ OPT ≤ DC ≤ Theorem 2.3 bound
         let dc_h = strip_packing::precedence::dc(&prec, &Packer::Nfdh).height(&prec.inst);
@@ -152,17 +149,12 @@ fn aptas_output_is_a_valid_fpga_schedule() {
     let tasks: Vec<Task> = inst
         .items()
         .iter()
-        .map(|it| {
-            Task::with_release(
-                it.id,
-                (it.w * k as f64).round() as usize,
-                it.h,
-                it.release,
-            )
-        })
+        .map(|it| Task::with_release(it.id, (it.w * k as f64).round() as usize, it.h, it.release))
         .collect();
     let graph = TaskGraph::independent(Device::new(k), tasks);
     let sched = strip_packing::fpga::schedule_from_placement(&graph, &res.placement)
         .expect("APTAS placements are column-aligned");
-    sched.validate(&graph).expect("valid device schedule with releases");
+    sched
+        .validate(&graph)
+        .expect("valid device schedule with releases");
 }

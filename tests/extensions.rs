@@ -54,11 +54,9 @@ fn overhead_schedules_via_every_algorithm() {
     let graph = strip_packing::fpga::pipelines::jpeg_pipeline(device, 3);
     let delta = 0.25;
     for packer in [Packer::Nfdh, Packer::Wsnf, Packer::Ffdh] {
-        let sched = strip_packing::fpga::overhead::schedule_with_overhead(
-            &graph,
-            delta,
-            |p| strip_packing::precedence::dc(p, &packer),
-        )
+        let sched = strip_packing::fpga::overhead::schedule_with_overhead(&graph, delta, |p| {
+            strip_packing::precedence::dc(p, &packer)
+        })
         .expect("column aligned");
         strip_packing::fpga::overhead::validate_with_overhead(&graph, &sched, delta)
             .expect("overhead-valid schedule");
@@ -118,8 +116,7 @@ fn lp_certificates_hold_for_aptas_runs() {
         &grouped.widths,
         &grouped.class_of,
     );
-    let (frac, configs) =
-        strip_packing::release::colgen::solve_fractional_with_configs(&data);
+    let (frac, configs) = strip_packing::release::colgen::solve_fractional_with_configs(&data);
     assert!(!configs.is_empty());
     assert!(frac.total_height > 0.0);
     // occurrences bounded per Lemma 3.3

@@ -48,7 +48,9 @@ fn precedence_violations_are_reported_with_the_edge() {
     let prec = PrecInstance::new(inst, dag);
     let pl = strip_packing::core::Placement::from_xy(&[(0.0, 0.0), (0.5, 0.0)]);
     match prec.validate(&pl) {
-        Err(ValidationError::PrecedenceViolated { pred: 0, succ: 1, .. }) => {}
+        Err(ValidationError::PrecedenceViolated {
+            pred: 0, succ: 1, ..
+        }) => {}
         other => panic!("expected precedence violation, got {other:?}"),
     }
 }
@@ -63,16 +65,32 @@ fn schedule_validator_rejects_column_and_time_conflicts() {
     // both tasks need 3 of 4 columns at the same time -> impossible
     let s = Schedule {
         entries: vec![
-            ScheduledTask { id: 0, start_col: 0, start_time: 0.0 },
-            ScheduledTask { id: 1, start_col: 1, start_time: 0.5 },
+            ScheduledTask {
+                id: 0,
+                start_col: 0,
+                start_time: 0.0,
+            },
+            ScheduledTask {
+                id: 1,
+                start_col: 1,
+                start_time: 0.5,
+            },
         ],
     };
     assert!(s.validate(&g).is_err());
     // sequential is fine
     let s2 = Schedule {
         entries: vec![
-            ScheduledTask { id: 0, start_col: 0, start_time: 0.0 },
-            ScheduledTask { id: 1, start_col: 1, start_time: 1.0 },
+            ScheduledTask {
+                id: 0,
+                start_col: 0,
+                start_time: 0.0,
+            },
+            ScheduledTask {
+                id: 1,
+                start_col: 1,
+                start_time: 1.0,
+            },
         ],
     };
     assert!(s2.validate(&g).is_ok());

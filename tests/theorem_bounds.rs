@@ -12,15 +12,13 @@ fn theorem_2_3_bound_across_families() {
     let mut rng = StdRng::seed_from_u64(100);
     for family in strip_packing::gen::rects::DagFamily::ALL {
         for &n in &[1usize, 2, 9, 33, 120] {
-            let inst =
-                strip_packing::gen::rects::uniform(&mut rng, n, (0.02, 1.0), (0.02, 1.5));
+            let inst = strip_packing::gen::rects::uniform(&mut rng, n, (0.02, 1.0), (0.02, 1.5));
             let dag = family.build(&mut rng, n);
             let prec = PrecInstance::new(inst, dag);
             let pl = strip_packing::precedence::dc(&prec, &Packer::Nfdh);
             prec.assert_valid(&pl);
             assert!(
-                pl.height(&prec.inst)
-                    <= strip_packing::precedence::dc_bound(&prec) + 1e-9,
+                pl.height(&prec.inst) <= strip_packing::precedence::dc_bound(&prec) + 1e-9,
                 "family {} n {n}",
                 family.name()
             );
