@@ -12,6 +12,7 @@ pub mod online_gap;
 pub mod pack_baselines;
 pub mod ratio3_tightness;
 pub mod release_rounding;
+pub mod shard_scaling;
 pub mod shelf_reduction;
 pub mod uniform_ratio;
 

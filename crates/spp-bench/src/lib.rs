@@ -21,6 +21,7 @@
 //! | E11 | `exp_fpga` | §1 FPGA motivation |
 //! | E12 | `exp_pack_baselines` | subroutine `A` family |
 //! | E13 | `exp_online` | extension: online vs offline (release times) |
+//! | E14 | (run_all only) | sharded batch: equivalence and scaling |
 //! | A1 | `exp_ablation` | design-choice ablations |
 //!
 //! Criterion micro/macro benches live in `benches/`.
@@ -56,6 +57,7 @@ pub fn run_all_experiments() -> RunAllOutput {
         ("E11", experiments::fpga::run),
         ("E12", experiments::pack_baselines::run),
         ("E13", experiments::online_gap::run),
+        ("E14", experiments::shard_scaling::run),
         ("A1", experiments::ablation::run),
     ];
     let mut markdown = String::new();

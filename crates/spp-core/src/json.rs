@@ -1,0 +1,847 @@
+//! The canonical on-disk instance format (JSON) and a minimal JSON
+//! parser to read it.
+//!
+//! The allowed dependency set contains no data-format crate, so both the
+//! JSON reader and the writer are hand rolled. The reader is a strict
+//! recursive-descent parser that tracks the **line** of every value, so
+//! schema errors can name the offending field *and* line — the contract
+//! the batch tooling relies on when a 10 000-file shard run rejects one
+//! input.
+//!
+//! On-disk schema (`InstanceFile`):
+//!
+//! ```json
+//! {
+//!   "format": "spp-instance",
+//!   "version": 1,
+//!   "items": [
+//!     {"id": 0, "w": 5.00000000000000000e-1, "h": 1.00000000000000000e0, "release": 0.00000000000000000e0}
+//!   ],
+//!   "edges": [
+//!     [0, 1]
+//!   ]
+//! }
+//! ```
+//!
+//! Floats are written with `{:.17e}` so `parse ∘ serialize` is the
+//! identity bit-for-bit. Edges are stored as raw `[pred, succ]` id pairs;
+//! cycle checking belongs to the DAG layer (`spp-dag`), which this crate
+//! deliberately does not depend on.
+
+use std::fmt::Write as _;
+
+use crate::error::CoreError;
+use crate::instance::Instance;
+use crate::item::Item;
+
+// ---------------------------------------------------------------------------
+// Low-level JSON values
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (payload only; the line lives in [`JsonValue`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl Json {
+    /// Human name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+/// A JSON value together with the 1-based line it started on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonValue {
+    pub json: Json,
+    pub line: usize,
+}
+
+/// A syntax error from the low-level parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonSyntaxError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for JsonSyntaxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for JsonSyntaxError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> JsonSyntaxError {
+        JsonSyntaxError {
+            line: self.line,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonSyntaxError> {
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            Some(got) => {
+                Err(self.err(format!("expected {:?}, found {:?}", b as char, got as char)))
+            }
+            None => Err(self.err(format!("expected {:?}, found end of input", b as char))),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, JsonSyntaxError> {
+        self.skip_ws();
+        let line = self.line;
+        let json = match self.peek() {
+            Some(b'{') => self.parse_object()?,
+            Some(b'[') => self.parse_array()?,
+            Some(b'"') => Json::Str(self.parse_string()?),
+            Some(b't') | Some(b'f') => self.parse_bool()?,
+            Some(b'n') => {
+                self.parse_keyword("null")?;
+                Json::Null
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => Json::Num(self.parse_number()?),
+            Some(c) => return Err(self.err(format!("unexpected character {:?}", c as char))),
+            None => return Err(self.err("unexpected end of input")),
+        };
+        Ok(JsonValue { json, line })
+    }
+
+    fn parse_keyword(&mut self, kw: &str) -> Result<(), JsonSyntaxError> {
+        for want in kw.bytes() {
+            match self.bump() {
+                Some(got) if got == want => {}
+                _ => return Err(self.err(format!("expected keyword {kw:?}"))),
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_bool(&mut self) -> Result<Json, JsonSyntaxError> {
+        if self.peek() == Some(b't') {
+            self.parse_keyword("true")?;
+            Ok(Json::Bool(true))
+        } else {
+            self.parse_keyword("false")?;
+            Ok(Json::Bool(false))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, JsonSyntaxError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.peek() == Some(b'.') {
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.bump();
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        token
+            .parse::<f64>()
+            .map_err(|_| self.err(format!("invalid number {token:?}")))
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, JsonSyntaxError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .bump()
+                .and_then(|c| (c as char).to_digit(16))
+                .ok_or_else(|| self.err("invalid \\u escape"))?;
+            code = code * 16 + d;
+        }
+        Ok(code)
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonSyntaxError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let unit = self.parse_hex4()?;
+                        let code = if (0xD800..=0xDBFF).contains(&unit) {
+                            // High surrogate: JSON encodes astral-plane
+                            // characters as a \uXXXX\uXXXX pair.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.err("high surrogate not followed by \\u escape"));
+                            }
+                            let low = self.parse_hex4()?;
+                            if !(0xDC00..=0xDFFF).contains(&low) {
+                                return Err(self.err("invalid low surrogate in \\u pair"));
+                            }
+                            0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
+                        } else {
+                            unit
+                        };
+                        out.push(
+                            char::from_u32(code).ok_or_else(|| self.err("invalid \\u escape"))?,
+                        );
+                    }
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                Some(c) if c < 0x80 => out.push(c as char),
+                Some(first) => {
+                    // Re-decode a multi-byte UTF-8 sequence (input is &str,
+                    // so the bytes are valid UTF-8 by construction).
+                    let len = match first {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    for _ in 1..len {
+                        self.bump();
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, JsonSyntaxError> {
+        self.expect(b'[')?;
+        let mut vals = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.bump();
+            return Ok(Json::Arr(vals));
+        }
+        loop {
+            vals.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b']') => return Ok(Json::Arr(vals)),
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, JsonSyntaxError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b'}') => return Ok(Json::Obj(fields)),
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+}
+
+/// Parse one JSON document (trailing whitespace allowed, nothing else).
+pub fn parse(text: &str) -> Result<JsonValue, JsonSyntaxError> {
+    let mut p = Parser::new(text);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.peek().is_some() {
+        return Err(p.err("trailing characters after JSON document"));
+    }
+    Ok(v)
+}
+
+/// Escape a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Schema layer: the instance file
+// ---------------------------------------------------------------------------
+
+/// A schema error: which field is wrong, on which line, and why.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FileFormatError {
+    /// The document is not JSON at all.
+    Syntax(JsonSyntaxError),
+    /// The document is JSON but violates the `spp-instance` schema.
+    Field {
+        /// Dotted/indexed path of the offending field, e.g. `items[3].w`.
+        field: String,
+        /// 1-based line the offending value starts on.
+        line: usize,
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for FileFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FileFormatError::Syntax(e) => write!(f, "invalid JSON: {e}"),
+            FileFormatError::Field { field, line, msg } => {
+                write!(f, "field {field} (line {line}): {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FileFormatError {}
+
+impl From<JsonSyntaxError> for FileFormatError {
+    fn from(e: JsonSyntaxError) -> Self {
+        FileFormatError::Syntax(e)
+    }
+}
+
+fn field_err(field: &str, line: usize, msg: impl Into<String>) -> FileFormatError {
+    FileFormatError::Field {
+        field: field.to_string(),
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// The on-disk instance document: items plus raw precedence edges.
+///
+/// This is the *transport* form — it stores exactly what the file stores.
+/// [`InstanceFile::instance`] builds the validated [`Instance`]; pairing
+/// the edges with a checked DAG is the caller's job (`spp-gen::fileio`),
+/// because `spp-core` does not depend on the graph crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceFile {
+    pub items: Vec<Item>,
+    pub edges: Vec<(usize, usize)>,
+}
+
+/// Current schema version written by [`InstanceFile::to_json`].
+pub const INSTANCE_FORMAT_VERSION: u64 = 1;
+
+/// The `format` tag written by [`InstanceFile::to_json`].
+pub const INSTANCE_FORMAT_NAME: &str = "spp-instance";
+
+impl InstanceFile {
+    pub fn new(items: Vec<Item>, edges: Vec<(usize, usize)>) -> Self {
+        InstanceFile { items, edges }
+    }
+
+    /// Snapshot an instance (+ optional edge list) into transport form.
+    pub fn from_instance(inst: &Instance, edges: Vec<(usize, usize)>) -> Self {
+        InstanceFile {
+            items: inst.items().to_vec(),
+            edges,
+        }
+    }
+
+    /// Build the validated [`Instance`] (ids must be exactly `0..n`).
+    pub fn instance(&self) -> Result<Instance, CoreError> {
+        Instance::new(self.items.clone())
+    }
+
+    /// Canonical serialization: fixed field order, one item / edge per
+    /// line, floats via `{:.17e}` so the round-trip is exact.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"format\": \"{INSTANCE_FORMAT_NAME}\",");
+        let _ = writeln!(out, "  \"version\": {INSTANCE_FORMAT_VERSION},");
+        out.push_str("  \"items\": [");
+        for (i, it) in self.items.iter().enumerate() {
+            let sep = if i + 1 < self.items.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    {{\"id\": {}, \"w\": {:.17e}, \"h\": {:.17e}, \"release\": {:.17e}}}{sep}",
+                it.id, it.w, it.h, it.release
+            );
+        }
+        out.push_str(if self.items.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"edges\": [");
+        for (i, (u, v)) in self.edges.iter().enumerate() {
+            let sep = if i + 1 < self.edges.len() { "," } else { "" };
+            let _ = write!(out, "\n    [{u}, {v}]{sep}");
+        }
+        out.push_str(if self.edges.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parse and schema-check a document produced by [`Self::to_json`]
+    /// (or written by hand). Items may appear in any order; their ids must
+    /// be exactly `0..n`. Every schema violation names the offending
+    /// field path and the line it starts on.
+    pub fn parse(text: &str) -> Result<Self, FileFormatError> {
+        let doc = parse(text)?;
+        let obj = as_obj(&doc, "$")?;
+
+        // Reject unknown top-level fields so typos ("edgs") are named
+        // instead of silently dropped.
+        for (key, val) in obj {
+            if !matches!(key.as_str(), "format" | "version" | "items" | "edges") {
+                return Err(field_err(key, val.line, "unknown field"));
+            }
+        }
+
+        let format = get_field(obj, &doc, "format")?;
+        match &format.json {
+            Json::Str(s) if s == INSTANCE_FORMAT_NAME => {}
+            Json::Str(s) => {
+                return Err(field_err(
+                    "format",
+                    format.line,
+                    format!("expected {INSTANCE_FORMAT_NAME:?}, found {s:?}"),
+                ))
+            }
+            other => {
+                return Err(field_err(
+                    "format",
+                    format.line,
+                    format!("expected string, found {}", other.type_name()),
+                ))
+            }
+        }
+
+        let version = get_field(obj, &doc, "version")?;
+        let v = as_u64(version, "version")?;
+        if v != INSTANCE_FORMAT_VERSION {
+            return Err(field_err(
+                "version",
+                version.line,
+                format!("unsupported version {v} (this build reads {INSTANCE_FORMAT_VERSION})"),
+            ));
+        }
+
+        let items_val = get_field(obj, &doc, "items")?;
+        let items_arr = as_arr(items_val, "items")?;
+        let mut items: Vec<Item> = Vec::with_capacity(items_arr.len());
+        for (i, iv) in items_arr.iter().enumerate() {
+            items.push(parse_item(iv, i)?);
+        }
+        items.sort_by_key(|it| it.id);
+        for (index, it) in items.iter().enumerate() {
+            if it.id != index {
+                return Err(field_err(
+                    "items",
+                    items_val.line,
+                    format!(
+                        "item ids must be exactly 0..{}; missing id {index}",
+                        items.len()
+                    ),
+                ));
+            }
+        }
+
+        let edges_val = get_field(obj, &doc, "edges")?;
+        let edges_arr = as_arr(edges_val, "edges")?;
+        let mut edges = Vec::with_capacity(edges_arr.len());
+        for (i, ev) in edges_arr.iter().enumerate() {
+            let path = format!("edges[{i}]");
+            let pair = as_arr(ev, &path)?;
+            if pair.len() != 2 {
+                return Err(field_err(
+                    &path,
+                    ev.line,
+                    format!("expected [pred, succ], found {} elements", pair.len()),
+                ));
+            }
+            let u = as_u64(&pair[0], &format!("{path}[0]"))? as usize;
+            let v = as_u64(&pair[1], &format!("{path}[1]"))? as usize;
+            for (endpoint, which) in [(u, "[0]"), (v, "[1]")] {
+                if endpoint >= items.len() {
+                    return Err(field_err(
+                        &format!("{path}{which}"),
+                        ev.line,
+                        format!("id {endpoint} out of range (n = {})", items.len()),
+                    ));
+                }
+            }
+            edges.push((u, v));
+        }
+
+        Ok(InstanceFile { items, edges })
+    }
+}
+
+/// Typed accessor: the value must be an object; `path` names it in the
+/// error. (These accessors are public so every schema layer built on this
+/// parser — instance files here, shard reports in `spp-engine` — shares
+/// one implementation and one error style.)
+pub fn as_obj<'a>(
+    v: &'a JsonValue,
+    path: &str,
+) -> Result<&'a Vec<(String, JsonValue)>, FileFormatError> {
+    match &v.json {
+        Json::Obj(fields) => Ok(fields),
+        other => Err(field_err(
+            path,
+            v.line,
+            format!("expected object, found {}", other.type_name()),
+        )),
+    }
+}
+
+/// Typed accessor: the value must be an array.
+pub fn as_arr<'a>(v: &'a JsonValue, path: &str) -> Result<&'a Vec<JsonValue>, FileFormatError> {
+    match &v.json {
+        Json::Arr(vals) => Ok(vals),
+        other => Err(field_err(
+            path,
+            v.line,
+            format!("expected array, found {}", other.type_name()),
+        )),
+    }
+}
+
+/// Typed accessor: the value must be a number.
+pub fn as_num(v: &JsonValue, path: &str) -> Result<f64, FileFormatError> {
+    match &v.json {
+        Json::Num(x) => Ok(*x),
+        other => Err(field_err(
+            path,
+            v.line,
+            format!("expected number, found {}", other.type_name()),
+        )),
+    }
+}
+
+/// Typed accessor: the value must be a non-negative integer.
+pub fn as_u64(v: &JsonValue, path: &str) -> Result<u64, FileFormatError> {
+    let x = as_num(v, path)?;
+    if x < 0.0 || x.fract() != 0.0 || !x.is_finite() {
+        return Err(field_err(
+            path,
+            v.line,
+            format!("expected a non-negative integer, found {x}"),
+        ));
+    }
+    Ok(x as u64)
+}
+
+/// Typed accessor: the value must be a string.
+pub fn as_str<'a>(v: &'a JsonValue, path: &str) -> Result<&'a str, FileFormatError> {
+    match &v.json {
+        Json::Str(s) => Ok(s),
+        other => Err(field_err(
+            path,
+            v.line,
+            format!("expected string, found {}", other.type_name()),
+        )),
+    }
+}
+
+/// Look up a required field of an object (`doc` supplies the error line
+/// when the field is absent).
+pub fn get_field<'a>(
+    obj: &'a [(String, JsonValue)],
+    doc: &JsonValue,
+    name: &str,
+) -> Result<&'a JsonValue, FileFormatError> {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| field_err(name, doc.line, "missing required field"))
+}
+
+fn parse_item(v: &JsonValue, index: usize) -> Result<Item, FileFormatError> {
+    let path = format!("items[{index}]");
+    let fields = as_obj(v, &path)?;
+    for (key, val) in fields {
+        if !matches!(key.as_str(), "id" | "w" | "h" | "release") {
+            return Err(field_err(
+                &format!("{path}.{key}"),
+                val.line,
+                "unknown field",
+            ));
+        }
+    }
+    let get = |name: &str| -> Result<&JsonValue, FileFormatError> {
+        fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, fv)| fv)
+            .ok_or_else(|| field_err(&format!("{path}.{name}"), v.line, "missing required field"))
+    };
+    let id = as_u64(get("id")?, &format!("{path}.id"))? as usize;
+    let w = as_num(get("w")?, &format!("{path}.w"))?;
+    let h = as_num(get("h")?, &format!("{path}.h"))?;
+    let release = as_num(get("release")?, &format!("{path}.release"))?;
+    let item = Item::with_release(id, w, h, release);
+    // Domain checks here so the error carries the field path + line
+    // instead of a bare CoreError at Instance construction.
+    if !w.is_finite() || w <= 0.0 || w > 1.0 {
+        return Err(field_err(
+            &format!("{path}.w"),
+            get("w")?.line,
+            format!("width {w} outside (0, 1]"),
+        ));
+    }
+    if !h.is_finite() || h <= 0.0 {
+        return Err(field_err(
+            &format!("{path}.h"),
+            get("h")?.line,
+            format!("height {h} must be positive and finite"),
+        ));
+    }
+    if !release.is_finite() || release < 0.0 {
+        return Err(field_err(
+            &format!("{path}.release"),
+            get("release")?.line,
+            format!("release {release} must be non-negative and finite"),
+        ));
+    }
+    Ok(item)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InstanceFile {
+        InstanceFile::new(
+            vec![
+                Item::with_release(0, 0.5, 1.0, 0.0),
+                Item::with_release(1, 0.25, 2.0, 1.5),
+                Item::with_release(2, 1.0, 0.125, 0.0),
+            ],
+            vec![(0, 1), (1, 2)],
+        )
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let f = sample();
+        let text = f.to_json();
+        let back = InstanceFile::parse(&text).unwrap();
+        assert_eq!(f, back);
+        // And serialization is canonical: serialize ∘ parse ∘ serialize = serialize.
+        assert_eq!(text, back.to_json());
+    }
+
+    #[test]
+    fn empty_instance_roundtrips() {
+        let f = InstanceFile::new(vec![], vec![]);
+        assert_eq!(InstanceFile::parse(&f.to_json()).unwrap(), f);
+    }
+
+    #[test]
+    fn items_in_any_order_are_sorted() {
+        let text = r#"{"format": "spp-instance", "version": 1,
+            "items": [{"id": 1, "w": 0.5, "h": 1, "release": 0},
+                      {"id": 0, "w": 0.25, "h": 2, "release": 0}],
+            "edges": []}"#;
+        let f = InstanceFile::parse(text).unwrap();
+        assert_eq!(f.items[0].id, 0);
+        assert_eq!(f.items[0].w, 0.25);
+        assert!(f.instance().is_ok());
+    }
+
+    #[test]
+    fn errors_name_field_and_line() {
+        // Non-numeric width on line 4 of the document.
+        let text = "{\"format\": \"spp-instance\",\n \"version\": 1,\n \"items\": [\n  {\"id\": 0, \"w\": \"wide\", \"h\": 1, \"release\": 0}\n ],\n \"edges\": []}";
+        let err = InstanceFile::parse(text).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("items[0].w"), "{msg}");
+        assert!(msg.contains("line 4"), "{msg}");
+
+        // Edge referencing a nonexistent item.
+        let text = "{\"format\": \"spp-instance\", \"version\": 1,\n \"items\": [{\"id\": 0, \"w\": 0.5, \"h\": 1, \"release\": 0}],\n \"edges\": [[0, 7]]}";
+        let err = InstanceFile::parse(text).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("edges[0][1]"), "{msg}");
+        assert!(msg.contains("line 3"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_fields_rejected_by_name() {
+        let text = "{\"format\": \"spp-instance\", \"version\": 1,\n \"items\": [], \"edges\": [],\n \"edgs\": []}";
+        let msg = InstanceFile::parse(text).unwrap_err().to_string();
+        assert!(msg.contains("edgs"), "{msg}");
+
+        let text = "{\"format\": \"spp-instance\", \"version\": 1,\n \"items\": [{\"id\": 0, \"w\": 0.5, \"h\": 1, \"release\": 0, \"color\": 3}], \"edges\": []}";
+        let msg = InstanceFile::parse(text).unwrap_err().to_string();
+        assert!(msg.contains("items[0].color"), "{msg}");
+    }
+
+    #[test]
+    fn wrong_format_or_version_rejected() {
+        let text = "{\"format\": \"gif\", \"version\": 1, \"items\": [], \"edges\": []}";
+        let msg = InstanceFile::parse(text).unwrap_err().to_string();
+        assert!(msg.contains("format") && msg.contains("gif"), "{msg}");
+
+        let text = "{\"format\": \"spp-instance\", \"version\": 99, \"items\": [], \"edges\": []}";
+        let msg = InstanceFile::parse(text).unwrap_err().to_string();
+        assert!(msg.contains("version") && msg.contains("99"), "{msg}");
+    }
+
+    #[test]
+    fn domain_violations_name_the_field() {
+        let text = "{\"format\": \"spp-instance\", \"version\": 1,\n \"items\": [{\"id\": 0, \"w\": 1.5, \"h\": 1, \"release\": 0}], \"edges\": []}";
+        let msg = InstanceFile::parse(text).unwrap_err().to_string();
+        assert!(
+            msg.contains("items[0].w") && msg.contains("(0, 1]"),
+            "{msg}"
+        );
+
+        let text = "{\"format\": \"spp-instance\", \"version\": 1,\n \"items\": [{\"id\": 0, \"w\": 0.5, \"h\": 1, \"release\": -2}], \"edges\": []}";
+        let msg = InstanceFile::parse(text).unwrap_err().to_string();
+        assert!(msg.contains("items[0].release"), "{msg}");
+    }
+
+    #[test]
+    fn gapped_ids_rejected() {
+        let text = "{\"format\": \"spp-instance\", \"version\": 1,\n \"items\": [{\"id\": 0, \"w\": 0.5, \"h\": 1, \"release\": 0},\n {\"id\": 2, \"w\": 0.5, \"h\": 1, \"release\": 0}], \"edges\": []}";
+        let msg = InstanceFile::parse(text).unwrap_err().to_string();
+        assert!(msg.contains("missing id 1"), "{msg}");
+    }
+
+    #[test]
+    fn syntax_errors_carry_lines() {
+        let err = InstanceFile::parse("{\n \"format\": \"spp-instance\",\n oops\n}").unwrap_err();
+        match err {
+            FileFormatError::Syntax(e) => assert_eq!(e.line, 3),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_parser_handles_generic_documents() {
+        let v = parse(r#"{"a": [1, -2.5e3, true, null, "x\nA"], "b": {}}"#).unwrap();
+        let obj = match &v.json {
+            Json::Obj(f) => f,
+            _ => panic!(),
+        };
+        let arr = match &obj[0].1.json {
+            Json::Arr(a) => a,
+            _ => panic!(),
+        };
+        assert_eq!(arr[0].json, Json::Num(1.0));
+        assert_eq!(arr[1].json, Json::Num(-2500.0));
+        assert_eq!(arr[2].json, Json::Bool(true));
+        assert_eq!(arr[3].json, Json::Null);
+        assert_eq!(arr[4].json, Json::Str("x\nA".into()));
+        assert!(parse("{,}").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("[1] trailing").is_err());
+    }
+
+    #[test]
+    fn escape_covers_control_characters() {
+        assert_eq!(escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_lone_surrogates_fail() {
+        // U+1F600 written as a JSON surrogate pair.
+        let v = parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.json, Json::Str("\u{1F600}".into()));
+        // Literal (non-escaped) astral characters pass through too.
+        let v = parse("\"\u{1F600}\"").unwrap();
+        assert_eq!(v.json, Json::Str("\u{1F600}".into()));
+        // Lone high surrogate, lone low surrogate, malformed pair.
+        assert!(parse(r#""\ud83d""#).is_err());
+        assert!(parse(r#""\ude00""#).is_err());
+        assert!(parse(r#""\ud83dx""#).is_err());
+        assert!(parse(r#""\ud83dA""#).is_err());
+    }
+}

@@ -13,7 +13,9 @@
 //! * [`bounds`] — the simple lower bounds used throughout the paper
 //!   (`AREA(S)`, `h_max`, `max (r_s + h_s)`),
 //! * [`eps`] — the single source of truth for tolerant `f64` comparisons,
-//! * [`stats`] — summary statistics used by the experiment harness.
+//! * [`stats`] — summary statistics used by the experiment harness,
+//! * [`json`] — the canonical on-disk instance format (`spp-instance`
+//!   JSON) plus the minimal line-tracking JSON parser behind it.
 //!
 //! The strip always has width 1, exactly as in the paper; the FPGA crate
 //! maps a `K`-column device onto the unit strip (column width `1/K`).
@@ -24,6 +26,7 @@ pub mod error;
 pub mod geom;
 pub mod instance;
 pub mod item;
+pub mod json;
 pub mod placement;
 pub mod render;
 pub mod stats;
@@ -33,4 +36,5 @@ pub use error::{CoreError, ValidationError};
 pub use geom::PlacedRect;
 pub use instance::Instance;
 pub use item::Item;
+pub use json::{FileFormatError, InstanceFile};
 pub use placement::Placement;

@@ -1,0 +1,131 @@
+//! Round-trip property tests for the `spp-instance` JSON format:
+//! `parse ∘ serialize` is the identity on arbitrary valid documents, the
+//! serialization is canonical (a second serialize is byte-identical), and
+//! malformed inputs are rejected with errors naming the offending field
+//! and line.
+
+use proptest::prelude::*;
+use spp_core::json::FileFormatError;
+use spp_core::{InstanceFile, Item};
+
+/// Build a valid `InstanceFile` from raw generator output: dims drive the
+/// items, `edge_picks` is reduced modulo `n` into in-range forward edges
+/// (`u < v`, so the edge list is trivially acyclic — cycle checking is the
+/// DAG layer's job anyway).
+fn build(dims: &[(f64, f64, f64)], edge_picks: &[(usize, usize)]) -> InstanceFile {
+    let items: Vec<Item> = dims
+        .iter()
+        .enumerate()
+        .map(|(i, &(w, h, r))| Item::with_release(i, w, h, r))
+        .collect();
+    let n = items.len();
+    let edges = if n < 2 {
+        Vec::new()
+    } else {
+        edge_picks
+            .iter()
+            .map(|&(a, b)| {
+                let (mut u, mut v) = (a % n, b % n);
+                if u == v {
+                    v = (u + 1) % n;
+                }
+                if u > v {
+                    std::mem::swap(&mut u, &mut v);
+                }
+                (u, v)
+            })
+            .collect()
+    };
+    InstanceFile::new(items, edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_serialize_is_identity(
+        dims in proptest::collection::vec(
+            (0.001f64..1.0, 0.001f64..3.0, 0.0f64..10.0), 0..40),
+        edge_picks in proptest::collection::vec((0usize..1000, 0usize..1000), 0..30),
+    ) {
+        let file = build(&dims, &edge_picks);
+        let text = file.to_json();
+        let back = InstanceFile::parse(&text).unwrap();
+        // Bit-for-bit identity: `{:.17e}` floats survive the round trip.
+        prop_assert_eq!(&back, &file);
+        // Canonical: serializing the parsed document reproduces the bytes.
+        prop_assert_eq!(back.to_json(), text);
+        // And the items build a valid Instance.
+        prop_assert!(file.instance().is_ok());
+    }
+
+    /// Truncating a serialized document anywhere never panics, and always
+    /// fails (a strict format cannot accept a prefix of itself).
+    #[test]
+    fn truncated_documents_are_rejected_not_panicked(
+        dims in proptest::collection::vec(
+            (0.001f64..1.0, 0.001f64..3.0, 0.0f64..10.0), 1..10),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let file = build(&dims, &[]);
+        let text = file.to_json();
+        let cut = ((text.len() as f64 - 1.0) * cut_frac) as usize;
+        let truncated = &text[..cut];
+        prop_assert!(InstanceFile::parse(truncated).is_err());
+    }
+}
+
+#[test]
+fn malformed_inputs_name_field_and_line() {
+    // One probe per failure class: (document, expected field, expected line).
+    let cases: &[(&str, &str, usize)] = &[
+        // wrong type for a required scalar
+        (
+            "{\"format\": \"spp-instance\",\n\"version\": true,\n\"items\": [], \"edges\": []}",
+            "version",
+            2,
+        ),
+        // item with a missing field
+        (
+            "{\"format\": \"spp-instance\", \"version\": 1,\n\"items\": [\n{\"id\": 0, \"w\": 0.5, \"h\": 1}\n], \"edges\": []}",
+            "items[0].release",
+            3,
+        ),
+        // edge that is not a pair
+        (
+            "{\"format\": \"spp-instance\", \"version\": 1,\n\"items\": [{\"id\": 0, \"w\": 0.5, \"h\": 1, \"release\": 0}],\n\"edges\": [[0]]}",
+            "edges[0]",
+            3,
+        ),
+        // non-integer id
+        (
+            "{\"format\": \"spp-instance\", \"version\": 1,\n\"items\": [\n{\"id\": 0.5, \"w\": 0.5, \"h\": 1, \"release\": 0}\n], \"edges\": []}",
+            "items[0].id",
+            3,
+        ),
+        // out-of-domain height
+        (
+            "{\"format\": \"spp-instance\", \"version\": 1,\n\"items\": [\n{\"id\": 0, \"w\": 0.5, \"h\": -1, \"release\": 0}\n], \"edges\": []}",
+            "items[0].h",
+            3,
+        ),
+    ];
+    for (text, field, line) in cases {
+        let err = InstanceFile::parse(text).unwrap_err();
+        match &err {
+            FileFormatError::Field {
+                field: f, line: l, ..
+            } => {
+                assert_eq!(f, field, "wrong field for input:\n{text}");
+                assert_eq!(l, line, "wrong line for field {field}");
+            }
+            other => panic!("expected a field error for {field}, got {other:?}"),
+        }
+        // The rendered message carries both, for CLI users.
+        let msg = err.to_string();
+        assert!(
+            msg.contains(field) && msg.contains(&format!("line {line}")),
+            "{msg}"
+        );
+    }
+}

@@ -32,18 +32,24 @@
 //! | [`report`] | [`SolveReport`], [`LowerBounds`], [`Validation`] |
 //! | [`solver`] | the [`Solver`] trait, [`Capabilities`], [`EngineError`] |
 //! | [`solvers`] | built-in implementations wrapping the algorithm crates |
-//! | [`registry`] | name → constructor + capability flags |
+//! | [`registry`] | name → constructor + capability flags + advertised bounds |
 //! | [`batch`] | parallel many-jobs × many-solvers executor |
+//! | [`sharding`] | instance-file shards: plan, per-shard run, merge, resume |
 
 pub mod batch;
 pub mod registry;
 pub mod report;
 pub mod request;
+pub mod sharding;
 pub mod solver;
 pub mod solvers;
 
 pub use batch::{run_batch, BatchJob, BatchResult, BatchSummary, SolverStats};
-pub use registry::{Registry, RegistryEntry};
+pub use registry::{AdvertisedBound, Registry, RegistryEntry};
 pub use report::{Constraint, LowerBounds, SolveReport, Validation};
 pub use request::{SolveConfig, SolveRequest};
+pub use sharding::{
+    merge_reports, run_shard, run_sharded, CellRow, CellStatus, MergedReport, ShardError,
+    ShardPlan, ShardReport, SolverSummary,
+};
 pub use solver::{solve, Capabilities, EngineError, Solver};

@@ -9,11 +9,73 @@
 
 use spp_pack::Packer;
 
+use crate::report::LowerBounds;
+use crate::request::SolveRequest;
 use crate::solver::{Capabilities, EngineError, Solver};
 use crate::solvers::{
     AptasSolver, CombinedGreedySolver, DcReleaseSolver, DcSolver, GreedySolver, LayeredSolver,
     OnlineSolver, PackerSolver, ReleaseBaselineSolver, ShelfFSolver,
 };
+
+/// A mechanically checkable performance guarantee: an upper bound on the
+/// solver's makespan as a function of the request and its lower bounds.
+///
+/// Entries that advertise a bound are held to it by the cross-solver
+/// conformance suite on every workload matching their capability flags —
+/// `makespan ≤ eval(request, bounds) + ε` — so a regression in any
+/// algorithm crate is caught at the registry boundary, not in a
+/// per-algorithm test someone forgot to write.
+#[derive(Clone, Copy)]
+pub struct AdvertisedBound {
+    /// Human-readable formula for listings, e.g. `"2·AREA + h_max"`.
+    pub formula: &'static str,
+    /// Evaluate the bound for a concrete request.
+    pub eval: fn(&SolveRequest, &LowerBounds) -> f64,
+}
+
+/// `2·AREA + h_max` — the §2 subroutine-`A` contract (NFDH, WSNF).
+fn adv_a_bound(req: &SolveRequest, b: &LowerBounds) -> f64 {
+    2.0 * b.area + req.prec.inst.max_height()
+}
+
+/// `2·AREA + h_max` — the shelf-area envelope for FFDH/BFDH. The famous
+/// CGJT factor 1.7 is relative to *OPT*, which is not computable from
+/// [`LowerBounds`]: items of width just over 1/2 have OPT ≈ 2·AREA, so
+/// `1.7·AREA + h_max` would be violated by a perfectly correct FFDH.
+/// The area-style argument (consecutive decreasing-height shelves pair
+/// up to cover more than half their bounding box) gives the same sound
+/// `2·AREA + h_max` as NFDH.
+fn adv_ffdh(req: &SolveRequest, b: &LowerBounds) -> f64 {
+    2.0 * b.area + req.prec.inst.max_height()
+}
+
+/// `2·AREA + 2·h_max` — conformance envelope for Sleator's split
+/// algorithm (the wide stack is ≤ 2·AREA_wide, the two half-strips add
+/// ≤ 2·AREA_narrow + 2·h_max across their seams).
+fn adv_sleator(req: &SolveRequest, b: &LowerBounds) -> f64 {
+    2.0 * b.area + 2.0 * req.prec.inst.max_height()
+}
+
+/// Theorem 2.3: `log₂(n+1)·F + 2·AREA` (the certified `DC` bound).
+fn adv_dc(req: &SolveRequest, _b: &LowerBounds) -> f64 {
+    spp_precedence::dc_bound(&req.prec)
+}
+
+/// Theorem 2.6 decomposition for uniform heights: `2·AREA + F`.
+fn adv_shelf_f(_req: &SolveRequest, b: &LowerBounds) -> f64 {
+    2.0 * b.area + b.critical_path
+}
+
+/// Theorem 3.5: `(1+ε)·OPT_f + (W+1)(R+1)` — `OPT_f` computed exactly by
+/// column generation, so evaluating this bound is itself expensive; the
+/// conformance suite keeps APTAS instances small.
+fn adv_aptas(req: &SolveRequest, _b: &LowerBounds) -> f64 {
+    let cfg = spp_release::AptasConfig {
+        epsilon: req.config.epsilon,
+        k: req.config.k,
+    };
+    (1.0 + cfg.epsilon) * spp_release::colgen::opt_f(&req.prec.inst) + cfg.additive_term()
+}
 
 /// One registered algorithm.
 pub struct RegistryEntry {
@@ -24,6 +86,8 @@ pub struct RegistryEntry {
     pub capabilities: Capabilities,
     /// One-line human description for listings.
     pub summary: &'static str,
+    /// The performance guarantee the entry is held to, if it claims one.
+    pub advertised: Option<AdvertisedBound>,
     ctor: fn() -> Box<dyn Solver>,
 }
 
@@ -38,8 +102,15 @@ impl RegistryEntry {
             name,
             capabilities,
             summary,
+            advertised: None,
             ctor,
         }
+    }
+
+    /// Attach a mechanically checkable guarantee (builder style).
+    pub fn with_advertised(mut self, advertised: AdvertisedBound) -> Self {
+        self.advertised = Some(advertised);
+        self
     }
 
     /// Construct the solver.
@@ -102,55 +173,94 @@ impl Registry {
     pub fn builtin() -> Self {
         let mut r = Registry::empty();
         // Unconstrained packers (the subroutine-A family of §2).
-        r.register(RegistryEntry::new(
-            "nfdh",
-            CAP_A_BOUND,
-            "next-fit decreasing height; proven A-bound (2·AREA + h_max)",
-            || Box::new(PackerSolver::new(Packer::Nfdh)),
-        ));
-        r.register(RegistryEntry::new(
-            "ffdh",
-            CAP_NONE,
-            "first-fit decreasing height (Coffman–Garey–Johnson–Tarjan)",
-            || Box::new(PackerSolver::new(Packer::Ffdh)),
-        ));
-        r.register(RegistryEntry::new(
-            "bfdh",
-            CAP_NONE,
-            "best-fit decreasing height shelf variant",
-            || Box::new(PackerSolver::new(Packer::Bfdh)),
-        ));
-        r.register(RegistryEntry::new(
-            "sleator",
-            CAP_NONE,
-            "Sleator's wide-stack split; 2.5·OPT overall",
-            || Box::new(PackerSolver::new(Packer::Sleator)),
-        ));
+        r.register(
+            RegistryEntry::new(
+                "nfdh",
+                CAP_A_BOUND,
+                "next-fit decreasing height; proven A-bound (2·AREA + h_max)",
+                || Box::new(PackerSolver::new(Packer::Nfdh)),
+            )
+            .with_advertised(AdvertisedBound {
+                formula: "2·AREA + h_max",
+                eval: adv_a_bound,
+            }),
+        );
+        r.register(
+            RegistryEntry::new(
+                "ffdh",
+                CAP_NONE,
+                "first-fit decreasing height (Coffman–Garey–Johnson–Tarjan)",
+                || Box::new(PackerSolver::new(Packer::Ffdh)),
+            )
+            .with_advertised(AdvertisedBound {
+                formula: "2·AREA + h_max",
+                eval: adv_ffdh,
+            }),
+        );
+        r.register(
+            RegistryEntry::new(
+                "bfdh",
+                CAP_NONE,
+                "best-fit decreasing height shelf variant",
+                || Box::new(PackerSolver::new(Packer::Bfdh)),
+            )
+            .with_advertised(AdvertisedBound {
+                formula: "2·AREA + h_max",
+                eval: adv_ffdh,
+            }),
+        );
+        r.register(
+            RegistryEntry::new(
+                "sleator",
+                CAP_NONE,
+                "Sleator's wide-stack split; 2.5·OPT overall",
+                || Box::new(PackerSolver::new(Packer::Sleator)),
+            )
+            .with_advertised(AdvertisedBound {
+                formula: "2·AREA + 2·h_max",
+                eval: adv_sleator,
+            }),
+        );
         r.register(RegistryEntry::new(
             "skyline",
             CAP_NONE,
             "bottom-left skyline; strong practical baseline, no guarantee",
             || Box::new(PackerSolver::new(Packer::Skyline)),
         ));
-        r.register(RegistryEntry::new(
-            "wsnf",
-            CAP_A_BOUND,
-            "wide-stack + NFDH; proven A-bound (2·AREA + h_max)",
-            || Box::new(PackerSolver::new(Packer::Wsnf)),
-        ));
+        r.register(
+            RegistryEntry::new(
+                "wsnf",
+                CAP_A_BOUND,
+                "wide-stack + NFDH; proven A-bound (2·AREA + h_max)",
+                || Box::new(PackerSolver::new(Packer::Wsnf)),
+            )
+            .with_advertised(AdvertisedBound {
+                formula: "2·AREA + h_max",
+                eval: adv_a_bound,
+            }),
+        );
         // §2: precedence constraints.
-        r.register(RegistryEntry::new(
-            "dc-nfdh",
-            CAP_PREC,
-            "Algorithm 1 DC with subroutine A = NFDH (Theorem 2.3)",
-            || Box::new(DcSolver::new("dc-nfdh", Packer::Nfdh)),
-        ));
-        r.register(RegistryEntry::new(
-            "dc-wsnf",
-            CAP_PREC,
-            "DC with subroutine A = WSNF",
-            || Box::new(DcSolver::new("dc-wsnf", Packer::Wsnf)),
-        ));
+        r.register(
+            RegistryEntry::new(
+                "dc-nfdh",
+                CAP_PREC,
+                "Algorithm 1 DC with subroutine A = NFDH (Theorem 2.3)",
+                || Box::new(DcSolver::new("dc-nfdh", Packer::Nfdh)),
+            )
+            .with_advertised(AdvertisedBound {
+                formula: "log₂(n+1)·F + 2·AREA",
+                eval: adv_dc,
+            }),
+        );
+        r.register(
+            RegistryEntry::new("dc-wsnf", CAP_PREC, "DC with subroutine A = WSNF", || {
+                Box::new(DcSolver::new("dc-wsnf", Packer::Wsnf))
+            })
+            .with_advertised(AdvertisedBound {
+                formula: "log₂(n+1)·F + 2·AREA",
+                eval: adv_dc,
+            }),
+        );
         r.register(RegistryEntry::new(
             "dc-ffdh",
             CAP_PREC,
@@ -187,12 +297,18 @@ impl Registry {
             "precedence-aware bottom-left skyline",
             || Box::new(GreedySolver),
         ));
-        r.register(RegistryEntry::new(
-            "shelf-f",
-            CAP_PREC_UNIFORM,
-            "§2.2 shelf algorithm F; 3-approximation for uniform heights",
-            || Box::new(ShelfFSolver),
-        ));
+        r.register(
+            RegistryEntry::new(
+                "shelf-f",
+                CAP_PREC_UNIFORM,
+                "§2.2 shelf algorithm F; 3-approximation for uniform heights",
+                || Box::new(ShelfFSolver),
+            )
+            .with_advertised(AdvertisedBound {
+                formula: "2·AREA + F",
+                eval: adv_shelf_f,
+            }),
+        );
         // Combined extension: precedence + release.
         r.register(RegistryEntry::new(
             "dc-release",
@@ -231,12 +347,18 @@ impl Registry {
             "online Csirik–Woeginger shelves with ratio r",
             || Box::new(OnlineSolver::shelf()),
         ));
-        r.register(RegistryEntry::new(
-            "aptas",
-            CAP_REL,
-            "Algorithm 2 APTAS (Theorem 3.5); needs heights ≤ 1, widths ≥ 1/K",
-            || Box::new(AptasSolver),
-        ));
+        r.register(
+            RegistryEntry::new(
+                "aptas",
+                CAP_REL,
+                "Algorithm 2 APTAS (Theorem 3.5); needs heights ≤ 1, widths ≥ 1/K",
+                || Box::new(AptasSolver),
+            )
+            .with_advertised(AdvertisedBound {
+                formula: "(1+ε)·OPT_f + (W+1)(R+1)",
+                eval: adv_aptas,
+            }),
+        );
         r
     }
 
@@ -366,6 +488,36 @@ mod tests {
         assert_eq!(a, vec!["nfdh", "wsnf"]);
         let online: Vec<_> = r.filter(|c| c.online).map(|e| e.name).collect();
         assert_eq!(online, vec!["online-skyline", "online-shelf"]);
+    }
+
+    #[test]
+    fn advertised_bounds_cover_the_guaranteed_entries() {
+        let r = Registry::builtin();
+        let advertised: Vec<_> = r
+            .entries()
+            .iter()
+            .filter(|e| e.advertised.is_some())
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(
+            advertised,
+            vec![
+                "nfdh", "ffdh", "bfdh", "sleator", "wsnf", "dc-nfdh", "dc-wsnf", "shelf-f", "aptas"
+            ]
+        );
+        // Heuristics without a proven guarantee must not claim one.
+        for name in ["skyline", "greedy", "dc-release", "online-skyline"] {
+            assert!(r.entry(name).unwrap().advertised.is_none(), "{name}");
+        }
+        // Sanity: every advertised bound is at least the combined LB on a
+        // tiny request (a bound below the LB would be unsatisfiable).
+        let inst = spp_core::Instance::from_dims(&[(0.5, 1.0), (0.5, 0.5)]).unwrap();
+        let req = crate::SolveRequest::unconstrained(inst);
+        let bounds = crate::solver::lower_bounds(&req.prec);
+        for e in r.entries().iter().filter(|e| e.advertised.is_some()) {
+            let val = (e.advertised.as_ref().unwrap().eval)(&req, &bounds);
+            assert!(val >= bounds.combined - 1e-9, "{}: {val}", e.name);
+        }
     }
 
     #[test]

@@ -1,0 +1,1073 @@
+//! Sharded batch execution over instance files.
+//!
+//! [`run_batch`](crate::run_batch) parallelizes one in-process job list;
+//! this module scales the same work across *processes and machines* by
+//! making the unit of distribution a **shard of instance files**:
+//!
+//! 1. a [`ShardPlan`] turns a directory or file list into a sorted,
+//!    deterministically split sequence of shards (contiguous ranges, so
+//!    shard outputs concatenate back into global order);
+//! 2. [`run_shard`] loads one shard's files, runs every solver on every
+//!    instance via [`run_batch`](crate::run_batch), and distills the
+//!    outcome into a [`ShardReport`] of portable [`CellRow`]s — exactly
+//!    the deterministic fields (status, makespan, combined LB), no
+//!    wall-clock noise;
+//! 3. [`merge_reports`] stitches shard reports (possibly produced by
+//!    different processes) into a [`MergedReport`] whose cells are in
+//!    global order, so the rendered summary is **byte-identical** to a
+//!    single-process run over the same inputs;
+//! 4. [`run_sharded`] drives all shards concurrently in one process
+//!    (capped outer parallelism via `spp_par::par_map_capped` — each
+//!    shard fans out again internally), streams per-shard aggregates to
+//!    an observer as they finish, and supports **resume**: given a
+//!    manifest directory, completed shards are loaded from their report
+//!    files and only the missing ones are recomputed.
+//!
+//! Shard reports serialize as JSON (`spp-shard-report` documents) through
+//! the same hand-rolled layer as instance files, with `{:.17e}` floats,
+//! so a merge across processes loses no precision.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use spp_core::json::{self, JsonValue};
+
+use crate::batch::{run_batch, BatchJob};
+use crate::request::{SolveConfig, SolveRequest};
+use crate::solver::Solver;
+use crate::Validation;
+
+/// Failures of the sharded pipeline. Per-cell solver refusals are *not*
+/// errors (they are [`CellStatus::Unsupported`] rows); these are the
+/// failures that abort a shard: unreadable inputs, malformed reports,
+/// inconsistent merges.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardError {
+    /// Filesystem failure.
+    Io { path: String, err: String },
+    /// An instance file failed to parse (message names field and line).
+    Load { path: String, err: String },
+    /// The plan parameters are unusable (zero shards, bad index).
+    BadPlan(String),
+    /// A shard report file is malformed or inconsistent with its peers.
+    BadReport { context: String, err: String },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Io { path, err } => write!(f, "{path}: {err}"),
+            ShardError::Load { path, err } => write!(f, "{path}: {err}"),
+            ShardError::BadPlan(msg) => write!(f, "bad shard plan: {msg}"),
+            ShardError::BadReport { context, err } => write!(f, "{context}: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+// ---------------------------------------------------------------------------
+// Shard planning
+// ---------------------------------------------------------------------------
+
+/// A deterministic split of an instance-file list into contiguous shards.
+///
+/// The file list is sorted by path before splitting, so every process
+/// that builds a plan from the same inputs — whatever the directory
+/// iteration order of its filesystem — derives the *same* global job
+/// numbering. Shard `i` owns the contiguous range
+/// `[i·n/shards, (i+1)·n/shards)`.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    paths: Vec<PathBuf>,
+    shards: usize,
+}
+
+impl ShardPlan {
+    /// Plan over an explicit path list (sorted internally).
+    pub fn new(mut paths: Vec<PathBuf>, shards: usize) -> Result<Self, ShardError> {
+        if shards == 0 {
+            return Err(ShardError::BadPlan("shard count must be ≥ 1".into()));
+        }
+        paths.sort();
+        Ok(ShardPlan { paths, shards })
+    }
+
+    /// Plan over every `*.json` / `*.spp` file directly inside `dir`.
+    pub fn from_dir(dir: &Path, shards: usize) -> Result<Self, ShardError> {
+        let entries = std::fs::read_dir(dir).map_err(|e| ShardError::Io {
+            path: dir.display().to_string(),
+            err: e.to_string(),
+        })?;
+        let mut paths = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| ShardError::Io {
+                path: dir.display().to_string(),
+                err: e.to_string(),
+            })?;
+            let path = entry.path();
+            let ext = path.extension().and_then(|e| e.to_str());
+            if path.is_file() && matches!(ext, Some("json" | "spp")) {
+                paths.push(path);
+            }
+        }
+        if paths.is_empty() {
+            return Err(ShardError::BadPlan(format!(
+                "no *.json or *.spp instance files in {}",
+                dir.display()
+            )));
+        }
+        ShardPlan::new(paths, shards)
+    }
+
+    /// Plan over a file list: one path per line, `#` comments and blank
+    /// lines ignored, relative paths resolved against the list's parent
+    /// directory.
+    pub fn from_file_list(list: &Path, shards: usize) -> Result<Self, ShardError> {
+        let text = std::fs::read_to_string(list).map_err(|e| ShardError::Io {
+            path: list.display().to_string(),
+            err: e.to_string(),
+        })?;
+        let base = list.parent().unwrap_or(Path::new(""));
+        let mut paths = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let p = PathBuf::from(line);
+            paths.push(if p.is_absolute() { p } else { base.join(p) });
+        }
+        if paths.is_empty() {
+            return Err(ShardError::BadPlan(format!(
+                "file list {} names no instances",
+                list.display()
+            )));
+        }
+        ShardPlan::new(paths, shards)
+    }
+
+    /// Total number of instance files.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True iff the plan holds no files.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// All paths in global (sorted) order.
+    pub fn paths(&self) -> &[PathBuf] {
+        &self.paths
+    }
+
+    /// Global index range owned by shard `shard`.
+    pub fn shard_range(&self, shard: usize) -> Result<std::ops::Range<usize>, ShardError> {
+        if shard >= self.shards {
+            return Err(ShardError::BadPlan(format!(
+                "shard index {shard} out of range (shards = {})",
+                self.shards
+            )));
+        }
+        let n = self.paths.len();
+        Ok(shard * n / self.shards..(shard + 1) * n / self.shards)
+    }
+
+    /// The paths of one shard, with their global indices.
+    pub fn shard_paths(&self, shard: usize) -> Result<&[PathBuf], ShardError> {
+        Ok(&self.paths[self.shard_range(shard)?])
+    }
+
+    /// FNV-1a fingerprint of the full (sorted) path list. Every shard
+    /// report records it, so a merge can prove its reports were cut from
+    /// the same batch even when they were produced on different machines.
+    ///
+    /// The fingerprint covers the paths *as given*: shard processes that
+    /// should merge must be launched with the same `--input-dir` /
+    /// `--file-list` spelling (the natural way to script a fan-out).
+    /// Editing a file's *contents* in place between shard runs is not
+    /// detected — the unit of identity is the file list, not the bytes.
+    pub fn fingerprint(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for p in &self.paths {
+            for b in p.display().to_string().bytes().chain([b'\n']) {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        format!("fnv1a:{h:016x}")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+/// Outcome class of one (instance, solver) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// A report with passing (or skipped) validation.
+    Solved,
+    /// The engine refused the request (capability/model mismatch).
+    Unsupported,
+    /// The placement failed validation — a solver bug.
+    Invalid,
+}
+
+impl CellStatus {
+    fn as_str(&self) -> &'static str {
+        match self {
+            CellStatus::Solved => "solved",
+            CellStatus::Unsupported => "unsupported",
+            CellStatus::Invalid => "invalid",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "solved" => Some(CellStatus::Solved),
+            "unsupported" => Some(CellStatus::Unsupported),
+            "invalid" => Some(CellStatus::Invalid),
+            _ => None,
+        }
+    }
+}
+
+/// The portable outcome of one cell: only deterministic fields, so shard
+/// reports (and anything derived from them) are byte-stable across runs,
+/// processes and machines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRow {
+    /// Global job index (position in the plan's sorted path list).
+    pub job: usize,
+    /// Instance label — the file stem.
+    pub label: String,
+    /// Solver name.
+    pub solver: String,
+    pub status: CellStatus,
+    /// Height of the packing (0 for unsupported cells).
+    pub makespan: f64,
+    /// Combined lower bound of the request (0 for unsupported cells).
+    pub combined_lb: f64,
+}
+
+impl CellRow {
+    /// Makespan / combined-LB with the same conventions as
+    /// [`SolveReport::ratio`](crate::SolveReport::ratio).
+    pub fn ratio(&self) -> f64 {
+        if self.combined_lb <= 0.0 {
+            if self.makespan <= 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.makespan / self.combined_lb
+        }
+    }
+}
+
+/// One shard's worth of cells, plus the identity needed to merge and
+/// resume safely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReport {
+    /// This shard's index in `0..shards`.
+    pub shard: usize,
+    /// Total shard count of the plan that produced it.
+    pub shards: usize,
+    /// Solver names, in execution order (must agree across shards).
+    pub solvers: Vec<String>,
+    /// The instance-file paths this shard ran, in job order. Resume uses
+    /// this to detect a stale manifest after files were added, removed or
+    /// renamed (which shifts the plan's contiguous split).
+    pub inputs: Vec<String>,
+    /// Fingerprint of the *whole plan's* path list (see
+    /// [`ShardPlan::fingerprint`]). Merging requires every report to come
+    /// from the same plan, so shards of two unrelated batches — which can
+    /// agree on shard count, solvers and config — refuse to combine.
+    pub plan_fp: String,
+    /// Fingerprint of the [`SolveConfig`] the cells were computed with
+    /// (see [`config_signature`]); resume refuses a manifest written
+    /// under different knobs.
+    pub config_sig: String,
+    /// Cells in (job-major, solver input order), jobs globally indexed.
+    pub cells: Vec<CellRow>,
+    /// Summed per-cell phase time (CPU cost; informational only — never
+    /// serialized, so resumed shards report `None`).
+    pub cpu_time: Option<Duration>,
+}
+
+const REPORT_FORMAT: &str = "spp-shard-report";
+const REPORT_VERSION: u64 = 1;
+
+/// Deterministic fingerprint of every [`SolveConfig`] knob that can
+/// change a solver's output. Stored in shard reports and compared on
+/// resume: a manifest written under `--epsilon 0.5` must not satisfy a
+/// run asking for `--epsilon 1.0`.
+pub fn config_signature(config: &SolveConfig) -> String {
+    format!(
+        "epsilon={:.17e} k={} shelf_r={:.17e} strict={} validate={}",
+        config.epsilon, config.k, config.shelf_r, config.strict, config.validate
+    )
+}
+
+impl ShardReport {
+    /// Serialize as a canonical `spp-shard-report` JSON document.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"format\": \"{REPORT_FORMAT}\",");
+        let _ = writeln!(out, "  \"version\": {REPORT_VERSION},");
+        let _ = writeln!(out, "  \"shard\": {},", self.shard);
+        let _ = writeln!(out, "  \"shards\": {},", self.shards);
+        let solvers: Vec<String> = self
+            .solvers
+            .iter()
+            .map(|s| format!("\"{}\"", json::escape(s)))
+            .collect();
+        let _ = writeln!(out, "  \"solvers\": [{}],", solvers.join(", "));
+        let inputs: Vec<String> = self
+            .inputs
+            .iter()
+            .map(|p| format!("\"{}\"", json::escape(p)))
+            .collect();
+        let _ = writeln!(out, "  \"inputs\": [{}],", inputs.join(", "));
+        let _ = writeln!(out, "  \"plan\": \"{}\",", json::escape(&self.plan_fp));
+        let _ = writeln!(out, "  \"config\": \"{}\",", json::escape(&self.config_sig));
+        out.push_str("  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            let sep = if i + 1 < self.cells.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    {{\"job\": {}, \"label\": \"{}\", \"solver\": \"{}\", \"status\": \"{}\", \"makespan\": {:.17e}, \"lb\": {:.17e}}}{sep}",
+                c.job,
+                json::escape(&c.label),
+                json::escape(&c.solver),
+                c.status.as_str(),
+                c.makespan,
+                c.combined_lb
+            );
+        }
+        out.push_str(if self.cells.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parse a document produced by [`Self::to_json`]. Schema mapping
+    /// reuses the typed accessors of `spp_core::json` (one implementation,
+    /// one error style, shared with the instance-file format); unknown
+    /// fields are tolerated here for forward compatibility — a report is
+    /// machine output, unlike hand-written instance files.
+    pub fn parse(text: &str) -> Result<Self, ShardError> {
+        let bad = |err: String| ShardError::BadReport {
+            context: "shard report".into(),
+            err,
+        };
+        let schema = |e: spp_core::json::FileFormatError| bad(e.to_string());
+        let doc = json::parse(text).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+        let obj = json::as_obj(&doc, "$").map_err(schema)?;
+        let field = |name: &str| json::get_field(obj, &doc, name).map_err(schema);
+        let int =
+            |v: &JsonValue, name: &str| json::as_u64(v, name).map(|x| x as usize).map_err(schema);
+        let strings = |v: &JsonValue, name: &str| -> Result<Vec<String>, ShardError> {
+            json::as_arr(v, name)
+                .map_err(schema)?
+                .iter()
+                .enumerate()
+                .map(|(i, sv)| {
+                    json::as_str(sv, &format!("{name}[{i}]"))
+                        .map(str::to_string)
+                        .map_err(schema)
+                })
+                .collect()
+        };
+
+        let format = json::as_str(field("format")?, "format").map_err(schema)?;
+        if format != REPORT_FORMAT {
+            return Err(bad(format!("format tag is not {REPORT_FORMAT:?}")));
+        }
+        if int(field("version")?, "version")? != REPORT_VERSION as usize {
+            return Err(bad("unsupported report version".into()));
+        }
+        let shard = int(field("shard")?, "shard")?;
+        let shards = int(field("shards")?, "shards")?;
+        let solvers = strings(field("solvers")?, "solvers")?;
+        let inputs = strings(field("inputs")?, "inputs")?;
+        let plan_fp = json::as_str(field("plan")?, "plan")
+            .map_err(schema)?
+            .to_string();
+        let config_sig = json::as_str(field("config")?, "config")
+            .map_err(schema)?
+            .to_string();
+
+        let cells_raw = json::as_arr(field("cells")?, "cells").map_err(schema)?;
+        let mut cells = Vec::with_capacity(cells_raw.len());
+        for (i, cv) in cells_raw.iter().enumerate() {
+            let path = |name: &str| format!("cells[{i}].{name}");
+            let cobj = json::as_obj(cv, &format!("cells[{i}]")).map_err(schema)?;
+            let cfield = |name: &str| json::get_field(cobj, cv, name).map_err(schema);
+            let status_str = json::as_str(cfield("status")?, &path("status")).map_err(schema)?;
+            let status = CellStatus::from_str(status_str)
+                .ok_or_else(|| bad(format!("cells[{i}]: unknown status {status_str:?}")))?;
+            cells.push(CellRow {
+                job: int(cfield("job")?, &path("job"))?,
+                label: json::as_str(cfield("label")?, &path("label"))
+                    .map_err(schema)?
+                    .to_string(),
+                solver: json::as_str(cfield("solver")?, &path("solver"))
+                    .map_err(schema)?
+                    .to_string(),
+                status,
+                makespan: json::as_num(cfield("makespan")?, &path("makespan")).map_err(schema)?,
+                combined_lb: json::as_num(cfield("lb")?, &path("lb")).map_err(schema)?,
+            });
+        }
+        Ok(ShardReport {
+            shard,
+            shards,
+            solvers,
+            inputs,
+            plan_fp,
+            config_sig,
+            cells,
+            cpu_time: None,
+        })
+    }
+}
+
+/// Deterministic per-solver aggregates over merged cells. The semantics
+/// match [`SolverStats`](crate::SolverStats), minus the wall-clock field
+/// (which would break cross-process byte-identity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverSummary {
+    pub solver: String,
+    pub solved: usize,
+    pub unsupported: usize,
+    pub invalid: usize,
+    pub mean_ratio: f64,
+    pub max_ratio: f64,
+    pub total_makespan: f64,
+}
+
+/// Shard reports merged back into one globally ordered cell list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedReport {
+    pub solvers: Vec<String>,
+    /// Cells sorted by (job, solver input order) — identical to what a
+    /// single-process run over the same plan produces.
+    pub cells: Vec<CellRow>,
+}
+
+impl MergedReport {
+    /// Per-solver aggregates, in solver input order.
+    pub fn summary(&self) -> Vec<SolverSummary> {
+        self.solvers
+            .iter()
+            .map(|name| {
+                let mut s = SolverSummary {
+                    solver: name.clone(),
+                    solved: 0,
+                    unsupported: 0,
+                    invalid: 0,
+                    mean_ratio: 0.0,
+                    max_ratio: 0.0,
+                    total_makespan: 0.0,
+                };
+                let mut ratios = Vec::new();
+                for c in self.cells.iter().filter(|c| &c.solver == name) {
+                    match c.status {
+                        CellStatus::Solved => {
+                            s.solved += 1;
+                            s.total_makespan += c.makespan;
+                            let r = c.ratio();
+                            if r.is_finite() {
+                                ratios.push(r);
+                            }
+                        }
+                        CellStatus::Unsupported => s.unsupported += 1,
+                        CellStatus::Invalid => s.invalid += 1,
+                    }
+                }
+                if !ratios.is_empty() {
+                    s.mean_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
+                    s.max_ratio = ratios.iter().cloned().fold(f64::MIN, f64::max);
+                }
+                s
+            })
+            .collect()
+    }
+
+    /// Number of cells whose placement failed validation.
+    pub fn invalid_cells(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.status == CellStatus::Invalid)
+            .count()
+    }
+
+    /// The canonical human-readable summary table. Both the single-process
+    /// and the shard-merge CLI paths print exactly this string, which is
+    /// what makes the two byte-comparable.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "| {:<16} | {:>6} | {:>11} | {:>7} | {:>10} | {:>9} | {:>13} |",
+            "solver", "solved", "unsupported", "invalid", "mean ratio", "max ratio", "sum makespan"
+        );
+        let _ = writeln!(
+            out,
+            "|{}|{}|{}|{}|{}|{}|{}|",
+            "-".repeat(18),
+            "-".repeat(8),
+            "-".repeat(13),
+            "-".repeat(9),
+            "-".repeat(12),
+            "-".repeat(11),
+            "-".repeat(15)
+        );
+        for s in self.summary() {
+            let _ = writeln!(
+                out,
+                "| {:<16} | {:>6} | {:>11} | {:>7} | {:>10.3} | {:>9.3} | {:>13.3} |",
+                s.solver,
+                s.solved,
+                s.unsupported,
+                s.invalid,
+                s.mean_ratio,
+                s.max_ratio,
+                s.total_makespan
+            );
+        }
+        out
+    }
+
+    /// One line per cell (full `{:.17e}` precision) for diff-based
+    /// verification of sharded vs. single-process runs.
+    pub fn render_cells(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "cell {} {} {} {} {:.17e} {:.17e}",
+                c.job,
+                c.label,
+                c.solver,
+                c.status.as_str(),
+                c.makespan,
+                c.combined_lb
+            );
+        }
+        out
+    }
+}
+
+/// Merge shard reports into global order. Every shard of the plan must be
+/// present exactly once, and all reports must agree on shard count and
+/// solver list.
+pub fn merge_reports(mut reports: Vec<ShardReport>) -> Result<MergedReport, ShardError> {
+    let bad = |err: String| ShardError::BadReport {
+        context: "merge".into(),
+        err,
+    };
+    if reports.is_empty() {
+        return Err(bad("no shard reports to merge".into()));
+    }
+    reports.sort_by_key(|r| r.shard);
+    let shards = reports[0].shards;
+    let solvers = reports[0].solvers.clone();
+    if reports.len() != shards {
+        return Err(bad(format!(
+            "plan has {shards} shards but {} report(s) were given",
+            reports.len()
+        )));
+    }
+    for (want, r) in reports.iter().enumerate() {
+        if r.shard != want {
+            return Err(bad(format!(
+                "shard {want} missing (found shard {} instead)",
+                r.shard
+            )));
+        }
+        if r.shards != shards {
+            return Err(bad(format!(
+                "shard {} claims {} total shards, expected {shards}",
+                r.shard, r.shards
+            )));
+        }
+        if r.solvers != solvers {
+            return Err(bad(format!(
+                "shard {} ran solvers {:?}, expected {:?}",
+                r.shard, r.solvers, solvers
+            )));
+        }
+        if r.config_sig != reports[0].config_sig {
+            return Err(bad(format!(
+                "shard {} ran with config [{}], expected [{}]",
+                r.shard, r.config_sig, reports[0].config_sig
+            )));
+        }
+        // The plan fingerprint covers the full input list, so shards of
+        // two unrelated batches (which can agree on everything above)
+        // cannot combine into a plausible-looking wrong table.
+        if r.plan_fp != reports[0].plan_fp {
+            return Err(bad(format!(
+                "shard {} was cut from a different batch (plan {}, expected {})",
+                r.shard, r.plan_fp, reports[0].plan_fp
+            )));
+        }
+    }
+    // Contiguous shards in index order concatenate into global job order;
+    // check the structure exactly (every input × every solver, jobs
+    // consecutive across shards) so a truncated or hand-edited report is
+    // rejected rather than folded into the aggregates.
+    let mut cells = Vec::with_capacity(reports.iter().map(|r| r.cells.len()).sum());
+    let mut base_job = 0usize;
+    for r in reports {
+        if r.cells.len() != r.inputs.len() * solvers.len() {
+            return Err(bad(format!(
+                "shard {} has {} cells, expected {} inputs × {} solvers",
+                r.shard,
+                r.cells.len(),
+                r.inputs.len(),
+                solvers.len()
+            )));
+        }
+        for (idx, c) in r.cells.iter().enumerate() {
+            let want_job = base_job + idx / solvers.len();
+            let want_solver = &solvers[idx % solvers.len()];
+            if c.job != want_job || &c.solver != want_solver {
+                return Err(bad(format!(
+                    "shard {} cell {idx} is (job {}, {}), expected (job {want_job}, {want_solver})",
+                    r.shard, c.job, c.solver
+                )));
+            }
+        }
+        base_job += r.inputs.len();
+        cells.extend(r.cells);
+    }
+    Ok(MergedReport { solvers, cells })
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+fn label_for(path: &Path) -> String {
+    path.file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
+/// Run one shard: load its instance files, run every solver on every
+/// instance (parallel via [`run_batch`](crate::run_batch)), and reduce to
+/// portable rows.
+pub fn run_shard(
+    plan: &ShardPlan,
+    shard: usize,
+    solvers: &[Box<dyn Solver>],
+    config: &SolveConfig,
+) -> Result<ShardReport, ShardError> {
+    let range = plan.shard_range(shard)?;
+    let base = range.start;
+    let mut jobs = Vec::with_capacity(range.len());
+    for path in plan.shard_paths(shard)? {
+        let prec = spp_gen::fileio::read_path(path).map_err(|e| match e {
+            spp_gen::fileio::FileIoError::Io { path, err } => ShardError::Io { path, err },
+            other => ShardError::Load {
+                path: path.display().to_string(),
+                err: other.to_string(),
+            },
+        })?;
+        jobs.push(BatchJob::new(
+            label_for(path),
+            SolveRequest::new(prec).with_config(config.clone()),
+        ));
+    }
+    let (results, _) = run_batch(&jobs, solvers);
+    let mut cpu = Duration::ZERO;
+    let cells = results
+        .into_iter()
+        .map(|r| {
+            let (status, makespan, combined_lb) = match &r.outcome {
+                Ok(report) => {
+                    cpu += report.total_time();
+                    let status =
+                        if report.validation.passed() || report.validation == Validation::Skipped {
+                            CellStatus::Solved
+                        } else {
+                            CellStatus::Invalid
+                        };
+                    (status, report.makespan, report.bounds.combined)
+                }
+                Err(_) => (CellStatus::Unsupported, 0.0, 0.0),
+            };
+            CellRow {
+                job: base + r.job,
+                label: r.label,
+                solver: r.solver,
+                status,
+                makespan,
+                combined_lb,
+            }
+        })
+        .collect();
+    Ok(ShardReport {
+        shard,
+        shards: plan.shards(),
+        solvers: solvers.iter().map(|s| s.name().to_string()).collect(),
+        inputs: plan
+            .shard_paths(shard)?
+            .iter()
+            .map(|p| p.display().to_string())
+            .collect(),
+        plan_fp: plan.fingerprint(),
+        config_sig: config_signature(config),
+        cells,
+        cpu_time: Some(cpu),
+    })
+}
+
+/// Manifest file name for one shard of an `n`-shard plan.
+pub fn manifest_file(shard: usize, shards: usize) -> String {
+    format!("shard-{shard:04}-of-{shards:04}.json")
+}
+
+/// Load a shard's manifest entry if it exists, parses, and matches the
+/// plan (shard index, shard count, *and* the exact instance-file list of
+/// this shard), the solver list, and the config fingerprint; anything
+/// else means "recompute". The input-list check catches manifests that
+/// became stale because files were added, removed or renamed — which
+/// silently shifts every contiguous shard range.
+fn resume_shard(
+    manifest_dir: &Path,
+    plan: &ShardPlan,
+    shard: usize,
+    solver_names: &[String],
+    config_sig: &str,
+) -> Option<ShardReport> {
+    let path = manifest_dir.join(manifest_file(shard, plan.shards()));
+    let text = std::fs::read_to_string(path).ok()?;
+    let report = ShardReport::parse(&text).ok()?;
+    let planned_inputs: Vec<String> = plan
+        .shard_paths(shard)
+        .ok()?
+        .iter()
+        .map(|p| p.display().to_string())
+        .collect();
+    (report.shard == shard
+        && report.shards == plan.shards()
+        && report.solvers == solver_names
+        && report.inputs == planned_inputs
+        && report.plan_fp == plan.fingerprint()
+        && report.config_sig == config_sig)
+        .then_some(report)
+}
+
+/// Run every shard of the plan concurrently and merge.
+///
+/// * `manifest_dir` — when set, each completed shard is written there as
+///   `shard-<i>-of-<n>.json`, and shards whose file already exists (and
+///   matches the plan + solver list) are **resumed** from it instead of
+///   recomputed. Delete a shard file to force its recomputation.
+/// * `observer` — called with each shard's report as it completes
+///   (freshly computed or resumed), from worker threads, in completion
+///   order: the streaming progress hook.
+pub fn run_sharded(
+    plan: &ShardPlan,
+    solvers: &[Box<dyn Solver>],
+    config: &SolveConfig,
+    manifest_dir: Option<&Path>,
+    observer: Option<&(dyn Fn(&ShardReport) + Sync)>,
+) -> Result<MergedReport, ShardError> {
+    if let Some(dir) = manifest_dir {
+        std::fs::create_dir_all(dir).map_err(|e| ShardError::Io {
+            path: dir.display().to_string(),
+            err: e.to_string(),
+        })?;
+    }
+    let solver_names: Vec<String> = solvers.iter().map(|s| s.name().to_string()).collect();
+    let config_sig = config_signature(config);
+    let indices: Vec<usize> = (0..plan.shards()).collect();
+    // Cap outer parallelism: each shard saturates cores via run_batch's
+    // own par_map, so a handful of in-flight shards is enough to hide
+    // file-I/O latency without multiplying worker pools.
+    let reports: Vec<Result<ShardReport, ShardError>> =
+        spp_par::par_map_capped(&indices, 4, |&shard| {
+            let report = match manifest_dir
+                .and_then(|d| resume_shard(d, plan, shard, &solver_names, &config_sig))
+            {
+                Some(resumed) => resumed,
+                None => {
+                    let fresh = run_shard(plan, shard, solvers, config)?;
+                    if let Some(dir) = manifest_dir {
+                        let path = dir.join(manifest_file(shard, plan.shards()));
+                        std::fs::write(&path, fresh.to_json()).map_err(|e| ShardError::Io {
+                            path: path.display().to_string(),
+                            err: e.to_string(),
+                        })?;
+                    }
+                    fresh
+                }
+            };
+            if let Some(obs) = observer {
+                obs(&report);
+            }
+            Ok(report)
+        });
+    merge_reports(reports.into_iter().collect::<Result<Vec<_>, _>>()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn write_suite(tag: &str, count: usize) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spp_engine_shard_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        spp_gen::suite::write_suite(&dir, 42, 12, count).unwrap();
+        dir
+    }
+
+    fn solvers(names: &[&str]) -> Vec<Box<dyn Solver>> {
+        let registry = Registry::builtin();
+        names.iter().map(|n| registry.get(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn plan_splits_contiguously_and_covers_everything() {
+        let paths: Vec<PathBuf> = (0..10)
+            .map(|i| PathBuf::from(format!("i{i:02}.json")))
+            .collect();
+        let plan = ShardPlan::new(paths, 4).unwrap();
+        let ranges: Vec<_> = (0..4).map(|s| plan.shard_range(s).unwrap()).collect();
+        assert_eq!(ranges[0], 0..2);
+        assert_eq!(ranges[1], 2..5);
+        assert_eq!(ranges[2], 5..7);
+        assert_eq!(ranges[3], 7..10);
+        assert!(plan.shard_range(4).is_err());
+        assert!(ShardPlan::new(vec![], 0).is_err());
+        // More shards than files: trailing shards are empty, nothing lost.
+        let plan = ShardPlan::new(vec![PathBuf::from("a.json")], 3).unwrap();
+        let total: usize = (0..3).map(|s| plan.shard_range(s).unwrap().len()).sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn sharded_equals_single_process_bytewise() {
+        let dir = write_suite("equal", 12);
+        let solvers = solvers(&["nfdh", "ffdh", "greedy", "dc-nfdh"]);
+        let config = SolveConfig::default();
+
+        let single = {
+            let plan = ShardPlan::from_dir(&dir, 1).unwrap();
+            run_sharded(&plan, &solvers, &config, None, None).unwrap()
+        };
+        let sharded = {
+            let plan = ShardPlan::from_dir(&dir, 4).unwrap();
+            // Simulate distributed execution: run each shard separately,
+            // serialize, parse back, merge — the full cross-process path.
+            let texts: Vec<String> = (0..4)
+                .map(|s| run_shard(&plan, s, &solvers, &config).unwrap().to_json())
+                .collect();
+            let reports = texts
+                .iter()
+                .map(|t| ShardReport::parse(t).unwrap())
+                .collect();
+            merge_reports(reports).unwrap()
+        };
+        assert_eq!(single.cells, sharded.cells);
+        assert_eq!(single.render_table(), sharded.render_table());
+        assert_eq!(single.render_cells(), sharded.render_cells());
+    }
+
+    #[test]
+    fn shard_report_roundtrips_exactly() {
+        let dir = write_suite("roundtrip", 6);
+        let solvers = solvers(&["nfdh", "aptas"]);
+        let plan = ShardPlan::from_dir(&dir, 2).unwrap();
+        let report = run_shard(&plan, 1, &solvers, &SolveConfig::default()).unwrap();
+        let back = ShardReport::parse(&report.to_json()).unwrap();
+        assert_eq!(back.shard, report.shard);
+        assert_eq!(back.solvers, report.solvers);
+        assert_eq!(back.cells, report.cells);
+        // Canonical: serialize ∘ parse ∘ serialize = serialize.
+        assert_eq!(back.to_json(), report.to_json());
+    }
+
+    #[test]
+    fn merge_rejects_inconsistent_reports() {
+        let mk = |shard, shards, solvers: &[&str]| ShardReport {
+            shard,
+            shards,
+            solvers: solvers.iter().map(|s| s.to_string()).collect(),
+            inputs: vec![],
+            plan_fp: "fnv1a:test".into(),
+            config_sig: config_signature(&SolveConfig::default()),
+            cells: vec![],
+            cpu_time: None,
+        };
+        // Missing shard.
+        assert!(merge_reports(vec![mk(0, 2, &["nfdh"])]).is_err());
+        // Duplicate shard.
+        assert!(merge_reports(vec![mk(0, 2, &["nfdh"]), mk(0, 2, &["nfdh"])]).is_err());
+        // Solver mismatch.
+        assert!(merge_reports(vec![mk(0, 2, &["nfdh"]), mk(1, 2, &["ffdh"])]).is_err());
+        // Config mismatch.
+        let mut other_cfg = mk(1, 2, &["nfdh"]);
+        other_cfg.config_sig = "epsilon=0.5".into();
+        assert!(merge_reports(vec![mk(0, 2, &["nfdh"]), other_cfg]).is_err());
+        // Plan mismatch: shards cut from different batches refuse to merge
+        // even though shard count, solvers and config all agree.
+        let mut other_plan = mk(1, 2, &["nfdh"]);
+        other_plan.plan_fp = "fnv1a:other".into();
+        assert!(merge_reports(vec![mk(0, 2, &["nfdh"]), other_plan]).is_err());
+        // Structural mismatch: cell count must be inputs × solvers.
+        let mut truncated = mk(1, 2, &["nfdh"]);
+        truncated.inputs = vec!["a.json".into()];
+        assert!(merge_reports(vec![mk(0, 2, &["nfdh"]), truncated]).is_err());
+        // Consistent pair merges.
+        assert!(merge_reports(vec![mk(1, 2, &["nfdh"]), mk(0, 2, &["nfdh"])]).is_ok());
+    }
+
+    #[test]
+    fn manifest_resume_skips_completed_shards_and_detects_staleness() {
+        let dir = write_suite("resume", 8);
+        let manifest = std::env::temp_dir().join("spp_engine_shard_resume_manifest");
+        let _ = std::fs::remove_dir_all(&manifest);
+        let solvers2 = solvers(&["nfdh", "greedy"]);
+        let config = SolveConfig::default();
+        let plan = ShardPlan::from_dir(&dir, 3).unwrap();
+
+        let first = run_sharded(&plan, &solvers2, &config, Some(&manifest), None).unwrap();
+        for s in 0..3 {
+            assert!(manifest.join(manifest_file(s, 3)).exists());
+        }
+
+        // Corrupt one shard file; the second run must recompute exactly
+        // that shard and still produce the identical merged report.
+        std::fs::write(manifest.join(manifest_file(1, 3)), "garbage").unwrap();
+        let recomputed = std::sync::Mutex::new(Vec::new());
+        let observer = |r: &ShardReport| {
+            // Resumed shards carry no cpu_time (it is not serialized).
+            if r.cpu_time.is_some() {
+                recomputed.lock().unwrap().push(r.shard);
+            }
+        };
+        let second =
+            run_sharded(&plan, &solvers2, &config, Some(&manifest), Some(&observer)).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(*recomputed.lock().unwrap(), vec![1]);
+
+        // A manifest written for a different solver list is stale: all
+        // shards recompute rather than resuming wrong data.
+        let other = solvers(&["ffdh"]);
+        let third = run_sharded(&plan, &other, &config, Some(&manifest), None).unwrap();
+        assert_eq!(third.solvers, vec!["ffdh".to_string()]);
+        assert!(third.cells.iter().all(|c| c.solver == "ffdh"));
+    }
+
+    #[test]
+    fn manifest_resume_detects_changed_inputs_and_config() {
+        let dir = write_suite("stale", 8);
+        let manifest = std::env::temp_dir().join("spp_engine_shard_stale_manifest");
+        let _ = std::fs::remove_dir_all(&manifest);
+        let s = solvers(&["nfdh"]);
+        let config = SolveConfig::default();
+        let plan = ShardPlan::from_dir(&dir, 2).unwrap();
+        run_sharded(&plan, &s, &config, Some(&manifest), None).unwrap();
+
+        let count_computed =
+            |merged: Result<MergedReport, ShardError>, computed: &std::sync::Mutex<Vec<usize>>| {
+                merged.unwrap();
+                let mut v = computed.lock().unwrap().clone();
+                v.sort_unstable();
+                v
+            };
+
+        // Same plan, different config: every shard must recompute (a
+        // manifest written under other knobs would be silently wrong).
+        let mut tighter = config.clone();
+        tighter.epsilon = 0.5;
+        let computed = std::sync::Mutex::new(Vec::new());
+        let obs = |r: &ShardReport| {
+            if r.cpu_time.is_some() {
+                computed.lock().unwrap().push(r.shard);
+            }
+        };
+        let merged = run_sharded(&plan, &s, &tighter, Some(&manifest), Some(&obs));
+        assert_eq!(count_computed(merged, &computed), vec![0, 1]);
+
+        // Adding a file shifts the contiguous split: the old shard files
+        // no longer describe the plan's ranges, so both shards recompute
+        // (under the original config, whose manifest was just replaced by
+        // the tighter-config run — write it back first).
+        run_sharded(&plan, &s, &config, Some(&manifest), None).unwrap();
+        spp_gen::fileio::write_path(
+            &dir.join("zzz-extra.json"),
+            &spp_dag::PrecInstance::unconstrained(
+                spp_core::Instance::from_dims(&[(0.5, 1.0)]).unwrap(),
+            ),
+        )
+        .unwrap();
+        let grown = ShardPlan::from_dir(&dir, 2).unwrap();
+        assert_eq!(grown.len(), plan.len() + 1);
+        computed.lock().unwrap().clear();
+        let merged = run_sharded(&grown, &s, &config, Some(&manifest), Some(&obs));
+        let recomputed = count_computed(merged, &computed);
+        // Shard 1's range changed (it gained the new trailing file), and
+        // shard 0's range boundary moved too: 8 files → 4+4, 9 → 4+5, so
+        // shard 0 may legitimately resume. What must NOT happen is a
+        // full resume.
+        assert!(
+            recomputed.contains(&1),
+            "stale manifest resumed after input change: {recomputed:?}"
+        );
+    }
+
+    #[test]
+    fn file_list_plans_resolve_relative_paths() {
+        let dir = write_suite("list", 4);
+        let list = dir.join("list.txt");
+        let mut body = String::from("# instance list\n\n");
+        for p in ShardPlan::from_dir(&dir, 1).unwrap().paths() {
+            body.push_str(&format!("{}\n", p.file_name().unwrap().to_string_lossy()));
+        }
+        std::fs::write(&list, body).unwrap();
+        let plan = ShardPlan::from_file_list(&list, 2).unwrap();
+        assert_eq!(plan.len(), 4);
+        let report = run_shard(&plan, 0, &solvers(&["nfdh"]), &SolveConfig::default()).unwrap();
+        assert_eq!(report.cells.len(), 2);
+    }
+
+    #[test]
+    fn unreadable_instance_is_a_load_error_naming_the_file() {
+        let dir = std::env::temp_dir().join("spp_engine_shard_badfile");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("bad.json"), "{\"format\": \"nope\"}").unwrap();
+        let plan = ShardPlan::from_dir(&dir, 1).unwrap();
+        let err = run_shard(&plan, 0, &solvers(&["nfdh"]), &SolveConfig::default()).unwrap_err();
+        match err {
+            ShardError::Load { path, err } => {
+                assert!(path.contains("bad.json"), "{path}");
+                assert!(err.contains("format"), "{err}");
+            }
+            other => panic!("expected Load error, got {other:?}"),
+        }
+    }
+}

@@ -398,7 +398,6 @@ impl Solver for AptasSolver {
         req: &SolveRequest,
         phases: &mut Vec<(String, Duration)>,
     ) -> Result<Placement, EngineError> {
-        let t0 = std::time::Instant::now();
         let result = spp_release::aptas(
             &req.prec.inst,
             AptasConfig {
@@ -406,7 +405,12 @@ impl Solver for AptasSolver {
                 k: req.config.k,
             },
         );
-        phases.push(("aptas-pipeline".to_string(), t0.elapsed()));
+        // One report phase per pipeline stage (Lemmas 3.1–3.4); the
+        // engine's "solve" phase picks up the remainder, so the list
+        // stays disjoint and summable.
+        for (name, d) in result.phases.named() {
+            phases.push((name.to_string(), d));
+        }
         Ok(result.placement)
     }
 }

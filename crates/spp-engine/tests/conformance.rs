@@ -1,0 +1,259 @@
+//! Cross-solver conformance suite: one table-driven test that holds
+//! every registry entry to the same three obligations on seeded
+//! workloads matching its capability flags —
+//!
+//! (a) the placement validates (strict mode, so nothing is ignored),
+//! (b) the makespan is ≥ every lower bound the request carries,
+//! (c) if the entry advertises a performance bound, the makespan is
+//!     ≤ the bound evaluated on the request.
+//!
+//! No per-solver boilerplate: a new registry entry is covered the moment
+//! it is registered, on workloads chosen purely from its flags.
+
+use rand::{rngs::StdRng, SeedableRng};
+use spp_core::Instance;
+use spp_dag::PrecInstance;
+use spp_engine::{solve, Capabilities, Registry, SolveRequest, Validation};
+use spp_gen::rects::DagFamily;
+use spp_gen::release::ReleaseParams;
+
+const EPS: f64 = 1e-9;
+
+/// Release model shared by every released workload: widths ≥ 1/4 and
+/// heights ≤ 1, so the APTAS (K = 8 by default) accepts them too.
+fn release_params() -> ReleaseParams {
+    ReleaseParams {
+        k: 4,
+        column_widths: true,
+        h: (0.1, 1.0),
+    }
+}
+
+/// Attach non-decreasing-by-id releases to an instance. Combined with
+/// DAG families whose edges ascend in id (layered, deep-chain), every
+/// edge then points to an equal-or-later release class — the combined
+/// model both `dc-release` and `combined-greedy` are defined on.
+fn with_monotone_releases(inst: &Instance, r_max: f64) -> Instance {
+    let n = inst.len().max(2);
+    Instance::new(
+        inst.items()
+            .iter()
+            .map(|it| {
+                let r = r_max * it.id as f64 / (n - 1) as f64;
+                spp_core::Item::with_release(it.id, it.w, it.h, r)
+            })
+            .collect(),
+    )
+    .expect("releases are finite and non-negative")
+}
+
+/// Seeded workloads matching a capability set. Sizes stay small enough
+/// that evaluating the APTAS advertised bound (exact `OPT_f` by column
+/// generation) is cheap.
+fn workloads_for(caps: Capabilities) -> Vec<(String, PrecInstance)> {
+    let mut out = Vec::new();
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0DE + seed);
+        if caps.uniform_height_only {
+            // §2.2 model: all heights equal; DAG iff precedence is honored.
+            let inst = spp_gen::rects::uniform_height(&mut rng, 18, (0.05, 0.95));
+            let dag = if caps.precedence {
+                DagFamily::Layered.build(&mut rng, inst.len())
+            } else {
+                spp_dag::Dag::empty(inst.len())
+            };
+            out.push((format!("uniform-h/{seed}"), PrecInstance::new(inst, dag)));
+        } else if caps.precedence && caps.release {
+            // Combined model: ascending-id DAG + monotone releases.
+            let inst = spp_gen::release::no_releases(&mut rng, 14, release_params());
+            let inst = with_monotone_releases(&inst, 3.0);
+            let n = inst.len();
+            for family in [DagFamily::Layered, DagFamily::DeepChain] {
+                let dag = family.build(&mut rng, n);
+                out.push((
+                    format!("combined-{}/{seed}", family.name()),
+                    PrecInstance::new(inst.clone(), dag),
+                ));
+            }
+        } else if caps.precedence {
+            let inst = spp_gen::rects::uniform(&mut rng, 20, (0.05, 0.95), (0.05, 1.0));
+            let n = inst.len();
+            for family in [DagFamily::Layered, DagFamily::Random, DagFamily::DeepChain] {
+                let dag = family.build(&mut rng, n);
+                out.push((
+                    format!("prec-{}/{seed}", family.name()),
+                    PrecInstance::new(inst.clone(), dag),
+                ));
+            }
+        } else if caps.release {
+            for (name, inst) in [
+                (
+                    "staircase",
+                    spp_gen::release::staircase(&mut rng, 12, 4.0, release_params()),
+                ),
+                (
+                    "bursty",
+                    spp_gen::release::bursty(&mut rng, 12, 3, 1.5, 0.0, release_params()),
+                ),
+                (
+                    "no-release",
+                    spp_gen::release::no_releases(&mut rng, 12, release_params()),
+                ),
+            ] {
+                out.push((
+                    format!("rel-{name}/{seed}"),
+                    PrecInstance::unconstrained(inst),
+                ));
+            }
+        } else {
+            // Plain strip packing: random mixes plus adversarial shapes.
+            out.push((
+                format!("plain-uniform/{seed}"),
+                PrecInstance::unconstrained(spp_gen::rects::uniform(
+                    &mut rng,
+                    30,
+                    (0.05, 0.95),
+                    (0.05, 1.5),
+                )),
+            ));
+            out.push((
+                format!("plain-tallwide/{seed}"),
+                PrecInstance::unconstrained(spp_gen::rects::tall_wide_mix(&mut rng, 30, 0.5)),
+            ));
+        }
+    }
+    if !caps.precedence && !caps.release && !caps.uniform_height_only {
+        out.push((
+            "plain-staircase".to_string(),
+            PrecInstance::unconstrained(spp_gen::adversarial::skyline_staircase(4, 4, 0.5)),
+        ));
+        // Widths just over 1/2: one item per shelf, OPT = Σh ≈ 2·AREA.
+        // This is the workload that separates sound area envelopes from
+        // the unsound `1.7·AREA + h_max` misreading of CGJT's 1.7·OPT.
+        let half_wide: Vec<(f64, f64)> = (0..20).map(|i| (0.51, 1.0 + 0.01 * i as f64)).collect();
+        out.push((
+            "plain-halfwide".to_string(),
+            PrecInstance::unconstrained(Instance::from_dims(&half_wide).unwrap()),
+        ));
+    }
+    out
+}
+
+#[test]
+fn every_registry_entry_conforms_on_matching_workloads() {
+    let registry = Registry::builtin();
+    assert_eq!(
+        registry.entries().len(),
+        22,
+        "registry size changed — conformance coverage claim is stale"
+    );
+    for entry in registry.entries() {
+        let solver = entry.build();
+        let workloads = workloads_for(entry.capabilities);
+        assert!(
+            !workloads.is_empty(),
+            "{}: no workloads for {:?}",
+            entry.name,
+            entry.capabilities
+        );
+        for (label, prec) in workloads {
+            let mut request = SolveRequest::new(prec);
+            // Strict: a capability mismatch here is a bug in the workload
+            // table, and must fail loudly instead of being ignored.
+            request.config.strict = true;
+            let report = solve(&*solver, &request).unwrap_or_else(|e| {
+                panic!("{} refused conforming workload {label}: {e}", entry.name)
+            });
+
+            // (a) placements validate, with no ignored constraint family.
+            assert_eq!(
+                report.validation,
+                Validation::Passed,
+                "{} on {label}: {:?}",
+                entry.name,
+                report.validation
+            );
+
+            // (b) makespan ≥ every lower bound of the request.
+            for (bound_name, bound) in [
+                ("AREA", report.bounds.area),
+                ("F", report.bounds.critical_path),
+                ("release", report.bounds.release),
+                ("combined", report.bounds.combined),
+            ] {
+                assert!(
+                    report.makespan >= bound - EPS,
+                    "{} on {label}: makespan {} below {bound_name} LB {}",
+                    entry.name,
+                    report.makespan,
+                    bound
+                );
+            }
+
+            // (c) makespan ≤ the advertised bound, when one is claimed.
+            if let Some(adv) = &entry.advertised {
+                let limit = (adv.eval)(&request, &report.bounds);
+                assert!(
+                    report.makespan <= limit + EPS,
+                    "{} on {label}: makespan {} exceeds advertised {} = {}",
+                    entry.name,
+                    report.makespan,
+                    adv.formula,
+                    limit
+                );
+            }
+        }
+    }
+}
+
+/// The advertised-bound table itself is exercised above; this pins the
+/// claim from the issue: every entry with the `a_bound` capability also
+/// advertises (at least) the `2·AREA + h_max` formula.
+#[test]
+fn a_bound_capability_implies_an_advertised_bound() {
+    let registry = Registry::builtin();
+    for entry in registry.filter(|c| c.a_bound) {
+        let adv = entry
+            .advertised
+            .as_ref()
+            .unwrap_or_else(|| panic!("{} claims a_bound but advertises nothing", entry.name));
+        assert_eq!(adv.formula, "2·AREA + h_max", "{}", entry.name);
+    }
+}
+
+/// APTAS phase reporting (ROADMAP open item): the engine report now
+/// carries the four pipeline stages as distinct phases, and the phase
+/// list stays disjoint — named stages sum to at most the report total.
+#[test]
+fn aptas_report_has_distinct_pipeline_phases() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let inst = spp_gen::release::staircase(&mut rng, 14, 4.0, release_params());
+    let registry = Registry::builtin();
+    let solver = registry.get("aptas").unwrap();
+    let report = solve(&*solver, &SolveRequest::unconstrained(inst)).unwrap();
+
+    let names: Vec<&str> = report.phases.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "rounding",
+            "grouping",
+            "lp",
+            "integralize",
+            "solve",
+            "validate"
+        ],
+        "phase list: {names:?}"
+    );
+    let stage_sum: std::time::Duration = report
+        .phases
+        .iter()
+        .filter(|(n, _)| matches!(n.as_str(), "rounding" | "grouping" | "lp" | "integralize"))
+        .map(|(_, d)| *d)
+        .sum();
+    assert!(
+        stage_sum <= report.total_time(),
+        "stages {stage_sum:?} exceed total {:?}",
+        report.total_time()
+    );
+}

@@ -1,0 +1,137 @@
+//! Differential tests: algorithms that are documented to *coincide* on a
+//! restricted input class must actually coincide there.
+//!
+//! On release-free instances the combined solvers degenerate to their
+//! single-constraint counterparts by construction — one release class
+//! means one `DC` call, one FFDH batch, an unchanged skyline — so the
+//! documented factor between each pair is exactly 1: equal makespans (to
+//! floating-point identity of the shared code path).
+
+use rand::{rngs::StdRng, SeedableRng};
+use spp_dag::PrecInstance;
+use spp_engine::{solve, Registry, SolveRequest};
+use spp_gen::rects::DagFamily;
+
+/// Release-free precedence instances over several DAG shapes.
+fn release_free_dag_instances() -> Vec<(String, PrecInstance)> {
+    let mut out = Vec::new();
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0xD1FF + seed);
+        let inst = spp_gen::rects::uniform(&mut rng, 24, (0.05, 0.95), (0.05, 1.0));
+        let n = inst.len();
+        for family in [DagFamily::Layered, DagFamily::Random, DagFamily::DeepChain] {
+            let dag = family.build(&mut rng, n);
+            out.push((
+                format!("{}/{seed}", family.name()),
+                PrecInstance::new(inst.clone(), dag),
+            ));
+        }
+    }
+    out
+}
+
+/// Release-free unconstrained instances (for the §3 baselines).
+fn release_free_plain_instances() -> Vec<(String, PrecInstance)> {
+    (0..8u64)
+        .map(|seed| {
+            let mut rng = StdRng::seed_from_u64(0xFD1F + seed);
+            let inst = spp_gen::rects::uniform(&mut rng, 40, (0.05, 0.95), (0.05, 1.5));
+            (format!("plain/{seed}"), PrecInstance::unconstrained(inst))
+        })
+        .collect()
+}
+
+fn makespan_of(registry: &Registry, algo: &str, prec: &PrecInstance) -> f64 {
+    let solver = registry.get(algo).unwrap();
+    let report =
+        solve(&*solver, &SolveRequest::new(prec.clone())).unwrap_or_else(|e| panic!("{algo}: {e}"));
+    assert!(
+        report.validation.passed(),
+        "{algo}: {:?}",
+        report.validation
+    );
+    report.makespan
+}
+
+fn assert_agree(registry: &Registry, a: &str, b: &str, cases: &[(String, PrecInstance)]) {
+    for (label, prec) in cases {
+        let ma = makespan_of(registry, a, prec);
+        let mb = makespan_of(registry, b, prec);
+        assert!(
+            (ma - mb).abs() <= 1e-12,
+            "{a} vs {b} on {label}: {ma} != {mb} (documented factor is 1 on release-free inputs)"
+        );
+    }
+}
+
+/// `dc-release` partitions by release class and runs `DC` (with NFDH) per
+/// class; with zero releases there is one class covering everything, so
+/// it must match `dc-nfdh` exactly.
+#[test]
+fn dc_release_matches_dc_nfdh_without_releases() {
+    let registry = Registry::builtin();
+    assert_agree(
+        &registry,
+        "dc-release",
+        "dc-nfdh",
+        &release_free_dag_instances(),
+    );
+}
+
+/// `combined-greedy` is the precedence skyline greedy with release
+/// floors; zero releases mean zero extra floors, so it must match
+/// `greedy` exactly.
+#[test]
+fn combined_greedy_matches_greedy_without_releases() {
+    let registry = Registry::builtin();
+    assert_agree(
+        &registry,
+        "combined-greedy",
+        "greedy",
+        &release_free_dag_instances(),
+    );
+}
+
+/// `batched-ffdh` packs each release batch with FFDH; one batch (all
+/// releases zero) is plain FFDH.
+#[test]
+fn batched_ffdh_matches_ffdh_without_releases() {
+    let registry = Registry::builtin();
+    assert_agree(
+        &registry,
+        "batched-ffdh",
+        "ffdh",
+        &release_free_plain_instances(),
+    );
+}
+
+/// With releases present the pairs may legitimately diverge — but the
+/// combined solver must never *lose* to stacking batches after the last
+/// release, and both must stay valid. This pins the direction of the
+/// divergence so a refactor that silently degrades the combined path
+/// shows up.
+#[test]
+fn released_instances_keep_batched_ffdh_below_trivial_stacking() {
+    let registry = Registry::builtin();
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(0xAB + seed);
+        let inst = spp_gen::release::bursty(
+            &mut rng,
+            30,
+            4,
+            1.0,
+            0.0,
+            spp_gen::release::ReleaseParams::default(),
+        );
+        let r_max = inst.max_release();
+        let prec = PrecInstance::unconstrained(inst);
+        let batched = makespan_of(&registry, "batched-ffdh", &prec);
+        // Trivial schedule: wait for the last release, then FFDH-pack
+        // everything (ignoring releases) above it.
+        let ffdh_all = makespan_of(&registry, "ffdh", &prec);
+        assert!(
+            batched <= r_max + ffdh_all + 1e-9,
+            "batched-ffdh {batched} worse than trivial {r_max} + {ffdh_all}"
+        );
+    }
+}

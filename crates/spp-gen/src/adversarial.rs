@@ -191,6 +191,37 @@ pub fn fig2_ratio3_tightness(k: usize, epsilon: f64) -> Fig2Family {
     }
 }
 
+/// A pathological family for bottom-left **skyline** packers (no DAG, no
+/// releases): `rounds` repetitions of an ascending `steps`-item staircase
+/// followed by one width-1 spanner.
+///
+/// Skyline packers place the staircase side by side (each stair width
+/// `1/steps`, heights `delta, 2·delta, …, steps·delta`), then the spanner
+/// has to rest on the *tallest* stair — the triangular area above the
+/// shorter stairs (≈ half the staircase's bounding box) is dead space,
+/// every round. Ascending height order is the worst case for decreasing-
+/// height shelf packers too, but shelf algorithms recover by sorting;
+/// skyline policies that keep arrival order do not, so the family drives
+/// their ratio toward 2 while `AREA` stays ≈ half the produced height.
+pub fn skyline_staircase(rounds: usize, steps: usize, delta: f64) -> Instance {
+    assert!(
+        rounds >= 1 && steps >= 1,
+        "need at least one round and step"
+    );
+    assert!(delta > 0.0, "stair height must be positive");
+    let mut items = Vec::with_capacity(rounds * (steps + 1));
+    let w = 1.0 / steps as f64;
+    for _ in 0..rounds {
+        for s in 0..steps {
+            let id = items.len();
+            items.push(Item::new(id, w, (s + 1) as f64 * delta));
+        }
+        let id = items.len();
+        items.push(Item::new(id, 1.0, delta));
+    }
+    Instance::new(items).expect("construction is in range")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +277,26 @@ mod tests {
         // leftover chain is empty
         let sources = fam.prec.dag.sources().len();
         assert_eq!(sources, fam.k + 1);
+    }
+
+    #[test]
+    fn skyline_staircase_shape() {
+        let inst = skyline_staircase(3, 4, 0.5);
+        // 3 rounds × (4 stairs + 1 spanner)
+        assert_eq!(inst.len(), 15);
+        // stairs of one round tile the strip exactly
+        let stair_w: f64 = inst.items().iter().take(4).map(|it| it.w).sum();
+        assert_close!(stair_w, 1.0);
+        // spanner is full-width and short
+        assert_eq!(inst.item(4).w, 1.0);
+        assert_close!(inst.item(4).h, 0.5);
+        // heights ascend within a staircase (the skyline worst case)
+        assert!(inst.item(0).h < inst.item(3).h);
+        // dead space: AREA is 70% of rounds × (tallest stair + spanner) —
+        // the triangular gap above the shorter stairs is never usable by
+        // an arrival-order skyline.
+        let worst = 3.0 * (4.0 * 0.5 + 0.5);
+        assert_close!(inst.total_area(), 0.7 * worst);
     }
 
     #[test]

@@ -13,9 +13,16 @@
 //!   heights);
 //! * [`textio`] — a line-based plain-text instance format (the allowed
 //!   dependency set has no serde data format, so snapshots are hand
-//!   rolled).
+//!   rolled);
+//! * [`fileio`] — on-disk instance files: the canonical `spp-instance`
+//!   JSON of `spp_core::json` plus `spp v1` text, dispatched on file
+//!   extension;
+//! * [`suite`] — named scenario suites (deep-chain DAGs, bursty releases,
+//!   skyline adversaries, …) for sharded batch runs.
 
 pub mod adversarial;
+pub mod fileio;
 pub mod rects;
 pub mod release;
+pub mod suite;
 pub mod textio;

@@ -93,6 +93,11 @@ pub fn unconstrained(inst: Instance) -> PrecInstance {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DagFamily {
     Chains,
+    /// One chain through *every* node — the deepest possible DAG
+    /// (`F(S) = Σ h`, zero width parallelism). Stresses the `DC`
+    /// recursion depth and any solver whose cost grows with the critical
+    /// path.
+    DeepChain,
     Layered,
     Random,
     ForkJoin,
@@ -102,8 +107,9 @@ pub enum DagFamily {
 }
 
 impl DagFamily {
-    pub const ALL: [DagFamily; 7] = [
+    pub const ALL: [DagFamily; 8] = [
         DagFamily::Chains,
+        DagFamily::DeepChain,
         DagFamily::Layered,
         DagFamily::Random,
         DagFamily::ForkJoin,
@@ -115,6 +121,7 @@ impl DagFamily {
     pub fn name(&self) -> &'static str {
         match self {
             DagFamily::Chains => "chains",
+            DagFamily::DeepChain => "deep-chain",
             DagFamily::Layered => "layered",
             DagFamily::Random => "random",
             DagFamily::ForkJoin => "fork-join",
@@ -125,12 +132,14 @@ impl DagFamily {
     }
 
     /// Build a DAG of this family on `n` nodes with default shape
-    /// parameters (chains: √n chains; layered: √n layers, 15% extra edges;
-    /// random: p = 2/n giving ~n edges).
+    /// parameters (chains: √n chains; deep-chain: a single chain;
+    /// layered: √n layers, 15% extra edges; random: p = 2/n giving
+    /// ~n edges).
     pub fn build<R: Rng>(&self, rng: &mut R, n: usize) -> Dag {
         let sqrt_n = (n as f64).sqrt().ceil().max(1.0) as usize;
         match self {
             DagFamily::Chains => spp_dag::gen::disjoint_chains(n, sqrt_n),
+            DagFamily::DeepChain => spp_dag::gen::disjoint_chains(n, 1),
             DagFamily::Layered => spp_dag::gen::layered(rng, n, sqrt_n, 0.15),
             DagFamily::Random => {
                 let p = (2.0 / n.max(2) as f64).min(1.0);

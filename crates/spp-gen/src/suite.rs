@@ -1,0 +1,199 @@
+//! Named scenario suites — the workload mix behind `spp suite` and the
+//! sharded-batch smoke tests.
+//!
+//! A suite is a deterministic function of `(seed, n, count)`: `count`
+//! instances cycling through [`FAMILIES`], each seeded independently so
+//! any subset can be regenerated without the rest. The families cover the
+//! stress axes the engine's solvers diverge on:
+//!
+//! * `deep-chain` — one chain through every item (maximal critical path);
+//! * `layered` / `random-dag` — the §2 precedence shapes;
+//! * `bursty-release` / `poisson-release` — §3 arrival processes (widths
+//!   ≥ 1/4 and heights ≤ 1, so the APTAS model holds);
+//! * `skyline-adversary` — [`crate::adversarial::skyline_staircase`];
+//! * `tall-wide` — the classic NFDH aspect-mix stressor;
+//! * `uniform-height` — the §2.2 shelf workload (plus a layered DAG).
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use spp_dag::PrecInstance;
+
+use crate::rects::DagFamily;
+use crate::release::ReleaseParams;
+
+/// The scenario families, in cycle order.
+pub const FAMILIES: [&str; 8] = [
+    "deep-chain",
+    "layered",
+    "random-dag",
+    "bursty-release",
+    "poisson-release",
+    "skyline-adversary",
+    "tall-wide",
+    "uniform-height",
+];
+
+/// One named instance of a suite.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// `"<family>-<index>"`, unique within the suite; doubles as the file
+    /// stem when the suite is written to disk.
+    pub name: String,
+    pub prec: PrecInstance,
+}
+
+/// Per-instance rng: decorrelated from neighbors, independent of `count`.
+fn rng_for(seed: u64, index: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn build(family: &str, rng: &mut StdRng, n: usize) -> PrecInstance {
+    let rel = ReleaseParams::default();
+    match family {
+        "deep-chain" => {
+            let inst = crate::rects::uniform(rng, n, (0.05, 0.95), (0.05, 1.0));
+            let dag = DagFamily::DeepChain.build(rng, n);
+            PrecInstance::new(inst, dag)
+        }
+        "layered" => {
+            let inst = crate::rects::uniform(rng, n, (0.05, 0.95), (0.05, 1.0));
+            let dag = DagFamily::Layered.build(rng, n);
+            PrecInstance::new(inst, dag)
+        }
+        "random-dag" => {
+            let inst = crate::rects::uniform(rng, n, (0.05, 0.95), (0.05, 1.0));
+            let dag = DagFamily::Random.build(rng, n);
+            PrecInstance::new(inst, dag)
+        }
+        "bursty-release" => {
+            let batches = (n / 8).max(2);
+            PrecInstance::unconstrained(crate::release::bursty(rng, n, batches, 1.5, 0.1, rel))
+        }
+        "poisson-release" => {
+            PrecInstance::unconstrained(crate::release::poisson_arrivals(rng, n, 0.25, rel))
+        }
+        "skyline-adversary" => {
+            // Deterministic construction; size tracks n (steps + spanner
+            // per round), jitter-free so the dead-space argument is exact.
+            let steps = 4;
+            let rounds = (n / (steps + 1)).max(1);
+            PrecInstance::unconstrained(crate::adversarial::skyline_staircase(rounds, steps, 0.5))
+        }
+        "tall-wide" => {
+            let tall_fraction = rng.gen_range(0.3..0.7);
+            PrecInstance::unconstrained(crate::rects::tall_wide_mix(rng, n, tall_fraction))
+        }
+        "uniform-height" => {
+            let inst = crate::rects::uniform_height(rng, n, (0.05, 0.95));
+            let dag = DagFamily::Layered.build(rng, n);
+            PrecInstance::new(inst, dag)
+        }
+        other => unreachable!("unknown suite family {other:?}"),
+    }
+}
+
+/// Generate a `count`-instance suite cycling through [`FAMILIES`].
+pub fn suite(seed: u64, n: usize, count: usize) -> Vec<Scenario> {
+    (0..count)
+        .map(|i| {
+            let family = FAMILIES[i % FAMILIES.len()];
+            let mut rng = rng_for(seed, i);
+            Scenario {
+                name: format!("{family}-{i:03}"),
+                prec: build(family, &mut rng, n),
+            }
+        })
+        .collect()
+}
+
+/// Write a suite as `spp-instance` JSON files (`<name>.json`) under
+/// `dir`, creating it if needed. Returns the written paths in suite
+/// order.
+pub fn write_suite(
+    dir: &std::path::Path,
+    seed: u64,
+    n: usize,
+    count: usize,
+) -> Result<Vec<std::path::PathBuf>, crate::fileio::FileIoError> {
+    std::fs::create_dir_all(dir).map_err(|e| crate::fileio::FileIoError::Io {
+        path: dir.display().to_string(),
+        err: e.to_string(),
+    })?;
+    let mut paths = Vec::with_capacity(count);
+    for sc in suite(seed, n, count) {
+        let path = dir.join(format!("{}.json", sc.name));
+        crate::fileio::write_path(&path, &sc.prec)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_deterministic_and_cycles_families() {
+        let a = suite(7, 24, 16);
+        let b = suite(7, 24, 16);
+        assert_eq!(a.len(), 16);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.prec.inst, y.prec.inst);
+        }
+        // 16 instances cycle through all 8 families twice.
+        for (i, sc) in a.iter().enumerate() {
+            assert!(sc.name.starts_with(FAMILIES[i % 8]), "{}", sc.name);
+        }
+    }
+
+    #[test]
+    fn scenario_prefix_is_independent_of_count() {
+        // Regenerating a longer suite must not change earlier instances —
+        // shard resume relies on stable per-index content.
+        let short = suite(3, 20, 5);
+        let long = suite(3, 20, 10);
+        for (s, l) in short.iter().zip(&long) {
+            assert_eq!(s.name, l.name);
+            assert_eq!(s.prec.inst, l.prec.inst);
+        }
+    }
+
+    #[test]
+    fn families_carry_their_advertised_structure() {
+        for sc in suite(11, 30, 8) {
+            let fam = sc.name.rsplit_once('-').unwrap().0;
+            match fam {
+                "deep-chain" => {
+                    assert_eq!(sc.prec.dag.edge_count(), sc.prec.len() - 1);
+                }
+                "bursty-release" | "poisson-release" => {
+                    assert_eq!(sc.prec.dag.edge_count(), 0);
+                    assert!(sc.prec.inst.max_release() > 0.0);
+                    // APTAS model: heights ≤ 1, widths ≥ 1/4.
+                    for it in sc.prec.inst.items() {
+                        assert!(it.h <= 1.0 && it.w >= 0.25 - 1e-12);
+                    }
+                }
+                "uniform-height" => {
+                    assert!(sc.prec.inst.uniform_height().is_some());
+                }
+                "skyline-adversary" => {
+                    assert!(sc.prec.inst.items().iter().any(|it| it.w == 1.0));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn write_suite_emits_parseable_files() {
+        let dir = std::env::temp_dir().join("spp_gen_suite_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let paths = write_suite(&dir, 1, 12, 9).unwrap();
+        assert_eq!(paths.len(), 9);
+        for p in &paths {
+            let prec = crate::fileio::read_path(p).unwrap();
+            assert!(!prec.is_empty());
+        }
+    }
+}

@@ -18,6 +18,8 @@
 //! `height ≤ (1+ε)·OPT_f(P) + (W+1)(R+1)` — asymptotically `(1+ε)`-optimal
 //! since the additive term depends only on `ε` and `K`.
 
+use std::time::{Duration, Instant};
+
 use crate::colgen::solve_fractional_with_configs;
 use crate::grouping::group_widths;
 use crate::integralize::integralize;
@@ -61,6 +63,42 @@ impl AptasConfig {
     }
 }
 
+/// Wall-clock cost of each pipeline stage (Lemmas 3.1–3.4 in order).
+///
+/// Exposed so report consumers (the engine's `SolveReport.phases`, the
+/// experiment harness) can attribute APTAS time to its dominant stage —
+/// in practice the LP/column-generation step — instead of one opaque
+/// `aptas-pipeline` bucket.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AptasPhaseTimings {
+    /// Lemma 3.1 — release rounding.
+    pub rounding: Duration,
+    /// Lemma 3.2 — width grouping.
+    pub grouping: Duration,
+    /// Lemma 3.3 — configuration LP via column generation.
+    pub lp: Duration,
+    /// Lemma 3.4 — integral conversion.
+    pub integralize: Duration,
+}
+
+impl AptasPhaseTimings {
+    /// The stages with their report-phase names, in execution order.
+    pub fn named(&self) -> [(&'static str, Duration); 4] {
+        [
+            ("rounding", self.rounding),
+            ("grouping", self.grouping),
+            ("lp", self.lp),
+            ("integralize", self.integralize),
+        ]
+    }
+
+    /// Sum of the stage timings (≤ the wall clock of [`aptas`], which
+    /// also spends time outside the four stages).
+    pub fn total(&self) -> Duration {
+        self.rounding + self.grouping + self.lp + self.integralize
+    }
+}
+
 /// APTAS output with the intermediate artifacts the experiments inspect.
 #[derive(Debug, Clone)]
 pub struct AptasResult {
@@ -83,6 +121,8 @@ pub struct AptasResult {
     pub leftovers: usize,
     /// The fractional solution (for ablation/diagnostics).
     pub fractional: FractionalSolution,
+    /// Per-stage wall-clock timings.
+    pub phases: AptasPhaseTimings,
 }
 
 /// Run the APTAS on an instance with heights ≤ 1 and widths ≥ `1/K`.
@@ -122,15 +162,24 @@ pub fn aptas(inst: &Instance, cfg: AptasConfig) -> AptasResult {
         );
     }
 
+    let mut phases = AptasPhaseTimings::default();
     // Lemma 3.1: round releases with ε_r = ε′.
+    let t = Instant::now();
     let rounded = round_releases(inst, cfg.eps_prime());
+    phases.rounding = t.elapsed();
     // Lemma 3.2: group widths with g groups per class.
+    let t = Instant::now();
     let grouped = group_widths(&rounded.inst, cfg.groups_per_class());
+    phases.grouping = t.elapsed();
     // Lemma 3.3: fractional optimum by column generation.
+    let t = Instant::now();
     let data = LpData::new(&grouped.inst, &grouped.widths, &grouped.class_of);
     let (frac, _) = solve_fractional_with_configs(&data);
+    phases.lp = t.elapsed();
     // Lemma 3.4: integral conversion (on the grouped instance).
+    let t = Instant::now();
     let ip = integralize(&grouped.inst, &data, &grouped.class_of, &frac);
+    phases.integralize = t.elapsed();
 
     // The grouped placement is valid for the original items verbatim
     // (each original item is narrower and released no later).
@@ -150,6 +199,7 @@ pub fn aptas(inst: &Instance, cfg: AptasConfig) -> AptasResult {
         width_classes: grouped.widths.len(),
         leftovers: ip.leftovers,
         fractional: frac,
+        phases,
     }
 }
 
@@ -231,6 +281,24 @@ mod tests {
                 "grouping cannot shrink OPT_f"
             );
         }
+    }
+
+    #[test]
+    fn phase_timings_sum_to_at_most_the_wall_clock() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let inst = spp_gen::release::staircase(&mut rng, 20, 4.0, params(3));
+        let t0 = std::time::Instant::now();
+        let r = aptas(&inst, AptasConfig { epsilon: 1.0, k: 3 });
+        let wall = t0.elapsed();
+        assert!(
+            r.phases.total() <= wall,
+            "stage sum {:?} > wall {:?}",
+            r.phases.total(),
+            wall
+        );
+        // All four stages appear, in pipeline order.
+        let names: Vec<&str> = r.phases.named().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["rounding", "grouping", "lp", "integralize"]);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod lp_model;
 pub mod online;
 pub mod rounding;
 
-pub use aptas::{aptas, AptasConfig, AptasResult};
+pub use aptas::{aptas, AptasConfig, AptasPhaseTimings, AptasResult};
 pub use colgen::solve_fractional;
 pub use config::Config;
 pub use lp_model::FractionalSolution;

@@ -2,30 +2,45 @@
 //!
 //! ```text
 //! spp gen   --family layered -n 40 --seed 7 > inst.spp
+//! spp gen   --family layered -n 40 --seed 7 --format json > inst.json
+//! spp suite --out-dir instances/ --count 20 -n 24 --seed 7
 //! spp pack  inst.spp --algo dc-nfdh --render ascii
 //! spp pack  inst.spp --algo greedy --render svg > packing.svg
 //! spp bounds inst.spp
 //! spp batch --families layered,random --count 50 -n 30 --algos dc-nfdh,greedy,layered
+//! spp batch --input-dir instances/ --algos nfdh,ffdh,greedy            # file mode
+//! spp batch --input-dir instances/ --shards 4 --shard-index 2 --out s2.json
+//! spp batch --merge s0.json,s1.json,s2.json,s3.json                   # combine shards
 //! spp algos
 //! ```
 //!
 //! Algorithms are resolved through the engine registry
 //! (`strip_packing::engine::Registry`), so `spp algos` and every error
 //! message list exactly the solvers that exist — nothing is hard-coded in
-//! this binary. Instances use the `spp v1` text format of
-//! `spp-gen::textio` (`item <id> <w> <h> <release>` / `edge <pred> <succ>`
-//! lines).
+//! this binary. Instance files are either `spp-instance` JSON (`.json`)
+//! or the `spp v1` text format (anything else), dispatched on extension.
+//!
+//! Sharding: `--shards N --shard-index I` runs only the `I`-th contiguous
+//! shard of the (sorted) file list and emits a portable shard report;
+//! `--merge` combines the reports into the same table — byte-identical on
+//! stdout to a single-process run over the same inputs. `--manifest DIR`
+//! makes an in-process multi-shard run resumable: completed shards are
+//! loaded from `DIR` instead of recomputed.
 
 use std::io::Read as _;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use strip_packing::dag::PrecInstance;
-use strip_packing::engine::{run_batch, BatchJob, Registry, SolveConfig, SolveRequest, Validation};
+use strip_packing::engine::{
+    merge_reports, run_batch, run_shard, run_sharded, BatchJob, MergedReport, Registry, ShardPlan,
+    ShardReport, SolveConfig, SolveRequest, Solver, Validation,
+};
 use strip_packing::gen::rects::DagFamily;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  spp gen --family <name> [-n <count>] [--seed <u64>] [--uniform-height]\n  spp pack <file|-> [--algo <name>] [--render <none|ascii|svg>]\n          [--epsilon <f64>] [-k <usize>] [--shelf-r <f64>] [--strict]\n  spp bounds <file|->\n  spp batch [--families <f1,f2,..>] [--count <per-family>] [-n <size>]\n          [--seed <u64>] [--algos <a1,a2,..>]\n  spp algos\n\nrun `spp algos` for the algorithm registry with capability flags"
+        "usage:\n  spp gen --family <name> [-n <count>] [--seed <u64>] [--uniform-height]\n          [--format <spp|json>]\n  spp suite --out-dir <dir> [--count <n>] [-n <size>] [--seed <u64>]\n  spp pack <file|-> [--algo <name>] [--render <none|ascii|svg>]\n          [--epsilon <f64>] [-k <usize>] [--shelf-r <f64>] [--strict]\n  spp bounds <file|->\n  spp batch [--families <f1,f2,..>] [--count <per-family>] [-n <size>]\n          [--seed <u64>] [--algos <a1,a2,..>]\n  spp batch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--shards <n>] [--shard-index <i>] [--out <file>]\n          [--manifest <dir>] [--cells]\n  spp batch --merge <report1,report2,..> [--cells]\n  spp algos\n\nrun `spp algos` for the algorithm registry with capability flags"
     );
     std::process::exit(2);
 }
@@ -70,7 +85,7 @@ fn config_from_args(args: &[String]) -> SolveConfig {
 }
 
 fn read_instance(path: &str) -> PrecInstance {
-    let text = if path == "-" {
+    if path == "-" {
         let mut buf = String::new();
         std::io::stdin()
             .read_to_string(&mut buf)
@@ -78,17 +93,24 @@ fn read_instance(path: &str) -> PrecInstance {
                 eprintln!("error: cannot read stdin: {e}");
                 std::process::exit(1);
             });
-        buf
-    } else {
-        std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("error: cannot read {path}: {e}");
+        // No extension on stdin: a JSON document starts with '{', the
+        // `spp v1` text format never does.
+        let result = if buf.trim_start().starts_with('{') {
+            strip_packing::gen::fileio::from_json(&buf)
+        } else {
+            strip_packing::gen::textio::from_text(&buf)
+                .map_err(strip_packing::gen::fileio::FileIoError::Text)
+        };
+        result.unwrap_or_else(|e| {
+            eprintln!("error: cannot parse instance: {e}");
             std::process::exit(1);
         })
-    };
-    strip_packing::gen::textio::from_text(&text).unwrap_or_else(|e| {
-        eprintln!("error: cannot parse instance: {e}");
-        std::process::exit(1);
-    })
+    } else {
+        strip_packing::gen::fileio::read_path(Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("error: cannot parse instance: {e}");
+            std::process::exit(1);
+        })
+    }
 }
 
 fn cmd_gen(args: &[String]) -> ExitCode {
@@ -105,8 +127,37 @@ fn cmd_gen(args: &[String]) -> ExitCode {
     };
     let dag = family.build(&mut rng, n);
     let prec = PrecInstance::new(inst, dag);
-    print!("{}", strip_packing::gen::textio::to_text(&prec));
+    match arg_value(args, "--format").as_deref() {
+        None | Some("spp") => print!("{}", strip_packing::gen::textio::to_text(&prec)),
+        Some("json") => print!("{}", strip_packing::gen::fileio::to_json(&prec)),
+        Some(other) => {
+            eprintln!("error: unknown format {other:?} (expected spp or json)");
+            return ExitCode::from(2);
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// Generate a scenario suite (deep-chain DAGs, bursty releases, skyline
+/// adversaries, …) as `spp-instance` JSON files — the input side of the
+/// sharded batch pipeline.
+fn cmd_suite(args: &[String]) -> ExitCode {
+    let Some(out_dir) = arg_value(args, "--out-dir") else {
+        usage()
+    };
+    let count: usize = arg_value(args, "--count").map(parse_or_usage).unwrap_or(20);
+    let n: usize = arg_value(args, "-n").map(parse_or_usage).unwrap_or(24);
+    let seed: u64 = arg_value(args, "--seed").map(parse_or_usage).unwrap_or(1);
+    match strip_packing::gen::suite::write_suite(Path::new(&out_dir), seed, n, count) {
+        Ok(paths) => {
+            eprintln!("wrote {} instance files to {out_dir}", paths.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_pack(args: &[String]) -> ExitCode {
@@ -204,10 +255,15 @@ fn cmd_bounds(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// List the registry: one line per solver with capability flags.
+/// List the registry: one line per solver with capability flags and the
+/// advertised bound (if the entry claims one — the conformance suite
+/// holds it to the claim).
 fn cmd_algos() -> ExitCode {
     let registry = Registry::builtin();
-    println!("{:<16} {:<12} description", "name", "honors");
+    println!(
+        "{:<16} {:<12} {:<28} description",
+        "name", "honors", "advertised bound"
+    );
     for e in registry.entries() {
         let mut honors = Vec::new();
         if e.capabilities.precedence {
@@ -230,14 +286,256 @@ fn cmd_algos() -> ExitCode {
         } else {
             honors.join(",")
         };
-        println!("{:<16} {:<12} {}", e.name, honors, e.summary);
+        let advertised = e.advertised.as_ref().map_or("-", |a| a.formula);
+        println!(
+            "{:<16} {:<12} {:<28} {}",
+            e.name, honors, advertised, e.summary
+        );
     }
     ExitCode::SUCCESS
 }
 
+/// Resolve `--algos` against the registry, exiting with the live name
+/// listing on an unknown solver.
+fn solvers_from_args(args: &[String], default: &str) -> Vec<Box<dyn Solver>> {
+    let registry = Registry::builtin();
+    let algos: Vec<String> = arg_value(args, "--algos")
+        .unwrap_or_else(|| default.into())
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    let mut solvers = Vec::new();
+    for name in &algos {
+        match registry.get_or_err(name) {
+            Ok(s) => solvers.push(s),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    solvers
+}
+
+/// Print a merged report (optionally per-cell rows) and convert invalid
+/// cells into a failing exit code.
+fn finish_merged(merged: &MergedReport, cells: bool) -> ExitCode {
+    if cells {
+        print!("{}", merged.render_cells());
+    }
+    print!("{}", merged.render_table());
+    let invalid = merged.invalid_cells();
+    if invalid > 0 {
+        eprintln!("error: {invalid} cells produced invalid placements");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// File-mode batch: instances come from `--input-dir` or `--file-list`,
+/// split into `--shards` contiguous shards.
+///
+/// * with `--shard-index i`: run only shard `i` and emit its portable
+///   report (stdout or `--out`) for a later `--merge` — the
+///   multi-process / multi-machine path;
+/// * without: run all shards in this process (resumable via
+///   `--manifest`), merge, and print the canonical table.
+fn cmd_batch_files(args: &[String]) -> ExitCode {
+    let shards: usize = arg_value(args, "--shards").map(parse_or_usage).unwrap_or(1);
+    let plan = match (
+        arg_value(args, "--input-dir"),
+        arg_value(args, "--file-list"),
+    ) {
+        (Some(dir), None) => ShardPlan::from_dir(Path::new(&dir), shards),
+        (None, Some(list)) => ShardPlan::from_file_list(Path::new(&list), shards),
+        _ => usage(),
+    };
+    let plan = match plan {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let solvers = solvers_from_args(args, "nfdh,ffdh,greedy,dc-nfdh");
+    let config = config_from_args(args);
+
+    if let Some(index) = arg_value(args, "--shard-index") {
+        reject_flags(
+            args,
+            &["--manifest", "--cells"],
+            "to a single-shard run (its output is the report JSON; use --manifest/--cells on the in-process multi-shard or --merge paths)",
+        );
+        let index: usize = parse_or_usage(index);
+        let report = match run_shard(&plan, index, &solvers, &config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "shard {index}/{}: {} files, {} cells",
+            plan.shards(),
+            plan.shard_paths(index).map_or(0, <[PathBuf]>::len),
+            report.cells.len()
+        );
+        let json = report.to_json();
+        match arg_value(args, "--out") {
+            Some(path) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => print!("{json}"),
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    reject_flags(
+        args,
+        &["--out"],
+        "without --shard-index (only a single-shard run emits a report file)",
+    );
+    let manifest = arg_value(args, "--manifest").map(PathBuf::from);
+    // Stream per-shard aggregates to stderr as they complete (stdout
+    // stays deterministic for diffing).
+    let observer = |r: &ShardReport| {
+        let solved = r
+            .cells
+            .iter()
+            .filter(|c| c.status == strip_packing::engine::CellStatus::Solved)
+            .count();
+        let origin = if r.cpu_time.is_some() {
+            "computed"
+        } else {
+            "resumed"
+        };
+        eprintln!(
+            "shard {}/{}: {} cells, {solved} solved ({origin})",
+            r.shard,
+            r.shards,
+            r.cells.len()
+        );
+    };
+    let t0 = std::time::Instant::now();
+    let merged = match run_sharded(
+        &plan,
+        &solvers,
+        &config,
+        manifest.as_deref(),
+        Some(&observer),
+    ) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "batch: {} files x {} solvers = {} cells in {} shards, {:.2}s wall",
+        plan.len(),
+        solvers.len(),
+        merged.cells.len(),
+        plan.shards(),
+        t0.elapsed().as_secs_f64()
+    );
+    finish_merged(&merged, args.iter().any(|a| a == "--cells"))
+}
+
+/// Merge shard report files (comma-separated) into the canonical table —
+/// byte-identical on stdout to the single-process run over the same
+/// inputs.
+fn cmd_batch_merge(paths_arg: &str, args: &[String]) -> ExitCode {
+    let mut reports = Vec::new();
+    for path in paths_arg.split(',').filter(|p| !p.is_empty()) {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match ShardReport::parse(&text) {
+            Ok(r) => reports.push(r),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match merge_reports(reports) {
+        Ok(merged) => finish_merged(&merged, args.iter().any(|a| a == "--cells")),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Batch entry point: dispatch between the in-process generator mode
+/// (`--families`), the instance-file modes (`--input-dir`/`--file-list`,
+/// with optional sharding), and shard-report merging (`--merge`).
+fn cmd_batch(args: &[String]) -> ExitCode {
+    if let Some(paths) = arg_value(args, "--merge") {
+        reject_flags(
+            args,
+            &[
+                "--input-dir",
+                "--file-list",
+                "--shards",
+                "--shard-index",
+                "--out",
+                "--manifest",
+                "--algos",
+                "--families",
+            ],
+            "to --merge (solver list and cells come from the shard reports)",
+        );
+        return cmd_batch_merge(&paths, args);
+    }
+    if args
+        .iter()
+        .any(|a| a == "--input-dir" || a == "--file-list")
+    {
+        reject_flags(
+            args,
+            &["--families", "--count", "--seed"],
+            "to file mode (instances come from the files, not a generator)",
+        );
+        return cmd_batch_files(args);
+    }
+    reject_flags(
+        args,
+        &[
+            "--shards",
+            "--shard-index",
+            "--out",
+            "--manifest",
+            "--cells",
+        ],
+        "to generated mode; sharding needs --input-dir or --file-list",
+    );
+    cmd_batch_generated(args)
+}
+
+/// Exit with a usage error if any of `flags` is present — a flag that a
+/// batch mode would silently ignore is almost certainly a mistaken
+/// invocation (e.g. `--shard-index` without `--input-dir` would run the
+/// *whole* generated workload while the user believes they ran 1/N).
+fn reject_flags(args: &[String], flags: &[&str], mode: &str) {
+    for flag in flags {
+        if args.iter().any(|a| a == flag) {
+            eprintln!("error: {flag} does not apply {mode}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Generate `count` instances per family and run every requested solver on
 /// all of them, in parallel, via the engine's batch executor.
-fn cmd_batch(args: &[String]) -> ExitCode {
+fn cmd_batch_generated(args: &[String]) -> ExitCode {
     use rand::SeedableRng;
 
     let families: Vec<DagFamily> = arg_value(args, "--families")
@@ -248,24 +546,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     let count: usize = arg_value(args, "--count").map(parse_or_usage).unwrap_or(50);
     let n: usize = arg_value(args, "-n").map(parse_or_usage).unwrap_or(30);
     let seed: u64 = arg_value(args, "--seed").map(parse_or_usage).unwrap_or(1);
-    let algos: Vec<String> = arg_value(args, "--algos")
-        .unwrap_or_else(|| "dc-nfdh,greedy,layered".into())
-        .split(',')
-        .map(str::to_string)
-        .collect();
-
-    let registry = Registry::builtin();
-    let mut solvers = Vec::new();
-    for name in &algos {
-        match registry.get_or_err(name) {
-            Ok(s) => solvers.push(s),
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::from(2);
-            }
-        }
-    }
-
+    let solvers = solvers_from_args(args, "dc-nfdh,greedy,layered");
     let config = config_from_args(args);
     let mut jobs = Vec::with_capacity(families.len() * count);
     for family in &families {
@@ -332,6 +613,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("gen") => cmd_gen(&args[1..]),
+        Some("suite") => cmd_suite(&args[1..]),
         Some("pack") => cmd_pack(&args[1..]),
         Some("bounds") => cmd_bounds(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),

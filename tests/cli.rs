@@ -203,6 +203,231 @@ fn batch_rejects_unknown_solver_with_listing() {
 }
 
 #[test]
+fn gen_emits_json_that_pack_accepts() {
+    let gen = spp()
+        .args([
+            "gen", "--family", "layered", "-n", "10", "--seed", "4", "--format", "json",
+        ])
+        .output()
+        .unwrap();
+    assert!(gen.status.success());
+    let text = String::from_utf8(gen.stdout).unwrap();
+    assert!(text.starts_with('{'), "{text}");
+    let prec = strip_packing::gen::fileio::from_json(&text).unwrap();
+    assert_eq!(prec.len(), 10);
+
+    // and `spp pack` reads it from a .json path
+    let tmp = std::env::temp_dir().join("spp_cli_test_inst.json");
+    std::fs::write(&tmp, &text).unwrap();
+    let out = spp()
+        .args(["pack", tmp.to_str().unwrap(), "--algo", "greedy"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn json_parse_errors_name_field_and_line() {
+    let tmp = std::env::temp_dir().join("spp_cli_test_badfield.json");
+    std::fs::write(
+        &tmp,
+        "{\"format\": \"spp-instance\", \"version\": 1,\n \"items\": [\n {\"id\": 0, \"w\": 2.5, \"h\": 1, \"release\": 0}\n ], \"edges\": []}",
+    )
+    .unwrap();
+    let out = spp()
+        .args(["pack", tmp.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("items[0].w") && stderr.contains("line 3"),
+        "{stderr}"
+    );
+}
+
+/// The acceptance-criterion pipeline end to end: a suite of instance
+/// files run as 4 separate shard *processes*, merged, must be
+/// byte-identical on stdout to the single-process run — and resumable
+/// via a manifest directory.
+#[test]
+fn sharded_batch_merge_is_byte_identical_to_single_process() {
+    let dir = std::env::temp_dir().join("spp_cli_test_shards");
+    let _ = std::fs::remove_dir_all(&dir);
+    let suite_dir = dir.join("instances");
+    let gen = spp()
+        .args([
+            "suite",
+            "--out-dir",
+            suite_dir.to_str().unwrap(),
+            "--count",
+            "20",
+            "-n",
+            "14",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        gen.status.success(),
+        "{}",
+        String::from_utf8_lossy(&gen.stderr)
+    );
+
+    let algos = "nfdh,ffdh,greedy,dc-nfdh,combined-greedy";
+    let single = spp()
+        .args([
+            "batch",
+            "--input-dir",
+            suite_dir.to_str().unwrap(),
+            "--algos",
+            algos,
+            "--cells",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        single.status.success(),
+        "{}",
+        String::from_utf8_lossy(&single.stderr)
+    );
+
+    // Four shard processes, each writing a portable report file.
+    let mut report_paths = Vec::new();
+    for i in 0..4 {
+        let report = dir.join(format!("shard{i}.json"));
+        let out = spp()
+            .args([
+                "batch",
+                "--input-dir",
+                suite_dir.to_str().unwrap(),
+                "--algos",
+                algos,
+                "--shards",
+                "4",
+                "--shard-index",
+                &i.to_string(),
+                "--out",
+                report.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "shard {i}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        report_paths.push(report.to_str().unwrap().to_string());
+    }
+    let merged = spp()
+        .args(["batch", "--merge", &report_paths.join(","), "--cells"])
+        .output()
+        .unwrap();
+    assert!(
+        merged.status.success(),
+        "{}",
+        String::from_utf8_lossy(&merged.stderr)
+    );
+    assert_eq!(
+        String::from_utf8(single.stdout).unwrap(),
+        String::from_utf8(merged.stdout).unwrap(),
+        "sharded+merged stdout differs from single-process stdout"
+    );
+
+    // Resume: an in-process multi-shard run with a manifest, twice; the
+    // second run resumes every shard and prints the same table.
+    let manifest = dir.join("manifest");
+    let run_manifest = || {
+        spp()
+            .args([
+                "batch",
+                "--input-dir",
+                suite_dir.to_str().unwrap(),
+                "--algos",
+                algos,
+                "--shards",
+                "4",
+                "--manifest",
+                manifest.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap()
+    };
+    let first = run_manifest();
+    assert!(first.status.success());
+    let second = run_manifest();
+    assert!(second.status.success());
+    assert_eq!(first.stdout, second.stdout);
+    let stderr = String::from_utf8_lossy(&second.stderr);
+    assert!(
+        stderr.contains("resumed") && !stderr.contains("computed"),
+        "second manifest run should resume all shards:\n{stderr}"
+    );
+}
+
+#[test]
+fn merge_rejects_incomplete_shard_sets() {
+    let dir = std::env::temp_dir().join("spp_cli_test_badmerge");
+    let _ = std::fs::remove_dir_all(&dir);
+    let suite_dir = dir.join("instances");
+    assert!(spp()
+        .args([
+            "suite",
+            "--out-dir",
+            suite_dir.to_str().unwrap(),
+            "--count",
+            "4",
+            "-n",
+            "8",
+        ])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let report = dir.join("only-shard0.json");
+    assert!(spp()
+        .args([
+            "batch",
+            "--input-dir",
+            suite_dir.to_str().unwrap(),
+            "--algos",
+            "nfdh",
+            "--shards",
+            "2",
+            "--shard-index",
+            "0",
+            "--out",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = spp()
+        .args(["batch", "--merge", report.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("2 shards"), "{stderr}");
+}
+
+#[test]
+fn algos_lists_advertised_bounds() {
+    let out = spp().args(["algos"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("advertised bound"), "{stdout}");
+    assert!(stdout.contains("2·AREA + h_max"), "{stdout}");
+    assert!(stdout.contains("(1+ε)·OPT_f"), "{stdout}");
+}
+
+#[test]
 fn malformed_instance_fails_cleanly() {
     let tmp = std::env::temp_dir().join("spp_cli_test_garbage.spp");
     std::fs::write(&tmp, "not an instance").unwrap();
