@@ -1,0 +1,103 @@
+//! E15 — content-addressed solve cache: cold vs. warm throughput.
+//!
+//! The cache's contract has two halves: a warm rerun must be *identical*
+//! (cell-for-cell, which the engine's tests pin byte-for-byte) and it
+//! must be *cheaper* — bounded by I/O, not solver time. This experiment
+//! measures both on a real suite: a cold run populates an on-disk cache,
+//! a warm run replays it, and the report shows wall time, cache traffic,
+//! and the speedup. The warm run is asserted (not just reported) to
+//! invoke zero solvers and to beat the cold wall time — if caching ever
+//! becomes slower than solving, the experiment fails rather than
+//! printing a quietly embarrassing table.
+
+use crate::table::{f2, Table};
+use spp_engine::{run_sharded, DiskCache, Registry, ShardPlan, SolveCache as _, SolveConfig};
+
+pub fn run() -> String {
+    let suite_dir = std::env::temp_dir().join("spp_bench_cache_warm_suite");
+    let cache_dir = std::env::temp_dir().join("spp_bench_cache_warm_cache");
+    let _ = std::fs::remove_dir_all(&suite_dir);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    // 32 instances × 4 solvers: enough solver work (incl. the DC family)
+    // that the cold/warm gap is structural, not noise.
+    spp_gen::suite::write_suite(&suite_dir, crate::experiments::SEED, 28, 32)
+        .expect("suite generation is infallible on a writable tmpdir");
+
+    let registry = Registry::builtin();
+    let solvers: Vec<_> = ["nfdh", "ffdh", "greedy", "dc-nfdh"]
+        .iter()
+        .map(|n| registry.get(n).expect("registry entry exists"))
+        .collect();
+    let config = SolveConfig::default();
+    let plan = ShardPlan::from_dir(&suite_dir, 4).expect("suite dir is non-empty");
+
+    let mut t = Table::new(&["run", "cells", "solver calls", "cache hits", "wall s"]);
+    let mut timed_run = |label: &str| {
+        let cache = DiskCache::new(&cache_dir, false).expect("cache dir is writable");
+        let t0 = std::time::Instant::now();
+        let merged =
+            run_sharded(&plan, &solvers, &config, Some(&cache), None).expect("shard run succeeds");
+        let wall = t0.elapsed().as_secs_f64();
+        let stats = cache.stats();
+        t.row(&[
+            label.to_string(),
+            merged.cells.len().to_string(),
+            stats.misses.to_string(),
+            stats.hits.to_string(),
+            f2(wall),
+        ]);
+        (merged, stats, wall)
+    };
+
+    let (cold_merged, cold_stats, cold_wall) = timed_run("cold");
+    let (warm_merged, warm_stats, mut warm_wall) = timed_run("warm");
+    // The warm run is ~3× faster in practice, but it is also short
+    // enough that a scheduler stall on a loaded machine could flip the
+    // strict inequality. One retry absorbs a one-off stall without
+    // weakening the contract (a genuinely slow cache fails both times).
+    if warm_wall >= cold_wall {
+        let (_, _, retry_wall) = timed_run("warm-retry");
+        warm_wall = warm_wall.min(retry_wall);
+    }
+
+    // The contract, asserted: identical cells, zero solver invocations,
+    // and strictly less wall time than the cold run. (The cold run may
+    // itself record hits: suite families with deterministic construction
+    // repeat content across indices, and content addressing dedupes them
+    // within a single run — that is the cache working, not pollution.)
+    assert_eq!(
+        cold_merged.cells, warm_merged.cells,
+        "warm run diverged from cold"
+    );
+    let cells = cold_merged.cells.len() as u64;
+    assert_eq!(cold_stats.hits + cold_stats.misses, cells);
+    assert!(cold_stats.misses > 0, "cold run never solved anything");
+    assert_eq!(warm_stats.misses, 0, "warm run invoked a solver");
+    assert_eq!(warm_stats.hits, cells, "warm run skipped cells");
+    assert!(
+        warm_wall < cold_wall,
+        "warm ({warm_wall:.3}s) not faster than cold ({cold_wall:.3}s)"
+    );
+
+    let _ = std::fs::remove_dir_all(&suite_dir);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    format!(
+        "## E15 — solve cache: cold vs. warm\n\n\
+         32-instance suite (8 scenario families) × 4 solvers through the\n\
+         cache-backed executor with an on-disk cache. The warm rerun is\n\
+         asserted to produce identical cells with zero solver invocations\n\
+         and strictly lower wall time (speedup here: {:.1}×).\n\n{}",
+        cold_wall / warm_wall.max(1e-9),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_asserts_warm_contract() {
+        let md = super::run();
+        assert!(md.contains("E15"));
+        assert!(md.contains("cold") && md.contains("warm"), "{md}");
+    }
+}

@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod aptas_sweep;
+pub mod cache_warm;
 pub mod dc_ratio;
 pub mod fpga;
 pub mod grouping;

@@ -22,6 +22,7 @@
 //! | E12 | `exp_pack_baselines` | subroutine `A` family |
 //! | E13 | `exp_online` | extension: online vs offline (release times) |
 //! | E14 | (run_all only) | sharded batch: equivalence and scaling |
+//! | E15 | (run_all only) | solve cache: cold vs. warm throughput |
 //! | A1 | `exp_ablation` | design-choice ablations |
 //!
 //! Criterion micro/macro benches live in `benches/`.
@@ -58,6 +59,7 @@ pub fn run_all_experiments() -> RunAllOutput {
         ("E12", experiments::pack_baselines::run),
         ("E13", experiments::online_gap::run),
         ("E14", experiments::shard_scaling::run),
+        ("E15", experiments::cache_warm::run),
         ("A1", experiments::ablation::run),
     ];
     let mut markdown = String::new();

@@ -1,0 +1,190 @@
+//! The workspace's one content-hashing implementation: FNV-1a (64-bit)
+//! plus the canonical [`InstanceDigest`] built on it.
+//!
+//! Everything in the batch pipeline that needs an identity fingerprint —
+//! shard-plan file lists, solve-config knobs, and (since the solve cache)
+//! whole instances — hashes through this module, so there is exactly one
+//! algorithm, one tag format (`fnv1a:<16 hex digits>`), and one place to
+//! swap the function if 64 bits ever stop being enough. FNV-1a is not
+//! cryptographic; the fingerprints defend against *staleness and
+//! corruption*, not adversaries, which is the contract every consumer
+//! (resume, merge, cache) actually needs.
+
+use std::fmt;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Streaming 64-bit FNV-1a hasher.
+///
+/// ```
+/// use spp_core::hash::Fnv1a;
+/// let mut h = Fnv1a::new();
+/// h.write(b"hello");
+/// assert_eq!(h.finish(), Fnv1a::hash(b"hello"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Absorb bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb a string's UTF-8 bytes.
+    pub fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+    }
+
+    /// The hash of everything written so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// One-shot hash of a byte slice.
+    pub fn hash(bytes: &[u8]) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(bytes);
+        h.finish()
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// The canonical tagged rendering of an FNV-1a value: `fnv1a:<16 hex>`.
+/// Every fingerprint the workspace writes to disk uses this form, so a
+/// reader can tell at a glance which function produced it.
+pub fn fnv1a_tag(h: u64) -> String {
+    format!("fnv1a:{h:016x}")
+}
+
+/// Content digest of one instance, computed over its **canonical**
+/// serialized form — the `{:.17e}` `spp-instance` JSON document with
+/// sorted edges ([`crate::json::InstanceFile::to_json`]). Two instances
+/// have equal digests iff their canonical documents are byte-identical,
+/// regardless of which on-disk format (or in-memory construction) they
+/// came from; this is the instance half of the solve-cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceDigest(u64);
+
+impl InstanceDigest {
+    /// Digest a canonical `spp-instance` JSON document. The caller is
+    /// responsible for canonical form — pass the output of
+    /// [`crate::json::InstanceFile::to_json`] (or `spp_gen::fileio::to_json`,
+    /// which sorts edges first), never raw file bytes that may be
+    /// hand-formatted.
+    pub fn of_canonical_json(doc: &str) -> Self {
+        InstanceDigest(Fnv1a::hash(doc.as_bytes()))
+    }
+
+    /// The raw 64-bit value.
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+
+    /// Bare 16-hex-digit form (for file names, no `fnv1a:` tag).
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parse the tagged form produced by `Display`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let hex = s.strip_prefix("fnv1a:")?;
+        if hex.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(hex, 16).ok().map(InstanceDigest)
+    }
+}
+
+impl fmt::Display for InstanceDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fnv1a_tag(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::InstanceFile;
+    use crate::Item;
+
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        // Reference vectors from the FNV specification (64-bit FNV-1a).
+        assert_eq!(Fnv1a::hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fnv1a::hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Fnv1a::hash(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut h = Fnv1a::new();
+        h.write(b"hello ");
+        h.write_str("world");
+        assert_eq!(h.finish(), Fnv1a::hash(b"hello world"));
+    }
+
+    #[test]
+    fn tag_format_is_stable() {
+        assert_eq!(fnv1a_tag(0xdead_beef), "fnv1a:00000000deadbeef");
+        assert_eq!(fnv1a_tag(Fnv1a::hash(b"")), "fnv1a:cbf29ce484222325");
+    }
+
+    fn digest_of(file: &InstanceFile) -> InstanceDigest {
+        InstanceDigest::of_canonical_json(&file.to_json())
+    }
+
+    fn file(items: Vec<Item>, edges: Vec<(usize, usize)>) -> InstanceFile {
+        InstanceFile::new(items, edges)
+    }
+
+    #[test]
+    fn digest_separates_content_not_representation() {
+        let a = file(
+            vec![
+                Item::with_release(0, 0.5, 1.0, 0.0),
+                Item::with_release(1, 0.25, 2.0, 1.5),
+            ],
+            vec![(0, 1)],
+        );
+        let same = a.clone();
+        assert_eq!(digest_of(&a), digest_of(&same));
+
+        // Any content change moves the digest.
+        let mut other = a.clone();
+        other.items[0].w = 0.75;
+        assert_ne!(digest_of(&a), digest_of(&other));
+        let mut no_edge = a.clone();
+        no_edge.edges.clear();
+        assert_ne!(digest_of(&a), digest_of(&no_edge));
+
+        // And parsing the canonical document back reproduces the digest.
+        let reparsed = InstanceFile::parse(&a.to_json()).unwrap();
+        assert_eq!(digest_of(&a), digest_of(&reparsed));
+    }
+
+    #[test]
+    fn digest_display_roundtrips() {
+        let d = InstanceDigest::of_canonical_json("{}");
+        let shown = d.to_string();
+        assert!(shown.starts_with("fnv1a:"), "{shown}");
+        assert_eq!(InstanceDigest::parse(&shown), Some(d));
+        assert_eq!(InstanceDigest::parse("fnv1a:xyz"), None);
+        assert_eq!(InstanceDigest::parse("sha256:deadbeef"), None);
+        assert_eq!(d.hex().len(), 16);
+    }
+}

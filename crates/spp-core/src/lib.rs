@@ -13,6 +13,8 @@
 //! * [`bounds`] — the simple lower bounds used throughout the paper
 //!   (`AREA(S)`, `h_max`, `max (r_s + h_s)`),
 //! * [`eps`] — the single source of truth for tolerant `f64` comparisons,
+//! * [`hash`] — the one FNV-1a implementation behind every fingerprint
+//!   (shard plans, config knobs) and the canonical [`InstanceDigest`],
 //! * [`stats`] — summary statistics used by the experiment harness,
 //! * [`json`] — the canonical on-disk instance format (`spp-instance`
 //!   JSON) plus the minimal line-tracking JSON parser behind it.
@@ -24,6 +26,7 @@ pub mod bounds;
 pub mod eps;
 pub mod error;
 pub mod geom;
+pub mod hash;
 pub mod instance;
 pub mod item;
 pub mod json;
@@ -34,6 +37,7 @@ pub mod validate;
 
 pub use error::{CoreError, ValidationError};
 pub use geom::PlacedRect;
+pub use hash::InstanceDigest;
 pub use instance::Instance;
 pub use item::Item;
 pub use json::{FileFormatError, InstanceFile};

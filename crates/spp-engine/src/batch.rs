@@ -1,14 +1,62 @@
-//! Batched parallel execution: many (instance, solver) jobs over
-//! `spp_par::par_map`, with deterministic result ordering and aggregate
+//! The one cell-execution pipeline behind batch, shard, and resume.
+//!
+//! A **cell** is an `(instance, solver, config)` triple; everything the
+//! engine runs at scale — `run_batch` over in-memory jobs, `run_shard`
+//! over instance files, warm resumes of either — is a list of cells fed
+//! through [`execute_cells`]: look the cell up in the
+//! [`SolveCache`](crate::cache::SolveCache) (if one is attached), invoke
+//! the solver only on a miss, write the portable outcome back, and
+//! return deterministically ordered results. There is no second
+//! execution path: attaching a cache dir *is* resume, and a warm rerun
+//! is bounded by I/O, not solver time.
+//!
+//! Cells run in parallel over `spp_par::par_map` with deterministic
+//! result ordering (job-major, then solver input order) and aggregate
 //! per-solver statistics.
 
 use std::time::Duration;
 
+use spp_core::InstanceDigest;
+
+use crate::cache::{CacheError, CacheKey, CachedCell, SolveCache};
 use crate::report::SolveReport;
 use crate::request::SolveRequest;
 use crate::solver::{solve, EngineError, Solver};
 
-/// One instance to be solved (by every solver passed to [`run_batch`]).
+/// Outcome class of one cell — the portable classification shared by
+/// batch results, shard reports, and cache entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// A report with passing (or skipped) validation.
+    Solved,
+    /// The engine refused the request (capability/model mismatch).
+    Unsupported,
+    /// The placement failed validation — a solver bug.
+    Invalid,
+}
+
+impl CellStatus {
+    /// Stable on-disk token (shard reports, cache entries).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CellStatus::Solved => "solved",
+            CellStatus::Unsupported => "unsupported",
+            CellStatus::Invalid => "invalid",
+        }
+    }
+
+    /// Inverse of [`Self::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "solved" => Some(CellStatus::Solved),
+            "unsupported" => Some(CellStatus::Unsupported),
+            "invalid" => Some(CellStatus::Invalid),
+            _ => None,
+        }
+    }
+}
+
+/// One instance to be solved (by every solver passed to the executor).
 pub struct BatchJob {
     /// Caller-chosen label (e.g. `"layered/seed=7"`), echoed in results.
     pub label: String,
@@ -24,7 +72,145 @@ impl BatchJob {
     }
 }
 
-/// Outcome of one (job, solver) cell.
+/// Outcome of one executed cell.
+///
+/// The portable fields (`status`, `makespan`, `combined_lb`) are always
+/// present and deterministic — byte-stable across cold and warm runs.
+/// The full [`SolveReport`] (placement, timings) exists only when the
+/// solver actually ran: a cache hit has `outcome == None`, which is
+/// precisely the engine's proof that no solver was invoked.
+pub struct CellOutcome {
+    /// Index into the jobs slice.
+    pub job: usize,
+    /// The job's label.
+    pub label: String,
+    /// The solver's name.
+    pub solver: String,
+    pub status: CellStatus,
+    /// Height of the packing (0 for unsupported cells).
+    pub makespan: f64,
+    /// Combined lower bound of the request (0 for unsupported cells).
+    pub combined_lb: f64,
+    /// True iff the cell was served from the cache.
+    pub from_cache: bool,
+    /// The fresh solve's full outcome; `None` iff `from_cache`.
+    pub outcome: Option<Result<SolveReport, EngineError>>,
+}
+
+impl CellOutcome {
+    /// Wall time the solver spent on this cell (zero for cache hits and
+    /// refusals).
+    pub fn solve_time(&self) -> Duration {
+        match &self.outcome {
+            Some(Ok(report)) => report.total_time(),
+            _ => Duration::ZERO,
+        }
+    }
+}
+
+/// Classify a solve outcome into the portable cell fields
+/// `(status, makespan, combined lower bound)`.
+///
+/// This is the **one** definition of the Solved / Invalid / Unsupported
+/// rule: the executor uses it to produce cells and cache entries, the
+/// aggregates use it to count, and `spp cache verify` uses it to
+/// re-classify fresh solves — so the classification can never drift
+/// between what the cache stores and what a verifier recomputes.
+pub fn classify_outcome(outcome: &Result<SolveReport, EngineError>) -> (CellStatus, f64, f64) {
+    match outcome {
+        Ok(report) => {
+            let status =
+                if report.validation.passed() || report.validation == crate::Validation::Skipped {
+                    CellStatus::Solved
+                } else {
+                    CellStatus::Invalid
+                };
+            (status, report.makespan, report.bounds.combined)
+        }
+        Err(_) => (CellStatus::Unsupported, 0.0, 0.0),
+    }
+}
+
+/// Execute every `(job, solver)` cell, in parallel, consulting `cache`
+/// before each solve and writing portable outcomes back on miss.
+///
+/// The result order is deterministic — job-major, then solver in input
+/// order — regardless of scheduling, because `par_map` scatters results
+/// back into input order. Nested parallelism (e.g. `DC`'s internal
+/// `spp_par::join`) is safe: the fork budget in `spp-par` degrades
+/// gracefully to sequential execution.
+///
+/// Cache semantics:
+/// * a hit yields the stored portable fields and **no solver call** —
+///   `outcome` is `None`;
+/// * a miss solves, then stores the cell unless its placement failed
+///   validation ([`CellStatus::Invalid`] marks a solver bug; caching it
+///   would keep serving the bug after a fix);
+/// * a failed cache *write* aborts the run (the caller asked for
+///   durability it is not getting); a damaged cache *entry* is silently
+///   a miss — recomputed and overwritten, never served.
+pub fn execute_cells(
+    jobs: &[BatchJob],
+    solvers: &[Box<dyn Solver>],
+    cache: Option<&dyn SolveCache>,
+) -> Result<Vec<CellOutcome>, CacheError> {
+    // Canonical digests, one per job (not per cell), computed only when a
+    // cache is attached — the cache-less path never pays for canonical
+    // serialization it would not use.
+    let digests: Option<Vec<InstanceDigest>> =
+        cache.map(|_| spp_par::par_map(jobs, |job| spp_gen::fileio::digest(&job.request.prec)));
+    let cells: Vec<(usize, usize)> = (0..jobs.len())
+        .flat_map(|j| (0..solvers.len()).map(move |s| (j, s)))
+        .collect();
+    let outcomes: Vec<Result<CellOutcome, CacheError>> = spp_par::par_map(&cells, |&(j, s)| {
+        let job = &jobs[j];
+        let solver = &solvers[s];
+        let key = digests
+            .as_ref()
+            .map(|d| CacheKey::new(d[j], solver.name(), &job.request.config));
+        if let (Some(cache), Some(key)) = (cache, &key) {
+            if let Some(cell) = cache.get(key) {
+                return Ok(CellOutcome {
+                    job: j,
+                    label: job.label.clone(),
+                    solver: solver.name().to_string(),
+                    status: cell.status,
+                    makespan: cell.makespan,
+                    combined_lb: cell.combined_lb,
+                    from_cache: true,
+                    outcome: None,
+                });
+            }
+        }
+        let outcome = solve(solver.as_ref(), &job.request);
+        let (status, makespan, combined_lb) = classify_outcome(&outcome);
+        if let (Some(cache), Some(key)) = (cache, &key) {
+            if status != CellStatus::Invalid {
+                cache.put(
+                    key,
+                    &CachedCell {
+                        status,
+                        makespan,
+                        combined_lb,
+                    },
+                )?;
+            }
+        }
+        Ok(CellOutcome {
+            job: j,
+            label: job.label.clone(),
+            solver: solver.name().to_string(),
+            status,
+            makespan,
+            combined_lb,
+            from_cache: false,
+            outcome: Some(outcome),
+        })
+    });
+    outcomes.into_iter().collect()
+}
+
+/// Outcome of one (job, solver) cell in [`run_batch`]'s full-report view.
 pub struct BatchResult {
     /// Index into the jobs slice.
     pub job: usize,
@@ -82,28 +268,22 @@ impl BatchSummary {
                 };
                 let mut ratios: Vec<f64> = Vec::new();
                 for r in results.iter().filter(|r| r.solver == name) {
-                    match &r.outcome {
-                        Ok(report) => {
-                            stats.total_time += report.total_time();
-                            if report.validation.passed()
-                                || report.validation == crate::Validation::Skipped
-                            {
-                                stats.solved += 1;
-                                stats.total_makespan += report.makespan;
-                                let ratio = report.ratio();
-                                if ratio.is_finite() {
-                                    ratios.push(ratio);
-                                }
-                            } else {
-                                stats.invalid += 1;
+                    if let Ok(report) = &r.outcome {
+                        stats.total_time += report.total_time();
+                    }
+                    match classify_outcome(&r.outcome).0 {
+                        CellStatus::Solved => {
+                            let report = r.outcome.as_ref().expect("solved cells carry a report");
+                            stats.solved += 1;
+                            stats.total_makespan += report.makespan;
+                            let ratio = report.ratio();
+                            if ratio.is_finite() {
+                                ratios.push(ratio);
                             }
                         }
+                        CellStatus::Invalid => stats.invalid += 1,
                         // Any engine refusal counts as unsupported.
-                        // (`solve` on an already-constructed solver can only
-                        // return `Unsupported` today; a future `check` that
-                        // returned `UnknownSolver` would still be a refusal,
-                        // not an invalid placement.)
-                        Err(_) => stats.unsupported += 1,
+                        CellStatus::Unsupported => stats.unsupported += 1,
                     }
                 }
                 if !ratios.is_empty() {
@@ -117,31 +297,27 @@ impl BatchSummary {
     }
 }
 
-/// Run every solver on every job, in parallel, and return per-cell results
-/// plus per-solver aggregates.
+/// Run every solver on every job, in parallel, and return per-cell
+/// results (with full reports) plus per-solver aggregates.
 ///
-/// The cell order is deterministic — job-major, then solver in input
-/// order — regardless of how `spp_par::par_map` schedules the work,
-/// because `par_map` scatters results back into input order. Nested
-/// parallelism (e.g. `DC`'s internal `spp_par::join`) is safe: the fork
-/// budget in `spp-par` degrades gracefully to sequential execution.
+/// This is the full-report view of [`execute_cells`] for consumers that
+/// need placements and timings; it runs cache-less, so every cell is
+/// freshly solved. Throughput-oriented consumers (sharding, the CLI's
+/// file mode) call [`execute_cells`] with a cache instead.
 pub fn run_batch(
     jobs: &[BatchJob],
     solvers: &[Box<dyn Solver>],
 ) -> (Vec<BatchResult>, BatchSummary) {
-    let cells: Vec<(usize, usize)> = (0..jobs.len())
-        .flat_map(|j| (0..solvers.len()).map(move |s| (j, s)))
+    let results: Vec<BatchResult> = execute_cells(jobs, solvers, None)
+        .expect("cache-less execution cannot fail")
+        .into_iter()
+        .map(|c| BatchResult {
+            job: c.job,
+            label: c.label,
+            solver: c.solver,
+            outcome: c.outcome.expect("cache-less cells always solve"),
+        })
         .collect();
-    let results: Vec<BatchResult> = spp_par::par_map(&cells, |&(j, s)| {
-        let job = &jobs[j];
-        let solver = &solvers[s];
-        BatchResult {
-            job: j,
-            label: job.label.clone(),
-            solver: solver.name().to_string(),
-            outcome: solve(solver.as_ref(), &job.request),
-        }
-    });
     let summary = BatchSummary::from_results(solvers, &results);
     (results, summary)
 }
@@ -149,6 +325,7 @@ pub fn run_batch(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::MemoryCache;
     use crate::registry::Registry;
     use spp_core::Instance;
 
@@ -162,13 +339,14 @@ mod tests {
             .collect()
     }
 
+    fn solvers(names: &[&str]) -> Vec<Box<dyn Solver>> {
+        let registry = Registry::builtin();
+        names.iter().map(|n| registry.get(n).unwrap()).collect()
+    }
+
     #[test]
     fn deterministic_order_and_aggregates() {
-        let registry = Registry::builtin();
-        let solvers: Vec<_> = ["nfdh", "ffdh", "skyline"]
-            .iter()
-            .map(|n| registry.get(n).unwrap())
-            .collect();
+        let solvers = solvers(&["nfdh", "ffdh", "skyline"]);
         let js = jobs(20);
         let (results, summary) = run_batch(&js, &solvers);
         assert_eq!(results.len(), 60);
@@ -211,5 +389,84 @@ mod tests {
         assert!(results[1].outcome.is_ok());
         assert_eq!(summary.per_solver[0].unsupported, 1);
         assert_eq!(summary.per_solver[1].solved, 1);
+    }
+
+    #[test]
+    fn warm_cache_run_is_identical_with_zero_solver_invocations() {
+        let solvers = solvers(&["nfdh", "ffdh", "greedy"]);
+        let js = jobs(8);
+        let cache = MemoryCache::new();
+
+        let cold = execute_cells(&js, &solvers, Some(&cache)).unwrap();
+        assert!(cold.iter().all(|c| !c.from_cache));
+        assert_eq!(cache.stats().writes, 24);
+
+        let warm = execute_cells(&js, &solvers, Some(&cache)).unwrap();
+        assert!(warm.iter().all(|c| c.from_cache), "every cell a hit");
+        assert!(
+            warm.iter().all(|c| c.outcome.is_none()),
+            "no solver was invoked on the warm run"
+        );
+        for (a, b) in cold.iter().zip(&warm) {
+            assert_eq!(a.job, b.job);
+            assert_eq!(a.solver, b.solver);
+            assert_eq!(a.status, b.status);
+            // Bit-identical, not approximately equal.
+            assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+            assert_eq!(a.combined_lb.to_bits(), b.combined_lb.to_bits());
+        }
+        assert_eq!(cache.stats().hits, 24);
+    }
+
+    #[test]
+    fn unsupported_cells_are_cached_too() {
+        let inst = Instance::from_dims(&[(0.05, 0.5), (0.5, 0.5)]).unwrap();
+        let js = vec![BatchJob::new("narrow", SolveRequest::unconstrained(inst))];
+        let solvers = solvers(&["aptas"]);
+        let cache = MemoryCache::new();
+        let cold = execute_cells(&js, &solvers, Some(&cache)).unwrap();
+        assert_eq!(cold[0].status, CellStatus::Unsupported);
+        let warm = execute_cells(&js, &solvers, Some(&cache)).unwrap();
+        assert_eq!(warm[0].status, CellStatus::Unsupported);
+        assert!(warm[0].from_cache, "refusals are deterministic: cacheable");
+    }
+
+    #[test]
+    fn config_changes_miss_the_cache() {
+        let solvers = solvers(&["nfdh"]);
+        let js = jobs(3);
+        let cache = MemoryCache::new();
+        execute_cells(&js, &solvers, Some(&cache)).unwrap();
+
+        // Same instances, different epsilon: every cell recomputes.
+        let mut other: Vec<BatchJob> = jobs(3);
+        for j in &mut other {
+            j.request.config.epsilon = 0.25;
+        }
+        let outcomes = execute_cells(&other, &solvers, Some(&cache)).unwrap();
+        assert!(outcomes.iter().all(|c| !c.from_cache));
+        assert_eq!(cache.len(), 6);
+    }
+
+    #[test]
+    fn equal_content_shares_cache_cells_across_jobs() {
+        // Two jobs with identical instances (different labels) collapse
+        // onto one content-addressed entry — the label is not part of the
+        // key. (Both cells may still solve when scheduled concurrently,
+        // so the assertion is on the entry count, not the hit count.)
+        let inst = Instance::from_dims(&[(0.5, 1.0), (0.4, 0.7)]).unwrap();
+        let js = vec![
+            BatchJob::new("first", SolveRequest::unconstrained(inst.clone())),
+            BatchJob::new("second", SolveRequest::unconstrained(inst)),
+        ];
+        let cache = MemoryCache::new();
+        let outcomes = execute_cells(&js, &solvers(&["nfdh"]), Some(&cache)).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 2);
+        assert_eq!(cache.len(), 1, "one content-addressed entry");
+        assert_eq!(
+            outcomes[0].makespan.to_bits(),
+            outcomes[1].makespan.to_bits()
+        );
     }
 }

@@ -1,0 +1,705 @@
+//! Content-addressed solve cache.
+//!
+//! Every deterministic solver in the registry maps a cell — an
+//! `(instance, solver, config)` triple — to exactly one portable outcome
+//! (status, makespan, combined lower bound). The cache memoizes that map
+//! under a **content-addressed key**:
+//!
+//! * the instance's canonical [`InstanceDigest`] (FNV-1a over the
+//!   `{:.17e}` `spp-instance` JSON form, so identity follows content,
+//!   never file paths or formats),
+//! * the solver's registry name,
+//! * the [`SolveConfig`] signature (every knob that can change output).
+//!
+//! Two backends implement [`SolveCache`]: [`MemoryCache`] (a mutexed map,
+//! for in-process warm reruns and tests) and [`DiskCache`] (one
+//! `spp-cache-entry` JSON file per key, shareable between processes and
+//! machines the same way shard reports are). Both are consulted by the
+//! engine's [`execute_cells`](crate::batch::execute_cells) pipeline:
+//! batch, shard, and resume all flow through the same get-before-solve /
+//! put-on-miss path, which is what makes a warm rerun's merged output
+//! byte-identical to the cold run with **zero** solver invocations.
+//!
+//! Trust model: cached values are only served when the entry's embedded
+//! key (digest, solver, full config signature) matches the request — a
+//! truncated, corrupted, or mis-filed entry is *rejected and recomputed*,
+//! never served. Cells whose placement failed validation
+//! ([`CellStatus::Invalid`]) are never written: an invalid cell is a
+//! solver bug, and caching it would keep reporting the bug after the fix
+//! ships.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use spp_core::hash::Fnv1a;
+use spp_core::json::{self, JsonValue};
+use spp_core::InstanceDigest;
+
+use crate::batch::CellStatus;
+use crate::request::SolveConfig;
+
+/// Cache-layer failures: always filesystem problems (a *logically* bad
+/// entry is a miss, not an error — the pipeline recomputes and overwrites).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheError {
+    Io { path: String, err: String },
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Io { path, err } => write!(f, "cache: {path}: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+fn io_err(path: &Path, err: impl std::fmt::Display) -> CacheError {
+    CacheError::Io {
+        path: path.display().to_string(),
+        err: err.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Keys and values
+// ---------------------------------------------------------------------------
+
+/// The full cache key of one cell. Equality of all three components is
+/// required to serve an entry; the on-disk file name additionally encodes
+/// the config through its FNV-1a fingerprint (signatures are long), with
+/// the full signature embedded in the entry to catch fingerprint
+/// collisions and stale files.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonical content digest of the instance.
+    pub digest: InstanceDigest,
+    /// Registry name of the solver.
+    pub solver: String,
+    /// Full [`SolveConfig::signature`] string.
+    pub config_sig: String,
+}
+
+impl CacheKey {
+    pub fn new(digest: InstanceDigest, solver: &str, config: &SolveConfig) -> Self {
+        CacheKey {
+            digest,
+            solver: solver.to_string(),
+            config_sig: config.signature(),
+        }
+    }
+
+    /// On-disk entry file name:
+    /// `<instance hex>-<solver>-<config fingerprint hex>.json`.
+    /// Solver names are registry identifiers (`[a-z0-9-]`), so the name
+    /// needs no escaping and stays stable across platforms.
+    pub fn file_name(&self) -> String {
+        format!(
+            "{}-{}-{:016x}.json",
+            self.digest.hex(),
+            self.solver,
+            Fnv1a::hash(self.config_sig.as_bytes())
+        )
+    }
+}
+
+/// The portable outcome of one cell — exactly the deterministic fields of
+/// a [`CellRow`](crate::sharding::CellRow), minus the per-run identity
+/// (job index, label) that content addressing makes irrelevant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedCell {
+    pub status: CellStatus,
+    pub makespan: f64,
+    pub combined_lb: f64,
+}
+
+const ENTRY_FORMAT: &str = "spp-cache-entry";
+const ENTRY_VERSION: u64 = 1;
+
+/// Serialize one entry as a canonical `spp-cache-entry` document.
+pub fn entry_to_json(key: &CacheKey, cell: &CachedCell) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"format\": \"{ENTRY_FORMAT}\",");
+    let _ = writeln!(out, "  \"version\": {ENTRY_VERSION},");
+    let _ = writeln!(out, "  \"instance\": \"{}\",", key.digest);
+    let _ = writeln!(out, "  \"solver\": \"{}\",", json::escape(&key.solver));
+    let _ = writeln!(out, "  \"config\": \"{}\",", json::escape(&key.config_sig));
+    let _ = writeln!(out, "  \"status\": \"{}\",", cell.status.as_str());
+    let _ = writeln!(out, "  \"makespan\": {:.17e},", cell.makespan);
+    let _ = writeln!(out, "  \"lb\": {:.17e}", cell.combined_lb);
+    out.push_str("}\n");
+    out
+}
+
+/// Parse an entry document back into its key and value. Any deviation —
+/// syntax, schema, unknown status, wrong format tag — is an `Err` whose
+/// message names the problem; callers treat it as "not a cache entry".
+pub fn entry_parse(text: &str) -> Result<(CacheKey, CachedCell), String> {
+    let doc = json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let obj = json::as_obj(&doc, "$").map_err(|e| e.to_string())?;
+    let field = |name: &str| json::get_field(obj, &doc, name).map_err(|e| e.to_string());
+    let str_field = |name: &str| -> Result<String, String> {
+        json::as_str(field(name)?, name)
+            .map(str::to_string)
+            .map_err(|e| e.to_string())
+    };
+
+    if str_field("format")? != ENTRY_FORMAT {
+        return Err(format!("format tag is not {ENTRY_FORMAT:?}"));
+    }
+    if json::as_u64(field("version")?, "version").map_err(|e| e.to_string())? != ENTRY_VERSION {
+        return Err("unsupported cache entry version".to_string());
+    }
+    let digest_str = str_field("instance")?;
+    let digest = InstanceDigest::parse(&digest_str)
+        .ok_or_else(|| format!("bad instance digest {digest_str:?}"))?;
+    let status_str = str_field("status")?;
+    let status =
+        CellStatus::parse(&status_str).ok_or_else(|| format!("unknown status {status_str:?}"))?;
+    let num = |v: &JsonValue, name: &str| -> Result<f64, String> {
+        json::as_num(v, name).map_err(|e| e.to_string())
+    };
+    Ok((
+        CacheKey {
+            digest,
+            solver: str_field("solver")?,
+            config_sig: str_field("config")?,
+        },
+        CachedCell {
+            status,
+            makespan: num(field("makespan")?, "makespan")?,
+            combined_lb: num(field("lb")?, "lb")?,
+        },
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// The trait and its stats
+// ---------------------------------------------------------------------------
+
+/// Counters accumulated by a cache over its lifetime (snapshot — see
+/// [`SolveCache::stats`]). `rejected` counts entries that were *present
+/// but refused* (corrupt, truncated, or keyed to different content);
+/// every rejection is also a miss, so `hits + misses` always equals the
+/// number of `get` calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub writes: u64,
+    pub rejected: u64,
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits, {} misses, {} written",
+            self.hits, self.misses, self.writes
+        )?;
+        if self.rejected > 0 {
+            write!(f, ", {} rejected", self.rejected)?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A memoization backend for solved cells. Implementations must be
+/// thread-safe: the executor calls `get`/`put` from worker threads.
+///
+/// `get` is infallible by design — anything short of a byte-exact,
+/// key-matching entry is a miss (the pipeline recomputes and `put`
+/// overwrites). `put` reports real I/O failures: a user who asked for a
+/// cache directory should hear that it is unwritable rather than paying
+/// full solve cost on every "warm" run.
+pub trait SolveCache: Sync {
+    /// Look up a cell; `None` is a miss.
+    fn get(&self, key: &CacheKey) -> Option<CachedCell>;
+
+    /// Store a cell (overwriting any previous entry for the key).
+    fn put(&self, key: &CacheKey, cell: &CachedCell) -> Result<(), CacheError>;
+
+    /// Lifetime counters.
+    fn stats(&self) -> CacheStats;
+}
+
+// ---------------------------------------------------------------------------
+// In-memory backend
+// ---------------------------------------------------------------------------
+
+/// Process-local backend: a mutexed map. The unit of sharing is the
+/// process — use it for warm in-process reruns (e.g. parameter sweeps
+/// that revisit instances) and tests.
+#[derive(Default)]
+pub struct MemoryCache {
+    map: Mutex<HashMap<CacheKey, CachedCell>>,
+    stats: AtomicStats,
+}
+
+impl MemoryCache {
+    pub fn new() -> Self {
+        MemoryCache::default()
+    }
+
+    /// Number of cached cells.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache mutex poisoned").len()
+    }
+
+    /// True iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SolveCache for MemoryCache {
+    fn get(&self, key: &CacheKey) -> Option<CachedCell> {
+        let found = self
+            .map
+            .lock()
+            .expect("cache mutex poisoned")
+            .get(key)
+            .copied();
+        match found {
+            Some(cell) => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(cell)
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn put(&self, key: &CacheKey, cell: &CachedCell) -> Result<(), CacheError> {
+        self.map
+            .lock()
+            .expect("cache mutex poisoned")
+            .insert(key.clone(), *cell);
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats.snapshot()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// On-disk backend
+// ---------------------------------------------------------------------------
+
+/// Durable backend: one `spp-cache-entry` JSON file per key, directly in
+/// `dir`. The directory is the unit of sharing — concurrent processes
+/// (e.g. the shard processes of one batch) can point at the same
+/// directory; writes of the same key are byte-identical, and a torn read
+/// fails entry validation and degrades to a miss.
+///
+/// In read-only mode (`--cache-readonly`) `put` is a no-op, so a
+/// production cache can be served to untrusted batch runs without letting
+/// them grow or overwrite it.
+pub struct DiskCache {
+    dir: PathBuf,
+    readonly: bool,
+    stats: AtomicStats,
+}
+
+impl DiskCache {
+    /// Open (and create, unless read-only) a cache directory.
+    pub fn new(dir: &Path, readonly: bool) -> Result<Self, CacheError> {
+        if !readonly {
+            std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        }
+        Ok(DiskCache {
+            dir: dir.to_path_buf(),
+            readonly,
+            stats: AtomicStats::default(),
+        })
+    }
+
+    /// The directory entries live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// True iff `put` is a no-op.
+    pub fn is_readonly(&self) -> bool {
+        self.readonly
+    }
+}
+
+impl SolveCache for DiskCache {
+    fn get(&self, key: &CacheKey) -> Option<CachedCell> {
+        let path = self.dir.join(key.file_name());
+        let miss = |rejected: bool| {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            if rejected {
+                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            None
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => return miss(false),
+        };
+        match entry_parse(&text) {
+            // Serve only when the *embedded* key matches the request —
+            // this is what turns corruption, truncation, fingerprint
+            // collisions and mis-filed entries into recomputation.
+            Ok((entry_key, cell)) if entry_key == *key => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(cell)
+            }
+            _ => miss(true),
+        }
+    }
+
+    fn put(&self, key: &CacheKey, cell: &CachedCell) -> Result<(), CacheError> {
+        if self.readonly {
+            return Ok(());
+        }
+        let path = self.dir.join(key.file_name());
+        std::fs::write(&path, entry_to_json(key, cell)).map_err(|e| io_err(&path, e))?;
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats.snapshot()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Directory inspection (spp cache stats / gc / verify)
+// ---------------------------------------------------------------------------
+
+/// One file found while scanning a cache directory.
+pub struct ScannedEntry {
+    pub path: PathBuf,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// The parsed entry, or why the file is not a valid entry. A file
+    /// whose embedded key does not reproduce its own file name is an
+    /// `Err` too — it can never be served, so it is garbage by definition.
+    pub entry: Result<(CacheKey, CachedCell), String>,
+}
+
+/// Scan a cache directory, sorted by file name (deterministic output for
+/// the CLI and tests). Non-`.json` files are ignored — the directory may
+/// hold editor droppings or a README.
+pub fn scan_dir(dir: &Path) -> Result<Vec<ScannedEntry>, CacheError> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| io_err(dir, e))?
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| io_err(dir, e))?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let bytes = std::fs::metadata(&path)
+            .map_err(|e| io_err(&path, e))?
+            .len();
+        let entry = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| entry_parse(&text))
+            .and_then(|(key, cell)| {
+                let expected = key.file_name();
+                let actual = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if actual == expected {
+                    Ok((key, cell))
+                } else {
+                    Err(format!(
+                        "entry key maps to file name {expected:?}, found under {actual:?}"
+                    ))
+                }
+            });
+        out.push(ScannedEntry { path, bytes, entry });
+    }
+    Ok(out)
+}
+
+/// Aggregate view of a cache directory.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DirStats {
+    /// Valid entries (would be served on a matching request).
+    pub entries: usize,
+    /// Files that parse as no valid entry (corrupt/truncated/mis-filed).
+    pub corrupt: usize,
+    /// Total size of all scanned files.
+    pub bytes: u64,
+    /// Valid entries per solver, sorted by solver name.
+    pub per_solver: Vec<(String, usize)>,
+    /// Distinct instance digests among valid entries.
+    pub instances: usize,
+    /// Distinct config signatures among valid entries.
+    pub configs: usize,
+}
+
+/// Summarize a cache directory (the `spp cache stats` view).
+pub fn dir_stats(dir: &Path) -> Result<DirStats, CacheError> {
+    let mut stats = DirStats::default();
+    let mut per_solver: HashMap<String, usize> = HashMap::new();
+    let mut instances = std::collections::HashSet::new();
+    let mut configs = std::collections::HashSet::new();
+    for scanned in scan_dir(dir)? {
+        stats.bytes += scanned.bytes;
+        match scanned.entry {
+            Ok((key, _)) => {
+                stats.entries += 1;
+                *per_solver.entry(key.solver).or_insert(0) += 1;
+                instances.insert(key.digest);
+                configs.insert(key.config_sig);
+            }
+            Err(_) => stats.corrupt += 1,
+        }
+    }
+    stats.instances = instances.len();
+    stats.configs = configs.len();
+    stats.per_solver = per_solver.into_iter().collect();
+    stats.per_solver.sort();
+    Ok(stats)
+}
+
+/// Outcome of [`gc_dir`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcReport {
+    /// Files removed (corrupt, truncated, or mis-filed), sorted.
+    pub removed: Vec<PathBuf>,
+    /// Valid entries left in place.
+    pub kept: usize,
+}
+
+/// Garbage-collect a cache directory: delete every `.json` file that is
+/// not a servable entry. Valid entries are never touched — a cache has no
+/// expiry (content-addressed keys cannot go stale), only damage.
+pub fn gc_dir(dir: &Path) -> Result<GcReport, CacheError> {
+    let mut report = GcReport {
+        removed: Vec::new(),
+        kept: 0,
+    };
+    for scanned in scan_dir(dir)? {
+        match scanned.entry {
+            Ok(_) => report.kept += 1,
+            Err(_) => {
+                std::fs::remove_file(&scanned.path).map_err(|e| io_err(&scanned.path, e))?;
+                report.removed.push(scanned.path);
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: &str) -> CacheKey {
+        CacheKey {
+            digest: InstanceDigest::of_canonical_json(tag),
+            solver: "nfdh".into(),
+            config_sig: SolveConfig::default().signature(),
+        }
+    }
+
+    fn cell(makespan: f64) -> CachedCell {
+        CachedCell {
+            status: CellStatus::Solved,
+            makespan,
+            combined_lb: makespan / 2.0,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spp_engine_cache_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn entry_roundtrips_exactly() {
+        let (k, c) = (key("a"), cell(1.25));
+        let text = entry_to_json(&k, &c);
+        let (k2, c2) = entry_parse(&text).unwrap();
+        assert_eq!(k2, k);
+        assert_eq!(c2, c);
+        // Canonical: serialize ∘ parse ∘ serialize = serialize.
+        assert_eq!(entry_to_json(&k2, &c2), text);
+    }
+
+    #[test]
+    fn entry_rejects_malformed_documents() {
+        assert!(entry_parse("").is_err());
+        assert!(entry_parse("{}").is_err());
+        let (k, c) = (key("a"), cell(1.0));
+        let text = entry_to_json(&k, &c);
+        // Truncation at every prefix is rejected, never misparsed.
+        for cut in 0..text.len() - 1 {
+            assert!(entry_parse(&text[..cut]).is_err(), "prefix {cut} accepted");
+        }
+        let wrong_format = text.replace(ENTRY_FORMAT, "spp-instance");
+        assert!(entry_parse(&wrong_format).is_err());
+    }
+
+    #[test]
+    fn memory_cache_hits_after_put() {
+        let cache = MemoryCache::new();
+        assert!(cache.get(&key("a")).is_none());
+        cache.put(&key("a"), &cell(2.0)).unwrap();
+        assert_eq!(cache.get(&key("a")), Some(cell(2.0)));
+        assert!(cache.get(&key("b")).is_none());
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                writes: 1,
+                rejected: 0
+            }
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disk_cache_roundtrips_and_validates() {
+        let dir = tmp_dir("roundtrip");
+        let cache = DiskCache::new(&dir, false).unwrap();
+        assert!(cache.get(&key("a")).is_none()); // cold miss
+        cache.put(&key("a"), &cell(3.5)).unwrap();
+        assert_eq!(cache.get(&key("a")), Some(cell(3.5)));
+
+        // A fresh handle on the same directory serves the entry too.
+        let again = DiskCache::new(&dir, false).unwrap();
+        assert_eq!(again.get(&key("a")), Some(cell(3.5)));
+
+        // Corrupt the entry: it is rejected (counted), never served.
+        let path = dir.join(key("a").file_name());
+        std::fs::write(&path, "garbage").unwrap();
+        assert!(again.get(&key("a")).is_none());
+        assert_eq!(again.stats().rejected, 1);
+
+        // Truncate instead of corrupting: same outcome.
+        let full = entry_to_json(&key("a"), &cell(3.5));
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(again.get(&key("a")).is_none());
+
+        // A recompute overwrites and the entry serves again.
+        again.put(&key("a"), &cell(3.5)).unwrap();
+        assert_eq!(again.get(&key("a")), Some(cell(3.5)));
+    }
+
+    #[test]
+    fn disk_cache_rejects_entries_keyed_to_other_content() {
+        let dir = tmp_dir("wrongkey");
+        let cache = DiskCache::new(&dir, false).unwrap();
+        // File placed under a's name but holding b's entry (e.g. a bad
+        // copy): embedded-key validation refuses it.
+        let text = entry_to_json(&key("b"), &cell(1.0));
+        std::fs::write(dir.join(key("a").file_name()), text).unwrap();
+        assert!(cache.get(&key("a")).is_none());
+        assert_eq!(cache.stats().rejected, 1);
+
+        // Same digest + solver, different config: distinct file names, so
+        // both live side by side.
+        let tighter = SolveConfig {
+            epsilon: 0.25,
+            ..SolveConfig::default()
+        };
+        let k_default = key("a");
+        let k_tighter = CacheKey::new(k_default.digest, "nfdh", &tighter);
+        assert_ne!(k_default.file_name(), k_tighter.file_name());
+    }
+
+    #[test]
+    fn readonly_cache_never_writes() {
+        let dir = tmp_dir("readonly");
+        let rw = DiskCache::new(&dir, false).unwrap();
+        rw.put(&key("a"), &cell(1.0)).unwrap();
+
+        let ro = DiskCache::new(&dir, true).unwrap();
+        assert!(ro.is_readonly());
+        assert_eq!(ro.get(&key("a")), Some(cell(1.0)));
+        ro.put(&key("b"), &cell(2.0)).unwrap(); // silently dropped
+        assert!(rw.get(&key("b")).is_none());
+        assert_eq!(ro.stats().writes, 0);
+
+        // A read-only handle on a *missing* directory is all misses, not
+        // an error (and must not create the directory).
+        let missing = tmp_dir("readonly_missing");
+        let ro2 = DiskCache::new(&missing, true).unwrap();
+        assert!(ro2.get(&key("a")).is_none());
+        assert!(!missing.exists());
+    }
+
+    #[test]
+    fn scan_stats_and_gc() {
+        let dir = tmp_dir("scan");
+        let cache = DiskCache::new(&dir, false).unwrap();
+        cache.put(&key("a"), &cell(1.0)).unwrap();
+        cache.put(&key("b"), &cell(2.0)).unwrap();
+        let other = CacheKey {
+            solver: "ffdh".into(),
+            ..key("a")
+        };
+        cache.put(&other, &cell(3.0)).unwrap();
+        // Two damaged files: garbage and a mis-filed (renamed) entry.
+        std::fs::write(dir.join("0000-bad-entry.json"), "garbage").unwrap();
+        std::fs::write(
+            dir.join(format!(
+                "{}-renamed-0000000000000000.json",
+                key("a").digest.hex()
+            )),
+            entry_to_json(&key("a"), &cell(1.0)),
+        )
+        .unwrap();
+        // And one non-entry file the scan must ignore.
+        std::fs::write(dir.join("README.txt"), "not an entry").unwrap();
+
+        let stats = dir_stats(&dir).unwrap();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.corrupt, 2);
+        assert_eq!(
+            stats.per_solver,
+            vec![("ffdh".to_string(), 1), ("nfdh".to_string(), 2)]
+        );
+        assert_eq!(stats.instances, 2);
+        assert_eq!(stats.configs, 1);
+        assert!(stats.bytes > 0);
+
+        let gc = gc_dir(&dir).unwrap();
+        assert_eq!(gc.kept, 3);
+        assert_eq!(gc.removed.len(), 2);
+        let after = dir_stats(&dir).unwrap();
+        assert_eq!(after.entries, 3);
+        assert_eq!(after.corrupt, 0);
+        // gc is idempotent.
+        assert_eq!(gc_dir(&dir).unwrap().removed.len(), 0);
+    }
+}

@@ -33,10 +33,12 @@
 //! | [`solver`] | the [`Solver`] trait, [`Capabilities`], [`EngineError`] |
 //! | [`solvers`] | built-in implementations wrapping the algorithm crates |
 //! | [`registry`] | name → constructor + capability flags + advertised bounds |
-//! | [`batch`] | parallel many-jobs × many-solvers executor |
-//! | [`sharding`] | instance-file shards: plan, per-shard run, merge, resume |
+//! | [`batch`] | the one cell-execution pipeline (cache-consulting) + aggregates |
+//! | [`cache`] | content-addressed solve cache: key schema, memory + disk backends |
+//! | [`sharding`] | instance-file shards: plan, per-shard run, merge |
 
 pub mod batch;
+pub mod cache;
 pub mod registry;
 pub mod report;
 pub mod request;
@@ -44,12 +46,16 @@ pub mod sharding;
 pub mod solver;
 pub mod solvers;
 
-pub use batch::{run_batch, BatchJob, BatchResult, BatchSummary, SolverStats};
+pub use batch::{
+    classify_outcome, execute_cells, run_batch, BatchJob, BatchResult, BatchSummary, CellOutcome,
+    CellStatus, SolverStats,
+};
+pub use cache::{CacheError, CacheKey, CacheStats, CachedCell, DiskCache, MemoryCache, SolveCache};
 pub use registry::{AdvertisedBound, Registry, RegistryEntry};
 pub use report::{Constraint, LowerBounds, SolveReport, Validation};
 pub use request::{SolveConfig, SolveRequest};
 pub use sharding::{
-    merge_reports, run_shard, run_sharded, CellRow, CellStatus, MergedReport, ShardError,
-    ShardPlan, ShardReport, SolverSummary,
+    merge_reports, run_shard, run_sharded, CellRow, MergedReport, ShardError, ShardPlan,
+    ShardReport, ShardRuntime, SolverSummary,
 };
 pub use solver::{solve, Capabilities, EngineError, Solver};

@@ -25,6 +25,21 @@ pub struct SolveConfig {
     pub validate: bool,
 }
 
+impl SolveConfig {
+    /// Deterministic signature of every knob that can change a solver's
+    /// output, with floats in `{:.17e}` so equal signatures mean
+    /// bit-equal configs. Shard reports store it (merge refuses a report
+    /// written under different knobs) and the solve cache embeds it in
+    /// every entry; cache file names carry its FNV-1a hash (see
+    /// `CacheKey::file_name`).
+    pub fn signature(&self) -> String {
+        format!(
+            "epsilon={:.17e} k={} shelf_r={:.17e} strict={} validate={}",
+            self.epsilon, self.k, self.shelf_r, self.strict, self.validate
+        )
+    }
+}
+
 impl Default for SolveConfig {
     fn default() -> Self {
         SolveConfig {
@@ -83,6 +98,37 @@ impl SolveRequest {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn config_signature_tracks_every_knob() {
+        let base = SolveConfig::default();
+        assert_eq!(base.signature(), SolveConfig::default().signature());
+        let variants = [
+            SolveConfig {
+                epsilon: 0.5,
+                ..base.clone()
+            },
+            SolveConfig {
+                k: 16,
+                ..base.clone()
+            },
+            SolveConfig {
+                shelf_r: 0.5,
+                ..base.clone()
+            },
+            SolveConfig {
+                strict: true,
+                ..base.clone()
+            },
+            SolveConfig {
+                validate: false,
+                ..base.clone()
+            },
+        ];
+        for v in &variants {
+            assert_ne!(v.signature(), base.signature());
+        }
+    }
 
     #[test]
     fn constraint_detection() {

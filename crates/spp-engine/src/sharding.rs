@@ -1,16 +1,18 @@
 //! Sharded batch execution over instance files.
 //!
-//! [`run_batch`](crate::run_batch) parallelizes one in-process job list;
-//! this module scales the same work across *processes and machines* by
-//! making the unit of distribution a **shard of instance files**:
+//! [`execute_cells`](crate::batch::execute_cells) runs one in-process
+//! cell list; this module scales the same work across *processes and
+//! machines* by making the unit of distribution a **shard of instance
+//! files**:
 //!
 //! 1. a [`ShardPlan`] turns a directory or file list into a sorted,
 //!    deterministically split sequence of shards (contiguous ranges, so
 //!    shard outputs concatenate back into global order);
-//! 2. [`run_shard`] loads one shard's files, runs every solver on every
-//!    instance via [`run_batch`](crate::run_batch), and distills the
-//!    outcome into a [`ShardReport`] of portable [`CellRow`]s — exactly
-//!    the deterministic fields (status, makespan, combined LB), no
+//! 2. [`run_shard`] loads one shard's files and feeds every
+//!    (instance, solver) cell through the engine's single
+//!    cache-consulting pipeline, distilling the outcome into a
+//!    [`ShardReport`] of portable [`CellRow`]s — exactly the
+//!    deterministic fields (status, makespan, combined LB), no
 //!    wall-clock noise;
 //! 3. [`merge_reports`] stitches shard reports (possibly produced by
 //!    different processes) into a [`MergedReport`] whose cells are in
@@ -18,10 +20,19 @@
 //!    single-process run over the same inputs;
 //! 4. [`run_sharded`] drives all shards concurrently in one process
 //!    (capped outer parallelism via `spp_par::par_map_capped` — each
-//!    shard fans out again internally), streams per-shard aggregates to
-//!    an observer as they finish, and supports **resume**: given a
-//!    manifest directory, completed shards are loaded from their report
-//!    files and only the missing ones are recomputed.
+//!    shard fans out again internally) and streams per-shard aggregates
+//!    to an observer as they finish.
+//!
+//! **Resume is the cache.** There is no separate manifest code path:
+//! attach a [`DiskCache`](crate::cache::DiskCache) and every already
+//! solved `(instance, solver, config)` cell is served from disk, so a
+//! killed run redoes only its unfinished *cells* (finer than the old
+//! per-shard manifests), and adding/removing/renaming input files —
+//! which shifts the contiguous shard split — invalidates nothing: the
+//! cache key is the instance's content digest, not its position in the
+//! plan. Stale knobs are equally harmless: the key embeds the
+//! [`SolveConfig::signature`], so a run under different knobs simply
+//! misses.
 //!
 //! Shard reports serialize as JSON (`spp-shard-report` documents) through
 //! the same hand-rolled layer as instance files, with `{:.17e}` floats,
@@ -30,12 +41,13 @@
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
+use spp_core::hash::Fnv1a;
 use spp_core::json::{self, JsonValue};
 
-use crate::batch::{run_batch, BatchJob};
+use crate::batch::{execute_cells, BatchJob, CellStatus};
+use crate::cache::{CacheError, SolveCache};
 use crate::request::{SolveConfig, SolveRequest};
 use crate::solver::Solver;
-use crate::Validation;
 
 /// Failures of the sharded pipeline. Per-cell solver refusals are *not*
 /// errors (they are [`CellStatus::Unsupported`] rows); these are the
@@ -51,6 +63,14 @@ pub enum ShardError {
     BadPlan(String),
     /// A shard report file is malformed or inconsistent with its peers.
     BadReport { context: String, err: String },
+}
+
+impl From<CacheError> for ShardError {
+    fn from(e: CacheError) -> Self {
+        match e {
+            CacheError::Io { path, err } => ShardError::Io { path, err },
+        }
+    }
 }
 
 impl std::fmt::Display for ShardError {
@@ -194,50 +214,18 @@ impl ShardPlan {
     /// Editing a file's *contents* in place between shard runs is not
     /// detected — the unit of identity is the file list, not the bytes.
     pub fn fingerprint(&self) -> String {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut h = Fnv1a::new();
         for p in &self.paths {
-            for b in p.display().to_string().bytes().chain([b'\n']) {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x0000_0100_0000_01B3);
-            }
+            h.write_str(&p.display().to_string());
+            h.write(b"\n");
         }
-        format!("fnv1a:{h:016x}")
+        spp_core::hash::fnv1a_tag(h.finish())
     }
 }
 
 // ---------------------------------------------------------------------------
 // Reports
 // ---------------------------------------------------------------------------
-
-/// Outcome class of one (instance, solver) cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CellStatus {
-    /// A report with passing (or skipped) validation.
-    Solved,
-    /// The engine refused the request (capability/model mismatch).
-    Unsupported,
-    /// The placement failed validation — a solver bug.
-    Invalid,
-}
-
-impl CellStatus {
-    fn as_str(&self) -> &'static str {
-        match self {
-            CellStatus::Solved => "solved",
-            CellStatus::Unsupported => "unsupported",
-            CellStatus::Invalid => "invalid",
-        }
-    }
-
-    fn from_str(s: &str) -> Option<Self> {
-        match s {
-            "solved" => Some(CellStatus::Solved),
-            "unsupported" => Some(CellStatus::Unsupported),
-            "invalid" => Some(CellStatus::Invalid),
-            _ => None,
-        }
-    }
-}
 
 /// The portable outcome of one cell: only deterministic fields, so shard
 /// reports (and anything derived from them) are byte-stable across runs,
@@ -292,30 +280,37 @@ pub struct ShardReport {
     /// from the same plan, so shards of two unrelated batches — which can
     /// agree on shard count, solvers and config — refuse to combine.
     pub plan_fp: String,
-    /// Fingerprint of the [`SolveConfig`] the cells were computed with
-    /// (see [`config_signature`]); resume refuses a manifest written
+    /// Signature of the [`SolveConfig`] the cells were computed with
+    /// (see [`SolveConfig::signature`]); merging refuses reports written
     /// under different knobs.
     pub config_sig: String,
     /// Cells in (job-major, solver input order), jobs globally indexed.
     pub cells: Vec<CellRow>,
-    /// Summed per-cell phase time (CPU cost; informational only — never
-    /// serialized, so resumed shards report `None`).
-    pub cpu_time: Option<Duration>,
+    /// Execution-side facts about how this shard was produced.
+    /// Informational only and never serialized: parsed reports carry
+    /// `None`, and two reports with different runtimes but equal cells
+    /// merge to byte-identical output.
+    pub runtime: Option<ShardRuntime>,
+}
+
+/// How a shard's cells were actually obtained (fresh solve vs. cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRuntime {
+    /// Summed per-cell solver phase time (CPU cost, not wall clock).
+    pub cpu_time: Duration,
+    /// Cells served from the attached [`SolveCache`] without a solve.
+    pub cache_hits: usize,
+}
+
+impl ShardRuntime {
+    /// True iff every cell came from the cache — the "resumed" case.
+    pub fn fully_cached(&self, cells: usize) -> bool {
+        cells > 0 && self.cache_hits == cells
+    }
 }
 
 const REPORT_FORMAT: &str = "spp-shard-report";
 const REPORT_VERSION: u64 = 1;
-
-/// Deterministic fingerprint of every [`SolveConfig`] knob that can
-/// change a solver's output. Stored in shard reports and compared on
-/// resume: a manifest written under `--epsilon 0.5` must not satisfy a
-/// run asking for `--epsilon 1.0`.
-pub fn config_signature(config: &SolveConfig) -> String {
-    format!(
-        "epsilon={:.17e} k={} shelf_r={:.17e} strict={} validate={}",
-        config.epsilon, config.k, config.shelf_r, config.strict, config.validate
-    )
-}
 
 impl ShardReport {
     /// Serialize as a canonical `spp-shard-report` JSON document.
@@ -418,7 +413,7 @@ impl ShardReport {
             let cobj = json::as_obj(cv, &format!("cells[{i}]")).map_err(schema)?;
             let cfield = |name: &str| json::get_field(cobj, cv, name).map_err(schema);
             let status_str = json::as_str(cfield("status")?, &path("status")).map_err(schema)?;
-            let status = CellStatus::from_str(status_str)
+            let status = CellStatus::parse(status_str)
                 .ok_or_else(|| bad(format!("cells[{i}]: unknown status {status_str:?}")))?;
             cells.push(CellRow {
                 job: int(cfield("job")?, &path("job"))?,
@@ -441,7 +436,7 @@ impl ShardReport {
             plan_fp,
             config_sig,
             cells,
-            cpu_time: None,
+            runtime: None,
         })
     }
 }
@@ -672,14 +667,19 @@ fn label_for(path: &Path) -> String {
         .unwrap_or_else(|| path.display().to_string())
 }
 
-/// Run one shard: load its instance files, run every solver on every
-/// instance (parallel via [`run_batch`](crate::run_batch)), and reduce to
-/// portable rows.
+/// Run one shard: load its instance files and feed every
+/// (instance, solver) cell through the engine's single cache-consulting
+/// pipeline ([`execute_cells`]), reducing to portable rows.
+///
+/// With a cache attached, already-solved cells are served from it and
+/// the shard's [`ShardRuntime`] records how many — a fully cached shard
+/// is a resume that invoked no solver at all.
 pub fn run_shard(
     plan: &ShardPlan,
     shard: usize,
     solvers: &[Box<dyn Solver>],
     config: &SolveConfig,
+    cache: Option<&dyn SolveCache>,
 ) -> Result<ShardReport, ShardError> {
     let range = plan.shard_range(shard)?;
     let base = range.start;
@@ -697,31 +697,25 @@ pub fn run_shard(
             SolveRequest::new(prec).with_config(config.clone()),
         ));
     }
-    let (results, _) = run_batch(&jobs, solvers);
-    let mut cpu = Duration::ZERO;
-    let cells = results
+    let outcomes = execute_cells(&jobs, solvers, cache)?;
+    let mut runtime = ShardRuntime {
+        cpu_time: Duration::ZERO,
+        cache_hits: 0,
+    };
+    let cells = outcomes
         .into_iter()
-        .map(|r| {
-            let (status, makespan, combined_lb) = match &r.outcome {
-                Ok(report) => {
-                    cpu += report.total_time();
-                    let status =
-                        if report.validation.passed() || report.validation == Validation::Skipped {
-                            CellStatus::Solved
-                        } else {
-                            CellStatus::Invalid
-                        };
-                    (status, report.makespan, report.bounds.combined)
-                }
-                Err(_) => (CellStatus::Unsupported, 0.0, 0.0),
-            };
+        .map(|c| {
+            runtime.cpu_time += c.solve_time();
+            if c.from_cache {
+                runtime.cache_hits += 1;
+            }
             CellRow {
-                job: base + r.job,
-                label: r.label,
-                solver: r.solver,
-                status,
-                makespan,
-                combined_lb,
+                job: base + c.job,
+                label: c.label,
+                solver: c.solver,
+                status: c.status,
+                makespan: c.makespan,
+                combined_lb: c.combined_lb,
             }
         })
         .collect();
@@ -735,94 +729,35 @@ pub fn run_shard(
             .map(|p| p.display().to_string())
             .collect(),
         plan_fp: plan.fingerprint(),
-        config_sig: config_signature(config),
+        config_sig: config.signature(),
         cells,
-        cpu_time: Some(cpu),
+        runtime: Some(runtime),
     })
-}
-
-/// Manifest file name for one shard of an `n`-shard plan.
-pub fn manifest_file(shard: usize, shards: usize) -> String {
-    format!("shard-{shard:04}-of-{shards:04}.json")
-}
-
-/// Load a shard's manifest entry if it exists, parses, and matches the
-/// plan (shard index, shard count, *and* the exact instance-file list of
-/// this shard), the solver list, and the config fingerprint; anything
-/// else means "recompute". The input-list check catches manifests that
-/// became stale because files were added, removed or renamed — which
-/// silently shifts every contiguous shard range.
-fn resume_shard(
-    manifest_dir: &Path,
-    plan: &ShardPlan,
-    shard: usize,
-    solver_names: &[String],
-    config_sig: &str,
-) -> Option<ShardReport> {
-    let path = manifest_dir.join(manifest_file(shard, plan.shards()));
-    let text = std::fs::read_to_string(path).ok()?;
-    let report = ShardReport::parse(&text).ok()?;
-    let planned_inputs: Vec<String> = plan
-        .shard_paths(shard)
-        .ok()?
-        .iter()
-        .map(|p| p.display().to_string())
-        .collect();
-    (report.shard == shard
-        && report.shards == plan.shards()
-        && report.solvers == solver_names
-        && report.inputs == planned_inputs
-        && report.plan_fp == plan.fingerprint()
-        && report.config_sig == config_sig)
-        .then_some(report)
 }
 
 /// Run every shard of the plan concurrently and merge.
 ///
-/// * `manifest_dir` — when set, each completed shard is written there as
-///   `shard-<i>-of-<n>.json`, and shards whose file already exists (and
-///   matches the plan + solver list) are **resumed** from it instead of
-///   recomputed. Delete a shard file to force its recomputation.
-/// * `observer` — called with each shard's report as it completes
-///   (freshly computed or resumed), from worker threads, in completion
-///   order: the streaming progress hook.
+/// * `cache` — consulted cell-by-cell before any solve and written back
+///   on miss; pass a [`DiskCache`](crate::cache::DiskCache) to make the
+///   run resumable (and to share work with other processes pointing at
+///   the same directory). There is no separate resume path: a rerun over
+///   a warm cache recomputes nothing and produces byte-identical output.
+/// * `observer` — called with each shard's report as it completes, from
+///   worker threads, in completion order: the streaming progress hook.
 pub fn run_sharded(
     plan: &ShardPlan,
     solvers: &[Box<dyn Solver>],
     config: &SolveConfig,
-    manifest_dir: Option<&Path>,
+    cache: Option<&dyn SolveCache>,
     observer: Option<&(dyn Fn(&ShardReport) + Sync)>,
 ) -> Result<MergedReport, ShardError> {
-    if let Some(dir) = manifest_dir {
-        std::fs::create_dir_all(dir).map_err(|e| ShardError::Io {
-            path: dir.display().to_string(),
-            err: e.to_string(),
-        })?;
-    }
-    let solver_names: Vec<String> = solvers.iter().map(|s| s.name().to_string()).collect();
-    let config_sig = config_signature(config);
     let indices: Vec<usize> = (0..plan.shards()).collect();
-    // Cap outer parallelism: each shard saturates cores via run_batch's
-    // own par_map, so a handful of in-flight shards is enough to hide
-    // file-I/O latency without multiplying worker pools.
+    // Cap outer parallelism: each shard saturates cores via the
+    // executor's own par_map, so a handful of in-flight shards is enough
+    // to hide file-I/O latency without multiplying worker pools.
     let reports: Vec<Result<ShardReport, ShardError>> =
         spp_par::par_map_capped(&indices, 4, |&shard| {
-            let report = match manifest_dir
-                .and_then(|d| resume_shard(d, plan, shard, &solver_names, &config_sig))
-            {
-                Some(resumed) => resumed,
-                None => {
-                    let fresh = run_shard(plan, shard, solvers, config)?;
-                    if let Some(dir) = manifest_dir {
-                        let path = dir.join(manifest_file(shard, plan.shards()));
-                        std::fs::write(&path, fresh.to_json()).map_err(|e| ShardError::Io {
-                            path: path.display().to_string(),
-                            err: e.to_string(),
-                        })?;
-                    }
-                    fresh
-                }
-            };
+            let report = run_shard(plan, shard, solvers, config, cache)?;
             if let Some(obs) = observer {
                 obs(&report);
             }
@@ -834,6 +769,7 @@ pub fn run_sharded(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::{DiskCache, MemoryCache};
     use crate::registry::Registry;
 
     fn write_suite(tag: &str, count: usize) -> PathBuf {
@@ -882,7 +818,11 @@ mod tests {
             // Simulate distributed execution: run each shard separately,
             // serialize, parse back, merge — the full cross-process path.
             let texts: Vec<String> = (0..4)
-                .map(|s| run_shard(&plan, s, &solvers, &config).unwrap().to_json())
+                .map(|s| {
+                    run_shard(&plan, s, &solvers, &config, None)
+                        .unwrap()
+                        .to_json()
+                })
                 .collect();
             let reports = texts
                 .iter()
@@ -900,11 +840,14 @@ mod tests {
         let dir = write_suite("roundtrip", 6);
         let solvers = solvers(&["nfdh", "aptas"]);
         let plan = ShardPlan::from_dir(&dir, 2).unwrap();
-        let report = run_shard(&plan, 1, &solvers, &SolveConfig::default()).unwrap();
+        let report = run_shard(&plan, 1, &solvers, &SolveConfig::default(), None).unwrap();
         let back = ShardReport::parse(&report.to_json()).unwrap();
         assert_eq!(back.shard, report.shard);
         assert_eq!(back.solvers, report.solvers);
         assert_eq!(back.cells, report.cells);
+        // Runtime facts are not part of the portable contract.
+        assert!(report.runtime.is_some());
+        assert!(back.runtime.is_none());
         // Canonical: serialize ∘ parse ∘ serialize = serialize.
         assert_eq!(back.to_json(), report.to_json());
     }
@@ -917,9 +860,9 @@ mod tests {
             solvers: solvers.iter().map(|s| s.to_string()).collect(),
             inputs: vec![],
             plan_fp: "fnv1a:test".into(),
-            config_sig: config_signature(&SolveConfig::default()),
+            config_sig: SolveConfig::default().signature(),
             cells: vec![],
-            cpu_time: None,
+            runtime: None,
         };
         // Missing shard.
         assert!(merge_reports(vec![mk(0, 2, &["nfdh"])]).is_err());
@@ -945,78 +888,83 @@ mod tests {
     }
 
     #[test]
-    fn manifest_resume_skips_completed_shards_and_detects_staleness() {
+    fn cache_resume_serves_completed_cells_and_survives_corruption() {
         let dir = write_suite("resume", 8);
-        let manifest = std::env::temp_dir().join("spp_engine_shard_resume_manifest");
-        let _ = std::fs::remove_dir_all(&manifest);
+        let cache_dir = std::env::temp_dir().join("spp_engine_shard_resume_cache");
+        let _ = std::fs::remove_dir_all(&cache_dir);
         let solvers2 = solvers(&["nfdh", "greedy"]);
         let config = SolveConfig::default();
         let plan = ShardPlan::from_dir(&dir, 3).unwrap();
 
-        let first = run_sharded(&plan, &solvers2, &config, Some(&manifest), None).unwrap();
-        for s in 0..3 {
-            assert!(manifest.join(manifest_file(s, 3)).exists());
-        }
+        let cache = DiskCache::new(&cache_dir, false).unwrap();
+        let first = run_sharded(&plan, &solvers2, &config, Some(&cache), None).unwrap();
+        assert_eq!(
+            crate::cache::dir_stats(&cache_dir).unwrap().entries,
+            first.cells.len()
+        );
 
-        // Corrupt one shard file; the second run must recompute exactly
-        // that shard and still produce the identical merged report.
-        std::fs::write(manifest.join(manifest_file(1, 3)), "garbage").unwrap();
-        let recomputed = std::sync::Mutex::new(Vec::new());
+        // A warm rerun serves every cell from the cache — the observer
+        // sees only fully cached ("resumed") shards — and the merged
+        // output is byte-identical.
+        let warm = DiskCache::new(&cache_dir, false).unwrap();
+        let resumed = std::sync::Mutex::new(Vec::new());
         let observer = |r: &ShardReport| {
-            // Resumed shards carry no cpu_time (it is not serialized).
-            if r.cpu_time.is_some() {
-                recomputed.lock().unwrap().push(r.shard);
+            let rt = r.runtime.expect("fresh shards carry runtime facts");
+            if rt.fully_cached(r.cells.len()) {
+                resumed.lock().unwrap().push(r.shard);
             }
         };
-        let second =
-            run_sharded(&plan, &solvers2, &config, Some(&manifest), Some(&observer)).unwrap();
-        assert_eq!(first, second);
-        assert_eq!(*recomputed.lock().unwrap(), vec![1]);
+        let second = run_sharded(&plan, &solvers2, &config, Some(&warm), Some(&observer)).unwrap();
+        assert_eq!(first.cells, second.cells);
+        assert_eq!(first.render_cells(), second.render_cells());
+        let mut resumed = resumed.lock().unwrap().clone();
+        resumed.sort_unstable();
+        assert_eq!(resumed, vec![0, 1, 2]);
+        assert_eq!(warm.stats().misses, 0, "warm run invoked a solver");
 
-        // A manifest written for a different solver list is stale: all
-        // shards recompute rather than resuming wrong data.
+        // Corrupt one entry: exactly that cell recomputes; output is
+        // still identical and the damaged entry is never served.
+        let scanned = crate::cache::scan_dir(&cache_dir).unwrap();
+        std::fs::write(&scanned[0].path, "garbage").unwrap();
+        let healed = DiskCache::new(&cache_dir, false).unwrap();
+        let third = run_sharded(&plan, &solvers2, &config, Some(&healed), None).unwrap();
+        assert_eq!(first.cells, third.cells);
+        let stats = healed.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.writes, 1, "the healed entry was written back");
+
+        // A different solver list shares the instance half of the key but
+        // not the cells: ffdh cells all miss, nfdh/greedy entries are
+        // untouched.
         let other = solvers(&["ffdh"]);
-        let third = run_sharded(&plan, &other, &config, Some(&manifest), None).unwrap();
-        assert_eq!(third.solvers, vec!["ffdh".to_string()]);
-        assert!(third.cells.iter().all(|c| c.solver == "ffdh"));
+        let cold = DiskCache::new(&cache_dir, false).unwrap();
+        let fourth = run_sharded(&plan, &other, &config, Some(&cold), None).unwrap();
+        assert_eq!(fourth.solvers, vec!["ffdh".to_string()]);
+        assert!(fourth.cells.iter().all(|c| c.solver == "ffdh"));
+        assert_eq!(cold.stats().hits, 0);
     }
 
     #[test]
-    fn manifest_resume_detects_changed_inputs_and_config() {
+    fn cache_is_config_sensitive_and_immune_to_shard_resplits() {
         let dir = write_suite("stale", 8);
-        let manifest = std::env::temp_dir().join("spp_engine_shard_stale_manifest");
-        let _ = std::fs::remove_dir_all(&manifest);
         let s = solvers(&["nfdh"]);
         let config = SolveConfig::default();
         let plan = ShardPlan::from_dir(&dir, 2).unwrap();
-        run_sharded(&plan, &s, &config, Some(&manifest), None).unwrap();
+        let cache = MemoryCache::new();
+        run_sharded(&plan, &s, &config, Some(&cache), None).unwrap();
+        assert_eq!(cache.len(), 8);
 
-        let count_computed =
-            |merged: Result<MergedReport, ShardError>, computed: &std::sync::Mutex<Vec<usize>>| {
-                merged.unwrap();
-                let mut v = computed.lock().unwrap().clone();
-                v.sort_unstable();
-                v
-            };
-
-        // Same plan, different config: every shard must recompute (a
-        // manifest written under other knobs would be silently wrong).
+        // Same instances, different knobs: every cell misses (an entry
+        // computed under other knobs would be silently wrong).
         let mut tighter = config.clone();
         tighter.epsilon = 0.5;
-        let computed = std::sync::Mutex::new(Vec::new());
-        let obs = |r: &ShardReport| {
-            if r.cpu_time.is_some() {
-                computed.lock().unwrap().push(r.shard);
-            }
-        };
-        let merged = run_sharded(&plan, &s, &tighter, Some(&manifest), Some(&obs));
-        assert_eq!(count_computed(merged, &computed), vec![0, 1]);
+        run_sharded(&plan, &s, &tighter, Some(&cache), None).unwrap();
+        assert_eq!(cache.len(), 16, "different config = different cells");
 
-        // Adding a file shifts the contiguous split: the old shard files
-        // no longer describe the plan's ranges, so both shards recompute
-        // (under the original config, whose manifest was just replaced by
-        // the tighter-config run — write it back first).
-        run_sharded(&plan, &s, &config, Some(&manifest), None).unwrap();
+        // Adding a file shifts every contiguous shard range — which is
+        // exactly why the cache keys content, not position: the 8 old
+        // cells are all served, only the new instance solves.
         spp_gen::fileio::write_path(
             &dir.join("zzz-extra.json"),
             &spp_dag::PrecInstance::unconstrained(
@@ -1026,17 +974,11 @@ mod tests {
         .unwrap();
         let grown = ShardPlan::from_dir(&dir, 2).unwrap();
         assert_eq!(grown.len(), plan.len() + 1);
-        computed.lock().unwrap().clear();
-        let merged = run_sharded(&grown, &s, &config, Some(&manifest), Some(&obs));
-        let recomputed = count_computed(merged, &computed);
-        // Shard 1's range changed (it gained the new trailing file), and
-        // shard 0's range boundary moved too: 8 files → 4+4, 9 → 4+5, so
-        // shard 0 may legitimately resume. What must NOT happen is a
-        // full resume.
-        assert!(
-            recomputed.contains(&1),
-            "stale manifest resumed after input change: {recomputed:?}"
-        );
+        let before = cache.stats();
+        run_sharded(&grown, &s, &config, Some(&cache), None).unwrap();
+        let after = cache.stats();
+        assert_eq!(after.hits - before.hits, 8, "old cells all resumed");
+        assert_eq!(after.misses - before.misses, 1, "only the new file solved");
     }
 
     #[test]
@@ -1050,7 +992,8 @@ mod tests {
         std::fs::write(&list, body).unwrap();
         let plan = ShardPlan::from_file_list(&list, 2).unwrap();
         assert_eq!(plan.len(), 4);
-        let report = run_shard(&plan, 0, &solvers(&["nfdh"]), &SolveConfig::default()).unwrap();
+        let report =
+            run_shard(&plan, 0, &solvers(&["nfdh"]), &SolveConfig::default(), None).unwrap();
         assert_eq!(report.cells.len(), 2);
     }
 
@@ -1061,7 +1004,8 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("bad.json"), "{\"format\": \"nope\"}").unwrap();
         let plan = ShardPlan::from_dir(&dir, 1).unwrap();
-        let err = run_shard(&plan, 0, &solvers(&["nfdh"]), &SolveConfig::default()).unwrap_err();
+        let err =
+            run_shard(&plan, 0, &solvers(&["nfdh"]), &SolveConfig::default(), None).unwrap_err();
         match err {
             ShardError::Load { path, err } => {
                 assert!(path.contains("bad.json"), "{path}");

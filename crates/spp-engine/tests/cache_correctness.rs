@@ -1,0 +1,182 @@
+//! Correctness of the content-addressed solve cache against the one
+//! property that justifies its existence: **a warm run is the cold run**.
+//!
+//! * Across every `spp suite` scenario family (deep-chain DAGs, bursty /
+//!   poisson releases, skyline adversaries, tall-wide, uniform-height),
+//!   rerunning a file batch over a populated cache must produce
+//!   byte-identical rendered output with zero solver invocations.
+//! * A damaged cache — corrupted, truncated, or swapped entries — must
+//!   degrade to recomputation, never to served garbage.
+
+use proptest::prelude::*;
+use spp_engine::cache::{entry_to_json, CacheKey, CachedCell};
+use spp_engine::{
+    execute_cells, run_sharded, BatchJob, CellStatus, DiskCache, MemoryCache, Registry, ShardPlan,
+    SolveCache, SolveConfig, SolveRequest, Solver,
+};
+use std::path::PathBuf;
+
+fn solvers(names: &[&str]) -> Vec<Box<dyn Solver>> {
+    let registry = Registry::builtin();
+    names.iter().map(|n| registry.get(n).unwrap()).collect()
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spp_cache_correctness_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One warm-vs-cold equivalence check over a generated suite: returns the
+/// rendered (cells + table) outputs of both runs plus the warm cache's
+/// miss count.
+fn cold_then_warm(seed: u64, n: usize, count: usize, tag: &str) -> (String, String, u64) {
+    let suite_dir = tmp(&format!("suite_{tag}"));
+    spp_gen::suite::write_suite(&suite_dir, seed, n, count).unwrap();
+    let cache_dir = tmp(&format!("cache_{tag}"));
+    // greedy + nfdh cover precedence and plain; keep the matrix small so
+    // the property test stays fast per case.
+    let solvers = solvers(&["nfdh", "greedy"]);
+    let config = SolveConfig::default();
+    let plan = ShardPlan::from_dir(&suite_dir, 3).unwrap();
+
+    let cold_cache = DiskCache::new(&cache_dir, false).unwrap();
+    let cold = run_sharded(&plan, &solvers, &config, Some(&cold_cache), None).unwrap();
+    let warm_cache = DiskCache::new(&cache_dir, false).unwrap();
+    let warm = run_sharded(&plan, &solvers, &config, Some(&warm_cache), None).unwrap();
+
+    let render = |m: &spp_engine::MergedReport| format!("{}{}", m.render_cells(), m.render_table());
+    let misses = warm_cache.stats().misses;
+    let _ = std::fs::remove_dir_all(&suite_dir);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    (render(&cold), render(&warm), misses)
+}
+
+/// The acceptance-criterion check, pinned on a suite large enough to hit
+/// all 8 scenario families: warm output is byte-identical, with zero
+/// solver invocations.
+#[test]
+fn warm_cache_rerun_is_byte_identical_across_all_families() {
+    assert_eq!(spp_gen::suite::FAMILIES.len(), 8);
+    let (cold, warm, misses) = cold_then_warm(2006, 16, 16, "all_families");
+    assert_eq!(cold, warm, "warm rendered output differs from cold");
+    assert_eq!(misses, 0, "warm run invoked a solver");
+}
+
+proptest! {
+    // Each case generates + solves a suite twice; keep the case count
+    // moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The same equivalence over random seeds and sizes — every case
+    /// still cycles through all 8 families (count = 8 exactly).
+    #[test]
+    fn warm_cache_rerun_is_byte_identical(seed in 0u64..10_000, n in 6usize..20) {
+        let (cold, warm, misses) = cold_then_warm(seed, n, 8, &format!("prop_{seed}_{n}"));
+        prop_assert_eq!(&cold, &warm, "warm output diverged (seed {})", seed);
+        prop_assert_eq!(misses, 0, "warm run invoked a solver (seed {})", seed);
+    }
+}
+
+/// Damaged entries of every flavor are recomputed, never served. The
+/// damage menu: garbage bytes, every truncation prefix of a real entry,
+/// and a *well-formed entry for different content* dropped onto this
+/// key's file (the digest-mismatch case).
+#[test]
+fn damaged_cache_entries_are_never_served() {
+    let suite_dir = tmp("damage_suite");
+    spp_gen::suite::write_suite(&suite_dir, 7, 12, 4).unwrap();
+    let cache_dir = tmp("damage_cache");
+    let solvers = solvers(&["nfdh"]);
+    let config = SolveConfig::default();
+    let plan = ShardPlan::from_dir(&suite_dir, 1).unwrap();
+
+    let cache = DiskCache::new(&cache_dir, false).unwrap();
+    let reference = run_sharded(&plan, &solvers, &config, Some(&cache), None).unwrap();
+    let entries = spp_engine::cache::scan_dir(&cache_dir).unwrap();
+    assert_eq!(entries.len(), 4);
+    let victim = &entries[0].path;
+    let intact = std::fs::read_to_string(victim).unwrap();
+
+    let mut damages: Vec<(String, String)> = vec![
+        ("garbage".into(), "not a cache entry at all".into()),
+        ("empty".into(), String::new()),
+    ];
+    for cut in (0..intact.len()).step_by(intact.len() / 8 + 1) {
+        damages.push((format!("truncated[..{cut}]"), intact[..cut].to_string()));
+    }
+    // A valid entry whose embedded key belongs to *other* content: the
+    // file name says one digest, the payload says another. Served naively
+    // it would report a wrong makespan; digest validation must refuse it.
+    let foreign_key = CacheKey {
+        digest: spp_core::InstanceDigest::of_canonical_json("something else"),
+        solver: "nfdh".into(),
+        config_sig: config.signature(),
+    };
+    let foreign = entry_to_json(
+        &foreign_key,
+        &CachedCell {
+            status: CellStatus::Solved,
+            makespan: 1234.5,
+            combined_lb: 1.0,
+        },
+    );
+    damages.push(("digest-mismatch".into(), foreign));
+
+    for (what, text) in damages {
+        std::fs::write(victim, &text).unwrap();
+        let healed = DiskCache::new(&cache_dir, false).unwrap();
+        let rerun = run_sharded(&plan, &solvers, &config, Some(&healed), None).unwrap();
+        assert_eq!(
+            reference.render_cells(),
+            rerun.render_cells(),
+            "damage {what:?} leaked into the output"
+        );
+        let stats = healed.stats();
+        assert_eq!(stats.misses, 1, "damage {what:?}: exactly one recompute");
+        assert_eq!(stats.rejected, 1, "damage {what:?}: rejection counted");
+        assert_eq!(stats.writes, 1, "damage {what:?}: entry healed");
+        // And the healed file is the intact entry again.
+        assert_eq!(std::fs::read_to_string(victim).unwrap(), intact);
+    }
+
+    let _ = std::fs::remove_dir_all(&suite_dir);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// The memory and disk backends agree cell-for-cell on the same
+/// workload: backend choice is an operational knob, not a semantic one.
+#[test]
+fn memory_and_disk_backends_agree() {
+    let suite_dir = tmp("backend_suite");
+    spp_gen::suite::write_suite(&suite_dir, 11, 10, 8).unwrap();
+    let mut jobs = Vec::new();
+    let plan = ShardPlan::from_dir(&suite_dir, 1).unwrap();
+    for path in plan.paths() {
+        let prec = spp_gen::fileio::read_path(path).unwrap();
+        jobs.push(BatchJob::new(
+            path.file_stem().unwrap().to_string_lossy().into_owned(),
+            SolveRequest::new(prec),
+        ));
+    }
+    let solvers = solvers(&["nfdh", "ffdh"]);
+
+    let mem = MemoryCache::new();
+    let disk_dir = tmp("backend_disk");
+    let disk = DiskCache::new(&disk_dir, false).unwrap();
+    for cache in [&mem as &dyn SolveCache, &disk as &dyn SolveCache] {
+        execute_cells(&jobs, &solvers, Some(cache)).unwrap();
+        let warm = execute_cells(&jobs, &solvers, Some(cache)).unwrap();
+        assert!(warm.iter().all(|c| c.from_cache));
+    }
+    let from_mem = execute_cells(&jobs, &solvers, Some(&mem)).unwrap();
+    let from_disk = execute_cells(&jobs, &solvers, Some(&disk)).unwrap();
+    for (a, b) in from_mem.iter().zip(&from_disk) {
+        assert_eq!(a.solver, b.solver);
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        assert_eq!(a.combined_lb.to_bits(), b.combined_lb.to_bits());
+    }
+    let _ = std::fs::remove_dir_all(&suite_dir);
+    let _ = std::fs::remove_dir_all(&disk_dir);
+}

@@ -135,6 +135,19 @@ fn workloads_for(caps: Capabilities) -> Vec<(String, PrecInstance)> {
             "plain-halfwide".to_string(),
             PrecInstance::unconstrained(Instance::from_dims(&half_wide).unwrap()),
         ));
+        // Widths just over 1/4, slowly decreasing near-maximal heights:
+        // in Sleator's half-columns (width 1/2) two of these never fit
+        // side by side, so every level holds one item and wastes almost
+        // half its box. This drives the packing toward ~Σh/2 against an
+        // area term of ~2·0.26·Σh — the adversary documenting that the
+        // advertised `2·AREA + 1.5·h_max` envelope's area coefficient is
+        // nearly tight, and that the literature's `2.5·OPT` cannot be
+        // checked here (OPT is not computable from LowerBounds).
+        let thin_tall: Vec<(f64, f64)> = (0..24).map(|i| (0.26, 2.0 - 0.01 * i as f64)).collect();
+        out.push((
+            "plain-thin-tall".to_string(),
+            PrecInstance::unconstrained(Instance::from_dims(&thin_tall).unwrap()),
+        ));
     }
     out
 }

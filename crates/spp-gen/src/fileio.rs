@@ -56,6 +56,16 @@ pub fn to_json(prec: &PrecInstance) -> String {
     InstanceFile::from_instance(&prec.inst, edges).to_json()
 }
 
+/// Canonical content digest of an instance: FNV-1a over the canonical
+/// `spp-instance` document of [`to_json`] (sorted edges, `{:.17e}`
+/// floats). The digest identifies *content*, not representation — an
+/// instance read from `spp v1` text, from hand-formatted JSON, or built
+/// in memory digests identically as long as the items and edges agree.
+/// This is the instance component of the engine's solve-cache key.
+pub fn digest(prec: &PrecInstance) -> spp_core::InstanceDigest {
+    spp_core::InstanceDigest::of_canonical_json(&to_json(prec))
+}
+
 /// Parse an `spp-instance` JSON document into a checked [`PrecInstance`].
 pub fn from_json(text: &str) -> Result<PrecInstance, FileIoError> {
     let file = InstanceFile::parse(text).map_err(FileIoError::Json)?;
@@ -155,6 +165,32 @@ mod tests {
         assert!(json.starts_with('{'));
         let text = std::fs::read_to_string(dir.join("inst.spp")).unwrap();
         assert!(text.starts_with("spp v1"));
+    }
+
+    #[test]
+    fn digest_is_format_independent_and_content_sensitive() {
+        let prec = sample();
+        let dir = std::env::temp_dir().join("spp_gen_digest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let d = digest(&prec);
+
+        // The same content read back from either on-disk format digests
+        // identically — the digest is content-addressed, not byte-addressed.
+        for name in ["inst.json", "inst.spp"] {
+            let path = dir.join(name);
+            write_path(&path, &prec).unwrap();
+            assert_eq!(digest(&read_path(&path).unwrap()), d, "{name}");
+        }
+
+        // Different content separates.
+        let mut rng = StdRng::seed_from_u64(6);
+        let other_inst = crate::rects::uniform(&mut rng, 20, (0.05, 0.95), (0.05, 1.5));
+        let other = crate::rects::with_layered_dag(&mut rng, other_inst, 4, 0.25);
+        assert_ne!(digest(&other), d);
+
+        // Dropping the DAG (same rectangles) also separates.
+        let no_dag = spp_dag::PrecInstance::unconstrained(prec.inst.clone());
+        assert_ne!(digest(&no_dag), d);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! | [`mod@nfdh`] | `≤ 2·AREA + h_max` (the A-bound) |
 //! | [`mod@ffdh`] | `≤ 1.7·AREA + h_max` (Coffman–Garey–Johnson–Tarjan) |
 //! | [`mod@bfdh`] | `≤ ffdh`-style shelf bound; best-fit variant |
-//! | [`mod@sleator`] | `≤ 2·AREA + h_max/2` after wide-stack; 2.5·OPT overall |
+//! | [`mod@sleator`] | proven `≤ 2·AREA + 1.5·h_max`; 2.5·OPT in the literature |
 //! | [`mod@wsnf`] | `≤ 2·AREA + h_max` (the A-bound; wide-stack + NFDH) |
 //! | [`mod@skyline`] | no worst-case guarantee; strong practical baseline |
 //! | [`mod@online`] | online (Csirik–Woeginger shelves); constant-competitive |

@@ -18,6 +18,14 @@
 //! when wide rectangles dominate. It is included as an ablation subroutine
 //! for `DC` (it satisfies the A-bound empirically — see the property test —
 //! but we only *claim* the bound for NFDH, whose proof is in this repo).
+//!
+//! The engine registry advertises the proven envelope
+//! `2·AREA + 1.5·h_max` for this implementation (wide stack ≤ 2·AREA_wide;
+//! level-charging gives Σ level heights ≤ 4·AREA_narrow; opening levels on
+//! the lower column bounds the final height by the column average plus
+//! half a level) — see `adv_sleator` in `spp-engine` for the full sketch.
+//! The literature's `2.5·OPT` is *not* advertised: OPT is not computable
+//! from the engine's lower bounds, so it cannot be checked mechanically.
 
 use spp_core::{Instance, Placement};
 

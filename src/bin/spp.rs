@@ -9,8 +9,10 @@
 //! spp bounds inst.spp
 //! spp batch --families layered,random --count 50 -n 30 --algos dc-nfdh,greedy,layered
 //! spp batch --input-dir instances/ --algos nfdh,ffdh,greedy            # file mode
+//! spp batch --input-dir instances/ --cache-dir cache/                  # cached / resumable
 //! spp batch --input-dir instances/ --shards 4 --shard-index 2 --out s2.json
 //! spp batch --merge s0.json,s1.json,s2.json,s3.json                   # combine shards
+//! spp cache stats --cache-dir cache/
 //! spp algos
 //! ```
 //!
@@ -23,9 +25,15 @@
 //! Sharding: `--shards N --shard-index I` runs only the `I`-th contiguous
 //! shard of the (sorted) file list and emits a portable shard report;
 //! `--merge` combines the reports into the same table — byte-identical on
-//! stdout to a single-process run over the same inputs. `--manifest DIR`
-//! makes an in-process multi-shard run resumable: completed shards are
-//! loaded from `DIR` instead of recomputed.
+//! stdout to a single-process run over the same inputs.
+//!
+//! Caching: `--cache-dir DIR` attaches the content-addressed solve cache
+//! to any file-mode batch (sharded or not). Every already-solved
+//! `(instance, solver, config)` cell is served from `DIR` instead of
+//! recomputed — which is also how interrupted runs resume — and the run
+//! reports its hit/miss counts on stderr. `--cache-readonly` consults the
+//! cache without writing back. `spp cache stats|gc|verify` inspect,
+//! clean, and spot-check a cache directory.
 
 use std::io::Read as _;
 use std::path::{Path, PathBuf};
@@ -33,14 +41,15 @@ use std::process::ExitCode;
 
 use strip_packing::dag::PrecInstance;
 use strip_packing::engine::{
-    merge_reports, run_batch, run_shard, run_sharded, BatchJob, MergedReport, Registry, ShardPlan,
-    ShardReport, SolveConfig, SolveRequest, Solver, Validation,
+    cache as solve_cache, merge_reports, run_batch, run_shard, run_sharded, BatchJob, CellStatus,
+    DiskCache, MergedReport, Registry, ShardPlan, ShardReport, SolveCache, SolveConfig,
+    SolveRequest, Solver, Validation,
 };
 use strip_packing::gen::rects::DagFamily;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  spp gen --family <name> [-n <count>] [--seed <u64>] [--uniform-height]\n          [--format <spp|json>]\n  spp suite --out-dir <dir> [--count <n>] [-n <size>] [--seed <u64>]\n  spp pack <file|-> [--algo <name>] [--render <none|ascii|svg>]\n          [--epsilon <f64>] [-k <usize>] [--shelf-r <f64>] [--strict]\n  spp bounds <file|->\n  spp batch [--families <f1,f2,..>] [--count <per-family>] [-n <size>]\n          [--seed <u64>] [--algos <a1,a2,..>]\n  spp batch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--shards <n>] [--shard-index <i>] [--out <file>]\n          [--manifest <dir>] [--cells]\n  spp batch --merge <report1,report2,..> [--cells]\n  spp algos\n\nrun `spp algos` for the algorithm registry with capability flags"
+        "usage:\n  spp gen --family <name> [-n <count>] [--seed <u64>] [--uniform-height]\n          [--format <spp|json>]\n  spp suite --out-dir <dir> [--count <n>] [-n <size>] [--seed <u64>]\n  spp pack <file|-> [--algo <name>] [--render <none|ascii|svg>]\n          [--epsilon <f64>] [-k <usize>] [--shelf-r <f64>] [--strict]\n  spp bounds <file|->\n  spp batch [--families <f1,f2,..>] [--count <per-family>] [-n <size>]\n          [--seed <u64>] [--algos <a1,a2,..>]\n  spp batch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--shards <n>] [--shard-index <i>] [--out <file>]\n          [--cache-dir <dir>] [--cache-readonly] [--cells]\n  spp batch --merge <report1,report2,..> [--cells]\n  spp cache stats --cache-dir <dir>\n  spp cache gc --cache-dir <dir>\n  spp cache verify --cache-dir <dir> (--input-dir <dir> | --file-list <file>)\n          [--algos <a1,a2,..>] [--sample <n>]\n  spp algos\n\nrun `spp algos` for the algorithm registry with capability flags"
     );
     std::process::exit(2);
 }
@@ -332,14 +341,46 @@ fn finish_merged(merged: &MergedReport, cells: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Open the solve cache named by `--cache-dir` / `--cache-readonly`, if
+/// any. Exits on an unusable directory — the user asked for durability
+/// and silently running uncached would defeat the point.
+fn cache_from_args(args: &[String]) -> Option<DiskCache> {
+    let readonly = args.iter().any(|a| a == "--cache-readonly");
+    let Some(dir) = arg_value(args, "--cache-dir") else {
+        // Fail loudly, like the removed --manifest: a run the user
+        // believes is cache-backed must not silently go uncached.
+        if readonly {
+            eprintln!("error: --cache-readonly requires --cache-dir <dir>");
+            std::process::exit(2);
+        }
+        return None;
+    };
+    // A read-only cache that does not exist is almost certainly a typo'd
+    // path; running "warm" at full solve cost would hide it.
+    if readonly && !Path::new(&dir).is_dir() {
+        eprintln!("error: --cache-readonly: cache directory {dir} does not exist");
+        std::process::exit(1);
+    }
+    match DiskCache::new(Path::new(&dir), readonly) {
+        Ok(c) => Some(c),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// File-mode batch: instances come from `--input-dir` or `--file-list`,
-/// split into `--shards` contiguous shards.
+/// split into `--shards` contiguous shards, all cells flowing through
+/// the cache-consulting executor when `--cache-dir` is set.
 ///
 /// * with `--shard-index i`: run only shard `i` and emit its portable
 ///   report (stdout or `--out`) for a later `--merge` — the
-///   multi-process / multi-machine path;
-/// * without: run all shards in this process (resumable via
-///   `--manifest`), merge, and print the canonical table.
+///   multi-process / multi-machine path (shard processes may share one
+///   cache directory);
+/// * without: run all shards in this process, merge, and print the
+///   canonical table. With a cache, a rerun is a **resume**: every
+///   already-solved cell is served from disk.
 fn cmd_batch_files(args: &[String]) -> ExitCode {
     let shards: usize = arg_value(args, "--shards").map(parse_or_usage).unwrap_or(1);
     let plan = match (
@@ -359,15 +400,22 @@ fn cmd_batch_files(args: &[String]) -> ExitCode {
     };
     let solvers = solvers_from_args(args, "nfdh,ffdh,greedy,dc-nfdh");
     let config = config_from_args(args);
+    let cache = cache_from_args(args);
+    let cache_ref: Option<&dyn SolveCache> = cache.as_ref().map(|c| c as &dyn SolveCache);
+    let report_cache_use = |cache: &Option<DiskCache>| {
+        if let Some(c) = cache {
+            eprintln!("cache: {}", c.stats());
+        }
+    };
 
     if let Some(index) = arg_value(args, "--shard-index") {
         reject_flags(
             args,
-            &["--manifest", "--cells"],
-            "to a single-shard run (its output is the report JSON; use --manifest/--cells on the in-process multi-shard or --merge paths)",
+            &["--cells"],
+            "to a single-shard run (its output is the report JSON; use --cells on the in-process multi-shard or --merge paths)",
         );
         let index: usize = parse_or_usage(index);
-        let report = match run_shard(&plan, index, &solvers, &config) {
+        let report = match run_shard(&plan, index, &solvers, &config, cache_ref) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -380,6 +428,7 @@ fn cmd_batch_files(args: &[String]) -> ExitCode {
             plan.shard_paths(index).map_or(0, <[PathBuf]>::len),
             report.cells.len()
         );
+        report_cache_use(&cache);
         let json = report.to_json();
         match arg_value(args, "--out") {
             Some(path) => {
@@ -398,19 +447,17 @@ fn cmd_batch_files(args: &[String]) -> ExitCode {
         &["--out"],
         "without --shard-index (only a single-shard run emits a report file)",
     );
-    let manifest = arg_value(args, "--manifest").map(PathBuf::from);
     // Stream per-shard aggregates to stderr as they complete (stdout
     // stays deterministic for diffing).
     let observer = |r: &ShardReport| {
         let solved = r
             .cells
             .iter()
-            .filter(|c| c.status == strip_packing::engine::CellStatus::Solved)
+            .filter(|c| c.status == CellStatus::Solved)
             .count();
-        let origin = if r.cpu_time.is_some() {
-            "computed"
-        } else {
-            "resumed"
+        let origin = match r.runtime {
+            Some(rt) if rt.fully_cached(r.cells.len()) => "resumed",
+            _ => "computed",
         };
         eprintln!(
             "shard {}/{}: {} cells, {solved} solved ({origin})",
@@ -420,13 +467,7 @@ fn cmd_batch_files(args: &[String]) -> ExitCode {
         );
     };
     let t0 = std::time::Instant::now();
-    let merged = match run_sharded(
-        &plan,
-        &solvers,
-        &config,
-        manifest.as_deref(),
-        Some(&observer),
-    ) {
+    let merged = match run_sharded(&plan, &solvers, &config, cache_ref, Some(&observer)) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("error: {e}");
@@ -441,6 +482,7 @@ fn cmd_batch_files(args: &[String]) -> ExitCode {
         plan.shards(),
         t0.elapsed().as_secs_f64()
     );
+    report_cache_use(&cache);
     finish_merged(&merged, args.iter().any(|a| a == "--cells"))
 }
 
@@ -478,6 +520,16 @@ fn cmd_batch_merge(paths_arg: &str, args: &[String]) -> ExitCode {
 /// (`--families`), the instance-file modes (`--input-dir`/`--file-list`,
 /// with optional sharding), and shard-report merging (`--merge`).
 fn cmd_batch(args: &[String]) -> ExitCode {
+    // PR 2's per-shard manifest resume is gone. Error loudly — a script
+    // still passing `--manifest` believes its runs are resumable, and
+    // silently ignoring the flag would make that belief wrong.
+    if args.iter().any(|a| a == "--manifest") {
+        eprintln!(
+            "error: --manifest was removed; use --cache-dir <dir> (the content-addressed \
+             solve cache resumes at cell granularity and needs no manifest files)"
+        );
+        return ExitCode::from(2);
+    }
     if let Some(paths) = arg_value(args, "--merge") {
         reject_flags(
             args,
@@ -487,7 +539,8 @@ fn cmd_batch(args: &[String]) -> ExitCode {
                 "--shards",
                 "--shard-index",
                 "--out",
-                "--manifest",
+                "--cache-dir",
+                "--cache-readonly",
                 "--algos",
                 "--families",
             ],
@@ -512,10 +565,11 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             "--shards",
             "--shard-index",
             "--out",
-            "--manifest",
+            "--cache-dir",
+            "--cache-readonly",
             "--cells",
         ],
-        "to generated mode; sharding needs --input-dir or --file-list",
+        "to generated mode; sharding and caching need --input-dir or --file-list",
     );
     cmd_batch_generated(args)
 }
@@ -609,6 +663,188 @@ fn cmd_batch_generated(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `spp cache stats`: summarize a cache directory — entry counts,
+/// per-solver breakdown, bytes, distinct instances/configs. Deterministic
+/// stdout so CI can diff or parse it.
+fn cmd_cache_stats(dir: &Path) -> ExitCode {
+    let stats = match solve_cache::dir_stats(dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("entries      {}", stats.entries);
+    println!("corrupt      {}", stats.corrupt);
+    println!("bytes        {}", stats.bytes);
+    println!("instances    {}", stats.instances);
+    println!("configs      {}", stats.configs);
+    for (solver, count) in &stats.per_solver {
+        println!("solver       {solver} {count}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `spp cache gc`: delete every file in the cache directory that can
+/// never be served (corrupt, truncated, or mis-filed entries).
+fn cmd_cache_gc(dir: &Path) -> ExitCode {
+    match solve_cache::gc_dir(dir) {
+        Ok(report) => {
+            for path in &report.removed {
+                eprintln!("removed {}", path.display());
+            }
+            println!(
+                "gc: removed {} of {} files, kept {} entries",
+                report.removed.len(),
+                report.removed.len() + report.kept,
+                report.kept
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `spp cache verify`: spot-check cached cells against fresh solves.
+///
+/// Builds the instance list the same way file-mode `spp batch` does,
+/// looks up every `(instance, solver, config)` cell that has a cache
+/// entry, re-solves a deterministic sample of them, and diffs the cached
+/// fields bit-for-bit against the recomputation. Any divergence — a
+/// corrupted-but-parseable entry, a cache poisoned by an older binary, a
+/// nondeterministic solver — is reported and fails the command.
+fn cmd_cache_verify(dir: &Path, args: &[String]) -> ExitCode {
+    let plan = match (
+        arg_value(args, "--input-dir"),
+        arg_value(args, "--file-list"),
+    ) {
+        (Some(d), None) => ShardPlan::from_dir(Path::new(&d), 1),
+        (None, Some(list)) => ShardPlan::from_file_list(Path::new(&list), 1),
+        _ => usage(),
+    };
+    let plan = match plan {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let solvers = solvers_from_args(args, "nfdh,ffdh,greedy,dc-nfdh");
+    let config = config_from_args(args);
+    let sample: usize = arg_value(args, "--sample")
+        .map(parse_or_usage)
+        .unwrap_or(16);
+    let cache = match DiskCache::new(dir, true) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Every cached cell of this workload, in deterministic plan order.
+    // One request per instance file; cells reference it by index instead
+    // of cloning it once per solver.
+    let mut requests = Vec::with_capacity(plan.len());
+    let mut cached: Vec<(usize, usize, solve_cache::CachedCell)> = Vec::new();
+    for path in plan.paths() {
+        let prec = match strip_packing::gen::fileio::read_path(path) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let request = SolveRequest::new(prec).with_config(config.clone());
+        let digest = strip_packing::gen::fileio::digest(&request.prec);
+        let req_index = requests.len();
+        requests.push(request);
+        for (s, solver) in solvers.iter().enumerate() {
+            let key = solve_cache::CacheKey::new(digest, solver.name(), &config);
+            if let Some(cell) = cache.get(&key) {
+                cached.push((req_index, s, cell));
+            }
+        }
+    }
+    if cached.is_empty() {
+        eprintln!(
+            "cache verify: no entries in {} match this workload",
+            dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    // Deterministic sample: evenly strided across the cell list
+    // (--sample 0 checks everything).
+    let take = if sample == 0 {
+        cached.len()
+    } else {
+        sample.min(cached.len())
+    };
+    let mut mismatches = 0usize;
+    let mut checked = 0usize;
+    for i in 0..take {
+        // i·len/take spreads the sample across the whole list (head,
+        // middle, and tail are all reachable) even when take < len.
+        let (req_index, s, cell) = &cached[i * cached.len() / take];
+        let (path, request, solver) = (
+            &plan.paths()[*req_index],
+            &requests[*req_index],
+            &solvers[*s],
+        );
+        let fresh = strip_packing::engine::solve(solver.as_ref(), request);
+        // The same classification rule the executor cached under — any
+        // divergence is a real mismatch, not a rule drift.
+        let (status, makespan, lb) = strip_packing::engine::classify_outcome(&fresh);
+        checked += 1;
+        if status != cell.status
+            || makespan.to_bits() != cell.makespan.to_bits()
+            || lb.to_bits() != cell.combined_lb.to_bits()
+        {
+            mismatches += 1;
+            eprintln!(
+                "MISMATCH {} x {}: cached ({} {:.17e} {:.17e}), fresh ({} {:.17e} {:.17e})",
+                path.display(),
+                solver.name(),
+                cell.status.as_str(),
+                cell.makespan,
+                cell.combined_lb,
+                status.as_str(),
+                makespan,
+                lb
+            );
+        }
+    }
+    println!(
+        "cache verify: {checked} of {} cached cells re-solved, {mismatches} mismatches",
+        cached.len()
+    );
+    if mismatches > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `spp cache` dispatcher: stats / gc / verify over `--cache-dir`.
+fn cmd_cache(args: &[String]) -> ExitCode {
+    let Some(action) = args.first().map(String::as_str) else {
+        usage()
+    };
+    let Some(dir) = arg_value(args, "--cache-dir") else {
+        usage()
+    };
+    let dir = PathBuf::from(dir);
+    match action {
+        "stats" => cmd_cache_stats(&dir),
+        "gc" => cmd_cache_gc(&dir),
+        "verify" => cmd_cache_verify(&dir, &args[1..]),
+        _ => usage(),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -617,6 +853,7 @@ fn main() -> ExitCode {
         Some("pack") => cmd_pack(&args[1..]),
         Some("bounds") => cmd_bounds(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("cache") => cmd_cache(&args[1..]),
         Some("algos") => cmd_algos(),
         _ => usage(),
     }

@@ -339,10 +339,11 @@ fn sharded_batch_merge_is_byte_identical_to_single_process() {
         "sharded+merged stdout differs from single-process stdout"
     );
 
-    // Resume: an in-process multi-shard run with a manifest, twice; the
-    // second run resumes every shard and prints the same table.
-    let manifest = dir.join("manifest");
-    let run_manifest = || {
+    // Resume: an in-process multi-shard run with a cache directory,
+    // twice; the second run serves every cell from the cache ("resumed"
+    // shards, zero misses) and prints the same table.
+    let cache_dir = dir.join("cache");
+    let run_cached = || {
         spp()
             .args([
                 "batch",
@@ -352,22 +353,253 @@ fn sharded_batch_merge_is_byte_identical_to_single_process() {
                 algos,
                 "--shards",
                 "4",
-                "--manifest",
-                manifest.to_str().unwrap(),
+                "--cache-dir",
+                cache_dir.to_str().unwrap(),
             ])
             .output()
             .unwrap()
     };
-    let first = run_manifest();
+    let first = run_cached();
     assert!(first.status.success());
-    let second = run_manifest();
+    let second = run_cached();
     assert!(second.status.success());
     assert_eq!(first.stdout, second.stdout);
     let stderr = String::from_utf8_lossy(&second.stderr);
     assert!(
         stderr.contains("resumed") && !stderr.contains("computed"),
-        "second manifest run should resume all shards:\n{stderr}"
+        "second cached run should resume all shards:\n{stderr}"
     );
+    assert!(
+        stderr.contains(" 0 misses"),
+        "warm run must report zero cache misses:\n{stderr}"
+    );
+    // The warm table also matches the cache-less single-process run.
+    let uncached = spp()
+        .args([
+            "batch",
+            "--input-dir",
+            suite_dir.to_str().unwrap(),
+            "--algos",
+            algos,
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(uncached.stdout, second.stdout);
+}
+
+/// The cache subcommands end to end: a cached batch populates the
+/// directory, `stats` describes it, `verify` re-solves a sample cleanly,
+/// corruption is caught by `verify`'s full sweep, and `gc` removes the
+/// damage.
+#[test]
+fn cache_subcommands_stats_verify_gc() {
+    let dir = std::env::temp_dir().join("spp_cli_test_cache_cmds");
+    let _ = std::fs::remove_dir_all(&dir);
+    let suite_dir = dir.join("instances");
+    assert!(spp()
+        .args([
+            "suite",
+            "--out-dir",
+            suite_dir.to_str().unwrap(),
+            "--count",
+            "8",
+            "-n",
+            "10",
+            "--seed",
+            "5",
+        ])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let cache_dir = dir.join("cache");
+    let batch = spp()
+        .args([
+            "batch",
+            "--input-dir",
+            suite_dir.to_str().unwrap(),
+            "--algos",
+            "nfdh,greedy",
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        batch.status.success(),
+        "{}",
+        String::from_utf8_lossy(&batch.stderr)
+    );
+
+    // stats: 8 instances x 2 solvers = 16 entries, none corrupt.
+    let stats = spp()
+        .args(["cache", "stats", "--cache-dir", cache_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(stats.status.success());
+    let text = String::from_utf8(stats.stdout).unwrap();
+    assert!(text.contains("entries      16"), "{text}");
+    assert!(text.contains("corrupt      0"), "{text}");
+    assert!(text.contains("solver       greedy 8"), "{text}");
+    assert!(text.contains("solver       nfdh 8"), "{text}");
+
+    // verify: a clean cache re-solves with zero mismatches.
+    let verify = spp()
+        .args([
+            "cache",
+            "verify",
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+            "--input-dir",
+            suite_dir.to_str().unwrap(),
+            "--algos",
+            "nfdh,greedy",
+            "--sample",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        verify.status.success(),
+        "{}",
+        String::from_utf8_lossy(&verify.stderr)
+    );
+    let text = String::from_utf8(verify.stdout).unwrap();
+    assert!(text.contains("16 of 16"), "{text}");
+    assert!(text.contains("0 mismatches"), "{text}");
+
+    // Tamper with one entry *plausibly* (still parses, wrong makespan):
+    // verify catches it; a garbage file is invisible to verify (it can
+    // never be served) but gc removes it.
+    let entry_path = std::fs::read_dir(&cache_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "json"))
+        .unwrap();
+    let tampered = std::fs::read_to_string(&entry_path)
+        .unwrap()
+        .replace("\"makespan\": ", "\"makespan\": 9");
+    std::fs::write(&entry_path, tampered).unwrap();
+    std::fs::write(cache_dir.join("zz-garbage.json"), "not json").unwrap();
+
+    let verify = spp()
+        .args([
+            "cache",
+            "verify",
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+            "--input-dir",
+            suite_dir.to_str().unwrap(),
+            "--algos",
+            "nfdh,greedy",
+            "--sample",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert!(!verify.status.success(), "tampered entry must fail verify");
+    let stderr = String::from_utf8_lossy(&verify.stderr);
+    assert!(stderr.contains("MISMATCH"), "{stderr}");
+
+    let gc = spp()
+        .args(["cache", "gc", "--cache-dir", cache_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(gc.status.success());
+    let text = String::from_utf8(gc.stdout).unwrap();
+    assert!(text.contains("removed 1"), "{text}");
+}
+
+/// The removed `--manifest` flag errors loudly instead of being silently
+/// ignored — an old script would otherwise believe its runs resumable.
+#[test]
+fn removed_manifest_flag_is_rejected_with_pointer_to_cache_dir() {
+    let out = spp()
+        .args([
+            "batch",
+            "--input-dir",
+            "/nonexistent",
+            "--shards",
+            "2",
+            "--manifest",
+            "/tmp/m",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--manifest") && stderr.contains("--cache-dir"),
+        "{stderr}"
+    );
+}
+
+/// `--cache-readonly` consults but never grows the cache.
+#[test]
+fn cache_readonly_serves_without_writing() {
+    let dir = std::env::temp_dir().join("spp_cli_test_cache_ro");
+    let _ = std::fs::remove_dir_all(&dir);
+    let suite_dir = dir.join("instances");
+    assert!(spp()
+        .args([
+            "suite",
+            "--out-dir",
+            suite_dir.to_str().unwrap(),
+            "--count",
+            "4",
+            "-n",
+            "8",
+        ])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let cache_dir = dir.join("cache");
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "batch",
+            "--input-dir",
+            suite_dir.to_str().unwrap(),
+            "--algos",
+            "nfdh",
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        spp().args(&args).output().unwrap()
+    };
+    // Read-only against a *missing* directory is refused loudly — a
+    // typo'd path must not silently run uncached at full solve cost.
+    let missing = run(&["--cache-readonly"]);
+    assert!(!missing.status.success());
+    assert!(
+        String::from_utf8_lossy(&missing.stderr).contains("does not exist"),
+        "{}",
+        String::from_utf8_lossy(&missing.stderr)
+    );
+
+    // Read-only against an existing empty cache: all misses, nothing
+    // written.
+    std::fs::create_dir_all(&cache_dir).unwrap();
+    let cold = run(&["--cache-readonly"]);
+    assert!(cold.status.success());
+    let entries = || {
+        std::fs::read_dir(&cache_dir)
+            .map(|d| d.count())
+            .unwrap_or(0)
+    };
+    assert_eq!(entries(), 0, "read-only run must not populate the cache");
+
+    // A writable run populates; a read-only rerun is all hits and leaves
+    // the directory untouched.
+    assert!(run(&[]).status.success());
+    let populated = entries();
+    assert_eq!(populated, 4);
+    let warm = run(&["--cache-readonly"]);
+    assert!(warm.status.success());
+    let stderr = String::from_utf8_lossy(&warm.stderr);
+    assert!(stderr.contains(" 0 misses"), "{stderr}");
+    assert_eq!(entries(), populated);
 }
 
 #[test]
