@@ -93,6 +93,11 @@ pub struct CellOutcome {
     pub combined_lb: f64,
     /// True iff the cell was served from the cache.
     pub from_cache: bool,
+    /// Canonical digest of the job's instance — present iff a cache was
+    /// attached (the cache-less path never computes content addresses).
+    /// Lets consumers (e.g. the `spp serve` solve endpoint) reuse the
+    /// digest instead of re-serializing the instance to recompute it.
+    pub digest: Option<InstanceDigest>,
     /// The fresh solve's full outcome; `None` iff `from_cache`.
     pub outcome: Option<Result<SolveReport, EngineError>>,
 }
@@ -178,6 +183,7 @@ pub fn execute_cells(
                     makespan: cell.makespan,
                     combined_lb: cell.combined_lb,
                     from_cache: true,
+                    digest: Some(key.digest),
                     outcome: None,
                 });
             }
@@ -204,6 +210,7 @@ pub fn execute_cells(
             makespan,
             combined_lb,
             from_cache: false,
+            digest: key.as_ref().map(|k| k.digest),
             outcome: Some(outcome),
         })
     });

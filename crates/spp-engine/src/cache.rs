@@ -317,8 +317,13 @@ impl SolveCache for MemoryCache {
 /// Durable backend: one `spp-cache-entry` JSON file per key, directly in
 /// `dir`. The directory is the unit of sharing — concurrent processes
 /// (e.g. the shard processes of one batch) can point at the same
-/// directory; writes of the same key are byte-identical, and a torn read
-/// fails entry validation and degrades to a miss.
+/// directory. Writes publish atomically ([`write_entry_atomic`]: unique
+/// temp file, then `rename`), so a reader of a live key only ever sees a
+/// complete entry — a crashed or concurrently-scheduled writer can orphan
+/// a `*.tmp` file (swept by [`gc_dir`]) but never leave a truncated file
+/// at the live name. Entry validation on `get` remains the second line of
+/// defense for damage that arrives by other routes (bad copies, disk
+/// corruption).
 ///
 /// In read-only mode (`--cache-readonly`) `put` is a no-op, so a
 /// production cache can be served to untrusted batch runs without letting
@@ -383,8 +388,7 @@ impl SolveCache for DiskCache {
         if self.readonly {
             return Ok(());
         }
-        let path = self.dir.join(key.file_name());
-        std::fs::write(&path, entry_to_json(key, cell)).map_err(|e| io_err(&path, e))?;
+        write_entry_atomic(&self.dir, &key.file_name(), &entry_to_json(key, cell))?;
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -392,6 +396,41 @@ impl SolveCache for DiskCache {
     fn stats(&self) -> CacheStats {
         self.stats.snapshot()
     }
+}
+
+/// Monotonic discriminator for temp-file names within this process.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// File extension of in-flight temp files (never scanned as entries,
+/// swept by [`gc_dir`] when orphaned by a crash).
+const TEMP_EXT: &str = "tmp";
+
+/// Publish `text` under `dir/file_name` **atomically**: write a unique
+/// temp file in the same directory, then `rename` it into place (atomic
+/// on POSIX). Readers of the live name therefore only ever see either the
+/// previous complete entry or the new complete entry — never a truncated
+/// in-progress write, whatever crashes or concurrent same-key writers do.
+/// A crashed writer leaves only an orphaned `*.tmp` file, which
+/// [`gc_dir`] sweeps and which [`scan_dir`] never mistakes for an entry.
+///
+/// Shared by [`DiskCache::put`] and the `spp serve` cache server's PUT
+/// handler, so every process that writes a shared cache directory writes
+/// it the same safe way.
+pub fn write_entry_atomic(dir: &Path, file_name: &str, text: &str) -> Result<(), CacheError> {
+    let path = dir.join(file_name);
+    // pid + sequence makes the temp name unique across the concurrent
+    // writers of one directory, so writers never trample each other's
+    // in-flight bytes.
+    let tmp = dir.join(format!(
+        "{file_name}.{}-{}.{TEMP_EXT}",
+        std::process::id(),
+        TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, text).map_err(|e| io_err(&tmp, e))?;
+    std::fs::rename(&tmp, &path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        io_err(&path, e)
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -498,8 +537,15 @@ pub struct GcReport {
 }
 
 /// Garbage-collect a cache directory: delete every `.json` file that is
-/// not a servable entry. Valid entries are never touched — a cache has no
-/// expiry (content-addressed keys cannot go stale), only damage.
+/// not a servable entry, plus every orphaned `*.tmp` file left behind by
+/// a writer that crashed between temp-write and rename. Valid entries are
+/// never touched — a cache has no expiry (content-addressed keys cannot
+/// go stale), only damage.
+///
+/// Run gc while no writer is active: an in-flight writer's temp file is
+/// indistinguishable from an orphan, and sweeping it makes that one
+/// `put` fail (the cell recomputes on the next run — nothing is ever
+/// served wrong, only re-paid).
 pub fn gc_dir(dir: &Path) -> Result<GcReport, CacheError> {
     let mut report = GcReport {
         removed: Vec::new(),
@@ -513,6 +559,21 @@ pub fn gc_dir(dir: &Path) -> Result<GcReport, CacheError> {
                 report.removed.push(scanned.path);
             }
         }
+    }
+    // Orphaned temp files sort after the corrupt-entry sweep so the
+    // report stays deterministic.
+    let mut orphans: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| io_err(dir, e))?
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| io_err(dir, e))?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == TEMP_EXT))
+        .collect();
+    orphans.sort();
+    for path in orphans {
+        std::fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+        report.removed.push(path);
     }
     Ok(report)
 }
@@ -701,5 +762,53 @@ mod tests {
         assert_eq!(after.corrupt, 0);
         // gc is idempotent.
         assert_eq!(gc_dir(&dir).unwrap().removed.len(), 0);
+    }
+
+    #[test]
+    fn gc_sweeps_orphaned_temp_files_but_scan_ignores_them() {
+        let dir = tmp_dir("tempsweep");
+        let cache = DiskCache::new(&dir, false).unwrap();
+        cache.put(&key("a"), &cell(1.0)).unwrap();
+        // Simulate two writers that crashed between temp-write and rename.
+        let orphan_a = dir.join(format!("{}.{}-0.tmp", key("a").file_name(), 99999));
+        let orphan_b = dir.join("whatever.json.12345-7.tmp");
+        std::fs::write(&orphan_a, "half an ent").unwrap();
+        std::fs::write(&orphan_b, "").unwrap();
+
+        // Scanning and stats never mistake a temp file for an entry.
+        assert_eq!(scan_dir(&dir).unwrap().len(), 1);
+        let stats = dir_stats(&dir).unwrap();
+        assert_eq!((stats.entries, stats.corrupt), (1, 0));
+
+        let gc = gc_dir(&dir).unwrap();
+        assert_eq!(gc.kept, 1);
+        assert_eq!(gc.removed.len(), 2);
+        assert!(!orphan_a.exists() && !orphan_b.exists());
+        // The live entry survived and still serves.
+        assert_eq!(cache.get(&key("a")), Some(cell(1.0)));
+    }
+
+    #[test]
+    fn put_leaves_no_temp_files_and_write_entry_atomic_replaces() {
+        let dir = tmp_dir("atomic");
+        let cache = DiskCache::new(&dir, false).unwrap();
+        for i in 0..20 {
+            cache.put(&key("a"), &cell(i as f64 + 1.0)).unwrap();
+        }
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "put leaked temp files: {leftovers:?}");
+        assert_eq!(cache.get(&key("a")), Some(cell(20.0)));
+
+        // Direct use of the helper overwrites the live name atomically.
+        let text = entry_to_json(&key("a"), &cell(7.0));
+        write_entry_atomic(&dir, &key("a").file_name(), &text).unwrap();
+        assert_eq!(cache.get(&key("a")), Some(cell(7.0)));
+        // And a missing directory is a real error, not a silent no-op.
+        let gone = tmp_dir("atomic_missing");
+        assert!(write_entry_atomic(&gone, "x.json", "y").is_err());
     }
 }

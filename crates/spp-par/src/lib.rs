@@ -14,7 +14,9 @@
 //! * [`par_map_capped`] — [`par_map`] with an explicit worker cap, for
 //!   outer layers (the sharded batch executor) whose closures fan out
 //!   again internally;
-//! * [`par_chunks`] — lower-level chunked parallel-for.
+//! * [`par_chunks`] — lower-level chunked parallel-for;
+//! * [`run_workers`] — a fixed-size pool of long-lived workers (used by
+//!   the `spp-serve` HTTP front end's accept loop).
 //!
 //! Depth/size cut-offs keep thread creation from swamping small work items:
 //! `join` only forks while a global in-flight-fork budget (≈ number of
@@ -62,8 +64,20 @@ fn release_fork() {
     FORK_BUDGET.fetch_add(1, Ordering::Release);
 }
 
+/// Returns an acquired fork slot on drop — the drop runs during unwinding
+/// too, so a panicking closure cannot permanently shrink the budget and
+/// silently degrade the whole process toward sequential execution.
+struct ForkGuard;
+
+impl Drop for ForkGuard {
+    fn drop(&mut self) {
+        release_fork();
+    }
+}
+
 /// Run `a` and `b`, in parallel when a fork slot is available, and return
-/// both results. Panics in either closure propagate.
+/// both results. Panics in either closure propagate; the fork slot is
+/// released either way.
 pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
 where
     RA: Send,
@@ -72,14 +86,13 @@ where
     if !try_acquire_fork() {
         return (a(), b());
     }
-    let result = std::thread::scope(|scope| {
+    let _slot = ForkGuard;
+    std::thread::scope(|scope| {
         let hb = scope.spawn(b);
         let ra = a();
         let rb = hb.join().expect("join: right closure panicked");
         (ra, rb)
-    });
-    release_fork();
-    result
+    })
 }
 
 /// Parallel map over a slice: applies `f` to every element, preserving
@@ -147,16 +160,60 @@ pub fn par_map_capped<T: Sync, R: Send>(
 
 /// Parallel for over disjoint chunks of a mutable slice; `f` receives the
 /// chunk index and the chunk. Used for initializing large buffers.
+///
+/// Workers are bounded at `available_parallelism` (like [`par_map_capped`]):
+/// chunks are dealt round-robin to at most that many threads, so a large
+/// buffer with a small chunk size costs `min(cores, chunks)` threads, not
+/// one per chunk.
 pub fn par_chunks<T: Send>(data: &mut [T], chunk: usize, f: impl Fn(usize, &mut [T]) + Sync) {
     assert!(chunk > 0, "chunk size must be positive");
     if data.len() <= chunk {
         f(0, data);
         return;
     }
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let chunks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk).enumerate().collect();
+    let workers = cores.min(chunks.len());
+    // Deal chunks round-robin into one bucket per worker; each worker owns
+    // its bucket's (disjoint) chunks, so no synchronization is needed.
+    let mut buckets: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+    for (n, entry) in chunks.into_iter().enumerate() {
+        buckets[n % workers].push(entry);
+    }
     std::thread::scope(|scope| {
-        for (i, c) in data.chunks_mut(chunk).enumerate() {
+        for bucket in buckets {
             let f = &f;
-            scope.spawn(move || f(i, c));
+            scope.spawn(move || {
+                for (i, c) in bucket {
+                    f(i, c);
+                }
+            });
+        }
+    });
+}
+
+/// Run `workers` long-lived worker threads, each calling `f(worker_index)`,
+/// and block until all of them return. The fixed-size pool primitive for
+/// services (e.g. an accept loop handling connections): concurrency is
+/// bounded by construction, and a panicking worker propagates after the
+/// others finish instead of being silently lost.
+pub fn run_workers(workers: usize, f: impl Fn(usize) + Sync) {
+    let workers = workers.max(1);
+    if workers == 1 {
+        f(0);
+        return;
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|i| {
+                let f = &f;
+                scope.spawn(move || f(i))
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("run_workers: worker panicked");
         }
     });
 }
@@ -247,5 +304,89 @@ mod tests {
             let _ = join(|| 1, || 2);
         }
         assert_eq!(FORK_BUDGET.load(Ordering::Relaxed), before);
+    }
+
+    #[test]
+    fn budget_is_restored_when_a_join_closure_panics() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        init_budget();
+        let before = FORK_BUDGET.load(Ordering::Relaxed);
+        if before == 0 {
+            return; // single-core runner: join never forks, nothing to leak
+        }
+        // Panics on either side, repeated more times than the whole
+        // budget: a leaked slot per panic would drain it to zero and pin
+        // the process sequential.
+        for i in 0..(before + 3) {
+            let left = i % 2 == 0;
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                join(
+                    || {
+                        if left {
+                            panic!("left")
+                        }
+                        1
+                    },
+                    || {
+                        if !left {
+                            panic!("right")
+                        }
+                        2
+                    },
+                )
+            }));
+            assert!(r.is_err());
+        }
+        assert_eq!(
+            FORK_BUDGET.load(Ordering::Relaxed),
+            before,
+            "panicking joins leaked fork slots"
+        );
+        // And join still works (and can still fork) afterwards.
+        assert_eq!(join(|| 20, || 22), (20, 22));
+    }
+
+    #[test]
+    fn par_chunks_bounds_concurrent_workers() {
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        // 2048 chunks of 1 element; pre-fix this spawned 2048 threads.
+        let mut data = vec![0u32; 2048];
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        par_chunks(&mut data, 1, |i, c| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            for x in c.iter_mut() {
+                *x = i as u32 + 1;
+            }
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(data.iter().all(|&x| x > 0));
+        assert_eq!(data[2047], 2048);
+        assert!(
+            peak.load(Ordering::SeqCst) <= cores,
+            "peak {} workers exceeds {} cores",
+            peak.load(Ordering::SeqCst),
+            cores
+        );
+    }
+
+    #[test]
+    fn run_workers_runs_every_index_and_bounds_the_pool() {
+        let seen = std::sync::Mutex::new(Vec::new());
+        run_workers(5, |i| {
+            seen.lock().unwrap().push(i);
+        });
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        // workers = 0 clamps to one inline call, not a panic.
+        let count = AtomicUsize::new(0);
+        run_workers(0, |_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 1);
     }
 }

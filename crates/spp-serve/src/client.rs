@@ -1,0 +1,195 @@
+//! `HttpCache` — the network backend of the engine's [`SolveCache`]
+//! trait, speaking the `spp serve` cache protocol.
+//!
+//! Attach it wherever a `DiskCache` goes (`spp batch --cache-url …`) and
+//! every worker process on every machine shares one cache through the
+//! same trait seam, with the same trust model:
+//!
+//! * `get` is infallible — a network failure, a 404, or an entry whose
+//!   embedded key does not match the request is simply a **miss** (the
+//!   pipeline recomputes; nothing wrong is ever served);
+//! * `put` reports real failures — a user who pointed a run at a cache
+//!   server should hear that it is unreachable rather than silently
+//!   paying full solve cost on every "warm" rerun.
+//!
+//! The client re-validates every fetched entry against the *requested*
+//! key (digest, solver, full config signature), so a confused or
+//! malicious server — or a config-fingerprint collision — degrades to
+//! recomputation, exactly like a damaged file in a `DiskCache` directory.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use spp_engine::cache::{entry_parse, entry_to_json};
+use spp_engine::{CacheError, CacheKey, CacheStats, CachedCell, SolveCache};
+
+use crate::http;
+
+/// A [`SolveCache`] served over HTTP by `spp serve`.
+pub struct HttpCache {
+    /// `host:port` of the server.
+    authority: String,
+    /// Base URL as given (for error messages).
+    url: String,
+    readonly: bool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl HttpCache {
+    /// Parse a base URL of the form `http://host:port` (a trailing slash
+    /// is tolerated; any path prefix, scheme other than `http`, or
+    /// missing port is an error — explicit beats guessed for a cache
+    /// that silently degrades to misses on any mismatch).
+    pub fn new(url: &str, readonly: bool) -> Result<HttpCache, CacheError> {
+        let bad = |err: &str| CacheError::Io {
+            path: url.to_string(),
+            err: err.to_string(),
+        };
+        let rest = url
+            .strip_prefix("http://")
+            .ok_or_else(|| bad("cache URL must start with http://"))?;
+        let authority = rest.strip_suffix('/').unwrap_or(rest);
+        if authority.is_empty() || authority.contains('/') {
+            return Err(bad("cache URL must be http://host:port with no path"));
+        }
+        let (_, port) = authority
+            .rsplit_once(':')
+            .ok_or_else(|| bad("cache URL must name a port (http://host:port)"))?;
+        if port.parse::<u16>().is_err() {
+            return Err(bad("cache URL port is not a number"));
+        }
+        Ok(HttpCache {
+            authority: authority.to_string(),
+            url: url.to_string(),
+            readonly,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// The base URL this client targets.
+    pub fn url(&self) -> &str {
+        &self.url
+    }
+
+    /// True iff `put` never writes.
+    pub fn is_readonly(&self) -> bool {
+        self.readonly
+    }
+
+    fn path_for(key: &CacheKey) -> String {
+        let file_name = key.file_name();
+        let stem = file_name.strip_suffix(".json").unwrap_or(&file_name);
+        format!("/cache/{stem}")
+    }
+}
+
+impl SolveCache for HttpCache {
+    fn get(&self, key: &CacheKey) -> Option<CachedCell> {
+        let miss = |rejected: bool| {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            if rejected {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            None
+        };
+        let response = match http::roundtrip(&self.authority, "GET", &Self::path_for(key), "") {
+            Ok(r) => r,
+            Err(_) => return miss(false), // unreachable server = cold cache
+        };
+        if response.status != 200 {
+            return miss(false);
+        }
+        match entry_parse(&response.body) {
+            // Same rule as DiskCache: serve only when the *embedded* key
+            // matches the request, so server confusion and fingerprint
+            // collisions degrade to recomputation.
+            Ok((entry_key, cell)) if entry_key == *key => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(cell)
+            }
+            _ => miss(true),
+        }
+    }
+
+    fn put(&self, key: &CacheKey, cell: &CachedCell) -> Result<(), CacheError> {
+        if self.readonly {
+            return Ok(());
+        }
+        let body = entry_to_json(key, cell);
+        let response = http::roundtrip(&self.authority, "PUT", &Self::path_for(key), &body)
+            .map_err(|e| CacheError::Io {
+                path: self.url.clone(),
+                err: e.to_string(),
+            })?;
+        match response.status {
+            204 | 200 => {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            status => Err(CacheError::Io {
+                path: self.url.clone(),
+                err: format!("PUT rejected with HTTP {status}: {}", response.body.trim()),
+            }),
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_parsing_accepts_host_port_only() {
+        assert!(HttpCache::new("http://127.0.0.1:8080", false).is_ok());
+        assert!(HttpCache::new("http://localhost:8080/", false).is_ok());
+        for bad in [
+            "127.0.0.1:8080",            // no scheme
+            "https://127.0.0.1:8080",    // wrong scheme
+            "http://127.0.0.1",          // no port
+            "http://127.0.0.1:x",        // bad port
+            "http://127.0.0.1:80/cache", // path prefix
+            "http://",                   // empty authority
+        ] {
+            assert!(HttpCache::new(bad, false).is_err(), "{bad} accepted");
+        }
+    }
+
+    #[test]
+    fn unreachable_server_is_a_cold_cache_not_an_error() {
+        // Reserved TEST-NET address: connect fails fast.
+        let cache = HttpCache::new("http://127.0.0.1:1", false).unwrap();
+        let key = CacheKey {
+            digest: spp_core::InstanceDigest::of_canonical_json("x"),
+            solver: "nfdh".into(),
+            config_sig: "sig".into(),
+        };
+        assert!(cache.get(&key).is_none());
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().rejected, 0);
+        // put, by contrast, surfaces the failure.
+        let cell = CachedCell {
+            status: spp_engine::CellStatus::Solved,
+            makespan: 1.0,
+            combined_lb: 1.0,
+        };
+        assert!(cache.put(&key, &cell).is_err());
+        // …unless the client is read-only, where put is a contractual no-op.
+        let ro = HttpCache::new("http://127.0.0.1:1", true).unwrap();
+        assert!(ro.put(&key, &cell).is_ok());
+        assert_eq!(ro.stats().writes, 0);
+    }
+}

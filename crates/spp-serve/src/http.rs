@@ -1,0 +1,287 @@
+//! Minimal HTTP/1.1 message layer over `std::net` — just enough protocol
+//! for the cache server and its clients, hand rolled because the
+//! workspace's allowed dependency set contains no HTTP crate (the same
+//! constraint that produced the hand-rolled JSON layer in `spp-core`).
+//!
+//! Scope (deliberate): one request per connection (`Connection: close`),
+//! bodies framed by `Content-Length` only (no chunked encoding), ASCII
+//! request targets, and hard limits on header and body sizes so a
+//! misbehaving peer cannot balloon memory. Everything outside that scope
+//! is a structured [`HttpError`] that the server maps to a 4xx response
+//! instead of a hang or a panic.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Longest accepted request line or single header line, in bytes.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Most headers accepted per message.
+pub const MAX_HEADERS: usize = 64;
+/// Per-connection socket timeout: a stalled peer frees its worker.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Protocol-level failures while reading a request. Each maps to one
+/// well-defined HTTP status so handlers never guess.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line / header syntax → 400.
+    Bad(String),
+    /// Body advertised or sent beyond the server's limit → 413.
+    TooLarge { limit: usize },
+    /// PUT/POST without a `Content-Length` → 411.
+    LengthRequired,
+    /// Socket failure or peer disconnect mid-message (no response owed).
+    Io(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Bad(msg) => write!(f, "bad request: {msg}"),
+            HttpError::TooLarge { limit } => {
+                write!(f, "request body exceeds the {limit}-byte limit")
+            }
+            HttpError::LengthRequired => write!(f, "Content-Length header required"),
+            HttpError::Io(msg) => write!(f, "connection error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// One parsed request: method, split target, raw body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: String,
+    /// Target path without the query string, e.g. `/cache/abc`.
+    pub path: String,
+    /// Raw query string after `?` (empty when absent).
+    pub query: String,
+    pub body: String,
+}
+
+impl Request {
+    /// Decode the query string as `key=value` pairs in order. No
+    /// percent-decoding: every value this API accepts (registry names,
+    /// numbers, booleans) is plain ASCII, and a stray `%` simply fails
+    /// the typed parse downstream with a clear message.
+    pub fn query_pairs(&self) -> Vec<(&str, &str)> {
+        self.query
+            .split('&')
+            .filter(|kv| !kv.is_empty())
+            .map(|kv| kv.split_once('=').unwrap_or((kv, "")))
+            .collect()
+    }
+}
+
+fn io_error(e: std::io::Error) -> HttpError {
+    HttpError::Io(e.to_string())
+}
+
+/// Read one CRLF (or bare-LF) terminated line, bounded by
+/// [`MAX_HEADER_LINE`].
+fn read_line(reader: &mut BufReader<&TcpStream>) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_HEADER_LINE {
+                    return Err(HttpError::Bad("header line too long".into()));
+                }
+            }
+            Err(e) => return Err(io_error(e)),
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::Bad("non-UTF-8 header bytes".into()))
+}
+
+/// Read and parse one request from the stream, enforcing `max_body`.
+pub fn read_request(stream: &TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    stream
+        .set_read_timeout(Some(IO_TIMEOUT))
+        .map_err(io_error)?;
+    stream
+        .set_write_timeout(Some(IO_TIMEOUT))
+        .map_err(io_error)?;
+    let mut reader = BufReader::new(stream);
+
+    let request_line = read_line(&mut reader)?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && t.starts_with('/') => (m, t, v),
+        _ => {
+            return Err(HttpError::Bad(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Bad(format!("unsupported version {version:?}")));
+    }
+
+    let mut content_length: Option<usize> = None;
+    let mut saw_header_end = false;
+    for _ in 0..=MAX_HEADERS {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            saw_header_end = true;
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Bad(format!("malformed header {line:?}")));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            let n: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Bad(format!("bad Content-Length {value:?}")))?;
+            content_length = Some(n);
+        }
+        // Every other header (Host, User-Agent, Accept, …) is irrelevant
+        // to this API and skipped.
+    }
+    if !saw_header_end {
+        // Exiting by loop exhaustion would leave unread header bytes that
+        // a Content-Length body read would then misinterpret — reject.
+        return Err(HttpError::Bad(format!("more than {MAX_HEADERS} headers")));
+    }
+
+    let needs_body = matches!(method, "PUT" | "POST");
+    let body = match content_length {
+        None if needs_body => return Err(HttpError::LengthRequired),
+        None | Some(0) => String::new(),
+        Some(n) if n > max_body => return Err(HttpError::TooLarge { limit: max_body }),
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf).map_err(io_error)?;
+            String::from_utf8(buf).map_err(|_| HttpError::Bad("non-UTF-8 body".into()))?
+        }
+    };
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        body,
+    })
+}
+
+/// Canonical reason phrase for the status codes this API emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        204 => "No Content",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Write one complete response and close the write side. Every response
+/// carries `Connection: close` — one request per connection keeps the
+/// worker-pool accounting exact (a worker is busy iff it is serving one
+/// request).
+pub fn write_response(
+    stream: &TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> Result<(), HttpError> {
+    let mut stream = stream;
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).map_err(io_error)?;
+    stream.write_all(body.as_bytes()).map_err(io_error)?;
+    stream.flush().map_err(io_error)
+}
+
+/// A parsed response on the client side.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub body: String,
+}
+
+/// Perform one blocking request against `authority` (a `host:port`
+/// string) and read the full response. One connection per call — the
+/// server closes after responding anyway.
+pub fn roundtrip(
+    authority: &str,
+    method: &str,
+    path_and_query: &str,
+    body: &str,
+) -> Result<Response, HttpError> {
+    let stream = TcpStream::connect(authority).map_err(io_error)?;
+    stream
+        .set_read_timeout(Some(IO_TIMEOUT))
+        .map_err(io_error)?;
+    stream
+        .set_write_timeout(Some(IO_TIMEOUT))
+        .map_err(io_error)?;
+    {
+        let mut w = &stream;
+        let head = format!(
+            "{method} {path_and_query} HTTP/1.1\r\nHost: {authority}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        w.write_all(head.as_bytes()).map_err(io_error)?;
+        w.write_all(body.as_bytes()).map_err(io_error)?;
+        w.flush().map_err(io_error)?;
+    }
+
+    let mut reader = BufReader::new(&stream);
+    let status_line = read_line(&mut reader)?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Bad(format!("malformed status line {status_line:?}")))?;
+    let mut content_length: Option<usize> = None;
+    for _ in 0..=MAX_HEADERS {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf).map_err(io_error)?;
+            String::from_utf8(buf).map_err(|_| HttpError::Bad("non-UTF-8 body".into()))?
+        }
+        // Connection: close framing — read until EOF.
+        None => {
+            let mut buf = String::new();
+            reader.read_to_string(&mut buf).map_err(io_error)?;
+            buf
+        }
+    };
+    Ok(Response { status, body })
+}

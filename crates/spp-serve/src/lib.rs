@@ -1,0 +1,41 @@
+//! # spp-serve — the HTTP front end of the solve engine
+//!
+//! Turns the single-machine batch driver into a multi-machine system
+//! using the two seams the engine already has:
+//!
+//! * the **[`SolveCache`](spp_engine::SolveCache) trait** — [`HttpCache`]
+//!   is a network-backed implementation, so any `spp batch --cache-url`
+//!   worker on any machine shares one cache server's directory through
+//!   the same get-before-solve / put-on-miss pipeline as a local
+//!   `--cache-dir` run (byte-identical output, zero solver invocations
+//!   when warm);
+//! * the **cache-entry wire format** — the server's `GET`/`PUT
+//!   /cache/<key>` speak the existing `spp-cache-entry` JSON documents
+//!   unchanged, with the on-disk file-name schema as the URL key space.
+//!
+//! On top of those, `POST /solve` answers one-off solve requests
+//! (an `spp-instance` body, solver + config as query params) straight
+//! from the shared cache, invoking a solver only on miss.
+//!
+//! Everything is `std`-only (`TcpListener`/`TcpStream`), matching the
+//! workspace's no-crates.io constraint: [`http`] is a minimal HTTP/1.1
+//! message layer, [`server`] the service, [`client`] the `SolveCache`
+//! adapter. Concurrency is a fixed [`spp_par::run_workers`] accept pool —
+//! bounded by construction, no thread per connection.
+//!
+//! ## Deployment sketch
+//!
+//! ```text
+//!   machine 0:  spp serve --cache-dir /var/spp-cache --addr 0.0.0.0:8080
+//!   machine 1:  spp batch --input-dir suite/ --shards 4 --shard-index 0 \
+//!                         --cache-url http://cache-host:8080 --out s0.json
+//!   machine 2:  …shard-index 1… ; machine N: …
+//!   anywhere:   spp batch --merge s0.json,s1.json,…      # byte-identical table
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use client::HttpCache;
+pub use server::{ServeConfig, ServeCounters, ServeError, Server, ServerHandle};

@@ -1,0 +1,601 @@
+//! The `spp serve` HTTP service: a shared solve-cache server plus a
+//! solve endpoint, over the engine's existing seams.
+//!
+//! ## Endpoints
+//!
+//! | method & path | body | meaning |
+//! |---|---|---|
+//! | `GET /cache/<digest>-<solver>-<config-fp>` | — | fetch one `spp-cache-entry` document (404 when absent or damaged) |
+//! | `PUT /cache/<digest>-<solver>-<config-fp>` | `spp-cache-entry` JSON | publish one entry (write-atomic; 400 unless the body's embedded key maps to exactly this name) |
+//! | `POST /solve?solver=<name>[&epsilon=..&k=..&shelf_r=..&strict=..]` | `spp-instance` JSON | consult the cache, solve on miss, return an `spp-solve-report` document |
+//! | `GET /stats` | — | server counters + live cache-directory stats as `spp-serve-stats` JSON |
+//!
+//! The path component of `/cache/…` is exactly
+//! [`CacheKey::file_name`](spp_engine::CacheKey::file_name) minus its
+//! `.json` extension, so the HTTP key space and the on-disk key space are
+//! the same space. A GET validates the stored entry (parse + embedded key
+//! must reproduce the file name) before serving — a damaged file is 404,
+//! never bytes that could be mistaken for an entry; a PUT validates the
+//! same invariant before writing, so no client can plant a mis-filed
+//! entry. All writes go through
+//! [`write_entry_atomic`](spp_engine::cache::write_entry_atomic): the
+//! temp-file + `rename` discipline that makes concurrent writers (local
+//! `DiskCache` users and HTTP PUTs alike) safe on one directory.
+//!
+//! ## Execution model
+//!
+//! A fixed pool of [`spp_par::run_workers`] threads all block in
+//! `accept` on one listener; each serves one `Connection: close` request
+//! at a time, so at most `workers` requests (and hence at most `workers`
+//! concurrent solves) are in flight — the bounded-worker-pool contract.
+//! Solves flow through the engine's one cache-consulting
+//! [`execute_cells`] pipeline, exactly like `spp batch`.
+//!
+//! Errors are structured: every 4xx/5xx body is an `spp-serve-error`
+//! JSON document naming the problem (parse errors keep the field + line
+//! detail of `spp_core::json`).
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use spp_core::json;
+use spp_engine::cache::{entry_parse, write_entry_atomic};
+use spp_engine::{
+    execute_cells, BatchJob, CacheStats, DiskCache, Registry, SolveCache, SolveConfig, SolveRequest,
+};
+
+use crate::http::{self, HttpError, Request};
+
+/// Default cap on `PUT /cache` and `POST /solve` bodies (8 MiB — roughly
+/// a 60 000-item instance, far beyond anything the suite generates).
+pub const DEFAULT_MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// Server configuration (the `spp serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker-pool size; `0` means `available_parallelism`.
+    pub workers: usize,
+    /// Request-body limit in bytes.
+    pub max_body: usize,
+    /// Directory of the backing [`DiskCache`].
+    pub cache_dir: PathBuf,
+    /// Refuse `PUT /cache` and skip write-back after `/solve` misses.
+    pub readonly: bool,
+}
+
+impl ServeConfig {
+    pub fn new(cache_dir: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            max_body: DEFAULT_MAX_BODY,
+            cache_dir: cache_dir.into(),
+            readonly: false,
+        }
+    }
+
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Failures to *stand up* the service (per-request failures are HTTP
+/// responses, never process errors).
+#[derive(Debug)]
+pub enum ServeError {
+    Bind { addr: String, err: String },
+    Cache(spp_engine::CacheError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind { addr, err } => write!(f, "cannot bind {addr}: {err}"),
+            ServeError::Cache(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Lifetime request counters, all monotonically increasing. `/stats`
+/// reports them next to the cache handle's own [`CacheStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Requests accepted (whatever their outcome).
+    pub requests: u64,
+    /// `GET /cache` that returned an entry.
+    pub cache_get_hits: u64,
+    /// `GET /cache` that returned 404 (absent or damaged).
+    pub cache_get_misses: u64,
+    /// Accepted `PUT /cache` writes.
+    pub cache_puts: u64,
+    /// `/solve` requests that invoked a solver (cache miss).
+    pub solves: u64,
+    /// `/solve` requests answered from the cache.
+    pub solve_cache_hits: u64,
+    /// Responses with a 4xx/5xx status — excluding `GET /cache` misses,
+    /// which are protocol-normal 404s already counted as
+    /// `cache_get_misses`.
+    pub errors: u64,
+}
+
+#[derive(Default)]
+struct AtomicCounters {
+    requests: AtomicU64,
+    cache_get_hits: AtomicU64,
+    cache_get_misses: AtomicU64,
+    cache_puts: AtomicU64,
+    solves: AtomicU64,
+    solve_cache_hits: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl AtomicCounters {
+    fn snapshot(&self) -> ServeCounters {
+        ServeCounters {
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_get_hits: self.cache_get_hits.load(Ordering::Relaxed),
+            cache_get_misses: self.cache_get_misses.load(Ordering::Relaxed),
+            cache_puts: self.cache_puts.load(Ordering::Relaxed),
+            solves: self.solves.load(Ordering::Relaxed),
+            solve_cache_hits: self.solve_cache_hits.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct State {
+    cache: DiskCache,
+    registry: Registry,
+    counters: AtomicCounters,
+    max_body: usize,
+    shutdown: AtomicBool,
+}
+
+/// A bound-but-not-yet-running service. [`Server::run`] blocks the
+/// calling thread on the worker pool; [`Server::spawn`] runs it on a
+/// background thread and returns a [`ServerHandle`] for shutdown —
+/// the in-process form the tests and `HttpCache` agreement suite use.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    workers: usize,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Bind the listener and open the cache directory.
+    pub fn bind(config: &ServeConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.addr).map_err(|e| ServeError::Bind {
+            addr: config.addr.clone(),
+            err: e.to_string(),
+        })?;
+        let addr = listener.local_addr().map_err(|e| ServeError::Bind {
+            addr: config.addr.clone(),
+            err: e.to_string(),
+        })?;
+        // A read-only server over a missing directory would answer every
+        // request 404/500 forever; refuse at startup like the CLI does.
+        if config.readonly && !config.cache_dir.is_dir() {
+            return Err(ServeError::Cache(spp_engine::CacheError::Io {
+                path: config.cache_dir.display().to_string(),
+                err: "read-only cache directory does not exist".into(),
+            }));
+        }
+        let cache =
+            DiskCache::new(&config.cache_dir, config.readonly).map_err(ServeError::Cache)?;
+        Ok(Server {
+            listener,
+            addr,
+            workers: config.effective_workers(),
+            state: Arc::new(State {
+                cache,
+                registry: Registry::builtin(),
+                counters: AtomicCounters::default(),
+                max_body: config.max_body,
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The actually bound address (resolves `:0` to the picked port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serve until [`ServerHandle::shutdown`] flips the flag. Blocks on a
+    /// fixed [`spp_par::run_workers`] pool: concurrency — connections and
+    /// solves alike — is bounded at `workers` by construction.
+    pub fn run(self) {
+        let state = &self.state;
+        let listener = &self.listener;
+        spp_par::run_workers(self.workers, |_| loop {
+            if state.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if state.shutdown.load(Ordering::Relaxed) {
+                        break; // wake-up poke, not a request
+                    }
+                    // A panicking handler (a solver bug on some input)
+                    // must cost one response, not one pool worker — an
+                    // uncaught unwind here would silently shrink the pool
+                    // to zero over time.
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handle_connection(&stream, state);
+                    }));
+                    if caught.is_err() {
+                        state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        let _ = http::write_response(
+                            &stream,
+                            500,
+                            "application/json",
+                            &error_body(500, "internal error while handling the request"),
+                        );
+                    }
+                }
+                // Transient accept failures (peer reset mid-handshake,
+                // fd pressure): keep the worker alive.
+                Err(_) => continue,
+            }
+        });
+    }
+
+    /// Run on a background thread; the returned handle stops the pool.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.addr;
+        let workers = self.workers;
+        let state = Arc::clone(&self.state);
+        let thread = std::thread::spawn(move || self.run());
+        ServerHandle {
+            addr,
+            workers,
+            state,
+            thread,
+        }
+    }
+}
+
+/// Handle to a running [`Server::spawn`] instance.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    workers: usize,
+    state: Arc<State>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `host:port` authority string for clients.
+    pub fn authority(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Base URL for [`HttpCache::new`](crate::HttpCache::new).
+    pub fn url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Counter snapshot (the same numbers `/stats` reports).
+    pub fn counters(&self) -> ServeCounters {
+        self.state.counters.snapshot()
+    }
+
+    /// Stop accepting, wake every worker, and join the pool.
+    pub fn shutdown(self) {
+        self.state.shutdown.store(true, Ordering::Relaxed);
+        // One poke per worker: each blocked accept returns once, sees the
+        // flag, and exits.
+        for _ in 0..self.workers {
+            let _ = TcpStream::connect(self.addr);
+        }
+        let _ = self.thread.join();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request handling
+// ---------------------------------------------------------------------------
+
+const ERROR_FORMAT: &str = "spp-serve-error";
+const STATS_FORMAT: &str = "spp-serve-stats";
+const SOLVE_FORMAT: &str = "spp-solve-report";
+
+fn error_body(status: u16, msg: &str) -> String {
+    format!(
+        "{{\n  \"format\": \"{ERROR_FORMAT}\",\n  \"status\": {status},\n  \"error\": \"{}\"\n}}\n",
+        json::escape(msg)
+    )
+}
+
+/// The outcome every handler reduces to.
+struct Reply {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    /// 4xx that is part of the protocol's happy path (a cache-GET miss):
+    /// not an `errors` counter event.
+    expected: bool,
+}
+
+impl Reply {
+    fn json(status: u16, body: String) -> Reply {
+        Reply {
+            status,
+            content_type: "application/json",
+            body,
+            expected: false,
+        }
+    }
+
+    fn error(status: u16, msg: &str) -> Reply {
+        Reply::json(status, error_body(status, msg))
+    }
+}
+
+fn handle_connection(stream: &TcpStream, state: &State) {
+    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let reply = match http::read_request(stream, state.max_body) {
+        Ok(request) => route(&request, state),
+        Err(HttpError::Io(_)) => return, // peer went away; no response owed
+        Err(HttpError::LengthRequired) => Reply::error(411, "Content-Length header required"),
+        Err(HttpError::TooLarge { limit }) => {
+            Reply::error(413, &format!("request body exceeds the {limit}-byte limit"))
+        }
+        Err(HttpError::Bad(msg)) => Reply::error(400, &msg),
+    };
+    if reply.status >= 400 && !reply.expected {
+        state.counters.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = http::write_response(stream, reply.status, reply.content_type, &reply.body);
+}
+
+fn route(request: &Request, state: &State) -> Reply {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/stats") => stats_reply(state),
+        ("GET", path) if path.starts_with("/cache/") => cache_get(&path["/cache/".len()..], state),
+        ("PUT", path) if path.starts_with("/cache/") => {
+            cache_put(&path["/cache/".len()..], &request.body, state)
+        }
+        ("POST", "/solve") => solve(request, state),
+        ("GET" | "PUT" | "POST" | "DELETE" | "HEAD", _) => Reply::error(
+            404,
+            &format!(
+                "no such endpoint {} {}; this server speaks GET/PUT /cache/<key>, POST /solve, GET /stats",
+                request.method, request.path
+            ),
+        ),
+        _ => Reply::error(405, &format!("method {} not supported", request.method)),
+    }
+}
+
+/// A `/cache/` path component is exactly a cache entry's file stem:
+/// lowercase digest hex, registry solver name, config fingerprint hex,
+/// dash-joined. Anything else — in particular separators or dots that
+/// could escape the cache directory — is rejected before touching the
+/// filesystem.
+fn valid_key_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 256
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+}
+
+fn cache_get(name: &str, state: &State) -> Reply {
+    if !valid_key_name(name) {
+        return Reply::error(400, &format!("invalid cache key {name:?}"));
+    }
+    let file_name = format!("{name}.json");
+    let path = state.cache.dir().join(&file_name);
+    let miss = |state: &State| {
+        state
+            .counters
+            .cache_get_misses
+            .fetch_add(1, Ordering::Relaxed);
+        Reply {
+            expected: true,
+            ..Reply::error(404, &format!("no cache entry {name}"))
+        }
+    };
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return miss(state);
+    };
+    // Serve only a complete entry that maps back to this name — a
+    // damaged or mis-filed file is indistinguishable from absent, the
+    // same trust model as DiskCache::get.
+    match entry_parse(&text) {
+        Ok((key, _)) if key.file_name() == file_name => {
+            state
+                .counters
+                .cache_get_hits
+                .fetch_add(1, Ordering::Relaxed);
+            Reply::json(200, text)
+        }
+        _ => miss(state),
+    }
+}
+
+fn cache_put(name: &str, body: &str, state: &State) -> Reply {
+    if !valid_key_name(name) {
+        return Reply::error(400, &format!("invalid cache key {name:?}"));
+    }
+    if state.cache.is_readonly() {
+        return Reply::error(403, "cache is read-only");
+    }
+    let file_name = format!("{name}.json");
+    let (key, _cell) = match entry_parse(body) {
+        Ok(parsed) => parsed,
+        Err(e) => return Reply::error(400, &format!("body is not a cache entry: {e}")),
+    };
+    if key.file_name() != file_name {
+        return Reply::error(
+            400,
+            &format!(
+                "entry key maps to {:?}, not to the requested name {:?}",
+                key.file_name(),
+                file_name
+            ),
+        );
+    }
+    // Store the canonical serialization (== the validated body for every
+    // entry our own tools produce).
+    match write_entry_atomic(state.cache.dir(), &file_name, body) {
+        Ok(()) => {
+            state.counters.cache_puts.fetch_add(1, Ordering::Relaxed);
+            Reply {
+                status: 204,
+                content_type: "application/json",
+                body: String::new(),
+                expected: false,
+            }
+        }
+        Err(e) => Reply::error(500, &e.to_string()),
+    }
+}
+
+/// Parse `/solve` query params into a solver name + [`SolveConfig`].
+/// Unknown keys are rejected by name (the same strictness as the
+/// instance-file schema: a typo'd knob must not silently run defaults).
+fn solve_params(request: &Request) -> Result<(String, SolveConfig), String> {
+    let mut solver: Option<String> = None;
+    let mut config = SolveConfig::default();
+    for (k, v) in request.query_pairs() {
+        match k {
+            "solver" => solver = Some(v.to_string()),
+            "epsilon" => {
+                config.epsilon = v.parse().map_err(|_| format!("bad epsilon {v:?}"))?;
+            }
+            "k" => config.k = v.parse().map_err(|_| format!("bad k {v:?}"))?,
+            "shelf_r" => {
+                config.shelf_r = v.parse().map_err(|_| format!("bad shelf_r {v:?}"))?;
+            }
+            "strict" => config.strict = v.parse().map_err(|_| format!("bad strict {v:?}"))?,
+            other => return Err(format!("unknown query parameter {other:?}")),
+        }
+    }
+    // Domain checks mirror the solver-side assertions (APTAS requires
+    // ε > 0 and K ≥ 1, the online shelf requires r ∈ (0,1)) — a remote
+    // request must become a 400, never a worker panic.
+    if !config.epsilon.is_finite() || config.epsilon <= 0.0 {
+        return Err(format!("epsilon must be positive, got {}", config.epsilon));
+    }
+    if config.k < 1 {
+        return Err("k must be at least 1".to_string());
+    }
+    if !config.shelf_r.is_finite() || config.shelf_r <= 0.0 || config.shelf_r >= 1.0 {
+        return Err(format!("shelf_r must be in (0, 1), got {}", config.shelf_r));
+    }
+    let solver = solver.ok_or("missing required query parameter solver=<name>")?;
+    Ok((solver, config))
+}
+
+fn solve(request: &Request, state: &State) -> Reply {
+    let (solver_name, config) = match solve_params(request) {
+        Ok(p) => p,
+        Err(e) => return Reply::error(400, &e),
+    };
+    let solver = match state.registry.get_or_err(&solver_name) {
+        Ok(s) => s,
+        Err(e) => return Reply::error(400, &e.to_string()),
+    };
+    let prec = match spp_gen::fileio::from_json(&request.body) {
+        Ok(p) => p,
+        Err(e) => return Reply::error(400, &format!("body is not an spp-instance: {e}")),
+    };
+    let solve_request = SolveRequest::new(prec).with_config(config.clone());
+    let jobs = [BatchJob::new("http", solve_request)];
+    let solvers = vec![solver];
+    // The engine's one pipeline: cache get → solve on miss → atomic put.
+    let outcomes = match execute_cells(&jobs, &solvers, Some(&state.cache)) {
+        Ok(o) => o,
+        Err(e) => return Reply::error(500, &e.to_string()),
+    };
+    let cell = &outcomes[0];
+    let digest = cell
+        .digest
+        .expect("execute_cells computes digests whenever a cache is attached");
+    if cell.from_cache {
+        state
+            .counters
+            .solve_cache_hits
+            .fetch_add(1, Ordering::Relaxed);
+    } else {
+        state.counters.solves.fetch_add(1, Ordering::Relaxed);
+    }
+    // The report carries exactly the portable cell fields — deterministic
+    // and byte-stable whether the cell was solved or served ("cached" is
+    // informational, like ShardRuntime). Placements stay a local-CLI
+    // concern: the cache can never reproduce them, and a service answer
+    // that changes shape between cold and warm would break the engine's
+    // byte-identity contract.
+    let mut body = String::new();
+    {
+        use std::fmt::Write as _;
+        body.push_str("{\n");
+        let _ = writeln!(body, "  \"format\": \"{SOLVE_FORMAT}\",");
+        let _ = writeln!(body, "  \"version\": 1,");
+        let _ = writeln!(body, "  \"solver\": \"{}\",", json::escape(&solver_name));
+        let _ = writeln!(body, "  \"instance\": \"{digest}\",");
+        let _ = writeln!(
+            body,
+            "  \"config\": \"{}\",",
+            json::escape(&config.signature())
+        );
+        let _ = writeln!(body, "  \"status\": \"{}\",", cell.status.as_str());
+        let _ = writeln!(body, "  \"makespan\": {:.17e},", cell.makespan);
+        let _ = writeln!(body, "  \"lb\": {:.17e},", cell.combined_lb);
+        let _ = writeln!(body, "  \"cached\": {}", cell.from_cache);
+        body.push_str("}\n");
+    }
+    Reply::json(200, body)
+}
+
+fn stats_reply(state: &State) -> Reply {
+    let dir = match spp_engine::cache::dir_stats(state.cache.dir()) {
+        Ok(d) => d,
+        Err(e) => return Reply::error(500, &e.to_string()),
+    };
+    let c = state.counters.snapshot();
+    let cache: CacheStats = state.cache.stats();
+    let mut body = String::new();
+    {
+        use std::fmt::Write as _;
+        body.push_str("{\n");
+        let _ = writeln!(body, "  \"format\": \"{STATS_FORMAT}\",");
+        let _ = writeln!(body, "  \"version\": 1,");
+        let _ = writeln!(body, "  \"requests\": {},", c.requests);
+        let _ = writeln!(body, "  \"cache_get_hits\": {},", c.cache_get_hits);
+        let _ = writeln!(body, "  \"cache_get_misses\": {},", c.cache_get_misses);
+        let _ = writeln!(body, "  \"cache_puts\": {},", c.cache_puts);
+        let _ = writeln!(body, "  \"solves\": {},", c.solves);
+        let _ = writeln!(body, "  \"solve_cache_hits\": {},", c.solve_cache_hits);
+        let _ = writeln!(body, "  \"errors\": {},", c.errors);
+        let _ = writeln!(
+            body,
+            "  \"solve_cache\": \"{}\",",
+            json::escape(&cache.to_string())
+        );
+        let _ = writeln!(body, "  \"entries\": {},", dir.entries);
+        let _ = writeln!(body, "  \"corrupt\": {},", dir.corrupt);
+        let _ = writeln!(body, "  \"bytes\": {},", dir.bytes);
+        let _ = writeln!(body, "  \"instances\": {},", dir.instances);
+        let _ = writeln!(body, "  \"configs\": {}", dir.configs);
+        body.push_str("}\n");
+    }
+    Reply::json(200, body)
+}

@@ -1,0 +1,279 @@
+//! In-process tests of the `spp serve` service: endpoint contracts,
+//! error paths, and the property that justifies `HttpCache` — the HTTP
+//! backend agrees cell-for-cell with a local `DiskCache` on the same
+//! workload (mirroring the memory/disk agreement test in
+//! `spp-engine/tests/cache_correctness.rs`).
+
+use spp_engine::cache::{entry_parse, entry_to_json, CacheKey, CachedCell};
+use spp_engine::{
+    execute_cells, BatchJob, CellStatus, DiskCache, Registry, ShardPlan, SolveCache, SolveConfig,
+    SolveRequest, Solver,
+};
+use spp_serve::http::roundtrip;
+use spp_serve::{HttpCache, ServeConfig, Server};
+use std::path::PathBuf;
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spp_serve_test_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn solvers(names: &[&str]) -> Vec<Box<dyn Solver>> {
+    let registry = Registry::builtin();
+    names.iter().map(|n| registry.get(n).unwrap()).collect()
+}
+
+fn key(tag: &str) -> CacheKey {
+    CacheKey {
+        digest: spp_core::InstanceDigest::of_canonical_json(tag),
+        solver: "nfdh".into(),
+        config_sig: SolveConfig::default().signature(),
+    }
+}
+
+fn cell(makespan: f64) -> CachedCell {
+    CachedCell {
+        status: CellStatus::Solved,
+        makespan,
+        combined_lb: makespan / 2.0,
+    }
+}
+
+fn start(tag: &str, readonly: bool) -> (spp_serve::ServerHandle, PathBuf) {
+    let dir = tmp(tag);
+    if readonly {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    let mut config = ServeConfig::new(&dir);
+    config.workers = 4;
+    config.readonly = readonly;
+    let server = Server::bind(&config).unwrap();
+    (server.spawn(), dir)
+}
+
+#[test]
+fn cache_endpoints_roundtrip_and_validate() {
+    let (server, dir) = start("cache_endpoints", false);
+    let authority = server.authority();
+    let k = key("a");
+    let stem = k.file_name();
+    let stem = stem.strip_suffix(".json").unwrap();
+    let body = entry_to_json(&k, &cell(4.5));
+
+    // Missing entry: 404 with a structured error body.
+    let r = roundtrip(&authority, "GET", &format!("/cache/{stem}"), "").unwrap();
+    assert_eq!(r.status, 404);
+    assert!(r.body.contains("spp-serve-error"), "{}", r.body);
+
+    // PUT publishes; GET returns the exact bytes.
+    let r = roundtrip(&authority, "PUT", &format!("/cache/{stem}"), &body).unwrap();
+    assert_eq!(r.status, 204, "{}", r.body);
+    let r = roundtrip(&authority, "GET", &format!("/cache/{stem}"), "").unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(r.body, body);
+    // And the entry landed as a real DiskCache-servable file.
+    let local = DiskCache::new(&dir, true).unwrap();
+    assert_eq!(local.get(&k), Some(cell(4.5)));
+
+    // A PUT whose body is keyed to a different name is refused — no
+    // client can plant a mis-filed entry.
+    let other = key("b");
+    let r = roundtrip(
+        &authority,
+        "PUT",
+        &format!("/cache/{stem}"),
+        &entry_to_json(&other, &cell(1.0)),
+    )
+    .unwrap();
+    assert_eq!(r.status, 400);
+    // Garbage bodies are refused too.
+    let r = roundtrip(&authority, "PUT", &format!("/cache/{stem}"), "junk").unwrap();
+    assert_eq!(r.status, 400);
+    // Path traversal and non-key names never reach the filesystem.
+    for bad in ["..", "a.json", "x/y", "UPPER", ""] {
+        let r = roundtrip(&authority, "GET", &format!("/cache/{bad}"), "").unwrap();
+        assert!(
+            r.status == 400 || r.status == 404,
+            "{bad:?} gave {}",
+            r.status
+        );
+    }
+    // Damaged on-disk entries are 404, never served.
+    std::fs::write(dir.join(k.file_name()), "garbage").unwrap();
+    let r = roundtrip(&authority, "GET", &format!("/cache/{stem}"), "").unwrap();
+    assert_eq!(r.status, 404);
+
+    // Unknown endpoints and bad methods are named.
+    let r = roundtrip(&authority, "GET", "/nope", "").unwrap();
+    assert_eq!(r.status, 404);
+    let r = roundtrip(&authority, "PATCH", "/cache/abc", "").unwrap();
+    assert_eq!(r.status, 405);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn readonly_server_refuses_puts_but_serves_gets() {
+    let seed_dir = tmp("readonly_seed");
+    let seeder = DiskCache::new(&seed_dir, false).unwrap();
+    seeder.put(&key("a"), &cell(2.0)).unwrap();
+
+    let mut config = ServeConfig::new(&seed_dir);
+    config.workers = 2;
+    config.readonly = true;
+    let server = Server::bind(&config).unwrap().spawn();
+    let authority = server.authority();
+    let stem_owned = key("a").file_name();
+    let stem = stem_owned.strip_suffix(".json").unwrap();
+
+    let r = roundtrip(&authority, "GET", &format!("/cache/{stem}"), "").unwrap();
+    assert_eq!(r.status, 200);
+    let r = roundtrip(
+        &authority,
+        "PUT",
+        &format!("/cache/{stem}"),
+        &entry_to_json(&key("a"), &cell(2.0)),
+    )
+    .unwrap();
+    assert_eq!(r.status, 403);
+
+    // An HttpCache client pointed at a read-only server still works as a
+    // read-through cache (its own puts error loudly unless it too is
+    // read-only).
+    let client = HttpCache::new(&server.url(), true).unwrap();
+    assert_eq!(client.get(&key("a")), Some(cell(2.0)));
+    assert!(client.put(&key("b"), &cell(1.0)).is_ok()); // no-op
+    assert!(client.get(&key("b")).is_none());
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&seed_dir);
+}
+
+#[test]
+fn solve_endpoint_solves_then_serves_from_cache() {
+    let (server, dir) = start("solve", false);
+    let authority = server.authority();
+    let inst = spp_core::Instance::from_dims(&[(0.5, 1.0), (0.4, 0.7), (0.9, 0.2)]).unwrap();
+    let prec = spp_dag::PrecInstance::unconstrained(inst);
+    let body = spp_gen::fileio::to_json(&prec);
+
+    let cold = roundtrip(&authority, "POST", "/solve?solver=nfdh", &body).unwrap();
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    assert!(cold.body.contains("\"format\": \"spp-solve-report\""));
+    assert!(cold.body.contains("\"cached\": false"));
+    assert!(cold.body.contains("\"status\": \"solved\""));
+
+    let warm = roundtrip(&authority, "POST", "/solve?solver=nfdh", &body).unwrap();
+    assert_eq!(warm.status, 200);
+    assert!(warm.body.contains("\"cached\": true"));
+    // Identical apart from the informational cached flag.
+    assert_eq!(
+        cold.body.replace("\"cached\": false", "\"cached\": true"),
+        warm.body
+    );
+    // The portable fields agree bit-for-bit with a local engine solve.
+    let report = spp_engine::solve(
+        solvers(&["nfdh"])[0].as_ref(),
+        &SolveRequest::new(spp_gen::fileio::from_json(&body).unwrap()),
+    )
+    .unwrap();
+    assert!(cold.body.contains(&format!("{:.17e}", report.makespan)));
+
+    // Config params key separate cells; unknown/malformed ones are named.
+    let tighter = roundtrip(&authority, "POST", "/solve?solver=nfdh&epsilon=0.25", &body).unwrap();
+    assert_eq!(tighter.status, 200);
+    assert!(tighter.body.contains("\"cached\": false"));
+    for (bad, needle) in [
+        ("/solve", "solver"),                        // missing solver
+        ("/solve?solver=not-a-solver", "unknown"),   // unknown solver
+        ("/solve?solver=nfdh&wat=1", "wat"),         // unknown param
+        ("/solve?solver=nfdh&epsilon=x", "epsilon"), // malformed value
+        // Out-of-domain knobs are 400s, never solver-side assertion
+        // panics that would kill a pool worker.
+        ("/solve?solver=aptas&epsilon=0", "epsilon"),
+        ("/solve?solver=aptas&epsilon=-1", "epsilon"),
+        ("/solve?solver=aptas&k=0", "k"),
+        ("/solve?solver=online-shelf&shelf_r=1.5", "shelf_r"),
+    ] {
+        let r = roundtrip(&authority, "POST", bad, &body).unwrap();
+        assert_eq!(r.status, 400, "{bad}");
+        assert!(r.body.contains(needle), "{bad}: {}", r.body);
+    }
+    // A malformed instance body names field and line.
+    let r = roundtrip(&authority, "POST", "/solve?solver=nfdh", "{\"format\": 3}").unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("format"), "{}", r.body);
+
+    // /stats reflects it all.
+    let r = roundtrip(&authority, "GET", "/stats", "").unwrap();
+    assert_eq!(r.status, 200);
+    assert!(r.body.contains("\"format\": \"spp-serve-stats\""));
+    assert!(r.body.contains("\"solves\": 2"), "{}", r.body);
+    assert!(r.body.contains("\"solve_cache_hits\": 1"), "{}", r.body);
+    assert!(r.body.contains("\"entries\": 2"), "{}", r.body);
+    let counters = server.counters();
+    assert_eq!(counters.solves, 2);
+    assert_eq!(counters.solve_cache_hits, 1);
+    assert!(counters.errors >= 9);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The backend-agreement property, network edition: the HTTP cache and a
+/// local disk cache produce bit-identical cells over the same suite
+/// workload, and a warm rerun through HTTP invokes zero solvers.
+#[test]
+fn http_and_disk_backends_agree() {
+    let suite_dir = tmp("agree_suite");
+    spp_gen::suite::write_suite(&suite_dir, 11, 10, 8).unwrap();
+    let mut jobs = Vec::new();
+    let plan = ShardPlan::from_dir(&suite_dir, 1).unwrap();
+    for path in plan.paths() {
+        let prec = spp_gen::fileio::read_path(path).unwrap();
+        jobs.push(BatchJob::new(
+            path.file_stem().unwrap().to_string_lossy().into_owned(),
+            SolveRequest::new(prec),
+        ));
+    }
+    let solvers = solvers(&["nfdh", "ffdh"]);
+
+    let (server, server_dir) = start("agree_server", false);
+    let http = HttpCache::new(&server.url(), false).unwrap();
+    let disk_dir = tmp("agree_disk");
+    let disk = DiskCache::new(&disk_dir, false).unwrap();
+
+    for cache in [&http as &dyn SolveCache, &disk as &dyn SolveCache] {
+        execute_cells(&jobs, &solvers, Some(cache)).unwrap();
+        let warm = execute_cells(&jobs, &solvers, Some(cache)).unwrap();
+        assert!(warm.iter().all(|c| c.from_cache));
+        assert!(warm.iter().all(|c| c.outcome.is_none()));
+    }
+    assert_eq!(http.stats().misses, 16, "16 cold misses, then all hits");
+    assert_eq!(http.stats().writes, 16);
+
+    let from_http = execute_cells(&jobs, &solvers, Some(&http)).unwrap();
+    let from_disk = execute_cells(&jobs, &solvers, Some(&disk)).unwrap();
+    for (a, b) in from_http.iter().zip(&from_disk) {
+        assert_eq!(a.solver, b.solver);
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        assert_eq!(a.combined_lb.to_bits(), b.combined_lb.to_bits());
+    }
+
+    // The server's directory is a plain DiskCache directory: every entry
+    // the HTTP clients published is locally servable, byte-canonical.
+    for scanned in spp_engine::cache::scan_dir(&server_dir).unwrap() {
+        let (k, c) = scanned.entry.expect("HTTP-published entry is valid");
+        let text = std::fs::read_to_string(&scanned.path).unwrap();
+        assert_eq!(text, entry_to_json(&k, &c));
+        assert!(entry_parse(&text).is_ok());
+    }
+
+    server.shutdown();
+    for d in [suite_dir, server_dir, disk_dir] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

@@ -13,6 +13,8 @@
 //! spp batch --input-dir instances/ --shards 4 --shard-index 2 --out s2.json
 //! spp batch --merge s0.json,s1.json,s2.json,s3.json                   # combine shards
 //! spp cache stats --cache-dir cache/
+//! spp serve --cache-dir cache/ --addr 127.0.0.1:8080                   # cache + solve service
+//! spp batch --input-dir instances/ --cache-url http://cachehost:8080   # workers share it
 //! spp algos
 //! ```
 //!
@@ -34,6 +36,12 @@
 //! reports its hit/miss counts on stderr. `--cache-readonly` consults the
 //! cache without writing back. `spp cache stats|gc|verify` inspect,
 //! clean, and spot-check a cache directory.
+//!
+//! Serving: `spp serve --cache-dir DIR` stands the same cache behind an
+//! HTTP front end (`GET`/`PUT /cache/<key>`, `POST /solve`, `GET
+//! /stats`), and `--cache-url http://host:port` attaches any file-mode
+//! batch to it instead of a local directory — the multi-machine topology:
+//! shard workers anywhere, one shared cache, byte-identical output.
 
 use std::io::Read as _;
 use std::path::{Path, PathBuf};
@@ -46,10 +54,11 @@ use strip_packing::engine::{
     SolveRequest, Solver, Validation,
 };
 use strip_packing::gen::rects::DagFamily;
+use strip_packing::serve::{HttpCache, ServeConfig, Server};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  spp gen --family <name> [-n <count>] [--seed <u64>] [--uniform-height]\n          [--format <spp|json>]\n  spp suite --out-dir <dir> [--count <n>] [-n <size>] [--seed <u64>]\n  spp pack <file|-> [--algo <name>] [--render <none|ascii|svg>]\n          [--epsilon <f64>] [-k <usize>] [--shelf-r <f64>] [--strict]\n  spp bounds <file|->\n  spp batch [--families <f1,f2,..>] [--count <per-family>] [-n <size>]\n          [--seed <u64>] [--algos <a1,a2,..>]\n  spp batch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--shards <n>] [--shard-index <i>] [--out <file>]\n          [--cache-dir <dir>] [--cache-readonly] [--cells]\n  spp batch --merge <report1,report2,..> [--cells]\n  spp cache stats --cache-dir <dir>\n  spp cache gc --cache-dir <dir>\n  spp cache verify --cache-dir <dir> (--input-dir <dir> | --file-list <file>)\n          [--algos <a1,a2,..>] [--sample <n>]\n  spp algos\n\nrun `spp algos` for the algorithm registry with capability flags"
+        "usage:\n  spp gen --family <name> [-n <count>] [--seed <u64>] [--uniform-height]\n          [--format <spp|json>]\n  spp suite --out-dir <dir> [--count <n>] [-n <size>] [--seed <u64>]\n  spp pack <file|-> [--algo <name>] [--render <none|ascii|svg>]\n          [--epsilon <f64>] [-k <usize>] [--shelf-r <f64>] [--strict]\n  spp bounds <file|->\n  spp batch [--families <f1,f2,..>] [--count <per-family>] [-n <size>]\n          [--seed <u64>] [--algos <a1,a2,..>]\n  spp batch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--shards <n>] [--shard-index <i>] [--out <file>]\n          [--cache-dir <dir> | --cache-url <http://host:port>]\n          [--cache-readonly] [--cells]\n  spp batch --merge <report1,report2,..> [--cells]\n  spp cache stats --cache-dir <dir>\n  spp cache gc --cache-dir <dir>\n  spp cache verify --cache-dir <dir> (--input-dir <dir> | --file-list <file>)\n          [--algos <a1,a2,..>] [--sample <n>]\n  spp serve --cache-dir <dir> [--addr <host:port>] [--workers <n>]\n          [--max-body <bytes>] [--cache-readonly]\n  spp algos\n\nrun `spp algos` for the algorithm registry with capability flags"
     );
     std::process::exit(2);
 }
@@ -341,16 +350,36 @@ fn finish_merged(merged: &MergedReport, cells: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Open the solve cache named by `--cache-dir` / `--cache-readonly`, if
-/// any. Exits on an unusable directory — the user asked for durability
-/// and silently running uncached would defeat the point.
-fn cache_from_args(args: &[String]) -> Option<DiskCache> {
+/// Open the solve cache named by `--cache-dir` (local directory) or
+/// `--cache-url` (an `spp serve` instance), if any — both implement the
+/// same `SolveCache` trait, so the executor cannot tell them apart.
+/// Exits on an unusable backend — the user asked for durability and
+/// silently running uncached would defeat the point.
+fn cache_from_args(args: &[String]) -> Option<Box<dyn SolveCache>> {
     let readonly = args.iter().any(|a| a == "--cache-readonly");
-    let Some(dir) = arg_value(args, "--cache-dir") else {
+    let dir = arg_value(args, "--cache-dir");
+    let url = arg_value(args, "--cache-url");
+    if dir.is_some() && url.is_some() {
+        eprintln!("error: --cache-dir and --cache-url are mutually exclusive");
+        std::process::exit(2);
+    }
+    if let Some(url) = url {
+        // Construction only validates the URL shape; an unreachable
+        // server shows up as all-misses (and failed writes error per
+        // cell), matching a cold local cache.
+        match HttpCache::new(&url, readonly) {
+            Ok(c) => return Some(Box::new(c)),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(dir) = dir else {
         // Fail loudly, like the removed --manifest: a run the user
         // believes is cache-backed must not silently go uncached.
         if readonly {
-            eprintln!("error: --cache-readonly requires --cache-dir <dir>");
+            eprintln!("error: --cache-readonly requires --cache-dir or --cache-url");
             std::process::exit(2);
         }
         return None;
@@ -362,7 +391,7 @@ fn cache_from_args(args: &[String]) -> Option<DiskCache> {
         std::process::exit(1);
     }
     match DiskCache::new(Path::new(&dir), readonly) {
-        Ok(c) => Some(c),
+        Ok(c) => Some(Box::new(c)),
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);
@@ -401,8 +430,8 @@ fn cmd_batch_files(args: &[String]) -> ExitCode {
     let solvers = solvers_from_args(args, "nfdh,ffdh,greedy,dc-nfdh");
     let config = config_from_args(args);
     let cache = cache_from_args(args);
-    let cache_ref: Option<&dyn SolveCache> = cache.as_ref().map(|c| c as &dyn SolveCache);
-    let report_cache_use = |cache: &Option<DiskCache>| {
+    let cache_ref: Option<&dyn SolveCache> = cache.as_deref();
+    let report_cache_use = |cache: &Option<Box<dyn SolveCache>>| {
         if let Some(c) = cache {
             eprintln!("cache: {}", c.stats());
         }
@@ -540,6 +569,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
                 "--shard-index",
                 "--out",
                 "--cache-dir",
+                "--cache-url",
                 "--cache-readonly",
                 "--algos",
                 "--families",
@@ -566,6 +596,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             "--shard-index",
             "--out",
             "--cache-dir",
+            "--cache-url",
             "--cache-readonly",
             "--cells",
         ],
@@ -845,6 +876,47 @@ fn cmd_cache(args: &[String]) -> ExitCode {
     }
 }
 
+/// `spp serve`: stand the shared solve cache (and a solve endpoint) behind
+/// a dependency-free HTTP/1.1 service.
+///
+/// Prints the bound address on stdout as the first line —
+/// `listening on http://host:port` — so wrapper scripts (and the CI
+/// smoke job) can bind port 0 and scrape the chosen port. Runs until
+/// killed; every request is logged nowhere (stderr stays quiet) but
+/// counted, and `GET /stats` reports the counters.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    use std::io::Write as _;
+    let Some(dir) = arg_value(args, "--cache-dir") else {
+        usage()
+    };
+    let mut config = ServeConfig::new(&dir);
+    if let Some(addr) = arg_value(args, "--addr") {
+        config.addr = addr;
+    }
+    if let Some(w) = arg_value(args, "--workers") {
+        config.workers = parse_or_usage(w);
+    }
+    if let Some(m) = arg_value(args, "--max-body") {
+        config.max_body = parse_or_usage(m);
+    }
+    config.readonly = args.iter().any(|a| a == "--cache-readonly");
+    let server = match Server::bind(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on http://{}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "serving cache dir {dir}{}; endpoints: GET/PUT /cache/<key>, POST /solve, GET /stats",
+        if config.readonly { " (read-only)" } else { "" }
+    );
+    server.run();
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -854,6 +926,7 @@ fn main() -> ExitCode {
         Some("bounds") => cmd_bounds(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("algos") => cmd_algos(),
         _ => usage(),
     }

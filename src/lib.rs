@@ -28,6 +28,7 @@
 //! | [`fpga`] | K-column reconfigurable-device model |
 //! | [`gen`] | workload generators incl. the paper's adversarial families |
 //! | [`par`] | minimal fork-join parallel runtime over std scoped threads |
+//! | [`serve`] | HTTP front end: shared cache server + solve endpoint (`spp serve`) |
 //!
 //! Algorithm lookup goes through the engine's registry:
 //!
@@ -52,3 +53,4 @@ pub use spp_pack as pack;
 pub use spp_par as par;
 pub use spp_precedence as precedence;
 pub use spp_release as release;
+pub use spp_serve as serve;
