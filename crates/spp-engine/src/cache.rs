@@ -442,6 +442,10 @@ pub struct ScannedEntry {
     pub path: PathBuf,
     /// Size in bytes.
     pub bytes: u64,
+    /// Time since the file was last written, when the filesystem reports
+    /// one (`None` on filesystems without mtimes — such files are never
+    /// age-evicted, only damage-evicted).
+    pub age: Option<std::time::Duration>,
     /// The parsed entry, or why the file is not a valid entry. A file
     /// whose embedded key does not reproduce its own file name is an
     /// `Err` too — it can never be served, so it is garbage by definition.
@@ -463,9 +467,12 @@ pub fn scan_dir(dir: &Path) -> Result<Vec<ScannedEntry>, CacheError> {
     paths.sort();
     let mut out = Vec::with_capacity(paths.len());
     for path in paths {
-        let bytes = std::fs::metadata(&path)
-            .map_err(|e| io_err(&path, e))?
-            .len();
+        let meta = std::fs::metadata(&path).map_err(|e| io_err(&path, e))?;
+        let bytes = meta.len();
+        let age = meta
+            .modified()
+            .ok()
+            .and_then(|m| std::time::SystemTime::now().duration_since(m).ok());
         let entry = std::fs::read_to_string(&path)
             .map_err(|e| e.to_string())
             .and_then(|text| entry_parse(&text))
@@ -480,9 +487,30 @@ pub fn scan_dir(dir: &Path) -> Result<Vec<ScannedEntry>, CacheError> {
                     ))
                 }
             });
-        out.push(ScannedEntry { path, bytes, entry });
+        out.push(ScannedEntry {
+            path,
+            bytes,
+            age,
+            entry,
+        });
     }
     Ok(out)
+}
+
+/// Labels of the [`DirStats::ages`] histogram buckets, oldest last.
+pub const AGE_BUCKETS: [&str; 4] = ["1h", "1d", "7d", "old"];
+
+/// Bucket index of an entry age: under an hour, under a day, under a
+/// week, older (unknown ages count as fresh — they can never expire).
+fn age_bucket(age: Option<std::time::Duration>) -> usize {
+    const HOUR: u64 = 3600;
+    match age.map(|a| a.as_secs()) {
+        None => 0,
+        Some(s) if s < HOUR => 0,
+        Some(s) if s < 24 * HOUR => 1,
+        Some(s) if s < 7 * 24 * HOUR => 2,
+        Some(_) => 3,
+    }
 }
 
 /// Aggregate view of a cache directory.
@@ -500,6 +528,10 @@ pub struct DirStats {
     pub instances: usize,
     /// Distinct config signatures among valid entries.
     pub configs: usize,
+    /// Valid entries by age, bucketed as [`AGE_BUCKETS`] (&lt; 1 hour,
+    /// &lt; 1 day, &lt; 7 days, older) — the input to choosing a
+    /// `gc --max-age` threshold.
+    pub ages: [usize; 4],
 }
 
 /// Summarize a cache directory (the `spp cache stats` view).
@@ -513,6 +545,7 @@ pub fn dir_stats(dir: &Path) -> Result<DirStats, CacheError> {
         match scanned.entry {
             Ok((key, _)) => {
                 stats.entries += 1;
+                stats.ages[age_bucket(scanned.age)] += 1;
                 *per_solver.entry(key.solver).or_insert(0) += 1;
                 instances.insert(key.digest);
                 configs.insert(key.config_sig);
@@ -527,11 +560,15 @@ pub fn dir_stats(dir: &Path) -> Result<DirStats, CacheError> {
     Ok(stats)
 }
 
-/// Outcome of [`gc_dir`].
+/// Outcome of [`gc_dir`] / [`gc_dir_aged`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct GcReport {
-    /// Files removed (corrupt, truncated, or mis-filed), sorted.
+    /// Files removed (corrupt, truncated, mis-filed, or orphaned temp
+    /// files), sorted within each sweep.
     pub removed: Vec<PathBuf>,
+    /// Valid entries evicted by age (subset bookkeeping of `removed`'s
+    /// length is deliberate: they are listed in `removed` too).
+    pub expired: usize,
     /// Valid entries left in place.
     pub kept: usize,
 }
@@ -539,22 +576,47 @@ pub struct GcReport {
 /// Garbage-collect a cache directory: delete every `.json` file that is
 /// not a servable entry, plus every orphaned `*.tmp` file left behind by
 /// a writer that crashed between temp-write and rename. Valid entries are
-/// never touched — a cache has no expiry (content-addressed keys cannot
-/// go stale), only damage.
+/// never touched — content-addressed keys cannot go *stale*, only
+/// damaged. To also bound the directory's size in time, use
+/// [`gc_dir_aged`] (the CLI's `spp cache gc --max-age`).
 ///
 /// Run gc while no writer is active: an in-flight writer's temp file is
 /// indistinguishable from an orphan, and sweeping it makes that one
 /// `put` fail (the cell recomputes on the next run — nothing is ever
 /// served wrong, only re-paid).
 pub fn gc_dir(dir: &Path) -> Result<GcReport, CacheError> {
+    gc_dir_aged(dir, None)
+}
+
+/// [`gc_dir`] plus age-based eviction: a *valid* entry whose file was
+/// last written at least `max_age` ago is deleted too. Evicting a live
+/// entry is always safe — the cache is a pure memoization, so the cell
+/// simply recomputes (and re-publishes) on its next use; the knob trades
+/// disk for solve time on caches that accrete one-off workloads.
+/// Entries without a readable mtime are treated as fresh.
+pub fn gc_dir_aged(
+    dir: &Path,
+    max_age: Option<std::time::Duration>,
+) -> Result<GcReport, CacheError> {
     let mut report = GcReport {
         removed: Vec::new(),
+        expired: 0,
         kept: 0,
     };
     for scanned in scan_dir(dir)? {
-        match scanned.entry {
-            Ok(_) => report.kept += 1,
-            Err(_) => {
+        let expired = scanned.entry.is_ok()
+            && match (max_age, scanned.age) {
+                (Some(limit), Some(age)) => age >= limit,
+                _ => false,
+            };
+        match (&scanned.entry, expired) {
+            (Ok(_), false) => report.kept += 1,
+            (Ok(_), true) => {
+                std::fs::remove_file(&scanned.path).map_err(|e| io_err(&scanned.path, e))?;
+                report.expired += 1;
+                report.removed.push(scanned.path);
+            }
+            (Err(_), _) => {
                 std::fs::remove_file(&scanned.path).map_err(|e| io_err(&scanned.path, e))?;
                 report.removed.push(scanned.path);
             }
@@ -762,6 +824,50 @@ mod tests {
         assert_eq!(after.corrupt, 0);
         // gc is idempotent.
         assert_eq!(gc_dir(&dir).unwrap().removed.len(), 0);
+    }
+
+    #[test]
+    fn gc_max_age_evicts_old_entries_but_never_damage_blind() {
+        let dir = tmp_dir("maxage");
+        let cache = DiskCache::new(&dir, false).unwrap();
+        cache.put(&key("a"), &cell(1.0)).unwrap();
+        cache.put(&key("b"), &cell(2.0)).unwrap();
+        std::fs::write(dir.join("0000-bad-entry.json"), "garbage").unwrap();
+        std::fs::write(dir.join("whatever.json.123-0.tmp"), "orphan").unwrap();
+
+        // Fresh files survive any realistic threshold; damage and
+        // orphans are swept regardless.
+        let gc = gc_dir_aged(&dir, Some(std::time::Duration::from_secs(3600))).unwrap();
+        assert_eq!(gc.kept, 2);
+        assert_eq!(gc.expired, 0);
+        assert_eq!(gc.removed.len(), 2, "{:?}", gc.removed);
+
+        // max-age 0 means "everything has aged out": both live entries
+        // are evicted (safe — the cells recompute on next use).
+        let gc = gc_dir_aged(&dir, Some(std::time::Duration::ZERO)).unwrap();
+        assert_eq!(gc.expired, 2);
+        assert_eq!(gc.removed.len(), 2);
+        assert_eq!(gc.kept, 0);
+        assert_eq!(dir_stats(&dir).unwrap().entries, 0);
+        assert!(cache.get(&key("a")).is_none(), "evicted entry is a miss");
+
+        // And the eviction is recoverable: a re-put serves again.
+        cache.put(&key("a"), &cell(1.0)).unwrap();
+        assert_eq!(cache.get(&key("a")), Some(cell(1.0)));
+    }
+
+    #[test]
+    fn dir_stats_age_histogram_counts_fresh_entries() {
+        let dir = tmp_dir("ages");
+        let cache = DiskCache::new(&dir, false).unwrap();
+        cache.put(&key("a"), &cell(1.0)).unwrap();
+        cache.put(&key("b"), &cell(2.0)).unwrap();
+        let stats = dir_stats(&dir).unwrap();
+        // Just-written entries land in the freshest bucket; the buckets
+        // always sum to the entry count.
+        assert_eq!(stats.ages[0], 2, "{:?}", stats.ages);
+        assert_eq!(stats.ages.iter().sum::<usize>(), stats.entries);
+        assert_eq!(AGE_BUCKETS.len(), stats.ages.len());
     }
 
     #[test]

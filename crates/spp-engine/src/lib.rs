@@ -36,6 +36,7 @@
 //! | [`batch`] | the one cell-execution pipeline (cache-consulting) + aggregates |
 //! | [`cache`] | content-addressed solve cache: key schema, memory + disk backends |
 //! | [`sharding`] | instance-file shards: plan, per-shard run, merge |
+//! | [`work`] | pull-based work distribution: `WorkSource`, lease queue, pull loop |
 
 pub mod batch;
 pub mod cache;
@@ -45,6 +46,7 @@ pub mod request;
 pub mod sharding;
 pub mod solver;
 pub mod solvers;
+pub mod work;
 
 pub use batch::{
     classify_outcome, execute_cells, run_batch, BatchJob, BatchResult, BatchSummary, CellOutcome,
@@ -59,3 +61,7 @@ pub use sharding::{
     ShardReport, ShardRuntime, SolverSummary,
 };
 pub use solver::{solve, Capabilities, EngineError, Solver};
+pub use work::{
+    execute_lease, pull_work, LeaseGrant, LocalPlan, PullStats, WorkError, WorkLease, WorkQueue,
+    WorkSource, WorkStatus,
+};

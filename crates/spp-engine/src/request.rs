@@ -6,7 +6,7 @@ use spp_dag::PrecInstance;
 
 /// Tuning knobs shared by every solver; each solver reads the fields it
 /// cares about and ignores the rest.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolveConfig {
     /// APTAS target error `ε > 0` (Theorem 3.5).
     pub epsilon: f64,

@@ -23,6 +23,17 @@
 //!    shard fans out again internally) and streams per-shard aggregates
 //!    to an observer as they finish.
 //!
+//! **A `ShardPlan` is one [`WorkSource`](crate::work::WorkSource)
+//! construction.** Since PR 5 the execution side of this module is a
+//! thin shard-shaped view over the pull-based work layer in
+//! [`crate::work`]: [`ShardPlan::work_queue`] partitions the plan's
+//! sorted file list into a [`WorkQueue`](crate::work::WorkQueue) whose
+//! chunks are exactly the shard ranges, [`run_shard`] executes one such
+//! chunk via [`execute_lease`](crate::work::execute_lease), and
+//! [`run_sharded`] drives the whole queue with in-process
+//! [`pull_work`](crate::work::pull_work) workers — the same loop the
+//! distributed `spp work` pullers run against a remote dispatcher.
+//!
 //! **Resume is the cache.** There is no separate manifest code path:
 //! attach a [`DiskCache`](crate::cache::DiskCache) and every already
 //! solved `(instance, solver, config)` cell is served from disk, so a
@@ -39,15 +50,17 @@
 //! so a merge across processes loses no precision.
 
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use spp_core::hash::Fnv1a;
 use spp_core::json::{self, JsonValue};
 
-use crate::batch::{execute_cells, BatchJob, CellStatus};
+use crate::batch::CellStatus;
 use crate::cache::{CacheError, SolveCache};
-use crate::request::{SolveConfig, SolveRequest};
+use crate::request::SolveConfig;
 use crate::solver::Solver;
+use crate::work::{execute_lease, pull_work, LocalPlan, WorkError, WorkLease, WorkQueue};
 
 /// Failures of the sharded pipeline. Per-cell solver refusals are *not*
 /// errors (they are [`CellStatus::Unsupported`] rows); these are the
@@ -69,6 +82,20 @@ impl From<CacheError> for ShardError {
     fn from(e: CacheError) -> Self {
         match e {
             CacheError::Io { path, err } => ShardError::Io { path, err },
+        }
+    }
+}
+
+impl From<WorkError> for ShardError {
+    fn from(e: WorkError) -> Self {
+        match e {
+            WorkError::Io { path, err } => ShardError::Io { path, err },
+            WorkError::Load { path, err } => ShardError::Load { path, err },
+            WorkError::Protocol { context, err } => ShardError::BadReport { context, err },
+            WorkError::Aborted => ShardError::BadReport {
+                context: "work".into(),
+                err: "aborted".into(),
+            },
         }
     }
 }
@@ -104,12 +131,15 @@ pub struct ShardPlan {
 }
 
 impl ShardPlan {
-    /// Plan over an explicit path list (sorted internally).
+    /// Plan over an explicit path list (sorted internally; duplicate
+    /// paths collapse to one — a file listed twice is one instance, and
+    /// double-counting it would silently skew every aggregate).
     pub fn new(mut paths: Vec<PathBuf>, shards: usize) -> Result<Self, ShardError> {
         if shards == 0 {
             return Err(ShardError::BadPlan("shard count must be ≥ 1".into()));
         }
         paths.sort();
+        paths.dedup();
         Ok(ShardPlan { paths, shards })
     }
 
@@ -202,6 +232,23 @@ impl ShardPlan {
     /// The paths of one shard, with their global indices.
     pub fn shard_paths(&self, shard: usize) -> Result<&[PathBuf], ShardError> {
         Ok(&self.paths[self.shard_range(shard)?])
+    }
+
+    /// The plan as a pull-based [`WorkQueue`]: one chunk per shard range,
+    /// in shard order — which is why a merged pull-based run is
+    /// byte-identical to the eager split. `timeout` is the lease expiry
+    /// for distributed dispatch (`None` in-process: local workers cannot
+    /// die without the queue dying too).
+    pub fn work_queue(
+        &self,
+        solvers: Vec<String>,
+        config: SolveConfig,
+        timeout: Option<Duration>,
+    ) -> WorkQueue {
+        let ranges = (0..self.shards)
+            .map(|s| self.shard_range(s).expect("index in range by construction"))
+            .collect();
+        WorkQueue::new(self.paths.clone(), solvers, config, ranges, timeout)
     }
 
     /// FNV-1a fingerprint of the full (sorted) path list. Every shard
@@ -309,7 +356,47 @@ impl ShardRuntime {
     }
 }
 
+/// Canonical single-line JSON object for one cell — the shared row
+/// schema of shard reports, merged reports, and `spp-work-complete`
+/// documents (one serialization, so the formats cannot drift apart).
+pub fn cell_to_json(c: &CellRow) -> String {
+    format!(
+        "{{\"job\": {}, \"label\": \"{}\", \"solver\": \"{}\", \"status\": \"{}\", \"makespan\": {:.17e}, \"lb\": {:.17e}}}",
+        c.job,
+        json::escape(&c.label),
+        json::escape(&c.solver),
+        c.status.as_str(),
+        c.makespan,
+        c.combined_lb
+    )
+}
+
+/// Inverse of [`cell_to_json`] for one parsed JSON value; `ctx` names
+/// the value in error messages (e.g. `cells[3]`).
+pub fn cell_parse(cv: &JsonValue, ctx: &str) -> Result<CellRow, String> {
+    let schema = |e: spp_core::json::FileFormatError| e.to_string();
+    let path = |name: &str| format!("{ctx}.{name}");
+    let cobj = json::as_obj(cv, ctx).map_err(schema)?;
+    let cfield = |name: &str| json::get_field(cobj, cv, name).map_err(schema);
+    let status_str = json::as_str(cfield("status")?, &path("status")).map_err(schema)?;
+    let status = CellStatus::parse(status_str)
+        .ok_or_else(|| format!("{ctx}: unknown status {status_str:?}"))?;
+    Ok(CellRow {
+        job: json::as_u64(cfield("job")?, &path("job")).map_err(schema)? as usize,
+        label: json::as_str(cfield("label")?, &path("label"))
+            .map_err(schema)?
+            .to_string(),
+        solver: json::as_str(cfield("solver")?, &path("solver"))
+            .map_err(schema)?
+            .to_string(),
+        status,
+        makespan: json::as_num(cfield("makespan")?, &path("makespan")).map_err(schema)?,
+        combined_lb: json::as_num(cfield("lb")?, &path("lb")).map_err(schema)?,
+    })
+}
+
 const REPORT_FORMAT: &str = "spp-shard-report";
+const MERGED_FORMAT: &str = "spp-merged-report";
 const REPORT_VERSION: u64 = 1;
 
 impl ShardReport {
@@ -339,16 +426,7 @@ impl ShardReport {
         out.push_str("  \"cells\": [");
         for (i, c) in self.cells.iter().enumerate() {
             let sep = if i + 1 < self.cells.len() { "," } else { "" };
-            let _ = write!(
-                out,
-                "\n    {{\"job\": {}, \"label\": \"{}\", \"solver\": \"{}\", \"status\": \"{}\", \"makespan\": {:.17e}, \"lb\": {:.17e}}}{sep}",
-                c.job,
-                json::escape(&c.label),
-                json::escape(&c.solver),
-                c.status.as_str(),
-                c.makespan,
-                c.combined_lb
-            );
+            let _ = write!(out, "\n    {}{sep}", cell_to_json(c));
         }
         out.push_str(if self.cells.is_empty() {
             "]\n"
@@ -409,24 +487,7 @@ impl ShardReport {
         let cells_raw = json::as_arr(field("cells")?, "cells").map_err(schema)?;
         let mut cells = Vec::with_capacity(cells_raw.len());
         for (i, cv) in cells_raw.iter().enumerate() {
-            let path = |name: &str| format!("cells[{i}].{name}");
-            let cobj = json::as_obj(cv, &format!("cells[{i}]")).map_err(schema)?;
-            let cfield = |name: &str| json::get_field(cobj, cv, name).map_err(schema);
-            let status_str = json::as_str(cfield("status")?, &path("status")).map_err(schema)?;
-            let status = CellStatus::parse(status_str)
-                .ok_or_else(|| bad(format!("cells[{i}]: unknown status {status_str:?}")))?;
-            cells.push(CellRow {
-                job: int(cfield("job")?, &path("job"))?,
-                label: json::as_str(cfield("label")?, &path("label"))
-                    .map_err(schema)?
-                    .to_string(),
-                solver: json::as_str(cfield("solver")?, &path("solver"))
-                    .map_err(schema)?
-                    .to_string(),
-                status,
-                makespan: json::as_num(cfield("makespan")?, &path("makespan")).map_err(schema)?,
-                combined_lb: json::as_num(cfield("lb")?, &path("lb")).map_err(schema)?,
-            });
+            cells.push(cell_parse(cv, &format!("cells[{i}]")).map_err(&bad)?);
         }
         Ok(ShardReport {
             shard,
@@ -549,6 +610,70 @@ impl MergedReport {
         out
     }
 
+    /// Serialize as a portable `spp-merged-report` JSON document — what
+    /// the dispatcher's `GET /work/report` hands to the thin
+    /// `spp batch --dispatcher-url` client.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"format\": \"{MERGED_FORMAT}\",");
+        let _ = writeln!(out, "  \"version\": {REPORT_VERSION},");
+        let solvers: Vec<String> = self
+            .solvers
+            .iter()
+            .map(|s| format!("\"{}\"", json::escape(s)))
+            .collect();
+        let _ = writeln!(out, "  \"solvers\": [{}],", solvers.join(", "));
+        out.push_str("  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            let sep = if i + 1 < self.cells.len() { "," } else { "" };
+            let _ = write!(out, "\n    {}{sep}", cell_to_json(c));
+        }
+        out.push_str(if self.cells.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parse a document produced by [`Self::to_json`].
+    pub fn parse(text: &str) -> Result<Self, ShardError> {
+        let bad = |err: String| ShardError::BadReport {
+            context: "merged report".into(),
+            err,
+        };
+        let schema = |e: spp_core::json::FileFormatError| bad(e.to_string());
+        let doc = json::parse(text).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+        let obj = json::as_obj(&doc, "$").map_err(schema)?;
+        let field = |name: &str| json::get_field(obj, &doc, name).map_err(schema);
+        let format = json::as_str(field("format")?, "format").map_err(schema)?;
+        if format != MERGED_FORMAT {
+            return Err(bad(format!("format tag is not {MERGED_FORMAT:?}")));
+        }
+        if json::as_u64(field("version")?, "version").map_err(schema)? != REPORT_VERSION {
+            return Err(bad("unsupported report version".into()));
+        }
+        let solvers = json::as_arr(field("solvers")?, "solvers")
+            .map_err(schema)?
+            .iter()
+            .enumerate()
+            .map(|(i, sv)| {
+                json::as_str(sv, &format!("solvers[{i}]"))
+                    .map(str::to_string)
+                    .map_err(schema)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let cells_raw = json::as_arr(field("cells")?, "cells").map_err(schema)?;
+        let mut cells = Vec::with_capacity(cells_raw.len());
+        for (i, cv) in cells_raw.iter().enumerate() {
+            cells.push(cell_parse(cv, &format!("cells[{i}]")).map_err(&bad)?);
+        }
+        Ok(MergedReport { solvers, cells })
+    }
+
     /// One line per cell (full `{:.17e}` precision) for diff-based
     /// verification of sharded vs. single-process runs.
     pub fn render_cells(&self) -> String {
@@ -661,15 +786,40 @@ pub fn merge_reports(mut reports: Vec<ShardReport>) -> Result<MergedReport, Shar
 // Execution
 // ---------------------------------------------------------------------------
 
-fn label_for(path: &Path) -> String {
+pub(crate) fn label_for(path: &Path) -> String {
     path.file_stem()
         .map(|s| s.to_string_lossy().into_owned())
         .unwrap_or_else(|| path.display().to_string())
 }
 
-/// Run one shard: load its instance files and feed every
-/// (instance, solver) cell through the engine's single cache-consulting
-/// pipeline ([`execute_cells`]), reducing to portable rows.
+/// Wrap one completed chunk of a shard-shaped queue as the portable
+/// [`ShardReport`] the CLI emits and `merge_reports` consumes.
+fn shard_report_for(
+    plan: &ShardPlan,
+    lease: &WorkLease,
+    cells: Vec<CellRow>,
+    runtime: Option<ShardRuntime>,
+) -> ShardReport {
+    ShardReport {
+        shard: lease.index,
+        shards: plan.shards(),
+        solvers: lease.solvers.clone(),
+        inputs: lease
+            .paths
+            .iter()
+            .map(|p| p.display().to_string())
+            .collect(),
+        plan_fp: plan.fingerprint(),
+        config_sig: lease.config.signature(),
+        cells,
+        runtime,
+    }
+}
+
+/// Run one shard: execute its chunk of the plan through the engine's
+/// single cache-consulting pipeline
+/// ([`execute_cells`](crate::batch::execute_cells), via
+/// [`execute_lease`]), reducing to portable rows.
 ///
 /// With a cache attached, already-solved cells are served from it and
 /// the shard's [`ShardRuntime`] records how many — a fully cached shard
@@ -682,60 +832,26 @@ pub fn run_shard(
     cache: Option<&dyn SolveCache>,
 ) -> Result<ShardReport, ShardError> {
     let range = plan.shard_range(shard)?;
-    let base = range.start;
-    let mut jobs = Vec::with_capacity(range.len());
-    for path in plan.shard_paths(shard)? {
-        let prec = spp_gen::fileio::read_path(path).map_err(|e| match e {
-            spp_gen::fileio::FileIoError::Io { path, err } => ShardError::Io { path, err },
-            other => ShardError::Load {
-                path: path.display().to_string(),
-                err: other.to_string(),
-            },
-        })?;
-        jobs.push(BatchJob::new(
-            label_for(path),
-            SolveRequest::new(prec).with_config(config.clone()),
-        ));
-    }
-    let outcomes = execute_cells(&jobs, solvers, cache)?;
-    let mut runtime = ShardRuntime {
-        cpu_time: Duration::ZERO,
-        cache_hits: 0,
-    };
-    let cells = outcomes
-        .into_iter()
-        .map(|c| {
-            runtime.cpu_time += c.solve_time();
-            if c.from_cache {
-                runtime.cache_hits += 1;
-            }
-            CellRow {
-                job: base + c.job,
-                label: c.label,
-                solver: c.solver,
-                status: c.status,
-                makespan: c.makespan,
-                combined_lb: c.combined_lb,
-            }
-        })
-        .collect();
-    Ok(ShardReport {
-        shard,
-        shards: plan.shards(),
+    let lease = WorkLease {
+        id: 0,
+        index: shard,
+        start: range.start,
+        paths: plan.shard_paths(shard)?.to_vec(),
         solvers: solvers.iter().map(|s| s.name().to_string()).collect(),
-        inputs: plan
-            .shard_paths(shard)?
-            .iter()
-            .map(|p| p.display().to_string())
-            .collect(),
-        plan_fp: plan.fingerprint(),
-        config_sig: config.signature(),
-        cells,
-        runtime: Some(runtime),
-    })
+        config: config.clone(),
+    };
+    let (cells, runtime) = execute_lease(&lease, solvers, cache)?;
+    Ok(shard_report_for(plan, &lease, cells, Some(runtime)))
 }
 
 /// Run every shard of the plan concurrently and merge.
+///
+/// The plan becomes a [`WorkQueue`] (one chunk per shard) behind a
+/// [`LocalPlan`] work source, drained by a small pool of in-process
+/// [`pull_work`] workers — the same pull loop the distributed `spp work`
+/// pullers run, so local and dispatched execution cannot drift apart.
+/// Output is byte-identical to the pre-pull eager split (chunks
+/// concatenate in shard order).
 ///
 /// * `cache` — consulted cell-by-cell before any solve and written back
 ///   on miss; pass a [`DiskCache`](crate::cache::DiskCache) to make the
@@ -751,19 +867,48 @@ pub fn run_sharded(
     cache: Option<&dyn SolveCache>,
     observer: Option<&(dyn Fn(&ShardReport) + Sync)>,
 ) -> Result<MergedReport, ShardError> {
-    let indices: Vec<usize> = (0..plan.shards()).collect();
-    // Cap outer parallelism: each shard saturates cores via the
-    // executor's own par_map, so a handful of in-flight shards is enough
-    // to hide file-I/O latency without multiplying worker pools.
-    let reports: Vec<Result<ShardReport, ShardError>> =
-        spp_par::par_map_capped(&indices, 4, |&shard| {
-            let report = run_shard(plan, shard, solvers, config, cache)?;
-            if let Some(obs) = observer {
-                obs(&report);
+    let names: Vec<String> = solvers.iter().map(|s| s.name().to_string()).collect();
+    let source = LocalPlan::new(plan.work_queue(names, config.clone(), None));
+    // Cap the puller pool: each lease saturates cores via the executor's
+    // own par_map, so a handful of in-flight chunks is enough to hide
+    // file-I/O latency without multiplying worker pools.
+    let pullers = plan.shards().clamp(1, 4);
+    let first_error: Mutex<Option<ShardError>> = Mutex::new(None);
+    let execute = |lease: &WorkLease| execute_lease(lease, solvers, cache);
+    let on_complete = |lease: &WorkLease, cells: &[CellRow], runtime: &ShardRuntime| {
+        if let Some(obs) = observer {
+            obs(&shard_report_for(
+                plan,
+                lease,
+                cells.to_vec(),
+                Some(*runtime),
+            ));
+        }
+    };
+    spp_par::run_workers(pullers, |_| {
+        if let Err(e) = pull_work(
+            &source,
+            &execute,
+            Some(&on_complete),
+            Duration::from_millis(5),
+        ) {
+            // Keep the first *real* error; `Aborted` is only the echo a
+            // sibling hears after someone else failed.
+            if e != WorkError::Aborted {
+                let mut slot = first_error.lock().expect("error slot poisoned");
+                if slot.is_none() {
+                    *slot = Some(e.into());
+                }
             }
-            Ok(report)
-        });
-    merge_reports(reports.into_iter().collect::<Result<Vec<_>, _>>()?)
+        }
+    });
+    if let Some(e) = first_error.into_inner().expect("error slot poisoned") {
+        return Err(e);
+    }
+    source.into_merged().ok_or(ShardError::BadReport {
+        context: "work".into(),
+        err: "queue did not drain".into(),
+    })
 }
 
 #[cfg(test)]
@@ -979,6 +1124,128 @@ mod tests {
         let after = cache.stats();
         assert_eq!(after.hits - before.hits, 8, "old cells all resumed");
         assert_eq!(after.misses - before.misses, 1, "only the new file solved");
+    }
+
+    #[test]
+    fn empty_input_dir_is_a_bad_plan_naming_the_dir() {
+        // A directory with no instance files at all.
+        let dir = std::env::temp_dir().join("spp_engine_shard_emptydir");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = ShardPlan::from_dir(&dir, 2).unwrap_err();
+        assert!(matches!(err, ShardError::BadPlan(_)), "{err:?}");
+        assert!(
+            err.to_string().contains("spp_engine_shard_emptydir"),
+            "{err}"
+        );
+
+        // Non-instance files don't count either.
+        std::fs::write(dir.join("README.txt"), "not an instance").unwrap();
+        assert!(ShardPlan::from_dir(&dir, 1).is_err());
+
+        // An empty file list is equally refused.
+        let list = dir.join("list.txt");
+        std::fs::write(&list, "# only comments\n\n").unwrap();
+        let err = ShardPlan::from_file_list(&list, 1).unwrap_err();
+        assert!(err.to_string().contains("names no instances"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_paths_in_file_list_collapse_to_one_job() {
+        let dir = write_suite("dups", 3);
+        let names: Vec<String> = ShardPlan::from_dir(&dir, 1)
+            .unwrap()
+            .paths()
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        // Every file listed twice (plus a repeat of the first at the end).
+        let mut body = String::new();
+        for n in &names {
+            body.push_str(&format!("{n}\n{n}\n"));
+        }
+        body.push_str(&format!("{}\n", names[0]));
+        let list = dir.join("list.txt");
+        std::fs::write(&list, body).unwrap();
+
+        let plan = ShardPlan::from_file_list(&list, 2).unwrap();
+        assert_eq!(plan.len(), 3, "duplicates must not double-count jobs");
+        // And the deduped plan is interchangeable with the from_dir one:
+        // same fingerprint, same merged output.
+        let from_dir = ShardPlan::from_dir(&dir, 2).unwrap();
+        assert_eq!(plan.fingerprint(), from_dir.fingerprint());
+        let s = solvers(&["nfdh"]);
+        let config = SolveConfig::default();
+        let a = run_sharded(&plan, &s, &config, None, None).unwrap();
+        let b = run_sharded(&from_dir, &s, &config, None, None).unwrap();
+        assert_eq!(a.render_cells(), b.render_cells());
+    }
+
+    #[test]
+    fn more_shards_than_files_runs_empty_shards_harmlessly() {
+        let dir = write_suite("overshard", 2);
+        let s = solvers(&["nfdh", "ffdh"]);
+        let config = SolveConfig::default();
+        let wide = ShardPlan::from_dir(&dir, 5).unwrap();
+        let narrow = ShardPlan::from_dir(&dir, 1).unwrap();
+
+        // In-process: empty shards complete with zero cells and the
+        // merged output matches the single-shard run byte-for-byte.
+        let merged = run_sharded(&wide, &s, &config, None, None).unwrap();
+        let reference = run_sharded(&narrow, &s, &config, None, None).unwrap();
+        assert_eq!(merged.cells, reference.cells);
+        assert_eq!(merged.render_cells(), reference.render_cells());
+
+        // Cross-process: an empty shard's report serializes, parses, and
+        // merges like any other.
+        let empty_shard = (0..5)
+            .find(|&i| wide.shard_range(i).unwrap().is_empty())
+            .expect("5 shards over 2 files must leave an empty one");
+        let report = run_shard(&wide, empty_shard, &s, &config, None).unwrap();
+        assert!(report.cells.is_empty());
+        assert!(report.inputs.is_empty());
+        let back = ShardReport::parse(&report.to_json()).unwrap();
+        assert_eq!(back.cells, report.cells);
+        let texts: Vec<String> = (0..5)
+            .map(|i| run_shard(&wide, i, &s, &config, None).unwrap().to_json())
+            .collect();
+        let remerged = merge_reports(
+            texts
+                .iter()
+                .map(|t| ShardReport::parse(t).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        assert_eq!(remerged.render_cells(), reference.render_cells());
+    }
+
+    #[test]
+    fn merged_report_json_roundtrips_exactly() {
+        let dir = write_suite("mergedjson", 4);
+        let s = solvers(&["nfdh", "greedy"]);
+        let merged = run_sharded(
+            &ShardPlan::from_dir(&dir, 2).unwrap(),
+            &s,
+            &SolveConfig::default(),
+            None,
+            None,
+        )
+        .unwrap();
+        let back = MergedReport::parse(&merged.to_json()).unwrap();
+        assert_eq!(back, merged);
+        assert_eq!(back.render_table(), merged.render_table());
+        assert_eq!(back.render_cells(), merged.render_cells());
+        // Canonical: serialize ∘ parse ∘ serialize = serialize.
+        assert_eq!(back.to_json(), merged.to_json());
+        // An empty report roundtrips too.
+        let empty = MergedReport {
+            solvers: vec!["nfdh".into()],
+            cells: vec![],
+        };
+        assert_eq!(MergedReport::parse(&empty.to_json()).unwrap(), empty);
+        // Malformed documents are named errors.
+        assert!(MergedReport::parse("{}").is_err());
+        assert!(MergedReport::parse(&merged.to_json().replace("spp-merged", "spp-shard")).is_err());
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //!   again internally;
 //! * [`par_chunks`] — lower-level chunked parallel-for;
 //! * [`run_workers`] — a fixed-size pool of long-lived workers (used by
-//!   the `spp-serve` HTTP front end's accept loop).
+//!   the `spp-serve` HTTP front end's accept loop and the engine's
+//!   pull-based work drivers);
+//! * [`retry`] — bounded retry with a fixed inter-attempt delay, for
+//!   transient faults at process seams (HTTP cache round trips, work
+//!   dispatcher calls).
 //!
 //! Depth/size cut-offs keep thread creation from swamping small work items:
 //! `join` only forks while a global in-flight-fork budget (≈ number of
@@ -192,6 +196,34 @@ pub fn par_chunks<T: Send>(data: &mut [T], chunk: usize, f: impl Fn(usize, &mut 
             });
         }
     });
+}
+
+/// Call `f` up to `attempts` times, sleeping `delay` between attempts,
+/// until it returns `Ok`. The bounded-retry primitive for transient
+/// faults at process seams (a reset connection to the cache server, a
+/// dispatcher mid-restart): one quick retry usually rides out the blip,
+/// and the *bounded* budget keeps a hard failure loud instead of
+/// becoming an unbounded hang. The final error is returned unchanged.
+///
+/// `attempts` is clamped to at least 1; `f` receives the 0-based attempt
+/// index (callers can log or vary behavior on retries).
+pub fn retry<T, E>(
+    attempts: usize,
+    delay: std::time::Duration,
+    mut f: impl FnMut(usize) -> Result<T, E>,
+) -> Result<T, E> {
+    let attempts = attempts.max(1);
+    let mut last = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(delay);
+        }
+        match f(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("attempts >= 1 ran the closure at least once"))
 }
 
 /// Run `workers` long-lived worker threads, each calling `f(worker_index)`,
@@ -371,6 +403,43 @@ mod tests {
             peak.load(Ordering::SeqCst),
             cores
         );
+    }
+
+    #[test]
+    fn retry_returns_first_success_and_last_error() {
+        use std::time::Duration;
+        // Immediate success: one call, no sleeping.
+        let calls = AtomicUsize::new(0);
+        let r: Result<u32, &str> = retry(3, Duration::ZERO, |_| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Ok(7)
+        });
+        assert_eq!(r, Ok(7));
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+
+        // Succeeds on the second attempt.
+        let r: Result<u32, String> = retry(3, Duration::ZERO, |attempt| {
+            if attempt == 0 {
+                Err("transient".to_string())
+            } else {
+                Ok(attempt as u32)
+            }
+        });
+        assert_eq!(r, Ok(1));
+
+        // Exhausted attempts return the last error, and the budget is
+        // respected exactly.
+        let calls = AtomicUsize::new(0);
+        let r: Result<u32, usize> = retry(3, Duration::ZERO, |attempt| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(attempt)
+        });
+        assert_eq!(r, Err(2));
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+
+        // attempts = 0 clamps to one call, not a panic.
+        let r: Result<u32, &str> = retry(0, Duration::ZERO, |_| Err("x"));
+        assert_eq!(r, Err("x"));
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //! key (digest, solver, full config signature), so a confused or
 //! malicious server — or a config-fingerprint collision — degrades to
 //! recomputation, exactly like a damaged file in a `DiskCache` directory.
+//!
+//! Transient transport faults get **one bounded retry**
+//! ([`http::roundtrip_retry`]): a reset connection or timeout on `get`
+//! or `put` sleeps briefly and tries once more before the usual
+//! degradation applies (cold-cache miss on `get`, loud error on `put`),
+//! so a momentarily busy server does not turn a warm run cold.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -43,25 +49,12 @@ impl HttpCache {
     /// missing port is an error — explicit beats guessed for a cache
     /// that silently degrades to misses on any mismatch).
     pub fn new(url: &str, readonly: bool) -> Result<HttpCache, CacheError> {
-        let bad = |err: &str| CacheError::Io {
+        let authority = http::parse_base_url(url).map_err(|err| CacheError::Io {
             path: url.to_string(),
-            err: err.to_string(),
-        };
-        let rest = url
-            .strip_prefix("http://")
-            .ok_or_else(|| bad("cache URL must start with http://"))?;
-        let authority = rest.strip_suffix('/').unwrap_or(rest);
-        if authority.is_empty() || authority.contains('/') {
-            return Err(bad("cache URL must be http://host:port with no path"));
-        }
-        let (_, port) = authority
-            .rsplit_once(':')
-            .ok_or_else(|| bad("cache URL must name a port (http://host:port)"))?;
-        if port.parse::<u16>().is_err() {
-            return Err(bad("cache URL port is not a number"));
-        }
+            err: format!("cache {err}"),
+        })?;
         Ok(HttpCache {
-            authority: authority.to_string(),
+            authority,
             url: url.to_string(),
             readonly,
             hits: AtomicU64::new(0),
@@ -97,7 +90,8 @@ impl SolveCache for HttpCache {
             }
             None
         };
-        let response = match http::roundtrip(&self.authority, "GET", &Self::path_for(key), "") {
+        let response = match http::roundtrip_retry(&self.authority, "GET", &Self::path_for(key), "")
+        {
             Ok(r) => r,
             Err(_) => return miss(false), // unreachable server = cold cache
         };
@@ -121,11 +115,11 @@ impl SolveCache for HttpCache {
             return Ok(());
         }
         let body = entry_to_json(key, cell);
-        let response = http::roundtrip(&self.authority, "PUT", &Self::path_for(key), &body)
+        let response = http::roundtrip_retry(&self.authority, "PUT", &Self::path_for(key), &body)
             .map_err(|e| CacheError::Io {
-                path: self.url.clone(),
-                err: e.to_string(),
-            })?;
+            path: self.url.clone(),
+            err: e.to_string(),
+        })?;
         match response.status {
             204 | 200 => {
                 self.writes.fetch_add(1, Ordering::Relaxed);
@@ -166,6 +160,93 @@ mod tests {
         ] {
             assert!(HttpCache::new(bad, false).is_err(), "{bad} accepted");
         }
+    }
+
+    /// A stub cache server whose first `fail_first` connections are
+    /// accepted and immediately closed (the transient-fault shape: a
+    /// reset/overloaded peer), after which it serves `conns` requests
+    /// properly: `entry_body` for GETs, 204 for PUTs.
+    fn flaky_stub(entry_body: String, fail_first: usize, conns: usize) -> std::net::SocketAddr {
+        use std::io::{BufRead as _, BufReader, Read as _};
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for n in 0..conns {
+                let Ok((stream, _)) = listener.accept() else {
+                    return;
+                };
+                if n < fail_first {
+                    drop(stream); // close before answering: transient fault
+                    continue;
+                }
+                let mut reader = BufReader::new(&stream);
+                let mut request_line = String::new();
+                if reader.read_line(&mut request_line).is_err() {
+                    continue;
+                }
+                let method = request_line.split(' ').next().unwrap_or("").to_string();
+                let mut content_length = 0usize;
+                loop {
+                    let mut header = String::new();
+                    if reader.read_line(&mut header).is_err() || header.trim().is_empty() {
+                        break;
+                    }
+                    if let Some((name, value)) = header.trim().split_once(':') {
+                        if name.eq_ignore_ascii_case("content-length") {
+                            content_length = value.trim().parse().unwrap_or(0);
+                        }
+                    }
+                }
+                let mut body = vec![0u8; content_length];
+                let _ = reader.read_exact(&mut body);
+                let (status, reply) = if method == "GET" {
+                    (200, entry_body.as_str())
+                } else {
+                    (204, "")
+                };
+                let _ = http::write_response(&stream, status, "application/json", reply);
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn transient_failures_are_retried_once_then_degrade() {
+        let k = CacheKey {
+            digest: spp_core::InstanceDigest::of_canonical_json("retry"),
+            solver: "nfdh".into(),
+            config_sig: spp_engine::SolveConfig::default().signature(),
+        };
+        let c = CachedCell {
+            status: spp_engine::CellStatus::Solved,
+            makespan: 2.5,
+            combined_lb: 1.25,
+        };
+        let body = entry_to_json(&k, &c);
+
+        // First connection dies, the retry lands: the get is a HIT, not
+        // a cold-cache miss.
+        let addr = flaky_stub(body.clone(), 1, 2);
+        let cache = HttpCache::new(&format!("http://{addr}"), false).unwrap();
+        assert_eq!(cache.get(&k), Some(c));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 0);
+
+        // Same for put: one flaky accept, then the write succeeds.
+        let addr = flaky_stub(body.clone(), 1, 2);
+        let cache = HttpCache::new(&format!("http://{addr}"), false).unwrap();
+        assert!(cache.put(&k, &c).is_ok());
+        assert_eq!(cache.stats().writes, 1);
+
+        // Both attempts failing degrades as documented: get is a miss,
+        // put is a loud error — the retry budget is bounded.
+        let addr = flaky_stub(body, 2, 2);
+        let cache = HttpCache::new(&format!("http://{addr}"), false).unwrap();
+        assert_eq!(cache.get(&k), None);
+        assert_eq!(cache.stats().misses, 1);
+        let addr = flaky_stub(String::new(), 2, 2);
+        let cache = HttpCache::new(&format!("http://{addr}"), false).unwrap();
+        assert!(cache.put(&k, &c).is_err());
     }
 
     #[test]

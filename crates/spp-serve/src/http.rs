@@ -189,6 +189,7 @@ pub fn reason(status: u16) -> &'static str {
         403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         411 => "Length Required",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
@@ -222,6 +223,49 @@ pub fn write_response(
 pub struct Response {
     pub status: u16,
     pub body: String,
+}
+
+/// Parse a base URL of the form `http://host:port` into its authority.
+/// A trailing slash is tolerated; any path prefix, scheme other than
+/// `http`, or missing port is an error — explicit beats guessed for
+/// clients that would otherwise silently degrade on a mismatch. Shared
+/// by every client of this crate (`HttpCache`, `RemoteLease`).
+pub fn parse_base_url(url: &str) -> Result<String, String> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or("URL must start with http://")?;
+    let authority = rest.strip_suffix('/').unwrap_or(rest);
+    if authority.is_empty() || authority.contains('/') {
+        return Err("URL must be http://host:port with no path".into());
+    }
+    let (_, port) = authority
+        .rsplit_once(':')
+        .ok_or("URL must name a port (http://host:port)")?;
+    if port.parse::<u16>().is_err() {
+        return Err("URL port is not a number".into());
+    }
+    Ok(authority.to_string())
+}
+
+/// Delay between the two attempts of [`roundtrip_retry`].
+pub const RETRY_DELAY: Duration = Duration::from_millis(50);
+
+/// [`roundtrip`] with one bounded retry: any failure of the first
+/// attempt — refused/reset connection, timeout, or a response cut off
+/// mid-frame — sleeps [`RETRY_DELAY`] and tries once more before the
+/// error stands. One retry rides out the transient blips of a busy or
+/// restarting server; keeping it *bounded* keeps a hard failure loud
+/// (an unreachable cache degrades to cold-cache misses, an unreachable
+/// dispatcher errors) instead of becoming an unbounded hang.
+pub fn roundtrip_retry(
+    authority: &str,
+    method: &str,
+    path_and_query: &str,
+    body: &str,
+) -> Result<Response, HttpError> {
+    spp_par::retry(2, RETRY_DELAY, |_| {
+        roundtrip(authority, method, path_and_query, body)
+    })
 }
 
 /// Perform one blocking request against `authority` (a `host:port`

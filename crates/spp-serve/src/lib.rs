@@ -17,25 +17,36 @@
 //! (an `spp-instance` body, solver + config as query params) straight
 //! from the shared cache, invoking a solver only on miss.
 //!
+//! Since PR 5 the same server also carries the **dispatcher role**: the
+//! engine's [`WorkSource`](spp_engine::WorkSource) seam goes over the
+//! wire as `POST /work/lease` / `POST /work/complete` /
+//! `GET /work/status` / `GET /work/report`, with [`RemoteLease`] as the
+//! client side — a fleet of `spp work` pullers drains one queue, leases
+//! expired by a killed worker are requeued, and the merged report is
+//! byte-identical to a single-process `spp batch`.
+//!
 //! Everything is `std`-only (`TcpListener`/`TcpStream`), matching the
 //! workspace's no-crates.io constraint: [`http`] is a minimal HTTP/1.1
 //! message layer, [`server`] the service, [`client`] the `SolveCache`
-//! adapter. Concurrency is a fixed [`spp_par::run_workers`] accept pool —
-//! bounded by construction, no thread per connection.
+//! adapter, [`work_client`] the `WorkSource` adapter. Concurrency is a
+//! fixed [`spp_par::run_workers`] accept pool — bounded by construction,
+//! no thread per connection.
 //!
 //! ## Deployment sketch
 //!
 //! ```text
-//!   machine 0:  spp serve --cache-dir /var/spp-cache --addr 0.0.0.0:8080
-//!   machine 1:  spp batch --input-dir suite/ --shards 4 --shard-index 0 \
-//!                         --cache-url http://cache-host:8080 --out s0.json
-//!   machine 2:  …shard-index 1… ; machine N: …
-//!   anywhere:   spp batch --merge s0.json,s1.json,…      # byte-identical table
+//!   machine 0:  spp dispatch --input-dir suite/ --algos nfdh,dc-nfdh \
+//!                            --cache-dir /var/spp-cache --addr 0.0.0.0:8080
+//!   machine 1…N:  spp work --dispatcher-url http://host:8080 \
+//!                          --cache-url http://host:8080
+//!   anywhere:   spp batch --dispatcher-url http://host:8080   # byte-identical table
 //! ```
 
 pub mod client;
 pub mod http;
 pub mod server;
+pub mod work_client;
 
 pub use client::HttpCache;
-pub use server::{ServeConfig, ServeCounters, ServeError, Server, ServerHandle};
+pub use server::{EndpointCounters, ServeConfig, ServeCounters, ServeError, Server, ServerHandle};
+pub use work_client::RemoteLease;

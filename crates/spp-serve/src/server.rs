@@ -1,5 +1,22 @@
-//! The `spp serve` HTTP service: a shared solve-cache server plus a
-//! solve endpoint, over the engine's existing seams.
+//! The `spp serve` / `spp dispatch` HTTP service: a shared solve-cache
+//! server, a solve endpoint, and a pull-based work dispatcher — all over
+//! the engine's existing seams.
+//!
+//! One [`Server`] carries up to two independent **roles**:
+//!
+//! * **cache** (`spp serve --cache-dir`): the `/cache/*` key space and
+//!   `POST /solve` over a [`DiskCache`];
+//! * **dispatcher** (`spp dispatch`): a [`WorkQueue`] behind the
+//!   `/work/*` endpoints — `spp work` pullers lease instance-file
+//!   chunks, execute them through the engine pipeline, and report
+//!   portable cells back; expired leases are requeued so a killed
+//!   worker loses nothing, and completion is idempotent (a chunk
+//!   completes once; late and duplicate completions are acknowledged,
+//!   never double-counted).
+//!
+//! A process may serve both (a dispatcher that also hosts the shared
+//! cache is the one-machine-per-role topology collapsed onto one).
+//! Requests for a role the server does not carry are clean 404s.
 //!
 //! ## Endpoints
 //!
@@ -8,7 +25,11 @@
 //! | `GET /cache/<digest>-<solver>-<config-fp>` | — | fetch one `spp-cache-entry` document (404 when absent or damaged) |
 //! | `PUT /cache/<digest>-<solver>-<config-fp>` | `spp-cache-entry` JSON | publish one entry (write-atomic; 400 unless the body's embedded key maps to exactly this name) |
 //! | `POST /solve?solver=<name>[&epsilon=..&k=..&shelf_r=..&strict=..]` | `spp-instance` JSON | consult the cache, solve on miss, return an `spp-solve-report` document |
-//! | `GET /stats` | — | server counters + live cache-directory stats as `spp-serve-stats` JSON |
+//! | `POST /work/lease` | — | lease the next chunk (`spp-work-lease`: grant `work`, `wait`, or `done`) |
+//! | `POST /work/complete` | `spp-work-complete` JSON | report a lease's cells (200 also for duplicates; 409 for unknown leases; 400 for cells that don't match the chunk) |
+//! | `GET /work/status` | — | queue progress as `spp-work-status` JSON (jobs, chunks, requeues, done) |
+//! | `GET /work/report` | — | the merged `spp-merged-report` once every chunk completed (409 before) |
+//! | `GET /stats` | — | uptime, per-endpoint request counters, cache + queue stats as `spp-serve-stats` JSON |
 //!
 //! The path component of `/cache/…` is exactly
 //! [`CacheKey::file_name`](spp_engine::CacheKey::file_name) minus its
@@ -38,12 +59,15 @@
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use spp_core::json;
 use spp_engine::cache::{entry_parse, write_entry_atomic};
+use spp_engine::work::{complete_parse, grant_to_json, status_to_json};
 use spp_engine::{
-    execute_cells, BatchJob, CacheStats, DiskCache, Registry, SolveCache, SolveConfig, SolveRequest,
+    execute_cells, BatchJob, CacheStats, DiskCache, Registry, SolveCache, SolveConfig,
+    SolveRequest, WorkQueue,
 };
 
 use crate::http::{self, HttpError, Request};
@@ -52,7 +76,7 @@ use crate::http::{self, HttpError, Request};
 /// a 60 000-item instance, far beyond anything the suite generates).
 pub const DEFAULT_MAX_BODY: usize = 8 * 1024 * 1024;
 
-/// Server configuration (the `spp serve` flags).
+/// Server configuration (the `spp serve` / `spp dispatch` flags).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:8080` (`:0` picks a free port).
@@ -61,19 +85,34 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Request-body limit in bytes.
     pub max_body: usize,
-    /// Directory of the backing [`DiskCache`].
-    pub cache_dir: PathBuf,
+    /// Directory of the backing [`DiskCache`]; `None` disables the cache
+    /// role (`/cache/*` and `/solve` answer 404) — a dispatcher-only
+    /// process.
+    pub cache_dir: Option<PathBuf>,
     /// Refuse `PUT /cache` and skip write-back after `/solve` misses.
     pub readonly: bool,
 }
 
 impl ServeConfig {
+    /// A cache-role config (the historical `spp serve` shape).
     pub fn new(cache_dir: impl Into<PathBuf>) -> Self {
         ServeConfig {
             addr: "127.0.0.1:0".into(),
             workers: 0,
             max_body: DEFAULT_MAX_BODY,
-            cache_dir: cache_dir.into(),
+            cache_dir: Some(cache_dir.into()),
+            readonly: false,
+        }
+    }
+
+    /// A config with no cache role; pair with
+    /// [`Server::bind_with_work`] for a dispatcher-only process.
+    pub fn without_cache() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            max_body: DEFAULT_MAX_BODY,
+            cache_dir: None,
             readonly: false,
         }
     }
@@ -107,6 +146,31 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// Per-endpoint request counts — the dispatcher (and cache server) is
+/// observable from `/stats` alone, no log scraping. Every routed request
+/// increments exactly one field, whatever its response status.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointCounters {
+    /// `GET /cache/<key>`.
+    pub cache_get: u64,
+    /// `PUT /cache/<key>`.
+    pub cache_put: u64,
+    /// `POST /solve`.
+    pub solve: u64,
+    /// `GET /stats`.
+    pub stats: u64,
+    /// `POST /work/lease`.
+    pub work_lease: u64,
+    /// `POST /work/complete`.
+    pub work_complete: u64,
+    /// `GET /work/status`.
+    pub work_status: u64,
+    /// `GET /work/report`.
+    pub work_report: u64,
+    /// Anything else (404/405 paths).
+    pub other: u64,
+}
+
 /// Lifetime request counters, all monotonically increasing. `/stats`
 /// reports them next to the cache handle's own [`CacheStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -125,8 +189,11 @@ pub struct ServeCounters {
     pub solve_cache_hits: u64,
     /// Responses with a 4xx/5xx status — excluding `GET /cache` misses,
     /// which are protocol-normal 404s already counted as
-    /// `cache_get_misses`.
+    /// `cache_get_misses`, and pre-completion `GET /work/report` polls
+    /// (a protocol-normal 409 while workers are still pulling).
     pub errors: u64,
+    /// Requests by endpoint.
+    pub endpoints: EndpointCounters,
 }
 
 #[derive(Default)]
@@ -138,6 +205,15 @@ struct AtomicCounters {
     solves: AtomicU64,
     solve_cache_hits: AtomicU64,
     errors: AtomicU64,
+    ep_cache_get: AtomicU64,
+    ep_cache_put: AtomicU64,
+    ep_solve: AtomicU64,
+    ep_stats: AtomicU64,
+    ep_work_lease: AtomicU64,
+    ep_work_complete: AtomicU64,
+    ep_work_status: AtomicU64,
+    ep_work_report: AtomicU64,
+    ep_other: AtomicU64,
 }
 
 impl AtomicCounters {
@@ -150,15 +226,35 @@ impl AtomicCounters {
             solves: self.solves.load(Ordering::Relaxed),
             solve_cache_hits: self.solve_cache_hits.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            endpoints: EndpointCounters {
+                cache_get: self.ep_cache_get.load(Ordering::Relaxed),
+                cache_put: self.ep_cache_put.load(Ordering::Relaxed),
+                solve: self.ep_solve.load(Ordering::Relaxed),
+                stats: self.ep_stats.load(Ordering::Relaxed),
+                work_lease: self.ep_work_lease.load(Ordering::Relaxed),
+                work_complete: self.ep_work_complete.load(Ordering::Relaxed),
+                work_status: self.ep_work_status.load(Ordering::Relaxed),
+                work_report: self.ep_work_report.load(Ordering::Relaxed),
+                other: self.ep_other.load(Ordering::Relaxed),
+            },
         }
     }
 }
 
+/// The dispatcher role: the engine's lease queue behind a mutex (every
+/// `/work/*` request takes it briefly; chunk execution happens in the
+/// workers' processes, never under this lock).
+struct WorkState {
+    queue: Mutex<WorkQueue>,
+}
+
 struct State {
-    cache: DiskCache,
+    cache: Option<DiskCache>,
+    work: Option<WorkState>,
     registry: Registry,
     counters: AtomicCounters,
     max_body: usize,
+    started: Instant,
     shutdown: AtomicBool,
 }
 
@@ -174,8 +270,26 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind the listener and open the cache directory.
+    /// Bind the listener and open the cache directory (cache role only —
+    /// the historical `spp serve` shape).
     pub fn bind(config: &ServeConfig) -> Result<Server, ServeError> {
+        Server::bind_with_work(config, None)
+    }
+
+    /// Bind with an optional dispatcher role: pass a [`WorkQueue`] and
+    /// the server additionally speaks `/work/lease`, `/work/complete`,
+    /// `/work/status` and `/work/report`. With `config.cache_dir` also
+    /// set, one process serves both roles (queue + shared cache).
+    pub fn bind_with_work(
+        config: &ServeConfig,
+        work: Option<WorkQueue>,
+    ) -> Result<Server, ServeError> {
+        if config.cache_dir.is_none() && work.is_none() {
+            return Err(ServeError::Bind {
+                addr: config.addr.clone(),
+                err: "server has no role: no cache directory and no work queue".into(),
+            });
+        }
         let listener = TcpListener::bind(&config.addr).map_err(|e| ServeError::Bind {
             addr: config.addr.clone(),
             err: e.to_string(),
@@ -184,25 +298,34 @@ impl Server {
             addr: config.addr.clone(),
             err: e.to_string(),
         })?;
-        // A read-only server over a missing directory would answer every
-        // request 404/500 forever; refuse at startup like the CLI does.
-        if config.readonly && !config.cache_dir.is_dir() {
-            return Err(ServeError::Cache(spp_engine::CacheError::Io {
-                path: config.cache_dir.display().to_string(),
-                err: "read-only cache directory does not exist".into(),
-            }));
-        }
-        let cache =
-            DiskCache::new(&config.cache_dir, config.readonly).map_err(ServeError::Cache)?;
+        let cache = match &config.cache_dir {
+            Some(dir) => {
+                // A read-only server over a missing directory would answer
+                // every request 404/500 forever; refuse at startup like
+                // the CLI does.
+                if config.readonly && !dir.is_dir() {
+                    return Err(ServeError::Cache(spp_engine::CacheError::Io {
+                        path: dir.display().to_string(),
+                        err: "read-only cache directory does not exist".into(),
+                    }));
+                }
+                Some(DiskCache::new(dir, config.readonly).map_err(ServeError::Cache)?)
+            }
+            None => None,
+        };
         Ok(Server {
             listener,
             addr,
             workers: config.effective_workers(),
             state: Arc::new(State {
                 cache,
+                work: work.map(|queue| WorkState {
+                    queue: Mutex::new(queue),
+                }),
                 registry: Registry::builtin(),
                 counters: AtomicCounters::default(),
                 max_body: config.max_body,
+                started: Instant::now(),
                 shutdown: AtomicBool::new(false),
             }),
         })
@@ -365,21 +488,146 @@ fn handle_connection(stream: &TcpStream, state: &State) {
 }
 
 fn route(request: &Request, state: &State) -> Reply {
+    let count = |c: &AtomicU64| {
+        c.fetch_add(1, Ordering::Relaxed);
+    };
+    let ep = &state.counters;
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/stats") => stats_reply(state),
-        ("GET", path) if path.starts_with("/cache/") => cache_get(&path["/cache/".len()..], state),
+        ("GET", "/stats") => {
+            count(&ep.ep_stats);
+            stats_reply(state)
+        }
+        ("GET", path) if path.starts_with("/cache/") => {
+            count(&ep.ep_cache_get);
+            cache_get(&path["/cache/".len()..], state)
+        }
         ("PUT", path) if path.starts_with("/cache/") => {
+            count(&ep.ep_cache_put);
             cache_put(&path["/cache/".len()..], &request.body, state)
         }
-        ("POST", "/solve") => solve(request, state),
-        ("GET" | "PUT" | "POST" | "DELETE" | "HEAD", _) => Reply::error(
+        ("POST", "/solve") => {
+            count(&ep.ep_solve);
+            solve(request, state)
+        }
+        ("POST", "/work/lease") => {
+            count(&ep.ep_work_lease);
+            work_lease(state)
+        }
+        ("POST", "/work/complete") => {
+            count(&ep.ep_work_complete);
+            work_complete(&request.body, state)
+        }
+        ("GET", "/work/status") => {
+            count(&ep.ep_work_status);
+            work_status(state)
+        }
+        ("GET", "/work/report") => {
+            count(&ep.ep_work_report);
+            work_report(state)
+        }
+        ("GET" | "PUT" | "POST" | "DELETE" | "HEAD", _) => {
+            count(&ep.ep_other);
+            Reply::error(
+                404,
+                &format!(
+                    "no such endpoint {} {}; this server speaks GET/PUT /cache/<key>, POST /solve, \
+                     POST /work/lease, POST /work/complete, GET /work/status, GET /work/report, \
+                     GET /stats",
+                    request.method, request.path
+                ),
+            )
+        }
+        _ => {
+            count(&ep.ep_other);
+            Reply::error(405, &format!("method {} not supported", request.method))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher role (`/work/*`)
+// ---------------------------------------------------------------------------
+
+/// The work queue, or the 404 every `/work/*` endpoint answers on a
+/// server without the dispatcher role.
+fn work_queue_of(state: &State) -> Result<&WorkState, Reply> {
+    state.work.as_ref().ok_or_else(|| {
+        Reply::error(
             404,
-            &format!(
-                "no such endpoint {} {}; this server speaks GET/PUT /cache/<key>, POST /solve, GET /stats",
-                request.method, request.path
-            ),
+            "this server has no dispatcher role (start it as `spp dispatch` to serve a work queue)",
+        )
+    })
+}
+
+fn work_lease(state: &State) -> Reply {
+    let ws = match work_queue_of(state) {
+        Ok(ws) => ws,
+        Err(reply) => return reply,
+    };
+    let mut queue = ws.queue.lock().expect("work queue mutex poisoned");
+    let deadline = queue.timeout().map(|t| t.as_secs());
+    let grant = queue.lease(Instant::now());
+    Reply::json(200, grant_to_json(&grant, deadline))
+}
+
+fn work_complete(body: &str, state: &State) -> Reply {
+    let ws = match work_queue_of(state) {
+        Ok(ws) => ws,
+        Err(reply) => return reply,
+    };
+    let (lease_id, start, cells) = match complete_parse(body) {
+        Ok(parsed) => parsed,
+        Err(e) => return Reply::error(400, &format!("body is not a work completion: {e}")),
+    };
+    let mut queue = ws.queue.lock().expect("work queue mutex poisoned");
+    if !queue.knows_lease(lease_id) {
+        // A lease this queue never granted (e.g. a worker outliving a
+        // dispatcher restart): the worker's state is stale, not merely
+        // malformed — 409 so it can tell the difference.
+        return Reply::error(409, &format!("unknown lease id {lease_id}"));
+    }
+    match queue.complete(lease_id, start, &cells) {
+        Ok(()) => Reply::json(
+            200,
+            "{\n  \"format\": \"spp-work-accepted\",\n  \"accepted\": true\n}\n".into(),
         ),
-        _ => Reply::error(405, &format!("method {} not supported", request.method)),
+        Err(e) => Reply::error(400, &e.to_string()),
+    }
+}
+
+fn work_status(state: &State) -> Reply {
+    let ws = match work_queue_of(state) {
+        Ok(ws) => ws,
+        Err(reply) => return reply,
+    };
+    let mut queue = ws.queue.lock().expect("work queue mutex poisoned");
+    Reply::json(200, status_to_json(&queue.status(Instant::now())))
+}
+
+fn work_report(state: &State) -> Reply {
+    let ws = match work_queue_of(state) {
+        Ok(ws) => ws,
+        Err(reply) => return reply,
+    };
+    let mut queue = ws.queue.lock().expect("work queue mutex poisoned");
+    match queue.merged() {
+        Some(merged) => Reply::json(200, merged.to_json()),
+        None => {
+            let status = queue.status(Instant::now());
+            Reply {
+                // Polling for the report before the batch finishes is
+                // protocol-normal (the thin batch client does exactly
+                // that), not an error-counter event.
+                expected: true,
+                ..Reply::error(
+                    409,
+                    &format!(
+                        "batch not complete: {} of {} chunks done",
+                        status.completed_chunks, status.chunks
+                    ),
+                )
+            }
+        }
     }
 }
 
@@ -396,12 +644,27 @@ fn valid_key_name(name: &str) -> bool {
             .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
 }
 
+/// The disk cache, or the 404 every cache-role endpoint answers on a
+/// server without one (a dispatcher-only process).
+fn cache_of(state: &State) -> Result<&DiskCache, Reply> {
+    state.cache.as_ref().ok_or_else(|| {
+        Reply::error(
+            404,
+            "this server has no cache role (start it with --cache-dir to serve one)",
+        )
+    })
+}
+
 fn cache_get(name: &str, state: &State) -> Reply {
+    let cache = match cache_of(state) {
+        Ok(c) => c,
+        Err(reply) => return reply,
+    };
     if !valid_key_name(name) {
         return Reply::error(400, &format!("invalid cache key {name:?}"));
     }
     let file_name = format!("{name}.json");
-    let path = state.cache.dir().join(&file_name);
+    let path = cache.dir().join(&file_name);
     let miss = |state: &State| {
         state
             .counters
@@ -431,10 +694,14 @@ fn cache_get(name: &str, state: &State) -> Reply {
 }
 
 fn cache_put(name: &str, body: &str, state: &State) -> Reply {
+    let cache = match cache_of(state) {
+        Ok(c) => c,
+        Err(reply) => return reply,
+    };
     if !valid_key_name(name) {
         return Reply::error(400, &format!("invalid cache key {name:?}"));
     }
-    if state.cache.is_readonly() {
+    if cache.is_readonly() {
         return Reply::error(403, "cache is read-only");
     }
     let file_name = format!("{name}.json");
@@ -454,7 +721,7 @@ fn cache_put(name: &str, body: &str, state: &State) -> Reply {
     }
     // Store the canonical serialization (== the validated body for every
     // entry our own tools produce).
-    match write_entry_atomic(state.cache.dir(), &file_name, body) {
+    match write_entry_atomic(cache.dir(), &file_name, body) {
         Ok(()) => {
             state.counters.cache_puts.fetch_add(1, Ordering::Relaxed);
             Reply {
@@ -505,6 +772,10 @@ fn solve_params(request: &Request) -> Result<(String, SolveConfig), String> {
 }
 
 fn solve(request: &Request, state: &State) -> Reply {
+    let cache = match cache_of(state) {
+        Ok(c) => c,
+        Err(reply) => return reply,
+    };
     let (solver_name, config) = match solve_params(request) {
         Ok(p) => p,
         Err(e) => return Reply::error(400, &e),
@@ -521,7 +792,7 @@ fn solve(request: &Request, state: &State) -> Reply {
     let jobs = [BatchJob::new("http", solve_request)];
     let solvers = vec![solver];
     // The engine's one pipeline: cache get → solve on miss → atomic put.
-    let outcomes = match execute_cells(&jobs, &solvers, Some(&state.cache)) {
+    let outcomes = match execute_cells(&jobs, &solvers, Some(cache)) {
         Ok(o) => o,
         Err(e) => return Reply::error(500, &e.to_string()),
     };
@@ -566,18 +837,18 @@ fn solve(request: &Request, state: &State) -> Reply {
 }
 
 fn stats_reply(state: &State) -> Reply {
-    let dir = match spp_engine::cache::dir_stats(state.cache.dir()) {
-        Ok(d) => d,
-        Err(e) => return Reply::error(500, &e.to_string()),
-    };
     let c = state.counters.snapshot();
-    let cache: CacheStats = state.cache.stats();
     let mut body = String::new();
     {
         use std::fmt::Write as _;
         body.push_str("{\n");
         let _ = writeln!(body, "  \"format\": \"{STATS_FORMAT}\",");
         let _ = writeln!(body, "  \"version\": 1,");
+        let _ = writeln!(
+            body,
+            "  \"uptime_secs\": {},",
+            state.started.elapsed().as_secs()
+        );
         let _ = writeln!(body, "  \"requests\": {},", c.requests);
         let _ = writeln!(body, "  \"cache_get_hits\": {},", c.cache_get_hits);
         let _ = writeln!(body, "  \"cache_get_misses\": {},", c.cache_get_misses);
@@ -585,16 +856,57 @@ fn stats_reply(state: &State) -> Reply {
         let _ = writeln!(body, "  \"solves\": {},", c.solves);
         let _ = writeln!(body, "  \"solve_cache_hits\": {},", c.solve_cache_hits);
         let _ = writeln!(body, "  \"errors\": {},", c.errors);
+        let ep = c.endpoints;
         let _ = writeln!(
             body,
-            "  \"solve_cache\": \"{}\",",
-            json::escape(&cache.to_string())
+            "  \"endpoints\": {{\"cache_get\": {}, \"cache_put\": {}, \"solve\": {}, \
+             \"stats\": {}, \"work_lease\": {}, \"work_complete\": {}, \"work_status\": {}, \
+             \"work_report\": {}, \"other\": {}}},",
+            ep.cache_get,
+            ep.cache_put,
+            ep.solve,
+            ep.stats,
+            ep.work_lease,
+            ep.work_complete,
+            ep.work_status,
+            ep.work_report,
+            ep.other
         );
-        let _ = writeln!(body, "  \"entries\": {},", dir.entries);
-        let _ = writeln!(body, "  \"corrupt\": {},", dir.corrupt);
-        let _ = writeln!(body, "  \"bytes\": {},", dir.bytes);
-        let _ = writeln!(body, "  \"instances\": {},", dir.instances);
-        let _ = writeln!(body, "  \"configs\": {}", dir.configs);
+        if let Some(ws) = &state.work {
+            let s = ws
+                .queue
+                .lock()
+                .expect("work queue mutex poisoned")
+                .status(Instant::now());
+            let _ = writeln!(body, "  \"work_jobs\": {},", s.jobs);
+            let _ = writeln!(body, "  \"work_chunks\": {},", s.chunks);
+            let _ = writeln!(body, "  \"work_completed_chunks\": {},", s.completed_chunks);
+            let _ = writeln!(body, "  \"work_leases\": {},", s.leases);
+            let _ = writeln!(body, "  \"work_requeued\": {},", s.requeued);
+            let _ = writeln!(body, "  \"work_done\": {},", s.done);
+        }
+        match &state.cache {
+            Some(cache) => {
+                let dir = match spp_engine::cache::dir_stats(cache.dir()) {
+                    Ok(d) => d,
+                    Err(e) => return Reply::error(500, &e.to_string()),
+                };
+                let stats: CacheStats = cache.stats();
+                let _ = writeln!(
+                    body,
+                    "  \"solve_cache\": \"{}\",",
+                    json::escape(&stats.to_string())
+                );
+                let _ = writeln!(body, "  \"entries\": {},", dir.entries);
+                let _ = writeln!(body, "  \"corrupt\": {},", dir.corrupt);
+                let _ = writeln!(body, "  \"bytes\": {},", dir.bytes);
+                let _ = writeln!(body, "  \"instances\": {},", dir.instances);
+                let _ = writeln!(body, "  \"configs\": {}", dir.configs);
+            }
+            None => {
+                let _ = writeln!(body, "  \"cache_role\": false");
+            }
+        }
         body.push_str("}\n");
     }
     Reply::json(200, body)

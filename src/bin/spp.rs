@@ -49,16 +49,16 @@ use std::process::ExitCode;
 
 use strip_packing::dag::PrecInstance;
 use strip_packing::engine::{
-    cache as solve_cache, merge_reports, run_batch, run_shard, run_sharded, BatchJob, CellStatus,
-    DiskCache, MergedReport, Registry, ShardPlan, ShardReport, SolveCache, SolveConfig,
-    SolveRequest, Solver, Validation,
+    cache as solve_cache, merge_reports, run_batch, run_shard, run_sharded, work, BatchJob,
+    CellStatus, DiskCache, MergedReport, Registry, ShardPlan, ShardReport, SolveCache, SolveConfig,
+    SolveRequest, Solver, Validation, WorkError, WorkLease, WorkQueue, WorkSource,
 };
 use strip_packing::gen::rects::DagFamily;
-use strip_packing::serve::{HttpCache, ServeConfig, Server};
+use strip_packing::serve::{HttpCache, RemoteLease, ServeConfig, Server};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  spp gen --family <name> [-n <count>] [--seed <u64>] [--uniform-height]\n          [--format <spp|json>]\n  spp suite --out-dir <dir> [--count <n>] [-n <size>] [--seed <u64>]\n  spp pack <file|-> [--algo <name>] [--render <none|ascii|svg>]\n          [--epsilon <f64>] [-k <usize>] [--shelf-r <f64>] [--strict]\n  spp bounds <file|->\n  spp batch [--families <f1,f2,..>] [--count <per-family>] [-n <size>]\n          [--seed <u64>] [--algos <a1,a2,..>]\n  spp batch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--shards <n>] [--shard-index <i>] [--out <file>]\n          [--cache-dir <dir> | --cache-url <http://host:port>]\n          [--cache-readonly] [--cells]\n  spp batch --merge <report1,report2,..> [--cells]\n  spp cache stats --cache-dir <dir>\n  spp cache gc --cache-dir <dir>\n  spp cache verify --cache-dir <dir> (--input-dir <dir> | --file-list <file>)\n          [--algos <a1,a2,..>] [--sample <n>]\n  spp serve --cache-dir <dir> [--addr <host:port>] [--workers <n>]\n          [--max-body <bytes>] [--cache-readonly]\n  spp algos\n\nrun `spp algos` for the algorithm registry with capability flags"
+        "usage:\n  spp gen --family <name> [-n <count>] [--seed <u64>] [--uniform-height]\n          [--format <spp|json>]\n  spp suite --out-dir <dir> [--count <n>] [-n <size>] [--seed <u64>]\n  spp pack <file|-> [--algo <name>] [--render <none|ascii|svg>]\n          [--epsilon <f64>] [-k <usize>] [--shelf-r <f64>] [--strict]\n  spp bounds <file|->\n  spp batch [--families <f1,f2,..>] [--count <per-family>] [-n <size>]\n          [--seed <u64>] [--algos <a1,a2,..>]\n  spp batch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--shards <n>] [--shard-index <i>] [--out <file>]\n          [--cache-dir <dir> | --cache-url <http://host:port>]\n          [--cache-readonly] [--cells]\n  spp batch --merge <report1,report2,..> [--cells]\n  spp batch --dispatcher-url <http://host:port> [--cells]\n  spp cache stats --cache-dir <dir>\n  spp cache gc --cache-dir <dir> [--max-age <secs>]\n  spp cache verify --cache-dir <dir> (--input-dir <dir> | --file-list <file>)\n          [--algos <a1,a2,..>] [--sample <n>]\n  spp serve --cache-dir <dir> [--addr <host:port>] [--workers <n>]\n          [--max-body <bytes>] [--cache-readonly]\n  spp dispatch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--addr <host:port>] [--lease-files <n>] [--lease-timeout <secs>]\n          [--cache-dir <dir>] [--workers <n>] [--max-body <bytes>]\n  spp work --dispatcher-url <http://host:port>\n          [--cache-dir <dir> | --cache-url <http://host:port>]\n          [--workers <n>] [--poll-ms <ms>] [--abandon-after <n>]\n  spp algos\n\nrun `spp algos` for the algorithm registry with capability flags"
     );
     std::process::exit(2);
 }
@@ -545,6 +545,239 @@ fn cmd_batch_merge(paths_arg: &str, args: &[String]) -> ExitCode {
     }
 }
 
+/// `spp batch --dispatcher-url`: the thin client of a running
+/// `spp dispatch`. Polls the queue until every chunk is completed by the
+/// worker fleet, fetches the merged report, and prints the canonical
+/// table — byte-identical on stdout to a single-process `spp batch` over
+/// the dispatcher's inputs.
+fn cmd_batch_await(url: &str, args: &[String]) -> ExitCode {
+    let remote = match RemoteLease::new(url) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut last_done = usize::MAX;
+    loop {
+        let status = match remote.progress() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if status.completed_chunks != last_done {
+            last_done = status.completed_chunks;
+            eprintln!(
+                "dispatch: {}/{} chunks complete ({} jobs, {} leases, {} requeued)",
+                status.completed_chunks, status.chunks, status.jobs, status.leases, status.requeued
+            );
+        }
+        if status.done {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    match remote.fetch_report() {
+        Ok(merged) => finish_merged(&merged, args.iter().any(|a| a == "--cells")),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `spp dispatch`: serve the pull-based work queue over HTTP.
+///
+/// The dispatcher owns the plan: the sorted instance-file list (split
+/// into `--lease-files`-sized chunks), the solver list, and the solve
+/// config every lease carries. Workers (`spp work`) pull chunks and
+/// report portable cells back; a lease not completed within
+/// `--lease-timeout` seconds is requeued, so a killed worker loses
+/// nothing. With `--cache-dir` the same process also serves the shared
+/// solve cache (the `spp serve` role) — the natural one-host setup.
+///
+/// Like `spp serve`, prints `listening on http://host:port` as the first
+/// stdout line and runs until killed (it keeps answering `/work/status`
+/// and `/work/report` after the batch completes, so late clients can
+/// still collect the result).
+fn cmd_dispatch(args: &[String]) -> ExitCode {
+    use std::io::Write as _;
+    let lease_files: usize = arg_value(args, "--lease-files")
+        .map(parse_or_usage)
+        .unwrap_or(1);
+    let lease_timeout: u64 = arg_value(args, "--lease-timeout")
+        .map(parse_or_usage)
+        .unwrap_or(60);
+    let plan = match (
+        arg_value(args, "--input-dir"),
+        arg_value(args, "--file-list"),
+    ) {
+        (Some(dir), None) => ShardPlan::from_dir(Path::new(&dir), 1),
+        (None, Some(list)) => ShardPlan::from_file_list(Path::new(&list), 1),
+        _ => usage(),
+    };
+    let plan = match plan {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Resolve solver names up front: a dispatcher advertising an unknown
+    // solver would fail every worker later, loudly but wastefully.
+    let solvers = solvers_from_args(args, "nfdh,ffdh,greedy,dc-nfdh");
+    let names: Vec<String> = solvers.iter().map(|s| s.name().to_string()).collect();
+    let config = config_from_args(args);
+    let queue = WorkQueue::new(
+        plan.paths().to_vec(),
+        names.clone(),
+        config,
+        work::chunk_ranges(plan.len(), lease_files),
+        Some(std::time::Duration::from_secs(lease_timeout.max(1))),
+    );
+
+    let mut serve_config = match arg_value(args, "--cache-dir") {
+        Some(dir) => ServeConfig::new(dir),
+        None => ServeConfig::without_cache(),
+    };
+    if let Some(addr) = arg_value(args, "--addr") {
+        serve_config.addr = addr;
+    }
+    if let Some(w) = arg_value(args, "--workers") {
+        serve_config.workers = parse_or_usage(w);
+    }
+    if let Some(m) = arg_value(args, "--max-body") {
+        serve_config.max_body = parse_or_usage(m);
+    }
+    serve_config.readonly = args.iter().any(|a| a == "--cache-readonly");
+    let server = match Server::bind_with_work(&serve_config, Some(queue)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on http://{}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "dispatching {} files x {} solvers in {}-file leases (timeout {}s){}; \
+         endpoints: POST /work/lease, POST /work/complete, GET /work/status, \
+         GET /work/report, GET /stats",
+        plan.len(),
+        names.len(),
+        lease_files.max(1),
+        lease_timeout.max(1),
+        if serve_config.cache_dir.is_some() {
+            "; also serving the cache role"
+        } else {
+            ""
+        }
+    );
+    server.run();
+    ExitCode::SUCCESS
+}
+
+/// `spp work`: a pull-loop worker against a running `spp dispatch`.
+///
+/// Leases chunks, loads their instance files, runs every cell through
+/// the engine's one cache-consulting pipeline (attach the fleet's shared
+/// cache with `--cache-url`, or a local `--cache-dir`), and reports the
+/// portable rows back. Exits 0 when the dispatcher says the batch is
+/// done, nonzero on a hard error (the dispatcher requeues this worker's
+/// outstanding lease at its deadline either way).
+///
+/// `--workers N` runs N concurrent pull loops in this process (each
+/// lease already fans out over cores internally, so the default of 1 is
+/// right unless leases are tiny). `--abandon-after N` is a chaos hook
+/// for testing the requeue path: the process exits 3 *without
+/// completing* its N-th lease — exactly what a worker killed mid-chunk
+/// looks like to the dispatcher.
+fn cmd_work(args: &[String]) -> ExitCode {
+    let Some(url) = arg_value(args, "--dispatcher-url") else {
+        usage()
+    };
+    let source = match RemoteLease::new(&url) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cache = cache_from_args(args);
+    let cache_ref: Option<&dyn SolveCache> = cache.as_deref();
+    let pullers: usize = arg_value(args, "--workers")
+        .map(parse_or_usage)
+        .unwrap_or(1);
+    let poll = std::time::Duration::from_millis(
+        arg_value(args, "--poll-ms")
+            .map(parse_or_usage)
+            .unwrap_or(200),
+    );
+    let abandon_after: Option<u64> = arg_value(args, "--abandon-after").map(parse_or_usage);
+
+    let registry = Registry::builtin();
+    let leases_taken = std::sync::atomic::AtomicU64::new(0);
+    let execute = |lease: &WorkLease| {
+        let taken = leases_taken.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1;
+        if abandon_after == Some(taken) {
+            eprintln!(
+                "work: abandoning lease {} without completing it (--abandon-after {taken})",
+                lease.id
+            );
+            std::process::exit(3);
+        }
+        let mut solvers: Vec<Box<dyn Solver>> = Vec::with_capacity(lease.solvers.len());
+        for name in &lease.solvers {
+            match registry.get_or_err(name) {
+                Ok(s) => solvers.push(s),
+                Err(e) => {
+                    return Err(WorkError::Protocol {
+                        context: format!("lease {}", lease.id),
+                        err: format!("dispatcher names a solver this binary lacks: {e}"),
+                    })
+                }
+            }
+        }
+        work::execute_lease(lease, &solvers, cache_ref)
+    };
+    let totals = std::sync::Mutex::new(work::PullStats::default());
+    let first_error: std::sync::Mutex<Option<WorkError>> = std::sync::Mutex::new(None);
+    spp_par_run(pullers.max(1), || {
+        match work::pull_work(&source, &execute, None, poll) {
+            Ok(stats) => {
+                let mut t = totals.lock().unwrap();
+                t.leases += stats.leases;
+                t.cells += stats.cells;
+                t.waits += stats.waits;
+            }
+            Err(e) => {
+                let mut slot = first_error.lock().unwrap();
+                if slot.is_none() && e != WorkError::Aborted {
+                    *slot = Some(e);
+                }
+            }
+        }
+    });
+    if let Some(e) = first_error.into_inner().unwrap() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let t = totals.into_inner().unwrap();
+    eprintln!("work: {} leases, {} cells", t.leases, t.cells);
+    if let Some(c) = &cache {
+        eprintln!("cache: {}", c.stats());
+    }
+    ExitCode::SUCCESS
+}
+
+/// `run_workers` with a zero-argument closure (the worker index is
+/// irrelevant to a pull loop — the queue is the scheduler).
+fn spp_par_run(workers: usize, f: impl Fn() + Sync) {
+    strip_packing::par::run_workers(workers, |_| f());
+}
+
 /// Batch entry point: dispatch between the in-process generator mode
 /// (`--families`), the instance-file modes (`--input-dir`/`--file-list`,
 /// with optional sharding), and shard-report merging (`--merge`).
@@ -558,6 +791,26 @@ fn cmd_batch(args: &[String]) -> ExitCode {
              solve cache resumes at cell granularity and needs no manifest files)"
         );
         return ExitCode::from(2);
+    }
+    if let Some(url) = arg_value(args, "--dispatcher-url") {
+        reject_flags(
+            args,
+            &[
+                "--input-dir",
+                "--file-list",
+                "--shards",
+                "--shard-index",
+                "--out",
+                "--merge",
+                "--cache-dir",
+                "--cache-url",
+                "--cache-readonly",
+                "--algos",
+                "--families",
+            ],
+            "to --dispatcher-url (the dispatcher owns the plan, solver list and cache wiring)",
+        );
+        return cmd_batch_await(&url, args);
     }
     if let Some(paths) = arg_value(args, "--merge") {
         reject_flags(
@@ -710,6 +963,14 @@ fn cmd_cache_stats(dir: &Path) -> ExitCode {
     println!("bytes        {}", stats.bytes);
     println!("instances    {}", stats.instances);
     println!("configs      {}", stats.configs);
+    // Age histogram: how much of the cache would an age-based
+    // `gc --max-age` sweep — the input to choosing a threshold.
+    let ages: Vec<String> = solve_cache::AGE_BUCKETS
+        .iter()
+        .zip(stats.ages)
+        .map(|(label, count)| format!("{label}:{count}"))
+        .collect();
+    println!("age          {}", ages.join(" "));
     for (solver, count) in &stats.per_solver {
         println!("solver       {solver} {count}");
     }
@@ -717,17 +978,22 @@ fn cmd_cache_stats(dir: &Path) -> ExitCode {
 }
 
 /// `spp cache gc`: delete every file in the cache directory that can
-/// never be served (corrupt, truncated, or mis-filed entries).
-fn cmd_cache_gc(dir: &Path) -> ExitCode {
-    match solve_cache::gc_dir(dir) {
+/// never be served (corrupt, truncated, or mis-filed entries), plus —
+/// with `--max-age <secs>` — every valid entry older than the threshold
+/// (safe by construction: an evicted cell simply recomputes on next use).
+fn cmd_cache_gc(dir: &Path, args: &[String]) -> ExitCode {
+    let max_age =
+        arg_value(args, "--max-age").map(|v| std::time::Duration::from_secs(parse_or_usage(v)));
+    match solve_cache::gc_dir_aged(dir, max_age) {
         Ok(report) => {
             for path in &report.removed {
                 eprintln!("removed {}", path.display());
             }
             println!(
-                "gc: removed {} of {} files, kept {} entries",
+                "gc: removed {} of {} files ({} aged out), kept {} entries",
                 report.removed.len(),
                 report.removed.len() + report.kept,
+                report.expired,
                 report.kept
             );
             ExitCode::SUCCESS
@@ -870,7 +1136,7 @@ fn cmd_cache(args: &[String]) -> ExitCode {
     let dir = PathBuf::from(dir);
     match action {
         "stats" => cmd_cache_stats(&dir),
-        "gc" => cmd_cache_gc(&dir),
+        "gc" => cmd_cache_gc(&dir, &args[1..]),
         "verify" => cmd_cache_verify(&dir, &args[1..]),
         _ => usage(),
     }
@@ -927,6 +1193,8 @@ fn main() -> ExitCode {
         Some("batch") => cmd_batch(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("dispatch") => cmd_dispatch(&args[1..]),
+        Some("work") => cmd_work(&args[1..]),
         Some("algos") => cmd_algos(),
         _ => usage(),
     }
