@@ -1,0 +1,288 @@
+//! Log-bucketed histograms for latency measurement.
+//!
+//! The serving layer needs latency quantiles (p50/p95/p99/p999) both in
+//! the load harness (`spp bench serve`) and live in the server's
+//! `GET /stats` — at request rates where storing every sample is out of
+//! the question. [`Hist`] is the standard HDR-style compromise: buckets
+//! are spaced logarithmically (each power of two split into
+//! `2^SUB_BITS = 8` linear sub-buckets), so every recorded value lands in
+//! a bucket whose width is at most ~12.5% of its magnitude. Quantiles
+//! read back the bucket midpoint, bounding relative error by half that.
+//!
+//! Values are plain `u64`s; the serving layer records **nanoseconds**
+//! (a `u64` holds ~584 years of them, and integer nanoseconds keep the
+//! hot-path `record` free of floating point). Two flavors share the
+//! bucket math:
+//!
+//! * [`Hist`] — single-owner counts, mergeable (each load-generator
+//!   thread owns one and they are merged at the end);
+//! * [`AtomicHist`] — relaxed atomic counts for concurrent recording
+//!   (the server's worker pool records every request into one).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power of two: `2^SUB_BITS`.
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count: values `0..SUB` get exact buckets, every later
+/// octave (up to the 63-bit one) gets `SUB` buckets.
+pub const BUCKETS: usize = (64 - SUB_BITS as usize) * SUB + SUB;
+
+/// Bucket index of a value — monotone in `v`, exact below `SUB`.
+fn index_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+    let shift = msb - SUB_BITS;
+    let sub = ((v >> shift) as usize) & (SUB - 1);
+    ((msb - SUB_BITS + 1) as usize) * SUB + sub
+}
+
+/// Inclusive lower edge of bucket `i` (the smallest value mapping to it).
+fn bucket_lo(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let octave = (i / SUB - 1) as u32 + SUB_BITS;
+    let sub = (i % SUB) as u64;
+    (1u64 << octave) + (sub << (octave - SUB_BITS))
+}
+
+/// Exclusive upper edge of bucket `i`.
+fn bucket_hi(i: usize) -> u64 {
+    if i + 1 < BUCKETS {
+        bucket_lo(i + 1)
+    } else {
+        u64::MAX
+    }
+}
+
+/// The value a bucket reports back: its midpoint, which halves the
+/// worst-case quantile error versus either edge.
+fn bucket_mid(i: usize) -> f64 {
+    (bucket_lo(i) as f64 + bucket_hi(i) as f64) / 2.0
+}
+
+/// A mergeable log-bucketed histogram (single-writer).
+#[derive(Clone)]
+pub struct Hist {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist::new()
+    }
+}
+
+impl Hist {
+    pub fn new() -> Hist {
+        Hist {
+            counts: Box::new([0u64; BUCKETS]),
+            total: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[index_of(v)] += 1;
+        self.total += 1;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Fold another histogram's counts into this one.
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.total += other.total;
+    }
+
+    /// Nearest-rank quantile, `q ∈ [0, 1]`, as the matched bucket's
+    /// midpoint (relative error ≤ ~6.25% by construction). Returns 0.0
+    /// for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_mid(i);
+            }
+        }
+        unreachable!("cumulative count reaches total")
+    }
+}
+
+impl std::fmt::Debug for Hist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Hist {{ count: {}, p50: {:.0}, p99: {:.0} }}",
+            self.total,
+            self.quantile(0.50),
+            self.quantile(0.99)
+        )
+    }
+}
+
+/// Concurrent recorder over the same buckets: `record` is one relaxed
+/// `fetch_add`, safe from any number of threads; [`AtomicHist::snapshot`]
+/// produces a plain [`Hist`] for quantile queries (the snapshot is not
+/// atomic across buckets — quantiles of a live histogram are
+/// approximate by nature, which is all `/stats` needs).
+pub struct AtomicHist {
+    counts: Box<[AtomicU64; BUCKETS]>,
+}
+
+impl Default for AtomicHist {
+    fn default() -> Self {
+        AtomicHist::new()
+    }
+}
+
+impl AtomicHist {
+    pub fn new() -> AtomicHist {
+        // `AtomicU64` is not `Copy`; build the array element by element.
+        let counts: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let counts: Box<[AtomicU64; BUCKETS]> = counts
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("vec has exactly BUCKETS elements"));
+        AtomicHist { counts }
+    }
+
+    pub fn record(&self, v: u64) {
+        self.counts[index_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> Hist {
+        let mut h = Hist::new();
+        for (dst, src) in h.counts.iter_mut().zip(self.counts.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        h.total = h.counts.iter().sum();
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_monotone_and_edges_are_consistent() {
+        // Every bucket's lower edge maps back into that bucket, and the
+        // index function never decreases as values grow.
+        for i in 0..BUCKETS {
+            assert_eq!(index_of(bucket_lo(i)), i, "lo edge of bucket {i}");
+        }
+        // Dense ascending check over the small range, then spot checks
+        // around every power of two.
+        for v in 0..100_000u64 {
+            assert!(index_of(v) <= index_of(v + 1), "non-monotone at {v}");
+        }
+        for shift in 1..63u32 {
+            let p = 1u64 << shift;
+            for v in [p - 1, p, p + 1] {
+                assert!(index_of(v) <= index_of(v + 1), "non-monotone at {v}");
+                assert!(index_of(v) < BUCKETS);
+            }
+        }
+        assert_eq!(index_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Hist::new();
+        for v in 0..SUB as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), SUB as u64);
+        // Quantile of the singleton bucket {3} is within its unit width.
+        let mut h = Hist::new();
+        h.record(3);
+        assert!((h.quantile(0.5) - 3.5).abs() <= 0.5);
+    }
+
+    #[test]
+    fn quantiles_have_bounded_relative_error() {
+        // A deterministic spread over 4 decades: histogram quantiles must
+        // agree with exact nearest-rank quantiles to ~6.25%.
+        let samples: Vec<u64> = (1..=10_000u64).map(|i| i * i).collect(); // 1 .. 1e8
+        let mut h = Hist::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        for q in [0.5, 0.9, 0.95, 0.99, 0.999] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1] as f64;
+            let approx = h.quantile(q);
+            let rel = (approx - exact).abs() / exact;
+            assert!(
+                rel <= 0.0626,
+                "q={q}: exact {exact}, approx {approx}, rel {rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let xs: Vec<u64> = (0..500).map(|i| (i * 7919) % 100_000).collect();
+        let mut all = Hist::new();
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        for (i, &x) in xs.iter().enumerate() {
+            all.record(x);
+            if i % 2 == 0 { &mut a } else { &mut b }.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn atomic_snapshot_matches_plain() {
+        let ah = AtomicHist::new();
+        let mut h = Hist::new();
+        for v in [0u64, 1, 9, 100, 12345, 1 << 40] {
+            ah.record(v);
+            h.record(v);
+        }
+        let snap = ah.snapshot();
+        assert_eq!(snap.count(), h.count());
+        for q in [0.25, 0.5, 0.99] {
+            assert_eq!(snap.quantile(q), h.quantile(q));
+        }
+        // Concurrent recording loses nothing.
+        let ah = AtomicHist::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..1000u64 {
+                        ah.record(i * 31);
+                    }
+                });
+            }
+        });
+        assert_eq!(ah.snapshot().count(), 4000);
+    }
+
+    #[test]
+    fn empty_hist_quantile_is_zero() {
+        assert_eq!(Hist::new().quantile(0.5), 0.0);
+        assert_eq!(Hist::new().count(), 0);
+    }
+}

@@ -16,6 +16,8 @@
 //! * [`hash`] — the one FNV-1a implementation behind every fingerprint
 //!   (shard plans, config knobs) and the canonical [`InstanceDigest`],
 //! * [`stats`] — summary statistics used by the experiment harness,
+//! * [`hist`] — log-bucketed latency histograms shared by the serving
+//!   layer's `/stats` endpoint and the `spp bench serve` load harness,
 //! * [`json`] — the canonical on-disk instance format (`spp-instance`
 //!   JSON) plus the minimal line-tracking JSON parser behind it.
 //!
@@ -27,6 +29,7 @@ pub mod eps;
 pub mod error;
 pub mod geom;
 pub mod hash;
+pub mod hist;
 pub mod instance;
 pub mod item;
 pub mod json;

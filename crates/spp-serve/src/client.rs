@@ -22,6 +22,13 @@
 //! or `put` sleeps briefly and tries once more before the usual
 //! degradation applies (cold-cache miss on `get`, loud error on `put`),
 //! so a momentarily busy server does not turn a warm run cold.
+//!
+//! Transport is **pooled keep-alive**: each calling thread reuses one
+//! persistent connection per server ([`http::pooled_roundtrip`]), so a
+//! warm batch run pays TCP setup once per thread, not once per cell. A
+//! pooled socket the server closed in the meantime (idle timeout,
+//! request budget) is replaced transparently — that race is expected,
+//! not a fault, and does not consume the bounded retry.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -3,13 +3,35 @@
 //! workspace's allowed dependency set contains no HTTP crate (the same
 //! constraint that produced the hand-rolled JSON layer in `spp-core`).
 //!
-//! Scope (deliberate): one request per connection (`Connection: close`),
-//! bodies framed by `Content-Length` only (no chunked encoding), ASCII
-//! request targets, and hard limits on header and body sizes so a
+//! Scope (deliberate): persistent connections with `Connection`
+//! semantics per RFC 9112 (HTTP/1.1 defaults to keep-alive, HTTP/1.0 to
+//! close), bodies framed by `Content-Length` only (no chunked encoding),
+//! ASCII request targets, and hard limits on header and body sizes so a
 //! misbehaving peer cannot balloon memory. Everything outside that scope
 //! is a structured [`HttpError`] that the server maps to a 4xx response
 //! instead of a hang or a panic.
+//!
+//! ## Connection reuse
+//!
+//! The server side serves many requests per accepted socket (the loop
+//! lives in `server.rs`); this module's job is to keep the *framing*
+//! honest across requests: [`read_request`] borrows the connection's
+//! long-lived `BufReader` (a per-request reader would swallow read-ahead
+//! bytes of the next pipelined request), and distinguishes a clean
+//! close at a request boundary ([`HttpError::Closed`]) from an idle
+//! boundary timeout ([`HttpError::Idle`]) from a genuinely broken or
+//! malformed exchange.
+//!
+//! The client side keeps one open [`Conn`] per `(thread, authority)` in
+//! a thread-local pool ([`pooled_roundtrip`]), reconnecting
+//! transparently when a pooled socket has gone stale — the server may
+//! have closed it for idleness or budget exhaustion between our
+//! requests, which is an expected race, not an error. Only a *reused*
+//! socket earns that silent reconnect; a failure on a fresh connection
+//! propagates, so a dead server still fails loudly.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -18,10 +40,12 @@ use std::time::Duration;
 pub const MAX_HEADER_LINE: usize = 8 * 1024;
 /// Most headers accepted per message.
 pub const MAX_HEADERS: usize = 64;
-/// Per-connection socket timeout: a stalled peer frees its worker.
+/// Mid-message socket timeout: a peer that stalls *inside* a request or
+/// response frees its worker. Idle time *between* requests is governed
+/// separately by the server's idle timeout.
 pub const IO_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Protocol-level failures while reading a request. Each maps to one
+/// Protocol-level failures while reading a message. Each maps to one
 /// well-defined HTTP status so handlers never guess.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HttpError {
@@ -33,6 +57,13 @@ pub enum HttpError {
     LengthRequired,
     /// Socket failure or peer disconnect mid-message (no response owed).
     Io(String),
+    /// Peer closed cleanly at a message boundary — the normal end of a
+    /// keep-alive conversation, not a failure.
+    Closed,
+    /// Zero bytes arrived within the read timeout at a message boundary —
+    /// the connection is idle, not broken. The server uses this to slice
+    /// its idle wait so shutdown stays prompt.
+    Idle,
 }
 
 impl std::fmt::Display for HttpError {
@@ -44,13 +75,16 @@ impl std::fmt::Display for HttpError {
             }
             HttpError::LengthRequired => write!(f, "Content-Length header required"),
             HttpError::Io(msg) => write!(f, "connection error: {msg}"),
+            HttpError::Closed => write!(f, "connection closed by peer"),
+            HttpError::Idle => write!(f, "connection idle past read timeout"),
         }
     }
 }
 
 impl std::error::Error for HttpError {}
 
-/// One parsed request: method, split target, raw body.
+/// One parsed request: method, split target, raw body, and whether the
+/// client asked this to be the connection's last exchange.
 #[derive(Debug, Clone)]
 pub struct Request {
     pub method: String,
@@ -59,6 +93,9 @@ pub struct Request {
     /// Raw query string after `?` (empty when absent).
     pub query: String,
     pub body: String,
+    /// `true` when the connection must close after this exchange:
+    /// `Connection: close`, or HTTP/1.0 without `Connection: keep-alive`.
+    pub close: bool,
 }
 
 impl Request {
@@ -79,14 +116,30 @@ fn io_error(e: std::io::Error) -> HttpError {
     HttpError::Io(e.to_string())
 }
 
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 /// Read one CRLF (or bare-LF) terminated line, bounded by
-/// [`MAX_HEADER_LINE`].
-fn read_line(reader: &mut BufReader<&TcpStream>) -> Result<String, HttpError> {
+/// [`MAX_HEADER_LINE`]. With `at_boundary`, zero bytes before the first
+/// byte of the line is reported as [`HttpError::Closed`] (EOF) or
+/// [`HttpError::Idle`] (timeout) — a clean end of a persistent
+/// conversation. Once any byte has arrived, EOF or timeout is a
+/// truncated message and an error.
+fn read_line(reader: &mut BufReader<&TcpStream>, at_boundary: bool) -> Result<String, HttpError> {
     let mut line = Vec::new();
     loop {
         let mut byte = [0u8; 1];
         match reader.read(&mut byte) {
-            Ok(0) => break, // EOF
+            Ok(0) => {
+                if at_boundary && line.is_empty() {
+                    return Err(HttpError::Closed);
+                }
+                return Err(HttpError::Io("connection closed mid-line".into()));
+            }
             Ok(_) => {
                 if byte[0] == b'\n' {
                     break;
@@ -95,6 +148,9 @@ fn read_line(reader: &mut BufReader<&TcpStream>) -> Result<String, HttpError> {
                 if line.len() > MAX_HEADER_LINE {
                     return Err(HttpError::Bad("header line too long".into()));
                 }
+            }
+            Err(e) if is_timeout(&e) && at_boundary && line.is_empty() => {
+                return Err(HttpError::Idle);
             }
             Err(e) => return Err(io_error(e)),
         }
@@ -105,17 +161,42 @@ fn read_line(reader: &mut BufReader<&TcpStream>) -> Result<String, HttpError> {
     String::from_utf8(line).map_err(|_| HttpError::Bad("non-UTF-8 header bytes".into()))
 }
 
-/// Read and parse one request from the stream, enforcing `max_body`.
-pub fn read_request(stream: &TcpStream, max_body: usize) -> Result<Request, HttpError> {
-    stream
+/// Whether a message with `version` and an optional `Connection` header
+/// value ends the connection after this exchange. HTTP/1.1 defaults to
+/// keep-alive, HTTP/1.0 to close; an explicit `close` token always wins.
+fn connection_closes(version: &str, connection: Option<&str>) -> bool {
+    let has = |token: &str| {
+        connection.is_some_and(|v| v.split(',').any(|t| t.trim().eq_ignore_ascii_case(token)))
+    };
+    if has("close") {
+        return true;
+    }
+    if version == "HTTP/1.0" {
+        return !has("keep-alive");
+    }
+    false
+}
+
+/// Read and parse one request from a connection's long-lived reader,
+/// enforcing `max_body`.
+///
+/// The reader (and its stream's read timeout) is owned by the caller's
+/// connection loop: whatever timeout is set when this is called governs
+/// the idle wait for the request line ([`HttpError::Idle`] on expiry);
+/// once the request line has arrived, the timeout is reset to
+/// [`IO_TIMEOUT`] so a slow-trickling request cannot hold a worker
+/// beyond it.
+pub fn read_request(
+    reader: &mut BufReader<&TcpStream>,
+    max_body: usize,
+) -> Result<Request, HttpError> {
+    let request_line = read_line(reader, true)?;
+    // The conversation is live: from here on, stalls are errors.
+    reader
+        .get_ref()
         .set_read_timeout(Some(IO_TIMEOUT))
         .map_err(io_error)?;
-    stream
-        .set_write_timeout(Some(IO_TIMEOUT))
-        .map_err(io_error)?;
-    let mut reader = BufReader::new(stream);
 
-    let request_line = read_line(&mut reader)?;
     let mut parts = request_line.split(' ');
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v), None) if !m.is_empty() && t.starts_with('/') => (m, t, v),
@@ -130,9 +211,10 @@ pub fn read_request(stream: &TcpStream, max_body: usize) -> Result<Request, Http
     }
 
     let mut content_length: Option<usize> = None;
+    let mut connection: Option<String> = None;
     let mut saw_header_end = false;
     for _ in 0..=MAX_HEADERS {
-        let line = read_line(&mut reader)?;
+        let line = read_line(reader, false)?;
         if line.is_empty() {
             saw_header_end = true;
             break;
@@ -146,6 +228,8 @@ pub fn read_request(stream: &TcpStream, max_body: usize) -> Result<Request, Http
                 .parse()
                 .map_err(|_| HttpError::Bad(format!("bad Content-Length {value:?}")))?;
             content_length = Some(n);
+        } else if name.eq_ignore_ascii_case("connection") {
+            connection = Some(value.trim().to_string());
         }
         // Every other header (Host, User-Agent, Accept, …) is irrelevant
         // to this API and skipped.
@@ -177,6 +261,7 @@ pub fn read_request(stream: &TcpStream, max_body: usize) -> Result<Request, Http
         path,
         query,
         body,
+        close: connection_closes(version, connection.as_deref()),
     })
 }
 
@@ -197,19 +282,22 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write one complete response and close the write side. Every response
-/// carries `Connection: close` — one request per connection keeps the
-/// worker-pool accounting exact (a worker is busy iff it is serving one
-/// request).
-pub fn write_response(
+/// Write one complete `Content-Length`-framed response. With `close`
+/// the response announces `Connection: close` and the caller is expected
+/// to drop the socket; otherwise the connection stays open for the next
+/// request (HTTP/1.1 default — no header needed, but an explicit
+/// `keep-alive` is written so 1.0-era intermediaries behave).
+pub fn write_response_conn(
     stream: &TcpStream,
     status: u16,
     content_type: &str,
     body: &str,
+    close: bool,
 ) -> Result<(), HttpError> {
     let mut stream = stream;
+    let connection = if close { "close" } else { "keep-alive" };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
         reason(status),
         body.len()
     );
@@ -218,11 +306,94 @@ pub fn write_response(
     stream.flush().map_err(io_error)
 }
 
+/// [`write_response_conn`] with `Connection: close` — the one-shot shape
+/// kept for single-response stubs (tests) and terminal error replies.
+pub fn write_response(
+    stream: &TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> Result<(), HttpError> {
+    write_response_conn(stream, status, content_type, body, true)
+}
+
 /// A parsed response on the client side.
 #[derive(Debug, Clone)]
 pub struct Response {
     pub status: u16,
     pub body: String,
+    /// Whether the server ends the connection after this response; a
+    /// pooled connection seeing this must not be reused.
+    pub close: bool,
+}
+
+/// Read one response from a connection's reader. Bodies are framed by
+/// `Content-Length`; a response without one is legal only on a closing
+/// connection (read-until-EOF), which this layer's own server never
+/// produces but foreign/stub servers may.
+pub fn read_response(reader: &mut BufReader<&TcpStream>) -> Result<Response, HttpError> {
+    let status_line = read_line(reader, true)?;
+    let mut head = status_line.split(' ');
+    let version = head.next().unwrap_or("");
+    let status: u16 = head
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Bad(format!("malformed status line {status_line:?}")))?;
+    let mut content_length: Option<usize> = None;
+    let mut connection: Option<String> = None;
+    for _ in 0..=MAX_HEADERS {
+        let line = read_line(reader, false)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            } else if name.eq_ignore_ascii_case("connection") {
+                connection = Some(value.trim().to_string());
+            }
+        }
+    }
+    let mut close = connection_closes(version, connection.as_deref());
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf).map_err(io_error)?;
+            String::from_utf8(buf).map_err(|_| HttpError::Bad("non-UTF-8 body".into()))?
+        }
+        // No Content-Length: the only sound framing left is till-EOF,
+        // after which the connection is necessarily done.
+        None => {
+            close = true;
+            let mut buf = String::new();
+            reader.read_to_string(&mut buf).map_err(io_error)?;
+            buf
+        }
+    };
+    Ok(Response {
+        status,
+        body,
+        close,
+    })
+}
+
+fn write_request(
+    stream: &TcpStream,
+    authority: &str,
+    method: &str,
+    path_and_query: &str,
+    body: &str,
+    close: bool,
+) -> Result<(), HttpError> {
+    let mut w = stream;
+    let connection = if close { "Connection: close\r\n" } else { "" };
+    let head = format!(
+        "{method} {path_and_query} HTTP/1.1\r\nHost: {authority}\r\nContent-Length: {}\r\n{connection}\r\n",
+        body.len()
+    );
+    w.write_all(head.as_bytes()).map_err(io_error)?;
+    w.write_all(body.as_bytes()).map_err(io_error)?;
+    w.flush().map_err(io_error)
 }
 
 /// Parse a base URL of the form `http://host:port` into its authority.
@@ -247,10 +418,140 @@ pub fn parse_base_url(url: &str) -> Result<String, String> {
     Ok(authority.to_string())
 }
 
+/// One persistent client connection to an authority. Owns the socket;
+/// [`Conn::call`] runs a full request/response exchange on it. Any error
+/// from `call` means the connection is no longer usable and must be
+/// dropped — response framing cannot be resynchronized after a partial
+/// exchange.
+pub struct Conn {
+    authority: String,
+    stream: TcpStream,
+    requests: u64,
+}
+
+impl Conn {
+    pub fn connect(authority: &str) -> Result<Conn, HttpError> {
+        let stream = TcpStream::connect(authority).map_err(io_error)?;
+        stream
+            .set_read_timeout(Some(IO_TIMEOUT))
+            .map_err(io_error)?;
+        stream
+            .set_write_timeout(Some(IO_TIMEOUT))
+            .map_err(io_error)?;
+        // Small request/response exchanges: waiting for coalescing only
+        // adds latency. Best effort — some test doubles don't care.
+        let _ = stream.set_nodelay(true);
+        Ok(Conn {
+            authority: authority.to_string(),
+            stream,
+            requests: 0,
+        })
+    }
+
+    pub fn authority(&self) -> &str {
+        &self.authority
+    }
+
+    /// Requests completed on this connection.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// One request/response exchange, keep-alive framing. A fresh
+    /// `BufReader` per response is sound here because the server never
+    /// sends ahead of our next request (no pipelining on the client
+    /// side), so there is never read-ahead to lose between calls.
+    pub fn call(
+        &mut self,
+        method: &str,
+        path_and_query: &str,
+        body: &str,
+    ) -> Result<Response, HttpError> {
+        write_request(
+            &self.stream,
+            &self.authority,
+            method,
+            path_and_query,
+            body,
+            false,
+        )?;
+        let mut reader = BufReader::new(&self.stream);
+        let response = read_response(&mut reader)?;
+        self.requests += 1;
+        Ok(response)
+    }
+
+    /// Surrender the raw socket (tests observe the server's close
+    /// behavior — EOF vs reset — directly on it).
+    pub fn into_stream(self) -> TcpStream {
+        self.stream
+    }
+}
+
+thread_local! {
+    /// One pooled connection per authority per thread. Entries are taken
+    /// out for the duration of a call (never borrowed across blocking
+    /// I/O) and returned only when the response allows reuse.
+    static POOL: RefCell<HashMap<String, Conn>> = RefCell::new(HashMap::new());
+}
+
+fn pool_take(authority: &str) -> Option<Conn> {
+    POOL.with(|p| p.borrow_mut().remove(authority))
+}
+
+fn pool_put(conn: Conn) {
+    POOL.with(|p| {
+        p.borrow_mut().insert(conn.authority.clone(), conn);
+    });
+}
+
+/// Drop this thread's pooled connection to `authority`, if any. Tests
+/// use this to force a fresh connection; production code never needs it.
+pub fn pool_evict(authority: &str) {
+    POOL.with(|p| {
+        p.borrow_mut().remove(authority);
+    });
+}
+
+/// Perform one request over this thread's pooled connection to
+/// `authority`, connecting (and pooling) on first use.
+///
+/// A failure on a *reused* socket is retried once on a fresh connection
+/// without surfacing: the server closing a pooled connection between our
+/// requests (idle timeout, request budget) is an expected race. A
+/// failure on a fresh connection propagates — that is a real error.
+/// Note the retry resends the request, so a reused socket that died
+/// after the server acted but before we read the response can execute
+/// the request twice; every endpoint behind this client tolerates that
+/// (cache puts are idempotent, an orphaned work lease is requeued by the
+/// dispatcher — see `work_client.rs`).
+pub fn pooled_roundtrip(
+    authority: &str,
+    method: &str,
+    path_and_query: &str,
+    body: &str,
+) -> Result<Response, HttpError> {
+    if let Some(mut conn) = pool_take(authority) {
+        if let Ok(response) = conn.call(method, path_and_query, body) {
+            if !response.close {
+                pool_put(conn);
+            }
+            return Ok(response);
+        }
+        // Stale pooled socket; fall through to a fresh connection.
+    }
+    let mut conn = Conn::connect(authority)?;
+    let response = conn.call(method, path_and_query, body)?;
+    if !response.close {
+        pool_put(conn);
+    }
+    Ok(response)
+}
+
 /// Delay between the two attempts of [`roundtrip_retry`].
 pub const RETRY_DELAY: Duration = Duration::from_millis(50);
 
-/// [`roundtrip`] with one bounded retry: any failure of the first
+/// [`pooled_roundtrip`] with one bounded retry: any failure of the first
 /// attempt — refused/reset connection, timeout, or a response cut off
 /// mid-frame — sleeps [`RETRY_DELAY`] and tries once more before the
 /// error stands. One retry rides out the transient blips of a busy or
@@ -264,13 +565,15 @@ pub fn roundtrip_retry(
     body: &str,
 ) -> Result<Response, HttpError> {
     spp_par::retry(2, RETRY_DELAY, |_| {
-        roundtrip(authority, method, path_and_query, body)
+        pooled_roundtrip(authority, method, path_and_query, body)
     })
 }
 
 /// Perform one blocking request against `authority` (a `host:port`
-/// string) and read the full response. One connection per call — the
-/// server closes after responding anyway.
+/// string) on its own connection, `Connection: close`. The pooled path
+/// ([`pooled_roundtrip`]) is the production client; this one-shot shape
+/// remains for tests and for deliberately unpooled probes (e.g. the
+/// bench harness's close-per-request mode).
 pub fn roundtrip(
     authority: &str,
     method: &str,
@@ -284,48 +587,47 @@ pub fn roundtrip(
     stream
         .set_write_timeout(Some(IO_TIMEOUT))
         .map_err(io_error)?;
-    {
-        let mut w = &stream;
-        let head = format!(
-            "{method} {path_and_query} HTTP/1.1\r\nHost: {authority}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-            body.len()
-        );
-        w.write_all(head.as_bytes()).map_err(io_error)?;
-        w.write_all(body.as_bytes()).map_err(io_error)?;
-        w.flush().map_err(io_error)?;
+    write_request(&stream, authority, method, path_and_query, body, true)?;
+    let mut reader = BufReader::new(&stream);
+    read_response(&mut reader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connection_header_semantics() {
+        // HTTP/1.1: keep-alive unless an explicit close token.
+        assert!(!connection_closes("HTTP/1.1", None));
+        assert!(connection_closes("HTTP/1.1", Some("close")));
+        assert!(connection_closes("HTTP/1.1", Some("Close")));
+        assert!(connection_closes("HTTP/1.1", Some("keep-alive, close")));
+        assert!(!connection_closes("HTTP/1.1", Some("keep-alive")));
+        // HTTP/1.0: close unless an explicit keep-alive token.
+        assert!(connection_closes("HTTP/1.0", None));
+        assert!(!connection_closes("HTTP/1.0", Some("keep-alive")));
+        assert!(connection_closes("HTTP/1.0", Some("close")));
     }
 
-    let mut reader = BufReader::new(&stream);
-    let status_line = read_line(&mut reader)?;
-    let status: u16 = status_line
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| HttpError::Bad(format!("malformed status line {status_line:?}")))?;
-    let mut content_length: Option<usize> = None;
-    for _ in 0..=MAX_HEADERS {
-        let line = read_line(&mut reader)?;
-        if line.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = line.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().ok();
-            }
+    #[test]
+    fn base_url_parsing() {
+        assert_eq!(
+            parse_base_url("http://127.0.0.1:8080").unwrap(),
+            "127.0.0.1:8080"
+        );
+        assert_eq!(
+            parse_base_url("http://localhost:80/").unwrap(),
+            "localhost:80"
+        );
+        for bad in [
+            "https://host:1",
+            "http://host:1/path",
+            "http://host",
+            "http://host:notaport",
+            "host:80",
+        ] {
+            assert!(parse_base_url(bad).is_err(), "{bad} should be rejected");
         }
     }
-    let body = match content_length {
-        Some(n) => {
-            let mut buf = vec![0u8; n];
-            reader.read_exact(&mut buf).map_err(io_error)?;
-            String::from_utf8(buf).map_err(|_| HttpError::Bad("non-UTF-8 body".into()))?
-        }
-        // Connection: close framing — read until EOF.
-        None => {
-            let mut buf = String::new();
-            reader.read_to_string(&mut buf).map_err(io_error)?;
-            buf
-        }
-    };
-    Ok(Response { status, body })
 }

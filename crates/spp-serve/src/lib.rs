@@ -27,10 +27,15 @@
 //!
 //! Everything is `std`-only (`TcpListener`/`TcpStream`), matching the
 //! workspace's no-crates.io constraint: [`http`] is a minimal HTTP/1.1
-//! message layer, [`server`] the service, [`client`] the `SolveCache`
-//! adapter, [`work_client`] the `WorkSource` adapter. Concurrency is a
-//! fixed [`spp_par::run_workers`] accept pool — bounded by construction,
-//! no thread per connection.
+//! message layer — persistent keep-alive connections with
+//! `Content-Length` framing and a per-thread client connection pool —
+//! [`server`] the service (per-connection request budget, idle timeout,
+//! connection counters and latency quantiles in `/stats`), [`client`]
+//! the `SolveCache` adapter, [`work_client`] the `WorkSource` adapter,
+//! and [`bench`] the `spp bench serve` load generator that measures the
+//! whole stack (RPS + latency histograms, keep-alive vs close).
+//! Concurrency is a fixed [`spp_par::run_workers`] accept pool — bounded
+//! by construction, no thread per connection.
 //!
 //! ## Deployment sketch
 //!
@@ -42,6 +47,7 @@
 //!   anywhere:   spp batch --dispatcher-url http://host:8080   # byte-identical table
 //! ```
 
+pub mod bench;
 pub mod client;
 pub mod http;
 pub mod server;

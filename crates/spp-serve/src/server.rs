@@ -46,22 +46,33 @@
 //! ## Execution model
 //!
 //! A fixed pool of [`spp_par::run_workers`] threads all block in
-//! `accept` on one listener; each serves one `Connection: close` request
-//! at a time, so at most `workers` requests (and hence at most `workers`
-//! concurrent solves) are in flight — the bounded-worker-pool contract.
-//! Solves flow through the engine's one cache-consulting
-//! [`execute_cells`] pipeline, exactly like `spp batch`.
+//! `accept` on one listener; each serves one **connection** at a time —
+//! persistent HTTP/1.1, many requests per accepted socket — so at most
+//! `workers` connections (and hence at most `workers` concurrent
+//! solves) are in flight: the bounded-worker-pool contract, now paying
+//! TCP setup once per conversation instead of once per request. A
+//! connection is closed when the client asks (`Connection: close`, or
+//! HTTP/1.0 without keep-alive), when its request budget
+//! ([`ServeConfig::keepalive_requests`]) is spent, when it sits idle
+//! past [`ServeConfig::idle_timeout`], or when a handler panics (the
+//! panic costs one 500 response and that connection, never a pool
+//! worker). The idle wait is sliced so shutdown stays prompt even with
+//! idle keep-alive clients attached. Solves flow through the engine's
+//! one cache-consulting [`execute_cells`] pipeline, exactly like
+//! `spp batch`.
 //!
 //! Errors are structured: every 4xx/5xx body is an `spp-serve-error`
 //! JSON document naming the problem (parse errors keep the field + line
 //! detail of `spp_core::json`).
 
+use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use spp_core::hist::AtomicHist;
 use spp_core::json;
 use spp_engine::cache::{entry_parse, write_entry_atomic};
 use spp_engine::work::{complete_parse, grant_to_json, status_to_json};
@@ -75,6 +86,33 @@ use crate::http::{self, HttpError, Request};
 /// Default cap on `PUT /cache` and `POST /solve` bodies (8 MiB — roughly
 /// a 60 000-item instance, far beyond anything the suite generates).
 pub const DEFAULT_MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// Default per-connection request budget: after this many requests the
+/// server answers the next one with `Connection: close`. High enough to
+/// amortize TCP setup to nothing, low enough that one greedy client
+/// cannot monopolize a pool worker forever.
+pub const DEFAULT_KEEPALIVE_REQUESTS: u64 = 1000;
+
+/// Default keep-alive idle timeout: a connection with no next request
+/// within this window is closed and its worker returns to `accept`.
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Granularity of the idle wait: workers re-check the shutdown flag
+/// between slices, bounding shutdown latency even with idle keep-alive
+/// clients attached.
+const IDLE_SLICE: Duration = Duration::from_millis(200);
+
+/// Idle grace under pool pressure: when no worker is left blocking in
+/// `accept` (every one is serving a connection), each connection's idle
+/// wait shrinks to this, so an idle keep-alive client frees its worker
+/// for the backlog instead of starving new connections for the full
+/// idle timeout. With spare workers the full timeout applies — reuse is
+/// only traded away when it is actually contended.
+const PRESSURED_IDLE: Duration = Duration::from_millis(200);
+
+/// Backoff after a failed `accept` (fd exhaustion, transient kernel
+/// errors): without it a persistent failure spins every worker hot.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(10);
 
 /// Server configuration (the `spp serve` / `spp dispatch` flags).
 #[derive(Debug, Clone)]
@@ -91,6 +129,12 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// Refuse `PUT /cache` and skip write-back after `/solve` misses.
     pub readonly: bool,
+    /// Requests served per connection before the server closes it
+    /// (`0` is treated as `1`: every connection serves at least one).
+    pub keepalive_requests: u64,
+    /// How long a connection may sit idle between requests before the
+    /// server closes it.
+    pub idle_timeout: Duration,
 }
 
 impl ServeConfig {
@@ -102,6 +146,8 @@ impl ServeConfig {
             max_body: DEFAULT_MAX_BODY,
             cache_dir: Some(cache_dir.into()),
             readonly: false,
+            keepalive_requests: DEFAULT_KEEPALIVE_REQUESTS,
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
         }
     }
 
@@ -114,6 +160,8 @@ impl ServeConfig {
             max_body: DEFAULT_MAX_BODY,
             cache_dir: None,
             readonly: false,
+            keepalive_requests: DEFAULT_KEEPALIVE_REQUESTS,
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
         }
     }
 
@@ -177,6 +225,16 @@ pub struct EndpointCounters {
 pub struct ServeCounters {
     /// Requests accepted (whatever their outcome).
     pub requests: u64,
+    /// Connections accepted (each may carry many requests).
+    pub connections_accepted: u64,
+    /// Requests served on an already-used connection — request 2..n of a
+    /// keep-alive conversation. `requests − keepalive_reuses` is the
+    /// number of connections that carried at least one request.
+    pub keepalive_reuses: u64,
+    /// `accept` failures survived (each also costs a short backoff).
+    pub accept_failures: u64,
+    /// Most requests any single (finished or ongoing) connection served.
+    pub max_requests_per_connection: u64,
     /// `GET /cache` that returned an entry.
     pub cache_get_hits: u64,
     /// `GET /cache` that returned 404 (absent or damaged).
@@ -199,6 +257,10 @@ pub struct ServeCounters {
 #[derive(Default)]
 struct AtomicCounters {
     requests: AtomicU64,
+    connections_accepted: AtomicU64,
+    keepalive_reuses: AtomicU64,
+    accept_failures: AtomicU64,
+    max_requests_per_connection: AtomicU64,
     cache_get_hits: AtomicU64,
     cache_get_misses: AtomicU64,
     cache_puts: AtomicU64,
@@ -220,6 +282,10 @@ impl AtomicCounters {
     fn snapshot(&self) -> ServeCounters {
         ServeCounters {
             requests: self.requests.load(Ordering::Relaxed),
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            keepalive_reuses: self.keepalive_reuses.load(Ordering::Relaxed),
+            accept_failures: self.accept_failures.load(Ordering::Relaxed),
+            max_requests_per_connection: self.max_requests_per_connection.load(Ordering::Relaxed),
             cache_get_hits: self.cache_get_hits.load(Ordering::Relaxed),
             cache_get_misses: self.cache_get_misses.load(Ordering::Relaxed),
             cache_puts: self.cache_puts.load(Ordering::Relaxed),
@@ -253,7 +319,16 @@ struct State {
     work: Option<WorkState>,
     registry: Registry,
     counters: AtomicCounters,
+    /// Per-request service latency (route + response write, excluding
+    /// idle waits between requests), in nanoseconds. `/stats` reports its
+    /// quantiles in microseconds.
+    latency: AtomicHist,
     max_body: usize,
+    keepalive_requests: u64,
+    idle_timeout: Duration,
+    /// Workers currently blocked in `accept` — connection loops consult
+    /// this to shrink their idle grace when the pool is saturated.
+    accepting: AtomicU64,
     started: Instant,
     shutdown: AtomicBool,
 }
@@ -324,7 +399,11 @@ impl Server {
                 }),
                 registry: Registry::builtin(),
                 counters: AtomicCounters::default(),
+                latency: AtomicHist::new(),
                 max_body: config.max_body,
+                keepalive_requests: config.keepalive_requests.max(1),
+                idle_timeout: config.idle_timeout.max(Duration::from_millis(1)),
+                accepting: AtomicU64::new(0),
                 started: Instant::now(),
                 shutdown: AtomicBool::new(false),
             }),
@@ -346,31 +425,39 @@ impl Server {
             if state.shutdown.load(Ordering::Relaxed) {
                 break;
             }
-            match listener.accept() {
+            state.accepting.fetch_add(1, Ordering::Relaxed);
+            let accepted = listener.accept();
+            state.accepting.fetch_sub(1, Ordering::Relaxed);
+            match accepted {
                 Ok((stream, _)) => {
                     if state.shutdown.load(Ordering::Relaxed) {
                         break; // wake-up poke, not a request
                     }
-                    // A panicking handler (a solver bug on some input)
-                    // must cost one response, not one pool worker — an
-                    // uncaught unwind here would silently shrink the pool
-                    // to zero over time.
-                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    state
+                        .counters
+                        .connections_accepted
+                        .fetch_add(1, Ordering::Relaxed);
+                    // Last-resort unwind guard: per-request panics are
+                    // already caught inside the connection loop, but a
+                    // panic in the loop's own plumbing must still cost
+                    // one connection, not one pool worker.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         handle_connection(&stream, state);
                     }));
-                    if caught.is_err() {
-                        state.counters.errors.fetch_add(1, Ordering::Relaxed);
-                        let _ = http::write_response(
-                            &stream,
-                            500,
-                            "application/json",
-                            &error_body(500, "internal error while handling the request"),
-                        );
-                    }
                 }
                 // Transient accept failures (peer reset mid-handshake,
-                // fd pressure): keep the worker alive.
-                Err(_) => continue,
+                // fd pressure): keep the worker alive, but back off —
+                // a persistent failure must not spin every worker hot.
+                Err(_) => {
+                    state
+                        .counters
+                        .accept_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                    if state.shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::thread::sleep(ACCEPT_BACKOFF);
+                }
             }
         });
     }
@@ -470,21 +557,130 @@ impl Reply {
     }
 }
 
-fn handle_connection(stream: &TcpStream, state: &State) {
-    state.counters.requests.fetch_add(1, Ordering::Relaxed);
-    let reply = match http::read_request(stream, state.max_body) {
-        Ok(request) => route(&request, state),
-        Err(HttpError::Io(_)) => return, // peer went away; no response owed
-        Err(HttpError::LengthRequired) => Reply::error(411, "Content-Length header required"),
-        Err(HttpError::TooLarge { limit }) => {
-            Reply::error(413, &format!("request body exceeds the {limit}-byte limit"))
+/// Wait for the next request at a connection boundary, slicing the idle
+/// wait so the worker re-checks the shutdown flag every [`IDLE_SLICE`].
+/// Returns [`HttpError::Idle`] once the full idle budget (or shutdown)
+/// expires with no byte received; any arriving byte hands off to the
+/// normal request parse (which switches the stream to
+/// [`http::IO_TIMEOUT`] for the rest of the message).
+fn read_request_idle(
+    reader: &mut BufReader<&TcpStream>,
+    state: &State,
+) -> Result<Request, HttpError> {
+    let mut waited = Duration::ZERO;
+    loop {
+        // Under pool pressure (no worker left in `accept`), this
+        // connection's idle grace shrinks so its worker can drain the
+        // backlog; re-checked each slice so relief applies immediately.
+        let budget = if state.accepting.load(Ordering::Relaxed) == 0 {
+            state.idle_timeout.min(PRESSURED_IDLE)
+        } else {
+            state.idle_timeout
+        };
+        let remaining = budget.saturating_sub(waited);
+        if remaining.is_zero() || state.shutdown.load(Ordering::Relaxed) {
+            return Err(HttpError::Idle);
         }
-        Err(HttpError::Bad(msg)) => Reply::error(400, &msg),
-    };
-    if reply.status >= 400 && !reply.expected {
-        state.counters.errors.fetch_add(1, Ordering::Relaxed);
+        let slice = remaining.min(IDLE_SLICE);
+        reader
+            .get_ref()
+            .set_read_timeout(Some(slice))
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        match http::read_request(reader, state.max_body) {
+            Err(HttpError::Idle) => waited += slice,
+            other => return other,
+        }
     }
-    let _ = http::write_response(stream, reply.status, reply.content_type, &reply.body);
+}
+
+/// Serve one accepted connection: many requests per socket, bounded by
+/// the request budget, the idle timeout, the client's own `Connection`
+/// header, and shutdown. The `BufReader` lives as long as the
+/// connection — a per-request reader would drop read-ahead bytes of a
+/// pipelined next request on the floor.
+fn handle_connection(stream: &TcpStream, state: &State) {
+    if stream.set_write_timeout(Some(http::IO_TIMEOUT)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    let mut served: u64 = 0;
+    loop {
+        let request = match read_request_idle(&mut reader, state) {
+            Ok(request) => request,
+            // Clean end of the conversation: peer closed at a boundary,
+            // idle budget spent, or shutdown. Nothing owed.
+            Err(HttpError::Closed | HttpError::Idle) => break,
+            // Peer broke mid-message (disconnect, stall): no one is
+            // listening for a response.
+            Err(HttpError::Io(_)) => break,
+            // Protocol errors get a final response, then the connection
+            // closes — framing can't be trusted past a malformed message.
+            Err(e) => {
+                state.counters.requests.fetch_add(1, Ordering::Relaxed);
+                state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let reply = match e {
+                    HttpError::LengthRequired => {
+                        Reply::error(411, "Content-Length header required")
+                    }
+                    HttpError::TooLarge { limit } => {
+                        Reply::error(413, &format!("request body exceeds the {limit}-byte limit"))
+                    }
+                    HttpError::Bad(msg) => Reply::error(400, &msg),
+                    HttpError::Io(_) | HttpError::Closed | HttpError::Idle => unreachable!(),
+                };
+                let _ = http::write_response_conn(
+                    stream,
+                    reply.status,
+                    reply.content_type,
+                    &reply.body,
+                    true,
+                );
+                break;
+            }
+        };
+        served += 1;
+        if served > 1 {
+            state
+                .counters
+                .keepalive_reuses
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        state.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        // A panicking handler (a solver bug on some input) must cost one
+        // 500 response and this connection, not a pool worker — an
+        // uncaught unwind here would silently shrink the pool to zero
+        // over time.
+        let (reply, panicked) =
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(&request, state)))
+            {
+                Ok(reply) => (reply, false),
+                Err(_) => (
+                    Reply::error(500, "internal error while handling the request"),
+                    true,
+                ),
+            };
+        if reply.status >= 400 && !reply.expected {
+            state.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let close = request.close
+            || panicked
+            || served >= state.keepalive_requests
+            || state.shutdown.load(Ordering::Relaxed);
+        let written =
+            http::write_response_conn(stream, reply.status, reply.content_type, &reply.body, close);
+        state
+            .latency
+            .record(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        if close || written.is_err() {
+            break;
+        }
+    }
+    state
+        .counters
+        .max_requests_per_connection
+        .fetch_max(served, Ordering::Relaxed);
 }
 
 fn route(request: &Request, state: &State) -> Reply {
@@ -856,6 +1052,39 @@ fn stats_reply(state: &State) -> Reply {
         let _ = writeln!(body, "  \"solves\": {},", c.solves);
         let _ = writeln!(body, "  \"solve_cache_hits\": {},", c.solve_cache_hits);
         let _ = writeln!(body, "  \"errors\": {},", c.errors);
+        let _ = writeln!(
+            body,
+            "  \"connections_accepted\": {},",
+            c.connections_accepted
+        );
+        let _ = writeln!(body, "  \"keepalive_reuses\": {},", c.keepalive_reuses);
+        let _ = writeln!(body, "  \"accept_failures\": {},", c.accept_failures);
+        let _ = writeln!(
+            body,
+            "  \"max_requests_per_connection\": {},",
+            c.max_requests_per_connection
+        );
+        let _ = writeln!(
+            body,
+            "  \"mean_requests_per_connection\": {:.2},",
+            if c.connections_accepted == 0 {
+                0.0
+            } else {
+                c.requests as f64 / c.connections_accepted as f64
+            }
+        );
+        let lat = state.latency.snapshot();
+        let us = |q: f64| lat.quantile(q) / 1000.0;
+        let _ = writeln!(
+            body,
+            "  \"latency_us\": {{\"count\": {}, \"p50\": {:.1}, \"p95\": {:.1}, \
+             \"p99\": {:.1}, \"p999\": {:.1}}},",
+            lat.count(),
+            us(0.50),
+            us(0.95),
+            us(0.99),
+            us(0.999)
+        );
         let ep = c.endpoints;
         let _ = writeln!(
             body,

@@ -11,6 +11,11 @@
 //!
 //! Trust and failure model:
 //!
+//! * every dispatcher call rides this thread's **pooled keep-alive
+//!   connection** ([`http::pooled_roundtrip`]) — a worker's whole
+//!   lease/execute/complete loop is one TCP conversation, and a pooled
+//!   socket the dispatcher closed between calls (idle timeout, request
+//!   budget) is replaced transparently;
 //! * every dispatcher call gets **one bounded retry**
 //!   ([`http::roundtrip_retry`]) before its error stands — a dispatcher
 //!   mid-GC or briefly saturated does not kill a worker;

@@ -222,6 +222,167 @@ fn solve_endpoint_solves_then_serves_from_cache() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Keep-alive contract, happy path: one socket serves many requests, and
+/// the server counts the reuse.
+#[test]
+fn keepalive_serves_many_requests_per_socket() {
+    let (server, dir) = start("keepalive_reuse", false);
+    let mut conn = spp_serve::http::Conn::connect(&server.authority()).unwrap();
+    for i in 1..=5u64 {
+        let r = conn.call("GET", "/stats", "").unwrap();
+        assert_eq!(r.status, 200);
+        assert!(!r.close, "request {i} should leave the connection open");
+        assert_eq!(conn.requests(), i);
+    }
+    let counters = server.counters();
+    assert_eq!(counters.connections_accepted, 1);
+    assert_eq!(counters.keepalive_reuses, 4);
+    // The per-connection maximum is recorded when the connection ends;
+    // close ours and give the server a moment to notice the EOF.
+    drop(conn);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        if server.counters().max_requests_per_connection == 5 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never recorded the closed connection: {:?}",
+            server.counters()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Budget exhaustion: the N-th response on a connection advertises
+/// `Connection: close` and the socket really closes — the next call on
+/// it fails while a fresh connection keeps working.
+#[test]
+fn keepalive_budget_exhaustion_closes_with_connection_close() {
+    let dir = tmp("keepalive_budget");
+    let mut config = ServeConfig::new(&dir);
+    config.workers = 2;
+    config.keepalive_requests = 3;
+    let server = Server::bind(&config).unwrap().spawn();
+    let authority = server.authority();
+
+    let mut conn = spp_serve::http::Conn::connect(&authority).unwrap();
+    for i in 1..=3u64 {
+        let r = conn.call("GET", "/stats", "").unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(
+            r.close,
+            i == 3,
+            "only the budget-exhausting response closes"
+        );
+    }
+    assert!(
+        conn.call("GET", "/stats", "").is_err(),
+        "the socket must really be closed after the budget"
+    );
+    let r = roundtrip(&authority, "GET", "/stats", "").unwrap();
+    assert_eq!(r.status, 200);
+    let counters = server.counters();
+    assert_eq!(counters.max_requests_per_connection, 3);
+    assert_eq!(counters.errors, 0, "budget closes are not errors");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Idle timeout: a connection with no request in flight is closed
+/// cleanly (EOF, no bytes) once its idle budget elapses.
+#[test]
+fn keepalive_idle_timeout_closes_cleanly() {
+    use std::io::Read as _;
+    let dir = tmp("keepalive_idle");
+    let mut config = ServeConfig::new(&dir);
+    config.workers = 2;
+    config.idle_timeout = std::time::Duration::from_millis(100);
+    let server = Server::bind(&config).unwrap().spawn();
+    let authority = server.authority();
+
+    let mut conn = spp_serve::http::Conn::connect(&authority).unwrap();
+    let r = conn.call("GET", "/stats", "").unwrap();
+    assert_eq!(r.status, 200);
+    assert!(!r.close);
+    // Sit idle past the budget: the server's close shows up as a clean
+    // EOF — zero bytes, not a mid-message reset.
+    let mut stream = conn.into_stream();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = [0u8; 64];
+    assert_eq!(stream.read(&mut buf).unwrap(), 0, "expected clean EOF");
+    // The pool worker is free again: a fresh connection is served.
+    let r = roundtrip(&authority, "GET", "/stats", "").unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(server.counters().errors, 0, "idle closes are not errors");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An HTTP/1.1 client sending `Connection: close` is honored: the
+/// response advertises close and the socket ends after one exchange.
+#[test]
+fn explicit_connection_close_on_http11_is_honored() {
+    use std::io::{Read as _, Write as _};
+    let (server, dir) = start("explicit_close", false);
+
+    let mut stream = std::net::TcpStream::connect(server.authority()).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(b"GET /stats HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap(); // EOF terminates: server closed
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    assert!(
+        raw.to_ascii_lowercase().contains("connection: close"),
+        "{raw}"
+    );
+    // One-shot roundtrip() rides the same contract.
+    let r = roundtrip(&server.authority(), "GET", "/stats", "").unwrap();
+    assert!(r.close);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A client dying mid-request (headers promise a body that never comes)
+/// must not poison a pool worker: every worker stays serviceable.
+#[test]
+fn mid_request_disconnect_does_not_poison_workers() {
+    use std::io::Write as _;
+    let dir = tmp("mid_request_disconnect");
+    let mut config = ServeConfig::new(&dir);
+    config.workers = 2;
+    let server = Server::bind(&config).unwrap().spawn();
+    let authority = server.authority();
+
+    // More broken connections than workers, so every worker sees at
+    // least one mid-message EOF.
+    for _ in 0..6 {
+        let mut stream = std::net::TcpStream::connect(&authority).unwrap();
+        stream
+            .write_all(b"POST /solve HTTP/1.1\r\nHost: x\r\nContent-Length: 100\r\n\r\npartial")
+            .unwrap();
+        drop(stream); // vanish before sending the rest of the body
+    }
+    // All workers still answer, on fresh and on persistent connections.
+    for _ in 0..4 {
+        let r = roundtrip(&authority, "GET", "/stats", "").unwrap();
+        assert_eq!(r.status, 200);
+    }
+    let mut conn = spp_serve::http::Conn::connect(&authority).unwrap();
+    assert_eq!(conn.call("GET", "/stats", "").unwrap().status, 200);
+    assert_eq!(conn.call("GET", "/stats", "").unwrap().status, 200);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The backend-agreement property, network edition: the HTTP cache and a
 /// local disk cache produce bit-identical cells over the same suite
 /// workload, and a warm rerun through HTTP invokes zero solvers.

@@ -15,6 +15,7 @@
 //! spp cache stats --cache-dir cache/
 //! spp serve --cache-dir cache/ --addr 127.0.0.1:8080                   # cache + solve service
 //! spp batch --input-dir instances/ --cache-url http://cachehost:8080   # workers share it
+//! spp bench serve --duration-ms 2000 --out BENCH_SERVE.json            # load-test the server
 //! spp algos
 //! ```
 //!
@@ -42,6 +43,11 @@
 //! /stats`), and `--cache-url http://host:port` attaches any file-mode
 //! batch to it instead of a local directory — the multi-machine topology:
 //! shard workers anywhere, one shared cache, byte-identical output.
+//! Connections are persistent (HTTP/1.1 keep-alive) with a
+//! per-connection request budget (`--keepalive-requests`) and idle
+//! timeout (`--idle-timeout-ms`); `spp bench serve` load-tests the stack
+//! and writes `BENCH_SERVE.json` (RPS + latency quantiles, keep-alive vs
+//! close-per-request).
 
 use std::io::Read as _;
 use std::path::{Path, PathBuf};
@@ -58,7 +64,7 @@ use strip_packing::serve::{HttpCache, RemoteLease, ServeConfig, Server};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  spp gen --family <name> [-n <count>] [--seed <u64>] [--uniform-height]\n          [--format <spp|json>]\n  spp suite --out-dir <dir> [--count <n>] [-n <size>] [--seed <u64>]\n  spp pack <file|-> [--algo <name>] [--render <none|ascii|svg>]\n          [--epsilon <f64>] [-k <usize>] [--shelf-r <f64>] [--strict]\n  spp bounds <file|->\n  spp batch [--families <f1,f2,..>] [--count <per-family>] [-n <size>]\n          [--seed <u64>] [--algos <a1,a2,..>]\n  spp batch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--shards <n>] [--shard-index <i>] [--out <file>]\n          [--cache-dir <dir> | --cache-url <http://host:port>]\n          [--cache-readonly] [--cells]\n  spp batch --merge <report1,report2,..> [--cells]\n  spp batch --dispatcher-url <http://host:port> [--cells]\n  spp cache stats --cache-dir <dir>\n  spp cache gc --cache-dir <dir> [--max-age <secs>]\n  spp cache verify --cache-dir <dir> (--input-dir <dir> | --file-list <file>)\n          [--algos <a1,a2,..>] [--sample <n>]\n  spp serve --cache-dir <dir> [--addr <host:port>] [--workers <n>]\n          [--max-body <bytes>] [--cache-readonly]\n  spp dispatch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--addr <host:port>] [--lease-files <n>] [--lease-timeout <secs>]\n          [--cache-dir <dir>] [--workers <n>] [--max-body <bytes>]\n  spp work --dispatcher-url <http://host:port>\n          [--cache-dir <dir> | --cache-url <http://host:port>]\n          [--workers <n>] [--poll-ms <ms>] [--abandon-after <n>]\n  spp algos\n\nrun `spp algos` for the algorithm registry with capability flags"
+        "usage:\n  spp gen --family <name> [-n <count>] [--seed <u64>] [--uniform-height]\n          [--format <spp|json>]\n  spp suite --out-dir <dir> [--count <n>] [-n <size>] [--seed <u64>]\n  spp pack <file|-> [--algo <name>] [--render <none|ascii|svg>]\n          [--epsilon <f64>] [-k <usize>] [--shelf-r <f64>] [--strict]\n  spp bounds <file|->\n  spp batch [--families <f1,f2,..>] [--count <per-family>] [-n <size>]\n          [--seed <u64>] [--algos <a1,a2,..>]\n  spp batch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--shards <n>] [--shard-index <i>] [--out <file>]\n          [--cache-dir <dir> | --cache-url <http://host:port>]\n          [--cache-readonly] [--cells]\n  spp batch --merge <report1,report2,..> [--cells]\n  spp batch --dispatcher-url <http://host:port> [--cells]\n  spp cache stats --cache-dir <dir>\n  spp cache gc --cache-dir <dir> [--max-age <secs>]\n  spp cache verify --cache-dir <dir> (--input-dir <dir> | --file-list <file>)\n          [--algos <a1,a2,..>] [--sample <n>]\n  spp serve --cache-dir <dir> [--addr <host:port>] [--workers <n>]\n          [--max-body <bytes>] [--cache-readonly]\n          [--keepalive-requests <n>] [--idle-timeout-ms <ms>]\n  spp dispatch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--addr <host:port>] [--lease-files <n>] [--lease-timeout <secs>]\n          [--cache-dir <dir>] [--workers <n>] [--max-body <bytes>]\n          [--keepalive-requests <n>] [--idle-timeout-ms <ms>]\n  spp work --dispatcher-url <http://host:port>\n          [--cache-dir <dir> | --cache-url <http://host:port>]\n          [--workers <n>] [--poll-ms <ms>] [--abandon-after <n>]\n  spp bench serve [--url <http://host:port>] [--clients <n>]\n          [--mode <keepalive|close|both>] [--workload <cache-hit|solve>]\n          [--duration-ms <ms> | --requests <n>] [--rate <rps>]\n          [--workers <n>] [--out <file>]\n  spp algos\n\nrun `spp algos` for the algorithm registry with capability flags"
     );
     std::process::exit(2);
 }
@@ -652,6 +658,7 @@ fn cmd_dispatch(args: &[String]) -> ExitCode {
         serve_config.max_body = parse_or_usage(m);
     }
     serve_config.readonly = args.iter().any(|a| a == "--cache-readonly");
+    keepalive_from_args(args, &mut serve_config);
     let server = match Server::bind_with_work(&serve_config, Some(queue)) {
         Ok(s) => s,
         Err(e) => {
@@ -1166,6 +1173,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         config.max_body = parse_or_usage(m);
     }
     config.readonly = args.iter().any(|a| a == "--cache-readonly");
+    keepalive_from_args(args, &mut config);
     let server = match Server::bind(&config) {
         Ok(s) => s,
         Err(e) => {
@@ -1183,6 +1191,256 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Apply the keep-alive tuning flags shared by `spp serve` and
+/// `spp dispatch`.
+fn keepalive_from_args(args: &[String], config: &mut ServeConfig) {
+    if let Some(n) = arg_value(args, "--keepalive-requests") {
+        config.keepalive_requests = parse_or_usage(n);
+    }
+    if let Some(ms) = arg_value(args, "--idle-timeout-ms") {
+        config.idle_timeout = std::time::Duration::from_millis(parse_or_usage(ms));
+    }
+}
+
+/// `spp bench` dispatcher — `serve` is the only target so far.
+fn cmd_bench(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("serve") => cmd_bench_serve(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// `spp bench serve`: load-test the HTTP serving layer and prove its
+/// throughput with a number.
+///
+/// Without `--url`, spawns an in-process cache server over a scratch
+/// directory (so the command is self-contained); with `--url`, drives a
+/// server someone else started. The workload is either repeated
+/// `GET /cache/<key>` hits against one seeded entry (`cache-hit`, the
+/// default — the hot path of a warm fleet) or repeated `POST /solve` of
+/// one small instance (`solve` — cache-backed after the first miss).
+///
+/// Each requested mode (`keepalive`, `close`, or `both`) runs the same
+/// workload through `spp_serve::bench::run_bench`: closed-loop by
+/// default, open-loop at `--rate` requests/second with latency measured
+/// from the scheduled send time (coordinated-omission corrected). The
+/// table goes to stdout; `--out` additionally writes the runs as
+/// `spp-bench` records — `experiment` "serve", `algo` the mode, `family`
+/// the workload, `n` completed requests, `height` RPS, `ratio` p99 ms —
+/// the `BENCH_SERVE.json` baseline CI smoke-checks.
+///
+/// Exits nonzero if any request errored: a load test that quietly
+/// dropped requests would prove nothing.
+fn cmd_bench_serve(args: &[String]) -> ExitCode {
+    use strip_packing::serve::bench::{run_bench, BenchConfig, Mode, Stop, Target};
+    use strip_packing::serve::http;
+
+    let clients: usize = arg_value(args, "--clients")
+        .map(parse_or_usage)
+        .unwrap_or(4);
+    let modes: Vec<Mode> = match arg_value(args, "--mode").as_deref() {
+        None | Some("both") => vec![Mode::Keepalive, Mode::Close],
+        Some("keepalive") => vec![Mode::Keepalive],
+        Some("close") => vec![Mode::Close],
+        Some(other) => {
+            eprintln!("error: unknown mode {other:?} (expected keepalive, close or both)");
+            return ExitCode::from(2);
+        }
+    };
+    let workload = arg_value(args, "--workload").unwrap_or_else(|| "cache-hit".into());
+    let stop = match (
+        arg_value(args, "--requests"),
+        arg_value(args, "--duration-ms"),
+    ) {
+        (Some(_), Some(_)) => {
+            eprintln!("error: --requests and --duration-ms are mutually exclusive");
+            return ExitCode::from(2);
+        }
+        (Some(n), None) => Stop::Requests(parse_or_usage(n)),
+        (None, ms) => Stop::Duration(std::time::Duration::from_millis(
+            ms.map(parse_or_usage).unwrap_or(2000),
+        )),
+    };
+    let rate: Option<f64> = arg_value(args, "--rate").map(parse_or_usage);
+
+    // The server under test: the user's (--url) or our own scratch one.
+    let (authority, server) = match arg_value(args, "--url") {
+        Some(url) => {
+            reject_flags(
+                args,
+                &["--workers"],
+                "with --url (it sizes the self-spawned server's pool)",
+            );
+            match http::parse_base_url(&url) {
+                Ok(a) => (a, None),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => {
+            let dir = std::env::temp_dir().join(format!("spp_bench_serve_{}", std::process::id()));
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("error: cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            let mut config = ServeConfig::new(&dir);
+            config.addr = "127.0.0.1:0".into();
+            if let Some(w) = arg_value(args, "--workers") {
+                config.workers = parse_or_usage(w);
+            }
+            let handle = match Server::bind(&config) {
+                Ok(s) => s.spawn(),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!(
+                "bench: spawned scratch server on http://{}",
+                handle.local_addr()
+            );
+            (handle.authority(), Some(handle))
+        }
+    };
+
+    // One small deterministic instance backs both workloads: its cached
+    // cell for cache-hit GETs, its JSON body for /solve POSTs.
+    use rand::SeedableRng as _;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let inst = strip_packing::gen::rects::uniform(&mut rng, 12, (0.05, 0.95), (0.05, 1.0));
+    let dag = family_by_name("empty").build(&mut rng, 12);
+    let request = SolveRequest::new(PrecInstance::new(inst, dag));
+    let config = SolveConfig::default();
+    let target = match workload.as_str() {
+        "cache-hit" => {
+            // Seed the entry the run will hammer, through the same PUT
+            // endpoint any worker uses — a 404 storm would measure the
+            // error path, not serving.
+            let registry = Registry::builtin();
+            let solver = match registry.get_or_err("nfdh") {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let fresh = strip_packing::engine::solve(solver.as_ref(), &request);
+            let (status, makespan, combined_lb) = strip_packing::engine::classify_outcome(&fresh);
+            let cell = solve_cache::CachedCell {
+                status,
+                makespan,
+                combined_lb,
+            };
+            let digest = strip_packing::gen::fileio::digest(&request.prec);
+            let key = solve_cache::CacheKey::new(digest, "nfdh", &config);
+            let file_name = key.file_name();
+            let stem = file_name.strip_suffix(".json").unwrap_or(&file_name);
+            let path = format!("/cache/{stem}");
+            let body = solve_cache::entry_to_json(&key, &cell);
+            match http::roundtrip(&authority, "PUT", &path, &body) {
+                Ok(r) if r.status == 204 || r.status == 200 => {}
+                Ok(r) => {
+                    eprintln!(
+                        "error: seeding PUT {path} rejected with HTTP {}: {}",
+                        r.status,
+                        r.body.trim()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("error: seeding PUT {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Target {
+                method: "GET".into(),
+                path_and_query: path,
+                body: String::new(),
+            }
+        }
+        "solve" => Target {
+            method: "POST".into(),
+            path_and_query: "/solve?solver=nfdh".into(),
+            body: strip_packing::gen::fileio::to_json(&request.prec),
+        },
+        other => {
+            eprintln!("error: unknown workload {other:?} (expected cache-hit or solve)");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "| {:<9} | {:>9} | {:>6} | {:>7} | {:>9} | {:>8} | {:>8} | {:>8} | {:>8} |",
+        "mode", "requests", "errors", "wall s", "rps", "p50 ms", "p95 ms", "p99 ms", "p999 ms"
+    );
+    let mut records = Vec::new();
+    let mut rps_by_mode = Vec::new();
+    let mut total_errors = 0u64;
+    for mode in modes {
+        let result = run_bench(&BenchConfig {
+            authority: authority.clone(),
+            clients,
+            mode,
+            target: target.clone(),
+            stop,
+            rate,
+        });
+        println!(
+            "| {:<9} | {:>9} | {:>6} | {:>7.2} | {:>9.1} | {:>8.3} | {:>8.3} | {:>8.3} | {:>8.3} |",
+            mode.name(),
+            result.requests,
+            result.errors,
+            result.wall_s,
+            result.rps,
+            result.latency_ms(0.50),
+            result.latency_ms(0.95),
+            result.latency_ms(0.99),
+            result.latency_ms(0.999),
+        );
+        records.push(spp_bench::json::BenchRecord {
+            experiment: "serve".into(),
+            algo: mode.name().into(),
+            family: workload.clone(),
+            n: result.requests as usize,
+            height: result.rps,
+            ratio: result.latency_ms(0.99),
+            wall_s: result.wall_s,
+        });
+        rps_by_mode.push((mode, result.rps));
+        total_errors += result.errors;
+    }
+    let keepalive = rps_by_mode
+        .iter()
+        .find(|(m, _)| *m == Mode::Keepalive)
+        .map(|(_, r)| *r);
+    let close = rps_by_mode
+        .iter()
+        .find(|(m, _)| *m == Mode::Close)
+        .map(|(_, r)| *r);
+    if let (Some(ka), Some(cl)) = (keepalive, close) {
+        if cl > 0.0 {
+            eprintln!("bench: keepalive/close rps ratio {:.2}x", ka / cl);
+        }
+    }
+    if let Some(path) = arg_value(args, "--out") {
+        if let Err(e) = std::fs::write(&path, spp_bench::json::to_json(&records)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench: wrote {} records to {path}", records.len());
+    }
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    if total_errors > 0 {
+        eprintln!("error: {total_errors} requests failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -1195,6 +1453,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("dispatch") => cmd_dispatch(&args[1..]),
         Some("work") => cmd_work(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("algos") => cmd_algos(),
         _ => usage(),
     }
