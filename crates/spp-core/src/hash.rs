@@ -116,6 +116,119 @@ impl fmt::Display for InstanceDigest {
     }
 }
 
+/// Virtual points each node contributes to a [`HashRing`]. 64 points
+/// keeps the per-node load spread within a few percent of uniform while
+/// the whole ring for a realistic fleet (tens of nodes) still fits in a
+/// couple of KiB and rebuilds in microseconds.
+pub const RING_POINTS_PER_NODE: usize = 64;
+
+/// A consistent-hash ring over a list of node labels (e.g. cache URLs).
+///
+/// Each node is expanded into [`RING_POINTS_PER_NODE`] virtual points —
+/// `Fnv1a::hash("<label>#<v>")` — and a key hashed to `h` is owned by
+/// the node whose point is the first at or after `h` (wrapping). The
+/// replica set for replication factor R is the first R *distinct* nodes
+/// met walking the ring from there, so adding or removing one node only
+/// remaps the ~1/N of keys whose successor span it occupied; everything
+/// else keeps its owner. That stability is the whole point: a cache
+/// fleet can grow without invalidating the warm entries on the nodes
+/// that stayed.
+///
+/// Node identity is positional: `successors` yields indices into the
+/// label slice the ring was built from, in replica order (primary
+/// first). The ring itself never talks to a network — it is pure
+/// arithmetic shared by any consumer that needs stable placement.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, node index)`, sorted by point. Ties between nodes on an
+    /// identical point (vanishingly rare but possible) resolve to the
+    /// lower index, deterministically, via the tuple sort.
+    points: Vec<(u64, usize)>,
+    nodes: usize,
+}
+
+/// SplitMix64 finalizer applied to every value before it is placed on
+/// the ring. FNV-1a is a fine *fingerprint* but has weak avalanche on
+/// short, similar inputs — sequential key names hash to tight clusters
+/// in the u64 space, which would pile whole key families onto one node.
+/// The finalizer is a bijection (it cannot create collisions), so the
+/// FNV identity contract is untouched; it only spreads positions
+/// uniformly around the ring.
+fn ring_mix(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    h
+}
+
+impl HashRing {
+    /// Build a ring with the default [`RING_POINTS_PER_NODE`].
+    pub fn new<S: AsRef<str>>(labels: &[S]) -> Self {
+        Self::with_points(labels, RING_POINTS_PER_NODE)
+    }
+
+    /// Build a ring with an explicit virtual-point count (tests use
+    /// small counts to probe skew; production uses [`new`](Self::new)).
+    pub fn with_points<S: AsRef<str>>(labels: &[S], points_per_node: usize) -> Self {
+        let mut points = Vec::with_capacity(labels.len() * points_per_node);
+        for (index, label) in labels.iter().enumerate() {
+            for v in 0..points_per_node {
+                let mut h = Fnv1a::new();
+                h.write_str(label.as_ref());
+                h.write_str("#");
+                h.write_str(&v.to_string());
+                points.push((ring_mix(h.finish()), index));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            points,
+            nodes: labels.len(),
+        }
+    }
+
+    /// Number of nodes on the ring.
+    pub fn len(&self) -> usize {
+        self.nodes
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes == 0
+    }
+
+    /// The first `count` *distinct* nodes met walking the ring from the
+    /// successor of `key_hash` — the key's replica set, primary first.
+    /// Yields fewer than `count` indices only when the ring has fewer
+    /// nodes than that.
+    pub fn successors(&self, key_hash: u64, count: usize) -> Vec<usize> {
+        let want = count.min(self.nodes);
+        let mut out = Vec::with_capacity(want);
+        if want == 0 {
+            return out;
+        }
+        let mixed = ring_mix(key_hash);
+        let start = self.points.partition_point(|&(p, _)| p < mixed);
+        for offset in 0..self.points.len() {
+            let (_, node) = self.points[(start + offset) % self.points.len()];
+            if !out.contains(&node) {
+                out.push(node);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The node that owns `key_hash` (first successor), if any node
+    /// exists.
+    pub fn primary(&self, key_hash: u64) -> Option<usize> {
+        self.successors(key_hash, 1).first().copied()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +288,76 @@ mod tests {
         // And parsing the canonical document back reproduces the digest.
         let reparsed = InstanceFile::parse(&a.to_json()).unwrap();
         assert_eq!(digest_of(&a), digest_of(&reparsed));
+    }
+
+    #[test]
+    fn ring_replicas_are_distinct_and_bounded_by_node_count() {
+        let nodes = ["http://a:1", "http://b:1", "http://c:1"];
+        let ring = HashRing::new(&nodes);
+        assert_eq!(ring.len(), 3);
+        for key in 0..200u64 {
+            let hash = Fnv1a::hash(format!("key-{key}").as_bytes());
+            let replicas = ring.successors(hash, 2);
+            assert_eq!(replicas.len(), 2);
+            assert_ne!(replicas[0], replicas[1]);
+            // Asking for more replicas than nodes yields every node once.
+            let mut all = ring.successors(hash, 10);
+            assert_eq!(all[0], replicas[0], "walk order must be stable");
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn ring_walk_is_deterministic_and_covers_all_nodes() {
+        let nodes = ["http://a:1", "http://b:1", "http://c:1", "http://d:1"];
+        let ring = HashRing::new(&nodes);
+        let mut seen_primary = [false; 4];
+        for key in 0..1000u64 {
+            let hash = Fnv1a::hash(format!("key-{key}").as_bytes());
+            let primary = ring.primary(hash).unwrap();
+            seen_primary[primary] = true;
+            assert_eq!(ring.primary(hash).unwrap(), primary);
+        }
+        assert!(
+            seen_primary.iter().all(|&s| s),
+            "every node should own some keys: {seen_primary:?}"
+        );
+        let empty: [&str; 0] = [];
+        assert!(HashRing::new(&empty).primary(42).is_none());
+    }
+
+    /// The consistent-hashing stability property: growing the fleet from
+    /// N to N+1 nodes moves only the keys the new node takes over
+    /// (~1/(N+1) of them); every other key keeps its primary. This is
+    /// the invariant that keeps a cache fleet's warm entries warm across
+    /// a resize.
+    #[test]
+    fn ring_stability_adding_a_node_moves_only_its_share_of_keys() {
+        let two = ["http://a:1", "http://b:1"];
+        let three = ["http://a:1", "http://b:1", "http://c:1"];
+        let before = HashRing::new(&two);
+        let after = HashRing::new(&three);
+        const KEYS: u64 = 3000;
+        let mut moved = 0u64;
+        for key in 0..KEYS {
+            let hash = Fnv1a::hash(format!("stability-key-{key}").as_bytes());
+            let old = before.primary(hash).unwrap();
+            let new = after.primary(hash).unwrap();
+            if new != old {
+                moved += 1;
+                // A key may only move TO the new node; old nodes never
+                // trade keys among themselves.
+                assert_eq!(new, 2, "key {key} moved between pre-existing nodes");
+            }
+        }
+        let fraction = moved as f64 / KEYS as f64;
+        // Expected share is 1/3; 64 vnodes keeps the realized share in a
+        // loose band around it.
+        assert!(
+            (0.15..=0.55).contains(&fraction),
+            "moved fraction {fraction} out of band (expected ~1/3)"
+        );
     }
 
     #[test]

@@ -573,6 +573,15 @@ pub struct GcReport {
     pub kept: usize,
 }
 
+/// How old (by mtime) a `*.tmp` file must be before gc treats it as an
+/// orphan rather than a live writer's in-flight publish. A healthy
+/// [`write_entry_atomic`] holds its temp file for the duration of one
+/// `fs::write` + `fs::rename` — microseconds to low milliseconds — so a
+/// minute of grace distinguishes "crashed writer's litter" from "writer
+/// mid-publish" with enormous margin, while still letting routine gc
+/// reclaim genuine orphans on its next pass.
+pub const TMP_GRACE: std::time::Duration = std::time::Duration::from_secs(60);
+
 /// Garbage-collect a cache directory: delete every `.json` file that is
 /// not a servable entry, plus every orphaned `*.tmp` file left behind by
 /// a writer that crashed between temp-write and rename. Valid entries are
@@ -580,10 +589,10 @@ pub struct GcReport {
 /// damaged. To also bound the directory's size in time, use
 /// [`gc_dir_aged`] (the CLI's `spp cache gc --max-age`).
 ///
-/// Run gc while no writer is active: an in-flight writer's temp file is
-/// indistinguishable from an orphan, and sweeping it makes that one
-/// `put` fail (the cell recomputes on the next run — nothing is ever
-/// served wrong, only re-paid).
+/// Safe to run concurrently with live writers: a temp file younger than
+/// [`TMP_GRACE`] (or whose mtime is unreadable) is presumed to be an
+/// in-flight publish and left alone, so gc cannot yank a writer's file
+/// between its `fs::write` and `fs::rename` and fail the put.
 pub fn gc_dir(dir: &Path) -> Result<GcReport, CacheError> {
     gc_dir_aged(dir, None)
 }
@@ -597,6 +606,17 @@ pub fn gc_dir(dir: &Path) -> Result<GcReport, CacheError> {
 pub fn gc_dir_aged(
     dir: &Path,
     max_age: Option<std::time::Duration>,
+) -> Result<GcReport, CacheError> {
+    gc_dir_with_grace(dir, max_age, TMP_GRACE)
+}
+
+/// [`gc_dir_aged`] with an explicit temp-file grace period. The public
+/// entry points always pass [`TMP_GRACE`]; tests pass `Duration::ZERO`
+/// to exercise the orphan sweep without waiting a minute.
+pub fn gc_dir_with_grace(
+    dir: &Path,
+    max_age: Option<std::time::Duration>,
+    tmp_grace: std::time::Duration,
 ) -> Result<GcReport, CacheError> {
     let mut report = GcReport {
         removed: Vec::new(),
@@ -623,7 +643,19 @@ pub fn gc_dir_aged(
         }
     }
     // Orphaned temp files sort after the corrupt-entry sweep so the
-    // report stays deterministic.
+    // report stays deterministic. A temp file younger than `tmp_grace`
+    // (or with an unreadable mtime — presume fresh) may belong to a
+    // writer that is between `fs::write` and `fs::rename` right now;
+    // sweeping it would fail that put, so it is skipped and picked up by
+    // a later gc pass if it really was an orphan.
+    let now = std::time::SystemTime::now();
+    let is_aged_orphan = |p: &PathBuf| {
+        std::fs::metadata(p)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|mtime| now.duration_since(mtime).ok())
+            .is_some_and(|age| age >= tmp_grace)
+    };
     let mut orphans: Vec<PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| io_err(dir, e))?
         .collect::<Result<Vec<_>, _>>()
@@ -631,6 +663,7 @@ pub fn gc_dir_aged(
         .into_iter()
         .map(|e| e.path())
         .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == TEMP_EXT))
+        .filter(is_aged_orphan)
         .collect();
     orphans.sort();
     for path in orphans {
@@ -835,18 +868,26 @@ mod tests {
         std::fs::write(dir.join("0000-bad-entry.json"), "garbage").unwrap();
         std::fs::write(dir.join("whatever.json.123-0.tmp"), "orphan").unwrap();
 
-        // Fresh files survive any realistic threshold; damage and
-        // orphans are swept regardless.
+        // Fresh files survive any realistic threshold; damage is swept
+        // regardless, but the just-written tmp is inside its grace
+        // period and must be left alone (it may be a live writer's).
         let gc = gc_dir_aged(&dir, Some(std::time::Duration::from_secs(3600))).unwrap();
         assert_eq!(gc.kept, 2);
         assert_eq!(gc.expired, 0);
-        assert_eq!(gc.removed.len(), 2, "{:?}", gc.removed);
+        assert_eq!(gc.removed.len(), 1, "{:?}", gc.removed);
+        assert!(dir.join("whatever.json.123-0.tmp").exists());
 
         // max-age 0 means "everything has aged out": both live entries
-        // are evicted (safe — the cells recompute on next use).
-        let gc = gc_dir_aged(&dir, Some(std::time::Duration::ZERO)).unwrap();
+        // are evicted (safe — the cells recompute on next use). Zero tmp
+        // grace sweeps the orphan too.
+        let gc = gc_dir_with_grace(
+            &dir,
+            Some(std::time::Duration::ZERO),
+            std::time::Duration::ZERO,
+        )
+        .unwrap();
         assert_eq!(gc.expired, 2);
-        assert_eq!(gc.removed.len(), 2);
+        assert_eq!(gc.removed.len(), 3);
         assert_eq!(gc.kept, 0);
         assert_eq!(dir_stats(&dir).unwrap().entries, 0);
         assert!(cache.get(&key("a")).is_none(), "evicted entry is a miss");
@@ -886,12 +927,69 @@ mod tests {
         let stats = dir_stats(&dir).unwrap();
         assert_eq!((stats.entries, stats.corrupt), (1, 0));
 
-        let gc = gc_dir(&dir).unwrap();
+        // With zero grace both aged-out orphans are swept.
+        let gc = gc_dir_with_grace(&dir, None, std::time::Duration::ZERO).unwrap();
         assert_eq!(gc.kept, 1);
         assert_eq!(gc.removed.len(), 2);
         assert!(!orphan_a.exists() && !orphan_b.exists());
         // The live entry survived and still serves.
         assert_eq!(cache.get(&key("a")), Some(cell(1.0)));
+    }
+
+    /// Regression: `gc_dir` used to sweep every `*.tmp` unconditionally,
+    /// so a gc pass racing `write_entry_atomic` could delete the
+    /// writer's in-flight temp file between its `fs::write` and
+    /// `fs::rename`, failing the put. A temp file younger than
+    /// [`TMP_GRACE`] must now survive gc (this assertion fails against
+    /// the pre-fix sweep), while an aged-out orphan is still removed.
+    #[test]
+    fn gc_leaves_fresh_tmp_files_for_live_writers() {
+        let dir = tmp_dir("tmp_grace");
+        let cache = DiskCache::new(&dir, false).unwrap();
+        cache.put(&key("a"), &cell(1.0)).unwrap();
+        // A writer is "mid-publish": its temp file exists right now.
+        let in_flight = dir.join(format!("{}.{}-0.tmp", key("b").file_name(), 4242));
+        std::fs::write(&in_flight, "half-written entry").unwrap();
+
+        let gc = gc_dir(&dir).unwrap();
+        assert!(
+            in_flight.exists(),
+            "gc swept a temp file inside its grace period (live-writer race)"
+        );
+        assert_eq!(gc.kept, 1);
+        assert_eq!(gc.removed.len(), 0);
+
+        // The same file past its grace period is a genuine orphan and
+        // goes; the writer's rename target was never affected.
+        let gc = gc_dir_with_grace(&dir, None, std::time::Duration::ZERO).unwrap();
+        assert!(!in_flight.exists());
+        assert_eq!(gc.removed.len(), 1);
+        assert_eq!(cache.get(&key("a")), Some(cell(1.0)));
+    }
+
+    /// Live writers and gc running concurrently: every put must succeed.
+    /// Pre-fix, the unconditional tmp sweep would occasionally delete an
+    /// in-flight temp file and fail that put with a rename error.
+    #[test]
+    fn gc_concurrent_with_writers_never_fails_a_put() {
+        let dir = tmp_dir("gc_race");
+        let cache = DiskCache::new(&dir, false).unwrap();
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                for i in 0..200 {
+                    cache.put(&key(&format!("k{i}")), &cell(i as f64 + 1.0))?;
+                }
+                Ok::<(), CacheError>(())
+            });
+            for _ in 0..50 {
+                gc_dir(&dir).unwrap();
+            }
+            writer
+                .join()
+                .expect("writer panicked")
+                .expect("a put failed while gc was running");
+        });
+        assert_eq!(dir_stats(&dir).unwrap().entries, 200);
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Bearer-token authentication for the serve/dispatch endpoints.
+//!
+//! The trust model is a *shared secret on a private network*: one token,
+//! provisioned as a file on every machine of a fleet (`--token-file`),
+//! gates the endpoints that mutate state or burn CPU — `PUT /cache/*`,
+//! `POST /solve`, `POST /work/*`. Read-only endpoints (`GET /cache/*`,
+//! `/stats`, `/work/status`, `/work/report`) stay open: they leak
+//! nothing a fleet operator considers secret and keeping them open means
+//! dashboards and health checks need no credential plumbing. Transport
+//! privacy (TLS) is explicitly out of scope for this binary — the
+//! no-new-deps constraint rules out rustls, so deployments that cross
+//! untrusted networks terminate TLS at a reverse proxy in front (see
+//! README, "Deploying a cache fleet").
+//!
+//! The comparison is constant-time in the token *contents*: a mismatch
+//! at byte 0 and a mismatch at byte 31 cost the same, so response timing
+//! cannot be used to guess the token byte by byte. Length still gates
+//! early (two tokens of different length are not compared byte-wise);
+//! leaking the token's *length* is accepted — operators provision long
+//! random tokens, where length is no secret worth guarding.
+
+use std::path::Path;
+
+/// Constant-time byte-slice equality. `true` iff `a == b`; runtime
+/// depends only on the slices' lengths, never on where they differ.
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Extract the token from an `Authorization` header value using the
+/// `Bearer` scheme (scheme name case-insensitive per RFC 9110 §11.1).
+/// Anything else — other schemes, a bare token, an empty credential —
+/// is `None`.
+pub fn bearer_token(header_value: &str) -> Option<&str> {
+    let (scheme, credential) = header_value.trim().split_once(' ')?;
+    if !scheme.eq_ignore_ascii_case("bearer") {
+        return None;
+    }
+    let credential = credential.trim();
+    if credential.is_empty() {
+        return None;
+    }
+    Some(credential)
+}
+
+/// Load a shared token from a file (the `--token-file` flag): the file's
+/// contents with surrounding whitespace trimmed, so a trailing newline
+/// from `echo` or an editor never silently changes the secret. An
+/// unreadable file or an empty token is an error — an empty secret is a
+/// misconfiguration, not a credential.
+pub fn token_from_file(path: &Path) -> Result<String, String> {
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read token file {}: {e}", path.display()))?;
+    let token = raw.trim();
+    if token.is_empty() {
+        return Err(format!("token file {} is empty", path.display()));
+    }
+    if token.chars().any(|c| c.is_control() || !c.is_ascii()) {
+        return Err(format!(
+            "token file {} contains non-ASCII or control characters",
+            path.display()
+        ));
+    }
+    Ok(token.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_time_eq_agrees_with_plain_equality() {
+        assert!(constant_time_eq(b"", b""));
+        assert!(constant_time_eq(b"secret", b"secret"));
+        assert!(!constant_time_eq(b"secret", b"secreT"));
+        assert!(!constant_time_eq(b"secret", b"secre"));
+        assert!(!constant_time_eq(b"Xecret", b"secret"));
+        assert!(!constant_time_eq(b"secret", b""));
+    }
+
+    #[test]
+    fn bearer_scheme_parsing() {
+        assert_eq!(bearer_token("Bearer tok"), Some("tok"));
+        assert_eq!(bearer_token("bearer tok"), Some("tok"));
+        assert_eq!(bearer_token("BEARER  tok "), Some("tok"));
+        assert_eq!(bearer_token("Basic dXNlcjpwYXNz"), None);
+        assert_eq!(bearer_token("Bearer"), None);
+        assert_eq!(bearer_token("Bearer "), None);
+        assert_eq!(bearer_token("tok"), None);
+        assert_eq!(bearer_token(""), None);
+    }
+
+    #[test]
+    fn token_file_trims_and_validates() {
+        let dir = std::env::temp_dir().join("spp_serve_auth_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let good = dir.join("token");
+        std::fs::write(&good, "s3cr3t-token\n").unwrap();
+        assert_eq!(token_from_file(&good).unwrap(), "s3cr3t-token");
+
+        let empty = dir.join("empty");
+        std::fs::write(&empty, "  \n").unwrap();
+        assert!(token_from_file(&empty).unwrap_err().contains("empty"));
+
+        let binary = dir.join("binary");
+        std::fs::write(&binary, "tok\u{7}en").unwrap();
+        assert!(token_from_file(&binary).is_err());
+
+        assert!(token_from_file(&dir.join("missing")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

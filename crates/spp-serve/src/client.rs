@@ -44,6 +44,9 @@ pub struct HttpCache {
     /// Base URL as given (for error messages).
     url: String,
     readonly: bool,
+    /// Bearer token attached to every request (`Authorization: Bearer …`)
+    /// when the server requires one.
+    token: Option<String>,
     hits: AtomicU64,
     misses: AtomicU64,
     writes: AtomicU64,
@@ -64,11 +67,19 @@ impl HttpCache {
             authority,
             url: url.to_string(),
             readonly,
+            token: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
         })
+    }
+
+    /// Attach a bearer token sent with every request — required when the
+    /// server runs with `--token-file`.
+    pub fn with_token(mut self, token: Option<String>) -> HttpCache {
+        self.token = token;
+        self
     }
 
     /// The base URL this client targets.
@@ -86,6 +97,55 @@ impl HttpCache {
         let stem = file_name.strip_suffix(".json").unwrap_or(&file_name);
         format!("/cache/{stem}")
     }
+
+    /// `put` with the failure mode kept apart: the fan-out backend
+    /// ([`ShardedCache`](crate::ShardedCache)) tolerates an *unreachable*
+    /// replica (node loss degrades to misses) but must surface a live
+    /// server *refusing* a write (4xx/5xx — a config or auth problem
+    /// that silence would hide).
+    pub fn put_classified(&self, key: &CacheKey, cell: &CachedCell) -> PutOutcome {
+        if self.readonly {
+            return PutOutcome::Written;
+        }
+        let body = entry_to_json(key, cell);
+        let response = match http::roundtrip_retry_auth(
+            &self.authority,
+            "PUT",
+            &Self::path_for(key),
+            &body,
+            self.token.as_deref(),
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                return PutOutcome::Unreachable(CacheError::Io {
+                    path: self.url.clone(),
+                    err: e.to_string(),
+                })
+            }
+        };
+        match response.status {
+            204 | 200 => {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+                PutOutcome::Written
+            }
+            status => PutOutcome::Rejected(CacheError::Io {
+                path: self.url.clone(),
+                err: format!("PUT rejected with HTTP {status}: {}", response.body.trim()),
+            }),
+        }
+    }
+}
+
+/// Outcome of [`HttpCache::put_classified`].
+pub enum PutOutcome {
+    /// The entry was accepted (or the client is read-only: contractual
+    /// no-op).
+    Written,
+    /// A live server refused the write (non-2xx response).
+    Rejected(CacheError),
+    /// The server could not be reached (connect/timeout/transport), even
+    /// after the bounded retry.
+    Unreachable(CacheError),
 }
 
 impl SolveCache for HttpCache {
@@ -97,8 +157,13 @@ impl SolveCache for HttpCache {
             }
             None
         };
-        let response = match http::roundtrip_retry(&self.authority, "GET", &Self::path_for(key), "")
-        {
+        let response = match http::roundtrip_retry_auth(
+            &self.authority,
+            "GET",
+            &Self::path_for(key),
+            "",
+            self.token.as_deref(),
+        ) {
             Ok(r) => r,
             Err(_) => return miss(false), // unreachable server = cold cache
         };
@@ -118,24 +183,9 @@ impl SolveCache for HttpCache {
     }
 
     fn put(&self, key: &CacheKey, cell: &CachedCell) -> Result<(), CacheError> {
-        if self.readonly {
-            return Ok(());
-        }
-        let body = entry_to_json(key, cell);
-        let response = http::roundtrip_retry(&self.authority, "PUT", &Self::path_for(key), &body)
-            .map_err(|e| CacheError::Io {
-            path: self.url.clone(),
-            err: e.to_string(),
-        })?;
-        match response.status {
-            204 | 200 => {
-                self.writes.fetch_add(1, Ordering::Relaxed);
-                Ok(())
-            }
-            status => Err(CacheError::Io {
-                path: self.url.clone(),
-                err: format!("PUT rejected with HTTP {status}: {}", response.body.trim()),
-            }),
+        match self.put_classified(key, cell) {
+            PutOutcome::Written => Ok(()),
+            PutOutcome::Rejected(e) | PutOutcome::Unreachable(e) => Err(e),
         }
     }
 

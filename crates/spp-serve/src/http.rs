@@ -93,6 +93,10 @@ pub struct Request {
     /// Raw query string after `?` (empty when absent).
     pub query: String,
     pub body: String,
+    /// Raw `Authorization` header value, when the client sent one. The
+    /// server's auth gate parses the `Bearer <token>` scheme out of it;
+    /// this layer only transports it.
+    pub authorization: Option<String>,
     /// `true` when the connection must close after this exchange:
     /// `Connection: close`, or HTTP/1.0 without `Connection: keep-alive`.
     pub close: bool,
@@ -212,6 +216,7 @@ pub fn read_request(
 
     let mut content_length: Option<usize> = None;
     let mut connection: Option<String> = None;
+    let mut authorization: Option<String> = None;
     let mut saw_header_end = false;
     for _ in 0..=MAX_HEADERS {
         let line = read_line(reader, false)?;
@@ -223,13 +228,21 @@ pub fn read_request(
             return Err(HttpError::Bad(format!("malformed header {line:?}")));
         };
         if name.eq_ignore_ascii_case("content-length") {
-            let n: usize = value
-                .trim()
-                .parse()
-                .map_err(|_| HttpError::Bad(format!("bad Content-Length {value:?}")))?;
-            content_length = Some(n);
+            // RFC 9112 §6.3: conflicting Content-Length values are a
+            // request-smuggling vector — a front proxy and this server
+            // picking different framings would let one request hide
+            // inside another's body. A repeated header is rejected
+            // outright (even if the values agree: a legitimate client
+            // has no reason to send it twice); a comma-separated list
+            // is accepted only when every member is the same value.
+            if content_length.is_some() {
+                return Err(HttpError::Bad("duplicate Content-Length header".into()));
+            }
+            content_length = Some(parse_content_length(value)?);
         } else if name.eq_ignore_ascii_case("connection") {
             connection = Some(value.trim().to_string());
+        } else if name.eq_ignore_ascii_case("authorization") {
+            authorization = Some(value.trim().to_string());
         }
         // Every other header (Host, User-Agent, Accept, …) is irrelevant
         // to this API and skipped.
@@ -261,8 +274,32 @@ pub fn read_request(
         path,
         query,
         body,
+        authorization,
         close: connection_closes(version, connection.as_deref()),
     })
+}
+
+/// Parse one `Content-Length` header value. A comma-separated list is
+/// the header-recombination form some intermediaries produce from a
+/// repeated field; RFC 9112 §6.3 permits recovering from it only when
+/// every member is the same valid value — anything else is rejected so
+/// two hops can never disagree on where a body ends.
+fn parse_content_length(value: &str) -> Result<usize, HttpError> {
+    let bad = || HttpError::Bad(format!("bad Content-Length {value:?}"));
+    let mut parsed: Option<usize> = None;
+    for member in value.split(',') {
+        let n: usize = member.trim().parse().map_err(|_| bad())?;
+        match parsed {
+            None => parsed = Some(n),
+            Some(first) if first == n => {}
+            Some(_) => {
+                return Err(HttpError::Bad(format!(
+                    "conflicting Content-Length values {value:?}"
+                )))
+            }
+        }
+    }
+    parsed.ok_or_else(bad)
 }
 
 /// Canonical reason phrase for the status codes this API emits.
@@ -271,6 +308,7 @@ pub fn reason(status: u16) -> &'static str {
         200 => "OK",
         204 => "No Content",
         400 => "Bad Request",
+        401 => "Unauthorized",
         403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -278,6 +316,7 @@ pub fn reason(status: u16) -> &'static str {
         411 => "Length Required",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -294,13 +333,35 @@ pub fn write_response_conn(
     body: &str,
     close: bool,
 ) -> Result<(), HttpError> {
+    write_response_headers(stream, status, content_type, body, close, &[])
+}
+
+/// [`write_response_conn`] with additional response headers — the shape
+/// the server uses for statuses that carry mandatory metadata (401's
+/// `WWW-Authenticate: Bearer`). Header names and values are written
+/// verbatim; callers pass only fixed ASCII strings.
+pub fn write_response_headers(
+    stream: &TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    close: bool,
+    extra: &[(&str, &str)],
+) -> Result<(), HttpError> {
     let mut stream = stream;
     let connection = if close { "close" } else { "keep-alive" };
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         reason(status),
         body.len()
     );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes()).map_err(io_error)?;
     stream.write_all(body.as_bytes()).map_err(io_error)?;
     stream.flush().map_err(io_error)
@@ -384,11 +445,16 @@ fn write_request(
     path_and_query: &str,
     body: &str,
     close: bool,
+    token: Option<&str>,
 ) -> Result<(), HttpError> {
     let mut w = stream;
     let connection = if close { "Connection: close\r\n" } else { "" };
+    let auth = match token {
+        Some(t) => format!("Authorization: Bearer {t}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "{method} {path_and_query} HTTP/1.1\r\nHost: {authority}\r\nContent-Length: {}\r\n{connection}\r\n",
+        "{method} {path_and_query} HTTP/1.1\r\nHost: {authority}\r\nContent-Length: {}\r\n{auth}{connection}\r\n",
         body.len()
     );
     w.write_all(head.as_bytes()).map_err(io_error)?;
@@ -467,6 +533,18 @@ impl Conn {
         path_and_query: &str,
         body: &str,
     ) -> Result<Response, HttpError> {
+        self.call_auth(method, path_and_query, body, None)
+    }
+
+    /// [`Conn::call`] with a bearer token attached as
+    /// `Authorization: Bearer <token>`.
+    pub fn call_auth(
+        &mut self,
+        method: &str,
+        path_and_query: &str,
+        body: &str,
+        token: Option<&str>,
+    ) -> Result<Response, HttpError> {
         write_request(
             &self.stream,
             &self.authority,
@@ -474,6 +552,7 @@ impl Conn {
             path_and_query,
             body,
             false,
+            token,
         )?;
         let mut reader = BufReader::new(&self.stream);
         let response = read_response(&mut reader)?;
@@ -531,8 +610,19 @@ pub fn pooled_roundtrip(
     path_and_query: &str,
     body: &str,
 ) -> Result<Response, HttpError> {
+    pooled_roundtrip_auth(authority, method, path_and_query, body, None)
+}
+
+/// [`pooled_roundtrip`] with a bearer token attached to the request.
+pub fn pooled_roundtrip_auth(
+    authority: &str,
+    method: &str,
+    path_and_query: &str,
+    body: &str,
+    token: Option<&str>,
+) -> Result<Response, HttpError> {
     if let Some(mut conn) = pool_take(authority) {
-        if let Ok(response) = conn.call(method, path_and_query, body) {
+        if let Ok(response) = conn.call_auth(method, path_and_query, body, token) {
             if !response.close {
                 pool_put(conn);
             }
@@ -541,7 +631,7 @@ pub fn pooled_roundtrip(
         // Stale pooled socket; fall through to a fresh connection.
     }
     let mut conn = Conn::connect(authority)?;
-    let response = conn.call(method, path_and_query, body)?;
+    let response = conn.call_auth(method, path_and_query, body, token)?;
     if !response.close {
         pool_put(conn);
     }
@@ -564,8 +654,19 @@ pub fn roundtrip_retry(
     path_and_query: &str,
     body: &str,
 ) -> Result<Response, HttpError> {
+    roundtrip_retry_auth(authority, method, path_and_query, body, None)
+}
+
+/// [`roundtrip_retry`] with a bearer token attached to the request.
+pub fn roundtrip_retry_auth(
+    authority: &str,
+    method: &str,
+    path_and_query: &str,
+    body: &str,
+    token: Option<&str>,
+) -> Result<Response, HttpError> {
     spp_par::retry(2, RETRY_DELAY, |_| {
-        pooled_roundtrip(authority, method, path_and_query, body)
+        pooled_roundtrip_auth(authority, method, path_and_query, body, token)
     })
 }
 
@@ -580,6 +681,17 @@ pub fn roundtrip(
     path_and_query: &str,
     body: &str,
 ) -> Result<Response, HttpError> {
+    roundtrip_auth(authority, method, path_and_query, body, None)
+}
+
+/// [`roundtrip`] with a bearer token attached to the request.
+pub fn roundtrip_auth(
+    authority: &str,
+    method: &str,
+    path_and_query: &str,
+    body: &str,
+    token: Option<&str>,
+) -> Result<Response, HttpError> {
     let stream = TcpStream::connect(authority).map_err(io_error)?;
     stream
         .set_read_timeout(Some(IO_TIMEOUT))
@@ -587,7 +699,15 @@ pub fn roundtrip(
     stream
         .set_write_timeout(Some(IO_TIMEOUT))
         .map_err(io_error)?;
-    write_request(&stream, authority, method, path_and_query, body, true)?;
+    write_request(
+        &stream,
+        authority,
+        method,
+        path_and_query,
+        body,
+        true,
+        token,
+    )?;
     let mut reader = BufReader::new(&stream);
     read_response(&mut reader)
 }
@@ -595,6 +715,124 @@ pub fn roundtrip(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Feed raw bytes to `read_request` through a real socket pair.
+    fn parse_raw(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            // Drop closes the socket so a body read sees EOF, not a hang.
+        });
+        let (stream, _) = listener.accept().unwrap();
+        stream.set_read_timeout(Some(IO_TIMEOUT)).unwrap();
+        let mut reader = BufReader::new(&stream);
+        let parsed = read_request(&mut reader, 1 << 20);
+        writer.join().unwrap();
+        parsed
+    }
+
+    #[test]
+    fn duplicate_content_length_headers_are_rejected() {
+        // Last-wins on a repeated Content-Length is the classic
+        // request-smuggling setup; both agreeing and conflicting
+        // repeats must die with a 400-class parse error.
+        for raw in [
+            "POST /solve HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\nhi",
+            "POST /solve HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi",
+            "PUT /cache/k HTTP/1.1\r\ncontent-length: 1\r\nCONTENT-LENGTH: 1\r\n\r\nx",
+        ] {
+            match parse_raw(raw.as_bytes()) {
+                Err(HttpError::Bad(msg)) => {
+                    assert!(msg.contains("duplicate Content-Length"), "{msg}")
+                }
+                other => panic!("expected Bad, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn comma_separated_content_length_accepts_agreement_rejects_conflict() {
+        // One header whose value is a recombined list: identical members
+        // are the RFC 9112 §6.3 recovery case, anything else is fatal.
+        let ok = parse_raw(b"POST /solve HTTP/1.1\r\nContent-Length: 2, 2\r\n\r\nhi").unwrap();
+        assert_eq!(ok.body, "hi");
+        for raw in [
+            "POST /solve HTTP/1.1\r\nContent-Length: 2, 5\r\n\r\nhi",
+            "POST /solve HTTP/1.1\r\nContent-Length: 2, x\r\n\r\nhi",
+            "POST /solve HTTP/1.1\r\nContent-Length: ,\r\n\r\nhi",
+        ] {
+            assert!(
+                matches!(parse_raw(raw.as_bytes()), Err(HttpError::Bad(_))),
+                "{raw:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn authorization_header_is_captured_verbatim() {
+        let r = parse_raw(b"GET /stats HTTP/1.1\r\nAuthorization: Bearer s3cr3t\r\n\r\n").unwrap();
+        assert_eq!(r.authorization.as_deref(), Some("Bearer s3cr3t"));
+        let r = parse_raw(b"GET /stats HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.authorization, None);
+    }
+
+    #[test]
+    fn reason_covers_auth_and_unavailable() {
+        assert_eq!(reason(401), "Unauthorized");
+        assert_eq!(reason(503), "Service Unavailable");
+    }
+
+    #[test]
+    fn extra_response_headers_are_emitted() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            write_response_headers(
+                &stream,
+                401,
+                "application/json",
+                "{}",
+                true,
+                &[("WWW-Authenticate", "Bearer")],
+            )
+            .unwrap();
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        server.join().unwrap();
+        assert!(raw.starts_with("HTTP/1.1 401 Unauthorized\r\n"), "{raw}");
+        assert!(raw.contains("\r\nWWW-Authenticate: Bearer\r\n"), "{raw}");
+        assert!(raw.ends_with("\r\n\r\n{}"), "{raw}");
+    }
+
+    #[test]
+    fn bearer_token_is_sent_on_the_wire() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            stream.set_read_timeout(Some(IO_TIMEOUT)).unwrap();
+            let mut reader = BufReader::new(&stream);
+            let request = read_request(&mut reader, 1 << 20).unwrap();
+            write_response(&stream, 200, "text/plain", "ok").unwrap();
+            request.authorization
+        });
+        let response = roundtrip_auth(
+            &addr.to_string(),
+            "PUT",
+            "/cache/k",
+            "body",
+            Some("tok-123"),
+        )
+        .unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(server.join().unwrap().as_deref(), Some("Bearer tok-123"));
+    }
 
     #[test]
     fn connection_header_semantics() {

@@ -47,12 +47,26 @@
 //!   anywhere:   spp batch --dispatcher-url http://host:8080   # byte-identical table
 //! ```
 
+//! ## Scaling the cache horizontally
+//!
+//! [`ShardedCache`] consistent-hashes every cache key across N such
+//! servers (64 virtual ring points per node, replication factor R with
+//! read-repair), so a fleet shares one logical cache bigger than any
+//! single disk — same wire format, same byte-identical-output contract,
+//! and node loss degrades to cache misses, never to errors. [`auth`]
+//! adds the fleet's shared-secret bearer-token gate (`--token-file`):
+//! mutating endpoints require `Authorization: Bearer <token>`,
+//! compared in constant time.
+
+pub mod auth;
 pub mod bench;
 pub mod client;
 pub mod http;
 pub mod server;
+pub mod sharded;
 pub mod work_client;
 
 pub use client::HttpCache;
 pub use server::{EndpointCounters, ServeConfig, ServeCounters, ServeError, Server, ServerHandle};
+pub use sharded::ShardedCache;
 pub use work_client::RemoteLease;

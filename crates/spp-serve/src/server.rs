@@ -135,6 +135,12 @@ pub struct ServeConfig {
     /// How long a connection may sit idle between requests before the
     /// server closes it.
     pub idle_timeout: Duration,
+    /// Shared bearer token (`--token-file`): when set, the mutating /
+    /// expensive endpoints (`PUT /cache/*`, `POST /solve`,
+    /// `POST /work/*`) require `Authorization: Bearer <token>` and
+    /// answer 401 otherwise. `None` leaves the server open — the
+    /// single-machine and trusted-network default.
+    pub token: Option<String>,
 }
 
 impl ServeConfig {
@@ -148,6 +154,7 @@ impl ServeConfig {
             readonly: false,
             keepalive_requests: DEFAULT_KEEPALIVE_REQUESTS,
             idle_timeout: DEFAULT_IDLE_TIMEOUT,
+            token: None,
         }
     }
 
@@ -162,6 +169,7 @@ impl ServeConfig {
             readonly: false,
             keepalive_requests: DEFAULT_KEEPALIVE_REQUESTS,
             idle_timeout: DEFAULT_IDLE_TIMEOUT,
+            token: None,
         }
     }
 
@@ -326,6 +334,7 @@ struct State {
     max_body: usize,
     keepalive_requests: u64,
     idle_timeout: Duration,
+    token: Option<String>,
     /// Workers currently blocked in `accept` — connection loops consult
     /// this to shrink their idle grace when the pool is saturated.
     accepting: AtomicU64,
@@ -403,6 +412,7 @@ impl Server {
                 max_body: config.max_body,
                 keepalive_requests: config.keepalive_requests.max(1),
                 idle_timeout: config.idle_timeout.max(Duration::from_millis(1)),
+                token: config.token.clone(),
                 accepting: AtomicU64::new(0),
                 started: Instant::now(),
                 shutdown: AtomicBool::new(false),
@@ -668,8 +678,21 @@ fn handle_connection(stream: &TcpStream, state: &State) {
             || panicked
             || served >= state.keepalive_requests
             || state.shutdown.load(Ordering::Relaxed);
-        let written =
-            http::write_response_conn(stream, reply.status, reply.content_type, &reply.body, close);
+        // RFC 9110 §11.6.1: a 401 must name the authentication scheme it
+        // expects.
+        let extra: &[(&str, &str)] = if reply.status == 401 {
+            &[("WWW-Authenticate", "Bearer")]
+        } else {
+            &[]
+        };
+        let written = http::write_response_headers(
+            stream,
+            reply.status,
+            reply.content_type,
+            &reply.body,
+            close,
+            extra,
+        );
         state
             .latency
             .record(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
@@ -683,11 +706,49 @@ fn handle_connection(stream: &TcpStream, state: &State) {
         .fetch_max(served, Ordering::Relaxed);
 }
 
+/// Whether this request may use a token-gated endpoint. A server
+/// without a configured token is open; with one, the request must carry
+/// `Authorization: Bearer <token>` matching it (constant-time compare —
+/// response timing must not leak how much of a guess was right).
+fn authorized(request: &Request, state: &State) -> bool {
+    let Some(expected) = &state.token else {
+        return true;
+    };
+    request
+        .authorization
+        .as_deref()
+        .and_then(crate::auth::bearer_token)
+        .is_some_and(|presented| {
+            crate::auth::constant_time_eq(presented.as_bytes(), expected.as_bytes())
+        })
+}
+
+fn unauthorized() -> Reply {
+    Reply::error(
+        401,
+        "missing or invalid bearer token; send Authorization: Bearer <token>",
+    )
+}
+
 fn route(request: &Request, state: &State) -> Reply {
     let count = |c: &AtomicU64| {
         c.fetch_add(1, Ordering::Relaxed);
     };
     let ep = &state.counters;
+    // Mutating / expensive endpoints sit behind the bearer-token gate;
+    // read-only endpoints (cache GET, stats, work status/report) stay
+    // open so health checks and dashboards need no credential plumbing.
+    let protected = matches!(
+        (request.method.as_str(), request.path.as_str()),
+        ("PUT", path) if path.starts_with("/cache/")
+    ) || matches!(
+        (request.method.as_str(), request.path.as_str()),
+        ("POST", "/solve" | "/work/lease" | "/work/complete")
+    );
+    if protected && !authorized(request, state) {
+        count(&ep.ep_other);
+        return unauthorized();
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/stats") => {
             count(&ep.ep_stats);

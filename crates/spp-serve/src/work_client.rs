@@ -50,6 +50,9 @@ pub struct RemoteLease {
     authority: String,
     /// Base URL as given (for error messages).
     url: String,
+    /// Bearer token attached to every request when the dispatcher runs
+    /// with `--token-file`.
+    token: Option<String>,
 }
 
 impl RemoteLease {
@@ -63,7 +66,15 @@ impl RemoteLease {
         Ok(RemoteLease {
             authority,
             url: url.to_string(),
+            token: None,
         })
+    }
+
+    /// Attach a bearer token sent with every dispatcher call — required
+    /// when the dispatcher runs with `--token-file`.
+    pub fn with_token(mut self, token: Option<String>) -> RemoteLease {
+        self.token = token;
+        self
     }
 
     /// The base URL this client targets.
@@ -72,12 +83,11 @@ impl RemoteLease {
     }
 
     fn call(&self, method: &str, path: &str, body: &str) -> Result<http::Response, WorkError> {
-        http::roundtrip_retry(&self.authority, method, path, body).map_err(|e| {
-            WorkError::Protocol {
+        http::roundtrip_retry_auth(&self.authority, method, path, body, self.token.as_deref())
+            .map_err(|e| WorkError::Protocol {
                 context: format!("{} {path}", self.url),
                 err: e.to_string(),
-            }
-        })
+            })
     }
 
     fn expect_200(&self, path: &str, response: http::Response) -> Result<String, WorkError> {

@@ -60,11 +60,11 @@ use strip_packing::engine::{
     SolveRequest, Solver, Validation, WorkError, WorkLease, WorkQueue, WorkSource,
 };
 use strip_packing::gen::rects::DagFamily;
-use strip_packing::serve::{HttpCache, RemoteLease, ServeConfig, Server};
+use strip_packing::serve::{HttpCache, RemoteLease, ServeConfig, Server, ShardedCache};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  spp gen --family <name> [-n <count>] [--seed <u64>] [--uniform-height]\n          [--format <spp|json>]\n  spp suite --out-dir <dir> [--count <n>] [-n <size>] [--seed <u64>]\n  spp pack <file|-> [--algo <name>] [--render <none|ascii|svg>]\n          [--epsilon <f64>] [-k <usize>] [--shelf-r <f64>] [--strict]\n  spp bounds <file|->\n  spp batch [--families <f1,f2,..>] [--count <per-family>] [-n <size>]\n          [--seed <u64>] [--algos <a1,a2,..>]\n  spp batch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--shards <n>] [--shard-index <i>] [--out <file>]\n          [--cache-dir <dir> | --cache-url <http://host:port>]\n          [--cache-readonly] [--cells]\n  spp batch --merge <report1,report2,..> [--cells]\n  spp batch --dispatcher-url <http://host:port> [--cells]\n  spp cache stats --cache-dir <dir>\n  spp cache gc --cache-dir <dir> [--max-age <secs>]\n  spp cache verify --cache-dir <dir> (--input-dir <dir> | --file-list <file>)\n          [--algos <a1,a2,..>] [--sample <n>]\n  spp serve --cache-dir <dir> [--addr <host:port>] [--workers <n>]\n          [--max-body <bytes>] [--cache-readonly]\n          [--keepalive-requests <n>] [--idle-timeout-ms <ms>]\n  spp dispatch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--addr <host:port>] [--lease-files <n>] [--lease-timeout <secs>]\n          [--cache-dir <dir>] [--workers <n>] [--max-body <bytes>]\n          [--keepalive-requests <n>] [--idle-timeout-ms <ms>]\n  spp work --dispatcher-url <http://host:port>\n          [--cache-dir <dir> | --cache-url <http://host:port>]\n          [--workers <n>] [--poll-ms <ms>] [--abandon-after <n>]\n  spp bench serve [--url <http://host:port>] [--clients <n>]\n          [--mode <keepalive|close|both>] [--workload <cache-hit|solve>]\n          [--duration-ms <ms> | --requests <n>] [--rate <rps>]\n          [--workers <n>] [--out <file>]\n  spp algos\n\nrun `spp algos` for the algorithm registry with capability flags"
+        "usage:\n  spp gen --family <name> [-n <count>] [--seed <u64>] [--uniform-height]\n          [--format <spp|json>]\n  spp suite --out-dir <dir> [--count <n>] [-n <size>] [--seed <u64>]\n  spp pack <file|-> [--algo <name>] [--render <none|ascii|svg>]\n          [--epsilon <f64>] [-k <usize>] [--shelf-r <f64>] [--strict]\n  spp bounds <file|->\n  spp batch [--families <f1,f2,..>] [--count <per-family>] [-n <size>]\n          [--seed <u64>] [--algos <a1,a2,..>]\n  spp batch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--shards <n>] [--shard-index <i>] [--out <file>]\n          [--cache-dir <dir> | --cache-url <url> | --cache-urls <u1,u2,..>]\n          [--replication <r>] [--token-file <file>] [--cache-readonly] [--cells]\n  spp batch --merge <report1,report2,..> [--cells]\n  spp batch --dispatcher-url <http://host:port> [--token-file <file>] [--cells]\n  spp cache stats --cache-dir <dir>\n  spp cache gc --cache-dir <dir> [--max-age <secs>]\n  spp cache verify --cache-dir <dir> (--input-dir <dir> | --file-list <file>)\n          [--algos <a1,a2,..>] [--sample <n>]\n  spp serve --cache-dir <dir> [--addr <host:port>] [--workers <n>]\n          [--max-body <bytes>] [--cache-readonly] [--token-file <file>]\n          [--keepalive-requests <n>] [--idle-timeout-ms <ms>]\n  spp dispatch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--addr <host:port>] [--lease-files <n>] [--lease-timeout <secs>]\n          [--cache-dir <dir>] [--workers <n>] [--max-body <bytes>]\n          [--token-file <file>] [--keepalive-requests <n>] [--idle-timeout-ms <ms>]\n  spp work --dispatcher-url <http://host:port>\n          [--cache-dir <dir> | --cache-url <url> | --cache-urls <u1,u2,..>]\n          [--replication <r>] [--token-file <file>]\n          [--workers <n>] [--poll-ms <ms>] [--abandon-after <n>]\n  spp bench serve [--url <http://host:port>] [--clients <n>]\n          [--mode <keepalive|close|both>] [--workload <cache-hit|solve>]\n          [--duration-ms <ms> | --requests <n>] [--rate <rps>]\n          [--workers <n>] [--out <file>]\n  spp algos\n\nrun `spp algos` for the algorithm registry with capability flags"
     );
     std::process::exit(2);
 }
@@ -356,25 +356,69 @@ fn finish_merged(merged: &MergedReport, cells: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Open the solve cache named by `--cache-dir` (local directory) or
-/// `--cache-url` (an `spp serve` instance), if any — both implement the
-/// same `SolveCache` trait, so the executor cannot tell them apart.
-/// Exits on an unusable backend — the user asked for durability and
-/// silently running uncached would defeat the point.
+/// Load the shared bearer token named by `--token-file`, if any. Exits
+/// on an unreadable or empty file — a fleet member silently running
+/// without its credential would only discover that as a wall of 401s.
+fn token_from_args(args: &[String]) -> Option<String> {
+    let path = arg_value(args, "--token-file")?;
+    match strip_packing::serve::auth::token_from_file(Path::new(&path)) {
+        Ok(token) => Some(token),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Open the solve cache named by `--cache-dir` (local directory),
+/// `--cache-url` (one `spp serve` instance), or `--cache-urls` (a
+/// consistent-hash fleet of them, with `--replication`), if any — all
+/// implement the same `SolveCache` trait, so the executor cannot tell
+/// them apart. `--token-file` attaches the fleet's bearer token to the
+/// HTTP backends. Exits on an unusable backend — the user asked for
+/// durability and silently running uncached would defeat the point.
 fn cache_from_args(args: &[String]) -> Option<Box<dyn SolveCache>> {
     let readonly = args.iter().any(|a| a == "--cache-readonly");
     let dir = arg_value(args, "--cache-dir");
     let url = arg_value(args, "--cache-url");
-    if dir.is_some() && url.is_some() {
-        eprintln!("error: --cache-dir and --cache-url are mutually exclusive");
+    let urls = arg_value(args, "--cache-urls");
+    if [dir.is_some(), url.is_some(), urls.is_some()]
+        .iter()
+        .filter(|set| **set)
+        .count()
+        > 1
+    {
+        eprintln!("error: --cache-dir, --cache-url and --cache-urls are mutually exclusive");
         std::process::exit(2);
+    }
+    if urls.is_none() && arg_value(args, "--replication").is_some() {
+        eprintln!("error: --replication requires --cache-urls");
+        std::process::exit(2);
+    }
+    if let Some(urls) = urls {
+        let replication: usize = arg_value(args, "--replication")
+            .map(parse_or_usage)
+            .unwrap_or(strip_packing::serve::sharded::DEFAULT_REPLICATION);
+        let list: Vec<String> = urls
+            .split(',')
+            .map(str::trim)
+            .filter(|u| !u.is_empty())
+            .map(String::from)
+            .collect();
+        match ShardedCache::new(&list, replication, readonly, token_from_args(args)) {
+            Ok(c) => return Some(Box::new(c)),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
     }
     if let Some(url) = url {
         // Construction only validates the URL shape; an unreachable
         // server shows up as all-misses (and failed writes error per
         // cell), matching a cold local cache.
         match HttpCache::new(&url, readonly) {
-            Ok(c) => return Some(Box::new(c)),
+            Ok(c) => return Some(Box::new(c.with_token(token_from_args(args)))),
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(2);
@@ -385,7 +429,7 @@ fn cache_from_args(args: &[String]) -> Option<Box<dyn SolveCache>> {
         // Fail loudly, like the removed --manifest: a run the user
         // believes is cache-backed must not silently go uncached.
         if readonly {
-            eprintln!("error: --cache-readonly requires --cache-dir or --cache-url");
+            eprintln!("error: --cache-readonly requires --cache-dir, --cache-url or --cache-urls");
             std::process::exit(2);
         }
         return None;
@@ -558,7 +602,7 @@ fn cmd_batch_merge(paths_arg: &str, args: &[String]) -> ExitCode {
 /// the dispatcher's inputs.
 fn cmd_batch_await(url: &str, args: &[String]) -> ExitCode {
     let remote = match RemoteLease::new(url) {
-        Ok(r) => r,
+        Ok(r) => r.with_token(token_from_args(args)),
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
@@ -658,6 +702,7 @@ fn cmd_dispatch(args: &[String]) -> ExitCode {
         serve_config.max_body = parse_or_usage(m);
     }
     serve_config.readonly = args.iter().any(|a| a == "--cache-readonly");
+    serve_config.token = token_from_args(args);
     keepalive_from_args(args, &mut serve_config);
     let server = match Server::bind_with_work(&serve_config, Some(queue)) {
         Ok(s) => s,
@@ -706,7 +751,7 @@ fn cmd_work(args: &[String]) -> ExitCode {
         usage()
     };
     let source = match RemoteLease::new(&url) {
-        Ok(s) => s,
+        Ok(s) => s.with_token(token_from_args(args)),
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
@@ -811,6 +856,8 @@ fn cmd_batch(args: &[String]) -> ExitCode {
                 "--merge",
                 "--cache-dir",
                 "--cache-url",
+                "--cache-urls",
+                "--replication",
                 "--cache-readonly",
                 "--algos",
                 "--families",
@@ -830,6 +877,9 @@ fn cmd_batch(args: &[String]) -> ExitCode {
                 "--out",
                 "--cache-dir",
                 "--cache-url",
+                "--cache-urls",
+                "--replication",
+                "--token-file",
                 "--cache-readonly",
                 "--algos",
                 "--families",
@@ -857,6 +907,9 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             "--out",
             "--cache-dir",
             "--cache-url",
+            "--cache-urls",
+            "--replication",
+            "--token-file",
             "--cache-readonly",
             "--cells",
         ],
@@ -1173,6 +1226,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         config.max_body = parse_or_usage(m);
     }
     config.readonly = args.iter().any(|a| a == "--cache-readonly");
+    config.token = token_from_args(args);
     keepalive_from_args(args, &mut config);
     let server = match Server::bind(&config) {
         Ok(s) => s,
