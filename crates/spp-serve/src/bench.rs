@@ -25,7 +25,8 @@
 //!   correction for coordinated omission, so a stalled server shows up
 //!   as tail latency instead of silently slowing the load down.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -82,6 +83,12 @@ pub struct BenchConfig {
     /// Open-loop target rate in requests/second across all clients;
     /// `None` runs closed-loop (back to back).
     pub rate: Option<f64>,
+    /// Idle keep-alive connections opened *alongside* the active
+    /// clients: each connects, never sends a byte, and holds its socket
+    /// until the measured run ends. This is the load shape the event
+    ///-driven I/O mode exists for — RPS-vs-idle-count is the number
+    /// that separates `--io-mode event` from blocking.
+    pub idle_clients: usize,
 }
 
 /// What a run measured.
@@ -96,6 +103,12 @@ pub struct BenchResult {
     pub rps: f64,
     /// Latency of successful requests, in nanoseconds.
     pub hist: Hist,
+    /// Idle connections that were actually open when measurement began.
+    pub idle_connected: u64,
+    /// Idle connections that failed to connect within
+    /// [`IDLE_CONNECT_TIMEOUT`] — on a blocking-mode server with a full
+    /// accept backlog this is where the degradation shows up first.
+    pub idle_errors: u64,
 }
 
 impl BenchResult {
@@ -110,6 +123,50 @@ fn claim(remaining: &AtomicU64) -> bool {
     remaining
         .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
         .is_ok()
+}
+
+/// Per-connection budget for standing up the idle fleet. Long enough
+/// to survive one SYN retransmit (the whole fleet arrives as a burst,
+/// so a briefly overflowing accept backlog is normal), short enough
+/// that a blocking server whose backlog is *persistently* drowned
+/// reports idle errors instead of stalling the whole benchmark.
+pub const IDLE_CONNECT_TIMEOUT: Duration = Duration::from_millis(2500);
+
+/// Threads used to stand the idle fleet up (and hold it).
+const IDLE_HOLDER_THREADS: usize = 8;
+
+/// Open and hold one holder thread's share of the idle fleet until
+/// `done`; sockets stay connected and silent the whole time.
+fn hold_idle_connections(
+    authority: &str,
+    share: usize,
+    connected: &AtomicU64,
+    errors: &AtomicU64,
+    done: &AtomicBool,
+) {
+    let addr = authority.to_socket_addrs().ok().and_then(|mut a| a.next());
+    let mut held = Vec::with_capacity(share);
+    for _ in 0..share {
+        // A 1 ms ramp per connection keeps eight holder threads from
+        // landing the entire fleet as one SYN spike.
+        std::thread::sleep(Duration::from_millis(1));
+        let stream = addr
+            .ok_or(())
+            .and_then(|a| TcpStream::connect_timeout(&a, IDLE_CONNECT_TIMEOUT).map_err(|_| ()));
+        match stream {
+            Ok(s) => {
+                held.push(s);
+                connected.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(()) => {
+                errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    while !done.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    drop(held);
 }
 
 /// Run one load-generation configuration to completion.
@@ -130,89 +187,116 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchResult {
         .map(|r| Duration::from_secs_f64(clients as f64 / r));
     let merged = Mutex::new(Hist::new());
 
-    let started = Instant::now();
-    let deadline = match cfg.stop {
-        Stop::Duration(d) => Some(started + d),
-        Stop::Requests(_) => None,
-    };
-    std::thread::scope(|scope| {
-        for idx in 0..clients {
-            let remaining = remaining.as_ref();
-            let errors = &errors;
-            let requests = &requests;
-            let merged = &merged;
-            let cfg = &*cfg;
-            scope.spawn(move || {
-                let mut hist = Hist::new();
-                let phase = interval.map(|iv| iv.mul_f64(idx as f64 / clients as f64));
-                let mut fired: u32 = 0;
-                loop {
-                    // Scheduled send time (open loop) or "now" (closed).
-                    let scheduled = match (interval, phase) {
-                        (Some(iv), Some(phase)) => {
-                            let at = started + phase + iv * fired;
-                            if deadline.is_some_and(|d| at >= d) {
-                                break;
-                            }
-                            let now = Instant::now();
-                            if at > now {
-                                std::thread::sleep(at - now);
-                            }
-                            at
-                        }
-                        _ => {
-                            if deadline.is_some_and(|d| Instant::now() >= d) {
-                                break;
-                            }
-                            Instant::now()
-                        }
-                    };
-                    if let Some(remaining) = remaining {
-                        if !claim(remaining) {
-                            break;
-                        }
-                    }
-                    fired += 1;
-                    let outcome = match cfg.mode {
-                        Mode::Keepalive => http::pooled_roundtrip(
-                            &cfg.authority,
-                            &cfg.target.method,
-                            &cfg.target.path_and_query,
-                            &cfg.target.body,
-                        ),
-                        Mode::Close => http::roundtrip(
-                            &cfg.authority,
-                            &cfg.target.method,
-                            &cfg.target.path_and_query,
-                            &cfg.target.body,
-                        ),
-                    };
-                    match outcome {
-                        Ok(response) if response.status < 400 => {
-                            requests.fetch_add(1, Ordering::Relaxed);
-                            let nanos = scheduled.elapsed().as_nanos().min(u64::MAX as u128);
-                            hist.record(nanos as u64);
-                        }
-                        Ok(_) => {
-                            requests.fetch_add(1, Ordering::Relaxed);
-                            errors.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Err(_) => {
-                            errors.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                }
-                // Leave nothing pooled past the run: the next run (or
-                // mode) starts from a cold connection state.
-                http::pool_evict(&cfg.authority);
-                merged
-                    .lock()
-                    .expect("bench hist mutex poisoned")
-                    .merge(&hist);
-            });
+    let done = AtomicBool::new(false);
+    let idle_connected = AtomicU64::new(0);
+    let idle_errors = AtomicU64::new(0);
+    let mut wall_s = 0.0;
+    std::thread::scope(|fleet| {
+        // Stand up the idle fleet first and let it settle, so the
+        // measured window sees a steady parked population rather than a
+        // connect storm.
+        if cfg.idle_clients > 0 {
+            let holders = IDLE_HOLDER_THREADS.min(cfg.idle_clients);
+            for h in 0..holders {
+                let share =
+                    cfg.idle_clients / holders + usize::from(h < cfg.idle_clients % holders);
+                let authority = &cfg.authority;
+                let (connected, errs, done) = (&idle_connected, &idle_errors, &done);
+                fleet.spawn(move || hold_idle_connections(authority, share, connected, errs, done));
+            }
+            while idle_connected.load(Ordering::Relaxed) + idle_errors.load(Ordering::Relaxed)
+                < cfg.idle_clients as u64
+            {
+                std::thread::sleep(Duration::from_millis(2));
+            }
         }
+
+        let started = Instant::now();
+        let deadline = match cfg.stop {
+            Stop::Duration(d) => Some(started + d),
+            Stop::Requests(_) => None,
+        };
+        std::thread::scope(|scope| {
+            for idx in 0..clients {
+                let remaining = remaining.as_ref();
+                let errors = &errors;
+                let requests = &requests;
+                let merged = &merged;
+                let cfg = &*cfg;
+                scope.spawn(move || {
+                    let mut hist = Hist::new();
+                    let phase = interval.map(|iv| iv.mul_f64(idx as f64 / clients as f64));
+                    let mut fired: u32 = 0;
+                    loop {
+                        // Scheduled send time (open loop) or "now" (closed).
+                        let scheduled = match (interval, phase) {
+                            (Some(iv), Some(phase)) => {
+                                let at = started + phase + iv * fired;
+                                if deadline.is_some_and(|d| at >= d) {
+                                    break;
+                                }
+                                let now = Instant::now();
+                                if at > now {
+                                    std::thread::sleep(at - now);
+                                }
+                                at
+                            }
+                            _ => {
+                                if deadline.is_some_and(|d| Instant::now() >= d) {
+                                    break;
+                                }
+                                Instant::now()
+                            }
+                        };
+                        if let Some(remaining) = remaining {
+                            if !claim(remaining) {
+                                break;
+                            }
+                        }
+                        fired += 1;
+                        let outcome = match cfg.mode {
+                            Mode::Keepalive => http::pooled_roundtrip(
+                                &cfg.authority,
+                                &cfg.target.method,
+                                &cfg.target.path_and_query,
+                                &cfg.target.body,
+                            ),
+                            Mode::Close => http::roundtrip(
+                                &cfg.authority,
+                                &cfg.target.method,
+                                &cfg.target.path_and_query,
+                                &cfg.target.body,
+                            ),
+                        };
+                        match outcome {
+                            Ok(response) if response.status < 400 => {
+                                requests.fetch_add(1, Ordering::Relaxed);
+                                let nanos = scheduled.elapsed().as_nanos().min(u64::MAX as u128);
+                                hist.record(nanos as u64);
+                            }
+                            Ok(_) => {
+                                requests.fetch_add(1, Ordering::Relaxed);
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    // Leave nothing pooled past the run: the next run (or
+                    // mode) starts from a cold connection state.
+                    http::pool_evict(&cfg.authority);
+                    merged
+                        .lock()
+                        .expect("bench hist mutex poisoned")
+                        .merge(&hist);
+                });
+            }
+        });
+        wall_s = started.elapsed().as_secs_f64();
+        // Measurement over: release the idle holders.
+        done.store(true, Ordering::Release);
     });
-    let wall_s = started.elapsed().as_secs_f64();
     let requests = requests.load(Ordering::Relaxed);
     BenchResult {
         requests,
@@ -224,6 +308,8 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchResult {
             0.0
         },
         hist: merged.into_inner().expect("bench hist mutex poisoned"),
+        idle_connected: idle_connected.load(Ordering::Relaxed),
+        idle_errors: idle_errors.load(Ordering::Relaxed),
     }
 }
 
@@ -260,6 +346,7 @@ mod tests {
             target: stats_target(),
             stop: Stop::Requests(30),
             rate: None,
+            idle_clients: 0,
         };
         let result = run_bench(&cfg);
         assert_eq!(result.requests, 30);
@@ -288,6 +375,7 @@ mod tests {
             target: stats_target(),
             stop: Stop::Requests(10),
             rate: None,
+            idle_clients: 0,
         };
         let result = run_bench(&cfg);
         assert_eq!(result.requests, 10);
@@ -308,6 +396,7 @@ mod tests {
             target: stats_target(),
             stop: Stop::Duration(Duration::from_millis(300)),
             rate: Some(100.0),
+            idle_clients: 0,
         };
         let result = run_bench(&cfg);
         // ~30 scheduled arrivals in 300ms at 100 rps; the exact count
@@ -332,10 +421,33 @@ mod tests {
             target: stats_target(),
             stop: Stop::Requests(3),
             rate: None,
+            idle_clients: 0,
         };
         let result = run_bench(&cfg);
         assert_eq!(result.requests, 0);
         assert_eq!(result.errors, 3);
         assert_eq!(result.hist.count(), 0);
+    }
+
+    #[test]
+    fn idle_fleet_is_held_through_the_measured_run() {
+        let server = cache_server("idle_fleet");
+        let cfg = BenchConfig {
+            authority: server.authority(),
+            clients: 1,
+            mode: Mode::Keepalive,
+            target: stats_target(),
+            stop: Stop::Requests(5),
+            rate: None,
+            idle_clients: 3,
+        };
+        let result = run_bench(&cfg);
+        assert_eq!(result.idle_connected, 3, "idle fleet failed to stand up");
+        assert_eq!(result.idle_errors, 0);
+        // The idle connections must not have produced requests — only
+        // the active client's traffic is measured.
+        assert_eq!(result.requests, 5);
+        assert_eq!(result.errors, 0);
+        server.shutdown();
     }
 }

@@ -1,0 +1,648 @@
+//! Readiness-driven connection multiplexer for `spp serve`.
+//!
+//! One event-loop thread owns the listener and every parked keep-alive
+//! connection through epoll, so thousands of idle clients cost zero pool
+//! workers. The loop never parses bytes: when a parked socket becomes
+//! readable it hands the connection to the worker pool (`EventShared`'s
+//! ready queue), and the worker runs the exact same parse/handle/write
+//! path as blocking mode. After a response the worker parks the
+//! connection back here instead of holding its thread.
+//!
+//! The epoll surface is bound directly over the already-linked libc via
+//! `extern "C"` — no new dependencies, Linux-only. On other platforms
+//! `SUPPORTED` is false and the server falls back to blocking mode.
+//!
+//! Protocol between loop and workers:
+//!
+//! - Accepted sockets are set non-blocking and pushed straight to the
+//!   ready queue: a worker probes once, and if no bytes are there yet
+//!   (`EAGAIN`) it parks the connection, which registers it with epoll.
+//! - Parked fds use `EPOLLONESHOT`: a readiness event disarms the fd,
+//!   the loop deletes it from the interest set and moves the connection
+//!   to the ready queue, so exactly one worker ever owns a socket.
+//! - A connection parked with buffered pipelined bytes bypasses epoll
+//!   entirely (the kernel cannot see userspace buffers): the loop
+//!   requeues it at the ready-queue tail, which doubles as the fairness
+//!   rotation for the per-turn request cap.
+//! - Idle timeouts are the loop's job: each parked connection carries a
+//!   deadline, `epoll_wait`'s timeout is the cheapest deadline (capped
+//!   at [`IDLE_POLL_CAP`]), and expired connections are dropped — a
+//!   parked socket has no unread data, so the close is a clean FIN.
+//! - Shutdown wakes the loop through a self-pipe and the workers
+//!   through a condvar broadcast; `next_ready` checks the flag first so
+//!   workers exit promptly even with work still queued.
+
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::http::RecvBuf;
+
+/// Whether the event-driven I/O mode is available on this platform.
+pub const SUPPORTED: bool = cfg!(target_os = "linux");
+
+/// Upper bound on one `epoll_wait` sleep even with no parked deadlines,
+/// so the loop re-checks shutdown and the park inbox defensively.
+pub const IDLE_POLL_CAP: Duration = Duration::from_millis(500);
+
+/// Readiness events drained per `epoll_wait` call.
+#[cfg(target_os = "linux")]
+const MAX_EVENTS: usize = 256;
+
+/// Connections accepted per readiness turn before yielding back to the
+/// loop, so an accept flood cannot starve parked-connection service.
+#[cfg(target_os = "linux")]
+const ACCEPT_BURST: usize = 1024;
+
+/// Backoff after a failed `accept` (matches blocking mode's).
+#[cfg(target_os = "linux")]
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(10);
+
+/// A keep-alive connection travelling between the event loop and the
+/// worker pool. Owns the socket and the connection-long receive buffer
+/// so pipelined bytes survive a park/resume cycle.
+pub struct EventConn {
+    pub stream: TcpStream,
+    pub buf: RecvBuf,
+    /// Requests served on this connection so far (the keep-alive budget
+    /// and `max_requests_per_connection` bookkeeping).
+    pub served: u32,
+}
+
+impl EventConn {
+    pub fn new(stream: TcpStream) -> EventConn {
+        EventConn {
+            stream,
+            buf: RecvBuf::new(),
+            served: 0,
+        }
+    }
+}
+
+/// Event-loop observability, surfaced through `/stats`.
+#[derive(Debug, Default)]
+pub struct EventCounters {
+    /// Gauge: connections currently parked in the epoll interest set.
+    pub parked_connections: AtomicU64,
+    /// `epoll_wait` returns (readiness or timeout).
+    pub wakeups: AtomicU64,
+    /// `epoll_wait` returns that delivered at least one event.
+    pub readiness_batches: AtomicU64,
+    /// Worker boundary probes that found no bytes yet (connection
+    /// parked instead of spinning).
+    pub eagain_retries: AtomicU64,
+    /// Parked connections closed by the idle-deadline scan.
+    pub timer_expiries: AtomicU64,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct EventCountersSnapshot {
+    pub parked_connections: u64,
+    pub wakeups: u64,
+    pub readiness_batches: u64,
+    pub eagain_retries: u64,
+    pub timer_expiries: u64,
+}
+
+impl EventCounters {
+    pub fn snapshot(&self) -> EventCountersSnapshot {
+        EventCountersSnapshot {
+            parked_connections: self.parked_connections.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            readiness_batches: self.readiness_batches.load(Ordering::Relaxed),
+            eagain_retries: self.eagain_retries.load(Ordering::Relaxed),
+            timer_expiries: self.timer_expiries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Server-side callbacks the loop invokes so connection-economics
+/// counters stay in `server::AtomicCounters` exactly as blocking mode
+/// keeps them (the loop owns accept and final close in event mode).
+pub struct EventHooks<'a> {
+    /// A connection was accepted.
+    pub on_accept: &'a (dyn Fn() + Sync),
+    /// `accept()` failed with a non-retryable error.
+    pub on_accept_error: &'a (dyn Fn() + Sync),
+    /// A connection is being closed by the loop (idle expiry, register
+    /// failure, or shutdown); the argument is its served-request count.
+    pub on_retire: &'a (dyn Fn(u32) + Sync),
+}
+
+/// State shared between the event loop and the worker pool: the park
+/// inbox (worker → loop), the ready queue (loop → worker), the shutdown
+/// flag, and the self-pipe waker.
+pub struct EventShared {
+    inbox: Mutex<Vec<EventConn>>,
+    ready: Mutex<VecDeque<EventConn>>,
+    ready_cv: Condvar,
+    shutdown: AtomicBool,
+    waker: Waker,
+    pub counters: EventCounters,
+}
+
+impl EventShared {
+    pub fn new() -> std::io::Result<EventShared> {
+        Ok(EventShared {
+            inbox: Mutex::new(Vec::new()),
+            ready: Mutex::new(VecDeque::new()),
+            ready_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            waker: Waker::new()?,
+            counters: EventCounters::default(),
+        })
+    }
+
+    /// Worker → loop: return a connection to the multiplexer after a
+    /// response (or after an empty boundary probe).
+    pub fn park(&self, conn: EventConn) {
+        self.inbox.lock().unwrap().push(conn);
+        self.waker.wake();
+    }
+
+    /// Loop → worker: enqueue a connection with readable (or buffered)
+    /// bytes for service.
+    pub fn push_ready(&self, conn: EventConn) {
+        self.ready.lock().unwrap().push_back(conn);
+        self.ready_cv.notify_one();
+    }
+
+    /// Worker-side blocking pop. Returns `None` on shutdown — checked
+    /// before the queue so workers exit promptly even with work queued.
+    pub fn next_ready(&self) -> Option<EventConn> {
+        let mut ready = self.ready.lock().unwrap();
+        loop {
+            if self.is_shutdown() {
+                return None;
+            }
+            if let Some(conn) = ready.pop_front() {
+                return Some(conn);
+            }
+            ready = self.ready_cv.wait(ready).unwrap();
+        }
+    }
+
+    pub fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        self.ready_cv.notify_all();
+    }
+
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn drain_inbox(&self) -> Vec<EventConn> {
+        std::mem::take(&mut *self.inbox.lock().unwrap())
+    }
+
+    fn drain_ready(&self) -> Vec<EventConn> {
+        self.ready.lock().unwrap().drain(..).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linux: direct epoll/pipe bindings and the loop itself.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLLIN: u32 = 0x1;
+    pub const EPOLLERR: u32 = 0x8;
+    pub const EPOLLHUP: u32 = 0x10;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLLONESHOT: u32 = 1 << 30;
+    pub const O_NONBLOCK: c_int = 0o4000;
+    pub const O_CLOEXEC: c_int = 0o2000000;
+
+    /// `struct epoll_event` is packed on x86_64 (a kernel ABI quirk)
+    /// and naturally aligned everywhere else.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout_ms: c_int,
+        ) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+}
+
+/// Self-pipe used to interrupt `epoll_wait` from worker threads (parks
+/// and shutdown). A full pipe is fine: a failed write means a wake is
+/// already pending, and the loop drains the whole inbox per iteration.
+#[cfg(target_os = "linux")]
+struct Waker {
+    read_fd: std::os::raw::c_int,
+    write_fd: std::os::raw::c_int,
+}
+
+#[cfg(target_os = "linux")]
+impl Waker {
+    fn new() -> std::io::Result<Waker> {
+        let mut fds = [0 as std::os::raw::c_int; 2];
+        // SAFETY: fds is a valid 2-element buffer for pipe2 to fill.
+        let rc = unsafe { sys::pipe2(fds.as_mut_ptr(), sys::O_NONBLOCK | sys::O_CLOEXEC) };
+        if rc != 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Waker {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        })
+    }
+
+    fn wake(&self) {
+        let byte = [1u8];
+        // SAFETY: write_fd is a live pipe fd owned by self; short or
+        // failed writes (EAGAIN on a full pipe) are intentionally
+        // ignored — a full pipe already guarantees a pending wake.
+        unsafe {
+            let _ = sys::write(self.write_fd, byte.as_ptr().cast(), 1);
+        }
+    }
+
+    fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            // SAFETY: read_fd is a live non-blocking pipe fd owned by
+            // self and buf is a valid writable buffer.
+            let n = unsafe { sys::read(self.read_fd, buf.as_mut_ptr().cast(), buf.len()) };
+            if n <= 0 {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Waker {
+    fn drop(&mut self) {
+        // SAFETY: both fds are live and owned exclusively by self.
+        unsafe {
+            sys::close(self.read_fd);
+            sys::close(self.write_fd);
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+struct Waker;
+
+#[cfg(not(target_os = "linux"))]
+impl Waker {
+    fn new() -> std::io::Result<Waker> {
+        Ok(Waker)
+    }
+    fn wake(&self) {}
+}
+
+/// Thin RAII wrapper over an epoll instance.
+#[cfg(target_os = "linux")]
+struct Poller {
+    epfd: std::os::raw::c_int,
+}
+
+#[cfg(target_os = "linux")]
+impl Poller {
+    fn new() -> std::io::Result<Poller> {
+        // SAFETY: epoll_create1 takes no pointers.
+        let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn add(&self, fd: std::os::raw::c_int, token: u64, events: u32) -> std::io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events,
+            data: token,
+        };
+        // SAFETY: epfd and fd are live fds; ev is a valid epoll_event.
+        let rc = unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_ADD, fd, &mut ev) };
+        if rc != 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn delete(&self, fd: std::os::raw::c_int) {
+        // SAFETY: epfd is live; a stale fd makes this a harmless ENOENT.
+        // Linux < 2.6.9 required a non-null event for DEL; passing one
+        // keeps this portable across everything that can run us.
+        let mut ev = sys::EpollEvent { events: 0, data: 0 };
+        unsafe {
+            let _ = sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, &mut ev);
+        }
+    }
+
+    /// Wait for readiness, retrying on EINTR. `timeout` is rounded up
+    /// to whole milliseconds so a 1ns residue cannot become a busy spin.
+    fn wait(&self, events: &mut [sys::EpollEvent], timeout: Duration) -> std::io::Result<usize> {
+        let ms = timeout
+            .as_millis()
+            .saturating_add(u128::from(
+                !timeout.subsec_nanos().is_multiple_of(1_000_000),
+            ))
+            .min(i32::MAX as u128) as i32;
+        loop {
+            // SAFETY: epfd is live and events is a valid writable slice
+            // of epoll_event with the length we pass.
+            let n =
+                unsafe { sys::epoll_wait(self.epfd, events.as_mut_ptr(), events.len() as i32, ms) };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = std::io::Error::last_os_error();
+            if err.kind() != std::io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: epfd is live and owned exclusively by self.
+        unsafe {
+            sys::close(self.epfd);
+        }
+    }
+}
+
+/// Run the multiplexer until shutdown. Owns accept, parking, idle
+/// deadlines, and final close of parked connections; everything with
+/// readable bytes goes to the worker pool through `shared`.
+#[cfg(target_os = "linux")]
+pub fn run_event_loop(
+    listener: &std::net::TcpListener,
+    shared: &EventShared,
+    idle_timeout: Duration,
+    hooks: EventHooks<'_>,
+) -> std::io::Result<()> {
+    use std::collections::HashMap;
+    use std::os::unix::io::AsRawFd;
+    use std::time::Instant;
+
+    struct Parked {
+        conn: EventConn,
+        deadline: Instant,
+    }
+
+    const LISTENER_TOKEN: u64 = u64::MAX;
+    const WAKER_TOKEN: u64 = u64::MAX - 1;
+
+    listener.set_nonblocking(true)?;
+    let poller = Poller::new()?;
+    poller.add(listener.as_raw_fd(), LISTENER_TOKEN, sys::EPOLLIN)?;
+    poller.add(shared.waker.read_fd, WAKER_TOKEN, sys::EPOLLIN)?;
+
+    let mut parked: HashMap<u64, Parked> = HashMap::new();
+    // Cheapest parked deadline, maintained incrementally: inserts can
+    // only pull it earlier, so the full O(parked) rescan happens only
+    // when it actually fires. Removals may leave it stale-early, which
+    // costs at most one spurious timeout wakeup, never a late expiry.
+    let mut next_deadline: Option<Instant> = None;
+    let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+
+    while !shared.is_shutdown() {
+        // Park inbox: buffered pipelined bytes are invisible to the
+        // kernel, so those connections requeue straight to the ready
+        // tail; empty ones enter the epoll interest set.
+        for conn in shared.drain_inbox() {
+            if conn.buf.has_buffered() {
+                shared.push_ready(conn);
+                continue;
+            }
+            let fd = conn.stream.as_raw_fd();
+            let token = fd as u64;
+            let deadline = Instant::now() + idle_timeout;
+            match poller.add(
+                fd,
+                token,
+                sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLONESHOT,
+            ) {
+                Ok(()) => {
+                    next_deadline = Some(next_deadline.map_or(deadline, |d| d.min(deadline)));
+                    parked.insert(token, Parked { conn, deadline });
+                }
+                Err(_) => (hooks.on_retire)(conn.served),
+            }
+        }
+        shared
+            .counters
+            .parked_connections
+            .store(parked.len() as u64, Ordering::Relaxed);
+
+        // Timer wheel, cheapest-deadline flavor: sleep until the
+        // nearest parked deadline, capped defensively.
+        let now = Instant::now();
+        let timeout = match next_deadline {
+            Some(d) => IDLE_POLL_CAP.min(d.saturating_duration_since(now)),
+            None => IDLE_POLL_CAP,
+        };
+
+        let n = poller.wait(&mut events, timeout)?;
+        shared.counters.wakeups.fetch_add(1, Ordering::Relaxed);
+        if n > 0 {
+            shared
+                .counters
+                .readiness_batches
+                .fetch_add(1, Ordering::Relaxed);
+        }
+
+        for ev in &events[..n] {
+            let token = ev.data; // copy out of the (packed) event
+            match token {
+                LISTENER_TOKEN => {
+                    for _ in 0..ACCEPT_BURST {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                (hooks.on_accept)();
+                                // Non-blocking so the worker's boundary
+                                // probe parks instead of blocking.
+                                let _ = stream.set_nonblocking(true);
+                                shared.push_ready(EventConn::new(stream));
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                            Err(_) => {
+                                (hooks.on_accept_error)();
+                                // The listener stays level-triggered
+                                // readable while accept fails (fd
+                                // exhaustion): without a backoff the
+                                // loop would spin hot on it.
+                                std::thread::sleep(ACCEPT_BACKOFF);
+                                break;
+                            }
+                        }
+                    }
+                }
+                WAKER_TOKEN => shared.waker.drain(),
+                token => {
+                    // EPOLLONESHOT already disarmed the fd; deleting it
+                    // keeps the interest set in lockstep with `parked`
+                    // so re-parks can always use CTL_ADD.
+                    if let Some(p) = parked.remove(&token) {
+                        poller.delete(p.conn.stream.as_raw_fd());
+                        // Readable, error, and hangup all wake a worker:
+                        // the worker's read observes EOF/reset and runs
+                        // the normal close path with full bookkeeping.
+                        shared.push_ready(p.conn);
+                    }
+                }
+            }
+        }
+
+        // Expire idle connections — only when the cached cheapest
+        // deadline has actually fired. A parked socket has no unread
+        // bytes, so dropping it sends a clean FIN — exactly the
+        // blocking-mode idle-timeout close the roundtrip tests assert
+        // on.
+        let now = Instant::now();
+        if next_deadline.is_some_and(|d| d <= now) {
+            let expired: Vec<u64> = parked
+                .iter()
+                .filter(|(_, p)| p.deadline <= now)
+                .map(|(t, _)| *t)
+                .collect();
+            for token in expired {
+                if let Some(p) = parked.remove(&token) {
+                    poller.delete(p.conn.stream.as_raw_fd());
+                    shared
+                        .counters
+                        .timer_expiries
+                        .fetch_add(1, Ordering::Relaxed);
+                    (hooks.on_retire)(p.conn.served);
+                }
+            }
+            next_deadline = parked.values().map(|p| p.deadline).min();
+        }
+    }
+
+    // Shutdown: retire everything still owned by the multiplexer so
+    // max_requests_per_connection stays truthful, then make sure no
+    // worker is left asleep on the condvar.
+    for (_, p) in parked.drain() {
+        (hooks.on_retire)(p.conn.served);
+    }
+    for conn in shared.drain_inbox() {
+        (hooks.on_retire)(conn.served);
+    }
+    for conn in shared.drain_ready() {
+        (hooks.on_retire)(conn.served);
+    }
+    shared
+        .counters
+        .parked_connections
+        .store(0, Ordering::Relaxed);
+    shared.ready_cv.notify_all();
+    Ok(())
+}
+
+/// Non-Linux stub; `IoMode::resolve` never selects event mode here, so
+/// this only exists to keep call sites compiling.
+#[cfg(not(target_os = "linux"))]
+pub fn run_event_loop(
+    _listener: &std::net::TcpListener,
+    _shared: &EventShared,
+    _idle_timeout: Duration,
+    _hooks: EventHooks<'_>,
+) -> std::io::Result<()> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "event-driven io requires linux epoll",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_ready_returns_none_after_shutdown() {
+        let shared = EventShared::new().unwrap();
+        shared.push_ready(EventConn::new(connect_pair().0));
+        shared.initiate_shutdown();
+        // Shutdown wins over queued work: workers must exit promptly.
+        assert!(shared.next_ready().is_none());
+    }
+
+    #[test]
+    fn ready_queue_preserves_fifo_order() {
+        let shared = EventShared::new().unwrap();
+        let (a, _ka) = connect_pair();
+        let (b, _kb) = connect_pair();
+        let mut first = EventConn::new(a);
+        first.served = 1;
+        let mut second = EventConn::new(b);
+        second.served = 2;
+        shared.push_ready(first);
+        shared.push_ready(second);
+        assert_eq!(shared.next_ready().unwrap().served, 1);
+        assert_eq!(shared.next_ready().unwrap().served, 2);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn poller_sees_listener_readiness_and_waker_wakes() {
+        use std::os::unix::io::AsRawFd;
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(listener.as_raw_fd(), 7, sys::EPOLLIN).unwrap();
+
+        let mut events = vec![sys::EpollEvent { events: 0, data: 0 }; 8];
+        // Nothing pending yet: a short wait times out empty.
+        let n = poller.wait(&mut events, Duration::from_millis(10)).unwrap();
+        assert_eq!(n, 0);
+
+        let _client = TcpStream::connect(addr).unwrap();
+        let n = poller.wait(&mut events, Duration::from_secs(5)).unwrap();
+        assert_eq!(n, 1);
+        let token = events[0].data;
+        assert_eq!(token, 7);
+
+        // A waker write must interrupt a long wait promptly.
+        let waker = Waker::new().unwrap();
+        poller.add(waker.read_fd, 9, sys::EPOLLIN).unwrap();
+        let started = std::time::Instant::now();
+        waker.wake();
+        let n = poller.wait(&mut events, Duration::from_secs(5)).unwrap();
+        assert!(n >= 1);
+        assert!(started.elapsed() < Duration::from_secs(1));
+        waker.drain();
+    }
+
+    /// A connected socket pair so EventConn tests hold real streams.
+    fn connect_pair() -> (TcpStream, TcpStream) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+}

@@ -13,14 +13,18 @@
 //!
 //! ## Connection reuse
 //!
-//! The server side serves many requests per accepted socket (the loop
-//! lives in `server.rs`); this module's job is to keep the *framing*
-//! honest across requests: [`read_request`] borrows the connection's
-//! long-lived `BufReader` (a per-request reader would swallow read-ahead
-//! bytes of the next pipelined request), and distinguishes a clean
-//! close at a request boundary ([`HttpError::Closed`]) from an idle
-//! boundary timeout ([`HttpError::Idle`]) from a genuinely broken or
-//! malformed exchange.
+//! The server side serves many requests per accepted socket (the loops
+//! live in `server.rs` and `event.rs`); this module's job is to keep
+//! the *framing* honest across requests: [`read_request`] reads through
+//! the connection's long-lived [`RecvBuf`] — an owned buffer that
+//! belongs to the connection, not to any one read call, so read-ahead
+//! bytes of the next pipelined request survive even when the connection
+//! is parked in the event loop and resumed on a different worker
+//! thread. It distinguishes a clean close at a request boundary
+//! ([`HttpError::Closed`]) from an idle boundary timeout
+//! ([`HttpError::Idle`]) from a slow-trickled message that blew its
+//! deadline ([`HttpError::Deadline`], the slowloris guard) from a
+//! genuinely broken or malformed exchange.
 //!
 //! The client side keeps one open [`Conn`] per `(thread, authority)` in
 //! a thread-local pool ([`pooled_roundtrip`]), reconnecting
@@ -32,9 +36,9 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::io::{BufReader, Read, Write};
+use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Longest accepted request line or single header line, in bytes.
 pub const MAX_HEADER_LINE: usize = 8 * 1024;
@@ -62,8 +66,13 @@ pub enum HttpError {
     Closed,
     /// Zero bytes arrived within the read timeout at a message boundary —
     /// the connection is idle, not broken. The server uses this to slice
-    /// its idle wait so shutdown stays prompt.
+    /// its idle wait so shutdown stays prompt; the event-loop worker uses
+    /// it as the signal to park the connection back into epoll.
     Idle,
+    /// The message started but did not finish within the caller's
+    /// whole-message budget — a byte-at-a-time trickler (slowloris)
+    /// trying to pin a worker. Maps to 408.
+    Deadline,
 }
 
 impl std::fmt::Display for HttpError {
@@ -77,6 +86,7 @@ impl std::fmt::Display for HttpError {
             HttpError::Io(msg) => write!(f, "connection error: {msg}"),
             HttpError::Closed => write!(f, "connection closed by peer"),
             HttpError::Idle => write!(f, "connection idle past read timeout"),
+            HttpError::Deadline => write!(f, "message not completed within its deadline"),
         }
     }
 }
@@ -127,42 +137,230 @@ fn is_timeout(e: &std::io::Error) -> bool {
     )
 }
 
+/// Bytes read per socket refill of a [`RecvBuf`].
+const RECV_CHUNK: usize = 8 * 1024;
+
+/// A connection's owned receive buffer: read-ahead bytes (the start of a
+/// pipelined next request, a half-delivered message) live here, not in a
+/// stack-local reader, so they survive the connection being parked in
+/// the event loop and resumed on a different worker thread. One
+/// `RecvBuf` per connection, for the connection's whole life.
+#[derive(Debug, Default)]
+pub struct RecvBuf {
+    data: Vec<u8>,
+    start: usize,
+    end: usize,
+}
+
+impl RecvBuf {
+    pub fn new() -> RecvBuf {
+        RecvBuf::default()
+    }
+
+    /// Whether undelivered bytes are buffered — an event-loop connection
+    /// parked with buffered bytes must be requeued immediately (epoll
+    /// only sees kernel-side readiness, never userspace buffers).
+    pub fn has_buffered(&self) -> bool {
+        self.start < self.end
+    }
+
+    fn pop(&mut self) -> Option<u8> {
+        if self.start < self.end {
+            let b = self.data[self.start];
+            self.start += 1;
+            Some(b)
+        } else {
+            None
+        }
+    }
+
+    /// Move up to `out.len()` buffered bytes into `out`.
+    fn take(&mut self, out: &mut [u8]) -> usize {
+        let n = out.len().min(self.end - self.start);
+        out[..n].copy_from_slice(&self.data[self.start..self.start + n]);
+        self.start += n;
+        n
+    }
+
+    /// Refill from the socket (only legal when empty). `Ok(0)` is EOF.
+    fn fill(&mut self, stream: &TcpStream) -> std::io::Result<usize> {
+        debug_assert!(!self.has_buffered());
+        if self.data.is_empty() {
+            self.data = vec![0u8; RECV_CHUNK];
+        }
+        self.start = 0;
+        self.end = 0;
+        let n = (&mut &*stream).read(&mut self.data)?;
+        self.end = n;
+        Ok(n)
+    }
+}
+
+/// One in-flight message read: tracks whether the message has started
+/// (`live`), arms the whole-message deadline on the first byte, and —
+/// for event-mode boundary probes — flips the socket from non-blocking
+/// back to blocking once a message is actually arriving, so the rest of
+/// the parse reads like the blocking path.
+struct MsgIn<'a> {
+    stream: &'a TcpStream,
+    buf: &'a mut RecvBuf,
+    /// Socket is currently non-blocking (an event-loop boundary probe);
+    /// cleared when the first byte of the message arrives.
+    nonblocking: bool,
+    /// Whole-message time budget, armed at the first byte.
+    budget: Option<Duration>,
+    deadline: Option<Instant>,
+    live: bool,
+}
+
+impl<'a> MsgIn<'a> {
+    fn new(
+        stream: &'a TcpStream,
+        buf: &'a mut RecvBuf,
+        budget: Option<Duration>,
+        nonblocking: bool,
+    ) -> MsgIn<'a> {
+        MsgIn {
+            stream,
+            buf,
+            nonblocking,
+            budget,
+            deadline: None,
+            live: false,
+        }
+    }
+
+    /// The first byte of the message has arrived: the conversation is
+    /// live, stalls are now errors, and the deadline clock starts.
+    fn mark_live(&mut self) -> Result<(), HttpError> {
+        if self.live {
+            return Ok(());
+        }
+        self.live = true;
+        if self.nonblocking {
+            self.stream.set_nonblocking(false).map_err(io_error)?;
+            self.nonblocking = false;
+        }
+        if let Some(budget) = self.budget {
+            self.deadline = Some(Instant::now() + budget);
+        }
+        Ok(())
+    }
+
+    /// Bound the next blocking read by [`IO_TIMEOUT`] and whatever is
+    /// left of the message deadline.
+    fn arm_read_timeout(&mut self) -> Result<(), HttpError> {
+        if !self.live {
+            // At a boundary the caller owns the timeout: the server's
+            // sliced idle wait, the client's IO_TIMEOUT, or a
+            // non-blocking probe that returns instantly.
+            return Ok(());
+        }
+        let mut timeout = IO_TIMEOUT;
+        if let Some(deadline) = self.deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(HttpError::Deadline);
+            }
+            timeout = timeout.min(remaining);
+        }
+        self.stream
+            .set_read_timeout(Some(timeout))
+            .map_err(io_error)?;
+        Ok(())
+    }
+
+    fn map_read_timeout(&self) -> HttpError {
+        if !self.live {
+            return HttpError::Idle;
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return HttpError::Deadline;
+        }
+        HttpError::Io("read timed out mid-message".into())
+    }
+
+    /// Next message byte, refilling the buffer from the socket as
+    /// needed. `Ok(None)` is EOF.
+    fn next_byte(&mut self) -> Result<Option<u8>, HttpError> {
+        loop {
+            if let Some(b) = self.buf.pop() {
+                self.mark_live()?;
+                return Ok(Some(b));
+            }
+            self.arm_read_timeout()?;
+            match self.buf.fill(self.stream) {
+                Ok(0) => return Ok(None),
+                Ok(_) => {}
+                Err(e) if is_timeout(&e) => return Err(self.map_read_timeout()),
+                Err(e) => return Err(io_error(e)),
+            }
+        }
+    }
+
+    /// Bulk read for bodies: buffered bytes first, then straight from
+    /// the socket (no intermediate copy). `Ok(0)` is EOF.
+    fn read_into(&mut self, out: &mut [u8]) -> Result<usize, HttpError> {
+        let n = self.buf.take(out);
+        if n > 0 {
+            self.mark_live()?;
+            return Ok(n);
+        }
+        self.arm_read_timeout()?;
+        match (&mut &*self.stream).read(out) {
+            Ok(0) => Ok(0),
+            Ok(n) => {
+                self.mark_live()?;
+                Ok(n)
+            }
+            Err(e) if is_timeout(&e) => Err(self.map_read_timeout()),
+            Err(e) => Err(io_error(e)),
+        }
+    }
+}
+
 /// Read one CRLF (or bare-LF) terminated line, bounded by
 /// [`MAX_HEADER_LINE`]. With `at_boundary`, zero bytes before the first
 /// byte of the line is reported as [`HttpError::Closed`] (EOF) or
-/// [`HttpError::Idle`] (timeout) — a clean end of a persistent
-/// conversation. Once any byte has arrived, EOF or timeout is a
-/// truncated message and an error.
-fn read_line(reader: &mut BufReader<&TcpStream>, at_boundary: bool) -> Result<String, HttpError> {
+/// [`HttpError::Idle`] (timeout / nothing readable) — a clean end of a
+/// persistent conversation. Once any byte has arrived, EOF or timeout is
+/// a truncated message and an error.
+fn read_line(msg: &mut MsgIn<'_>, at_boundary: bool) -> Result<String, HttpError> {
     let mut line = Vec::new();
     loop {
-        let mut byte = [0u8; 1];
-        match reader.read(&mut byte) {
-            Ok(0) => {
+        match msg.next_byte()? {
+            Some(b'\n') => break,
+            Some(b) => {
+                line.push(b);
+                if line.len() > MAX_HEADER_LINE {
+                    return Err(HttpError::Bad("header line too long".into()));
+                }
+            }
+            None => {
                 if at_boundary && line.is_empty() {
                     return Err(HttpError::Closed);
                 }
                 return Err(HttpError::Io("connection closed mid-line".into()));
             }
-            Ok(_) => {
-                if byte[0] == b'\n' {
-                    break;
-                }
-                line.push(byte[0]);
-                if line.len() > MAX_HEADER_LINE {
-                    return Err(HttpError::Bad("header line too long".into()));
-                }
-            }
-            Err(e) if is_timeout(&e) && at_boundary && line.is_empty() => {
-                return Err(HttpError::Idle);
-            }
-            Err(e) => return Err(io_error(e)),
         }
     }
     if line.last() == Some(&b'\r') {
         line.pop();
     }
     String::from_utf8(line).map_err(|_| HttpError::Bad("non-UTF-8 header bytes".into()))
+}
+
+/// Read exactly `n` body bytes through `msg` into a UTF-8 string.
+fn read_body(msg: &mut MsgIn<'_>, n: usize) -> Result<String, HttpError> {
+    let mut raw = vec![0u8; n];
+    let mut got = 0;
+    while got < n {
+        match msg.read_into(&mut raw[got..])? {
+            0 => return Err(HttpError::Io("connection closed mid-body".into())),
+            k => got += k,
+        }
+    }
+    String::from_utf8(raw).map_err(|_| HttpError::Bad("non-UTF-8 body".into()))
 }
 
 /// Whether a message with `version` and an optional `Connection` header
@@ -181,25 +379,30 @@ fn connection_closes(version: &str, connection: Option<&str>) -> bool {
     false
 }
 
-/// Read and parse one request from a connection's long-lived reader,
-/// enforcing `max_body`.
+/// Read and parse one request from a connection's long-lived
+/// [`RecvBuf`], enforcing `max_body`.
 ///
-/// The reader (and its stream's read timeout) is owned by the caller's
-/// connection loop: whatever timeout is set when this is called governs
-/// the idle wait for the request line ([`HttpError::Idle`] on expiry);
-/// once the request line has arrived, the timeout is reset to
-/// [`IO_TIMEOUT`] so a slow-trickling request cannot hold a worker
-/// beyond it.
+/// At the message boundary, the caller owns the wait: whatever read
+/// timeout is set governs the idle wait for the request line
+/// ([`HttpError::Idle`] on expiry), and with `nonblocking` (an
+/// event-loop boundary probe) a socket with nothing readable returns
+/// `Idle` immediately instead of blocking — the worker's signal to park
+/// the connection back into epoll. Once the first byte arrives the
+/// conversation is live: the socket is switched back to blocking (if it
+/// wasn't), every read is bounded by [`IO_TIMEOUT`], and with `budget`
+/// set the *whole message* — request line, headers, and body — must
+/// complete within it or the read fails with [`HttpError::Deadline`]
+/// (the slowloris guard: a byte-at-a-time client cannot pin a worker
+/// past the budget, because trickling does not reset the clock).
 pub fn read_request(
-    reader: &mut BufReader<&TcpStream>,
+    stream: &TcpStream,
+    buf: &mut RecvBuf,
     max_body: usize,
+    budget: Option<Duration>,
+    nonblocking: bool,
 ) -> Result<Request, HttpError> {
-    let request_line = read_line(reader, true)?;
-    // The conversation is live: from here on, stalls are errors.
-    reader
-        .get_ref()
-        .set_read_timeout(Some(IO_TIMEOUT))
-        .map_err(io_error)?;
+    let mut msg = MsgIn::new(stream, buf, budget, nonblocking);
+    let request_line = read_line(&mut msg, true)?;
 
     let mut parts = request_line.split(' ');
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
@@ -219,7 +422,7 @@ pub fn read_request(
     let mut authorization: Option<String> = None;
     let mut saw_header_end = false;
     for _ in 0..=MAX_HEADERS {
-        let line = read_line(reader, false)?;
+        let line = read_line(&mut msg, false)?;
         if line.is_empty() {
             saw_header_end = true;
             break;
@@ -258,11 +461,7 @@ pub fn read_request(
         None if needs_body => return Err(HttpError::LengthRequired),
         None | Some(0) => String::new(),
         Some(n) if n > max_body => return Err(HttpError::TooLarge { limit: max_body }),
-        Some(n) => {
-            let mut buf = vec![0u8; n];
-            reader.read_exact(&mut buf).map_err(io_error)?;
-            String::from_utf8(buf).map_err(|_| HttpError::Bad("non-UTF-8 body".into()))?
-        }
+        Some(n) => read_body(&mut msg, n)?,
     };
 
     let (path, query) = match target.split_once('?') {
@@ -312,6 +511,7 @@ pub fn reason(status: u16) -> &'static str {
         403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         411 => "Length Required",
         413 => "Payload Too Large",
@@ -388,12 +588,13 @@ pub struct Response {
     pub close: bool,
 }
 
-/// Read one response from a connection's reader. Bodies are framed by
-/// `Content-Length`; a response without one is legal only on a closing
-/// connection (read-until-EOF), which this layer's own server never
-/// produces but foreign/stub servers may.
-pub fn read_response(reader: &mut BufReader<&TcpStream>) -> Result<Response, HttpError> {
-    let status_line = read_line(reader, true)?;
+/// Read one response from a connection's [`RecvBuf`]. Bodies are framed
+/// by `Content-Length`; a response without one is legal only on a
+/// closing connection (read-until-EOF), which this layer's own server
+/// never produces but foreign/stub servers may.
+pub fn read_response(stream: &TcpStream, buf: &mut RecvBuf) -> Result<Response, HttpError> {
+    let mut msg = MsgIn::new(stream, buf, None, false);
+    let status_line = read_line(&mut msg, true)?;
     let mut head = status_line.split(' ');
     let version = head.next().unwrap_or("");
     let status: u16 = head
@@ -403,7 +604,7 @@ pub fn read_response(reader: &mut BufReader<&TcpStream>) -> Result<Response, Htt
     let mut content_length: Option<usize> = None;
     let mut connection: Option<String> = None;
     for _ in 0..=MAX_HEADERS {
-        let line = read_line(reader, false)?;
+        let line = read_line(&mut msg, false)?;
         if line.is_empty() {
             break;
         }
@@ -417,18 +618,20 @@ pub fn read_response(reader: &mut BufReader<&TcpStream>) -> Result<Response, Htt
     }
     let mut close = connection_closes(version, connection.as_deref());
     let body = match content_length {
-        Some(n) => {
-            let mut buf = vec![0u8; n];
-            reader.read_exact(&mut buf).map_err(io_error)?;
-            String::from_utf8(buf).map_err(|_| HttpError::Bad("non-UTF-8 body".into()))?
-        }
+        Some(n) => read_body(&mut msg, n)?,
         // No Content-Length: the only sound framing left is till-EOF,
         // after which the connection is necessarily done.
         None => {
             close = true;
-            let mut buf = String::new();
-            reader.read_to_string(&mut buf).map_err(io_error)?;
-            buf
+            let mut raw = Vec::new();
+            loop {
+                let mut chunk = [0u8; 4096];
+                match msg.read_into(&mut chunk)? {
+                    0 => break,
+                    k => raw.extend_from_slice(&chunk[..k]),
+                }
+            }
+            String::from_utf8(raw).map_err(|_| HttpError::Bad("non-UTF-8 body".into()))?
         }
     };
     Ok(Response {
@@ -492,6 +695,7 @@ pub fn parse_base_url(url: &str) -> Result<String, String> {
 pub struct Conn {
     authority: String,
     stream: TcpStream,
+    buf: RecvBuf,
     requests: u64,
 }
 
@@ -510,6 +714,7 @@ impl Conn {
         Ok(Conn {
             authority: authority.to_string(),
             stream,
+            buf: RecvBuf::new(),
             requests: 0,
         })
     }
@@ -523,10 +728,9 @@ impl Conn {
         self.requests
     }
 
-    /// One request/response exchange, keep-alive framing. A fresh
-    /// `BufReader` per response is sound here because the server never
-    /// sends ahead of our next request (no pipelining on the client
-    /// side), so there is never read-ahead to lose between calls.
+    /// One request/response exchange, keep-alive framing. The
+    /// connection-long [`RecvBuf`] keeps framing honest even if a
+    /// server were to send ahead of our next request.
     pub fn call(
         &mut self,
         method: &str,
@@ -554,8 +758,7 @@ impl Conn {
             false,
             token,
         )?;
-        let mut reader = BufReader::new(&self.stream);
-        let response = read_response(&mut reader)?;
+        let response = read_response(&self.stream, &mut self.buf)?;
         self.requests += 1;
         Ok(response)
     }
@@ -708,8 +911,8 @@ pub fn roundtrip_auth(
         true,
         token,
     )?;
-    let mut reader = BufReader::new(&stream);
-    read_response(&mut reader)
+    let mut buf = RecvBuf::new();
+    read_response(&stream, &mut buf)
 }
 
 #[cfg(test)]
@@ -728,8 +931,8 @@ mod tests {
         });
         let (stream, _) = listener.accept().unwrap();
         stream.set_read_timeout(Some(IO_TIMEOUT)).unwrap();
-        let mut reader = BufReader::new(&stream);
-        let parsed = read_request(&mut reader, 1 << 20);
+        let mut buf = RecvBuf::new();
+        let parsed = read_request(&stream, &mut buf, 1 << 20, None, false);
         writer.join().unwrap();
         parsed
     }
@@ -782,7 +985,73 @@ mod tests {
     #[test]
     fn reason_covers_auth_and_unavailable() {
         assert_eq!(reason(401), "Unauthorized");
+        assert_eq!(reason(408), "Request Timeout");
         assert_eq!(reason(503), "Service Unavailable");
+    }
+
+    #[test]
+    fn pipelined_requests_survive_in_the_recv_buf() {
+        // Two requests in one write: the first parse must leave the
+        // second intact in the connection's RecvBuf, and the second
+        // parse must complete without touching the socket again.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET /one HTTP/1.1\r\n\r\nGET /two HTTP/1.1\r\n\r\n")
+                .unwrap();
+            s
+        });
+        let (stream, _) = listener.accept().unwrap();
+        stream.set_read_timeout(Some(IO_TIMEOUT)).unwrap();
+        let mut buf = RecvBuf::new();
+        let first = read_request(&stream, &mut buf, 1 << 20, None, false).unwrap();
+        assert_eq!(first.path, "/one");
+        assert!(buf.has_buffered(), "second request should be buffered");
+        let second = read_request(&stream, &mut buf, 1 << 20, None, false).unwrap();
+        assert_eq!(second.path, "/two");
+        drop(writer.join().unwrap());
+    }
+
+    #[test]
+    fn trickled_message_dies_at_its_deadline_not_per_byte() {
+        // A byte-at-a-time client: each byte lands within the read
+        // timeout, but the whole-message budget still cuts it off —
+        // trickling must not reset the clock (the slowloris guard).
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            for b in b"GET /slow HTTP/1.1\r\nHost: x\r\n" {
+                if s.write_all(&[*b]).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(30));
+            }
+            s
+        });
+        let (stream, _) = listener.accept().unwrap();
+        stream.set_read_timeout(Some(IO_TIMEOUT)).unwrap();
+        let mut buf = RecvBuf::new();
+        let started = Instant::now();
+        let result = read_request(
+            &stream,
+            &mut buf,
+            1 << 20,
+            Some(Duration::from_millis(200)),
+            false,
+        );
+        assert!(
+            matches!(result, Err(HttpError::Deadline)),
+            "expected Deadline, got {result:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "deadline took {:?}",
+            started.elapsed()
+        );
+        drop(stream); // unblock the writer
+        let _ = writer.join();
     }
 
     #[test]
@@ -817,8 +1086,8 @@ mod tests {
         let server = std::thread::spawn(move || {
             let (stream, _) = listener.accept().unwrap();
             stream.set_read_timeout(Some(IO_TIMEOUT)).unwrap();
-            let mut reader = BufReader::new(&stream);
-            let request = read_request(&mut reader, 1 << 20).unwrap();
+            let mut buf = RecvBuf::new();
+            let request = read_request(&stream, &mut buf, 1 << 20, None, false).unwrap();
             write_response(&stream, 200, "text/plain", "ok").unwrap();
             request.authorization
         });

@@ -35,7 +35,10 @@
 //! and [`bench`] the `spp bench serve` load generator that measures the
 //! whole stack (RPS + latency histograms, keep-alive vs close).
 //! Concurrency is a fixed [`spp_par::run_workers`] accept pool — bounded
-//! by construction, no thread per connection.
+//! by construction, no thread per connection — and on Linux the
+//! [`event`] module adds an epoll multiplexer (`--io-mode event`) so
+//! idle keep-alive connections park on one event-loop thread instead of
+//! holding pool workers.
 //!
 //! ## Deployment sketch
 //!
@@ -61,12 +64,15 @@
 pub mod auth;
 pub mod bench;
 pub mod client;
+pub mod event;
 pub mod http;
 pub mod server;
 pub mod sharded;
 pub mod work_client;
 
 pub use client::HttpCache;
-pub use server::{EndpointCounters, ServeConfig, ServeCounters, ServeError, Server, ServerHandle};
+pub use server::{
+    EndpointCounters, IoMode, ServeConfig, ServeCounters, ServeError, Server, ServerHandle,
+};
 pub use sharded::ShardedCache;
 pub use work_client::RemoteLease;

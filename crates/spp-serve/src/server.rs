@@ -45,27 +45,40 @@
 //!
 //! ## Execution model
 //!
-//! A fixed pool of [`spp_par::run_workers`] threads all block in
-//! `accept` on one listener; each serves one **connection** at a time —
-//! persistent HTTP/1.1, many requests per accepted socket — so at most
-//! `workers` connections (and hence at most `workers` concurrent
-//! solves) are in flight: the bounded-worker-pool contract, now paying
-//! TCP setup once per conversation instead of once per request. A
-//! connection is closed when the client asks (`Connection: close`, or
-//! HTTP/1.0 without keep-alive), when its request budget
-//! ([`ServeConfig::keepalive_requests`]) is spent, when it sits idle
-//! past [`ServeConfig::idle_timeout`], or when a handler panics (the
-//! panic costs one 500 response and that connection, never a pool
-//! worker). The idle wait is sliced so shutdown stays prompt even with
-//! idle keep-alive clients attached. Solves flow through the engine's
-//! one cache-consulting [`execute_cells`] pipeline, exactly like
-//! `spp batch`.
+//! Two I/O modes share one request path ([`IoMode`], `--io-mode`):
+//!
+//! * **blocking** (default): a fixed pool of [`spp_par::run_workers`]
+//!   threads all block in `accept` on one listener; each serves one
+//!   **connection** at a time — persistent HTTP/1.1, many requests per
+//!   accepted socket — so at most `workers` connections (and hence at
+//!   most `workers` concurrent solves) are in flight: the
+//!   bounded-worker-pool contract, now paying TCP setup once per
+//!   conversation instead of once per request. The idle wait is sliced
+//!   so shutdown stays prompt even with idle keep-alive clients
+//!   attached, and shrinks under pool pressure.
+//! * **event** (Linux): one event-loop thread ([`crate::event`]) owns
+//!   the listener and every *idle* connection via epoll; the same-sized
+//!   worker pool only ever touches connections with readable bytes, so
+//!   thousands of parked keep-alive clients cost zero workers and
+//!   worker count sizes to CPU, not to connection count. Workers serve
+//!   at most [`ServeConfig::turn_requests`] pipelined requests per
+//!   readiness turn before re-parking the connection, so one greedy
+//!   pipeliner cannot starve the ready queue.
+//!
+//! In both modes a connection is closed when the client asks
+//! (`Connection: close`, or HTTP/1.0 without keep-alive), when its
+//! request budget ([`ServeConfig::keepalive_requests`]) is spent, when
+//! it sits idle past [`ServeConfig::idle_timeout`], when a started
+//! request fails to complete within [`ServeConfig::header_timeout`]
+//! (408 — the slowloris guard), or when a handler panics (the panic
+//! costs one 500 response and that connection, never a pool worker).
+//! Solves flow through the engine's one cache-consulting
+//! [`execute_cells`] pipeline, exactly like `spp batch`.
 //!
 //! Errors are structured: every 4xx/5xx body is an `spp-serve-error`
 //! JSON document naming the problem (parse errors keep the field + line
 //! detail of `spp_core::json`).
 
-use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -81,7 +94,8 @@ use spp_engine::{
     SolveRequest, WorkQueue,
 };
 
-use crate::http::{self, HttpError, Request};
+use crate::event::{self, EventConn, EventHooks, EventShared};
+use crate::http::{self, HttpError, RecvBuf, Request};
 
 /// Default cap on `PUT /cache` and `POST /solve` bodies (8 MiB — roughly
 /// a 60 000-item instance, far beyond anything the suite generates).
@@ -114,6 +128,73 @@ const PRESSURED_IDLE: Duration = Duration::from_millis(200);
 /// errors): without it a persistent failure spins every worker hot.
 const ACCEPT_BACKOFF: Duration = Duration::from_millis(10);
 
+/// Default whole-message deadline, armed when the first byte of a
+/// request arrives: request line, headers, and body must all complete
+/// within it or the request is answered 408 and the connection closed.
+/// The slowloris guard — a byte-at-a-time client cannot pin a worker
+/// past this budget, because trickling never resets the clock.
+pub const DEFAULT_HEADER_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default cap on pipelined requests one connection may have served per
+/// event-mode readiness turn before its worker re-parks it (fairness:
+/// a heavy pipeliner rotates to the ready-queue tail instead of holding
+/// its worker until the keep-alive budget runs out).
+pub const DEFAULT_TURN_REQUESTS: u64 = 8;
+
+/// How `spp serve` waits for request bytes — see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMode {
+    /// Platform default: blocking, unless the `SPP_IO_MODE=event`
+    /// environment opt-in is set on a platform that supports it.
+    Auto,
+    /// One pool worker per in-flight connection, blocking reads.
+    Blocking,
+    /// epoll multiplexer + worker pool (Linux; elsewhere this silently
+    /// resolves to blocking — the automatic fallback).
+    Event,
+}
+
+impl IoMode {
+    /// Parse a `--io-mode` flag value.
+    pub fn parse(s: &str) -> Result<IoMode, String> {
+        match s {
+            "auto" => Ok(IoMode::Auto),
+            "blocking" => Ok(IoMode::Blocking),
+            "event" => Ok(IoMode::Event),
+            other => Err(format!(
+                "unknown io mode {other:?}; expected auto, blocking, or event"
+            )),
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            IoMode::Auto => "auto",
+            IoMode::Blocking => "blocking",
+            IoMode::Event => "event",
+        }
+    }
+
+    /// The mode a server actually runs: `Auto` consults the
+    /// `SPP_IO_MODE` environment opt-in, and `Event` falls back to
+    /// `Blocking` where epoll does not exist.
+    fn resolve(self) -> IoMode {
+        let event_available = event::SUPPORTED;
+        match self {
+            IoMode::Event if event_available => IoMode::Event,
+            IoMode::Event | IoMode::Blocking => IoMode::Blocking,
+            IoMode::Auto => {
+                let opted_in = std::env::var("SPP_IO_MODE").is_ok_and(|v| v == "event");
+                if event_available && opted_in {
+                    IoMode::Event
+                } else {
+                    IoMode::Blocking
+                }
+            }
+        }
+    }
+}
+
 /// Server configuration (the `spp serve` / `spp dispatch` flags).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -141,6 +222,14 @@ pub struct ServeConfig {
     /// answer 401 otherwise. `None` leaves the server open — the
     /// single-machine and trusted-network default.
     pub token: Option<String>,
+    /// How connections wait for request bytes (`--io-mode`).
+    pub io_mode: IoMode,
+    /// Whole-message parse deadline, armed at a request's first byte
+    /// (the slowloris guard; see [`DEFAULT_HEADER_TIMEOUT`]).
+    pub header_timeout: Duration,
+    /// Event-mode fairness cap: pipelined requests served per readiness
+    /// turn before the connection re-parks.
+    pub turn_requests: u64,
 }
 
 impl ServeConfig {
@@ -155,6 +244,9 @@ impl ServeConfig {
             keepalive_requests: DEFAULT_KEEPALIVE_REQUESTS,
             idle_timeout: DEFAULT_IDLE_TIMEOUT,
             token: None,
+            io_mode: IoMode::Auto,
+            header_timeout: DEFAULT_HEADER_TIMEOUT,
+            turn_requests: DEFAULT_TURN_REQUESTS,
         }
     }
 
@@ -170,6 +262,9 @@ impl ServeConfig {
             keepalive_requests: DEFAULT_KEEPALIVE_REQUESTS,
             idle_timeout: DEFAULT_IDLE_TIMEOUT,
             token: None,
+            io_mode: IoMode::Auto,
+            header_timeout: DEFAULT_HEADER_TIMEOUT,
+            turn_requests: DEFAULT_TURN_REQUESTS,
         }
     }
 
@@ -334,6 +429,14 @@ struct State {
     max_body: usize,
     keepalive_requests: u64,
     idle_timeout: Duration,
+    /// Whole-message parse deadline (the slowloris guard).
+    header_timeout: Duration,
+    /// Event-mode per-readiness-turn pipelining cap.
+    turn_requests: u64,
+    /// The resolved I/O mode this server runs (never `Auto`).
+    io_mode: IoMode,
+    /// Event-loop shared state; `Some` exactly when `io_mode` is Event.
+    event: Option<Arc<EventShared>>,
     token: Option<String>,
     /// Workers currently blocked in `accept` — connection loops consult
     /// this to shrink their idle grace when the pool is saturated.
@@ -397,6 +500,16 @@ impl Server {
             }
             None => None,
         };
+        let io_mode = config.io_mode.resolve();
+        let event = match io_mode {
+            IoMode::Event => Some(Arc::new(EventShared::new().map_err(|e| {
+                ServeError::Bind {
+                    addr: config.addr.clone(),
+                    err: format!("cannot set up the event loop: {e}"),
+                }
+            })?)),
+            _ => None,
+        };
         Ok(Server {
             listener,
             addr,
@@ -412,12 +525,22 @@ impl Server {
                 max_body: config.max_body,
                 keepalive_requests: config.keepalive_requests.max(1),
                 idle_timeout: config.idle_timeout.max(Duration::from_millis(1)),
+                header_timeout: config.header_timeout.max(Duration::from_millis(1)),
+                turn_requests: config.turn_requests.max(1),
+                io_mode,
+                event,
                 token: config.token.clone(),
                 accepting: AtomicU64::new(0),
                 started: Instant::now(),
                 shutdown: AtomicBool::new(false),
             }),
         })
+    }
+
+    /// The I/O mode this server will actually run (`Auto` already
+    /// resolved against the platform and the `SPP_IO_MODE` opt-in).
+    pub fn io_mode(&self) -> IoMode {
+        self.state.io_mode
     }
 
     /// The actually bound address (resolves `:0` to the picked port).
@@ -431,6 +554,10 @@ impl Server {
     pub fn run(self) {
         let state = &self.state;
         let listener = &self.listener;
+        if let Some(shared) = &state.event {
+            run_event(listener, state, shared, self.workers);
+            return;
+        }
         spp_par::run_workers(self.workers, |_| loop {
             if state.shutdown.load(Ordering::Relaxed) {
                 break;
@@ -518,13 +645,69 @@ impl ServerHandle {
     /// Stop accepting, wake every worker, and join the pool.
     pub fn shutdown(self) {
         self.state.shutdown.store(true, Ordering::Relaxed);
-        // One poke per worker: each blocked accept returns once, sees the
-        // flag, and exits.
-        for _ in 0..self.workers {
-            let _ = TcpStream::connect(self.addr);
+        match &self.state.event {
+            // Event mode: the self-pipe wakes the loop, the condvar
+            // broadcast wakes the pool — no TCP pokes needed.
+            Some(shared) => shared.initiate_shutdown(),
+            // Blocking mode: one poke per worker, so each blocked
+            // accept returns once, sees the flag, and exits.
+            None => {
+                for _ in 0..self.workers {
+                    let _ = TcpStream::connect(self.addr);
+                }
+            }
         }
         let _ = self.thread.join();
     }
+}
+
+/// Event-mode service: one multiplexer thread (accept + parked
+/// connections + idle deadlines) and `workers` pool threads that only
+/// ever touch connections with readable bytes. The scope joins
+/// everything before returning, and the loop always broadcasts shutdown
+/// on exit so no worker can be left asleep.
+fn run_event(listener: &TcpListener, state: &State, shared: &Arc<EventShared>, workers: usize) {
+    let counters = &state.counters;
+    let on_accept = || {
+        counters
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+    };
+    let on_accept_error = || {
+        counters.accept_failures.fetch_add(1, Ordering::Relaxed);
+    };
+    let on_retire = |served: u32| {
+        counters
+            .max_requests_per_connection
+            .fetch_max(u64::from(served), Ordering::Relaxed);
+    };
+    std::thread::scope(|scope| {
+        let loop_shared = Arc::clone(shared);
+        scope.spawn(move || {
+            let hooks = EventHooks {
+                on_accept: &on_accept,
+                on_accept_error: &on_accept_error,
+                on_retire: &on_retire,
+            };
+            let result = event::run_event_loop(listener, &loop_shared, state.idle_timeout, hooks);
+            // Whatever ended the loop — shutdown or an epoll failure —
+            // the pool must not be left blocked on the ready queue.
+            loop_shared.initiate_shutdown();
+            if let Err(e) = result {
+                if !state.shutdown.load(Ordering::Relaxed) {
+                    eprintln!("spp-serve: event loop failed: {e}");
+                }
+            }
+        });
+        for _ in 0..workers {
+            let worker_shared = Arc::clone(shared);
+            scope.spawn(move || {
+                while let Some(conn) = worker_shared.next_ready() {
+                    event_serve(conn, state, &worker_shared);
+                }
+            });
+        }
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -571,10 +754,11 @@ impl Reply {
 /// wait so the worker re-checks the shutdown flag every [`IDLE_SLICE`].
 /// Returns [`HttpError::Idle`] once the full idle budget (or shutdown)
 /// expires with no byte received; any arriving byte hands off to the
-/// normal request parse (which switches the stream to
-/// [`http::IO_TIMEOUT`] for the rest of the message).
+/// normal request parse, bounded by the whole-message
+/// [`State::header_timeout`] deadline.
 fn read_request_idle(
-    reader: &mut BufReader<&TcpStream>,
+    stream: &TcpStream,
+    buf: &mut RecvBuf,
     state: &State,
 ) -> Result<Request, HttpError> {
     let mut waited = Duration::ZERO;
@@ -592,31 +776,106 @@ fn read_request_idle(
             return Err(HttpError::Idle);
         }
         let slice = remaining.min(IDLE_SLICE);
-        reader
-            .get_ref()
+        stream
             .set_read_timeout(Some(slice))
             .map_err(|e| HttpError::Io(e.to_string()))?;
-        match http::read_request(reader, state.max_body) {
+        match http::read_request(
+            stream,
+            buf,
+            state.max_body,
+            Some(state.header_timeout),
+            false,
+        ) {
             Err(HttpError::Idle) => waited += slice,
             other => return other,
         }
     }
 }
 
-/// Serve one accepted connection: many requests per socket, bounded by
-/// the request budget, the idle timeout, the client's own `Connection`
-/// header, and shutdown. The `BufReader` lives as long as the
-/// connection — a per-request reader would drop read-ahead bytes of a
-/// pipelined next request on the floor.
+/// Final response for a request that failed to parse (or to arrive
+/// within its deadline); the connection always closes after — framing
+/// can't be trusted past a malformed message.
+fn protocol_error_close(stream: &TcpStream, e: HttpError, state: &State) {
+    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+    state.counters.errors.fetch_add(1, Ordering::Relaxed);
+    let reply = match e {
+        HttpError::LengthRequired => Reply::error(411, "Content-Length header required"),
+        HttpError::TooLarge { limit } => {
+            Reply::error(413, &format!("request body exceeds the {limit}-byte limit"))
+        }
+        HttpError::Deadline => Reply::error(408, "request not completed within the deadline"),
+        HttpError::Bad(msg) => Reply::error(400, &msg),
+        HttpError::Io(_) | HttpError::Closed | HttpError::Idle => unreachable!(),
+    };
+    let _ = http::write_response_conn(stream, reply.status, reply.content_type, &reply.body, true);
+}
+
+/// Route one parsed request and write its response. `served` is this
+/// request's 1-based ordinal on its connection (keep-alive accounting
+/// and the request budget). Returns whether the connection must close.
+fn respond(stream: &TcpStream, request: &Request, served: u64, state: &State) -> bool {
+    if served > 1 {
+        state
+            .counters
+            .keepalive_reuses
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let start = Instant::now();
+    // A panicking handler (a solver bug on some input) must cost one
+    // 500 response and this connection, not a pool worker — an
+    // uncaught unwind here would silently shrink the pool to zero
+    // over time.
+    let (reply, panicked) =
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(request, state))) {
+            Ok(reply) => (reply, false),
+            Err(_) => (
+                Reply::error(500, "internal error while handling the request"),
+                true,
+            ),
+        };
+    if reply.status >= 400 && !reply.expected {
+        state.counters.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let close = request.close
+        || panicked
+        || served >= state.keepalive_requests
+        || state.shutdown.load(Ordering::Relaxed);
+    // RFC 9110 §11.6.1: a 401 must name the authentication scheme it
+    // expects.
+    let extra: &[(&str, &str)] = if reply.status == 401 {
+        &[("WWW-Authenticate", "Bearer")]
+    } else {
+        &[]
+    };
+    let written = http::write_response_headers(
+        stream,
+        reply.status,
+        reply.content_type,
+        &reply.body,
+        close,
+        extra,
+    );
+    state
+        .latency
+        .record(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    close || written.is_err()
+}
+
+/// Serve one accepted connection (blocking mode): many requests per
+/// socket, bounded by the request budget, the idle timeout, the
+/// client's own `Connection` header, and shutdown. The [`RecvBuf`]
+/// lives as long as the connection — a per-request buffer would drop
+/// read-ahead bytes of a pipelined next request on the floor.
 fn handle_connection(stream: &TcpStream, state: &State) {
     if stream.set_write_timeout(Some(http::IO_TIMEOUT)).is_err() {
         return;
     }
     let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(stream);
+    let mut buf = RecvBuf::new();
     let mut served: u64 = 0;
     loop {
-        let request = match read_request_idle(&mut reader, state) {
+        let request = match read_request_idle(stream, &mut buf, state) {
             Ok(request) => request,
             // Clean end of the conversation: peer closed at a boundary,
             // idle budget spent, or shutdown. Nothing owed.
@@ -624,79 +883,15 @@ fn handle_connection(stream: &TcpStream, state: &State) {
             // Peer broke mid-message (disconnect, stall): no one is
             // listening for a response.
             Err(HttpError::Io(_)) => break,
-            // Protocol errors get a final response, then the connection
-            // closes — framing can't be trusted past a malformed message.
+            // Protocol errors (and blown deadlines) get a final
+            // response, then the connection closes.
             Err(e) => {
-                state.counters.requests.fetch_add(1, Ordering::Relaxed);
-                state.counters.errors.fetch_add(1, Ordering::Relaxed);
-                let reply = match e {
-                    HttpError::LengthRequired => {
-                        Reply::error(411, "Content-Length header required")
-                    }
-                    HttpError::TooLarge { limit } => {
-                        Reply::error(413, &format!("request body exceeds the {limit}-byte limit"))
-                    }
-                    HttpError::Bad(msg) => Reply::error(400, &msg),
-                    HttpError::Io(_) | HttpError::Closed | HttpError::Idle => unreachable!(),
-                };
-                let _ = http::write_response_conn(
-                    stream,
-                    reply.status,
-                    reply.content_type,
-                    &reply.body,
-                    true,
-                );
+                protocol_error_close(stream, e, state);
                 break;
             }
         };
         served += 1;
-        if served > 1 {
-            state
-                .counters
-                .keepalive_reuses
-                .fetch_add(1, Ordering::Relaxed);
-        }
-        state.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let start = Instant::now();
-        // A panicking handler (a solver bug on some input) must cost one
-        // 500 response and this connection, not a pool worker — an
-        // uncaught unwind here would silently shrink the pool to zero
-        // over time.
-        let (reply, panicked) =
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(&request, state)))
-            {
-                Ok(reply) => (reply, false),
-                Err(_) => (
-                    Reply::error(500, "internal error while handling the request"),
-                    true,
-                ),
-            };
-        if reply.status >= 400 && !reply.expected {
-            state.counters.errors.fetch_add(1, Ordering::Relaxed);
-        }
-        let close = request.close
-            || panicked
-            || served >= state.keepalive_requests
-            || state.shutdown.load(Ordering::Relaxed);
-        // RFC 9110 §11.6.1: a 401 must name the authentication scheme it
-        // expects.
-        let extra: &[(&str, &str)] = if reply.status == 401 {
-            &[("WWW-Authenticate", "Bearer")]
-        } else {
-            &[]
-        };
-        let written = http::write_response_headers(
-            stream,
-            reply.status,
-            reply.content_type,
-            &reply.body,
-            close,
-            extra,
-        );
-        state
-            .latency
-            .record(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
-        if close || written.is_err() {
+        if respond(stream, &request, served, state) {
             break;
         }
     }
@@ -704,6 +899,104 @@ fn handle_connection(stream: &TcpStream, state: &State) {
         .counters
         .max_requests_per_connection
         .fetch_max(served, Ordering::Relaxed);
+}
+
+/// What a worker does with a connection after one readiness turn.
+enum Turn {
+    /// Return it to the event loop (idle, or the per-turn cap).
+    Park(EventConn),
+    /// Done with it; the payload is its served-request count.
+    Close(u32),
+}
+
+/// One event-mode service turn under a panic guard: park outcomes go
+/// back to the loop, closes record `max_requests_per_connection` (the
+/// loop does the same for connections it retires itself).
+fn event_serve(conn: EventConn, state: &State, shared: &EventShared) {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        serve_turn(conn, state, shared)
+    })) {
+        Ok(Turn::Park(conn)) => shared.park(conn),
+        Ok(Turn::Close(served)) => {
+            state
+                .counters
+                .max_requests_per_connection
+                .fetch_max(u64::from(served), Ordering::Relaxed);
+        }
+        // The connection was lost to the unwind (already closed by its
+        // Drop); per-request panics were caught inside `respond`, so
+        // this only fires on turn-plumbing bugs.
+        Err(_) => {}
+    }
+}
+
+/// Serve one readiness turn of an event-mode connection: requests are
+/// parsed and answered exactly like blocking mode, but a boundary with
+/// nothing readable parks the connection instead of holding the worker,
+/// and at most [`State::turn_requests`] pipelined requests are served
+/// before yielding it back to the ready-queue rotation.
+fn serve_turn(mut conn: EventConn, state: &State, shared: &EventShared) -> Turn {
+    if conn.served == 0 {
+        // First time a worker touches this connection.
+        if conn
+            .stream
+            .set_write_timeout(Some(http::IO_TIMEOUT))
+            .is_err()
+        {
+            return Turn::Close(conn.served);
+        }
+        let _ = conn.stream.set_nodelay(true);
+    }
+    let mut turn_served: u64 = 0;
+    loop {
+        if state.shutdown.load(Ordering::Relaxed) {
+            return Turn::Close(conn.served);
+        }
+        // Boundary probe on the non-blocking socket. The moment a first
+        // byte arrives, `read_request` flips the socket back to
+        // blocking and arms the whole-message deadline, so the rest of
+        // the parse — and the response write — run exactly like
+        // blocking mode.
+        let request = match http::read_request(
+            &conn.stream,
+            &mut conn.buf,
+            state.max_body,
+            Some(state.header_timeout),
+            true,
+        ) {
+            Ok(request) => request,
+            // Nothing readable at the boundary: hand the connection
+            // back to epoll instead of holding this worker.
+            Err(HttpError::Idle) => {
+                shared
+                    .counters
+                    .eagain_retries
+                    .fetch_add(1, Ordering::Relaxed);
+                return Turn::Park(conn);
+            }
+            // Clean close at a boundary, or a peer broken mid-message.
+            Err(HttpError::Closed) | Err(HttpError::Io(_)) => return Turn::Close(conn.served),
+            Err(e) => {
+                protocol_error_close(&conn.stream, e, state);
+                return Turn::Close(conn.served);
+            }
+        };
+        conn.served = conn.served.saturating_add(1);
+        turn_served += 1;
+        if respond(&conn.stream, &request, u64::from(conn.served), state) {
+            return Turn::Close(conn.served);
+        }
+        // Back to non-blocking for the next boundary probe.
+        if conn.stream.set_nonblocking(true).is_err() {
+            return Turn::Close(conn.served);
+        }
+        if turn_served >= state.turn_requests {
+            // Fairness: yield. With pipelined bytes still buffered the
+            // loop requeues this connection at the ready-queue tail;
+            // otherwise it parks in epoll like any idle connection.
+            return Turn::Park(conn);
+        }
+    }
 }
 
 /// Whether this request may use a token-gated endpoint. A server
@@ -1125,6 +1418,20 @@ fn stats_reply(state: &State) -> Reply {
             "  \"max_requests_per_connection\": {},",
             c.max_requests_per_connection
         );
+        let _ = writeln!(body, "  \"io_mode\": \"{}\",", state.io_mode.name());
+        if let Some(shared) = &state.event {
+            let ev = shared.counters.snapshot();
+            let _ = writeln!(
+                body,
+                "  \"event\": {{\"parked_connections\": {}, \"wakeups\": {}, \
+                 \"readiness_batches\": {}, \"eagain_retries\": {}, \"timer_expiries\": {}}},",
+                ev.parked_connections,
+                ev.wakeups,
+                ev.readiness_batches,
+                ev.eagain_retries,
+                ev.timer_expiries
+            );
+        }
         let _ = writeln!(
             body,
             "  \"mean_requests_per_connection\": {:.2},",

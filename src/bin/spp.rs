@@ -60,11 +60,11 @@ use strip_packing::engine::{
     SolveRequest, Solver, Validation, WorkError, WorkLease, WorkQueue, WorkSource,
 };
 use strip_packing::gen::rects::DagFamily;
-use strip_packing::serve::{HttpCache, RemoteLease, ServeConfig, Server, ShardedCache};
+use strip_packing::serve::{HttpCache, IoMode, RemoteLease, ServeConfig, Server, ShardedCache};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  spp gen --family <name> [-n <count>] [--seed <u64>] [--uniform-height]\n          [--format <spp|json>]\n  spp suite --out-dir <dir> [--count <n>] [-n <size>] [--seed <u64>]\n  spp pack <file|-> [--algo <name>] [--render <none|ascii|svg>]\n          [--epsilon <f64>] [-k <usize>] [--shelf-r <f64>] [--strict]\n  spp bounds <file|->\n  spp batch [--families <f1,f2,..>] [--count <per-family>] [-n <size>]\n          [--seed <u64>] [--algos <a1,a2,..>]\n  spp batch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--shards <n>] [--shard-index <i>] [--out <file>]\n          [--cache-dir <dir> | --cache-url <url> | --cache-urls <u1,u2,..>]\n          [--replication <r>] [--token-file <file>] [--cache-readonly] [--cells]\n  spp batch --merge <report1,report2,..> [--cells]\n  spp batch --dispatcher-url <http://host:port> [--token-file <file>] [--cells]\n  spp cache stats --cache-dir <dir>\n  spp cache gc --cache-dir <dir> [--max-age <secs>]\n  spp cache verify --cache-dir <dir> (--input-dir <dir> | --file-list <file>)\n          [--algos <a1,a2,..>] [--sample <n>]\n  spp serve --cache-dir <dir> [--addr <host:port>] [--workers <n>]\n          [--max-body <bytes>] [--cache-readonly] [--token-file <file>]\n          [--keepalive-requests <n>] [--idle-timeout-ms <ms>]\n  spp dispatch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--addr <host:port>] [--lease-files <n>] [--lease-timeout <secs>]\n          [--cache-dir <dir>] [--workers <n>] [--max-body <bytes>]\n          [--token-file <file>] [--keepalive-requests <n>] [--idle-timeout-ms <ms>]\n  spp work --dispatcher-url <http://host:port>\n          [--cache-dir <dir> | --cache-url <url> | --cache-urls <u1,u2,..>]\n          [--replication <r>] [--token-file <file>]\n          [--workers <n>] [--poll-ms <ms>] [--abandon-after <n>]\n  spp bench serve [--url <http://host:port>] [--clients <n>]\n          [--mode <keepalive|close|both>] [--workload <cache-hit|solve>]\n          [--duration-ms <ms> | --requests <n>] [--rate <rps>]\n          [--workers <n>] [--out <file>]\n  spp algos\n\nrun `spp algos` for the algorithm registry with capability flags"
+        "usage:\n  spp gen --family <name> [-n <count>] [--seed <u64>] [--uniform-height]\n          [--format <spp|json>]\n  spp suite --out-dir <dir> [--count <n>] [-n <size>] [--seed <u64>]\n  spp pack <file|-> [--algo <name>] [--render <none|ascii|svg>]\n          [--epsilon <f64>] [-k <usize>] [--shelf-r <f64>] [--strict]\n  spp bounds <file|->\n  spp batch [--families <f1,f2,..>] [--count <per-family>] [-n <size>]\n          [--seed <u64>] [--algos <a1,a2,..>]\n  spp batch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--shards <n>] [--shard-index <i>] [--out <file>]\n          [--cache-dir <dir> | --cache-url <url> | --cache-urls <u1,u2,..>]\n          [--replication <r>] [--token-file <file>] [--cache-readonly] [--cells]\n  spp batch --merge <report1,report2,..> [--cells]\n  spp batch --dispatcher-url <http://host:port> [--token-file <file>] [--cells]\n  spp cache stats --cache-dir <dir>\n  spp cache gc --cache-dir <dir> [--max-age <secs>]\n  spp cache verify --cache-dir <dir> (--input-dir <dir> | --file-list <file>)\n          [--algos <a1,a2,..>] [--sample <n>]\n  spp serve --cache-dir <dir> [--addr <host:port>] [--workers <n>]\n          [--max-body <bytes>] [--cache-readonly] [--token-file <file>]\n          [--keepalive-requests <n>] [--idle-timeout-ms <ms>]\n          [--io-mode <auto|blocking|event>]\n  spp dispatch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--addr <host:port>] [--lease-files <n>] [--lease-timeout <secs>]\n          [--cache-dir <dir>] [--workers <n>] [--max-body <bytes>]\n          [--token-file <file>] [--keepalive-requests <n>] [--idle-timeout-ms <ms>]\n          [--io-mode <auto|blocking|event>]\n  spp work --dispatcher-url <http://host:port>\n          [--cache-dir <dir> | --cache-url <url> | --cache-urls <u1,u2,..>]\n          [--replication <r>] [--token-file <file>]\n          [--workers <n>] [--poll-ms <ms>] [--abandon-after <n>]\n  spp bench serve [--url <http://host:port>] [--clients <n>]\n          [--mode <keepalive|close|both>] [--workload <cache-hit|solve>]\n          [--duration-ms <ms> | --requests <n>] [--rate <rps>]\n          [--workers <n>] [--out <file>] [--io-mode <auto|blocking|event>]\n          [--idle-clients <n>]\n  spp algos\n\nrun `spp algos` for the algorithm registry with capability flags"
     );
     std::process::exit(2);
 }
@@ -714,7 +714,7 @@ fn cmd_dispatch(args: &[String]) -> ExitCode {
     println!("listening on http://{}", server.local_addr());
     let _ = std::io::stdout().flush();
     eprintln!(
-        "dispatching {} files x {} solvers in {}-file leases (timeout {}s){}; \
+        "dispatching {} files x {} solvers in {}-file leases (timeout {}s){} (io-mode {}); \
          endpoints: POST /work/lease, POST /work/complete, GET /work/status, \
          GET /work/report, GET /stats",
         plan.len(),
@@ -725,7 +725,8 @@ fn cmd_dispatch(args: &[String]) -> ExitCode {
             "; also serving the cache role"
         } else {
             ""
-        }
+        },
+        server.io_mode().name()
     );
     server.run();
     ExitCode::SUCCESS
@@ -1238,15 +1239,17 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     println!("listening on http://{}", server.local_addr());
     let _ = std::io::stdout().flush();
     eprintln!(
-        "serving cache dir {dir}{}; endpoints: GET/PUT /cache/<key>, POST /solve, GET /stats",
-        if config.readonly { " (read-only)" } else { "" }
+        "serving cache dir {dir}{} (io-mode {}); endpoints: GET/PUT /cache/<key>, POST /solve, \
+         GET /stats",
+        if config.readonly { " (read-only)" } else { "" },
+        server.io_mode().name()
     );
     server.run();
     ExitCode::SUCCESS
 }
 
-/// Apply the keep-alive tuning flags shared by `spp serve` and
-/// `spp dispatch`.
+/// Apply the connection tuning flags shared by `spp serve` and
+/// `spp dispatch`: keep-alive budgets and the I/O mode.
 fn keepalive_from_args(args: &[String], config: &mut ServeConfig) {
     if let Some(n) = arg_value(args, "--keepalive-requests") {
         config.keepalive_requests = parse_or_usage(n);
@@ -1254,6 +1257,21 @@ fn keepalive_from_args(args: &[String], config: &mut ServeConfig) {
     if let Some(ms) = arg_value(args, "--idle-timeout-ms") {
         config.idle_timeout = std::time::Duration::from_millis(parse_or_usage(ms));
     }
+    if let Some(mode) = io_mode_from_args(args) {
+        config.io_mode = mode;
+    }
+}
+
+/// Parse `--io-mode <auto|blocking|event>` (shared by `spp serve`,
+/// `spp dispatch`, and `spp bench serve`).
+fn io_mode_from_args(args: &[String]) -> Option<IoMode> {
+    arg_value(args, "--io-mode").map(|m| match IoMode::parse(&m) {
+        Ok(mode) => mode,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    })
 }
 
 /// `spp bench` dispatcher — `serve` is the only target so far.
@@ -1281,10 +1299,21 @@ fn cmd_bench(args: &[String]) -> ExitCode {
 /// table goes to stdout; `--out` additionally writes the runs as
 /// `spp-bench` records — `experiment` "serve", `algo` the mode, `family`
 /// the workload, `n` completed requests, `height` RPS, `ratio` p99 ms —
-/// the `BENCH_SERVE.json` baseline CI smoke-checks.
+/// the `BENCH_SERVE.json` baseline CI smoke-checks. With `--io-mode`
+/// and/or `--idle-clients` the family string is suffixed
+/// (`cache-hit@event+idle500`) so runs stay distinguishable in the same
+/// fixed record schema.
 ///
-/// Exits nonzero if any request errored: a load test that quietly
-/// dropped requests would prove nothing.
+/// `--idle-clients N` measures RPS-vs-idle-count: every mode runs once
+/// with zero idle connections and once with N idle keep-alive
+/// connections parked alongside the active clients — the load shape
+/// `--io-mode event` exists for (idle connections must cost ~nothing)
+/// and the one where blocking mode visibly degrades (idle connections
+/// each pin a pool worker for the pressured idle budget).
+///
+/// Exits nonzero if any request errored (or any idle connection failed
+/// to stand up): a load test that quietly dropped requests would prove
+/// nothing.
 fn cmd_bench_serve(args: &[String]) -> ExitCode {
     use strip_packing::serve::bench::{run_bench, BenchConfig, Mode, Stop, Target};
     use strip_packing::serve::http;
@@ -1292,6 +1321,8 @@ fn cmd_bench_serve(args: &[String]) -> ExitCode {
     let clients: usize = arg_value(args, "--clients")
         .map(parse_or_usage)
         .unwrap_or(4);
+    let idle_clients: Option<usize> = arg_value(args, "--idle-clients").map(parse_or_usage);
+    let io_mode = io_mode_from_args(args);
     let modes: Vec<Mode> = match arg_value(args, "--mode").as_deref() {
         None | Some("both") => vec![Mode::Keepalive, Mode::Close],
         Some("keepalive") => vec![Mode::Keepalive],
@@ -1318,15 +1349,15 @@ fn cmd_bench_serve(args: &[String]) -> ExitCode {
     let rate: Option<f64> = arg_value(args, "--rate").map(parse_or_usage);
 
     // The server under test: the user's (--url) or our own scratch one.
-    let (authority, server) = match arg_value(args, "--url") {
+    let (authority, server, io_label) = match arg_value(args, "--url") {
         Some(url) => {
             reject_flags(
                 args,
-                &["--workers"],
-                "with --url (it sizes the self-spawned server's pool)",
+                &["--workers", "--io-mode"],
+                "with --url (they configure the self-spawned server)",
             );
             match http::parse_base_url(&url) {
-                Ok(a) => (a, None),
+                Ok(a) => (a, None, None),
                 Err(e) => {
                     eprintln!("error: {e}");
                     return ExitCode::from(2);
@@ -1344,18 +1375,26 @@ fn cmd_bench_serve(args: &[String]) -> ExitCode {
             if let Some(w) = arg_value(args, "--workers") {
                 config.workers = parse_or_usage(w);
             }
-            let handle = match Server::bind(&config) {
-                Ok(s) => s.spawn(),
+            if let Some(mode) = io_mode {
+                config.io_mode = mode;
+            }
+            let bound = match Server::bind(&config) {
+                Ok(s) => s,
                 Err(e) => {
                     eprintln!("error: {e}");
                     return ExitCode::FAILURE;
                 }
             };
+            // Record the *resolved* mode (an `event` ask on a platform
+            // without epoll runs blocking — the label must say so).
+            let label = io_mode.map(|_| bound.io_mode().name());
+            let handle = bound.spawn();
             eprintln!(
-                "bench: spawned scratch server on http://{}",
-                handle.local_addr()
+                "bench: spawned scratch server on http://{} (io-mode {})",
+                handle.local_addr(),
+                label.unwrap_or("auto")
             );
-            (handle.authority(), Some(handle))
+            (handle.authority(), Some(handle), label)
         }
     };
 
@@ -1425,45 +1464,92 @@ fn cmd_bench_serve(args: &[String]) -> ExitCode {
         }
     };
 
+    // Every mode runs once per idle level: just [0] normally, or
+    // [0, N] with --idle-clients so the zero-idle baseline and the
+    // idle-loaded run land side by side in the same table and records.
+    let idle_levels: Vec<usize> = match idle_clients {
+        Some(n) if n > 0 => vec![0, n],
+        _ => vec![0],
+    };
+    // `family` keeps runs distinguishable inside the fixed BenchRecord
+    // schema: workload, then "@<io-mode>" when one was asked for, then
+    // "+idle<N>" when idle clients were.
+    let family_of = |idle: usize| {
+        let mut family = workload.clone();
+        if let Some(label) = io_label {
+            family.push('@');
+            family.push_str(label);
+        }
+        if idle_clients.is_some() {
+            family.push_str(&format!("+idle{idle}"));
+        }
+        family
+    };
     println!(
-        "| {:<9} | {:>9} | {:>6} | {:>7} | {:>9} | {:>8} | {:>8} | {:>8} | {:>8} |",
-        "mode", "requests", "errors", "wall s", "rps", "p50 ms", "p95 ms", "p99 ms", "p999 ms"
+        "| {:<9} | {:>6} | {:>9} | {:>6} | {:>7} | {:>9} | {:>8} | {:>8} | {:>8} | {:>8} |",
+        "mode",
+        "idle",
+        "requests",
+        "errors",
+        "wall s",
+        "rps",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "p999 ms"
     );
     let mut records = Vec::new();
     let mut rps_by_mode = Vec::new();
+    let mut rps_by_mode_idle = Vec::new();
     let mut total_errors = 0u64;
     for mode in modes {
-        let result = run_bench(&BenchConfig {
-            authority: authority.clone(),
-            clients,
-            mode,
-            target: target.clone(),
-            stop,
-            rate,
-        });
-        println!(
-            "| {:<9} | {:>9} | {:>6} | {:>7.2} | {:>9.1} | {:>8.3} | {:>8.3} | {:>8.3} | {:>8.3} |",
-            mode.name(),
-            result.requests,
-            result.errors,
-            result.wall_s,
-            result.rps,
-            result.latency_ms(0.50),
-            result.latency_ms(0.95),
-            result.latency_ms(0.99),
-            result.latency_ms(0.999),
-        );
-        records.push(spp_bench::json::BenchRecord {
-            experiment: "serve".into(),
-            algo: mode.name().into(),
-            family: workload.clone(),
-            n: result.requests as usize,
-            height: result.rps,
-            ratio: result.latency_ms(0.99),
-            wall_s: result.wall_s,
-        });
-        rps_by_mode.push((mode, result.rps));
-        total_errors += result.errors;
+        for &idle in &idle_levels {
+            let result = run_bench(&BenchConfig {
+                authority: authority.clone(),
+                clients,
+                mode,
+                target: target.clone(),
+                stop,
+                rate,
+                idle_clients: idle,
+            });
+            println!(
+                "| {:<9} | {:>6} | {:>9} | {:>6} | {:>7.2} | {:>9.1} | {:>8.3} | {:>8.3} | \
+                 {:>8.3} | {:>8.3} |",
+                mode.name(),
+                idle,
+                result.requests,
+                result.errors,
+                result.wall_s,
+                result.rps,
+                result.latency_ms(0.50),
+                result.latency_ms(0.95),
+                result.latency_ms(0.99),
+                result.latency_ms(0.999),
+            );
+            if result.idle_errors > 0 {
+                eprintln!(
+                    "bench: {} of {idle} idle connections failed to stand up ({} mode)",
+                    result.idle_errors,
+                    mode.name()
+                );
+            }
+            records.push(spp_bench::json::BenchRecord {
+                experiment: "serve".into(),
+                algo: mode.name().into(),
+                family: family_of(idle),
+                n: result.requests as usize,
+                height: result.rps,
+                ratio: result.latency_ms(0.99),
+                wall_s: result.wall_s,
+            });
+            if idle == 0 {
+                rps_by_mode.push((mode, result.rps));
+            } else {
+                rps_by_mode_idle.push((mode, idle, result.rps));
+            }
+            total_errors += result.errors + result.idle_errors;
+        }
     }
     let keepalive = rps_by_mode
         .iter()
@@ -1476,6 +1562,19 @@ fn cmd_bench_serve(args: &[String]) -> ExitCode {
     if let (Some(ka), Some(cl)) = (keepalive, close) {
         if cl > 0.0 {
             eprintln!("bench: keepalive/close rps ratio {:.2}x", ka / cl);
+        }
+    }
+    // RPS retention under idle load — the number `--io-mode event`
+    // exists to hold near 100%.
+    for (mode, idle, rps) in &rps_by_mode_idle {
+        if let Some((_, base)) = rps_by_mode.iter().find(|(m, _)| m == mode) {
+            if *base > 0.0 {
+                eprintln!(
+                    "bench: {} rps with {idle} idle clients: {rps:.1} ({:.0}% of zero-idle)",
+                    mode.name(),
+                    100.0 * rps / base
+                );
+            }
         }
     }
     if let Some(path) = arg_value(args, "--out") {
