@@ -28,6 +28,7 @@ fn main() {
 
     let mut records = output.records;
     records.extend(spp_bench::json::baseline_sweep(5, &[32, 128, 512]));
+    records.extend(spp_bench::json::anytime_sweep(5, &[32, 128], 50));
     let json = spp_bench::json::to_json(&records);
     if let Err(e) = std::fs::write(&json_path, &json) {
         eprintln!("error: cannot write {json_path}: {e}");

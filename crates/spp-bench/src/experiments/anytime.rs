@@ -1,0 +1,194 @@
+//! E16 — anytime improvement: makespan vs. budget, exact-OPT ratios,
+//! and the best-so-far cache contract.
+//!
+//! The anytime subsystem's pitch is that "one-shot" is the `budget_ms=0`
+//! special case of "budgeted": any extra milliseconds buy monotone
+//! makespan reductions and never cost feasibility. This experiment
+//! measures the trade on every suite family (makespan vs. budget
+//! curves), calibrates seed and improved packings against the exact
+//! optimum on small instances (`spp-exact`), and asserts the cache side
+//! of the contract: a budgeted batch persists its best-so-far entries,
+//! and a warm rerun serves the *improved* values with zero solver
+//! invocations.
+
+use crate::table::{f3, Table};
+use spp_engine::{
+    run_sharded, solve, DiskCache, Registry, ShardPlan, SolveCache as _, SolveConfig, SolveRequest,
+};
+use spp_exact::{exact_strip, ExactConfig};
+use spp_gen::suite::{self, FAMILIES};
+
+/// A solver honoring the constraint families a scenario carries, so
+/// budgeted packings validate strictly.
+fn solver_for(prec: &spp_dag::PrecInstance) -> &'static str {
+    if prec.dag.edge_count() > 0 {
+        "dc-nfdh"
+    } else if prec.inst.items().iter().any(|it| it.release > 0.0) {
+        "skyline-release"
+    } else {
+        "skyline"
+    }
+}
+
+/// Family name of a suite scenario (`"<family>-<index>"`).
+fn family_of(name: &str) -> &str {
+    name.rsplit_once('-').map(|(f, _)| f).unwrap_or(name)
+}
+
+pub fn run() -> String {
+    let registry = Registry::builtin();
+
+    // ----- makespan vs. budget, one curve per suite family -----------
+    let budgets_ms = [0u64, 5, 25, 100];
+    let mut curve = Table::new(&["family", "algo", "seed h", "h@5ms", "h@25ms", "h@100ms"]);
+    let mut improved_families = 0usize;
+    for (index, scenario) in suite::suite(crate::experiments::SEED, 36, FAMILIES.len())
+        .into_iter()
+        .enumerate()
+    {
+        let algo = solver_for(&scenario.prec);
+        let solver = registry.get(algo).expect("registry entry exists");
+        let mut heights = Vec::new();
+        for &budget_ms in &budgets_ms {
+            let mut request = SolveRequest::new(scenario.prec.clone());
+            request.config.budget_ms = budget_ms;
+            let report = solve(&*solver, &request).expect("suite workloads solve");
+            assert!(
+                report.validation.passed(),
+                "{algo} on {}: invalid budgeted placement",
+                scenario.name
+            );
+            assert!(
+                report.makespan <= report.seed_makespan + 1e-9,
+                "{algo} on {}: budget made the makespan worse",
+                scenario.name
+            );
+            heights.push(report.makespan);
+        }
+        if heights[budgets_ms.len() - 1] < heights[0] - 1e-9 {
+            improved_families += 1;
+        }
+        curve.row(&[
+            FAMILIES[index % FAMILIES.len()].to_string(),
+            algo.to_string(),
+            f3(heights[0]),
+            f3(heights[1]),
+            f3(heights[2]),
+            f3(heights[3]),
+        ]);
+    }
+    // The acceptance claim: the budget buys real height on at least one
+    // family — asserted, not just tabulated.
+    assert!(
+        improved_families >= 1,
+        "no suite family improved under a 100ms budget"
+    );
+
+    // ----- seed vs. improved vs. exact OPT on small instances --------
+    // n = 6 keeps the branch-and-bound search exhaustive on every family
+    // (proven optimality within the default node cap), so the ratios
+    // below are against true OPT, not a bound.
+    let mut opt_table = Table::new(&["family", "algo", "seed/OPT", "improved/OPT"]);
+    let mut proven = 0usize;
+    for scenario in suite::suite(crate::experiments::SEED ^ 0xE16, 6, FAMILIES.len()) {
+        let algo = solver_for(&scenario.prec);
+        let solver = registry.get(algo).expect("registry entry exists");
+        let exact = exact_strip(&scenario.prec, ExactConfig::default());
+        if !exact.proven_optimal || exact.height <= 0.0 {
+            continue;
+        }
+        proven += 1;
+        let mut request = SolveRequest::new(scenario.prec.clone());
+        request.config.budget_ms = 100;
+        let report = solve(&*solver, &request).expect("suite workloads solve");
+        let seed_ratio = report.seed_makespan / exact.height;
+        let improved_ratio = report.makespan / exact.height;
+        assert!(
+            improved_ratio >= 1.0 - 1e-9,
+            "{algo} on {}: beat the proven optimum — exact search is wrong",
+            scenario.name
+        );
+        opt_table.row(&[
+            family_of(&scenario.name).to_string(),
+            algo.to_string(),
+            f3(seed_ratio),
+            f3(improved_ratio),
+        ]);
+    }
+    assert!(proven >= FAMILIES.len() / 2, "exact search kept timing out");
+
+    // ----- the best-so-far cache contract, end to end ----------------
+    // A budgeted batch persists improved entries; a warm rerun serves
+    // them back cell-for-cell with zero solver invocations. n is small
+    // and the budget generous, so every improvement loop converges
+    // (stall detection) long before its deadline — cold cells are
+    // deterministic and the byte-identity comparison cannot race the
+    // wall clock.
+    let suite_dir = std::env::temp_dir().join("spp_bench_anytime_suite");
+    let cache_dir = std::env::temp_dir().join("spp_bench_anytime_cache");
+    let _ = std::fs::remove_dir_all(&suite_dir);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    suite::write_suite(&suite_dir, crate::experiments::SEED ^ 0xCACE, 16, 16)
+        .expect("suite generation is infallible on a writable tmpdir");
+    let solvers: Vec<_> = ["dc-nfdh", "skyline-release"]
+        .iter()
+        .map(|n| registry.get(n).expect("registry entry exists"))
+        .collect();
+    let config = SolveConfig {
+        budget_ms: 500,
+        ..Default::default()
+    };
+    // Releases and DAGs both appear in the suite; neither solver honors
+    // every family, so validation stays non-strict (like `spp batch`).
+    let plan = ShardPlan::from_dir(&suite_dir, 4).expect("suite dir is non-empty");
+
+    let run = || {
+        let cache = DiskCache::new(&cache_dir, false).expect("cache dir is writable");
+        let merged =
+            run_sharded(&plan, &solvers, &config, Some(&cache), None).expect("shard run succeeds");
+        let stats = cache.stats();
+        (merged, stats)
+    };
+    let (cold_merged, cold_stats) = run();
+    let (warm_merged, warm_stats) = run();
+    assert!(cold_stats.misses > 0, "cold budgeted run never solved");
+    assert_eq!(warm_stats.misses, 0, "warm budgeted rerun invoked a solver");
+    assert_eq!(
+        cold_merged.cells, warm_merged.cells,
+        "warm rerun did not serve the improved best-so-far entries"
+    );
+
+    let _ = std::fs::remove_dir_all(&suite_dir);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    format!(
+        "## E16 — anytime improvement: budget curves and OPT ratios\n\n\
+         One scenario per suite family (n = 36) solved under increasing\n\
+         improvement budgets; the makespan is monotone non-increasing in\n\
+         the budget by construction, and at least one family is asserted\n\
+         to strictly improve ({improved_families} did here).\n\n{}\n\
+         Seed vs. budgeted packings against the exact optimum\n\
+         (`spp-exact` branch-and-bound, n = 6, proven-optimal searches\n\
+         only — {proven} of {} families):\n\n{}\n\
+         Cache contract (asserted): a budgeted batch persisted its\n\
+         best-so-far entries ({} cold solver calls), and the warm rerun\n\
+         served identical improved cells with zero solver invocations\n\
+         ({} hits).\n",
+        curve.render(),
+        FAMILIES.len(),
+        opt_table.render(),
+        cold_stats.misses,
+        warm_stats.hits,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_asserts_the_anytime_contract() {
+        let md = super::run();
+        assert!(md.contains("E16"));
+        assert!(md.contains("seed/OPT"), "{md}");
+        assert!(md.contains("zero solver invocations"), "{md}");
+    }
+}

@@ -2,6 +2,7 @@
 //! markdown report with the table(s) recorded in `EXPERIMENTS.md`.
 
 pub mod ablation;
+pub mod anytime;
 pub mod aptas_sweep;
 pub mod cache_warm;
 pub mod dc_ratio;

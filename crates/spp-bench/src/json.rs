@@ -118,6 +118,64 @@ pub fn baseline_sweep(seeds: u64, sizes: &[usize]) -> Vec<BenchRecord> {
     records
 }
 
+/// Anytime sweep: per-(algo, n) records of the budgeted improvement —
+/// `height` is the mean improved makespan, `ratio` the mean improved /
+/// seed makespan (≤ 1; strictly < 1 where the budget bought height).
+/// All records carry the `anytime` family tag so baselines can be
+/// filtered to the improvement subsystem alone.
+pub fn anytime_sweep(seeds: u64, sizes: &[usize], budget_ms: u64) -> Vec<BenchRecord> {
+    let registry = Registry::builtin();
+    let mut records = Vec::new();
+    for &n in sizes {
+        let jobs: Vec<spp_dag::PrecInstance> = (0..seeds)
+            .map(|seed| {
+                let mut rng =
+                    StdRng::seed_from_u64(crate::experiments::SEED ^ !seed ^ (n as u64) << 1);
+                let inst = spp_gen::rects::uniform(&mut rng, n, (0.05, 0.95), (0.05, 1.0));
+                let dag = DagFamily::Layered.build(&mut rng, n);
+                spp_dag::PrecInstance::new(inst, dag)
+            })
+            .collect();
+        for entry in
+            registry.filter(|c| c.anytime && c.precedence && !c.release && !c.uniform_height_only)
+        {
+            let solver = entry.build();
+            let t0 = Instant::now();
+            let outcomes: Vec<(f64, f64)> = spp_par::par_map(&jobs, |prec| {
+                let mut request = SolveRequest::new(prec.clone());
+                request.config.budget_ms = budget_ms;
+                let report =
+                    solve(&*solver, &request).expect("sweep solvers accept these instances");
+                assert!(
+                    report.validation.passed(),
+                    "{} produced an invalid improved placement",
+                    entry.name
+                );
+                assert!(
+                    report.makespan <= report.seed_makespan + 1e-9,
+                    "{} worsened under budget",
+                    entry.name
+                );
+                (report.makespan, report.makespan / report.seed_makespan)
+            });
+            let wall_s = t0.elapsed().as_secs_f64();
+            let mean = |f: fn(&(f64, f64)) -> f64| {
+                outcomes.iter().map(f).sum::<f64>() / outcomes.len() as f64
+            };
+            records.push(BenchRecord {
+                experiment: "E16".into(),
+                algo: entry.name.into(),
+                family: "anytime".into(),
+                n,
+                height: mean(|o| o.0),
+                ratio: mean(|o| o.1),
+                wall_s,
+            });
+        }
+    }
+    records
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +208,18 @@ mod tests {
         assert!(j.contains("x\\\"y"));
         assert_eq!(j.matches('{').count(), 2);
         assert_eq!(j.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn anytime_sweep_records_carry_the_family_tag() {
+        let records = anytime_sweep(2, &[12], 10);
+        assert!(!records.is_empty());
+        for r in &records {
+            assert_eq!(r.experiment, "E16");
+            assert_eq!(r.family, "anytime");
+            assert!(r.ratio > 0.0 && r.ratio <= 1.0 + 1e-9, "{r:?}");
+            assert!(r.height > 0.0, "{r:?}");
+        }
     }
 
     #[test]

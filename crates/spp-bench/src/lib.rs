@@ -23,6 +23,7 @@
 //! | E13 | `exp_online` | extension: online vs offline (release times) |
 //! | E14 | (run_all only) | sharded batch: equivalence and scaling |
 //! | E15 | (run_all only) | solve cache: cold vs. warm throughput |
+//! | E16 | (run_all only) | anytime improvement: budget curves, OPT ratios |
 //! | A1 | `exp_ablation` | design-choice ablations |
 //!
 //! Criterion micro/macro benches live in `benches/`.
@@ -60,6 +61,7 @@ pub fn run_all_experiments() -> RunAllOutput {
         ("E13", experiments::online_gap::run),
         ("E14", experiments::shard_scaling::run),
         ("E15", experiments::cache_warm::run),
+        ("E16", experiments::anytime::run),
         ("A1", experiments::ablation::run),
     ];
     let mut markdown = String::new();

@@ -93,6 +93,9 @@ pub struct CellOutcome {
     pub combined_lb: f64,
     /// True iff the cell was served from the cache.
     pub from_cache: bool,
+    /// Seed makespan recorded when the anytime loop strictly improved
+    /// this cell (fresh solve or cached entry alike); `None` otherwise.
+    pub improved_from: Option<f64>,
     /// Canonical digest of the job's instance — present iff a cache was
     /// attached (the cache-less path never computes content addresses).
     /// Lets consumers (e.g. the `spp serve` solve endpoint) reuse the
@@ -183,6 +186,7 @@ pub fn execute_cells(
                     makespan: cell.makespan,
                     combined_lb: cell.combined_lb,
                     from_cache: true,
+                    improved_from: cell.improved_from,
                     digest: Some(key.digest),
                     outcome: None,
                 });
@@ -190,14 +194,23 @@ pub fn execute_cells(
         }
         let outcome = solve(solver.as_ref(), &job.request);
         let (status, makespan, combined_lb) = classify_outcome(&outcome);
+        let improved_from = match &outcome {
+            Ok(report) if report.improved() => Some(report.seed_makespan),
+            _ => None,
+        };
         if let (Some(cache), Some(key)) = (cache, &key) {
             if status != CellStatus::Invalid {
-                cache.put(
+                // Best-so-far publish: a concurrent (or previous) writer
+                // holding a better makespan for this key is never
+                // clobbered by a worse fresh result; the reverse always
+                // overwrites.
+                cache.put_best(
                     key,
                     &CachedCell {
                         status,
                         makespan,
                         combined_lb,
+                        improved_from,
                     },
                 )?;
             }
@@ -210,6 +223,7 @@ pub fn execute_cells(
             makespan,
             combined_lb,
             from_cache: false,
+            improved_from,
             digest: key.as_ref().map(|k| k.digest),
             outcome: Some(outcome),
         })

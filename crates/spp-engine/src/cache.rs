@@ -114,6 +114,26 @@ pub struct CachedCell {
     pub status: CellStatus,
     pub makespan: f64,
     pub combined_lb: f64,
+    /// Seed (pre-improvement) makespan, recorded when the anytime loop
+    /// strictly improved the cell — `makespan` is then the *improved*
+    /// value. `None` for one-shot cells and entries written before the
+    /// field existed (old entries stay parseable).
+    pub improved_from: Option<f64>,
+}
+
+impl CachedCell {
+    /// The best-so-far ordering used by [`SolveCache::put_best`]: a cell
+    /// replaces an existing entry only when it is strictly better —
+    /// solved beats unsolved, and among solved cells a strictly lower
+    /// makespan wins. Ties keep the incumbent, so two runs can never
+    /// ping-pong an entry.
+    pub fn better_than(&self, incumbent: &CachedCell) -> bool {
+        match (self.status, incumbent.status) {
+            (CellStatus::Solved, CellStatus::Solved) => self.makespan < incumbent.makespan,
+            (CellStatus::Solved, _) => true,
+            _ => false,
+        }
+    }
 }
 
 const ENTRY_FORMAT: &str = "spp-cache-entry";
@@ -130,6 +150,11 @@ pub fn entry_to_json(key: &CacheKey, cell: &CachedCell) -> String {
     let _ = writeln!(out, "  \"solver\": \"{}\",", json::escape(&key.solver));
     let _ = writeln!(out, "  \"config\": \"{}\",", json::escape(&key.config_sig));
     let _ = writeln!(out, "  \"status\": \"{}\",", cell.status.as_str());
+    // Optional field, emitted only for improved cells so pre-anytime
+    // entries and one-shot entries share one canonical form.
+    if let Some(seed) = cell.improved_from {
+        let _ = writeln!(out, "  \"improved_from\": {seed:.17e},");
+    }
     let _ = writeln!(out, "  \"makespan\": {:.17e},", cell.makespan);
     let _ = writeln!(out, "  \"lb\": {:.17e}", cell.combined_lb);
     out.push_str("}\n");
@@ -164,6 +189,12 @@ pub fn entry_parse(text: &str) -> Result<(CacheKey, CachedCell), String> {
     let num = |v: &JsonValue, name: &str| -> Result<f64, String> {
         json::as_num(v, name).map_err(|e| e.to_string())
     };
+    // `improved_from` arrived with the anytime layer; absence means a
+    // one-shot (or pre-anytime) entry, so old documents keep parsing.
+    let improved_from = match json::get_field(obj, &doc, "improved_from") {
+        Ok(v) => Some(num(v, "improved_from")?),
+        Err(_) => None,
+    };
     Ok((
         CacheKey {
             digest,
@@ -174,6 +205,7 @@ pub fn entry_parse(text: &str) -> Result<(CacheKey, CachedCell), String> {
             status,
             makespan: num(field("makespan")?, "makespan")?,
             combined_lb: num(field("lb")?, "lb")?,
+            improved_from,
         },
     ))
 }
@@ -243,6 +275,19 @@ pub trait SolveCache: Sync {
     /// Store a cell (overwriting any previous entry for the key).
     fn put(&self, key: &CacheKey, cell: &CachedCell) -> Result<(), CacheError>;
 
+    /// Store a cell under the **best-so-far rule**: an existing entry is
+    /// overwritten only when `cell` is strictly better
+    /// ([`CachedCell::better_than`]) — a worse result can never clobber
+    /// an improved one, whichever machine or budget produced it. The
+    /// default forwards to [`put`](Self::put) (correct for backends
+    /// without cheap read-back, e.g. remote proxies whose server applies
+    /// the rule on its side); local backends override it with a
+    /// stats-free peek so the comparison does not distort hit/miss
+    /// counters.
+    fn put_best(&self, key: &CacheKey, cell: &CachedCell) -> Result<(), CacheError> {
+        self.put(key, cell)
+    }
+
     /// Lifetime counters.
     fn stats(&self) -> CacheStats;
 }
@@ -301,6 +346,18 @@ impl SolveCache for MemoryCache {
             .lock()
             .expect("cache mutex poisoned")
             .insert(key.clone(), *cell);
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn put_best(&self, key: &CacheKey, cell: &CachedCell) -> Result<(), CacheError> {
+        // One lock for compare + insert: concurrent writers serialize on
+        // the map, so the best entry wins regardless of arrival order.
+        let mut map = self.map.lock().expect("cache mutex poisoned");
+        if map.get(key).is_some_and(|old| !cell.better_than(old)) {
+            return Ok(());
+        }
+        map.insert(key.clone(), *cell);
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -391,6 +448,26 @@ impl SolveCache for DiskCache {
         write_entry_atomic(&self.dir, &key.file_name(), &entry_to_json(key, cell))?;
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    fn put_best(&self, key: &CacheKey, cell: &CachedCell) -> Result<(), CacheError> {
+        if self.readonly {
+            return Ok(());
+        }
+        // Stats-free peek: a damaged or mis-keyed file never blocks the
+        // write (it could not be served anyway), only a genuinely better
+        // incumbent does. The compare-then-rename window is racy in
+        // principle, but both racers hold *valid* results for the same
+        // cell, and the atomic rename keeps whichever landed last intact.
+        let incumbent = std::fs::read_to_string(self.dir.join(key.file_name()))
+            .ok()
+            .and_then(|text| entry_parse(&text).ok())
+            .filter(|(entry_key, _)| entry_key == key)
+            .map(|(_, old)| old);
+        if incumbent.is_some_and(|old| !cell.better_than(&old)) {
+            return Ok(());
+        }
+        self.put(key, cell)
     }
 
     fn stats(&self) -> CacheStats {
@@ -690,6 +767,7 @@ mod tests {
             status: CellStatus::Solved,
             makespan,
             combined_lb: makespan / 2.0,
+            improved_from: None,
         }
     }
 
@@ -708,6 +786,65 @@ mod tests {
         assert_eq!(c2, c);
         // Canonical: serialize ∘ parse ∘ serialize = serialize.
         assert_eq!(entry_to_json(&k2, &c2), text);
+    }
+
+    #[test]
+    fn improved_entries_roundtrip_and_old_entries_stay_parseable() {
+        let k = key("a");
+        let improved = CachedCell {
+            improved_from: Some(2.5),
+            ..cell(1.75)
+        };
+        let text = entry_to_json(&k, &improved);
+        assert!(text.contains("improved_from"));
+        let (_, c2) = entry_parse(&text).unwrap();
+        assert_eq!(c2, improved);
+        assert_eq!(entry_to_json(&k, &c2), text, "canonical form");
+
+        // A document without the field — exactly what every pre-anytime
+        // entry on disk looks like — parses to `improved_from: None`.
+        let old = entry_to_json(&k, &cell(1.75));
+        assert!(!old.contains("improved_from"));
+        let (_, c3) = entry_parse(&old).unwrap();
+        assert_eq!(c3.improved_from, None);
+        assert_eq!(c3.makespan, 1.75);
+    }
+
+    #[test]
+    fn best_so_far_ordering_and_put_best() {
+        let unsupported = CachedCell {
+            status: CellStatus::Unsupported,
+            ..cell(0.0)
+        };
+        assert!(cell(1.0).better_than(&cell(2.0)));
+        assert!(!cell(2.0).better_than(&cell(1.0)));
+        assert!(!cell(1.0).better_than(&cell(1.0)), "ties keep incumbent");
+        assert!(cell(9.0).better_than(&unsupported));
+        assert!(!unsupported.better_than(&cell(9.0)));
+
+        for (name, cache) in [
+            (
+                "memory",
+                Box::new(MemoryCache::new()) as Box<dyn SolveCache>,
+            ),
+            (
+                "disk",
+                Box::new(DiskCache::new(&tmp_dir("put_best"), false).unwrap()),
+            ),
+        ] {
+            cache.put_best(&key("a"), &cell(4.0)).unwrap();
+            // Worse result arrives later (slower machine / smaller
+            // budget): the improved entry must survive.
+            cache.put_best(&key("a"), &cell(5.0)).unwrap();
+            assert_eq!(cache.get(&key("a")), Some(cell(4.0)), "{name}");
+            // Strictly better overwrites.
+            let better = CachedCell {
+                improved_from: Some(4.0),
+                ..cell(3.0)
+            };
+            cache.put_best(&key("a"), &better).unwrap();
+            assert_eq!(cache.get(&key("a")), Some(better), "{name}");
+        }
     }
 
     #[test]

@@ -183,12 +183,19 @@ pub struct Registry {
     entries: Vec<RegistryEntry>,
 }
 
+// Every offline entry opts into the anytime improvement wrapper: the
+// remove-and-reinsert decode always emits placements feasible under
+// precedence *and* release, which satisfies any subset of constraint
+// families an entry validates against, and best-so-far acceptance means
+// a budget can only lower the makespan (advertised bounds keep holding).
+// Online policies are the exception — see `Capabilities::anytime`.
 const CAP_NONE: Capabilities = Capabilities {
     precedence: false,
     release: false,
     online: false,
     a_bound: false,
     uniform_height_only: false,
+    anytime: true,
 };
 const CAP_A_BOUND: Capabilities = Capabilities {
     a_bound: true,
@@ -215,6 +222,7 @@ const CAP_REL: Capabilities = Capabilities {
 const CAP_REL_ONLINE: Capabilities = Capabilities {
     release: true,
     online: true,
+    anytime: false,
     ..CAP_NONE
 };
 
@@ -551,6 +559,21 @@ mod tests {
         assert_eq!(a, vec!["nfdh", "wsnf"]);
         let online: Vec<_> = r.filter(|c| c.online).map(|e| e.name).collect();
         assert_eq!(online, vec!["online-skyline", "online-shelf"]);
+    }
+
+    #[test]
+    fn anytime_covers_exactly_the_offline_entries() {
+        let r = Registry::builtin();
+        for e in r.entries() {
+            assert_eq!(
+                e.capabilities.anytime, !e.capabilities.online,
+                "{}: anytime must be every offline entry and no online one",
+                e.name
+            );
+        }
+        let anytime: Vec<_> = r.filter(|c| c.anytime).map(|e| e.name).collect();
+        assert_eq!(anytime.len(), r.entries().len() - 2);
+        assert!(anytime.contains(&"greedy") && anytime.contains(&"aptas"));
     }
 
     #[test]

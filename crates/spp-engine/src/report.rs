@@ -68,6 +68,12 @@ pub struct SolveReport {
     pub placement: Placement,
     /// Height of the packing — the objective of every problem in the paper.
     pub makespan: f64,
+    /// Height of the constructive *seed* placement before the anytime
+    /// improvement loop ran. Equals `makespan` when no budget was set,
+    /// the solver is not `anytime`-capable, or no candidate improved.
+    pub seed_makespan: f64,
+    /// Rounds the improvement loop attempted (`0` when it did not run).
+    pub improve_rounds: u64,
     /// Lower bounds evaluated on the request.
     pub bounds: LowerBounds,
     /// Per-phase wall-clock timings, in execution order (at minimum
@@ -95,6 +101,16 @@ impl SolveReport {
         }
     }
 
+    /// True iff the anytime improvement loop strictly beat the seed.
+    pub fn improved(&self) -> bool {
+        self.makespan < self.seed_makespan
+    }
+
+    /// Makespan removed by improvement (≥ 0; 0 when nothing improved).
+    pub fn improve_gain(&self) -> f64 {
+        (self.seed_makespan - self.makespan).max(0.0)
+    }
+
     /// Sum of all phase timings.
     pub fn total_time(&self) -> Duration {
         self.phases.iter().map(|(_, d)| *d).sum()
@@ -115,6 +131,8 @@ mod tests {
             solver: "x".into(),
             placement: Placement::zeroed(0),
             makespan,
+            seed_makespan: makespan,
+            improve_rounds: 0,
             bounds: LowerBounds {
                 area: 0.0,
                 critical_path: 0.0,
@@ -142,6 +160,17 @@ mod tests {
         assert_eq!(r.phase("solve"), Some(Duration::from_millis(3)));
         assert_eq!(r.phase("nope"), None);
         assert_eq!(r.total_time(), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn improvement_accessors() {
+        let mut r = dummy(3.0, 2.0);
+        assert!(!r.improved());
+        assert_eq!(r.improve_gain(), 0.0);
+        r.seed_makespan = 4.5;
+        r.improve_rounds = 17;
+        assert!(r.improved());
+        assert!((r.improve_gain() - 1.5).abs() < 1e-12);
     }
 
     #[test]

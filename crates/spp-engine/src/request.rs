@@ -23,6 +23,16 @@ pub struct SolveConfig {
     /// Validate the placement after solving (on by default; batch sweeps
     /// over trusted solvers may switch it off for throughput).
     pub validate: bool,
+    /// Anytime improvement budget in milliseconds. `0` (the default) is
+    /// one-shot constructive solving; a positive budget runs the
+    /// remove-and-reinsert loop (`spp_pack::improve`) on any solver whose
+    /// capabilities flag `anytime`, keeping the best placement found by
+    /// the deadline. The improvement search is a pure function of
+    /// `(instance digest, improve_seed)`; the budget only truncates it.
+    pub budget_ms: u64,
+    /// Seed mixed with the instance digest to address the improvement
+    /// loop's removal-subset stream.
+    pub improve_seed: u64,
 }
 
 impl SolveConfig {
@@ -34,8 +44,14 @@ impl SolveConfig {
     /// `CacheKey::file_name`).
     pub fn signature(&self) -> String {
         format!(
-            "epsilon={:.17e} k={} shelf_r={:.17e} strict={} validate={}",
-            self.epsilon, self.k, self.shelf_r, self.strict, self.validate
+            "epsilon={:.17e} k={} shelf_r={:.17e} strict={} validate={} budget_ms={} improve_seed={}",
+            self.epsilon,
+            self.k,
+            self.shelf_r,
+            self.strict,
+            self.validate,
+            self.budget_ms,
+            self.improve_seed
         )
     }
 }
@@ -48,6 +64,8 @@ impl Default for SolveConfig {
             shelf_r: 0.622,
             strict: false,
             validate: true,
+            budget_ms: 0,
+            improve_seed: 0,
         }
     }
 }
@@ -122,6 +140,14 @@ mod tests {
             },
             SolveConfig {
                 validate: false,
+                ..base.clone()
+            },
+            SolveConfig {
+                budget_ms: 250,
+                ..base.clone()
+            },
+            SolveConfig {
+                improve_seed: 1,
                 ..base.clone()
             },
         ];

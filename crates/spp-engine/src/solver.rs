@@ -26,6 +26,13 @@ pub struct Capabilities {
     pub a_bound: bool,
     /// Only defined when every item has the same height (§2.2 shelf `F`).
     pub uniform_height_only: bool,
+    /// Opted into the anytime improvement wrapper: with a positive
+    /// [`SolveConfig::budget_ms`](crate::SolveConfig) the engine runs
+    /// seeded remove-and-reinsert (`spp_pack::improve`) on the solver's
+    /// placement, keeping the best feasible result by the deadline.
+    /// Online policies never flag this — reshuffling placed items after
+    /// the fact would break their no-lookahead semantics.
+    pub anytime: bool,
 }
 
 /// Engine-level failures. Solver bugs (invalid placements) are *not*
@@ -163,11 +170,36 @@ pub fn solve(solver: &dyn Solver, req: &SolveRequest) -> Result<SolveReport, Eng
 
     let mut phases = Vec::new();
     let t0 = Instant::now();
-    let placement = solver.run(req, &mut phases)?;
+    let mut placement = solver.run(req, &mut phases)?;
     // "solve" holds the remainder not covered by solver-internal phases,
     // keeping the phase list disjoint (summable without double-counting).
     let internal: Duration = phases.iter().map(|(_, d)| *d).sum();
     phases.push(("solve".to_string(), t0.elapsed().saturating_sub(internal)));
+
+    // Anytime improvement: budgeted remove-and-reinsert on the seed
+    // placement. The budget bounds this phase alone (the constructive
+    // solve already happened); the search stream is addressed by
+    // `digest ^ improve_seed`, so a given (instance, seed) explores the
+    // same candidate sequence on every machine and the deadline only
+    // truncates it.
+    let seed_makespan = placement.height(&req.prec.inst);
+    let mut improve_rounds = 0u64;
+    if req.config.budget_ms > 0 && caps.anytime {
+        let ti = Instant::now();
+        let digest = spp_gen::fileio::digest(&req.prec);
+        let outcome = spp_pack::improve(
+            &req.prec,
+            &placement,
+            &spp_pack::ImproveConfig {
+                seed: digest.as_u64() ^ req.config.improve_seed,
+                deadline: Some(ti + Duration::from_millis(req.config.budget_ms)),
+                ..spp_pack::ImproveConfig::default()
+            },
+        );
+        improve_rounds = outcome.rounds;
+        placement = outcome.placement;
+        phases.push(("improve".to_string(), ti.elapsed()));
+    }
 
     let validation = if req.config.validate {
         let tv = Instant::now();
@@ -187,6 +219,8 @@ pub fn solve(solver: &dyn Solver, req: &SolveRequest) -> Result<SolveReport, Eng
         solver: solver.name().to_string(),
         placement,
         makespan,
+        seed_makespan,
+        improve_rounds,
         bounds: lower_bounds(&req.prec),
         phases,
         validation,
@@ -209,6 +243,7 @@ mod tests {
             Capabilities {
                 precedence: true,
                 release: true,
+                anytime: true,
                 ..Capabilities::default()
             }
         }
@@ -279,6 +314,31 @@ mod tests {
         req.config.strict = true;
         let err = solve(&Broken, &req).unwrap_err();
         assert!(matches!(err, EngineError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn budgeted_solve_improves_the_seed_and_records_the_phase() {
+        // Stacker piles four pairable squares into a height-4 tower; the
+        // improvement loop must find the height-2 side-by-side packing.
+        let mut req = SolveRequest::unconstrained(
+            spp_core::Instance::from_dims(&[(0.5, 1.0), (0.5, 1.0), (0.5, 1.0), (0.5, 1.0)])
+                .unwrap(),
+        );
+        req.config.budget_ms = 2_000;
+        let report = solve(&Stacker, &req).unwrap();
+        assert_eq!(report.seed_makespan, 4.0);
+        assert!(report.improved(), "budget must beat the stacked seed");
+        assert!((report.makespan - 2.0).abs() < 1e-9);
+        assert!(report.improve_rounds > 0);
+        assert!(report.phase("improve").is_some());
+        assert_eq!(report.validation, Validation::Passed);
+
+        // Zero budget is the one-shot special case: no improve phase.
+        req.config.budget_ms = 0;
+        let one_shot = solve(&Stacker, &req).unwrap();
+        assert_eq!(one_shot.makespan, one_shot.seed_makespan);
+        assert_eq!(one_shot.improve_rounds, 0);
+        assert!(one_shot.phase("improve").is_none());
     }
 
     #[test]

@@ -49,6 +49,7 @@ impl Solver for PackerSolver {
     fn capabilities(&self) -> Capabilities {
         Capabilities {
             a_bound: self.packer.satisfies_a_bound(),
+            anytime: true,
             ..Capabilities::default()
         }
     }
@@ -82,6 +83,7 @@ impl Solver for DcSolver {
     fn capabilities(&self) -> Capabilities {
         Capabilities {
             precedence: true,
+            anytime: true,
             ..Capabilities::default()
         }
     }
@@ -106,6 +108,7 @@ impl Solver for LayeredSolver {
     fn capabilities(&self) -> Capabilities {
         Capabilities {
             precedence: true,
+            anytime: true,
             ..Capabilities::default()
         }
     }
@@ -130,6 +133,7 @@ impl Solver for GreedySolver {
     fn capabilities(&self) -> Capabilities {
         Capabilities {
             precedence: true,
+            anytime: true,
             ..Capabilities::default()
         }
     }
@@ -155,6 +159,7 @@ impl Solver for ShelfFSolver {
         Capabilities {
             precedence: true,
             uniform_height_only: true,
+            anytime: true,
             ..Capabilities::default()
         }
     }
@@ -190,6 +195,7 @@ impl Solver for DcReleaseSolver {
         Capabilities {
             precedence: true,
             release: true,
+            anytime: true,
             ..Capabilities::default()
         }
     }
@@ -218,6 +224,7 @@ impl Solver for CombinedGreedySolver {
         Capabilities {
             precedence: true,
             release: true,
+            anytime: true,
             ..Capabilities::default()
         }
     }
@@ -261,6 +268,7 @@ impl Solver for ReleaseBaselineSolver {
     fn capabilities(&self) -> Capabilities {
         Capabilities {
             release: true,
+            anytime: true,
             ..Capabilities::default()
         }
     }
@@ -351,6 +359,7 @@ impl Solver for AptasSolver {
     fn capabilities(&self) -> Capabilities {
         Capabilities {
             release: true,
+            anytime: true,
             ..Capabilities::default()
         }
     }

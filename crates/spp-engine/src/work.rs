@@ -640,6 +640,8 @@ fn config_fields_to_json(out: &mut String, config: &SolveConfig) {
     let _ = writeln!(out, "  \"shelf_r\": {:.17e},", config.shelf_r);
     let _ = writeln!(out, "  \"strict\": {},", config.strict);
     let _ = writeln!(out, "  \"validate\": {},", config.validate);
+    let _ = writeln!(out, "  \"budget_ms\": {},", config.budget_ms);
+    let _ = writeln!(out, "  \"improve_seed\": {},", config.improve_seed);
 }
 
 fn as_bool(v: &JsonValue, name: &str) -> Result<bool, String> {
@@ -738,12 +740,21 @@ pub fn grant_parse(text: &str) -> Result<LeaseGrant, WorkError> {
                     .map(|(i, sv)| str_of(sv, &format!("{name}[{i}]")))
                     .collect()
             };
+            // Absent on pre-anytime leases: default to one-shot solving.
+            let opt_int = |name: &str| -> Result<u64, WorkError> {
+                match json::get_field(obj, &doc, name) {
+                    Ok(v) => json::as_u64(v, name).map_err(|e| bad(e.to_string())),
+                    Err(_) => Ok(0),
+                }
+            };
             let config = SolveConfig {
                 epsilon: num("epsilon")?,
                 k: int("k")? as usize,
                 shelf_r: num("shelf_r")?,
                 strict: as_bool(field("strict")?, "strict").map_err(&bad)?,
                 validate: as_bool(field("validate")?, "validate").map_err(&bad)?,
+                budget_ms: opt_int("budget_ms")?,
+                improve_seed: opt_int("improve_seed")?,
             };
             Ok(LeaseGrant::Work(WorkLease {
                 id: int("lease")?,

@@ -1,0 +1,139 @@
+//! Property tests for the anytime improvement subsystem at the engine
+//! seam: determinism per (instance digest, improve seed), never-worse
+//! makespans, and feasibility of the improved placements across every
+//! suite family — deep-chain DAGs and bursty releases included.
+
+use spp_engine::{solve, Registry, SolveRequest, Validation};
+use spp_gen::suite::{self, FAMILIES};
+
+const EPS: f64 = 1e-9;
+
+/// A solver honoring the constraint families a scenario carries, so the
+/// improved placement can be validated strictly (nothing ignored).
+fn solver_for(prec: &spp_dag::PrecInstance) -> &'static str {
+    if prec.dag.edge_count() > 0 {
+        "dc-nfdh"
+    } else if prec.inst.items().iter().any(|it| it.release > 0.0) {
+        "skyline-release"
+    } else {
+        "skyline"
+    }
+}
+
+/// The improvement search sequence is a pure function of the instance
+/// digest and `improve_seed`: two budgeted solves of the same request
+/// agree bit-for-bit — makespan, rounds, and every placement coordinate.
+/// (The deadline only truncates; these instances converge long before
+/// the generous budget expires, so truncation never fires.)
+#[test]
+fn budgeted_solves_are_deterministic_per_digest_and_seed() {
+    let registry = Registry::builtin();
+    for scenario in suite::suite(11, 16, FAMILIES.len()) {
+        let name = solver_for(&scenario.prec);
+        let solver = registry.get(name).unwrap();
+        let mut request = SolveRequest::new(scenario.prec);
+        request.config.budget_ms = 4_000;
+        request.config.improve_seed = 42;
+        let a = solve(&*solver, &request).unwrap();
+        let b = solve(&*solver, &request).unwrap();
+        assert_eq!(
+            a.makespan.to_bits(),
+            b.makespan.to_bits(),
+            "{}: same (digest, seed) diverged on makespan",
+            scenario.name
+        );
+        assert_eq!(
+            a.seed_makespan.to_bits(),
+            b.seed_makespan.to_bits(),
+            "{}: seed makespans diverged",
+            scenario.name
+        );
+        assert_eq!(
+            a.improve_rounds, b.improve_rounds,
+            "{}: round counts diverged (budget truncation should not fire here)",
+            scenario.name
+        );
+        for it in request.prec.inst.items() {
+            let (pa, pb) = (a.placement.pos(it.id), b.placement.pos(it.id));
+            assert_eq!(
+                (pa.x.to_bits(), pa.y.to_bits()),
+                (pb.x.to_bits(), pb.y.to_bits()),
+                "{}: item {} placed differently across identical runs",
+                scenario.name,
+                it.id
+            );
+        }
+    }
+}
+
+/// Across all 8 suite families: the budgeted makespan never exceeds the
+/// seed, stays above every lower bound, and the improved placement is
+/// feasible under the instance's precedence edges and release times
+/// (strict validation — nothing ignored).
+#[test]
+fn improvement_is_feasible_and_never_worse_on_every_family() {
+    let registry = Registry::builtin();
+    // Two scenarios per family, distinct seeds.
+    for scenario in suite::suite(23, 24, 2 * FAMILIES.len()) {
+        let name = solver_for(&scenario.prec);
+        let solver = registry.get(name).unwrap();
+        let mut request = SolveRequest::new(scenario.prec);
+        request.config.strict = true;
+        request.config.budget_ms = 300;
+        let report = solve(&*solver, &request)
+            .unwrap_or_else(|e| panic!("{name} refused {}: {e}", scenario.name));
+        assert_eq!(
+            report.validation,
+            Validation::Passed,
+            "{name} on {}: improved placement failed strict validation: {:?}",
+            scenario.name,
+            report.validation
+        );
+        assert!(
+            report.makespan <= report.seed_makespan + EPS,
+            "{name} on {}: budgeted makespan {} exceeds seed {}",
+            scenario.name,
+            report.makespan,
+            report.seed_makespan
+        );
+        for (bound_name, bound) in [
+            ("AREA", report.bounds.area),
+            ("F", report.bounds.critical_path),
+            ("release", report.bounds.release),
+            ("combined", report.bounds.combined),
+        ] {
+            assert!(
+                report.makespan >= bound - EPS,
+                "{name} on {}: improved makespan {} fell below {bound_name} LB {}",
+                scenario.name,
+                report.makespan,
+                bound
+            );
+        }
+    }
+}
+
+/// `budget_ms = 0` is the one-shot special case: no improvement phase,
+/// no rounds, seed makespan equals the final makespan.
+#[test]
+fn zero_budget_is_exactly_the_one_shot_path() {
+    let registry = Registry::builtin();
+    for scenario in suite::suite(5, 20, FAMILIES.len()) {
+        let name = solver_for(&scenario.prec);
+        let solver = registry.get(name).unwrap();
+        let request = SolveRequest::new(scenario.prec);
+        let report = solve(&*solver, &request).unwrap();
+        assert_eq!(report.improve_rounds, 0, "{}", scenario.name);
+        assert_eq!(
+            report.makespan.to_bits(),
+            report.seed_makespan.to_bits(),
+            "{}",
+            scenario.name
+        );
+        assert!(
+            report.phase("improve").is_none(),
+            "{}: improve phase recorded without a budget",
+            scenario.name
+        );
+    }
+}

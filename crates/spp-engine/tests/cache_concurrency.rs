@@ -39,6 +39,7 @@ fn cell() -> CachedCell {
         status: CellStatus::Solved,
         makespan: 12.5,
         combined_lb: 6.25,
+        improved_from: None,
     }
 }
 

@@ -119,6 +119,7 @@ fn damaged_cache_entries_are_never_served() {
             status: CellStatus::Solved,
             makespan: 1234.5,
             combined_lb: 1.0,
+            improved_from: None,
         },
     );
     damages.push(("digest-mismatch".into(), foreign));

@@ -215,6 +215,53 @@ fn every_registry_entry_conforms_on_matching_workloads() {
                     limit
                 );
             }
+
+            // (d) anytime entries: a budgeted solve of the same request
+            // keeps every obligation above AND never worsens the seed.
+            // The one-shot report *is* the seed (the loop starts from the
+            // constructive placement), so `improved ≤ seed` is checked
+            // against `report.makespan`, not re-derived.
+            if entry.capabilities.anytime {
+                let mut budgeted = request.clone();
+                budgeted.config.budget_ms = 40;
+                let improved = solve(&*solver, &budgeted).unwrap_or_else(|e| {
+                    panic!("{} refused budgeted workload {label}: {e}", entry.name)
+                });
+                assert_eq!(
+                    improved.validation,
+                    Validation::Passed,
+                    "{} on {label} (budgeted): {:?}",
+                    entry.name,
+                    improved.validation
+                );
+                assert_eq!(
+                    improved.seed_makespan.to_bits(),
+                    report.makespan.to_bits(),
+                    "{} on {label}: budgeted seed differs from the one-shot solve",
+                    entry.name
+                );
+                assert!(
+                    improved.makespan <= improved.seed_makespan + EPS,
+                    "{} on {label}: budgeted makespan {} exceeds seed {}",
+                    entry.name,
+                    improved.makespan,
+                    improved.seed_makespan
+                );
+                for (bound_name, bound) in [
+                    ("AREA", improved.bounds.area),
+                    ("F", improved.bounds.critical_path),
+                    ("release", improved.bounds.release),
+                    ("combined", improved.bounds.combined),
+                ] {
+                    assert!(
+                        improved.makespan >= bound - EPS,
+                        "{} on {label}: improved makespan {} fell below {bound_name} LB {}",
+                        entry.name,
+                        improved.makespan,
+                        bound
+                    );
+                }
+            }
         }
     }
 }

@@ -1,0 +1,380 @@
+//! Anytime improvement: remove-and-reinsert local search over any seed
+//! placement, feasibility-aware for precedence edges and release times.
+//!
+//! The loop is the ruin-and-recreate scheme nesting solvers use (remove a
+//! subset, re-insert, shrink the envelope, retry), adapted to the
+//! constrained strip: instead of ruining *geometry* — which cannot be
+//! partially rebuilt under a skyline contour — each round perturbs the
+//! **insertion priority order** and re-decodes the whole instance through
+//! a precedence/release-gated skyline best-fit. Decoding only ever emits
+//! feasible placements (every item waits for its predecessors' tops and
+//! its release floor), so the search space is exactly the feasible set
+//! and the incumbent can be accepted on makespan alone.
+//!
+//! Two removal strategies alternate, both driven by one
+//! [`SplitMix64`] stream so the whole search is a pure function of
+//! [`ImproveConfig::seed`]:
+//!
+//! * **worst-waste bands** — the items whose horizontal band in the
+//!   incumbent has the lowest occupancy (the most trapped whitespace)
+//!   are pulled to the front of the order, in shuffled relative order;
+//! * **random subset** — a seeded subset is removed from the order and
+//!   re-inserted at seeded positions.
+//!
+//! Each round decodes under the incumbent's **makespan envelope**: the
+//! moment a partial decode reaches the incumbent height the round is
+//! abandoned (it cannot strictly improve). The incumbent is replaced
+//! only on strict improvement, and mutations always restart from the
+//! incumbent's own order, so the search never drifts away from its best.
+//!
+//! **Determinism contract.** The *sequence* of candidate placements is a
+//! pure function of `(instance, seed placement, seed)`. The wall-clock
+//! deadline only truncates that sequence; runs that reach convergence
+//! (`stall_rounds` consecutive non-improving rounds) inside their budget
+//! return bit-identical results on any machine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use spp_core::hash::SplitMix64;
+use spp_core::Placement;
+use spp_dag::PrecInstance;
+
+use crate::skyline::Skyline;
+
+/// Strict-improvement margin: a candidate must beat the incumbent by
+/// more than this to be accepted (keeps float noise from masquerading as
+/// progress and guarantees the accept sequence is machine-independent).
+const IMPROVE_EPS: f64 = 1e-9;
+
+/// Knobs of one improvement run.
+#[derive(Debug, Clone)]
+pub struct ImproveConfig {
+    /// Stream seed; callers wanting content-addressed determinism pass
+    /// `instance_digest ^ user_seed`.
+    pub seed: u64,
+    /// Wall-clock cutoff. `None` runs to convergence (or `max_rounds`).
+    pub deadline: Option<Instant>,
+    /// Hard cap on rounds, a backstop against pathological budgets.
+    pub max_rounds: u64,
+    /// Convergence: stop after this many consecutive rounds without a
+    /// strict improvement.
+    pub stall_rounds: u64,
+}
+
+impl Default for ImproveConfig {
+    fn default() -> Self {
+        ImproveConfig {
+            seed: 0,
+            deadline: None,
+            max_rounds: 100_000,
+            stall_rounds: 64,
+        }
+    }
+}
+
+/// Result of one improvement run. `placement` is the seed placement
+/// itself whenever no candidate strictly improved it, so
+/// `makespan ≤ seed_makespan` holds unconditionally.
+#[derive(Debug, Clone)]
+pub struct ImproveOutcome {
+    pub placement: Placement,
+    /// Height of `placement`.
+    pub makespan: f64,
+    /// Height of the seed placement the run started from.
+    pub seed_makespan: f64,
+    /// Rounds attempted (including abandoned decodes).
+    pub rounds: u64,
+    /// Rounds that strictly improved the incumbent.
+    pub improvements: u64,
+    /// True iff the run stopped on stall (not deadline/round cap), i.e.
+    /// the result is the deterministic fixed point for this seed.
+    pub converged: bool,
+}
+
+impl ImproveOutcome {
+    /// Makespan removed relative to the seed placement (≥ 0).
+    pub fn gain(&self) -> f64 {
+        (self.seed_makespan - self.makespan).max(0.0)
+    }
+}
+
+/// Item ids ordered by the placement's geometry (bottom-up, then left to
+/// right, then id) — the canonical priority order a placement induces.
+fn order_of(prec: &PrecInstance, pl: &Placement) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..prec.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (pa, pb) = (pl.pos(a), pl.pos(b));
+        pa.y.partial_cmp(&pb.y)
+            .unwrap()
+            .then(pa.x.partial_cmp(&pb.x).unwrap())
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Decode a priority order into a feasible placement via skyline
+/// best-fit: items become eligible only when every predecessor is
+/// placed, eligible items are taken in priority-order rank, and each is
+/// dropped at the lowest-leftmost position at or above its floor
+/// (max of release time and predecessor tops). Returns `None` as soon as
+/// the partial height reaches `envelope` — the candidate cannot strictly
+/// beat the incumbent, so the rest of the decode is wasted work.
+fn decode(prec: &PrecInstance, order: &[usize], envelope: f64) -> Option<(Placement, f64)> {
+    let n = prec.len();
+    let mut rank = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v] = i;
+    }
+    let mut floor: Vec<f64> = prec.inst.items().iter().map(|it| it.release).collect();
+    let mut missing: Vec<usize> = (0..n).map(|v| prec.dag.in_degree(v)).collect();
+    let mut ready: BinaryHeap<Reverse<(usize, usize)>> = (0..n)
+        .filter(|&v| missing[v] == 0)
+        .map(|v| Reverse((rank[v], v)))
+        .collect();
+
+    let mut pl = Placement::zeroed(n);
+    let mut sky = Skyline::new();
+    let mut top = 0.0f64;
+    let mut placed = 0usize;
+    while let Some(Reverse((_, v))) = ready.pop() {
+        let it = prec.inst.item(v);
+        let (x, y) = sky.best_position(it.w, floor[v]);
+        top = top.max(y + it.h);
+        if top >= envelope - IMPROVE_EPS {
+            return None;
+        }
+        sky.place(x, y, it.w, it.h);
+        pl.set(v, x, y);
+        placed += 1;
+        for &w in prec.dag.succs(v) {
+            floor[w] = floor[w].max(y + it.h);
+            missing[w] -= 1;
+            if missing[w] == 0 {
+                ready.push(Reverse((rank[w], w)));
+            }
+        }
+    }
+    debug_assert_eq!(placed, n, "DAG invariant: every item decodes");
+    Some((pl, top))
+}
+
+/// Per-item occupancy of its horizontal band in `pl`: the fraction of
+/// the band `[y, y+h)` covered by items (including itself). Low
+/// occupancy marks the bands where whitespace is trapped — the items
+/// the worst-waste strategy pulls forward. O(n²), fine at local-search
+/// instance sizes.
+fn band_occupancy(prec: &PrecInstance, pl: &Placement) -> Vec<f64> {
+    let items = prec.inst.items();
+    items
+        .iter()
+        .map(|a| {
+            let (y0, y1) = (pl.pos(a.id).y, pl.pos(a.id).y + a.h);
+            if a.h <= 0.0 {
+                return 1.0;
+            }
+            let mut covered = 0.0;
+            for b in items {
+                let (by0, by1) = (pl.pos(b.id).y, pl.pos(b.id).y + b.h);
+                let overlap = (y1.min(by1) - y0.max(by0)).max(0.0);
+                covered += b.w * overlap;
+            }
+            covered / a.h
+        })
+        .collect()
+}
+
+/// The removal-subset size for an `n`-item instance: an eighth of the
+/// instance, at least 2, never the whole thing.
+fn subset_size(n: usize) -> usize {
+    (n / 8).max(2).min(n)
+}
+
+/// Improve `seed_pl` by seeded remove-and-reinsert until the deadline,
+/// the round cap, or convergence. See the module docs for the scheme and
+/// the determinism contract.
+pub fn improve(prec: &PrecInstance, seed_pl: &Placement, cfg: &ImproveConfig) -> ImproveOutcome {
+    let seed_makespan = seed_pl.height(&prec.inst);
+    let mut out = ImproveOutcome {
+        placement: seed_pl.clone(),
+        makespan: seed_makespan,
+        seed_makespan,
+        rounds: 0,
+        improvements: 0,
+        converged: true,
+    };
+    let n = prec.len();
+    if n < 2 {
+        return out;
+    }
+
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut base_order = order_of(prec, seed_pl);
+    // The seed solver may not be skyline-shaped at all; decoding its own
+    // order is round 0's "identity" move and often already improves.
+    let mut occupancy = band_occupancy(prec, &out.placement);
+    let mut stall = 0u64;
+    for round in 0..cfg.max_rounds {
+        if cfg.deadline.is_some_and(|d| Instant::now() >= d) {
+            out.converged = false;
+            break;
+        }
+        out.rounds = round + 1;
+
+        // Mutate a fresh copy of the incumbent's order; mutations never
+        // accumulate, so every round is anchored to the best-so-far.
+        let mut order = base_order.clone();
+        if round == 0 {
+            // identity: decode the incumbent's own order
+        } else if round % 2 == 1 {
+            // Worst-waste bands: pull the least-occupied items forward.
+            let k = subset_size(n);
+            let mut by_waste: Vec<usize> = (0..n).collect();
+            by_waste.sort_by(|&a, &b| {
+                occupancy[a]
+                    .partial_cmp(&occupancy[b])
+                    .unwrap()
+                    .then(a.cmp(&b))
+            });
+            let mut chosen = by_waste[..k].to_vec();
+            rng.shuffle(&mut chosen);
+            order.retain(|v| !chosen.contains(v));
+            for (i, v) in chosen.into_iter().enumerate() {
+                order.insert(i, v);
+            }
+        } else {
+            // Random subset, re-inserted at random positions.
+            let k = subset_size(n);
+            let mut pool: Vec<usize> = (0..n).collect();
+            let mut chosen = Vec::with_capacity(k);
+            for _ in 0..k {
+                let i = rng.next_below(pool.len() as u64) as usize;
+                chosen.push(pool.swap_remove(i));
+            }
+            order.retain(|v| !chosen.contains(v));
+            for v in chosen {
+                let at = rng.next_below(order.len() as u64 + 1) as usize;
+                order.insert(at, v);
+            }
+        }
+
+        match decode(prec, &order, out.makespan) {
+            Some((pl, h)) if h < out.makespan - IMPROVE_EPS => {
+                debug_assert!(prec.validate(&pl).is_ok(), "decode emitted infeasible");
+                out.makespan = h;
+                out.placement = pl;
+                out.improvements += 1;
+                base_order = order;
+                occupancy = band_occupancy(prec, &out.placement);
+                stall = 0;
+            }
+            _ => stall += 1,
+        }
+        if stall >= cfg.stall_rounds {
+            break;
+        }
+    }
+    if out.rounds == cfg.max_rounds && stall < cfg.stall_rounds {
+        out.converged = false;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_core::Instance;
+    use spp_dag::Dag;
+
+    fn towers() -> PrecInstance {
+        // A deliberately bad seed exists: four 0.5-wide unit squares
+        // stacked in one column (height 4) against OPT = 2.
+        PrecInstance::unconstrained(
+            Instance::from_dims(&[(0.5, 1.0), (0.5, 1.0), (0.5, 1.0), (0.5, 1.0)]).unwrap(),
+        )
+    }
+
+    fn stacked_seed(prec: &PrecInstance) -> Placement {
+        let mut pl = Placement::zeroed(prec.len());
+        let mut y = 0.0f64;
+        for it in prec.inst.items() {
+            pl.set(it.id, 0.0, y.max(it.release));
+            y = pl.pos(it.id).y + it.h;
+        }
+        pl
+    }
+
+    #[test]
+    fn improves_a_bad_seed_and_never_regresses() {
+        let prec = towers();
+        let seed = stacked_seed(&prec);
+        let out = improve(&prec, &seed, &ImproveConfig::default());
+        assert_eq!(out.seed_makespan, 4.0);
+        assert!(out.makespan <= out.seed_makespan);
+        assert!(out.improvements >= 1, "pairing squares must be found");
+        spp_core::assert_close!(out.makespan, 2.0);
+        prec.assert_valid(&out.placement);
+        assert!(out.converged);
+        assert!(out.gain() > 1.9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let prec = towers();
+        let seed = stacked_seed(&prec);
+        let cfg = ImproveConfig {
+            seed: 1234,
+            ..ImproveConfig::default()
+        };
+        let a = improve(&prec, &seed, &cfg);
+        let b = improve(&prec, &seed, &cfg);
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.improvements, b.improvements);
+    }
+
+    #[test]
+    fn respects_precedence_and_release_floors() {
+        // Chain 0 -> 1 with a released third item: any improvement must
+        // keep 1 above 0 and 2 at or above its release.
+        let inst =
+            Instance::from_dims_release(&[(0.6, 1.0, 0.0), (0.6, 1.0, 0.0), (0.3, 1.0, 2.5)])
+                .unwrap();
+        let prec = PrecInstance::new(inst, Dag::new(3, &[(0, 1)]).unwrap());
+        let seed = stacked_seed(&prec);
+        let out = improve(&prec, &seed, &ImproveConfig::default());
+        prec.assert_valid(&out.placement);
+        assert!(out.makespan <= out.seed_makespan + 1e-12);
+        assert!(out.placement.pos(2).y >= 2.5 - 1e-12);
+    }
+
+    #[test]
+    fn zero_and_single_item_instances_are_fixed_points() {
+        let empty = PrecInstance::unconstrained(Instance::from_dims(&[]).unwrap());
+        let out = improve(&empty, &Placement::zeroed(0), &ImproveConfig::default());
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.makespan, 0.0);
+
+        let one = PrecInstance::unconstrained(Instance::from_dims(&[(0.5, 1.0)]).unwrap());
+        let seed = stacked_seed(&one);
+        let out = improve(&one, &seed, &ImproveConfig::default());
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.placement, seed);
+    }
+
+    #[test]
+    fn expired_deadline_returns_the_seed_unchanged() {
+        let prec = towers();
+        let seed = stacked_seed(&prec);
+        let cfg = ImproveConfig {
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            ..ImproveConfig::default()
+        };
+        let out = improve(&prec, &seed, &cfg);
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.placement, seed);
+        assert!(!out.converged);
+    }
+}

@@ -29,6 +29,7 @@
 
 pub mod bfdh;
 pub mod ffdh;
+pub mod improve;
 pub mod nfdh;
 pub mod online;
 pub mod rotate;
@@ -40,6 +41,7 @@ pub mod wsnf;
 
 pub use bfdh::bfdh;
 pub use ffdh::ffdh;
+pub use improve::{improve, ImproveConfig, ImproveOutcome};
 pub use nfdh::nfdh;
 pub use online::{online_shelf_pack, OnlineShelfPacker};
 pub use rotate::{pack_rotated, RotatedPacking};

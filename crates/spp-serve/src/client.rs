@@ -278,6 +278,7 @@ mod tests {
             status: spp_engine::CellStatus::Solved,
             makespan: 2.5,
             combined_lb: 1.25,
+            improved_from: None,
         };
         let body = entry_to_json(&k, &c);
 
@@ -323,6 +324,7 @@ mod tests {
             status: spp_engine::CellStatus::Solved,
             makespan: 1.0,
             combined_lb: 1.0,
+            improved_from: None,
         };
         assert!(cache.put(&key, &cell).is_err());
         // …unless the client is read-only, where put is a contractual no-op.

@@ -24,7 +24,7 @@
 //! |---|---|---|
 //! | `GET /cache/<digest>-<solver>-<config-fp>` | — | fetch one `spp-cache-entry` document (404 when absent or damaged) |
 //! | `PUT /cache/<digest>-<solver>-<config-fp>` | `spp-cache-entry` JSON | publish one entry (write-atomic; 400 unless the body's embedded key maps to exactly this name) |
-//! | `POST /solve?solver=<name>[&epsilon=..&k=..&shelf_r=..&strict=..]` | `spp-instance` JSON | consult the cache, solve on miss, return an `spp-solve-report` document |
+//! | `POST /solve?solver=<name>[&epsilon=..&k=..&shelf_r=..&strict=..&budget_ms=..&improve_seed=..]` | `spp-instance` JSON | consult the cache, solve on miss (running the anytime improvement loop when `budget_ms > 0`, capped by `--max-budget-ms`), return an `spp-solve-report` document |
 //! | `POST /work/lease` | — | lease the next chunk (`spp-work-lease`: grant `work`, `wait`, or `done`) |
 //! | `POST /work/complete` | `spp-work-complete` JSON | report a lease's cells (200 also for duplicates; 409 for unknown leases; 400 for cells that don't match the chunk) |
 //! | `GET /work/status` | — | queue progress as `spp-work-status` JSON (jobs, chunks, requeues, done) |
@@ -110,6 +110,12 @@ pub const DEFAULT_KEEPALIVE_REQUESTS: u64 = 1000;
 /// Default keep-alive idle timeout: a connection with no next request
 /// within this window is closed and its worker returns to `accept`.
 pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Default server-side cap on `POST /solve?budget_ms=`: one request must
+/// not pin a pool worker in the anytime loop for longer than this —
+/// larger asks are a 400, not a queued-behind-you stall for every other
+/// client of that worker.
+pub const DEFAULT_MAX_BUDGET_MS: u64 = 10_000;
 
 /// Granularity of the idle wait: workers re-check the shutdown flag
 /// between slices, bounding shutdown latency even with idle keep-alive
@@ -230,6 +236,10 @@ pub struct ServeConfig {
     /// Event-mode fairness cap: pipelined requests served per readiness
     /// turn before the connection re-parks.
     pub turn_requests: u64,
+    /// Upper bound accepted for `POST /solve?budget_ms=` (`--max-budget-ms`);
+    /// requests asking for more are rejected with 400 instead of pinning
+    /// a pool worker in the anytime loop.
+    pub max_budget_ms: u64,
 }
 
 impl ServeConfig {
@@ -247,6 +257,7 @@ impl ServeConfig {
             io_mode: IoMode::Auto,
             header_timeout: DEFAULT_HEADER_TIMEOUT,
             turn_requests: DEFAULT_TURN_REQUESTS,
+            max_budget_ms: DEFAULT_MAX_BUDGET_MS,
         }
     }
 
@@ -265,6 +276,7 @@ impl ServeConfig {
             io_mode: IoMode::Auto,
             header_timeout: DEFAULT_HEADER_TIMEOUT,
             turn_requests: DEFAULT_TURN_REQUESTS,
+            max_budget_ms: DEFAULT_MAX_BUDGET_MS,
         }
     }
 
@@ -324,7 +336,7 @@ pub struct EndpointCounters {
 
 /// Lifetime request counters, all monotonically increasing. `/stats`
 /// reports them next to the cache handle's own [`CacheStats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ServeCounters {
     /// Requests accepted (whatever their outcome).
     pub requests: u64,
@@ -348,6 +360,15 @@ pub struct ServeCounters {
     pub solves: u64,
     /// `/solve` requests answered from the cache.
     pub solve_cache_hits: u64,
+    /// Rounds the anytime improvement loop ran across all fresh
+    /// `/solve` misses (0 unless clients pass `budget_ms=`).
+    pub improve_iterations: u64,
+    /// Fresh `/solve` misses whose anytime loop strictly beat the seed
+    /// placement.
+    pub improved_cells: u64,
+    /// Total makespan removed by improvement across fresh `/solve`
+    /// misses (sum of `seed − improved`, in strip-height units).
+    pub improve_total_gain: f64,
     /// Responses with a 4xx/5xx status — excluding `GET /cache` misses,
     /// which are protocol-normal 404s already counted as
     /// `cache_get_misses`, and pre-completion `GET /work/report` polls
@@ -369,6 +390,10 @@ struct AtomicCounters {
     cache_puts: AtomicU64,
     solves: AtomicU64,
     solve_cache_hits: AtomicU64,
+    improve_iterations: AtomicU64,
+    improved_cells: AtomicU64,
+    /// f64 bit pattern, accumulated via CAS ([`AtomicCounters::add_gain`]).
+    improve_total_gain_bits: AtomicU64,
     errors: AtomicU64,
     ep_cache_get: AtomicU64,
     ep_cache_put: AtomicU64,
@@ -382,6 +407,28 @@ struct AtomicCounters {
 }
 
 impl AtomicCounters {
+    /// Accumulate improvement gain: f64 addition over an atomic bit
+    /// pattern (compare-exchange loop — gains arrive from many pool
+    /// workers at once and locks have no place on the request path).
+    fn add_gain(&self, gain: f64) {
+        if gain <= 0.0 {
+            return;
+        }
+        let mut cur = self.improve_total_gain_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + gain).to_bits();
+            match self.improve_total_gain_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
     fn snapshot(&self) -> ServeCounters {
         ServeCounters {
             requests: self.requests.load(Ordering::Relaxed),
@@ -394,6 +441,11 @@ impl AtomicCounters {
             cache_puts: self.cache_puts.load(Ordering::Relaxed),
             solves: self.solves.load(Ordering::Relaxed),
             solve_cache_hits: self.solve_cache_hits.load(Ordering::Relaxed),
+            improve_iterations: self.improve_iterations.load(Ordering::Relaxed),
+            improved_cells: self.improved_cells.load(Ordering::Relaxed),
+            improve_total_gain: f64::from_bits(
+                self.improve_total_gain_bits.load(Ordering::Relaxed),
+            ),
             errors: self.errors.load(Ordering::Relaxed),
             endpoints: EndpointCounters {
                 cache_get: self.ep_cache_get.load(Ordering::Relaxed),
@@ -433,6 +485,8 @@ struct State {
     header_timeout: Duration,
     /// Event-mode per-readiness-turn pipelining cap.
     turn_requests: u64,
+    /// Largest `budget_ms=` a `/solve` request may ask for.
+    max_budget_ms: u64,
     /// The resolved I/O mode this server runs (never `Auto`).
     io_mode: IoMode,
     /// Event-loop shared state; `Some` exactly when `io_mode` is Event.
@@ -527,6 +581,7 @@ impl Server {
                 idle_timeout: config.idle_timeout.max(Duration::from_millis(1)),
                 header_timeout: config.header_timeout.max(Duration::from_millis(1)),
                 turn_requests: config.turn_requests.max(1),
+                max_budget_ms: config.max_budget_ms,
                 io_mode,
                 event,
                 token: config.token.clone(),
@@ -1285,39 +1340,119 @@ fn cache_put(name: &str, body: &str, state: &State) -> Reply {
     }
 }
 
+/// A rejected `/solve` query string: the offending parameter plus the
+/// human-readable reason. The reply carries a machine-readable `param`
+/// field next to `error`, so a client can tell a typo'd knob
+/// (`budget-ms` for `budget_ms`) from a bad value without parsing prose.
+struct ParamError {
+    param: String,
+    message: String,
+}
+
+impl ParamError {
+    fn new(param: &str, message: impl Into<String>) -> ParamError {
+        ParamError {
+            param: param.to_string(),
+            message: message.into(),
+        }
+    }
+
+    fn reply(&self) -> Reply {
+        Reply::json(
+            400,
+            format!(
+                "{{\n  \"format\": \"{ERROR_FORMAT}\",\n  \"status\": 400,\n  \
+                 \"param\": \"{}\",\n  \"error\": \"{}\"\n}}\n",
+                json::escape(&self.param),
+                json::escape(&self.message)
+            ),
+        )
+    }
+}
+
 /// Parse `/solve` query params into a solver name + [`SolveConfig`].
 /// Unknown keys are rejected by name (the same strictness as the
-/// instance-file schema: a typo'd knob must not silently run defaults).
-fn solve_params(request: &Request) -> Result<(String, SolveConfig), String> {
+/// instance-file schema: a typo'd knob must not silently run defaults),
+/// and so are repeated keys — last-one-wins would make
+/// `budget_ms=0&budget_ms=5000` mean whatever the client least expects.
+fn solve_params(
+    request: &Request,
+    max_budget_ms: u64,
+) -> Result<(String, SolveConfig), ParamError> {
     let mut solver: Option<String> = None;
     let mut config = SolveConfig::default();
+    let mut seen: Vec<String> = Vec::new();
     for (k, v) in request.query_pairs() {
+        if seen.iter().any(|s| s == k) {
+            return Err(ParamError::new(
+                k,
+                format!("duplicate query parameter {k:?}"),
+            ));
+        }
+        seen.push(k.to_string());
+        let bad = |msg: String| ParamError::new(k, msg);
         match k {
             "solver" => solver = Some(v.to_string()),
             "epsilon" => {
-                config.epsilon = v.parse().map_err(|_| format!("bad epsilon {v:?}"))?;
+                config.epsilon = v.parse().map_err(|_| bad(format!("bad epsilon {v:?}")))?;
             }
-            "k" => config.k = v.parse().map_err(|_| format!("bad k {v:?}"))?,
+            "k" => config.k = v.parse().map_err(|_| bad(format!("bad k {v:?}")))?,
             "shelf_r" => {
-                config.shelf_r = v.parse().map_err(|_| format!("bad shelf_r {v:?}"))?;
+                config.shelf_r = v.parse().map_err(|_| bad(format!("bad shelf_r {v:?}")))?;
             }
-            "strict" => config.strict = v.parse().map_err(|_| format!("bad strict {v:?}"))?,
-            other => return Err(format!("unknown query parameter {other:?}")),
+            "strict" => {
+                config.strict = v.parse().map_err(|_| bad(format!("bad strict {v:?}")))?;
+            }
+            "budget_ms" => {
+                config.budget_ms = v.parse().map_err(|_| {
+                    bad(format!(
+                        "bad budget_ms {v:?} (want a whole number of milliseconds)"
+                    ))
+                })?;
+            }
+            "improve_seed" => {
+                config.improve_seed = v.parse().map_err(|_| {
+                    bad(format!("bad improve_seed {v:?} (want an unsigned integer)"))
+                })?;
+            }
+            other => {
+                return Err(ParamError::new(
+                    other,
+                    format!("unknown query parameter {other:?}"),
+                ));
+            }
         }
     }
     // Domain checks mirror the solver-side assertions (APTAS requires
     // ε > 0 and K ≥ 1, the online shelf requires r ∈ (0,1)) — a remote
     // request must become a 400, never a worker panic.
     if !config.epsilon.is_finite() || config.epsilon <= 0.0 {
-        return Err(format!("epsilon must be positive, got {}", config.epsilon));
+        return Err(ParamError::new(
+            "epsilon",
+            format!("epsilon must be positive, got {}", config.epsilon),
+        ));
     }
     if config.k < 1 {
-        return Err("k must be at least 1".to_string());
+        return Err(ParamError::new("k", "k must be at least 1"));
     }
     if !config.shelf_r.is_finite() || config.shelf_r <= 0.0 || config.shelf_r >= 1.0 {
-        return Err(format!("shelf_r must be in (0, 1), got {}", config.shelf_r));
+        return Err(ParamError::new(
+            "shelf_r",
+            format!("shelf_r must be in (0, 1), got {}", config.shelf_r),
+        ));
     }
-    let solver = solver.ok_or("missing required query parameter solver=<name>")?;
+    if config.budget_ms > max_budget_ms {
+        return Err(ParamError::new(
+            "budget_ms",
+            format!(
+                "budget_ms {} exceeds this server's cap of {max_budget_ms} ms",
+                config.budget_ms
+            ),
+        ));
+    }
+    let solver = solver.ok_or_else(|| {
+        ParamError::new("solver", "missing required query parameter solver=<name>")
+    })?;
     Ok((solver, config))
 }
 
@@ -1326,9 +1461,9 @@ fn solve(request: &Request, state: &State) -> Reply {
         Ok(c) => c,
         Err(reply) => return reply,
     };
-    let (solver_name, config) = match solve_params(request) {
+    let (solver_name, config) = match solve_params(request, state.max_budget_ms) {
         Ok(p) => p,
-        Err(e) => return Reply::error(400, &e),
+        Err(e) => return e.reply(),
     };
     let solver = match state.registry.get_or_err(&solver_name) {
         Ok(s) => s,
@@ -1357,6 +1492,23 @@ fn solve(request: &Request, state: &State) -> Reply {
             .fetch_add(1, Ordering::Relaxed);
     } else {
         state.counters.solves.fetch_add(1, Ordering::Relaxed);
+        // Improvement accounting belongs to fresh solves only: a cache
+        // hit re-serves a result, it doesn't re-run the anytime loop.
+        if let Some(Ok(report)) = &cell.outcome {
+            if report.improve_rounds > 0 {
+                state
+                    .counters
+                    .improve_iterations
+                    .fetch_add(report.improve_rounds, Ordering::Relaxed);
+            }
+            if report.improved() {
+                state
+                    .counters
+                    .improved_cells
+                    .fetch_add(1, Ordering::Relaxed);
+                state.counters.add_gain(report.improve_gain());
+            }
+        }
     }
     // The report carries exactly the portable cell fields — deterministic
     // and byte-stable whether the cell was solved or served ("cached" is
@@ -1380,6 +1532,11 @@ fn solve(request: &Request, state: &State) -> Reply {
         let _ = writeln!(body, "  \"status\": \"{}\",", cell.status.as_str());
         let _ = writeln!(body, "  \"makespan\": {:.17e},", cell.makespan);
         let _ = writeln!(body, "  \"lb\": {:.17e},", cell.combined_lb);
+        // Both a fresh improved solve and its later cache hits carry the
+        // seed makespan, so this line is warm/cold byte-stable too.
+        if let Some(seed) = cell.improved_from {
+            let _ = writeln!(body, "  \"improved_from\": {seed:.17e},");
+        }
         let _ = writeln!(body, "  \"cached\": {}", cell.from_cache);
         body.push_str("}\n");
     }
@@ -1405,6 +1562,12 @@ fn stats_reply(state: &State) -> Reply {
         let _ = writeln!(body, "  \"cache_puts\": {},", c.cache_puts);
         let _ = writeln!(body, "  \"solves\": {},", c.solves);
         let _ = writeln!(body, "  \"solve_cache_hits\": {},", c.solve_cache_hits);
+        let _ = writeln!(
+            body,
+            "  \"improve\": {{\"iterations\": {}, \"improved_cells\": {}, \
+             \"total_gain\": {:.17e}}},",
+            c.improve_iterations, c.improved_cells, c.improve_total_gain
+        );
         let _ = writeln!(body, "  \"errors\": {},", c.errors);
         let _ = writeln!(
             body,

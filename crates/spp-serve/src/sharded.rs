@@ -272,6 +272,7 @@ mod tests {
             status: spp_engine::CellStatus::Solved,
             makespan: 1.0,
             combined_lb: 0.5,
+            improved_from: None,
         };
         assert_eq!(cache.get(&key), None);
         assert!(cache.put(&key, &cell).is_ok(), "node loss must not error");

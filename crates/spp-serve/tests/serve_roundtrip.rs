@@ -37,6 +37,7 @@ fn cell(makespan: f64) -> CachedCell {
         status: CellStatus::Solved,
         makespan,
         combined_lb: makespan / 2.0,
+        improved_from: None,
     }
 }
 
@@ -217,6 +218,83 @@ fn solve_endpoint_solves_then_serves_from_cache() {
     assert_eq!(counters.solves, 2);
     assert_eq!(counters.solve_cache_hits, 1);
     assert!(counters.errors >= 9);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The anytime surface of `POST /solve`: a budgeted request runs the
+/// improvement loop, reports `improved_from`, and shows up in the
+/// `/stats` improvement counters; the cached entry keeps the improved
+/// result so warm replies stay byte-identical; and every malformed
+/// budget parameter — including the classic `budget-ms` typo for
+/// `budget_ms` — is a structured 400 naming the offending parameter.
+#[test]
+fn budgeted_solve_improves_and_rejects_bad_budget_params() {
+    let (server, dir) = start("solve_budget", false);
+    let authority = server.authority();
+    // Four half-width items whose NFDH shelf seed wastes height: shelves
+    // give 1.5, while the improvement decode's first (identity-order)
+    // skyline pass packs the two columns as 1.0+0.45 / 0.55+0.5 = 1.45.
+    // The gain arrives in round 0, so any positive budget finds it —
+    // the assertion never races the wall clock.
+    let inst =
+        spp_core::Instance::from_dims(&[(0.5, 1.0), (0.5, 0.55), (0.5, 0.5), (0.5, 0.45)]).unwrap();
+    let prec = spp_dag::PrecInstance::unconstrained(inst);
+    let body = spp_gen::fileio::to_json(&prec);
+
+    let path = "/solve?solver=nfdh&budget_ms=2000";
+    let cold = roundtrip(&authority, "POST", path, &body).unwrap();
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    assert!(cold.body.contains("\"cached\": false"));
+    assert!(
+        cold.body.contains("\"improved_from\": 1.5"),
+        "{}",
+        cold.body
+    );
+    assert!(
+        cold.body.contains("\"makespan\": 1.44999999999999996e0"),
+        "{}",
+        cold.body
+    );
+
+    // Warm: the improved entry is served back, byte-identical apart from
+    // the informational cached flag — improved_from included.
+    let warm = roundtrip(&authority, "POST", path, &body).unwrap();
+    assert_eq!(warm.status, 200);
+    assert!(warm.body.contains("\"cached\": true"));
+    assert_eq!(
+        cold.body.replace("\"cached\": false", "\"cached\": true"),
+        warm.body
+    );
+
+    // /stats carries the improvement counters.
+    let r = roundtrip(&authority, "GET", "/stats", "").unwrap();
+    assert_eq!(r.status, 200);
+    assert!(r.body.contains("\"improved_cells\": 1"), "{}", r.body);
+    let counters = server.counters();
+    assert_eq!(counters.improved_cells, 1);
+    assert!(counters.improve_iterations >= 1);
+    assert!(counters.improve_total_gain > 0.04);
+
+    // Malformed budget parameters are structured 400s that name the
+    // parameter in a machine-readable field.
+    for (bad, param) in [
+        ("/solve?solver=nfdh&budget-ms=100", "budget-ms"), // typo'd name
+        ("/solve?solver=nfdh&budget_ms=abc", "budget_ms"), // malformed value
+        ("/solve?solver=nfdh&budget_ms=-5", "budget_ms"),  // bad domain
+        ("/solve?solver=nfdh&budget_ms=999999999", "budget_ms"), // over the server cap
+        ("/solve?solver=nfdh&budget_ms=5&budget_ms=9", "budget_ms"), // duplicate
+        ("/solve?solver=nfdh&improve_seed=x", "improve_seed"), // malformed seed
+    ] {
+        let r = roundtrip(&authority, "POST", bad, &body).unwrap();
+        assert_eq!(r.status, 400, "{bad}: {}", r.body);
+        assert!(
+            r.body.contains(&format!("\"param\": \"{param}\"")),
+            "{bad}: {}",
+            r.body
+        );
+    }
 
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);

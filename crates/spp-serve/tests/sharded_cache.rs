@@ -38,6 +38,7 @@ fn cell(makespan: f64) -> CachedCell {
         status: CellStatus::Solved,
         makespan,
         combined_lb: makespan / 2.0,
+        improved_from: None,
     }
 }
 

@@ -64,7 +64,7 @@ use strip_packing::serve::{HttpCache, IoMode, RemoteLease, ServeConfig, Server, 
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  spp gen --family <name> [-n <count>] [--seed <u64>] [--uniform-height]\n          [--format <spp|json>]\n  spp suite --out-dir <dir> [--count <n>] [-n <size>] [--seed <u64>]\n  spp pack <file|-> [--algo <name>] [--render <none|ascii|svg>]\n          [--epsilon <f64>] [-k <usize>] [--shelf-r <f64>] [--strict]\n  spp bounds <file|->\n  spp batch [--families <f1,f2,..>] [--count <per-family>] [-n <size>]\n          [--seed <u64>] [--algos <a1,a2,..>]\n  spp batch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--shards <n>] [--shard-index <i>] [--out <file>]\n          [--cache-dir <dir> | --cache-url <url> | --cache-urls <u1,u2,..>]\n          [--replication <r>] [--token-file <file>] [--cache-readonly] [--cells]\n  spp batch --merge <report1,report2,..> [--cells]\n  spp batch --dispatcher-url <http://host:port> [--token-file <file>] [--cells]\n  spp cache stats --cache-dir <dir>\n  spp cache gc --cache-dir <dir> [--max-age <secs>]\n  spp cache verify --cache-dir <dir> (--input-dir <dir> | --file-list <file>)\n          [--algos <a1,a2,..>] [--sample <n>]\n  spp serve --cache-dir <dir> [--addr <host:port>] [--workers <n>]\n          [--max-body <bytes>] [--cache-readonly] [--token-file <file>]\n          [--keepalive-requests <n>] [--idle-timeout-ms <ms>]\n          [--io-mode <auto|blocking|event>]\n  spp dispatch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--addr <host:port>] [--lease-files <n>] [--lease-timeout <secs>]\n          [--cache-dir <dir>] [--workers <n>] [--max-body <bytes>]\n          [--token-file <file>] [--keepalive-requests <n>] [--idle-timeout-ms <ms>]\n          [--io-mode <auto|blocking|event>]\n  spp work --dispatcher-url <http://host:port>\n          [--cache-dir <dir> | --cache-url <url> | --cache-urls <u1,u2,..>]\n          [--replication <r>] [--token-file <file>]\n          [--workers <n>] [--poll-ms <ms>] [--abandon-after <n>]\n  spp bench serve [--url <http://host:port>] [--clients <n>]\n          [--mode <keepalive|close|both>] [--workload <cache-hit|solve>]\n          [--duration-ms <ms> | --requests <n>] [--rate <rps>]\n          [--workers <n>] [--out <file>] [--io-mode <auto|blocking|event>]\n          [--idle-clients <n>]\n  spp algos\n\nrun `spp algos` for the algorithm registry with capability flags"
+        "usage:\n  spp gen --family <name> [-n <count>] [--seed <u64>] [--uniform-height]\n          [--format <spp|json>]\n  spp suite --out-dir <dir> [--count <n>] [-n <size>] [--seed <u64>]\n  spp pack|solve <file|-> [--algo <name>] [--render <none|ascii|svg>]\n          [--epsilon <f64>] [-k <usize>] [--shelf-r <f64>] [--strict]\n          [--budget-ms <ms>] [--improve-seed <u64>]\n  spp bounds <file|->\n  spp batch [--families <f1,f2,..>] [--count <per-family>] [-n <size>]\n          [--seed <u64>] [--algos <a1,a2,..>]\n          [--budget-ms <ms>] [--improve-seed <u64>]\n  spp batch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--shards <n>] [--shard-index <i>] [--out <file>]\n          [--cache-dir <dir> | --cache-url <url> | --cache-urls <u1,u2,..>]\n          [--replication <r>] [--token-file <file>] [--cache-readonly] [--cells]\n  spp batch --merge <report1,report2,..> [--cells]\n  spp batch --dispatcher-url <http://host:port> [--token-file <file>] [--cells]\n  spp cache stats --cache-dir <dir>\n  spp cache gc --cache-dir <dir> [--max-age <secs>]\n  spp cache verify --cache-dir <dir> (--input-dir <dir> | --file-list <file>)\n          [--algos <a1,a2,..>] [--sample <n>]\n  spp serve --cache-dir <dir> [--addr <host:port>] [--workers <n>]\n          [--max-body <bytes>] [--max-budget-ms <ms>] [--cache-readonly]\n          [--token-file <file>]\n          [--keepalive-requests <n>] [--idle-timeout-ms <ms>]\n          [--io-mode <auto|blocking|event>]\n  spp dispatch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--addr <host:port>] [--lease-files <n>] [--lease-timeout <secs>]\n          [--cache-dir <dir>] [--workers <n>] [--max-body <bytes>]\n          [--token-file <file>] [--keepalive-requests <n>] [--idle-timeout-ms <ms>]\n          [--io-mode <auto|blocking|event>]\n  spp work --dispatcher-url <http://host:port>\n          [--cache-dir <dir> | --cache-url <url> | --cache-urls <u1,u2,..>]\n          [--replication <r>] [--token-file <file>]\n          [--workers <n>] [--poll-ms <ms>] [--abandon-after <n>]\n  spp bench serve [--url <http://host:port>] [--clients <n>]\n          [--mode <keepalive|close|both>] [--workload <cache-hit|solve>]\n          [--duration-ms <ms> | --requests <n>] [--rate <rps>]\n          [--workers <n>] [--out <file>] [--io-mode <auto|blocking|event>]\n          [--idle-clients <n>]\n  spp algos\n\nrun `spp algos` for the algorithm registry with capability flags"
     );
     std::process::exit(2);
 }
@@ -104,8 +104,23 @@ fn config_from_args(args: &[String]) -> SolveConfig {
     if let Some(r) = arg_value(args, "--shelf-r") {
         config.shelf_r = parse_or_usage(r);
     }
+    if let Some(b) = arg_value(args, "--budget-ms") {
+        config.budget_ms = parse_or_usage(b);
+    }
+    if let Some(s) = arg_value(args, "--improve-seed") {
+        config.improve_seed = parse_or_usage(s);
+    }
     config.strict = args.iter().any(|a| a == "--strict");
     config
+}
+
+/// Exit 2 on an unknown `--algo`, listing next to the registry's full
+/// name list which of them are anytime-capable (accept `--budget-ms`).
+fn unknown_algo_exit(registry: &Registry, err: &dyn std::fmt::Display) -> ! {
+    eprintln!("error: {err}");
+    let anytime: Vec<&str> = registry.filter(|c| c.anytime).map(|e| e.name).collect();
+    eprintln!("anytime-capable (honor --budget-ms): {}", anytime.join(" "));
+    std::process::exit(2);
 }
 
 fn read_instance(path: &str) -> PrecInstance {
@@ -192,10 +207,7 @@ fn cmd_pack(args: &[String]) -> ExitCode {
     let registry = Registry::builtin();
     let solver = match registry.get_or_err(&algo) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
-        }
+        Err(e) => unknown_algo_exit(&registry, &e),
     };
     let request = SolveRequest::new(prec).with_config(config_from_args(args));
     let report = match strip_packing::engine::solve(solver.as_ref(), &request) {
@@ -229,6 +241,15 @@ fn cmd_pack(args: &[String]) -> ExitCode {
         report.bounds.critical_path,
         report.ratio()
     );
+    if report.improve_rounds > 0 {
+        eprintln!(
+            "anytime: seed {:.4} -> {:.4} after {} rounds (gain {:.4})",
+            report.seed_makespan,
+            report.makespan,
+            report.improve_rounds,
+            report.improve_gain()
+        );
+    }
     match arg_value(args, "--render").as_deref() {
         None | Some("none") => {
             for it in prec.inst.items() {
@@ -285,7 +306,7 @@ fn cmd_bounds(args: &[String]) -> ExitCode {
 fn cmd_algos() -> ExitCode {
     let registry = Registry::builtin();
     println!(
-        "{:<16} {:<12} {:<28} description",
+        "{:<16} {:<30} {:<28} description",
         "name", "honors", "advertised bound"
     );
     for e in registry.entries() {
@@ -305,6 +326,9 @@ fn cmd_algos() -> ExitCode {
         if e.capabilities.uniform_height_only {
             honors.push("uniform-h");
         }
+        if e.capabilities.anytime {
+            honors.push("anytime");
+        }
         let honors = if honors.is_empty() {
             "-".to_string()
         } else {
@@ -312,7 +336,7 @@ fn cmd_algos() -> ExitCode {
         };
         let advertised = e.advertised.as_ref().map_or("-", |a| a.formula);
         println!(
-            "{:<16} {:<12} {:<28} {}",
+            "{:<16} {:<30} {:<28} {}",
             e.name, honors, advertised, e.summary
         );
     }
@@ -332,10 +356,7 @@ fn solvers_from_args(args: &[String], default: &str) -> Vec<Box<dyn Solver>> {
     for name in &algos {
         match registry.get_or_err(name) {
             Ok(s) => solvers.push(s),
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(2);
-            }
+            Err(e) => unknown_algo_exit(&registry, &e),
         }
     }
     solvers
@@ -1228,6 +1249,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     }
     config.readonly = args.iter().any(|a| a == "--cache-readonly");
     config.token = token_from_args(args);
+    if let Some(b) = arg_value(args, "--max-budget-ms") {
+        config.max_budget_ms = parse_or_usage(b);
+    }
     keepalive_from_args(args, &mut config);
     let server = match Server::bind(&config) {
         Ok(s) => s,
@@ -1425,6 +1449,7 @@ fn cmd_bench_serve(args: &[String]) -> ExitCode {
                 status,
                 makespan,
                 combined_lb,
+                improved_from: None,
             };
             let digest = strip_packing::gen::fileio::digest(&request.prec);
             let key = solve_cache::CacheKey::new(digest, "nfdh", &config);
@@ -1600,6 +1625,9 @@ fn main() -> ExitCode {
         Some("gen") => cmd_gen(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
         Some("pack") => cmd_pack(&args[1..]),
+        // `solve` is `pack` under its budget-era name: one-shot solving
+        // is the budget_ms=0 special case of budgeted solving.
+        Some("solve") => cmd_pack(&args[1..]),
         Some("bounds") => cmd_bounds(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
