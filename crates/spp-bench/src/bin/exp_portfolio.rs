@@ -1,0 +1,4 @@
+//! Thin wrapper; see `spp_bench::experiments::portfolio`.
+fn main() {
+    print!("{}", spp_bench::experiments::portfolio::run());
+}

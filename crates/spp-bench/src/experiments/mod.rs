@@ -12,6 +12,7 @@ pub mod lower_bound_gap;
 pub mod lp_configs;
 pub mod online_gap;
 pub mod pack_baselines;
+pub mod portfolio;
 pub mod ratio3_tightness;
 pub mod release_rounding;
 pub mod shard_scaling;

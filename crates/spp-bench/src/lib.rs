@@ -24,6 +24,7 @@
 //! | E14 | (run_all only) | sharded batch: equivalence and scaling |
 //! | E15 | (run_all only) | solve cache: cold vs. warm throughput |
 //! | E16 | (run_all only) | anytime improvement: budget curves, OPT ratios |
+//! | E17 | `exp_portfolio` | parallel portfolio search + decode kernel |
 //! | A1 | `exp_ablation` | design-choice ablations |
 //!
 //! Criterion micro/macro benches live in `benches/`.
@@ -62,6 +63,7 @@ pub fn run_all_experiments() -> RunAllOutput {
         ("E14", experiments::shard_scaling::run),
         ("E15", experiments::cache_warm::run),
         ("E16", experiments::anytime::run),
+        ("E17", experiments::portfolio::run),
         ("A1", experiments::ablation::run),
     ];
     let mut markdown = String::new();

@@ -163,6 +163,18 @@ fn ring_mix(mut h: u64) -> u64 {
     h
 }
 
+/// The SplitMix64 finalizer as a standalone bijective mixer.
+///
+/// Used wherever a family of related integers must be spread into
+/// uncorrelated 64-bit values — e.g. the anytime portfolio derives
+/// stream `i`'s seed as `base ^ splitmix_mix(i)`. Two properties
+/// consumers rely on: it is a bijection (distinct inputs stay distinct,
+/// so derived streams never collide), and `splitmix_mix(0) == 0` (so
+/// stream 0 of a portfolio replays the single-stream search exactly).
+pub fn splitmix_mix(h: u64) -> u64 {
+    ring_mix(h)
+}
+
 /// The golden-ratio increment of the SplitMix64 stream.
 const SPLITMIX_GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
 

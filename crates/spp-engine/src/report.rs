@@ -72,8 +72,15 @@ pub struct SolveReport {
     /// improvement loop ran. Equals `makespan` when no budget was set,
     /// the solver is not `anytime`-capable, or no candidate improved.
     pub seed_makespan: f64,
-    /// Rounds the improvement loop attempted (`0` when it did not run).
+    /// Rounds the improvement loop attempted across all portfolio
+    /// streams (`0` when it did not run).
     pub improve_rounds: u64,
+    /// Portfolio streams the improvement loop ran (`0` when it did not
+    /// run; `1` is the single-stream search).
+    pub improve_streams: u64,
+    /// Decodes abandoned against the *shared* envelope (`0` unless
+    /// envelope sharing was requested).
+    pub improve_prunes: u64,
     /// Lower bounds evaluated on the request.
     pub bounds: LowerBounds,
     /// Per-phase wall-clock timings, in execution order (at minimum
@@ -133,6 +140,8 @@ mod tests {
             makespan,
             seed_makespan: makespan,
             improve_rounds: 0,
+            improve_streams: 0,
+            improve_prunes: 0,
             bounds: LowerBounds {
                 area: 0.0,
                 critical_path: 0.0,

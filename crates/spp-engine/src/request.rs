@@ -33,6 +33,22 @@ pub struct SolveConfig {
     /// Seed mixed with the instance digest to address the improvement
     /// loop's removal-subset stream.
     pub improve_seed: u64,
+    /// Portfolio width of the anytime layer: number of independent
+    /// improvement streams run per budget (stream i is seeded
+    /// `base ^ splitmix_mix(i)` and the strictly best stream wins, ties
+    /// to the lowest index). Part of the signature — different widths
+    /// explore different seed sets and can return different placements.
+    /// Must be ≥ 1; `1` replays the single-stream search exactly.
+    pub improve_streams: u64,
+    /// Share a best-so-far envelope across portfolio streams. Extra
+    /// pruning throughput, but results become scheduling-dependent, so
+    /// it is off by default. In the signature: it changes outputs.
+    pub improve_envelope: bool,
+    /// Worker threads for the portfolio (`0` = available parallelism).
+    /// Deliberately NOT in the signature: with the envelope off, the
+    /// deterministic reduction makes results identical for any worker
+    /// count, so caching by it would only fragment the cache.
+    pub improve_workers: u64,
 }
 
 impl SolveConfig {
@@ -44,14 +60,16 @@ impl SolveConfig {
     /// `CacheKey::file_name`).
     pub fn signature(&self) -> String {
         format!(
-            "epsilon={:.17e} k={} shelf_r={:.17e} strict={} validate={} budget_ms={} improve_seed={}",
+            "epsilon={:.17e} k={} shelf_r={:.17e} strict={} validate={} budget_ms={} improve_seed={} improve_streams={} improve_envelope={}",
             self.epsilon,
             self.k,
             self.shelf_r,
             self.strict,
             self.validate,
             self.budget_ms,
-            self.improve_seed
+            self.improve_seed,
+            self.improve_streams,
+            self.improve_envelope
         )
     }
 }
@@ -66,6 +84,9 @@ impl Default for SolveConfig {
             validate: true,
             budget_ms: 0,
             improve_seed: 0,
+            improve_streams: 1,
+            improve_envelope: false,
+            improve_workers: 0,
         }
     }
 }
@@ -150,10 +171,31 @@ mod tests {
                 improve_seed: 1,
                 ..base.clone()
             },
+            SolveConfig {
+                improve_streams: 4,
+                ..base.clone()
+            },
+            SolveConfig {
+                improve_envelope: true,
+                ..base.clone()
+            },
         ];
         for v in &variants {
             assert_ne!(v.signature(), base.signature());
         }
+    }
+
+    #[test]
+    fn improve_workers_is_an_execution_detail_not_identity() {
+        // Worker count cannot change results (envelope off), so two
+        // configs differing only in workers must share a signature —
+        // their cache entries are interchangeable.
+        let base = SolveConfig::default();
+        let threaded = SolveConfig {
+            improve_workers: 8,
+            ..base.clone()
+        };
+        assert_eq!(base.signature(), threaded.signature());
     }
 
     #[test]

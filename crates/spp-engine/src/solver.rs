@@ -176,27 +176,36 @@ pub fn solve(solver: &dyn Solver, req: &SolveRequest) -> Result<SolveReport, Eng
     let internal: Duration = phases.iter().map(|(_, d)| *d).sum();
     phases.push(("solve".to_string(), t0.elapsed().saturating_sub(internal)));
 
-    // Anytime improvement: budgeted remove-and-reinsert on the seed
-    // placement. The budget bounds this phase alone (the constructive
-    // solve already happened); the search stream is addressed by
-    // `digest ^ improve_seed`, so a given (instance, seed) explores the
-    // same candidate sequence on every machine and the deadline only
-    // truncates it.
+    // Anytime improvement: budgeted portfolio remove-and-reinsert on the
+    // seed placement. `improve_streams` independent streams run per
+    // budget (stream i seeded `digest ^ improve_seed ^ splitmix_mix(i)`),
+    // each with its own `budget_ms` compute deadline, reduced to the
+    // strictly best (ties to lowest stream index). With the envelope off
+    // the result is a pure function of (instance digest, improve_seed,
+    // improve_streams) — worker count cannot change it — and the budget
+    // only truncates each stream's deterministic candidate sequence.
     let seed_makespan = placement.height(&req.prec.inst);
     let mut improve_rounds = 0u64;
+    let mut improve_streams = 0u64;
+    let mut improve_prunes = 0u64;
     if req.config.budget_ms > 0 && caps.anytime {
         let ti = Instant::now();
         let digest = spp_gen::fileio::digest(&req.prec);
-        let outcome = spp_pack::improve(
+        let outcome = spp_pack::improve_parallel(
             &req.prec,
             &placement,
-            &spp_pack::ImproveConfig {
+            &spp_pack::PortfolioConfig {
+                streams: req.config.improve_streams.max(1) as usize,
+                workers: req.config.improve_workers as usize,
+                share_envelope: req.config.improve_envelope,
                 seed: digest.as_u64() ^ req.config.improve_seed,
-                deadline: Some(ti + Duration::from_millis(req.config.budget_ms)),
-                ..spp_pack::ImproveConfig::default()
+                budget: Some(Duration::from_millis(req.config.budget_ms)),
+                ..spp_pack::PortfolioConfig::default()
             },
         );
         improve_rounds = outcome.rounds;
+        improve_streams = outcome.streams.len() as u64;
+        improve_prunes = outcome.envelope_prunes;
         placement = outcome.placement;
         phases.push(("improve".to_string(), ti.elapsed()));
     }
@@ -221,6 +230,8 @@ pub fn solve(solver: &dyn Solver, req: &SolveRequest) -> Result<SolveReport, Eng
         makespan,
         seed_makespan,
         improve_rounds,
+        improve_streams,
+        improve_prunes,
         bounds: lower_bounds(&req.prec),
         phases,
         validation,
@@ -330,6 +341,8 @@ mod tests {
         assert!(report.improved(), "budget must beat the stacked seed");
         assert!((report.makespan - 2.0).abs() < 1e-9);
         assert!(report.improve_rounds > 0);
+        assert_eq!(report.improve_streams, 1);
+        assert_eq!(report.improve_prunes, 0);
         assert!(report.phase("improve").is_some());
         assert_eq!(report.validation, Validation::Passed);
 
@@ -338,7 +351,27 @@ mod tests {
         let one_shot = solve(&Stacker, &req).unwrap();
         assert_eq!(one_shot.makespan, one_shot.seed_makespan);
         assert_eq!(one_shot.improve_rounds, 0);
+        assert_eq!(one_shot.improve_streams, 0);
         assert!(one_shot.phase("improve").is_none());
+    }
+
+    #[test]
+    fn portfolio_width_is_reported_and_worker_count_is_inert() {
+        let mut req = SolveRequest::unconstrained(
+            spp_core::Instance::from_dims(&[(0.5, 1.0), (0.5, 1.0), (0.5, 1.0), (0.5, 1.0)])
+                .unwrap(),
+        );
+        req.config.budget_ms = 2_000;
+        req.config.improve_streams = 3;
+        req.config.improve_workers = 1;
+        let a = solve(&Stacker, &req).unwrap();
+        assert_eq!(a.improve_streams, 3);
+        assert!((a.makespan - 2.0).abs() < 1e-9);
+
+        req.config.improve_workers = 4;
+        let b = solve(&Stacker, &req).unwrap();
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
     }
 
     #[test]

@@ -642,6 +642,8 @@ fn config_fields_to_json(out: &mut String, config: &SolveConfig) {
     let _ = writeln!(out, "  \"validate\": {},", config.validate);
     let _ = writeln!(out, "  \"budget_ms\": {},", config.budget_ms);
     let _ = writeln!(out, "  \"improve_seed\": {},", config.improve_seed);
+    let _ = writeln!(out, "  \"improve_streams\": {},", config.improve_streams);
+    let _ = writeln!(out, "  \"improve_envelope\": {},", config.improve_envelope);
 }
 
 fn as_bool(v: &JsonValue, name: &str) -> Result<bool, String> {
@@ -747,6 +749,20 @@ pub fn grant_parse(text: &str) -> Result<LeaseGrant, WorkError> {
                     Err(_) => Ok(0),
                 }
             };
+            // Absent on pre-portfolio leases: default to one stream, no
+            // shared envelope (the pre-portfolio behavior).
+            let opt_int_default = |name: &str, default: u64| -> Result<u64, WorkError> {
+                match json::get_field(obj, &doc, name) {
+                    Ok(v) => json::as_u64(v, name).map_err(|e| bad(e.to_string())),
+                    Err(_) => Ok(default),
+                }
+            };
+            let opt_bool = |name: &str| -> Result<bool, WorkError> {
+                match json::get_field(obj, &doc, name) {
+                    Ok(v) => as_bool(v, name).map_err(&bad),
+                    Err(_) => Ok(false),
+                }
+            };
             let config = SolveConfig {
                 epsilon: num("epsilon")?,
                 k: int("k")? as usize,
@@ -755,6 +771,11 @@ pub fn grant_parse(text: &str) -> Result<LeaseGrant, WorkError> {
                 validate: as_bool(field("validate")?, "validate").map_err(&bad)?,
                 budget_ms: opt_int("budget_ms")?,
                 improve_seed: opt_int("improve_seed")?,
+                improve_streams: opt_int_default("improve_streams", 1)?,
+                improve_envelope: opt_bool("improve_envelope")?,
+                // Execution detail, never serialized: each worker picks
+                // its own parallelism.
+                improve_workers: 0,
             };
             Ok(LeaseGrant::Work(WorkLease {
                 id: int("lease")?,
@@ -1153,6 +1174,20 @@ mod tests {
             done: false,
         };
         assert_eq!(status_parse(&status_to_json(&status)).unwrap(), status);
+
+        // Pre-portfolio leases (no improve_streams/improve_envelope
+        // fields) still parse, defaulting to the single-stream search.
+        let text = grant_to_json(&LeaseGrant::Work(lease.clone()), None);
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.contains("improve_streams") && !l.contains("improve_envelope"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let LeaseGrant::Work(old) = grant_parse(&stripped).unwrap() else {
+            panic!("expected work grant");
+        };
+        assert_eq!(old.config.improve_streams, 1);
+        assert!(!old.config.improve_envelope);
 
         // Malformed documents are named errors, not panics.
         assert!(grant_parse("{}").is_err());

@@ -1,0 +1,139 @@
+//! Property tests for the parallel anytime portfolio at the pack/engine
+//! seam, over every suite family: the portfolio is never worse than the
+//! best of its streams run sequentially, and converged runs are
+//! bit-identical across worker counts.
+
+use spp_core::hash::splitmix_mix;
+use spp_core::Placement;
+use spp_dag::PrecInstance;
+use spp_gen::suite::{self, FAMILIES};
+use spp_pack::{improve, improve_parallel, ImproveConfig, PortfolioConfig};
+
+/// A feasible seed placement for any instance: stack the items in
+/// topological order, each at the max of the running top and its
+/// release — deliberately bad, so the search has room to work.
+fn stacked_seed(prec: &PrecInstance) -> Placement {
+    let order = spp_dag::topo::topological_order(&prec.dag).expect("suite DAGs are acyclic");
+    let mut pl = Placement::zeroed(prec.len());
+    let mut y = 0.0f64;
+    for v in order {
+        let it = prec.inst.item(v);
+        let at = y.max(it.release);
+        pl.set(v, 0.0, at);
+        y = at + it.h;
+    }
+    prec.assert_valid(&pl);
+    pl
+}
+
+const K: usize = 3;
+const SEED: u64 = 0xA5A5_1234;
+
+/// (a) The portfolio reduction returns exactly the best of the same K
+/// seeds run sequentially — never worse, and in fact bit-identical,
+/// winner index included (ties break to the lowest stream).
+#[test]
+fn portfolio_equals_best_of_sequential_streams() {
+    for scenario in suite::suite(23, 14, FAMILIES.len()) {
+        let prec = &scenario.prec;
+        let seed_pl = stacked_seed(prec);
+
+        let sequential: Vec<_> = (0..K)
+            .map(|i| {
+                improve(
+                    prec,
+                    &seed_pl,
+                    &ImproveConfig {
+                        seed: SEED ^ splitmix_mix(i as u64),
+                        ..ImproveConfig::default()
+                    },
+                )
+            })
+            .collect();
+        let mut best = 0usize;
+        for i in 1..K {
+            if sequential[i].makespan < sequential[best].makespan {
+                best = i;
+            }
+        }
+
+        let port = improve_parallel(
+            prec,
+            &seed_pl,
+            &PortfolioConfig {
+                streams: K,
+                seed: SEED,
+                ..PortfolioConfig::default()
+            },
+        );
+        assert!(
+            port.converged,
+            "{}: no deadline, must converge",
+            scenario.name
+        );
+        assert_eq!(port.winner, best, "{}: winner diverged", scenario.name);
+        assert_eq!(
+            port.makespan.to_bits(),
+            sequential[best].makespan.to_bits(),
+            "{}: portfolio is not the best sequential stream",
+            scenario.name
+        );
+        assert_eq!(
+            port.placement, sequential[best].placement,
+            "{}: placements diverged",
+            scenario.name
+        );
+        assert!(
+            port.makespan <= port.seed_makespan + 1e-12,
+            "{}: worse than the seed",
+            scenario.name
+        );
+        prec.assert_valid(&port.placement);
+    }
+}
+
+/// (b) Worker count is invisible: 1 worker and 4 workers produce
+/// bit-identical converged results, stream by stream.
+#[test]
+fn portfolio_is_bit_identical_across_worker_counts() {
+    for scenario in suite::suite(29, 14, FAMILIES.len()) {
+        let prec = &scenario.prec;
+        let seed_pl = stacked_seed(prec);
+        let run = |workers: usize| {
+            improve_parallel(
+                prec,
+                &seed_pl,
+                &PortfolioConfig {
+                    streams: K,
+                    workers,
+                    seed: SEED ^ 99,
+                    ..PortfolioConfig::default()
+                },
+            )
+        };
+        let a = run(1);
+        let b = run(4);
+        assert!(a.converged && b.converged, "{}", scenario.name);
+        assert_eq!(a.winner, b.winner, "{}", scenario.name);
+        assert_eq!(
+            a.makespan.to_bits(),
+            b.makespan.to_bits(),
+            "{}: makespan bits diverged across worker counts",
+            scenario.name
+        );
+        assert_eq!(a.placement, b.placement, "{}", scenario.name);
+        assert_eq!(a.rounds, b.rounds, "{}", scenario.name);
+        assert_eq!(a.improvements, b.improvements, "{}", scenario.name);
+        for (sa, sb) in a.streams.iter().zip(b.streams.iter()) {
+            assert_eq!(sa.stream, sb.stream);
+            assert_eq!(
+                sa.makespan.to_bits(),
+                sb.makespan.to_bits(),
+                "{}: stream {} diverged",
+                scenario.name,
+                sa.stream
+            );
+            assert_eq!(sa.rounds, sb.rounds, "{}", scenario.name);
+        }
+    }
+}

@@ -41,7 +41,10 @@ pub mod wsnf;
 
 pub use bfdh::bfdh;
 pub use ffdh::ffdh;
-pub use improve::{improve, ImproveConfig, ImproveOutcome};
+pub use improve::{
+    improve, improve_parallel, ImproveConfig, ImproveOutcome, PortfolioConfig, PortfolioOutcome,
+    SharedEnvelope, StreamOutcome,
+};
 pub use nfdh::nfdh;
 pub use online::{online_shelf_pack, OnlineShelfPacker};
 pub use rotate::{pack_rotated, RotatedPacking};

@@ -23,16 +23,45 @@ pub struct Segment {
     pub y: f64,
 }
 
+/// Reusable buffers for the hot-path operations. Living inside the
+/// [`Skyline`] (rather than being reallocated per call) keeps the decode
+/// inner loop of the anytime improvement search allocation-free once the
+/// buffers have grown to their steady-state capacity.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Monotonic deque of segment indices for the sliding-window max of
+    /// [`Skyline::best_position`] (front holds the tallest segment).
+    deque: Vec<usize>,
+    /// The next contour being assembled by [`Skyline::place`].
+    build: Vec<Segment>,
+    /// Right-of-span clips collected during the same pass.
+    clips: Vec<Segment>,
+}
+
 /// The skyline contour over the unit strip.
 #[derive(Debug, Clone)]
 pub struct Skyline {
     segs: Vec<Segment>,
+    scratch: Scratch,
 }
 
 impl Default for Skyline {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Append `s` to an in-order contour, merging with the previous segment
+/// when heights match and the segments are adjacent (the same
+/// canonicalization the sort-based rebuild performed).
+fn push_merged(out: &mut Vec<Segment>, s: Segment) {
+    if let Some(last) = out.last_mut() {
+        if spp_core::eps::approx_eq(last.y, s.y) && spp_core::eps::approx_eq(last.x + last.w, s.x) {
+            last.w += s.w;
+            return;
+        }
+    }
+    out.push(s);
 }
 
 impl Skyline {
@@ -44,7 +73,20 @@ impl Skyline {
                 w: 1.0,
                 y: 0.0,
             }],
+            scratch: Scratch::default(),
         }
+    }
+
+    /// Reset to the fresh flat contour, keeping all allocated capacity —
+    /// the anytime decode loop resets one skyline per round instead of
+    /// constructing a new one.
+    pub fn reset(&mut self) {
+        self.segs.clear();
+        self.segs.push(Segment {
+            x: 0.0,
+            w: 1.0,
+            y: 0.0,
+        });
     }
 
     /// The segments, left to right (non-overlapping, covering `[0, 1]`).
@@ -67,8 +109,75 @@ impl Skyline {
     /// with the extra constraint `y ≥ min_y`. Candidates are segment left
     /// edges (and `1 − w`, to allow right-flush placements).
     ///
+    /// Candidate x's are nondecreasing, so the span `[x, x + w)` is a
+    /// sliding window over the contour; a monotonic deque maintains the
+    /// running max height in O(1) amortized per candidate. One sweep costs
+    /// O(S) total where the per-candidate `span_height` rescan of
+    /// [`Skyline::best_position_scan`] cost O(S²) — the difference is the
+    /// whole decode kernel going from accidentally quadratic to linear.
+    /// Candidate order, overlap tolerance, and tie-breaking are identical
+    /// to the scan, so both return bit-identical positions (property
+    /// tested below).
+    ///
     /// Returns `(x, y)`.
-    pub fn best_position(&self, w: f64, min_y: f64) -> (f64, f64) {
+    pub fn best_position(&mut self, w: f64, min_y: f64) -> (f64, f64) {
+        let Skyline { segs, scratch } = self;
+        let n = segs.len();
+        let deque = &mut scratch.deque;
+        deque.clear();
+        let mut head = 0usize; // deque[head..] live, y strictly decreasing
+        let mut lo = 0usize; // first segment overlapping the window
+        let mut hi = 0usize; // one past the last admitted segment
+        let mut best: Option<(f64, f64)> = None;
+        let overlaps = |i: usize, x: f64| -> bool {
+            spp_core::eps::intervals_overlap(segs[i].x, segs[i].x + segs[i].w, x, x + w)
+        };
+        let mut consider = |x: f64, span_h: f64| {
+            let y = span_h.max(min_y);
+            match best {
+                None => best = Some((x, y)),
+                Some((bx, by)) => {
+                    if y < by - spp_core::eps::EPS
+                        || (spp_core::eps::approx_eq(y, by) && x < bx - spp_core::eps::EPS)
+                    {
+                        best = Some((x, y));
+                    }
+                }
+            }
+        };
+        // Raw candidates in nondecreasing clamped order: every segment
+        // left edge, then the right-flush 1 − w.
+        for c in 0..=n {
+            let raw = if c < n { segs[c].x } else { 1.0 - w };
+            if raw < -spp_core::eps::EPS || raw + w > 1.0 + spp_core::eps::EPS {
+                continue;
+            }
+            let x = raw.max(0.0).min(1.0 - w);
+            while hi < n && overlaps(hi, x) {
+                while deque.len() > head && segs[*deque.last().unwrap()].y <= segs[hi].y {
+                    deque.pop();
+                }
+                deque.push(hi);
+                hi += 1;
+            }
+            while lo < hi && !overlaps(lo, x) {
+                if deque.get(head) == Some(&lo) {
+                    head += 1;
+                }
+                lo += 1;
+            }
+            let span_h = deque.get(head).map_or(0.0, |&i| segs[i].y);
+            consider(x, span_h);
+        }
+        best.expect("width ≤ 1 always has a candidate")
+    }
+
+    /// The pre-optimization reference implementation of
+    /// [`Skyline::best_position`]: a full `span_height` rescan per
+    /// candidate, O(S²) per call. Kept (not cfg(test)-gated) as the
+    /// differential-test oracle and as the E17 bench baseline the fast
+    /// sweep is measured against.
+    pub fn best_position_scan(&self, w: f64, min_y: f64) -> (f64, f64) {
         let mut best: Option<(f64, f64)> = None;
         let mut consider = |x: f64| {
             if x < -spp_core::eps::EPS || x + w > 1.0 + spp_core::eps::EPS {
@@ -108,18 +217,31 @@ impl Skyline {
         );
         let top = y + h;
         let (x0, x1) = (x, x + w);
-        let mut new_segs: Vec<Segment> = Vec::with_capacity(self.segs.len() + 2);
-        for s in &self.segs {
+        // Rebuild into the reusable scratch buffer, already in x-order:
+        // left clips come first (segments are sorted and disjoint, so
+        // their left portions are too), then the raised span at x0, then
+        // the right clips (which all start at ≥ x1 > x0, nondecreasing).
+        // This is the same contour the old sort-based rebuild produced,
+        // bit for bit, without the per-call allocation and sort.
+        let Skyline { segs, scratch } = self;
+        let build = &mut scratch.build;
+        let clips = &mut scratch.clips;
+        build.clear();
+        clips.clear();
+        for s in segs.iter() {
             let (s0, s1) = (s.x, s.x + s.w);
             // part of s left of the span
             if s0 < x0 - spp_core::eps::EPS {
                 let wleft = (s1.min(x0)) - s0;
                 if wleft > spp_core::eps::EPS {
-                    new_segs.push(Segment {
-                        x: s0,
-                        w: wleft,
-                        y: s.y,
-                    });
+                    push_merged(
+                        build,
+                        Segment {
+                            x: s0,
+                            w: wleft,
+                            y: s.y,
+                        },
+                    );
                 }
             }
             // part of s right of the span
@@ -127,7 +249,7 @@ impl Skyline {
                 let start = s0.max(x1);
                 let wright = s1 - start;
                 if wright > spp_core::eps::EPS {
-                    new_segs.push(Segment {
+                    clips.push(Segment {
                         x: start,
                         w: wright,
                         y: s.y,
@@ -135,26 +257,18 @@ impl Skyline {
                 }
             }
         }
-        new_segs.push(Segment {
-            x: x0,
-            w: x1 - x0,
-            y: top,
-        });
-        new_segs.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
-        // merge adjacent segments at equal height
-        let mut merged: Vec<Segment> = Vec::with_capacity(new_segs.len());
-        for s in new_segs {
-            if let Some(last) = merged.last_mut() {
-                if spp_core::eps::approx_eq(last.y, s.y)
-                    && spp_core::eps::approx_eq(last.x + last.w, s.x)
-                {
-                    last.w += s.w;
-                    continue;
-                }
-            }
-            merged.push(s);
+        push_merged(
+            build,
+            Segment {
+                x: x0,
+                w: x1 - x0,
+                y: top,
+            },
+        );
+        for &clip in clips.iter() {
+            push_merged(build, clip);
         }
-        self.segs = merged;
+        std::mem::swap(segs, build);
     }
 
     /// Current maximum height of the contour.
@@ -224,9 +338,20 @@ mod tests {
 
     #[test]
     fn min_y_constraint_respected() {
-        let sky = Skyline::new();
+        let mut sky = Skyline::new();
         let (_, y) = sky.best_position(0.5, 2.5);
         assert_eq!(y, 2.5);
+    }
+
+    #[test]
+    fn reset_restores_the_flat_contour() {
+        let mut sky = Skyline::new();
+        sky.place(0.2, 0.0, 0.5, 1.3);
+        assert!(sky.max_height() > 0.0);
+        sky.reset();
+        assert_eq!(sky.segments().len(), 1);
+        assert_eq!(sky.max_height(), 0.0);
+        assert_eq!(sky.span_height(0.0, 1.0), 0.0);
     }
 
     #[test]
@@ -288,6 +413,30 @@ mod tests {
             let h = skyline_pack(&inst).height(&inst);
             let stack: f64 = dims.iter().map(|d| d.1).sum();
             prop_assert!(h <= stack + 1e-9);
+        }
+
+        /// The sweep and the O(S²) reference scan agree bit for bit on
+        /// every query against every intermediate contour of a random
+        /// packing — the sweep is an optimization, never a semantic
+        /// change.
+        #[test]
+        fn sweep_matches_scan_bitwise(
+            dims in proptest::collection::vec((0.01f64..1.0, 0.01f64..2.0), 1..50),
+            queries in proptest::collection::vec((0.01f64..1.0, 0.0f64..3.0), 1..12)
+        ) {
+            let mut sky = Skyline::new();
+            for (w, h) in &dims {
+                for &(qw, qy) in &queries {
+                    let scan = sky.best_position_scan(qw, qy);
+                    let sweep = sky.best_position(qw, qy);
+                    prop_assert_eq!(scan.0.to_bits(), sweep.0.to_bits(),
+                        "x diverged: scan {:?} sweep {:?}", scan, sweep);
+                    prop_assert_eq!(scan.1.to_bits(), sweep.1.to_bits(),
+                        "y diverged: scan {:?} sweep {:?}", scan, sweep);
+                }
+                let (x, y) = sky.best_position(*w, 0.0);
+                sky.place(x, y, *w, *h);
+            }
         }
     }
 }

@@ -1,0 +1,116 @@
+//! Steady-state allocation audit for the anytime decode loop.
+//!
+//! The improvement kernel promises that after startup (scratch buffers
+//! sized, capacities ratcheted) each search round allocates nothing:
+//! `DecodeScratch` reuses the rank/floor/missing/heap buffers, the
+//! skyline builds its contour into swapped scratch vectors, and order
+//! mutations rebuild through a mask into preallocated output. This test
+//! holds the kernel to that promise with a counting global allocator:
+//! two runs differing only in round count must perform *exactly* the
+//! same number of allocations — the extra 500 rounds are free.
+//!
+//! This file deliberately contains a single test so nothing else runs
+//! on the measuring thread between the two counted calls.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use spp_core::{Instance, Placement};
+use spp_dag::PrecInstance;
+use spp_pack::{improve, ImproveConfig};
+
+struct CountingAlloc;
+
+// Thread-local, not process-global: the libtest harness has threads of
+// its own, and counting their incidental allocations would make the
+// audit flaky. Only the measuring thread's allocations count.
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// `try_with`: during thread teardown TLS may already be destroyed and
+/// the allocator must still answer — uncounted, never panicking.
+fn count() {
+    let on = ENABLED.try_with(Cell::get).unwrap_or(false);
+    if on {
+        let _ = ALLOCS.try_with(|a| a.set(a.get() + 1));
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations performed by one `improve` call at the given round count.
+fn allocs_for_rounds(prec: &PrecInstance, seed: &Placement, rounds: u64) -> u64 {
+    let cfg = ImproveConfig {
+        seed: 1,
+        deadline: None,
+        max_rounds: rounds,
+        // Never converge: every round up to the cap must execute, so the
+        // two measurements differ in exactly (r2 - r1) steady rounds.
+        stall_rounds: u64::MAX,
+        envelope: None,
+    };
+    ALLOCS.with(|a| a.set(0));
+    ENABLED.with(|e| e.set(true));
+    let out = improve(prec, seed, &cfg);
+    ENABLED.with(|e| e.set(false));
+    assert_eq!(out.rounds, rounds, "round cap must be the stopper");
+    assert_eq!(out.improvements, 0, "the seed is optimal by construction");
+    ALLOCS.with(Cell::get)
+}
+
+#[test]
+fn steady_state_rounds_allocate_nothing() {
+    // Full-width items: every feasible packing stacks them, so the
+    // makespan is the height sum no matter the order — the seed is
+    // optimal, no round can improve it, and the incumbent (whose
+    // acceptance path legitimately clones the placement and rebuilds
+    // the band index) never changes. What remains per round is exactly
+    // the steady-state loop: mutate, decode, reject.
+    let dims: Vec<(f64, f64)> = (0..48)
+        .map(|i| (1.0, 0.2 + 0.01 * (i % 7) as f64))
+        .collect();
+    let prec = PrecInstance::unconstrained(Instance::from_dims(&dims).unwrap());
+    let mut seed = Placement::zeroed(prec.len());
+    let mut y = 0.0;
+    for it in prec.inst.items() {
+        seed.set(it.id, 0.0, y);
+        y += it.h;
+    }
+    prec.assert_valid(&seed);
+
+    // Warm run (capacity ratchet) happens inside both measurements'
+    // first rounds identically — the runs share every prefix round.
+    let short = allocs_for_rounds(&prec, &seed, 100);
+    let long = allocs_for_rounds(&prec, &seed, 600);
+    assert_eq!(
+        long, short,
+        "500 extra steady-state rounds must allocate zero times \
+         (short run: {short} allocs, long run: {long} allocs)"
+    );
+    // Sanity: the counter itself works — startup does allocate.
+    assert!(short > 0, "startup allocations should be visible");
+}

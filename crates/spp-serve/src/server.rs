@@ -24,7 +24,7 @@
 //! |---|---|---|
 //! | `GET /cache/<digest>-<solver>-<config-fp>` | — | fetch one `spp-cache-entry` document (404 when absent or damaged) |
 //! | `PUT /cache/<digest>-<solver>-<config-fp>` | `spp-cache-entry` JSON | publish one entry (write-atomic; 400 unless the body's embedded key maps to exactly this name) |
-//! | `POST /solve?solver=<name>[&epsilon=..&k=..&shelf_r=..&strict=..&budget_ms=..&improve_seed=..]` | `spp-instance` JSON | consult the cache, solve on miss (running the anytime improvement loop when `budget_ms > 0`, capped by `--max-budget-ms`), return an `spp-solve-report` document |
+//! | `POST /solve?solver=<name>[&epsilon=..&k=..&shelf_r=..&strict=..&budget_ms=..&improve_seed=..&improve_streams=..&improve_envelope=..]` | `spp-instance` JSON | consult the cache, solve on miss (running the anytime portfolio when `budget_ms > 0`, capped by `--max-budget-ms` / `--max-improve-streams`), return an `spp-solve-report` document |
 //! | `POST /work/lease` | — | lease the next chunk (`spp-work-lease`: grant `work`, `wait`, or `done`) |
 //! | `POST /work/complete` | `spp-work-complete` JSON | report a lease's cells (200 also for duplicates; 409 for unknown leases; 400 for cells that don't match the chunk) |
 //! | `GET /work/status` | — | queue progress as `spp-work-status` JSON (jobs, chunks, requeues, done) |
@@ -116,6 +116,11 @@ pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(5);
 /// larger asks are a 400, not a queued-behind-you stall for every other
 /// client of that worker.
 pub const DEFAULT_MAX_BUDGET_MS: u64 = 10_000;
+
+/// Default server-side cap on `POST /solve?improve_streams=`: each
+/// stream is a full budget's worth of compute, so the portfolio width a
+/// request may ask for is bounded the same way the budget itself is.
+pub const DEFAULT_MAX_IMPROVE_STREAMS: u64 = 16;
 
 /// Granularity of the idle wait: workers re-check the shutdown flag
 /// between slices, bounding shutdown latency even with idle keep-alive
@@ -240,6 +245,9 @@ pub struct ServeConfig {
     /// requests asking for more are rejected with 400 instead of pinning
     /// a pool worker in the anytime loop.
     pub max_budget_ms: u64,
+    /// Upper bound accepted for `POST /solve?improve_streams=`
+    /// (`--max-improve-streams`); wider portfolios are a 400.
+    pub max_improve_streams: u64,
 }
 
 impl ServeConfig {
@@ -258,6 +266,7 @@ impl ServeConfig {
             header_timeout: DEFAULT_HEADER_TIMEOUT,
             turn_requests: DEFAULT_TURN_REQUESTS,
             max_budget_ms: DEFAULT_MAX_BUDGET_MS,
+            max_improve_streams: DEFAULT_MAX_IMPROVE_STREAMS,
         }
     }
 
@@ -277,6 +286,7 @@ impl ServeConfig {
             header_timeout: DEFAULT_HEADER_TIMEOUT,
             turn_requests: DEFAULT_TURN_REQUESTS,
             max_budget_ms: DEFAULT_MAX_BUDGET_MS,
+            max_improve_streams: DEFAULT_MAX_IMPROVE_STREAMS,
         }
     }
 
@@ -363,6 +373,13 @@ pub struct ServeCounters {
     /// Rounds the anytime improvement loop ran across all fresh
     /// `/solve` misses (0 unless clients pass `budget_ms=`).
     pub improve_iterations: u64,
+    /// Portfolio streams run across all fresh `/solve` misses (equals
+    /// `improve_iterations`'s denominator: rounds-per-stream is
+    /// `iterations / streams`).
+    pub improve_streams: u64,
+    /// Decodes abandoned against the shared cross-stream envelope (0
+    /// unless clients pass `improve_envelope=true`).
+    pub improve_envelope_prunes: u64,
     /// Fresh `/solve` misses whose anytime loop strictly beat the seed
     /// placement.
     pub improved_cells: u64,
@@ -391,6 +408,8 @@ struct AtomicCounters {
     solves: AtomicU64,
     solve_cache_hits: AtomicU64,
     improve_iterations: AtomicU64,
+    improve_streams: AtomicU64,
+    improve_envelope_prunes: AtomicU64,
     improved_cells: AtomicU64,
     /// f64 bit pattern, accumulated via CAS ([`AtomicCounters::add_gain`]).
     improve_total_gain_bits: AtomicU64,
@@ -442,6 +461,8 @@ impl AtomicCounters {
             solves: self.solves.load(Ordering::Relaxed),
             solve_cache_hits: self.solve_cache_hits.load(Ordering::Relaxed),
             improve_iterations: self.improve_iterations.load(Ordering::Relaxed),
+            improve_streams: self.improve_streams.load(Ordering::Relaxed),
+            improve_envelope_prunes: self.improve_envelope_prunes.load(Ordering::Relaxed),
             improved_cells: self.improved_cells.load(Ordering::Relaxed),
             improve_total_gain: f64::from_bits(
                 self.improve_total_gain_bits.load(Ordering::Relaxed),
@@ -487,6 +508,8 @@ struct State {
     turn_requests: u64,
     /// Largest `budget_ms=` a `/solve` request may ask for.
     max_budget_ms: u64,
+    /// Largest `improve_streams=` a `/solve` request may ask for.
+    max_improve_streams: u64,
     /// The resolved I/O mode this server runs (never `Auto`).
     io_mode: IoMode,
     /// Event-loop shared state; `Some` exactly when `io_mode` is Event.
@@ -582,6 +605,7 @@ impl Server {
                 header_timeout: config.header_timeout.max(Duration::from_millis(1)),
                 turn_requests: config.turn_requests.max(1),
                 max_budget_ms: config.max_budget_ms,
+                max_improve_streams: config.max_improve_streams,
                 io_mode,
                 event,
                 token: config.token.clone(),
@@ -1378,6 +1402,7 @@ impl ParamError {
 fn solve_params(
     request: &Request,
     max_budget_ms: u64,
+    max_improve_streams: u64,
 ) -> Result<(String, SolveConfig), ParamError> {
     let mut solver: Option<String> = None;
     let mut config = SolveConfig::default();
@@ -1415,6 +1440,18 @@ fn solve_params(
                     bad(format!("bad improve_seed {v:?} (want an unsigned integer)"))
                 })?;
             }
+            "improve_streams" => {
+                config.improve_streams = v.parse().map_err(|_| {
+                    bad(format!(
+                        "bad improve_streams {v:?} (want a positive stream count)"
+                    ))
+                })?;
+            }
+            "improve_envelope" => {
+                config.improve_envelope = v
+                    .parse()
+                    .map_err(|_| bad(format!("bad improve_envelope {v:?} (want true or false)")))?;
+            }
             other => {
                 return Err(ParamError::new(
                     other,
@@ -1450,6 +1487,21 @@ fn solve_params(
             ),
         ));
     }
+    if config.improve_streams < 1 {
+        return Err(ParamError::new(
+            "improve_streams",
+            "improve_streams must be at least 1",
+        ));
+    }
+    if config.improve_streams > max_improve_streams {
+        return Err(ParamError::new(
+            "improve_streams",
+            format!(
+                "improve_streams {} exceeds this server's cap of {max_improve_streams}",
+                config.improve_streams
+            ),
+        ));
+    }
     let solver = solver.ok_or_else(|| {
         ParamError::new("solver", "missing required query parameter solver=<name>")
     })?;
@@ -1461,10 +1513,11 @@ fn solve(request: &Request, state: &State) -> Reply {
         Ok(c) => c,
         Err(reply) => return reply,
     };
-    let (solver_name, config) = match solve_params(request, state.max_budget_ms) {
-        Ok(p) => p,
-        Err(e) => return e.reply(),
-    };
+    let (solver_name, config) =
+        match solve_params(request, state.max_budget_ms, state.max_improve_streams) {
+            Ok(p) => p,
+            Err(e) => return e.reply(),
+        };
     let solver = match state.registry.get_or_err(&solver_name) {
         Ok(s) => s,
         Err(e) => return Reply::error(400, &e.to_string()),
@@ -1500,6 +1553,18 @@ fn solve(request: &Request, state: &State) -> Reply {
                     .counters
                     .improve_iterations
                     .fetch_add(report.improve_rounds, Ordering::Relaxed);
+            }
+            if report.improve_streams > 0 {
+                state
+                    .counters
+                    .improve_streams
+                    .fetch_add(report.improve_streams, Ordering::Relaxed);
+            }
+            if report.improve_prunes > 0 {
+                state
+                    .counters
+                    .improve_envelope_prunes
+                    .fetch_add(report.improve_prunes, Ordering::Relaxed);
             }
             if report.improved() {
                 state
@@ -1562,11 +1627,24 @@ fn stats_reply(state: &State) -> Reply {
         let _ = writeln!(body, "  \"cache_puts\": {},", c.cache_puts);
         let _ = writeln!(body, "  \"solves\": {},", c.solves);
         let _ = writeln!(body, "  \"solve_cache_hits\": {},", c.solve_cache_hits);
+        // `rounds_per_stream` is derived (iterations over streams) so
+        // operators can read search throughput without dividing.
+        let rounds_per_stream = if c.improve_streams > 0 {
+            c.improve_iterations as f64 / c.improve_streams as f64
+        } else {
+            0.0
+        };
         let _ = writeln!(
             body,
-            "  \"improve\": {{\"iterations\": {}, \"improved_cells\": {}, \
-             \"total_gain\": {:.17e}}},",
-            c.improve_iterations, c.improved_cells, c.improve_total_gain
+            "  \"improve\": {{\"iterations\": {}, \"streams\": {}, \
+             \"rounds_per_stream\": {:.17e}, \"improved_cells\": {}, \
+             \"envelope_prunes\": {}, \"total_gain\": {:.17e}}},",
+            c.improve_iterations,
+            c.improve_streams,
+            rounds_per_stream,
+            c.improved_cells,
+            c.improve_envelope_prunes,
+            c.improve_total_gain
         );
         let _ = writeln!(body, "  \"errors\": {},", c.errors);
         let _ = writeln!(

@@ -286,6 +286,14 @@ fn budgeted_solve_improves_and_rejects_bad_budget_params() {
         ("/solve?solver=nfdh&budget_ms=999999999", "budget_ms"), // over the server cap
         ("/solve?solver=nfdh&budget_ms=5&budget_ms=9", "budget_ms"), // duplicate
         ("/solve?solver=nfdh&improve_seed=x", "improve_seed"), // malformed seed
+        ("/solve?solver=nfdh&improve_streams=0", "improve_streams"), // zero-width portfolio
+        ("/solve?solver=nfdh&improve_streams=x", "improve_streams"), // malformed width
+        ("/solve?solver=nfdh&improve_streams=-2", "improve_streams"), // bad domain
+        ("/solve?solver=nfdh&improve_streams=9999", "improve_streams"), // over the server cap
+        (
+            "/solve?solver=nfdh&improve_envelope=maybe",
+            "improve_envelope",
+        ), // not a bool
     ] {
         let r = roundtrip(&authority, "POST", bad, &body).unwrap();
         assert_eq!(r.status, 400, "{bad}: {}", r.body);
@@ -295,6 +303,49 @@ fn budgeted_solve_improves_and_rejects_bad_budget_params() {
             r.body
         );
     }
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The portfolio surface of `POST /solve`: `improve_streams=K` runs K
+/// search streams, the `/stats` improve object reports the stream count
+/// and derived rounds-per-stream, and the result is byte-identical to a
+/// re-solve at the same width (deterministic reduction).
+#[test]
+fn portfolio_solve_reports_streams_in_stats() {
+    let (server, dir) = start("solve_portfolio", false);
+    let authority = server.authority();
+    let inst =
+        spp_core::Instance::from_dims(&[(0.5, 1.0), (0.5, 0.55), (0.5, 0.5), (0.5, 0.45)]).unwrap();
+    let prec = spp_dag::PrecInstance::unconstrained(inst);
+    let body = spp_gen::fileio::to_json(&prec);
+
+    let path = "/solve?solver=nfdh&budget_ms=2000&improve_streams=4";
+    let cold = roundtrip(&authority, "POST", path, &body).unwrap();
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    assert!(cold.body.contains("\"cached\": false"));
+    assert!(
+        cold.body.contains("improve_streams=4"),
+        "config signature must carry the width: {}",
+        cold.body
+    );
+
+    // Same width again: the signature-keyed cache replays it.
+    let warm = roundtrip(&authority, "POST", path, &body).unwrap();
+    assert!(warm.body.contains("\"cached\": true"));
+    assert_eq!(
+        cold.body.replace("\"cached\": false", "\"cached\": true"),
+        warm.body
+    );
+
+    let r = roundtrip(&authority, "GET", "/stats", "").unwrap();
+    assert_eq!(r.status, 200);
+    assert!(r.body.contains("\"streams\": 4"), "{}", r.body);
+    assert!(r.body.contains("\"envelope_prunes\": 0"), "{}", r.body);
+    let counters = server.counters();
+    assert_eq!(counters.improve_streams, 4);
+    assert!(counters.improve_iterations >= 4, "every stream rounds");
 
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);

@@ -64,7 +64,7 @@ use strip_packing::serve::{HttpCache, IoMode, RemoteLease, ServeConfig, Server, 
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  spp gen --family <name> [-n <count>] [--seed <u64>] [--uniform-height]\n          [--format <spp|json>]\n  spp suite --out-dir <dir> [--count <n>] [-n <size>] [--seed <u64>]\n  spp pack|solve <file|-> [--algo <name>] [--render <none|ascii|svg>]\n          [--epsilon <f64>] [-k <usize>] [--shelf-r <f64>] [--strict]\n          [--budget-ms <ms>] [--improve-seed <u64>]\n  spp bounds <file|->\n  spp batch [--families <f1,f2,..>] [--count <per-family>] [-n <size>]\n          [--seed <u64>] [--algos <a1,a2,..>]\n          [--budget-ms <ms>] [--improve-seed <u64>]\n  spp batch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--shards <n>] [--shard-index <i>] [--out <file>]\n          [--cache-dir <dir> | --cache-url <url> | --cache-urls <u1,u2,..>]\n          [--replication <r>] [--token-file <file>] [--cache-readonly] [--cells]\n  spp batch --merge <report1,report2,..> [--cells]\n  spp batch --dispatcher-url <http://host:port> [--token-file <file>] [--cells]\n  spp cache stats --cache-dir <dir>\n  spp cache gc --cache-dir <dir> [--max-age <secs>]\n  spp cache verify --cache-dir <dir> (--input-dir <dir> | --file-list <file>)\n          [--algos <a1,a2,..>] [--sample <n>]\n  spp serve --cache-dir <dir> [--addr <host:port>] [--workers <n>]\n          [--max-body <bytes>] [--max-budget-ms <ms>] [--cache-readonly]\n          [--token-file <file>]\n          [--keepalive-requests <n>] [--idle-timeout-ms <ms>]\n          [--io-mode <auto|blocking|event>]\n  spp dispatch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--addr <host:port>] [--lease-files <n>] [--lease-timeout <secs>]\n          [--cache-dir <dir>] [--workers <n>] [--max-body <bytes>]\n          [--token-file <file>] [--keepalive-requests <n>] [--idle-timeout-ms <ms>]\n          [--io-mode <auto|blocking|event>]\n  spp work --dispatcher-url <http://host:port>\n          [--cache-dir <dir> | --cache-url <url> | --cache-urls <u1,u2,..>]\n          [--replication <r>] [--token-file <file>]\n          [--workers <n>] [--poll-ms <ms>] [--abandon-after <n>]\n  spp bench serve [--url <http://host:port>] [--clients <n>]\n          [--mode <keepalive|close|both>] [--workload <cache-hit|solve>]\n          [--duration-ms <ms> | --requests <n>] [--rate <rps>]\n          [--workers <n>] [--out <file>] [--io-mode <auto|blocking|event>]\n          [--idle-clients <n>]\n  spp algos\n\nrun `spp algos` for the algorithm registry with capability flags"
+        "usage:\n  spp gen --family <name> [-n <count>] [--seed <u64>] [--uniform-height]\n          [--format <spp|json>]\n  spp suite --out-dir <dir> [--count <n>] [-n <size>] [--seed <u64>]\n  spp pack|solve <file|-> [--algo <name>] [--render <none|ascii|svg>]\n          [--epsilon <f64>] [-k <usize>] [--shelf-r <f64>] [--strict]\n          [--budget-ms <ms>] [--improve-seed <u64>]\n          [--improve-streams <k>] [--improve-workers <n>] [--improve-envelope]\n  spp bounds <file|->\n  spp batch [--families <f1,f2,..>] [--count <per-family>] [-n <size>]\n          [--seed <u64>] [--algos <a1,a2,..>]\n          [--budget-ms <ms>] [--improve-seed <u64>]\n          [--improve-streams <k>] [--improve-workers <n>] [--improve-envelope]\n  spp batch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--shards <n>] [--shard-index <i>] [--out <file>]\n          [--cache-dir <dir> | --cache-url <url> | --cache-urls <u1,u2,..>]\n          [--replication <r>] [--token-file <file>] [--cache-readonly] [--cells]\n  spp batch --merge <report1,report2,..> [--cells]\n  spp batch --dispatcher-url <http://host:port> [--token-file <file>] [--cells]\n  spp cache stats --cache-dir <dir>\n  spp cache gc --cache-dir <dir> [--max-age <secs>]\n  spp cache verify --cache-dir <dir> (--input-dir <dir> | --file-list <file>)\n          [--algos <a1,a2,..>] [--sample <n>]\n  spp serve --cache-dir <dir> [--addr <host:port>] [--workers <n>]\n          [--max-body <bytes>] [--max-budget-ms <ms>]\n          [--max-improve-streams <k>] [--cache-readonly]\n          [--token-file <file>]\n          [--keepalive-requests <n>] [--idle-timeout-ms <ms>]\n          [--io-mode <auto|blocking|event>]\n  spp dispatch (--input-dir <dir> | --file-list <file>) [--algos <a1,a2,..>]\n          [--addr <host:port>] [--lease-files <n>] [--lease-timeout <secs>]\n          [--cache-dir <dir>] [--workers <n>] [--max-body <bytes>]\n          [--token-file <file>] [--keepalive-requests <n>] [--idle-timeout-ms <ms>]\n          [--io-mode <auto|blocking|event>]\n  spp work --dispatcher-url <http://host:port>\n          [--cache-dir <dir> | --cache-url <url> | --cache-urls <u1,u2,..>]\n          [--replication <r>] [--token-file <file>]\n          [--workers <n>] [--poll-ms <ms>] [--abandon-after <n>]\n  spp bench serve [--url <http://host:port>] [--clients <n>]\n          [--mode <keepalive|close|both>] [--workload <cache-hit|solve>]\n          [--duration-ms <ms> | --requests <n>] [--rate <rps>]\n          [--workers <n>] [--out <file>] [--io-mode <auto|blocking|event>]\n          [--idle-clients <n>]\n  spp algos\n\nrun `spp algos` for the algorithm registry with capability flags"
     );
     std::process::exit(2);
 }
@@ -110,16 +110,40 @@ fn config_from_args(args: &[String]) -> SolveConfig {
     if let Some(s) = arg_value(args, "--improve-seed") {
         config.improve_seed = parse_or_usage(s);
     }
+    if let Some(s) = arg_value(args, "--improve-streams") {
+        config.improve_streams = parse_or_usage(s);
+        if config.improve_streams < 1 {
+            usage();
+        }
+    } else if config.budget_ms > 0 {
+        // Budgeted solving with no explicit width defaults to the
+        // machine's parallelism (capped): one budget buys every core's
+        // worth of search. Explicit `--improve-streams 1` restores the
+        // single-stream search; the width is part of the result's
+        // identity either way (it's in the config signature).
+        config.improve_streams = std::thread::available_parallelism()
+            .map(|c| c.get() as u64)
+            .unwrap_or(1)
+            .min(8);
+    }
+    if let Some(w) = arg_value(args, "--improve-workers") {
+        config.improve_workers = parse_or_usage(w);
+    }
+    config.improve_envelope = args.iter().any(|a| a == "--improve-envelope");
     config.strict = args.iter().any(|a| a == "--strict");
     config
 }
 
 /// Exit 2 on an unknown `--algo`, listing next to the registry's full
-/// name list which of them are anytime-capable (accept `--budget-ms`).
+/// name list which of them are anytime-capable (accept `--budget-ms`,
+/// `--improve-streams`, …).
 fn unknown_algo_exit(registry: &Registry, err: &dyn std::fmt::Display) -> ! {
     eprintln!("error: {err}");
     let anytime: Vec<&str> = registry.filter(|c| c.anytime).map(|e| e.name).collect();
-    eprintln!("anytime-capable (honor --budget-ms): {}", anytime.join(" "));
+    eprintln!(
+        "anytime-capable (honor --budget-ms / --improve-streams): {}",
+        anytime.join(" ")
+    );
     std::process::exit(2);
 }
 
@@ -243,10 +267,11 @@ fn cmd_pack(args: &[String]) -> ExitCode {
     );
     if report.improve_rounds > 0 {
         eprintln!(
-            "anytime: seed {:.4} -> {:.4} after {} rounds (gain {:.4})",
+            "anytime: seed {:.4} -> {:.4} after {} rounds across {} streams (gain {:.4})",
             report.seed_makespan,
             report.makespan,
             report.improve_rounds,
+            report.improve_streams,
             report.improve_gain()
         );
     }
@@ -340,6 +365,17 @@ fn cmd_algos() -> ExitCode {
             e.name, honors, advertised, e.summary
         );
     }
+    println!();
+    println!(
+        "anytime solvers honor --budget-ms <ms> (seeded remove-and-reinsert until the deadline)"
+    );
+    println!("and --improve-streams <k> (portfolio width: k independent streams per budget, best");
+    println!(
+        "stream wins deterministically; defaults to available parallelism, capped at 8, when a"
+    );
+    println!("budget is set). --improve-workers <n> sets threads (never changes results);");
+    println!("--improve-envelope shares a best-so-far bound across streams (faster, but");
+    println!("results become scheduling-dependent).");
     ExitCode::SUCCESS
 }
 
@@ -1251,6 +1287,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     config.token = token_from_args(args);
     if let Some(b) = arg_value(args, "--max-budget-ms") {
         config.max_budget_ms = parse_or_usage(b);
+    }
+    if let Some(s) = arg_value(args, "--max-improve-streams") {
+        config.max_improve_streams = parse_or_usage(s);
     }
     keepalive_from_args(args, &mut config);
     let server = match Server::bind(&config) {
